@@ -1,0 +1,57 @@
+"""E9 (extension) -- schedule harmonization: fewer PLL re-locks.
+
+The paper's MCKP treats layers independently and the runtime pays a
+~200 us re-lock whenever consecutive layers change HFO frequency.  The
+harmonization pass (repro.optimize.harmonize) locally aligns adjacent
+layers' frequencies when that reduces *deployed* window energy.  This
+benchmark quantifies the re-locks removed and the energy effect across
+the model/QoS grid.
+"""
+
+import pytest
+
+from repro.optimize import PAPER_QOS_LEVELS
+
+from conftest import report
+
+
+def run_experiment(pipeline, models):
+    rows = []
+    for name, model in models.items():
+        for level in PAPER_QOS_LEVELS:
+            result = pipeline.optimize(model, qos_level=level)
+            outcome = pipeline.harmonize(model, result)
+            rows.append((name, level.name, outcome))
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation-harmonize")
+def test_ablation_harmonization(benchmark, pipeline, models):
+    rows = benchmark.pedantic(
+        run_experiment, args=(pipeline, models), rounds=1, iterations=1
+    )
+    lines = [
+        f"{'model':>6s} {'QoS':>9s} {'relocks':>8s} {'moves':>6s}"
+        f" {'E before':>9s} {'E after':>9s} {'gain':>7s}",
+    ]
+    for name, qos, outcome in rows:
+        lines.append(
+            f"{name:>6s} {qos:>9s} "
+            f"{outcome.initial_report.relock_count:3d}->"
+            f"{outcome.report.relock_count:<3d} "
+            f"{outcome.moves_applied:6d}"
+            f" {outcome.initial_report.energy_j * 1e3:7.3f}mJ"
+            f" {outcome.report.energy_j * 1e3:7.3f}mJ"
+            f" {outcome.energy_improvement:7.2%}"
+        )
+    total_removed = sum(o.relocks_removed for *_, o in rows)
+    lines.append(
+        f"total re-locks removed across the grid: {total_removed}"
+    )
+    report("E9 / extension -- harmonization pass (re-lock reduction)", lines)
+
+    for name, qos, outcome in rows:
+        # Harmonization never hurts: energy monotone, QoS kept.
+        assert outcome.report.energy_j <= outcome.initial_report.energy_j
+        assert outcome.report.met_qos
+        assert outcome.relocks_removed >= 0

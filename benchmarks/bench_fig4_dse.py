@@ -1,0 +1,97 @@
+"""E3/E4 -- Fig. 4: DAE x clocking impact on layer latency and power.
+
+Left plot: latency/power of one depthwise and one pointwise MBV2 layer
+across the HFO frequency grid (at a fixed granularity).  Right plot:
+latency/power across the granularity grid (at the maximum frequency).
+The paper reports a power drop of up to 54.2% versus the initial
+(fused, max-frequency) execution.
+"""
+
+import pytest
+
+from repro.dse.explorer import LayerCostModel
+from repro.engine.cost import PAPER_GRANULARITIES, TraceBuilder
+from repro.nn import LayerKind
+from repro.units import to_mhz, to_us
+
+from conftest import report
+
+PAPER_MAX_POWER_DROP = 0.542
+
+
+def pick_layer(model, kind):
+    candidates = [n for n in model.dae_nodes() if n.layer.kind is kind]
+    # A mid-network layer, as in the paper's per-layer example.
+    return candidates[len(candidates) // 2]
+
+
+def run_experiment(pipeline, model):
+    board = pipeline.board
+    tracer = TraceBuilder(board)
+    pricer = LayerCostModel(board)
+    lfo = pipeline.space.lfo
+    hfo_max = max(pipeline.space.hfo_configs, key=lambda c: c.sysclk_hz)
+
+    data = {}
+    for kind in (LayerKind.DEPTHWISE_CONV, LayerKind.POINTWISE_CONV):
+        node = pick_layer(model, kind)
+        freq_rows = []
+        for hfo in pipeline.space.hfo_configs:
+            latency, energy = pricer.price(
+                tracer.build(model, node, 8), hfo, lfo, assume_relock=False
+            )
+            freq_rows.append((hfo.sysclk_hz, latency, energy / latency))
+        gran_rows = []
+        for g in PAPER_GRANULARITIES:
+            latency, energy = pricer.price(
+                tracer.build(model, node, g), hfo_max, lfo,
+                assume_relock=False,
+            )
+            gran_rows.append((g, latency, energy / latency))
+        data[kind.value] = (node.layer.name, freq_rows, gran_rows)
+    return data
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_dae_and_clocking_impact(benchmark, pipeline, models):
+    data = benchmark.pedantic(
+        run_experiment, args=(pipeline, models["mbv2"]), rounds=1,
+        iterations=1,
+    )
+    lines = []
+    for kind, (name, freq_rows, gran_rows) in data.items():
+        lines.append(f"layer {name} ({kind}):")
+        lines.append("  frequency sweep at g=8:")
+        for f_hz, latency, power in freq_rows:
+            lines.append(
+                f"    {to_mhz(f_hz):6.0f} MHz  latency {to_us(latency):9.1f} us"
+                f"  power {power * 1e3:7.1f} mW"
+            )
+        lines.append("  granularity sweep at 216 MHz:")
+        base_power = gran_rows[0][2]
+        for g, latency, power in gran_rows:
+            drop = 1.0 - power / base_power
+            lines.append(
+                f"    g={g:2d}  latency {to_us(latency):9.1f} us  "
+                f"power {power * 1e3:7.1f} mW  (drop vs g=0: {drop:6.1%})"
+            )
+    drops = []
+    for kind, (_, _, gran_rows) in data.items():
+        base_power = gran_rows[0][2]
+        drops.extend(1.0 - p / base_power for _, _, p in gran_rows[1:])
+    lines.append(
+        f"max power drop vs initial execution: {max(drops):.1%} "
+        f"(paper: up to {PAPER_MAX_POWER_DROP:.1%})"
+    )
+    report("E3-E4 / Fig. 4 -- DAE and clocking impact per layer", lines)
+
+    # Shapes: latency falls monotonically with frequency...
+    for kind, (_, freq_rows, gran_rows) in data.items():
+        latencies = [lat for _, lat, _ in sorted(freq_rows)]
+        assert latencies == sorted(latencies, reverse=True)
+        # ...power rises with frequency...
+        powers = [p for _, _, p in sorted(freq_rows)]
+        assert powers[-1] > powers[0]
+        # ...and DAE granularity reduces average power vs fused.
+        assert min(p for _, _, p in gran_rows[1:]) < gran_rows[0][2]
+    assert max(drops) > 0.10

@@ -1,0 +1,81 @@
+"""E5 -- Fig. 5: energy vs. TinyEngine and TinyEngine + clock gating.
+
+The paper's headline result: across VWW / PD / MBV2 and QoS budgets of
+10/30/50%, the proposed DAE+DVFS schedule consumes up to 25.2% less
+energy than TinyEngine and up to 7.2% less than TinyEngine with clock
+gating; relaxing MBV2's budget from 10% to 50% lowers our energy by
+20.4%.
+"""
+
+import pytest
+
+from repro.optimize import PAPER_QOS_LEVELS
+
+from conftest import report
+
+PAPER_BEST_VS_TINYENGINE = 0.252
+PAPER_BEST_VS_CLOCK_GATED = 0.072
+PAPER_MBV2_TIGHT_TO_RELAXED = 0.204
+
+
+def run_experiment(pipeline, models):
+    rows = []
+    for name, model in models.items():
+        for level in PAPER_QOS_LEVELS:
+            rows.append(pipeline.compare(model, level))
+    return rows
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_energy_comparison(benchmark, pipeline, models):
+    rows = benchmark.pedantic(
+        run_experiment, args=(pipeline, models), rounds=1, iterations=1
+    )
+    lines = [
+        f"{'model':>6s} {'QoS':>9s} {'TinyEngine':>11s} {'TE+gating':>10s}"
+        f" {'ours':>9s} {'vs TE':>7s} {'vs CG':>7s} {'norm.':>6s}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.model_name:>6s} {row.qos_name:>9s}"
+            f" {row.tinyengine.energy_j * 1e3:9.2f}mJ"
+            f" {row.clock_gated.energy_j * 1e3:8.2f}mJ"
+            f" {row.ours.energy_j * 1e3:7.2f}mJ"
+            f" {row.savings_vs_tinyengine:7.1%}"
+            f" {row.savings_vs_clock_gated:7.1%}"
+            f" {row.ours.energy_j / row.tinyengine.energy_j:6.3f}"
+        )
+    best_te = max(r.savings_vs_tinyengine for r in rows)
+    best_cg = max(r.savings_vs_clock_gated for r in rows)
+    by_key = {(r.model_name, r.qos_name): r for r in rows}
+    mbv2_delta = 1.0 - (
+        by_key[("mbv2", "relaxed")].ours.energy_j
+        / by_key[("mbv2", "tight")].ours.energy_j
+    )
+    lines.append("")
+    lines.append(
+        f"best savings vs TinyEngine: {best_te:.1%} "
+        f"(paper: up to {PAPER_BEST_VS_TINYENGINE:.1%})"
+    )
+    lines.append(
+        f"best savings vs TE + clock gating: {best_cg:.1%} "
+        f"(paper: up to {PAPER_BEST_VS_CLOCK_GATED:.1%})"
+    )
+    lines.append(
+        f"MBV2 energy reduction, 10% -> 50% QoS: {mbv2_delta:.1%} "
+        f"(paper: {PAPER_MBV2_TIGHT_TO_RELAXED:.1%})"
+    )
+    report("E5 / Fig. 5 -- energy vs the TinyEngine baselines", lines)
+
+    # Shape assertions (who wins, trends, rough factors).
+    for row in rows:
+        assert row.ours.met_qos
+        assert row.ours.energy_j < row.clock_gated.energy_j
+        assert row.clock_gated.energy_j < row.tinyengine.energy_j
+    for name in models:
+        tight = by_key[(name, "tight")].savings_vs_tinyengine
+        relaxed = by_key[(name, "relaxed")].savings_vs_tinyengine
+        assert relaxed > tight
+    assert 0.15 < best_te < 0.45
+    assert 0.03 < best_cg < 0.30
+    assert mbv2_delta > 0.03

@@ -1,0 +1,128 @@
+"""E6 -- Fig. 6: frequency/granularity distribution across layers.
+
+The paper inspects the per-layer HFO frequencies the optimizer selects
+for the 10% and 50% QoS budgets: tight budgets pull layers to the
+216 MHz maximum (+18.6% of layers), relaxed budgets push granularities
+to 16 (+22.3% of layers) and park many layers at the lowest
+frequencies.
+"""
+
+import pytest
+
+from repro.analysis import (
+    frequency_histogram,
+    granularity_histogram,
+    share_at_frequency,
+    share_at_granularity,
+    share_at_or_below_frequency,
+)
+from repro.nn import LayerKind
+from repro.optimize import RELAXED, TIGHT
+from repro.units import MHZ
+
+from conftest import report
+
+PAPER_MORE_AT_216_UNDER_TIGHT = 0.186
+PAPER_MORE_G16_UNDER_RELAXED = 0.223
+PAPER_PW_AT_216 = 0.588
+PAPER_DW_AT_216 = 0.214
+PAPER_LOWEST_FREQ_SHARE = 0.45  # ~46.1% PW / 43.4% DW
+
+
+def run_experiment(pipeline, models):
+    plans = {}
+    for name, model in models.items():
+        for level in (TIGHT, RELAXED):
+            plans[(name, level.name)] = pipeline.optimize(
+                model, qos_level=level
+            ).plan
+    return plans
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_frequency_distribution(benchmark, pipeline, models):
+    plans = benchmark.pedantic(
+        run_experiment, args=(pipeline, models), rounds=1, iterations=1
+    )
+    lines = []
+    for (name, qos), plan in plans.items():
+        freqs = frequency_histogram(plan, models[name])
+        grans = granularity_histogram(plan)
+        lines.append(
+            f"{name:>5s} @ {qos:7s}: "
+            f"f[MHz]={dict(sorted(freqs.items()))}  "
+            f"g={dict(sorted(grans.items()))}"
+        )
+
+    # Aggregate Fig. 6 statistics over the three models.
+    def mean_over_models(fn):
+        return sum(fn(name) for name in models) / len(models)
+
+    tight_216 = mean_over_models(
+        lambda n: share_at_frequency(
+            plans[(n, "tight")], models[n], 216 * MHZ
+        )
+    )
+    relaxed_216 = mean_over_models(
+        lambda n: share_at_frequency(
+            plans[(n, "relaxed")], models[n], 216 * MHZ
+        )
+    )
+    tight_g16 = mean_over_models(
+        lambda n: share_at_granularity(plans[(n, "tight")], 16)
+    )
+    relaxed_g16 = mean_over_models(
+        lambda n: share_at_granularity(plans[(n, "relaxed")], 16)
+    )
+    relaxed_low = mean_over_models(
+        lambda n: share_at_or_below_frequency(
+            plans[(n, "relaxed")], models[n], 108 * MHZ
+        )
+    )
+    pw_216 = share_at_frequency(
+        plans[("mbv2", "tight")], models["mbv2"], 216 * MHZ,
+        kinds=[LayerKind.POINTWISE_CONV],
+    )
+    dw_216 = share_at_frequency(
+        plans[("mbv2", "tight")], models["mbv2"], 216 * MHZ,
+        kinds=[LayerKind.DEPTHWISE_CONV],
+    )
+    lines.append("")
+    lines.append(
+        f"layers at 216 MHz, tight vs relaxed: {tight_216:.1%} vs "
+        f"{relaxed_216:.1%} (+{tight_216 - relaxed_216:.1%}; paper: "
+        f"+{PAPER_MORE_AT_216_UNDER_TIGHT:.1%})"
+    )
+    lines.append(
+        f"layers at g=16, relaxed vs tight: {relaxed_g16:.1%} vs "
+        f"{tight_g16:.1%} (+{relaxed_g16 - tight_g16:.1%}; paper: "
+        f"+{PAPER_MORE_G16_UNDER_RELAXED:.1%})"
+    )
+    lines.append(
+        f"layers at/below 108 MHz under relaxed: {relaxed_low:.1%} "
+        f"(paper: ~{PAPER_LOWEST_FREQ_SHARE:.0%} at its two lowest "
+        "frequencies)"
+    )
+    lines.append(
+        f"MBV2 tight, share at 216 MHz: PW {pw_216:.1%} / DW {dw_216:.1%} "
+        f"(paper: PW {PAPER_PW_AT_216:.1%} / DW {PAPER_DW_AT_216:.1%}; "
+        "see EXPERIMENTS.md on the kind split)"
+    )
+    report("E6 / Fig. 6 -- frequency distribution across layers", lines)
+
+    # Shape assertions.  Tight budgets pull layers to 216 MHz (Fig. 6's
+    # first trend) and large granularities dominate every schedule.
+    # The paper's "+22.3% g=16 under relaxed" holds for PD in our
+    # substrate but not in aggregate: at the low frequencies relaxed
+    # budgets unlock, DAE's mux overhead outweighs its benefit for the
+    # smallest layers, which re-fuse instead (see EXPERIMENTS.md).
+    assert tight_216 >= relaxed_216
+    for (name, qos), plan in plans.items():
+        decoupled = [
+            lp.granularity
+            for lp in plan.layer_plans.values()
+            if lp.granularity > 0
+        ]
+        large = sum(1 for g in decoupled if g >= 12)
+        assert large >= 0.5 * len(decoupled)
+    assert relaxed_g16 > 0.2

@@ -1,0 +1,67 @@
+"""E14 (extension) -- how the savings scale with model size.
+
+Sweeps the MBV2 width multiplier and input resolution and measures the
+energy savings at the moderate QoS.  Establishes that the headline
+result is not an artifact of one operating point: bigger models give
+the optimizer more compute to reshape (and amortize switching better),
+smaller models shift the balance toward switch overhead.
+"""
+
+import pytest
+
+from repro import DAEDVFSPipeline
+from repro.nn import build_mbv2
+from repro.optimize import MODERATE
+
+from conftest import report
+
+
+def run_experiment(pipeline):
+    rows = []
+    variants = [
+        ("w0.20 r64", dict(width_mult=0.20, input_hw=64)),
+        ("w0.35 r64", dict(width_mult=0.35, input_hw=64)),
+        ("w0.35 r96", dict(width_mult=0.35, input_hw=96)),
+        ("w0.50 r96", dict(width_mult=0.50, input_hw=96)),
+        ("w0.50 r128", dict(width_mult=0.50, input_hw=128)),
+    ]
+    for name, kwargs in variants:
+        model = build_mbv2(**kwargs)
+        row = pipeline.compare(model, MODERATE)
+        rows.append(
+            (
+                name,
+                model.total_macs() / 1e6,
+                row.tinyengine.latency_s,
+                row.savings_vs_tinyengine,
+                row.savings_vs_clock_gated,
+                row.ours.met_qos,
+            )
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_scaling_with_model_size(benchmark, pipeline):
+    rows = benchmark.pedantic(
+        run_experiment, args=(pipeline,), rounds=1, iterations=1
+    )
+    lines = [
+        f"{'variant':>11s} {'MMACs':>7s} {'T0':>8s} {'vs TE':>7s}"
+        f" {'vs CG':>7s}",
+    ]
+    for name, mmacs, t0, vs_te, vs_cg, met in rows:
+        lines.append(
+            f"{name:>11s} {mmacs:7.1f} {t0 * 1e3:6.1f}ms {vs_te:7.1%}"
+            f" {vs_cg:7.1%}"
+        )
+    report("E14 / extension -- savings vs model size", lines)
+
+    for name, mmacs, t0, vs_te, vs_cg, met in rows:
+        assert met, name
+        # The qualitative result holds at every scale.
+        assert vs_te > 0.10, name
+        assert vs_cg > 0.0, name
+    # Latency grows with model size (sanity of the sweep itself).
+    latencies = [t0 for _, _, t0, *_ in rows]
+    assert latencies == sorted(latencies)

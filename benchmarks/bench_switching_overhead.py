@@ -1,0 +1,55 @@
+"""E2 -- Sec. II-A: clock-switch overhead measurements.
+
+The paper measures ~200 us per PLL reconfiguration and near-instant
+PLL -> HSE mux switches; this asymmetry is the foundation of the
+LFO/HFO scheme.  The benchmark drives the RCC state machine through
+the three switch classes and reports their costs.
+"""
+
+import pytest
+
+from repro.clock import RCC, lfo_config, pll_config
+from repro.units import MHZ, to_us
+
+from conftest import report
+
+PAPER_RELOCK_US = 200.0
+
+
+def run_experiment():
+    hfo_216 = pll_config(50 * MHZ, 25, 216)
+    hfo_108 = pll_config(50 * MHZ, 50, 216)
+    rows = {}
+
+    rcc = RCC()
+    rows["HSE -> PLL (cold: program + lock)"] = rcc.apply(hfo_216).latency_s
+    rows["PLL -> HSE (mux only)"] = rcc.switch_to_hse().latency_s
+    rows["HSE -> PLL (kept programmed)"] = rcc.switch_to_pll(
+        hfo_216
+    ).latency_s
+    rows["PLL -> PLL (new dividers: re-lock)"] = rcc.apply(hfo_108).latency_s
+    rcc.switch_to_hse()
+    rows["background PLL prep while on HSE"] = rcc.prepare_pll(hfo_216)
+    rows["HSE -> prepared PLL (mux only)"] = rcc.switch_to_pll(
+        hfo_216
+    ).latency_s
+    return rows, rcc
+
+
+@pytest.mark.benchmark(group="switching")
+def test_switching_overhead(benchmark):
+    rows, rcc = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    lines = [f"  {name:40s} {to_us(latency):8.2f} us"
+             for name, latency in rows.items()]
+    lines.append(
+        f"paper: PLL reconfiguration ~{PAPER_RELOCK_US:.0f} us, "
+        "PLL->HSE almost instant"
+    )
+    report("E2 / Sec. II-A -- clock switching overhead", lines)
+
+    relock = rows["HSE -> PLL (cold: program + lock)"]
+    mux = rows["PLL -> HSE (mux only)"]
+    assert relock == pytest.approx(PAPER_RELOCK_US * 1e-6, rel=0.05)
+    assert mux < relock / 50
+    assert rows["HSE -> prepared PLL (mux only)"] < relock / 50
+    assert rows["PLL -> PLL (new dividers: re-lock)"] >= relock

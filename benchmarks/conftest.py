@@ -1,0 +1,61 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark regenerates one table/figure of the paper (see the
+experiment index in DESIGN.md), prints a paper-vs-measured table and
+persists it under ``benchmarks/results/``.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+(without ``-s`` the tables land only in the results files).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+import pytest
+
+from repro import DAEDVFSPipeline, build_mbv2, build_person_detection, build_vww
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+#: Tables produced during this run, echoed in the terminal summary.
+_RUN_REPORTS = []
+
+
+def report(title: str, lines) -> None:
+    """Print a benchmark table and persist it to benchmarks/results/."""
+    text = "\n".join([f"=== {title} ===", *lines, ""])
+    print()
+    print(text)
+    _RUN_REPORTS.append(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    slug = re.sub(r"[^a-z0-9]+", "_", title.lower()).strip("_")[:60]
+    (RESULTS_DIR / f"{slug}.txt").write_text(text)
+
+
+def pytest_terminal_summary(terminalreporter):
+    """Echo every experiment table past pytest's output capture."""
+    if not _RUN_REPORTS:
+        return
+    terminalreporter.section("paper-vs-measured experiment tables")
+    for text in _RUN_REPORTS:
+        terminalreporter.write_line(text)
+
+
+@pytest.fixture(scope="session")
+def pipeline():
+    """One shared pipeline (board + design space) for all benchmarks."""
+    return DAEDVFSPipeline()
+
+
+@pytest.fixture(scope="session")
+def models():
+    """The paper's three evaluation models."""
+    return {
+        "vww": build_vww(),
+        "pd": build_person_detection(),
+        "mbv2": build_mbv2(),
+    }

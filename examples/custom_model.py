@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Bring your own CNN and your own board.
+
+Demonstrates the extension points a downstream user needs:
+
+* building a custom quantized CNN with the layer/graph API;
+* customizing the board (bigger cache, different power constants,
+  slower switch fabric) for sensitivity studies;
+* restricting the design space; and
+* reading the optimizer's Pareto fronts directly.
+
+Run:  python examples/custom_model.py
+"""
+
+import numpy as np
+
+from repro import DAEDVFSPipeline
+from repro.dse import DesignSpace
+from repro.clock import hfo_grid, lfo_config
+from repro.mcu import CacheModel, make_nucleo_f767zi
+from repro.nn import (
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    Flatten,
+    GlobalAveragePool,
+    Model,
+    PointwiseConv2D,
+    QuantParams,
+)
+from repro.optimize import QoSLevel
+from repro.power import PowerModelParams
+from repro.units import kib, to_mhz, to_mj, to_ms
+
+IN_PARAMS = QuantParams(scale=1 / 128.0, zero_point=0)
+ACT_PARAMS = QuantParams(scale=6.0 / 255.0, zero_point=-128)
+LOGIT_PARAMS = QuantParams(scale=0.1, zero_point=0)
+
+
+def build_keyword_spotter(seed: int = 11) -> Model:
+    """A small keyword-spotting-style CNN on 32x32 'spectrogram' input."""
+    rng = np.random.default_rng(seed)
+
+    def weights(*shape):
+        fan_in = int(np.prod(shape[:-1]))
+        return rng.normal(0, 1 / np.sqrt(fan_in), size=shape)
+
+    model = Model(name="kws", input_shape=(32, 32, 1), input_params=IN_PARAMS)
+    model.add(
+        Conv2D(
+            "stem", weights(3, 3, 1, 16), rng.normal(0, 0.05, 16),
+            IN_PARAMS, ACT_PARAMS, stride=2, activation="relu6",
+        )
+    )
+    params = ACT_PARAMS
+    channels = 16
+    for i, out_ch in enumerate((24, 32, 48)):
+        model.add(
+            DepthwiseConv2D(
+                f"dw{i}", weights(3, 3, channels), rng.normal(0, 0.05, channels),
+                params, ACT_PARAMS, stride=2 if i else 1, activation="relu6",
+            )
+        )
+        model.add(
+            PointwiseConv2D(
+                f"pw{i}", weights(channels, out_ch),
+                rng.normal(0, 0.05, out_ch),
+                ACT_PARAMS, ACT_PARAMS, activation="relu6",
+            )
+        )
+        channels = out_ch
+    model.add(GlobalAveragePool("gap"))
+    model.add(Flatten("flatten"))
+    model.add(
+        Dense(
+            "logits", weights(channels, 12), rng.normal(0, 0.05, 12),
+            ACT_PARAMS, LOGIT_PARAMS,
+        )
+    )
+    return model
+
+
+def main() -> None:
+    model = build_keyword_spotter()
+    print(model.summary())
+
+    # A custom board: double the cache, slower mux, leakier silicon.
+    board = make_nucleo_f767zi(
+        power_params=PowerModelParams().scaled(p_mcu_leakage_w=0.012),
+        cache=CacheModel(capacity_bytes=kib(32)),
+    )
+
+    # A narrowed design space: coarse granularities, top 4 frequencies.
+    top_frequencies = sorted(
+        hfo_grid(), key=lambda c: c.sysclk_hz, reverse=True
+    )
+    space = DesignSpace(
+        granularities=(0, 4, 16),
+        hfo_configs=tuple(top_frequencies[:4]),
+        lfo=lfo_config(),
+    )
+
+    pipeline = DAEDVFSPipeline(board=board, space=space)
+    level = QoSLevel(name="custom", slack=0.25)
+    result = pipeline.optimize(model, qos_level=level)
+
+    print(f"\nQoS budget: {to_ms(result.qos_s):.3f} ms "
+          f"(baseline {to_ms(result.baseline_latency_s):.3f} ms)")
+    print("Pareto front sizes per layer:")
+    for node_id, front in sorted(result.pareto_fronts.items()):
+        layer = model.nodes[node_id - 1].layer
+        chosen = result.plan.layer_plans[node_id]
+        print(
+            f"  {layer.name:8s}: {len(front):2d} Pareto points -> picked "
+            f"g={chosen.granularity:2d} @ {to_mhz(chosen.hfo.sysclk_hz):3.0f} MHz"
+        )
+
+    report = pipeline.deploy(model, result.plan)
+    print(
+        f"\ndeployed: {to_ms(report.latency_s):.3f} ms, "
+        f"{to_mj(report.energy_j):.4f} mJ, QoS met: {report.met_qos}"
+    )
+
+
+if __name__ == "__main__":
+    main()

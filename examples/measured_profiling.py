@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Profile layers through the simulated measurement chain.
+
+Reproduces the paper's Sec. IV measurement methodology: per-layer
+latency via on-board timers, per-layer power via an INA219 sensor --
+including thermal drift, which the paper cancels by comparing every
+measurement against the baseline model "at the corresponding
+timestamp".  The example shows (1) how large the drift-induced error
+is on absolute readings, (2) how the differential method cancels it,
+and (3) that an optimization pipeline fed by *measured* profiles lands
+on nearly the same schedule as the analytic one.
+
+Run:  python examples/measured_profiling.py
+"""
+
+from repro import DAEDVFSPipeline, build_tiny_test_model
+from repro.dse import paper_design_space
+from repro.optimize import MODERATE
+from repro.power import (
+    EnergyCategory,
+    EnergyInterval,
+    INA219Config,
+    INA219Sensor,
+    differential_energy,
+)
+from repro.profiling import LayerMonitor, LayerProfiler
+from repro.units import to_mj
+
+
+def drift_demo() -> None:
+    print("-- drift compensation (paper Sec. IV) --")
+    sensor = INA219Sensor(
+        INA219Config(
+            sample_period_s=1e-3,
+            noise_std_w=0.0,
+            drift_amplitude_w=0.040,   # +/-40 mW thermal drift
+            drift_period_s=2.0,
+        )
+    )
+    trace = [EnergyInterval(0.080, 0.300, EnergyCategory.COMPUTE)]
+    baseline = [EnergyInterval(0.080, 0.400, EnergyCategory.COMPUTE)]
+    true_energy = 0.080 * 0.300
+    for start in (0.3, 0.9, 1.4):
+        absolute = sensor.estimate_energy(
+            sensor.measure(trace, start_time_s=start)
+        )
+        compensated = differential_energy(
+            sensor, trace, baseline, 0.080 * 0.400, start_time_s=start
+        )
+        print(
+            f"  t={start:.1f}s: absolute {to_mj(absolute):7.3f} mJ "
+            f"({abs(absolute / true_energy - 1):5.1%} err)  "
+            f"differential {to_mj(compensated):7.3f} mJ "
+            f"({abs(compensated / true_energy - 1):5.1%} err)"
+        )
+    print(f"  truth: {to_mj(true_energy):.3f} mJ")
+
+
+def measured_pipeline_demo() -> None:
+    print("\n-- optimization from measured profiles --")
+    model = build_tiny_test_model()
+    analytic = DAEDVFSPipeline()
+    monitor = LayerMonitor(
+        analytic.board,
+        sensor_config=INA219Config(sample_period_s=2e-6, noise_std_w=5e-4),
+    )
+    profiler = LayerProfiler(
+        analytic.board,
+        paper_design_space(analytic.board.power_model),
+        monitor=monitor,
+    )
+    measured = DAEDVFSPipeline(board=analytic.board, profiler=profiler)
+
+    e_analytic = analytic.deploy(
+        model, analytic.optimize(model, qos_level=MODERATE).plan
+    )
+    e_measured = measured.deploy(
+        model, measured.optimize(model, qos_level=MODERATE).plan
+    )
+    print(f"  analytic-profile schedule: {to_mj(e_analytic.energy_j):.4f} mJ")
+    print(f"  measured-profile schedule: {to_mj(e_measured.energy_j):.4f} mJ")
+    gap = abs(e_measured.energy_j / e_analytic.energy_j - 1)
+    print(f"  gap: {gap:.2%} -- profiling noise does not derail Step 3")
+
+    records = profiler.profile_layer(model, model.dae_nodes()[0])
+    worst = max(records, key=lambda r: r.measurement.energy_error)
+    print(
+        f"  worst single-candidate measurement error: "
+        f"{worst.measurement.energy_error:.2%} "
+        f"({worst.measurement.samples} sensor samples)"
+    )
+
+
+def main() -> None:
+    drift_demo()
+    measured_pipeline_demo()
+
+
+if __name__ == "__main__":
+    main()

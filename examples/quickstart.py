@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Quickstart: optimize and deploy a small CNN under a latency budget.
+
+Builds the default simulated STM32F767ZI Nucleo board, runs the full
+DAE+DVFS methodology (per-layer design-space exploration, Pareto
+extraction, MCKP optimization) on a small test CNN, and compares the
+resulting schedule against the TinyEngine baselines in the paper's
+iso-latency energy scenario.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DAEDVFSPipeline, build_tiny_test_model
+from repro.optimize import MODERATE
+from repro.units import to_mhz, to_mj, to_ms
+
+
+def main() -> None:
+    model = build_tiny_test_model()
+    print(model.summary())
+    print()
+
+    pipeline = DAEDVFSPipeline()
+
+    # Step 2 + 3: explore (g, clock) per layer, then solve the MCKP.
+    result = pipeline.optimize(model, qos_level=MODERATE)
+    print(
+        f"baseline (TinyEngine @216 MHz) latency: "
+        f"{to_ms(result.baseline_latency_s):.3f} ms"
+    )
+    print(
+        f"QoS budget ({MODERATE.percent}% slack):   "
+        f"{to_ms(result.qos_s):.3f} ms"
+    )
+    print()
+
+    print("per-layer schedule (granularity g, HFO clock):")
+    for node_id in sorted(result.plan.layer_plans):
+        lp = result.plan.layer_plans[node_id]
+        layer = model.nodes[node_id - 1].layer
+        print(
+            f"  [{node_id:2d}] {layer.name:10s} {layer.kind.value:10s} "
+            f"g={lp.granularity:2d} @ {to_mhz(lp.hfo.sysclk_hz):5.0f} MHz"
+        )
+    print()
+
+    # Visualize the LFO/HFO alternation of the deployed schedule.
+    from repro.analysis import render_gantt
+
+    report = pipeline.deploy(model, result.plan)
+    print(render_gantt(report, width=76, max_rows=6))
+    print()
+
+    # Deploy on the DVFS runtime and compare with the baselines.
+    row = pipeline.compare(model, MODERATE)
+    print(f"energy over the {to_ms(row.qos_s):.3f} ms window:")
+    print(f"  TinyEngine          : {to_mj(row.tinyengine.energy_j):7.4f} mJ")
+    print(f"  TinyEngine + gating : {to_mj(row.clock_gated.energy_j):7.4f} mJ")
+    print(f"  DAE + DVFS (ours)   : {to_mj(row.ours.energy_j):7.4f} mJ")
+    print(f"  savings vs TinyEngine : {row.savings_vs_tinyengine:6.1%}")
+    print(f"  savings vs clock-gated: {row.savings_vs_clock_gated:6.1%}")
+    print(
+        f"  QoS met: {row.ours.met_qos} "
+        f"(latency {to_ms(row.ours.latency_s):.3f} ms, "
+        f"{row.ours.relock_count} PLL re-locks, "
+        f"{row.ours.mux_switch_count} mux switches)"
+    )
+
+
+if __name__ == "__main__":
+    main()

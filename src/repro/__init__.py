@@ -1,0 +1,71 @@
+"""repro: Decoupled Access-Execute enabled DVFS for tinyML on STM32 MCUs.
+
+A faithful Python reproduction of the DATE 2024 paper by Alvanaki,
+Katsaragakis, Masouros, Xydis and Soudris.  The physical STM32F767ZI
+testbed is replaced by calibrated simulation substrates (clock tree,
+power model, core timing, cache -- see DESIGN.md); the methodology
+itself (DAE restructuring, DAE x clocking DSE, Pareto extraction,
+MCKP-based QoS-aware energy optimization) is implemented exactly as
+published.
+
+Quickstart::
+
+    from repro import DAEDVFSPipeline, build_vww
+    from repro.optimize import MODERATE
+
+    pipeline = DAEDVFSPipeline()
+    row = pipeline.compare(build_vww(), MODERATE)
+    print(f"energy vs TinyEngine: -{row.savings_vs_tinyengine:.1%}")
+"""
+
+from .errors import (
+    ClockConfigError,
+    ClockSwitchError,
+    DesignSpaceError,
+    GraphError,
+    PowerModelError,
+    ProfilingError,
+    QoSInfeasibleError,
+    QuantizationError,
+    ReproError,
+    ShapeError,
+    SolverError,
+    TraceError,
+)
+from .mcu.board import Board, make_nucleo_f767zi
+from .nn.models import (
+    PAPER_MODELS,
+    build_mbv2,
+    build_person_detection,
+    build_tiny_test_model,
+    build_vww,
+)
+from .pipeline import ComparisonResult, DAEDVFSPipeline, OptimizationResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClockConfigError",
+    "ClockSwitchError",
+    "DesignSpaceError",
+    "GraphError",
+    "PowerModelError",
+    "ProfilingError",
+    "QoSInfeasibleError",
+    "QuantizationError",
+    "ReproError",
+    "ShapeError",
+    "SolverError",
+    "TraceError",
+    "Board",
+    "make_nucleo_f767zi",
+    "PAPER_MODELS",
+    "build_mbv2",
+    "build_person_detection",
+    "build_tiny_test_model",
+    "build_vww",
+    "ComparisonResult",
+    "DAEDVFSPipeline",
+    "OptimizationResult",
+    "__version__",
+]

@@ -1,0 +1,49 @@
+"""Schedule/figure analysis helpers and the Sec. II-A microbenchmark."""
+
+from .battery import Battery, DutyCycle, LifetimeEstimate, estimate_lifetime
+from .microbench import MicrobenchResult, run_addition_loop
+from .sweep import QoSSweepRow, qos_energy_sweep, saturation_slack
+from .timeline import (
+    TimelineEvent,
+    timeline_csv,
+    timeline_events,
+    write_timeline_csv,
+)
+from .fronts import fronts_csv, write_fronts_csv
+from .gantt import render_gantt
+from .hotspots import Hotspot, identify_hotspots
+from .figures import (
+    frequency_histogram,
+    granularity_histogram,
+    mean_frequency_hz,
+    share_at_frequency,
+    share_at_granularity,
+    share_at_or_below_frequency,
+)
+
+__all__ = [
+    "Battery",
+    "DutyCycle",
+    "LifetimeEstimate",
+    "estimate_lifetime",
+    "TimelineEvent",
+    "timeline_csv",
+    "timeline_events",
+    "write_timeline_csv",
+    "MicrobenchResult",
+    "run_addition_loop",
+    "QoSSweepRow",
+    "qos_energy_sweep",
+    "saturation_slack",
+    "fronts_csv",
+    "write_fronts_csv",
+    "render_gantt",
+    "Hotspot",
+    "identify_hotspots",
+    "frequency_histogram",
+    "granularity_histogram",
+    "mean_frequency_hz",
+    "share_at_frequency",
+    "share_at_granularity",
+    "share_at_or_below_frequency",
+]

@@ -1,0 +1,113 @@
+"""Schedule statistics backing the paper's Fig. 6 analysis.
+
+Fig. 6 reports how the optimizer distributes HFO frequencies and DAE
+granularities across a model's layers under different QoS constraints:
+the share of pointwise vs. depthwise layers at the maximum 216 MHz,
+the share parked at the lowest frequencies, and how tight budgets push
+layers towards the maximum while relaxed budgets push granularities
+towards 16.  These helpers compute exactly those statistics from a
+:class:`~repro.engine.schedule.DeploymentPlan`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, Optional
+
+from ..engine.schedule import DeploymentPlan
+from ..nn.graph import Model
+from ..nn.layers.base import LayerKind
+from ..units import MHZ
+
+
+def _kind_of(model: Model, node_id: int) -> LayerKind:
+    return model.nodes[node_id - 1].layer.kind
+
+
+def frequency_histogram(
+    plan: DeploymentPlan,
+    model: Model,
+    kinds: Optional[Iterable[LayerKind]] = None,
+) -> Dict[float, int]:
+    """Layer count per HFO frequency (MHz), optionally kind-filtered."""
+    wanted = set(kinds) if kinds is not None else None
+    histogram: Counter = Counter()
+    for node_id, layer_plan in plan.layer_plans.items():
+        if wanted is not None and _kind_of(model, node_id) not in wanted:
+            continue
+        histogram[round(layer_plan.hfo.sysclk_hz / MHZ, 1)] += 1
+    return dict(histogram)
+
+
+def granularity_histogram(plan: DeploymentPlan) -> Dict[int, int]:
+    """Layer count per DAE granularity."""
+    histogram: Counter = Counter()
+    for layer_plan in plan.layer_plans.values():
+        histogram[layer_plan.granularity] += 1
+    return dict(histogram)
+
+
+def share_at_frequency(
+    plan: DeploymentPlan,
+    model: Model,
+    frequency_hz: float,
+    kinds: Optional[Iterable[LayerKind]] = None,
+    tolerance_hz: float = 1.0,
+) -> float:
+    """Fraction of (kind-filtered) layers scheduled at one frequency."""
+    wanted = set(kinds) if kinds is not None else None
+    total = 0
+    matching = 0
+    for node_id, layer_plan in plan.layer_plans.items():
+        if wanted is not None and _kind_of(model, node_id) not in wanted:
+            continue
+        total += 1
+        if abs(layer_plan.hfo.sysclk_hz - frequency_hz) <= tolerance_hz:
+            matching += 1
+    if total == 0:
+        return 0.0
+    return matching / total
+
+
+def share_at_or_below_frequency(
+    plan: DeploymentPlan,
+    model: Model,
+    frequency_hz: float,
+    kinds: Optional[Iterable[LayerKind]] = None,
+) -> float:
+    """Fraction of (kind-filtered) layers at or below a frequency.
+
+    The paper's "lowest operating frequencies" bucket (75/100 MHz in
+    its grid) maps to this with ``frequency_hz`` at the bucket's top.
+    """
+    wanted = set(kinds) if kinds is not None else None
+    total = 0
+    matching = 0
+    for node_id, layer_plan in plan.layer_plans.items():
+        if wanted is not None and _kind_of(model, node_id) not in wanted:
+            continue
+        total += 1
+        if layer_plan.hfo.sysclk_hz <= frequency_hz + 1.0:
+            matching += 1
+    if total == 0:
+        return 0.0
+    return matching / total
+
+
+def share_at_granularity(plan: DeploymentPlan, granularity: int) -> float:
+    """Fraction of scheduled layers using one granularity."""
+    plans = plan.layer_plans
+    if not plans:
+        return 0.0
+    matching = sum(
+        1 for lp in plans.values() if lp.granularity == granularity
+    )
+    return matching / len(plans)
+
+
+def mean_frequency_hz(plan: DeploymentPlan) -> float:
+    """Latency-unweighted mean HFO frequency of the schedule."""
+    plans = plan.layer_plans
+    if not plans:
+        return 0.0
+    return sum(lp.hfo.sysclk_hz for lp in plans.values()) / len(plans)

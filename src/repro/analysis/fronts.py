@@ -1,0 +1,59 @@
+"""Pareto-front data export.
+
+Dumps the per-layer solution clouds / Pareto fronts the DSE produced
+(the data behind the paper's Fig. 4 scatter and Step 2B) as CSV, for
+external plotting or archival next to the deployment plan.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import pathlib
+from typing import Dict, Sequence, Union
+
+from ..dse.explorer import SolutionPoint
+
+CSV_HEADER = (
+    "node_id",
+    "layer_name",
+    "layer_kind",
+    "granularity",
+    "hfo_mhz",
+    "latency_us",
+    "energy_uj",
+)
+
+
+def fronts_csv(fronts: Dict[int, Sequence[SolutionPoint]]) -> str:
+    """Render per-layer solution points as CSV text.
+
+    Accepts either full clouds or Pareto-pruned fronts (any mapping of
+    node id to :class:`SolutionPoint` sequences, e.g.
+    ``OptimizationResult.pareto_fronts``).
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(CSV_HEADER)
+    for node_id in sorted(fronts):
+        for point in fronts[node_id]:
+            writer.writerow(
+                (
+                    node_id,
+                    point.layer_name,
+                    point.layer_kind.value,
+                    point.granularity,
+                    f"{point.hfo.sysclk_hz / 1e6:.1f}",
+                    f"{point.latency_s * 1e6:.3f}",
+                    f"{point.energy_j * 1e6:.4f}",
+                )
+            )
+    return buffer.getvalue()
+
+
+def write_fronts_csv(
+    fronts: Dict[int, Sequence[SolutionPoint]],
+    path: Union[str, pathlib.Path],
+) -> None:
+    """Write the per-layer solution points to a CSV file."""
+    pathlib.Path(path).write_text(fronts_csv(fronts))

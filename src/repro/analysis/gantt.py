@@ -1,0 +1,90 @@
+"""ASCII Gantt rendering of a DVFS execution.
+
+Turns an :class:`~repro.engine.runtime.InferenceReport` into a text
+timeline showing when the core ran at which clock and in which phase
+-- the visual intuition behind Listing 1's LFO/HFO alternation,
+without needing a plotting stack.  Used by examples and handy when
+debugging schedules in a terminal.
+
+Legend: ``#`` compute (HFO), ``m`` memory (LFO), ``s`` switch,
+``.`` idle.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..engine.runtime import InferenceReport
+from ..power.energy import EnergyCategory
+from .timeline import timeline_events
+
+_GLYPHS = {
+    EnergyCategory.COMPUTE: "#",
+    EnergyCategory.MEMORY: "m",
+    EnergyCategory.SWITCH: "s",
+    EnergyCategory.IDLE: ".",
+    EnergyCategory.OTHER: "?",
+}
+
+
+def render_gantt(
+    report: InferenceReport,
+    width: int = 100,
+    max_rows: int = 24,
+) -> str:
+    """Render the execution as an ASCII strip chart.
+
+    Each character cell covers ``total_time / width`` seconds and shows
+    the phase that dominates it; a right-hand column labels the layer
+    active at the row's start.
+
+    Args:
+        report: the executed schedule.
+        width: characters per row.
+        max_rows: cap on emitted rows (long executions are truncated
+            with a note).
+    """
+    events = timeline_events(report)
+    if not events:
+        return "(empty execution)"
+    total = events[-1].end_s
+    cell = total / (width * max_rows)
+    # Dominant category per cell, by accumulated duration.
+    cells: List[str] = []
+    event_index = 0
+    for i in range(width * max_rows):
+        start = i * cell
+        end = start + cell
+        weights = {}
+        while event_index < len(events) and events[event_index].end_s <= start:
+            event_index += 1
+        j = event_index
+        while j < len(events) and events[j].start_s < end:
+            overlap = min(end, events[j].end_s) - max(start, events[j].start_s)
+            if overlap > 0:
+                weights[events[j].category] = (
+                    weights.get(events[j].category, 0.0) + overlap
+                )
+            j += 1
+        if not weights:
+            cells.append(" ")
+        else:
+            dominant = max(weights, key=lambda c: weights[c])
+            cells.append(_GLYPHS[dominant])
+    # Label each row with the layer active at its first instant.
+    lines = [
+        f"timeline: {total * 1e3:.3f} ms total, "
+        f"{cell * width * 1e3:.3f} ms per row "
+        "(# compute, m memory, s switch, . idle)"
+    ]
+    label_at = {}
+    for event in events:
+        row = int(event.start_s / (cell * width))
+        label_at.setdefault(row, event.label)
+    for row in range(max_rows):
+        strip = "".join(cells[row * width:(row + 1) * width])
+        if not strip.strip():
+            break
+        label = label_at.get(row, "")
+        lines.append(f"{strip} | {label}")
+    return "\n".join(lines)

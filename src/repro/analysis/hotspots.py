@@ -1,0 +1,91 @@
+"""Hotspot identification (paper Step 1A).
+
+The methodology's first action is to "identify the CNN model's most
+computationally-intensive and time-consuming layers" (Fig. 3, 1A)
+before applying DAE.  This helper ranks a model's layers by their
+predicted latency/energy at the baseline 216 MHz clock, so users can
+see where the optimization leverage is before running the full DSE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..clock.configs import max_performance_config
+from ..dse.explorer import LayerCostModel
+from ..engine.cost import TraceBuilder, TraceParams
+from ..mcu.board import Board
+from ..nn.graph import Model
+from ..nn.layers.base import LayerKind
+
+
+@dataclass(frozen=True)
+class Hotspot:
+    """One layer's baseline cost."""
+
+    node_id: int
+    layer_name: str
+    layer_kind: LayerKind
+    latency_s: float
+    energy_j: float
+    macs: int
+    latency_share: float
+    supports_dae: bool
+
+
+def identify_hotspots(
+    board: Board,
+    model: Model,
+    top_k: Optional[int] = None,
+    trace_params: Optional[TraceParams] = None,
+) -> List[Hotspot]:
+    """Rank conv-family layers by baseline (216 MHz, fused) latency.
+
+    Args:
+        board: the simulated board.
+        model: the model to analyze.
+        top_k: return only the ``top_k`` most expensive layers (all
+            when omitted).
+        trace_params: access-pattern constants.
+
+    Returns:
+        Hotspots in descending latency order, each annotated with its
+        share of the total conv-layer latency.
+    """
+    tracer = TraceBuilder(board, trace_params)
+    pricer = LayerCostModel(board)
+    clock = max_performance_config()
+    lfo = clock  # fused pricing: memory phases never run at LFO here
+    rows = []
+    for node in model.conv_nodes():
+        trace = tracer.build(model, node, 0)
+        latency, energy = pricer.price(
+            trace, clock, lfo, assume_relock=False
+        )
+        rows.append(
+            (
+                node,
+                latency,
+                energy,
+                node.layer.macs(*model.input_shapes_of(node)),
+            )
+        )
+    total_latency = sum(latency for _, latency, _, _ in rows) or 1.0
+    rows.sort(key=lambda row: row[1], reverse=True)
+    hotspots = [
+        Hotspot(
+            node_id=node.node_id,
+            layer_name=node.layer.name,
+            layer_kind=node.layer.kind,
+            latency_s=latency,
+            energy_j=energy,
+            macs=macs,
+            latency_share=latency / total_latency,
+            supports_dae=node.layer.supports_dae,
+        )
+        for node, latency, energy, macs in rows
+    ]
+    if top_k is not None:
+        hotspots = hotspots[:top_k]
+    return hotspots

@@ -1,0 +1,68 @@
+"""The paper's Sec. II-A addition-loop microbenchmark.
+
+To characterize clock configurations, the paper runs "repetitive
+addition operations within a loop" and records board power per
+(HSE, PLLM, PLLN) tuple.  This module reproduces that workload on the
+simulated board: a pure-compute segment of ``iterations`` add
+operations, priced under any clock configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..clock.configs import ClockConfig
+from ..errors import ShapeError
+from ..mcu.board import Board
+from ..mcu.core import SegmentWorkload
+from ..power.model import PowerState
+
+#: Cycles per loop iteration: one add plus the loop compare/branch.
+CYCLES_PER_ITERATION = 3.0
+
+
+@dataclass(frozen=True)
+class MicrobenchResult:
+    """Measured execution of the addition loop under one clock config."""
+
+    config: ClockConfig
+    iterations: int
+    latency_s: float
+    energy_j: float
+
+    @property
+    def power_w(self) -> float:
+        """Average board power during the loop."""
+        if self.latency_s == 0.0:
+            return 0.0
+        return self.energy_j / self.latency_s
+
+
+def run_addition_loop(
+    board: Board,
+    config: ClockConfig,
+    iterations: int = 1_000_000,
+) -> MicrobenchResult:
+    """Run the addition microbenchmark under ``config``.
+
+    Args:
+        board: the simulated board.
+        config: clock configuration to characterize.
+        iterations: loop trip count.
+
+    Raises:
+        ShapeError: for a non-positive iteration count.
+    """
+    if iterations <= 0:
+        raise ShapeError(f"iterations must be positive, got {iterations}")
+    workload = SegmentWorkload(
+        cpu_cycles=iterations * CYCLES_PER_ITERATION
+    )
+    latency = board.core.segment_time_s(workload, config.sysclk_hz)
+    power = board.power_model.power(config, PowerState.ACTIVE_COMPUTE)
+    return MicrobenchResult(
+        config=config,
+        iterations=iterations,
+        latency_s=latency,
+        energy_j=latency * power,
+    )

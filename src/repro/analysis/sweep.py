@@ -1,0 +1,100 @@
+"""QoS-sweep analysis: the model-level energy/latency trade-off curve.
+
+The paper evaluates three discrete QoS points; sweeping the budget
+continuously exposes the whole frontier -- where the savings saturate
+(the unconstrained energy optimum), where the baselines cross, and how
+the mean operating frequency migrates.  Used by the ``qos_sweep``
+example and available as a library call for custom studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..errors import SolverError
+from ..nn.graph import Model
+from ..optimize.qos import QoSLevel
+from .figures import mean_frequency_hz
+
+
+@dataclass(frozen=True)
+class QoSSweepRow:
+    """One point of the energy-vs-slack frontier."""
+
+    slack: float
+    qos_s: float
+    ours_energy_j: float
+    tinyengine_energy_j: float
+    clock_gated_energy_j: float
+    ours_latency_s: float
+    mean_hfo_hz: float
+    met_qos: bool
+
+    @property
+    def savings_vs_tinyengine(self) -> float:
+        """Fractional energy reduction vs. plain TinyEngine."""
+        return 1.0 - self.ours_energy_j / self.tinyengine_energy_j
+
+    @property
+    def savings_vs_clock_gated(self) -> float:
+        """Fractional energy reduction vs. the gated baseline."""
+        return 1.0 - self.ours_energy_j / self.clock_gated_energy_j
+
+
+def qos_energy_sweep(
+    pipeline,
+    model: Model,
+    slacks: Sequence[float],
+) -> List[QoSSweepRow]:
+    """Sweep the QoS slack and collect the comparison at each point.
+
+    Args:
+        pipeline: a :class:`~repro.pipeline.DAEDVFSPipeline`.
+        model: the model under study.
+        slacks: relative slack values (0.10 = +10% over baseline).
+
+    Raises:
+        SolverError: for an empty or non-ascending slack sequence.
+    """
+    if not slacks:
+        raise SolverError("qos_energy_sweep needs at least one slack value")
+    if list(slacks) != sorted(slacks):
+        raise SolverError("slack values must be ascending")
+    rows: List[QoSSweepRow] = []
+    for slack in slacks:
+        level = QoSLevel(name=f"{slack:.0%}", slack=slack)
+        comparison = pipeline.compare(model, level)
+        plan = pipeline.optimize(model, qos_level=level).plan
+        rows.append(
+            QoSSweepRow(
+                slack=slack,
+                qos_s=comparison.qos_s,
+                ours_energy_j=comparison.ours.energy_j,
+                tinyengine_energy_j=comparison.tinyengine.energy_j,
+                clock_gated_energy_j=comparison.clock_gated.energy_j,
+                ours_latency_s=comparison.ours.latency_s,
+                mean_hfo_hz=mean_frequency_hz(plan),
+                met_qos=comparison.ours.met_qos,
+            )
+        )
+    return rows
+
+
+def saturation_slack(rows: Sequence[QoSSweepRow], tolerance: float = 0.01) -> float:
+    """The smallest swept slack beyond which our energy stops improving.
+
+    Identifies where the schedule reaches its unconstrained optimum:
+    the first row whose energy is within ``tolerance`` of the best
+    energy over the whole sweep.
+
+    Raises:
+        SolverError: on an empty sweep.
+    """
+    if not rows:
+        raise SolverError("empty sweep")
+    best = min(row.ours_energy_j for row in rows)
+    for row in rows:
+        if row.ours_energy_j <= best * (1.0 + tolerance):
+            return row.slack
+    return rows[-1].slack

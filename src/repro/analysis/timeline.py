@@ -1,0 +1,88 @@
+"""Execution-timeline export.
+
+Flattens an :class:`~repro.engine.runtime.InferenceReport`'s energy
+ledger into an ordered timeline of (start, duration, layer, category,
+power) events, and writes it as CSV — the raw material for the kind of
+power-over-time plots the paper's Figs. 4-6 are built from, and a
+practical debugging artifact when a schedule behaves unexpectedly.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import pathlib
+from dataclasses import dataclass
+from typing import List, Union
+
+from ..engine.runtime import InferenceReport
+from ..power.energy import EnergyCategory
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One homogeneous interval of the execution, with absolute time."""
+
+    start_s: float
+    duration_s: float
+    label: str
+    category: EnergyCategory
+    power_w: float
+
+    @property
+    def end_s(self) -> float:
+        """Interval end time."""
+        return self.start_s + self.duration_s
+
+    @property
+    def energy_j(self) -> float:
+        """Interval energy."""
+        return self.duration_s * self.power_w
+
+
+def timeline_events(report: InferenceReport) -> List[TimelineEvent]:
+    """The report's ledger as absolute-time events, in order."""
+    events: List[TimelineEvent] = []
+    now = 0.0
+    for interval in report.account.intervals:
+        events.append(
+            TimelineEvent(
+                start_s=now,
+                duration_s=interval.duration_s,
+                label=interval.label,
+                category=interval.category,
+                power_w=interval.power_w,
+            )
+        )
+        now += interval.duration_s
+    return events
+
+
+CSV_HEADER = ("start_s", "duration_s", "label", "category", "power_w",
+              "energy_j")
+
+
+def timeline_csv(report: InferenceReport) -> str:
+    """Render the timeline as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(CSV_HEADER)
+    for event in timeline_events(report):
+        writer.writerow(
+            (
+                f"{event.start_s:.9f}",
+                f"{event.duration_s:.9f}",
+                event.label,
+                event.category.value,
+                f"{event.power_w:.6f}",
+                f"{event.energy_j:.9e}",
+            )
+        )
+    return buffer.getvalue()
+
+
+def write_timeline_csv(
+    report: InferenceReport, path: Union[str, pathlib.Path]
+) -> None:
+    """Write the timeline CSV to ``path``."""
+    pathlib.Path(path).write_text(timeline_csv(report))

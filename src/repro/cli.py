@@ -1,0 +1,357 @@
+"""Command-line interface for the DAE+DVFS toolchain.
+
+Exposes the end-to-end flow without writing Python::
+
+    repro-dvfs summary mbv2
+    repro-dvfs optimize vww --qos-percent 30 --output vww.plan.json
+    repro-dvfs deploy vww --plan vww.plan.json --timeline vww.csv
+    repro-dvfs codegen vww --plan vww.plan.json --outdir firmware/
+    repro-dvfs compare pd --qos-percents 10 30 50
+    repro-dvfs microbench
+    repro-dvfs lifetime vww --qos-percent 30 --capacity-mah 1200
+
+Model names: ``vww``, ``pd``, ``mbv2`` (the paper's suite) and
+``tiny`` (a small test CNN).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional
+
+from .analysis import (
+    Battery,
+    DutyCycle,
+    estimate_lifetime,
+    run_addition_loop,
+    write_timeline_csv,
+)
+from .clock import enumerate_configs
+from .engine import load_plan, save_plan
+from .errors import ReproError
+from .nn import PAPER_MODELS, build_tiny_test_model
+from .nn.graph import Model
+from .optimize import QoSLevel
+from .pipeline import DAEDVFSPipeline
+from .units import MHZ, to_mhz, to_mj, to_ms
+
+MODEL_BUILDERS: Dict[str, Callable[[], Model]] = {
+    **PAPER_MODELS,
+    "tiny": build_tiny_test_model,
+}
+
+
+def _build_model(name: str) -> Model:
+    try:
+        return MODEL_BUILDERS[name]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown model {name!r}; choose from {sorted(MODEL_BUILDERS)}"
+        )
+
+
+def _qos_level(args: argparse.Namespace) -> Optional[QoSLevel]:
+    if getattr(args, "qos_percent", None) is not None:
+        return QoSLevel(
+            name=f"{args.qos_percent}%", slack=args.qos_percent / 100.0
+        )
+    return None
+
+
+def _qos_seconds(args: argparse.Namespace) -> Optional[float]:
+    if getattr(args, "qos_ms", None) is not None:
+        return args.qos_ms * 1e-3
+    return None
+
+
+def cmd_summary(args: argparse.Namespace) -> int:
+    model = _build_model(args.model)
+    print(model.summary())
+    print(
+        f"DAE-eligible conv layers: {model.dae_layer_fraction():.0%} "
+        f"({len(model.dae_nodes())}/{len(model.conv_nodes())})"
+    )
+    return 0
+
+
+def cmd_optimize(args: argparse.Namespace) -> int:
+    model = _build_model(args.model)
+    pipeline = DAEDVFSPipeline(solver=args.solver)
+    result = pipeline.optimize(
+        model, qos_level=_qos_level(args), qos_s=_qos_seconds(args)
+    )
+    plan = result.plan
+    if args.harmonize:
+        plan = pipeline.harmonize(model, result).plan
+    print(
+        f"baseline {to_ms(result.baseline_latency_s):.3f} ms, "
+        f"budget {to_ms(result.qos_s):.3f} ms"
+    )
+    for node_id in sorted(plan.layer_plans):
+        lp = plan.layer_plans[node_id]
+        layer = model.nodes[node_id - 1].layer
+        print(
+            f"  [{node_id:3d}] {layer.name:24s} g={lp.granularity:2d} "
+            f"@ {to_mhz(lp.hfo.sysclk_hz):5.0f} MHz"
+        )
+    if args.output:
+        save_plan(plan, args.output)
+        print(f"plan written to {args.output}")
+    return 0
+
+
+def cmd_deploy(args: argparse.Namespace) -> int:
+    model = _build_model(args.model)
+    pipeline = DAEDVFSPipeline()
+    plan = load_plan(args.plan)
+    report = pipeline.deploy(model, plan, qos_s=_qos_seconds(args))
+    print(report.summary())
+    print(f"QoS met: {report.met_qos}")
+    if args.timeline:
+        write_timeline_csv(report, args.timeline)
+        print(f"timeline written to {args.timeline}")
+    return 0
+
+
+def cmd_codegen(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from .codegen import generate_firmware
+
+    model = _build_model(args.model)
+    plan = load_plan(args.plan)
+    outdir = pathlib.Path(args.outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    for filename, contents in generate_firmware(model, plan).items():
+        path = outdir / filename
+        path.write_text(contents)
+        print(f"wrote {path}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    model = _build_model(args.model)
+    pipeline = DAEDVFSPipeline()
+    print(
+        f"{'QoS':>6s} {'TinyEngine':>11s} {'TE+gating':>10s} {'ours':>9s}"
+        f" {'vs TE':>7s} {'vs CG':>7s}"
+    )
+    for percent in args.qos_percents:
+        level = QoSLevel(name=f"{percent}%", slack=percent / 100.0)
+        row = pipeline.compare(model, level)
+        print(
+            f"{percent:5d}% {to_mj(row.tinyengine.energy_j):9.3f}mJ"
+            f" {to_mj(row.clock_gated.energy_j):8.3f}mJ"
+            f" {to_mj(row.ours.energy_j):7.3f}mJ"
+            f" {row.savings_vs_tinyengine:7.1%}"
+            f" {row.savings_vs_clock_gated:7.1%}"
+        )
+    return 0
+
+
+def cmd_microbench(args: argparse.Namespace) -> int:
+    pipeline = DAEDVFSPipeline()
+    configs = enumerate_configs(
+        hse_choices=[16 * MHZ, 25 * MHZ, 50 * MHZ],
+        pllm_choices=[8, 16, 25, 50],
+        plln_choices=[75, 100, 150, 216, 336, 432],
+        include_hse_direct=True,
+    )
+    results = sorted(
+        (run_addition_loop(pipeline.board, c) for c in configs),
+        key=lambda r: (r.config.sysclk_hz, r.power_w),
+    )
+    for r in results:
+        print(
+            f"{r.config.describe():>56s}  {r.power_w * 1e3:7.1f} mW  "
+            f"{to_ms(r.latency_s):7.3f} ms/Mops"
+        )
+    return 0
+
+
+def cmd_stream(args: argparse.Namespace) -> int:
+    from .engine import IdlePolicy, run_stream
+    from .power import ThermalModelParams, thermal_replay
+
+    model = _build_model(args.model)
+    pipeline = DAEDVFSPipeline()
+    level = _qos_level(args) or QoSLevel(name="30%", slack=0.30)
+    result = pipeline.optimize(model, qos_level=level)
+    policy = IdlePolicy(args.idle)
+    stream = run_stream(
+        pipeline.runtime, model, result.plan,
+        period_s=result.qos_s, windows=args.windows, idle_policy=policy,
+    )
+    print(
+        f"{stream.windows} windows of {to_ms(stream.period_s):.2f} ms "
+        f"({policy.value} idle): {stream.total_energy_j * 1e3:.2f} mJ, "
+        f"avg {stream.average_power_w * 1e3:.1f} mW, "
+        f"{stream.deadline_misses} deadline misses"
+    )
+    params = ThermalModelParams(
+        leakage_ref_w=pipeline.board.power_model.params.p_mcu_leakage_w
+    )
+    replay = thermal_replay(stream.power_trace(), params, max_step_s=5e-3)
+    print(
+        f"thermal: peak {replay.peak_temperature_c:.1f} C, "
+        f"leakage correction {replay.leakage_correction:+.2%}"
+    )
+    return 0
+
+
+def cmd_hotspots(args: argparse.Namespace) -> int:
+    from .analysis import identify_hotspots
+
+    model = _build_model(args.model)
+    pipeline = DAEDVFSPipeline()
+    hotspots = identify_hotspots(
+        pipeline.board, model, top_k=args.top
+    )
+    print(f"{'layer':>26s} {'kind':>10s} {'latency':>9s} {'share':>6s}"
+          f" {'DAE':>4s}")
+    for h in hotspots:
+        print(
+            f"{h.layer_name:>26s} {h.layer_kind.value:>10s}"
+            f" {to_ms(h.latency_s):7.3f}ms {h.latency_share:6.1%}"
+            f" {'yes' if h.supports_dae else 'no':>4s}"
+        )
+    return 0
+
+
+def cmd_selftest(args: argparse.Namespace) -> int:
+    from .selftest import run_selftest
+
+    result = run_selftest()
+    print(result.summary())
+    return 0 if result.ok else 1
+
+
+def cmd_lifetime(args: argparse.Namespace) -> int:
+    model = _build_model(args.model)
+    pipeline = DAEDVFSPipeline()
+    level = _qos_level(args) or QoSLevel(name="30%", slack=0.30)
+    row = pipeline.compare(model, level)
+    battery = Battery(capacity_mah=args.capacity_mah)
+    duty = DutyCycle(windows_per_hour=args.windows_per_hour)
+    print(
+        f"battery {battery.capacity_mah:.0f} mAh @ {battery.voltage_v:.1f} V, "
+        f"{duty.windows_per_hour:.0f} inferences/hour:"
+    )
+    for name, report in (
+        ("TinyEngine", row.tinyengine),
+        ("TinyEngine + gating", row.clock_gated),
+        ("DAE + DVFS (ours)", row.ours),
+    ):
+        life = estimate_lifetime(battery, report, duty)
+        print(
+            f"  {name:20s} {life.days:8.1f} days "
+            f"({life.energy_per_hour_j:.3f} J/h)"
+        )
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-dvfs",
+        description="DAE-enabled DVFS for tinyML on STM32 (DATE 2024 repro)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_model(p):
+        p.add_argument("model", help=f"one of {sorted(MODEL_BUILDERS)}")
+
+    def add_qos(p, required=False):
+        group = p.add_mutually_exclusive_group(required=required)
+        group.add_argument(
+            "--qos-percent", type=float,
+            help="latency slack over the TinyEngine baseline, in percent",
+        )
+        group.add_argument(
+            "--qos-ms", type=float, help="absolute latency budget in ms"
+        )
+
+    p = sub.add_parser("summary", help="print a model's layer table")
+    add_model(p)
+    p.set_defaults(func=cmd_summary)
+
+    p = sub.add_parser("optimize", help="produce a deployment plan")
+    add_model(p)
+    add_qos(p, required=True)
+    p.add_argument("--solver", choices=("dp", "greedy"), default="dp")
+    p.add_argument("--harmonize", action="store_true",
+                   help="run the re-lock reduction pass on the plan")
+    p.add_argument("--output", "-o", help="write the plan JSON here")
+    p.set_defaults(func=cmd_optimize)
+
+    p = sub.add_parser("deploy", help="execute a saved plan")
+    add_model(p)
+    add_qos(p)
+    p.add_argument("--plan", required=True, help="plan JSON to execute")
+    p.add_argument("--timeline", help="write a CSV execution timeline here")
+    p.set_defaults(func=cmd_deploy)
+
+    p = sub.add_parser(
+        "codegen", help="emit C firmware scaffolding from a saved plan"
+    )
+    add_model(p)
+    p.add_argument("--plan", required=True, help="plan JSON to translate")
+    p.add_argument("--outdir", default=".", help="output directory")
+    p.set_defaults(func=cmd_codegen)
+
+    p = sub.add_parser("compare", help="ours vs the TinyEngine baselines")
+    add_model(p)
+    p.add_argument(
+        "--qos-percents", type=int, nargs="+", default=[10, 30, 50]
+    )
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser(
+        "microbench", help="Fig. 2 style clock/power characterization"
+    )
+    p.set_defaults(func=cmd_microbench)
+
+    p = sub.add_parser(
+        "stream", help="periodic-window streaming + thermal replay"
+    )
+    add_model(p)
+    add_qos(p)
+    p.add_argument("--windows", type=int, default=100)
+    p.add_argument(
+        "--idle", choices=("hot", "gated", "stop"), default="gated"
+    )
+    p.set_defaults(func=cmd_stream)
+
+    p = sub.add_parser(
+        "hotspots", help="rank layers by baseline latency (Step 1A)"
+    )
+    add_model(p)
+    p.add_argument("--top", type=int, default=10)
+    p.set_defaults(func=cmd_hotspots)
+
+    p = sub.add_parser("selftest", help="fast installation sanity sweep")
+    p.set_defaults(func=cmd_selftest)
+
+    p = sub.add_parser("lifetime", help="battery-lifetime projection")
+    add_model(p)
+    add_qos(p)
+    p.add_argument("--capacity-mah", type=float, default=1200.0)
+    p.add_argument("--windows-per-hour", type=float, default=60.0)
+    p.set_defaults(func=cmd_lifetime)
+
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    """CLI entry point."""
+    args = make_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,72 @@
+"""STM32 clock-tree model (paper Sec. II).
+
+Public surface:
+
+* :class:`~repro.clock.configs.ClockConfig` and the helpers
+  :func:`~repro.clock.configs.lfo_config`,
+  :func:`~repro.clock.configs.pll_config`,
+  :func:`~repro.clock.configs.hfo_grid`,
+  :func:`~repro.clock.configs.enumerate_configs`,
+  :func:`~repro.clock.configs.iso_frequency_groups`,
+  :func:`~repro.clock.configs.min_power_config`,
+  :func:`~repro.clock.configs.max_performance_config`;
+* :class:`~repro.clock.pll.PLLSettings` / :class:`~repro.clock.pll.PLL`;
+* :class:`~repro.clock.rcc.RCC` with its switch-event log;
+* :class:`~repro.clock.switching.SwitchCostModel`.
+"""
+
+from .configs import (
+    ClockConfig,
+    SysclkSource,
+    PAPER_HSE_HZ,
+    PAPER_LFO_HZ,
+    PAPER_PLLM_VALUES,
+    PAPER_PLLN_VALUES,
+    enumerate_configs,
+    hfo_grid,
+    iso_frequency_groups,
+    lfo_config,
+    max_performance_config,
+    min_power_config,
+    pll_config,
+)
+from .pll import PLL, PLLSettings, PLL_LOCK_TIME_S, SYSCLK_MAX_HZ
+from .rcc import RCC, ClockSwitchEvent
+from .registers import (
+    RCCRegisters,
+    decode_registers,
+    encode_registers,
+)
+from .sources import Oscillator, OscillatorKind, make_hse, make_hsi
+from .switching import SwitchCost, SwitchCostModel
+
+__all__ = [
+    "ClockConfig",
+    "SysclkSource",
+    "PAPER_HSE_HZ",
+    "PAPER_LFO_HZ",
+    "PAPER_PLLM_VALUES",
+    "PAPER_PLLN_VALUES",
+    "enumerate_configs",
+    "hfo_grid",
+    "iso_frequency_groups",
+    "lfo_config",
+    "max_performance_config",
+    "min_power_config",
+    "pll_config",
+    "PLL",
+    "PLLSettings",
+    "PLL_LOCK_TIME_S",
+    "SYSCLK_MAX_HZ",
+    "RCC",
+    "ClockSwitchEvent",
+    "RCCRegisters",
+    "decode_registers",
+    "encode_registers",
+    "Oscillator",
+    "OscillatorKind",
+    "make_hse",
+    "make_hsi",
+    "SwitchCost",
+    "SwitchCostModel",
+]

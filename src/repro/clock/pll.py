@@ -1,0 +1,223 @@
+"""PLL model for the STM32F7 main PLL.
+
+Implements Eq. 1 of the paper:
+
+    F_SYSCLK = F_{HSE,HSI} * PLLN / (PLLM * PLLP)
+
+together with the hardware legality constraints of the STM32F7 main
+PLL (reference manual RM0410):
+
+* ``PLLM`` in 2..63 -- input divider; the divided input feeds the
+  phase comparator and must land in the 1..2 MHz window (2 MHz is
+  recommended to limit PLL jitter).
+* ``PLLN`` in 50..432 -- VCO multiplier; the VCO output frequency
+  ``f_vco = f_in / PLLM * PLLN`` must land in 100..432 MHz.
+* ``PLLP`` in {2, 4, 6, 8} -- post divider for SYSCLK; the resulting
+  SYSCLK must not exceed 216 MHz on the F767.
+
+The PLL also carries a *lock time*: whenever M/N/P or the input source
+change, the PLL must be disabled, reprogrammed, re-enabled and allowed
+to re-lock, which the paper measures as roughly 200 us of switching
+overhead (Sec. II-A).  Switching the SYSCLK mux between an already
+locked PLL and the HSE, in contrast, is nearly instant; this asymmetry
+is the foundation of the LFO/HFO scheme in Sec. III-B and is modelled
+in :mod:`repro.clock.switching`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ClockConfigError
+from ..units import MHZ, us
+
+#: Legal divider/multiplier ranges (STM32F7 main PLL).
+PLLM_MIN, PLLM_MAX = 2, 63
+PLLN_MIN, PLLN_MAX = 50, 432
+PLLP_VALUES = (2, 4, 6, 8)
+
+#: Phase-comparator (VCO input) frequency window.
+VCO_INPUT_MIN_HZ = 1 * MHZ
+VCO_INPUT_MAX_HZ = 2 * MHZ
+
+#: VCO output frequency window.
+VCO_OUTPUT_MIN_HZ = 100 * MHZ
+VCO_OUTPUT_MAX_HZ = 432 * MHZ
+
+#: Maximum SYSCLK of the STM32F767.
+SYSCLK_MAX_HZ = 216 * MHZ
+
+#: PLL re-lock time after reprogramming (paper Sec. II-A: ~200 us).
+PLL_LOCK_TIME_S = us(200)
+
+
+@dataclass(frozen=True)
+class PLLSettings:
+    """Programmable dividers/multiplier of the main PLL.
+
+    Attributes:
+        pllm: input divider (2..63).
+        plln: VCO multiplier (50..432).
+        pllp: SYSCLK post divider (2, 4, 6 or 8).
+    """
+
+    pllm: int
+    plln: int
+    pllp: int = 2
+
+    def __post_init__(self) -> None:
+        if not PLLM_MIN <= self.pllm <= PLLM_MAX:
+            raise ClockConfigError(
+                f"PLLM={self.pllm} outside legal range [{PLLM_MIN}, {PLLM_MAX}]"
+            )
+        if not PLLN_MIN <= self.plln <= PLLN_MAX:
+            raise ClockConfigError(
+                f"PLLN={self.plln} outside legal range [{PLLN_MIN}, {PLLN_MAX}]"
+            )
+        if self.pllp not in PLLP_VALUES:
+            raise ClockConfigError(
+                f"PLLP={self.pllp} not one of {PLLP_VALUES}"
+            )
+
+    def vco_input_hz(self, input_hz: float) -> float:
+        """Frequency at the phase comparator: ``f_in / PLLM``."""
+        return input_hz / self.pllm
+
+    def vco_output_hz(self, input_hz: float) -> float:
+        """VCO output frequency: ``f_in / PLLM * PLLN``."""
+        return input_hz * self.plln / self.pllm
+
+    def sysclk_hz(self, input_hz: float) -> float:
+        """SYSCLK produced from ``input_hz`` (Eq. 1 of the paper)."""
+        return input_hz * self.plln / (self.pllm * self.pllp)
+
+    def validate_for_input(self, input_hz: float) -> None:
+        """Check the VCO and SYSCLK constraints for a given input clock.
+
+        Raises:
+            ClockConfigError: if the VCO input/output frequency or the
+                resulting SYSCLK violates the hardware limits.
+        """
+        vco_in = self.vco_input_hz(input_hz)
+        if not VCO_INPUT_MIN_HZ <= vco_in <= VCO_INPUT_MAX_HZ:
+            raise ClockConfigError(
+                f"VCO input {vco_in / MHZ:.3f} MHz outside "
+                f"[{VCO_INPUT_MIN_HZ / MHZ:.0f}, {VCO_INPUT_MAX_HZ / MHZ:.0f}] MHz "
+                f"(input {input_hz / MHZ:.1f} MHz / PLLM {self.pllm})"
+            )
+        vco_out = self.vco_output_hz(input_hz)
+        if not VCO_OUTPUT_MIN_HZ <= vco_out <= VCO_OUTPUT_MAX_HZ:
+            raise ClockConfigError(
+                f"VCO output {vco_out / MHZ:.1f} MHz outside "
+                f"[{VCO_OUTPUT_MIN_HZ / MHZ:.0f}, {VCO_OUTPUT_MAX_HZ / MHZ:.0f}] MHz"
+            )
+        sysclk = self.sysclk_hz(input_hz)
+        if sysclk > SYSCLK_MAX_HZ:
+            raise ClockConfigError(
+                f"SYSCLK {sysclk / MHZ:.1f} MHz exceeds the part maximum "
+                f"{SYSCLK_MAX_HZ / MHZ:.0f} MHz"
+            )
+
+    def is_valid_for_input(self, input_hz: float) -> bool:
+        """Like :meth:`validate_for_input` but returning a bool."""
+        try:
+            self.validate_for_input(input_hz)
+        except ClockConfigError:
+            return False
+        return True
+
+
+class PLL:
+    """Stateful PLL: tracks enablement, lock and programmed settings.
+
+    The RCC (:mod:`repro.clock.rcc`) owns one instance.  Reprogramming
+    requires the PLL to be disabled first, mirroring the hardware
+    sequencing that makes parameter changes expensive.
+    """
+
+    def __init__(self) -> None:
+        self._settings: PLLSettings | None = None
+        self._input_hz: float | None = None
+        self._enabled = False
+        self._locked = False
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the PLL is currently powered."""
+        return self._enabled
+
+    @property
+    def locked(self) -> bool:
+        """Whether the PLL output is stable and usable as SYSCLK."""
+        return self._locked
+
+    @property
+    def settings(self) -> PLLSettings | None:
+        """Currently programmed settings, or None if never programmed."""
+        return self._settings
+
+    @property
+    def input_hz(self) -> float | None:
+        """Currently selected input frequency, or None."""
+        return self._input_hz
+
+    def configure(self, settings: PLLSettings, input_hz: float) -> None:
+        """Program dividers and input source.
+
+        Raises:
+            ClockConfigError: if the PLL is enabled (hardware forbids
+                reprogramming a running PLL) or the settings are illegal
+                for the input frequency.
+        """
+        if self._enabled:
+            raise ClockConfigError(
+                "cannot reprogram the PLL while it is enabled; disable it first"
+            )
+        settings.validate_for_input(input_hz)
+        self._settings = settings
+        self._input_hz = input_hz
+
+    def enable(self) -> float:
+        """Power the PLL and wait for lock.
+
+        Returns:
+            The lock latency in seconds (``PLL_LOCK_TIME_S``), or 0.0 if
+            the PLL was already enabled and locked.
+
+        Raises:
+            ClockConfigError: if the PLL has never been configured.
+        """
+        if self._settings is None or self._input_hz is None:
+            raise ClockConfigError("cannot enable an unconfigured PLL")
+        if self._enabled and self._locked:
+            return 0.0
+        self._enabled = True
+        self._locked = True
+        return PLL_LOCK_TIME_S
+
+    def disable(self) -> None:
+        """Power the PLL down (drops lock)."""
+        self._enabled = False
+        self._locked = False
+
+    def output_hz(self) -> float:
+        """The SYSCLK-facing output frequency.
+
+        Raises:
+            ClockConfigError: if the PLL is not enabled and locked.
+        """
+        if not (self._enabled and self._locked):
+            raise ClockConfigError("PLL output requested while not locked")
+        assert self._settings is not None and self._input_hz is not None
+        return self._settings.sysclk_hz(self._input_hz)
+
+    def vco_hz(self) -> float:
+        """The VCO output frequency (drives PLL power draw).
+
+        Raises:
+            ClockConfigError: if the PLL is not enabled and locked.
+        """
+        if not (self._enabled and self._locked):
+            raise ClockConfigError("PLL VCO frequency requested while not locked")
+        assert self._settings is not None and self._input_hz is not None
+        return self._settings.vco_output_hz(self._input_hz)

@@ -1,0 +1,202 @@
+"""Reset and Clock Control (RCC) peripheral model.
+
+The RCC is the stateful owner of the clock tree: it tracks which
+oscillators are running, what the PLL is programmed to, and which
+source the SYSCLK mux selects.  The DVFS runtime drives DVFS through
+:meth:`RCC.apply`, which performs whatever hardware sequence the
+transition requires (oscillator start-up, PLL disable/reprogram/
+re-lock, mux switch) and returns the incurred latency, mirroring the
+`ClockSwitchHSE` / `ClockSwitchPLL` calls in the paper's Listing 1.
+
+Every transition is appended to :attr:`RCC.history` so tests and the
+profiler can audit exactly how many expensive re-locks occurred.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..errors import ClockSwitchError
+from .configs import ClockConfig, SysclkSource, lfo_config
+from .pll import PLL
+from .sources import Oscillator, make_hse, make_hsi
+from .switching import RetainedPLL, SwitchCost, SwitchCostModel
+
+
+@dataclass(frozen=True)
+class ClockSwitchEvent:
+    """One recorded SYSCLK transition.
+
+    Attributes:
+        previous: configuration before the switch.
+        target: configuration after the switch.
+        cost: latency and re-lock information for the transition.
+    """
+
+    previous: ClockConfig
+    target: ClockConfig
+    cost: SwitchCost
+
+
+@dataclass
+class RCC:
+    """Stateful clock controller for one board.
+
+    Attributes:
+        cost_model: pricing for mux switches and PLL re-locks.
+        initial: configuration the board boots with.  Real STM32 parts
+            boot from the HSI; the paper's experiments run from the
+            50 MHz HSE, so that is the default here.
+    """
+
+    cost_model: SwitchCostModel = field(default_factory=SwitchCostModel)
+    initial: ClockConfig = field(default_factory=lfo_config)
+
+    def __post_init__(self) -> None:
+        self._hsi: Oscillator = make_hsi()
+        self._hse: Optional[Oscillator] = None
+        self._pll = PLL()
+        self._current: ClockConfig = self.initial
+        self.history: List[ClockSwitchEvent] = []
+        # Bring the tree into the initial state without charging latency:
+        # boot-time configuration is outside the measured inference window.
+        self._materialize(self.initial)
+
+    # -- public state ----------------------------------------------------
+
+    @property
+    def current(self) -> ClockConfig:
+        """The configuration the SYSCLK currently runs from."""
+        return self._current
+
+    @property
+    def sysclk_hz(self) -> float:
+        """Current SYSCLK frequency."""
+        return self._current.sysclk_hz
+
+    @property
+    def retained_pll(self) -> Optional[RetainedPLL]:
+        """What the PLL hardware is programmed to, if anything."""
+        if self._pll.settings is None or self._pll.input_hz is None:
+            return None
+        return (self._pll.settings, self._pll.input_hz)
+
+    @property
+    def pll_locked(self) -> bool:
+        """Whether the PLL is currently enabled and locked."""
+        return self._pll.locked
+
+    # -- transitions -------------------------------------------------------
+
+    def apply(self, target: ClockConfig) -> SwitchCost:
+        """Switch the SYSCLK to ``target``, returning the incurred cost.
+
+        Performs the full hardware sequence and records the event.  A
+        no-op switch (target equals the current configuration) costs
+        nothing and records nothing.
+        """
+        cost = self.cost_model.cost(self._current, target, self.retained_pll)
+        if target == self._current:
+            return cost
+        previous = self._current
+        self._materialize(target)
+        event = ClockSwitchEvent(previous=previous, target=target, cost=cost)
+        self.history.append(event)
+        return cost
+
+    def switch_to_hse(self, hse_hz: Optional[float] = None) -> SwitchCost:
+        """Park the SYSCLK on the HSE (the paper's ``ClockSwitchHSE``).
+
+        The PLL keeps running so a later return to HFO is a cheap mux
+        move.  When ``hse_hz`` is omitted the currently-running HSE
+        frequency is reused.
+
+        Raises:
+            ClockSwitchError: if no HSE frequency is known.
+        """
+        if hse_hz is None:
+            if self._hse is None:
+                raise ClockSwitchError(
+                    "switch_to_hse without a frequency requires a running HSE"
+                )
+            hse_hz = self._hse.frequency_hz
+        return self.apply(ClockConfig(source=SysclkSource.HSE, hse_hz=hse_hz))
+
+    def switch_to_pll(self, config: ClockConfig) -> SwitchCost:
+        """Select a PLL configuration (the paper's ``ClockSwitchPLL``).
+
+        Raises:
+            ClockSwitchError: if ``config`` is not PLL-sourced.
+        """
+        if config.source is not SysclkSource.PLL:
+            raise ClockSwitchError(
+                f"switch_to_pll requires a PLL-sourced config, got "
+                f"{config.source.value}"
+            )
+        return self.apply(config)
+
+    def prepare_pll(self, config: ClockConfig) -> float:
+        """Reprogram the PLL in the background (SYSCLK unchanged).
+
+        While the SYSCLK runs from the HSE, firmware can disable the
+        PLL, program new dividers and re-enable it; the core keeps
+        executing through the whole re-lock.  This is how a careful
+        LFO/HFO implementation hides the ~200 us re-lock inside a
+        memory-bound segment: the lock completes while the buffer copy
+        proceeds at the LFO clock.
+
+        Returns:
+            The lock latency that elapses in the background (0.0 when
+            the PLL is already programmed and locked as requested).
+
+        Raises:
+            ClockSwitchError: if ``config`` is not PLL-sourced or the
+                SYSCLK currently runs *from* the PLL (hardware forbids
+                reprogramming the active SYSCLK source).
+        """
+        if config.source is not SysclkSource.PLL:
+            raise ClockSwitchError("prepare_pll requires a PLL-sourced config")
+        assert config.pll is not None
+        wanted: RetainedPLL = (config.pll, config.hse_hz)
+        if self.retained_pll == wanted and self._pll.locked:
+            return 0.0
+        if self._current.source is SysclkSource.PLL:
+            raise ClockSwitchError(
+                "cannot reprogram the PLL while the SYSCLK runs from it; "
+                "switch to the HSE first"
+            )
+        if self._hse is None or self._hse.frequency_hz != config.hse_hz:
+            self._hse = make_hse(config.hse_hz)
+        self._pll.disable()
+        self._pll.configure(config.pll, config.hse_hz)
+        return self._pll.enable()
+
+    def relock_count(self) -> int:
+        """How many expensive PLL re-locks occurred so far."""
+        return sum(1 for event in self.history if event.cost.reprogrammed_pll)
+
+    def total_switch_latency_s(self) -> float:
+        """Accumulated stall time spent switching clocks."""
+        return sum(event.cost.latency_s for event in self.history)
+
+    def reset_history(self) -> None:
+        """Clear the recorded transition log (state is kept)."""
+        self.history.clear()
+
+    # -- internals ---------------------------------------------------------
+
+    def _materialize(self, target: ClockConfig) -> None:
+        """Drive oscillators/PLL into the state ``target`` requires."""
+        if target.source is not SysclkSource.HSI:
+            if self._hse is None or self._hse.frequency_hz != target.hse_hz:
+                self._hse = make_hse(target.hse_hz)
+        if target.source is SysclkSource.PLL:
+            assert target.pll is not None
+            wanted: RetainedPLL = (target.pll, target.hse_hz)
+            if self.retained_pll != wanted:
+                self._pll.disable()
+                self._pll.configure(target.pll, target.hse_hz)
+            if not self._pll.locked:
+                self._pll.enable()
+        self._current = target

@@ -1,0 +1,102 @@
+"""RCC register encoding (STM32F7 RCC_PLLCFGR / RCC_CFGR).
+
+Encodes a :class:`~repro.clock.configs.ClockConfig` into the actual
+register words firmware writes, per RM0410:
+
+``RCC_PLLCFGR``:
+
+* bits 5:0   -- PLLM
+* bits 14:6  -- PLLN
+* bits 17:16 -- PLLP encoded as (PLLP/2 - 1): 00=2, 01=4, 10=6, 11=8
+* bit  22    -- PLLSRC (1 = HSE)
+
+``RCC_CFGR`` bits 1:0 -- SW (system clock switch): 00 HSI, 01 HSE,
+10 PLL.
+
+Used by the code generator so emitted firmware can program the PLL
+with a single register write, and round-trip tested against the
+configuration model so the encoding can never drift from the validated
+parameter ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ClockConfigError
+from .configs import ClockConfig, SysclkSource
+from .pll import PLLSettings
+
+#: RCC_CFGR.SW values.
+SW_HSI = 0b00
+SW_HSE = 0b01
+SW_PLL = 0b10
+
+_PLLP_ENCODE = {2: 0b00, 4: 0b01, 6: 0b10, 8: 0b11}
+_PLLP_DECODE = {v: k for k, v in _PLLP_ENCODE.items()}
+
+PLLSRC_HSE_BIT = 1 << 22
+
+
+@dataclass(frozen=True)
+class RCCRegisters:
+    """The register words one clock configuration programs.
+
+    Attributes:
+        pllcfgr: RCC_PLLCFGR value (0 when the PLL is unused).
+        cfgr_sw: the SW field of RCC_CFGR (mux selection).
+        hse_hz: external oscillator frequency the encoding assumes
+            (not a register, but required context for decoding).
+    """
+
+    pllcfgr: int
+    cfgr_sw: int
+    hse_hz: float
+
+
+def encode_registers(config: ClockConfig) -> RCCRegisters:
+    """Encode a clock configuration into RCC register words."""
+    if config.source is SysclkSource.HSI:
+        return RCCRegisters(pllcfgr=0, cfgr_sw=SW_HSI, hse_hz=config.hse_hz)
+    if config.source is SysclkSource.HSE:
+        return RCCRegisters(pllcfgr=0, cfgr_sw=SW_HSE, hse_hz=config.hse_hz)
+    assert config.pll is not None
+    word = (
+        (config.pll.pllm & 0x3F)
+        | ((config.pll.plln & 0x1FF) << 6)
+        | (_PLLP_ENCODE[config.pll.pllp] << 16)
+        | PLLSRC_HSE_BIT
+    )
+    return RCCRegisters(pllcfgr=word, cfgr_sw=SW_PLL, hse_hz=config.hse_hz)
+
+
+def decode_registers(registers: RCCRegisters) -> ClockConfig:
+    """Decode register words back into a validated configuration.
+
+    Raises:
+        ClockConfigError: if the decoded fields violate the hardware
+            legality constraints (corrupt or hostile register values
+            can never produce an invalid ``ClockConfig``).
+    """
+    if registers.cfgr_sw == SW_HSI:
+        return ClockConfig(source=SysclkSource.HSI, hse_hz=registers.hse_hz)
+    if registers.cfgr_sw == SW_HSE:
+        return ClockConfig(source=SysclkSource.HSE, hse_hz=registers.hse_hz)
+    if registers.cfgr_sw != SW_PLL:
+        raise ClockConfigError(
+            f"invalid RCC_CFGR.SW value {registers.cfgr_sw:#04b}"
+        )
+    word = registers.pllcfgr
+    if not word & PLLSRC_HSE_BIT:
+        raise ClockConfigError(
+            "decoded PLLSRC selects the HSI; this model only deploys "
+            "HSE-sourced PLL configurations"
+        )
+    settings = PLLSettings(
+        pllm=word & 0x3F,
+        plln=(word >> 6) & 0x1FF,
+        pllp=_PLLP_DECODE[(word >> 16) & 0b11],
+    )
+    return ClockConfig(
+        source=SysclkSource.PLL, hse_hz=registers.hse_hz, pll=settings
+    )

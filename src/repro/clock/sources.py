@@ -1,0 +1,102 @@
+"""Oscillator (clock source) models for the STM32 clock tree.
+
+The STM32F7 SYSCLK can be fed by three sources (paper Sec. II):
+
+* the **HSI** internal RC oscillator -- fixed 16 MHz, always available,
+  but power hungry and prone to drift/jitter;
+* the **HSE** external oscillator -- 1..50 MHz on the F767 Nucleo,
+  stable, lower power; and
+* the **PLL**, which multiplies either of the above (see
+  :mod:`repro.clock.pll`).
+
+The classes below capture the frequency ranges, startup latencies and
+stability characteristics that the paper's Sec. II-A exploration relies
+on: the HSI is excluded from the design space because of its higher
+power draw and drift, and the HSE is the LFO (low-frequency operation)
+source of the proposed DVFS scheme.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import ClockConfigError
+from ..units import MHZ, us
+
+
+class OscillatorKind(enum.Enum):
+    """The physical kind of a clock source."""
+
+    HSI = "hsi"
+    HSE = "hse"
+
+
+@dataclass(frozen=True)
+class Oscillator:
+    """A fixed-frequency clock source.
+
+    Attributes:
+        kind: whether this is the internal RC (HSI) or the external
+            crystal/generator (HSE).
+        frequency_hz: output frequency in hertz.
+        startup_time_s: time from enable until the oscillator output is
+            stable and usable as a SYSCLK or PLL source.
+        jitter_ppm: cycle-to-cycle jitter, parts per million.  Only used
+            for reporting; the HSI's large jitter is one reason the
+            paper excludes it from the design space.
+    """
+
+    kind: OscillatorKind
+    frequency_hz: float
+    startup_time_s: float
+    jitter_ppm: float
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise ClockConfigError(
+                f"oscillator frequency must be positive, got {self.frequency_hz}"
+            )
+        if self.startup_time_s < 0:
+            raise ClockConfigError("oscillator startup time must be >= 0")
+
+
+#: Default HSI oscillator of the STM32F7: fixed 16 MHz internal RC.
+HSI_FREQUENCY_HZ = 16 * MHZ
+
+#: Legal HSE range of the STM32F767ZI Nucleo board (paper Sec. II).
+HSE_MIN_HZ = 1 * MHZ
+HSE_MAX_HZ = 50 * MHZ
+
+
+def make_hsi() -> Oscillator:
+    """Build the fixed 16 MHz internal HSI oscillator."""
+    return Oscillator(
+        kind=OscillatorKind.HSI,
+        frequency_hz=HSI_FREQUENCY_HZ,
+        startup_time_s=us(4),
+        jitter_ppm=1000.0,
+    )
+
+
+def make_hse(frequency_hz: float) -> Oscillator:
+    """Build an HSE oscillator at ``frequency_hz``.
+
+    Args:
+        frequency_hz: requested output frequency.  Must lie within the
+            board's supported 1..50 MHz range.
+
+    Raises:
+        ClockConfigError: if the frequency is out of range.
+    """
+    if not HSE_MIN_HZ <= frequency_hz <= HSE_MAX_HZ:
+        raise ClockConfigError(
+            f"HSE frequency {frequency_hz / MHZ:.3f} MHz outside the legal "
+            f"range [{HSE_MIN_HZ / MHZ:.0f}, {HSE_MAX_HZ / MHZ:.0f}] MHz"
+        )
+    return Oscillator(
+        kind=OscillatorKind.HSE,
+        frequency_hz=frequency_hz,
+        startup_time_s=us(2000),  # crystal startup; only paid when enabling
+        jitter_ppm=25.0,
+    )

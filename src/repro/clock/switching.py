@@ -1,0 +1,111 @@
+"""Clock-switch cost model.
+
+The paper's Sec. II-A measures two very different switch costs on the
+STM32F767:
+
+* **PLL reprogramming** (changing PLLM/PLLN/PLLP or the PLL input):
+  the PLL must be disabled, reprogrammed and re-locked -- roughly
+  **200 us** per switch.
+* **SYSCLK mux switch** between an already-running HSE and an
+  already-locked PLL: essentially instant (a handful of AHB cycles for
+  the mux handshake), because the HSE is wired directly to the mux.
+
+This asymmetry motivates the LFO/HFO split of Sec. III-B: the runtime
+keeps the PLL locked at the layer's HFO frequency and bounces the mux
+between HSE (memory-bound segments) and PLL (compute-bound segments),
+paying the expensive re-lock only when *consecutive layers* request a
+different HFO frequency.
+
+:class:`SwitchCostModel` centralizes those costs so the RCC, the
+runtime, the DSE and the benchmarks all price switches identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .configs import ClockConfig, SysclkSource
+from .pll import PLLSettings, PLL_LOCK_TIME_S
+from ..units import us
+
+#: (settings, input_hz) pair describing what the PLL is programmed to,
+#: independently of whether the SYSCLK mux currently selects it.
+RetainedPLL = Tuple[PLLSettings, float]
+
+
+@dataclass(frozen=True)
+class SwitchCost:
+    """Cost of one clock transition.
+
+    Attributes:
+        latency_s: wall-clock stall while the switch completes.
+        reprogrammed_pll: whether the transition required a PLL
+            disable/reprogram/re-lock cycle (the expensive path).
+    """
+
+    latency_s: float
+    reprogrammed_pll: bool
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise ValueError("switch latency must be >= 0")
+
+
+@dataclass(frozen=True)
+class SwitchCostModel:
+    """Latency parameters for SYSCLK transitions.
+
+    Attributes:
+        pll_relock_s: full PLL reprogram + re-lock latency (paper:
+            ~200 us).
+        mux_switch_s: SYSCLK mux handshake latency for transitions
+            between already-running sources (sub-microsecond on real
+            parts; a conservative 1 us default keeps the model honest
+            about fine-grained switching not being free).
+    """
+
+    pll_relock_s: float = PLL_LOCK_TIME_S
+    mux_switch_s: float = us(1)
+
+    def cost(
+        self,
+        current: ClockConfig,
+        target: ClockConfig,
+        retained_pll: Optional[RetainedPLL] = None,
+    ) -> SwitchCost:
+        """Price the transition ``current -> target``.
+
+        Args:
+            current: configuration the SYSCLK currently runs from.
+            target: configuration to switch to.
+            retained_pll: what the PLL hardware is programmed to right
+                now, even if the mux is parked on the HSE.  When the
+                target needs exactly this programming, the switch is a
+                cheap mux move (the LFO -> HFO bounce).  ``None`` means
+                the PLL is unprogrammed or its state is unknown.
+
+        The rules mirror the hardware sequencing:
+
+        * identical configs cost nothing;
+        * moving onto the PLL costs a full re-lock unless the PLL is
+          already programmed with the target's settings and input;
+        * every other move (onto HSE/HSI) is a mux handshake only.
+        """
+        if current == target:
+            return SwitchCost(latency_s=0.0, reprogrammed_pll=False)
+        if target.source is SysclkSource.PLL:
+            assert target.pll is not None
+            wanted: RetainedPLL = (target.pll, target.hse_hz)
+            if current.source is SysclkSource.PLL:
+                retained_pll = (
+                    (current.pll, current.hse_hz)
+                    if current.pll is not None
+                    else retained_pll
+                )
+            if retained_pll != wanted:
+                return SwitchCost(
+                    latency_s=self.pll_relock_s + self.mux_switch_s,
+                    reprogrammed_pll=True,
+                )
+        return SwitchCost(latency_s=self.mux_switch_s, reprogrammed_pll=False)

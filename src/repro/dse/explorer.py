@@ -1,0 +1,313 @@
+"""Per-layer design-space exploration (paper Step 2).
+
+For every schedulable layer, the explorer prices each (granularity,
+HFO) candidate with the same segment cost model the runtime uses,
+producing a cloud of :class:`SolutionPoint` latency/energy pairs.
+Pricing follows the runtime's execution discipline exactly:
+
+* memory-bound segments run at the LFO clock, compute-bound segments
+  at the candidate HFO;
+* two SYSCLK mux handshakes are charged per DAE iteration;
+* one PLL reprogram is assumed per layer (the profiler cannot know
+  its neighbours, so -- like the paper's isolated per-layer profiling
+  -- it charges the worst case: for decoupled layers only the part of
+  the ~200 us lock not hidden under the first buffer copy, for fused
+  layers the full stall).
+
+The explorer can optionally route its measurements through the
+simulated timer and INA219 sensor (:mod:`repro.profiling`) to mimic
+the paper's hardware profiling pipeline; by default it prices
+analytically, which is exact and fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..clock.configs import ClockConfig
+from ..engine.cost import TraceBuilder, TraceParams
+from ..engine.trace import LayerTrace, SegmentKind
+from ..errors import DesignSpaceError
+from ..mcu.board import Board
+from ..mcu.core import SegmentWorkload
+from ..nn.graph import Model, Node
+from ..nn.layers.base import LayerKind
+from ..power.energy import EnergyAccount, EnergyCategory
+from ..power.model import PowerState
+from .space import DesignSpace
+
+
+@dataclass(frozen=True)
+class SolutionPoint:
+    """One priced (layer, granularity, HFO) candidate."""
+
+    node_id: int
+    layer_name: str
+    layer_kind: LayerKind
+    granularity: int
+    hfo: ClockConfig
+    latency_s: float
+    energy_j: float
+
+    def dominates(self, other: "SolutionPoint") -> bool:
+        """Pareto dominance: no worse on both axes, better on one."""
+        return (
+            self.latency_s <= other.latency_s
+            and self.energy_j <= other.energy_j
+            and (
+                self.latency_s < other.latency_s
+                or self.energy_j < other.energy_j
+            )
+        )
+
+
+class LayerCostModel:
+    """Prices one layer trace under the LFO/HFO discipline."""
+
+    def __init__(self, board: Board):
+        self.board = board
+
+    def price(
+        self,
+        trace: LayerTrace,
+        hfo: ClockConfig,
+        lfo: ClockConfig,
+        assume_relock: bool = True,
+    ) -> "tuple[float, float]":
+        """(latency_s, energy_j) of one layer execution.
+
+        Segment times are linear in the workload, so all memory
+        segments are priced as one aggregate at the LFO and all compute
+        segments as one aggregate at the HFO -- exactly equal to the
+        segment-by-segment sum, at a fraction of the cost.
+
+        Args:
+            trace: the layer's segment trace.
+            hfo: compute-segment (or fused) clock.
+            lfo: memory-segment clock.
+            assume_relock: charge the per-layer PLL reprogram; disable
+                when pricing a schedule known to keep the HFO constant.
+        """
+        core = self.board.core
+        power = self.board.power_model
+        switch = self.board.switch_cost_model
+        latency = 0.0
+        energy = 0.0
+        if trace.is_decoupled:
+            total_mem = SegmentWorkload()
+            total_comp = SegmentWorkload()
+            first_mem = None
+            for segment in trace.segments:
+                if segment.kind is SegmentKind.MEMORY:
+                    if first_mem is None:
+                        first_mem = segment.workload
+                    total_mem = total_mem.merged(segment.workload)
+                else:
+                    total_comp = total_comp.merged(segment.workload)
+            for workload, config in ((total_mem, lfo), (total_comp, hfo)):
+                compute_t, memory_t = core.segment_time_parts(
+                    workload, config.sysclk_hz
+                )
+                latency += compute_t + memory_t
+                energy += compute_t * power.power(
+                    config, PowerState.ACTIVE_COMPUTE
+                )
+                energy += memory_t * power.power(
+                    config, PowerState.ACTIVE_MEMORY
+                )
+            if assume_relock and first_mem is not None:
+                first_mem_t = core.segment_time_s(first_mem, lfo.sysclk_hz)
+                uncovered = max(0.0, switch.pll_relock_s - first_mem_t)
+                latency += uncovered
+                energy += uncovered * power.switching_power(lfo)
+            mux_time = trace.mux_switch_count() * switch.mux_switch_s
+            latency += mux_time
+            energy += mux_time * power.switching_power(lfo)
+        else:
+            for segment in trace.segments:
+                compute_t, memory_t = core.segment_time_parts(
+                    segment.workload, hfo.sysclk_hz
+                )
+                latency += compute_t + memory_t
+                energy += compute_t * power.power(
+                    hfo, PowerState.ACTIVE_COMPUTE
+                )
+                energy += memory_t * power.power(
+                    hfo, PowerState.ACTIVE_MEMORY
+                )
+            if assume_relock and hfo.uses_pll:
+                stall = switch.pll_relock_s + switch.mux_switch_s
+                latency += stall
+                energy += stall * power.switching_power(lfo)
+        return latency, energy
+
+
+def layer_intervals(
+    board: Board,
+    trace: LayerTrace,
+    hfo: ClockConfig,
+    lfo: ClockConfig,
+    assume_relock: bool = True,
+) -> EnergyAccount:
+    """Build the (compact) power trace of one layer execution.
+
+    Produces an :class:`~repro.power.energy.EnergyAccount` whose totals
+    equal :meth:`LayerCostModel.price` exactly (a unit test pins this);
+    the interval structure is what the profiling monitor samples with
+    the simulated INA219.
+    """
+    core = board.core
+    power = board.power_model
+    switch = board.switch_cost_model
+    account = EnergyAccount()
+    label = trace.layer_name
+
+    def charge(workload: SegmentWorkload, config: ClockConfig) -> None:
+        compute_t, memory_t = core.segment_time_parts(
+            workload, config.sysclk_hz
+        )
+        account.add(
+            compute_t,
+            power.power(config, PowerState.ACTIVE_COMPUTE),
+            EnergyCategory.COMPUTE,
+            label,
+        )
+        account.add(
+            memory_t,
+            power.power(config, PowerState.ACTIVE_MEMORY),
+            EnergyCategory.MEMORY,
+            label,
+        )
+
+    if trace.is_decoupled:
+        first_mem = trace.memory_segments()[0].workload
+        if assume_relock:
+            first_mem_t = core.segment_time_s(first_mem, lfo.sysclk_hz)
+            uncovered = max(0.0, switch.pll_relock_s - first_mem_t)
+            account.add(
+                uncovered,
+                power.switching_power(lfo),
+                EnergyCategory.SWITCH,
+                label,
+            )
+        for segment in trace.segments:
+            config = lfo if segment.kind is SegmentKind.MEMORY else hfo
+            charge(segment.workload, config)
+        account.add(
+            trace.mux_switch_count() * switch.mux_switch_s,
+            power.switching_power(lfo),
+            EnergyCategory.SWITCH,
+            label,
+        )
+    else:
+        if assume_relock and hfo.uses_pll:
+            account.add(
+                switch.pll_relock_s + switch.mux_switch_s,
+                power.switching_power(lfo),
+                EnergyCategory.SWITCH,
+                label,
+            )
+        for segment in trace.segments:
+            charge(segment.workload, hfo)
+    return account
+
+
+class DSEExplorer:
+    """Sweeps the design space per layer (paper Step 2A/2B input).
+
+    Args:
+        board: the simulated board.
+        space: granularities and clock candidates.
+        trace_params: access-pattern constants.
+    """
+
+    def __init__(
+        self,
+        board: Board,
+        space: DesignSpace,
+        trace_params: Optional[TraceParams] = None,
+        granularity_fn=None,
+    ):
+        """
+        Args:
+            granularity_fn: optional ``(model, node) -> tuple`` hook
+                overriding the space's granularity grid per layer --
+                e.g. :func:`repro.dse.space.adaptive_granularities`
+                bound to a board.  Must always include 0.
+        """
+        self.board = board
+        self.space = space
+        self.tracer = TraceBuilder(board, trace_params)
+        self.pricer = LayerCostModel(board)
+        self.granularity_fn = granularity_fn
+
+    def explore_layer(
+        self,
+        model: Model,
+        node: Node,
+        assume_relock: bool = False,
+    ) -> List[SolutionPoint]:
+        """All priced candidates for one layer.
+
+        DAE-eligible layers get the full (g, HFO) grid; other
+        conv-family layers only sweep the HFO at g = 0.
+
+        Args:
+            assume_relock: charge a per-layer PLL reprogram.  Off by
+                default: within a schedule, re-locks only occur when
+                consecutive layers change HFO frequency, and the
+                pipeline accounts for the actual cost with a
+                runtime-in-the-loop refinement instead of padding
+                every layer with the worst case.
+
+        Raises:
+            DesignSpaceError: if the node is not schedulable (no
+                arithmetic to scale).
+        """
+        if node.layer.kind not in {
+            LayerKind.CONV2D,
+            LayerKind.DEPTHWISE_CONV,
+            LayerKind.POINTWISE_CONV,
+            LayerKind.DENSE,
+        }:
+            raise DesignSpaceError(
+                f"layer {node.layer.name!r} ({node.layer.kind.value}) is "
+                "not schedulable"
+            )
+        if not node.layer.supports_dae:
+            granularities: "tuple" = (0,)
+        elif self.granularity_fn is not None:
+            granularities = tuple(self.granularity_fn(model, node))
+            if 0 not in granularities:
+                raise DesignSpaceError(
+                    "granularity_fn must always include 0 (no DAE)"
+                )
+        else:
+            granularities = self.space.granularities
+        points: List[SolutionPoint] = []
+        for g in granularities:
+            trace = self.tracer.build(model, node, g)
+            for hfo in self.space.hfo_configs:
+                latency, energy = self.pricer.price(
+                    trace, hfo, self.space.lfo, assume_relock=assume_relock
+                )
+                points.append(
+                    SolutionPoint(
+                        node_id=node.node_id,
+                        layer_name=node.layer.name,
+                        layer_kind=node.layer.kind,
+                        granularity=trace.granularity,
+                        hfo=hfo,
+                        latency_s=latency,
+                        energy_j=energy,
+                    )
+                )
+        return points
+
+    def explore_model(self, model: Model) -> Dict[int, List[SolutionPoint]]:
+        """Candidate clouds for every conv-family layer of a model."""
+        return {
+            node.node_id: self.explore_layer(model, node)
+            for node in model.conv_nodes()
+        }

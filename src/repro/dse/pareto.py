@@ -1,0 +1,89 @@
+"""Pareto-front extraction over (latency, energy) solution clouds.
+
+Step 2B of the paper keeps, per layer, only the Pareto-optimal
+(latency, energy) points; the MCKP classes of Step 3 are exactly these
+fronts.  Dominated points can never appear in an optimal schedule, so
+pruning them is lossless and shrinks the knapsack instance.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+def pareto_front(
+    points: Sequence[T],
+    key: Callable[[T], Tuple[float, float]],
+) -> List[T]:
+    """Minimal (non-dominated) subset under coordinate-wise <=.
+
+    Args:
+        points: candidate objects.
+        key: maps a candidate to its (objective_1, objective_2) pair;
+            both objectives are minimized.
+
+    Returns:
+        The non-dominated candidates sorted by ascending first
+        objective.  Duplicate coordinate pairs are collapsed to one
+        representative (the first encountered), so fronts are strictly
+        decreasing in the second objective.
+    """
+    decorated = sorted(
+        ((key(p), i, p) for i, p in enumerate(points)),
+        key=lambda entry: (entry[0][0], entry[0][1], entry[1]),
+    )
+    front: List[T] = []
+    best_second = float("inf")
+    last_first: float | None = None
+    for (first, second), _, point in decorated:
+        if second < best_second and first != last_first:
+            front.append(point)
+            best_second = second
+            last_first = first
+        elif second < best_second and first == last_first:
+            # Same first objective with strictly better second: replace.
+            front[-1] = point
+            best_second = second
+    return front
+
+
+def is_pareto_optimal(
+    candidate: T,
+    points: Sequence[T],
+    key: Callable[[T], Tuple[float, float]],
+) -> bool:
+    """Whether no other point dominates ``candidate``."""
+    cx, cy = key(candidate)
+    for point in points:
+        if point is candidate:
+            continue
+        px, py = key(point)
+        if px <= cx and py <= cy and (px < cx or py < cy):
+            return False
+    return True
+
+
+def hypervolume_2d(
+    points: Sequence[T],
+    key: Callable[[T], Tuple[float, float]],
+    reference: Tuple[float, float],
+) -> float:
+    """Dominated hypervolume against a reference (for DSE diagnostics).
+
+    Both objectives are minimized; the reference must be weakly worse
+    than every point on both axes (points beyond it contribute 0).
+    """
+    front_keys = [
+        (x, y)
+        for x, y in (key(p) for p in pareto_front(points, key))
+        if x < reference[0] and y < reference[1]
+    ]
+    volume = 0.0
+    for i, (x, y) in enumerate(front_keys):
+        next_x = (
+            front_keys[i + 1][0] if i + 1 < len(front_keys) else reference[0]
+        )
+        volume += (next_x - x) * (reference[1] - y)
+    return volume

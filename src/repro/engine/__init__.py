@@ -1,0 +1,52 @@
+"""Inference engines: cost model, DAE execution, baselines, DVFS runtime."""
+
+from .cost import PAPER_GRANULARITIES, TraceBuilder, TraceParams
+from .dae import (
+    DAEExecutionStats,
+    DAEExecutor,
+    run_depthwise_dae,
+    run_pointwise_dae,
+    validate_plan_numerics,
+)
+from .runtime import DVFSRuntime, IdlePolicy, InferenceReport, LayerReport
+from .schedule import DeploymentPlan, LayerPlan, uniform_plan
+from .stream import StreamReport, run_stream
+from .serialize import (
+    load_plan,
+    plan_from_dict,
+    plan_to_dict,
+    save_plan,
+)
+from .tinyengine import TinyEngine, TinyEngineClockGated, TinyEngineDeepSleep
+from .trace import LayerTrace, ModelTrace, Segment, SegmentKind
+
+__all__ = [
+    "PAPER_GRANULARITIES",
+    "TraceBuilder",
+    "TraceParams",
+    "DAEExecutionStats",
+    "DAEExecutor",
+    "run_depthwise_dae",
+    "run_pointwise_dae",
+    "validate_plan_numerics",
+    "DVFSRuntime",
+    "IdlePolicy",
+    "InferenceReport",
+    "LayerReport",
+    "DeploymentPlan",
+    "LayerPlan",
+    "uniform_plan",
+    "StreamReport",
+    "run_stream",
+    "load_plan",
+    "plan_from_dict",
+    "plan_to_dict",
+    "save_plan",
+    "TinyEngine",
+    "TinyEngineClockGated",
+    "TinyEngineDeepSleep",
+    "LayerTrace",
+    "ModelTrace",
+    "Segment",
+    "SegmentKind",
+]

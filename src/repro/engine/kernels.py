@@ -1,0 +1,112 @@
+"""Scalar reference kernels (CMSIS-NN loop order).
+
+The vectorized layer implementations in :mod:`repro.nn.layers` are the
+fast path; these scalar kernels mirror, loop for loop, how
+CMSIS-NN/TinyEngine actually traverse the data on the MCU -- per
+channel for depthwise, per column for pointwise -- using the same
+integer requantization.  They exist to anchor the bit-exactness chain:
+
+    scalar reference == vectorized layer == DAE-reordered execution
+
+Tests verify all three agree on every element, which is the strongest
+form of the paper's "DAE entails no accuracy drops" claim this
+reproduction can make.  (They are O(pixels * kernel * channels) Python
+loops: use them on small shapes only.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.layers.convutils import same_padding_amounts
+from ..nn.layers.depthwise import DepthwiseConv2D
+from ..nn.layers.pointwise import PointwiseConv2D
+from ..nn.quantize import rounding_right_shift
+from ..nn.tensor import QuantizedTensor
+
+
+def _requantize_scalar(acc: int, layer, channel: int) -> int:
+    """Single-value requantization identical to the array kernel."""
+    spec = layer.requant
+    if spec.is_per_channel:
+        multiplier = int(spec.multiplier[channel])
+        shift = int(spec.shift[channel])
+    else:
+        multiplier, shift = spec.multiplier, spec.shift
+    prod = np.int64(acc) * np.int64(multiplier)
+    scaled = int(
+        rounding_right_shift(np.array([prod], dtype=np.int64), 31 + shift)[0]
+    )
+    out = scaled + spec.output_zero_point
+    return max(spec.activation_min, min(spec.activation_max, out))
+
+
+def depthwise_conv_scalar(
+    layer: DepthwiseConv2D, x: QuantizedTensor
+) -> np.ndarray:
+    """Per-channel scalar depthwise convolution (CMSIS-NN order).
+
+    Outer loop over channels, then output rows/cols, then the kernel
+    window -- exactly the traversal the paper's Listing 1 restructures.
+
+    Returns:
+        int8 array of shape (out_h, out_w, channels).
+    """
+    out_h, out_w, channels = layer.output_shape(x.shape)
+    h, w = x.shape[0], x.shape[1]
+    k, stride = layer.kernel, layer.stride
+    if layer.padding == "same":
+        pad_top, _ = same_padding_amounts(h, k, stride)
+        pad_left, _ = same_padding_amounts(w, k, stride)
+    else:
+        pad_top = pad_left = 0
+    out = np.empty((out_h, out_w, channels), dtype=np.int8)
+    data = x.data
+    zx = x.zero_point
+    weights = layer.weights_q
+    for ch in range(channels):
+        for oy in range(out_h):
+            for ox in range(out_w):
+                acc = int(layer.bias_q[ch])
+                for ky in range(k):
+                    iy = oy * stride + ky - pad_top
+                    if iy < 0 or iy >= h:
+                        continue  # padded ring contributes zero
+                    for kx in range(k):
+                        ix = ox * stride + kx - pad_left
+                        if ix < 0 or ix >= w:
+                            continue
+                        acc += (int(data[iy, ix, ch]) - zx) * int(
+                            weights[ky, kx, ch]
+                        )
+                out[oy, ox, ch] = _requantize_scalar(acc, layer, ch)
+    return out
+
+
+def pointwise_conv_scalar(
+    layer: PointwiseConv2D, x: QuantizedTensor
+) -> np.ndarray:
+    """Per-column scalar pointwise convolution (CMSIS-NN order).
+
+    Outer loop over spatial columns, then output channels, then the
+    input-channel dot product.
+
+    Returns:
+        int8 array of shape (h, w, c_out).
+    """
+    h, w, c_out = layer.output_shape(x.shape)
+    c_in = layer.in_channels
+    out = np.empty((h, w, c_out), dtype=np.int8)
+    data = x.data
+    zx = x.zero_point
+    weights = layer.weights_q
+    for oy in range(h):
+        for ox in range(w):
+            for oc in range(c_out):
+                acc = int(layer.bias_q[oc])
+                for ic in range(c_in):
+                    acc += (int(data[oy, ox, ic]) - zx) * int(
+                        weights[ic, oc]
+                    )
+                out[oy, ox, oc] = _requantize_scalar(acc, layer, oc)
+    return out

@@ -1,0 +1,431 @@
+"""DVFS runtime: executes a deployment plan on the simulated board.
+
+This is the reproduction of the paper's modified inference runtime
+(Listing 1): per layer, the SYSCLK mux bounces between the LFO (HSE)
+clock for memory-bound segments and the layer's HFO (PLL) clock for
+compute-bound segments, the PLL is reprogrammed *in the background*
+during the first memory-bound segment whenever consecutive layers
+request different HFO frequencies, and every stall -- mux handshakes,
+un-hidden re-lock remainders -- is charged at its true power state.
+
+The same engine executes the baselines (single fixed clock, fused
+traces), so "ours vs. TinyEngine" comparisons share every modelling
+assumption except the scheduling policy itself.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..clock.configs import ClockConfig, SysclkSource, lfo_config
+from ..clock.rcc import RCC
+from ..errors import TraceError
+from ..mcu.board import Board
+from ..nn.graph import Model
+from ..nn.layers.base import LayerKind
+from ..power.energy import EnergyAccount, EnergyCategory
+from ..power.model import PowerState
+from .cost import TraceBuilder, TraceParams
+from .schedule import DeploymentPlan
+from .trace import LayerTrace, Segment, SegmentKind
+
+
+class IdlePolicy(enum.Enum):
+    """How the board waits out the rest of the QoS window.
+
+    HOT is the plain TinyEngine behaviour (WFI at the last active
+    clock), GATED is the paper's clock-gating baseline, and STOP is
+    the strongest realistic policy -- deep sleep with SRAM retention,
+    paying a wake-up latency (charged inside the window) before the
+    next inference can start.
+    """
+
+    HOT = "hot"
+    GATED = "gated"
+    STOP = "stop"
+
+
+@dataclass
+class LayerReport:
+    """Measured execution of one layer."""
+
+    node_id: int
+    layer_name: str
+    layer_kind: LayerKind
+    granularity: int
+    hfo_hz: float
+    latency_s: float = 0.0
+    energy_j: float = 0.0
+
+
+@dataclass
+class InferenceReport:
+    """Result of executing one plan on the board.
+
+    Attributes:
+        model_name: the executed model.
+        plan: the plan that was executed.
+        latency_s: inference latency (excluding post-inference idle).
+        energy_j: total energy over the accounting window (inference
+            plus idle-to-QoS when a QoS window was given).
+        inference_energy_j: energy of the inference alone.
+        account: the full categorized energy ledger.
+        layer_reports: per-layer latency/energy breakdown.
+        relock_count: PLL reprogram events (cheap mux moves excluded).
+        mux_switch_count: SYSCLK mux transitions.
+        qos_s: the accounting window, if any.
+        met_qos: whether the inference finished within the window.
+    """
+
+    model_name: str
+    plan: DeploymentPlan
+    latency_s: float
+    energy_j: float
+    inference_energy_j: float
+    account: EnergyAccount
+    layer_reports: List[LayerReport] = field(default_factory=list)
+    relock_count: int = 0
+    mux_switch_count: int = 0
+    qos_s: Optional[float] = None
+    met_qos: bool = True
+
+    @property
+    def average_power_w(self) -> float:
+        """Mean power over the accounting window."""
+        return self.account.average_power_w
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"model {self.model_name!r}: "
+            f"{self.latency_s * 1e3:.3f} ms inference, "
+            f"{self.energy_j * 1e3:.4f} mJ"
+            + (
+                f" over a {self.qos_s * 1e3:.3f} ms window"
+                if self.qos_s is not None
+                else ""
+            ),
+            f"  average power {self.average_power_w * 1e3:.1f} mW, "
+            f"{self.relock_count} PLL re-locks, "
+            f"{self.mux_switch_count} mux switches"
+            + ("" if self.met_qos else "  ** QoS MISSED **"),
+        ]
+        breakdown = self.account.energy_by_category()
+        total = self.energy_j or 1.0
+        parts = ", ".join(
+            f"{category.value} {energy / total:.0%}"
+            for category, energy in sorted(
+                breakdown.items(), key=lambda kv: -kv[1]
+            )
+        )
+        lines.append(f"  energy: {parts}")
+        return "\n".join(lines)
+
+
+class DVFSRuntime:
+    """Executes deployment plans against one board description.
+
+    Args:
+        board: the simulated board (clocking, power, timing models).
+        trace_params: access-pattern constants for the cost model.
+    """
+
+    def __init__(self, board: Board, trace_params: Optional[TraceParams] = None):
+        self.board = board
+        self.tracer = TraceBuilder(board, trace_params)
+
+    # -- public API -----------------------------------------------------------
+
+    def run(
+        self,
+        model: Model,
+        plan: DeploymentPlan,
+        qos_s: Optional[float] = None,
+        idle_gated: bool = True,
+        initial_config: Optional[ClockConfig] = None,
+        idle_policy: Optional[IdlePolicy] = None,
+    ) -> InferenceReport:
+        """Execute ``plan`` for ``model``; account energy to ``qos_s``.
+
+        Args:
+            model: the model to run.
+            plan: per-layer decisions (validated against the model).
+            qos_s: iso-latency accounting window; when given, the board
+                idles after inference until the window closes and that
+                idle energy is charged (the paper's Sec. IV scenario).
+            idle_gated: whether post-inference idling uses clock gating
+                (our approach and the gated baseline) or plain WFI idle
+                at the last active clock (plain TinyEngine).  Ignored
+                when ``idle_policy`` is given.
+            idle_policy: explicit idle policy (HOT / GATED / STOP);
+                STOP additionally charges the deep-sleep wake-up
+                latency inside the window.
+            initial_config: clock the board starts from; defaults to
+                the plan's LFO.
+
+        Returns:
+            The full :class:`InferenceReport`.
+        """
+        plan.validate_against(model)
+        rcc = RCC(
+            cost_model=self.board.switch_cost_model,
+            initial=initial_config or plan.lfo,
+        )
+        account = EnergyAccount()
+        reports: List[LayerReport] = []
+        mux_switches = 0
+        self._background_relocks = 0
+        traces = self.tracer.build_model_trace(model, plan.granularities())
+        for trace in traces:
+            layer_plan = plan.plan_for(trace.node_id)
+            report = LayerReport(
+                node_id=trace.node_id,
+                layer_name=trace.layer_name,
+                layer_kind=trace.layer_kind,
+                granularity=trace.granularity,
+                hfo_hz=(
+                    layer_plan.hfo.sysclk_hz if layer_plan else rcc.sysclk_hz
+                ),
+            )
+            if trace.is_decoupled:
+                assert layer_plan is not None
+                mux_switches += self._run_decoupled(
+                    rcc, trace, layer_plan.hfo, plan.lfo, account, report
+                )
+            else:
+                target = layer_plan.hfo if layer_plan else rcc.current
+                mux_switches += self._run_fused(
+                    rcc, trace, target, account, report
+                )
+            reports.append(report)
+
+        inference_latency = account.total_time_s
+        inference_energy = account.total_energy_j
+        met_qos = True
+        if qos_s is not None:
+            met_qos = inference_latency <= qos_s
+            idle_time = max(0.0, qos_s - inference_latency)
+            if idle_policy is None:
+                idle_policy = (
+                    IdlePolicy.GATED if idle_gated else IdlePolicy.HOT
+                )
+            self._charge_idle(account, rcc, idle_policy, idle_time)
+        return InferenceReport(
+            model_name=model.name,
+            plan=plan,
+            latency_s=inference_latency,
+            energy_j=account.total_energy_j,
+            inference_energy_j=inference_energy,
+            account=account,
+            layer_reports=reports,
+            relock_count=rcc.relock_count() + self._background_relocks,
+            mux_switch_count=mux_switches,
+            qos_s=qos_s,
+            met_qos=met_qos,
+        )
+
+    def _charge_idle(
+        self,
+        account: EnergyAccount,
+        rcc: RCC,
+        policy: IdlePolicy,
+        idle_time: float,
+    ) -> None:
+        """Charge the post-inference remainder of the QoS window."""
+        power = self.board.power_model
+        if policy is IdlePolicy.HOT:
+            account.add(
+                idle_time, power.idle_power(rcc.current),
+                EnergyCategory.IDLE, "idle",
+            )
+            return
+        if policy is IdlePolicy.GATED:
+            account.add(
+                idle_time, power.gated_power(), EnergyCategory.IDLE, "idle"
+            )
+            return
+        # STOP: worth entering only if the window outlasts the wake-up.
+        wake = power.params.stop_wakeup_s
+        if idle_time <= wake:
+            account.add(
+                idle_time, power.gated_power(), EnergyCategory.IDLE, "idle"
+            )
+            return
+        account.add(
+            idle_time - wake, power.stop_power(), EnergyCategory.IDLE, "idle"
+        )
+        # The wake-up path runs regulator/oscillator restart at the
+        # low-power HSE clock, not at the hot PLL configuration.
+        account.add(
+            wake, power.switching_power(lfo_config()),
+            EnergyCategory.SWITCH, "stop-wakeup",
+        )
+
+    # -- execution helpers -------------------------------------------------------
+
+    def _charge_segment(
+        self,
+        segment: Segment,
+        config: ClockConfig,
+        account: EnergyAccount,
+        report: LayerReport,
+    ) -> None:
+        """Price one segment at ``config`` and append it to the ledger."""
+        compute_t, memory_t = self.board.core.segment_time_parts(
+            segment.workload, config.sysclk_hz
+        )
+        power = self.board.power_model
+        if compute_t > 0:
+            p = power.power(config, PowerState.ACTIVE_COMPUTE)
+            account.add(
+                compute_t, p, EnergyCategory.COMPUTE, report.layer_name
+            )
+            report.latency_s += compute_t
+            report.energy_j += compute_t * p
+        if memory_t > 0:
+            p = power.power(config, PowerState.ACTIVE_MEMORY)
+            account.add(memory_t, p, EnergyCategory.MEMORY, report.layer_name)
+            report.latency_s += memory_t
+            report.energy_j += memory_t * p
+
+    def _charge_switch(
+        self,
+        latency_s: float,
+        config: ClockConfig,
+        account: EnergyAccount,
+        report: LayerReport,
+    ) -> None:
+        if latency_s <= 0:
+            return
+        p = self.board.power_model.switching_power(config)
+        account.add(latency_s, p, EnergyCategory.SWITCH, report.layer_name)
+        report.latency_s += latency_s
+        report.energy_j += latency_s * p
+
+    def _run_fused(
+        self,
+        rcc: RCC,
+        trace: LayerTrace,
+        target: ClockConfig,
+        account: EnergyAccount,
+        report: LayerReport,
+    ) -> int:
+        """Run an undecoupled layer entirely at ``target``."""
+        cost = rcc.apply(target)
+        self._charge_switch(cost.latency_s, rcc.current, account, report)
+        mux = 1 if cost.latency_s > 0 else 0
+        for segment in trace.segments:
+            self._charge_segment(segment, rcc.current, account, report)
+        return mux
+
+    #: Background PLL re-locks observed during the current run (reset
+    #: at the top of :meth:`run`).
+    _background_relocks: int = 0
+
+    def _run_decoupled(
+        self,
+        rcc: RCC,
+        trace: LayerTrace,
+        hfo: ClockConfig,
+        lfo: ClockConfig,
+        account: EnergyAccount,
+        report: LayerReport,
+    ) -> int:
+        """Run a DAE layer bouncing between LFO and HFO segments."""
+        if hfo.source is not SysclkSource.PLL:
+            raise TraceError(
+                f"layer {trace.layer_name!r}: HFO must be PLL-sourced"
+            )
+        mux = 0
+        segments = trace.segments
+        if len(segments) != 2 * trace.iterations:
+            raise TraceError(
+                f"layer {trace.layer_name!r}: malformed decoupled trace"
+            )
+        # --- first iteration: drives the real RCC state machine --------
+        # All switch stalls are priced at the LFO switching power: the
+        # core is parked on (or transitioning through) the HSE while
+        # the mux handshakes and the PLL hunts for lock.
+        mem_seg, comp_seg = segments[0], segments[1]
+        # ClockSwitchHSE (Listing 1, line 3): park the mux on the HSE.
+        cost = rcc.apply(lfo)
+        self._charge_switch(cost.latency_s, lfo, account, report)
+        if cost.latency_s > 0:
+            mux += 1
+        # The PLL reprograms in the background during the first buffer
+        # copy; any lock time the copy does not cover stalls the core.
+        mem_time = self.board.core.segment_time_s(
+            mem_seg.workload, lfo.sysclk_hz
+        )
+        lock_s = rcc.prepare_pll(hfo)
+        if lock_s > 0:
+            self._background_relocks += 1
+        self._charge_switch(max(0.0, lock_s - mem_time), lfo, account, report)
+        self._charge_segment(mem_seg, lfo, account, report)
+        # ClockSwitchPLL (Listing 1, line 7): mux onto the locked PLL.
+        cost = rcc.apply(hfo)
+        self._charge_switch(cost.latency_s, lfo, account, report)
+        if cost.latency_s > 0:
+            mux += 1
+        self._charge_segment(comp_seg, hfo, account, report)
+        # --- remaining iterations: identical LFO<->HFO bounces ---------
+        # The RCC state no longer changes (the PLL stays programmed),
+        # so identical (memory, compute) pairs are charged in batches.
+        remaining = trace.iterations - 1
+        if remaining > 0:
+            pairs: Dict[tuple, int] = {}
+            order: List[tuple] = []
+            for i in range(1, trace.iterations):
+                key = (segments[2 * i].workload, segments[2 * i + 1].workload)
+                if key not in pairs:
+                    pairs[key] = 0
+                    order.append(key)
+                pairs[key] += 1
+            mux_cost = self.board.switch_cost_model.mux_switch_s
+            for key in order:
+                count = pairs[key]
+                mem_workload, comp_workload = key
+                self._charge_switch(
+                    2 * count * mux_cost, lfo, account, report
+                )
+                mux += 2 * count
+                self._charge_segment_batch(
+                    mem_workload, count, lfo, SegmentKind.MEMORY,
+                    account, report,
+                )
+                self._charge_segment_batch(
+                    comp_workload, count, hfo, SegmentKind.COMPUTE,
+                    account, report,
+                )
+        return mux
+
+    def _charge_segment_batch(
+        self,
+        workload,
+        count: int,
+        config: ClockConfig,
+        kind: SegmentKind,
+        account: EnergyAccount,
+        report: LayerReport,
+    ) -> None:
+        """Charge ``count`` identical segments in one ledger entry each."""
+        compute_t, memory_t = self.board.core.segment_time_parts(
+            workload, config.sysclk_hz
+        )
+        power = self.board.power_model
+        if compute_t > 0:
+            p = power.power(config, PowerState.ACTIVE_COMPUTE)
+            account.add(
+                count * compute_t, p, EnergyCategory.COMPUTE, report.layer_name
+            )
+            report.latency_s += count * compute_t
+            report.energy_j += count * compute_t * p
+        if memory_t > 0:
+            p = power.power(config, PowerState.ACTIVE_MEMORY)
+            account.add(
+                count * memory_t, p, EnergyCategory.MEMORY, report.layer_name
+            )
+            report.latency_s += count * memory_t
+            report.energy_j += count * memory_t * p

@@ -1,0 +1,158 @@
+"""Deployment-plan serialization.
+
+A :class:`~repro.engine.schedule.DeploymentPlan` is the artifact the
+offline optimization hands to the firmware build: per-layer
+granularities plus the exact RCC register values (HSE frequency, PLLM,
+PLLN, PLLP) of each layer's HFO clock. This module round-trips plans
+through plain JSON so they can be versioned, diffed and shipped.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, Union
+
+from ..clock.configs import ClockConfig, SysclkSource
+from ..clock.pll import PLLSettings
+from ..errors import GraphError
+from .schedule import DeploymentPlan, LayerPlan
+
+#: Schema version written into every file.
+FORMAT_VERSION = 1
+
+
+def clock_config_to_dict(config: ClockConfig) -> Dict[str, Any]:
+    """JSON-safe encoding of one clock configuration."""
+    data: Dict[str, Any] = {
+        "source": config.source.value,
+        "hse_hz": config.hse_hz,
+    }
+    if config.pll is not None:
+        data["pll"] = {
+            "pllm": config.pll.pllm,
+            "plln": config.pll.plln,
+            "pllp": config.pll.pllp,
+        }
+    return data
+
+
+def clock_config_from_dict(data: Dict[str, Any]) -> ClockConfig:
+    """Decode (and re-validate) one clock configuration.
+
+    Raises:
+        GraphError: for unknown sources or missing fields; illegal
+            divider values surface as ``ClockConfigError`` from the
+            constructors, so corrupt files cannot produce invalid
+            hardware settings.
+    """
+    try:
+        source = SysclkSource(data["source"])
+    except (KeyError, ValueError) as err:
+        raise GraphError(f"bad clock source in plan file: {err}") from err
+    pll = None
+    if "pll" in data:
+        pll_data = data["pll"]
+        try:
+            pll = PLLSettings(
+                pllm=int(pll_data["pllm"]),
+                plln=int(pll_data["plln"]),
+                pllp=int(pll_data["pllp"]),
+            )
+        except KeyError as err:
+            raise GraphError(f"incomplete PLL settings: {err}") from err
+    try:
+        hse_hz = float(data["hse_hz"])
+    except (KeyError, TypeError, ValueError) as err:
+        raise GraphError(f"bad HSE frequency in plan file: {err}") from err
+    return ClockConfig(source=source, hse_hz=hse_hz, pll=pll)
+
+
+def plan_to_dict(plan: DeploymentPlan) -> Dict[str, Any]:
+    """Encode a plan as a JSON-safe dictionary."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "model_name": plan.model_name,
+        "qos_s": plan.qos_s,
+        "predicted_latency_s": plan.predicted_latency_s,
+        "predicted_energy_j": plan.predicted_energy_j,
+        "lfo": clock_config_to_dict(plan.lfo),
+        "layers": [
+            {
+                "node_id": lp.node_id,
+                "granularity": lp.granularity,
+                "hfo": clock_config_to_dict(lp.hfo),
+                "predicted_latency_s": lp.predicted_latency_s,
+                "predicted_energy_j": lp.predicted_energy_j,
+            }
+            for _, lp in sorted(plan.layer_plans.items())
+        ],
+    }
+
+
+def plan_from_dict(data: Dict[str, Any]) -> DeploymentPlan:
+    """Decode a plan dictionary.
+
+    Raises:
+        GraphError: on schema violations (wrong version, missing keys,
+            duplicate node ids).
+    """
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise GraphError(
+            f"unsupported plan format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    try:
+        layer_entries = data["layers"]
+        model_name = data["model_name"]
+    except KeyError as err:
+        raise GraphError(f"plan file missing key: {err}") from err
+    layer_plans: Dict[int, LayerPlan] = {}
+    for entry in layer_entries:
+        try:
+            node_id = int(entry["node_id"])
+            layer_plan = LayerPlan(
+                node_id=node_id,
+                granularity=int(entry["granularity"]),
+                hfo=clock_config_from_dict(entry["hfo"]),
+                predicted_latency_s=float(
+                    entry.get("predicted_latency_s", 0.0)
+                ),
+                predicted_energy_j=float(
+                    entry.get("predicted_energy_j", 0.0)
+                ),
+            )
+        except KeyError as err:
+            raise GraphError(f"plan layer entry missing key: {err}") from err
+        if node_id in layer_plans:
+            raise GraphError(f"duplicate node id {node_id} in plan file")
+        layer_plans[node_id] = layer_plan
+    return DeploymentPlan(
+        model_name=model_name,
+        lfo=clock_config_from_dict(data["lfo"]),
+        layer_plans=layer_plans,
+        qos_s=data.get("qos_s"),
+        predicted_latency_s=float(data.get("predicted_latency_s", 0.0)),
+        predicted_energy_j=float(data.get("predicted_energy_j", 0.0)),
+    )
+
+
+def save_plan(plan: DeploymentPlan, path: Union[str, pathlib.Path]) -> None:
+    """Write a plan to a JSON file."""
+    pathlib.Path(path).write_text(
+        json.dumps(plan_to_dict(plan), indent=2) + "\n"
+    )
+
+
+def load_plan(path: Union[str, pathlib.Path]) -> DeploymentPlan:
+    """Read a plan from a JSON file.
+
+    Raises:
+        GraphError: for malformed files (including invalid JSON).
+    """
+    try:
+        data = json.loads(pathlib.Path(path).read_text())
+    except json.JSONDecodeError as err:
+        raise GraphError(f"plan file is not valid JSON: {err}") from err
+    return plan_from_dict(data)

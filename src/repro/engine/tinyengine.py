@@ -1,0 +1,86 @@
+"""TinyEngine-style baselines (paper Sec. IV).
+
+Two baselines frame the evaluation:
+
+* :class:`TinyEngine` -- the state-of-the-art inference engine the
+  paper compares against: per-channel depthwise / per-column pointwise
+  kernels (fused traces, no DAE), running flat out at the maximum
+  216 MHz SYSCLK.  In the iso-latency scenario the board then sits in
+  plain WFI idle *at 216 MHz* until the QoS window closes.
+* :class:`TinyEngineClockGated` -- the same engine, but post-inference
+  idling deactivates unused clocks and the voltage regulator ("clock
+  gating"), collapsing the idle power to the gated floor.
+
+Both reuse :class:`~repro.engine.runtime.DVFSRuntime` with a uniform
+g=0 / 216 MHz plan, so every modelling assumption is shared with the
+proposed approach and the comparison isolates the scheduling policy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..clock.configs import ClockConfig, max_performance_config
+from ..mcu.board import Board
+from ..nn.graph import Model
+from .cost import TraceParams
+from .runtime import DVFSRuntime, IdlePolicy, InferenceReport
+from .schedule import uniform_plan
+
+
+class TinyEngine:
+    """Fixed-clock, fused-kernel baseline engine.
+
+    Args:
+        board: the simulated board.
+        clock: engine clock; defaults to the minimum-power 216 MHz
+            configuration (the paper's baseline setting).
+        trace_params: access-pattern constants (shared with the DVFS
+            runtime for apples-to-apples comparisons).
+    """
+
+    #: Post-inference idle policy of this engine variant.
+    idle_policy = IdlePolicy.HOT
+
+    def __init__(
+        self,
+        board: Board,
+        clock: Optional[ClockConfig] = None,
+        trace_params: Optional[TraceParams] = None,
+    ):
+        self.board = board
+        self.clock = clock or max_performance_config()
+        self._runtime = DVFSRuntime(board, trace_params)
+
+    def run(self, model: Model, qos_s: Optional[float] = None) -> InferenceReport:
+        """Run one inference; idle (per the engine's policy) to ``qos_s``."""
+        plan = uniform_plan(model, hfo=self.clock, granularity=0)
+        return self._runtime.run(
+            model,
+            plan,
+            qos_s=qos_s,
+            idle_policy=self.idle_policy,
+            initial_config=self.clock,
+        )
+
+    def inference_latency_s(self, model: Model) -> float:
+        """Latency of one inference (no QoS window)."""
+        return self.run(model).latency_s
+
+
+class TinyEngineClockGated(TinyEngine):
+    """TinyEngine with clock-gated post-inference idling."""
+
+    idle_policy = IdlePolicy.GATED
+
+
+class TinyEngineDeepSleep(TinyEngine):
+    """TinyEngine entering STOP-mode deep sleep between inferences.
+
+    A baseline *stronger* than anything the paper evaluates: the idle
+    window costs almost nothing, so beating it requires genuinely
+    cheaper inference -- exactly what isolates the DAE+DVFS
+    contribution from race-to-idle accounting (extension E11).
+    """
+
+    idle_policy = IdlePolicy.STOP

@@ -1,0 +1,143 @@
+"""Execution-segment traces.
+
+The DAE transformation (paper Sec. III-A, Listing 1) turns a
+convolution layer into an alternating sequence of
+
+* **memory-bound segments** -- buffer ``g`` channels (depthwise) or
+  ``g`` columns (pointwise) into SRAM, plus stream the needed weights
+  from flash -- and
+* **compute-bound segments** -- run the ``g`` convolutions
+  back-to-back out of the warm buffers.
+
+A :class:`LayerTrace` is that sequence plus bookkeeping; an
+un-decoupled layer (``g == 0`` or a non-DAE layer kind) is a single
+:attr:`SegmentKind.FUSED` segment.  Traces carry *primitive counts*
+(:class:`~repro.mcu.core.SegmentWorkload`), not times: the runtime
+prices them at whatever clock each segment ends up running, which is
+what lets one trace be evaluated across the whole DVFS design space.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, List
+
+from ..errors import TraceError
+from ..mcu.core import SegmentWorkload
+from ..nn.layers.base import LayerKind
+
+
+class SegmentKind(enum.Enum):
+    """Phase of a DAE-restructured layer."""
+
+    #: Buffering phase: runs at the LFO clock.
+    MEMORY = "memory"
+    #: Arithmetic phase: runs at the layer's HFO clock.
+    COMPUTE = "compute"
+    #: Un-decoupled execution: one clock for the whole layer.
+    FUSED = "fused"
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One homogeneous execution phase."""
+
+    kind: SegmentKind
+    workload: SegmentWorkload
+
+    def __post_init__(self) -> None:
+        total = (
+            self.workload.cpu_cycles
+            + self.workload.flash_bytes
+            + self.workload.sram_bytes
+        )
+        if total <= 0:
+            raise TraceError("segment must carry a non-empty workload")
+
+
+@dataclass
+class LayerTrace:
+    """The segment sequence of one layer at one granularity.
+
+    Attributes:
+        node_id: graph node this trace describes.
+        layer_name: the layer's name (for reports).
+        layer_kind: the layer's kind (drives Fig. 6 statistics).
+        granularity: DAE granularity g (0 = no decoupling).
+        segments: ordered segment list.  For a decoupled layer this is
+            ``iterations`` (memory, compute) pairs; for a fused layer a
+            single FUSED segment.
+        iterations: number of DAE loop iterations (0 when fused).
+    """
+
+    node_id: int
+    layer_name: str
+    layer_kind: LayerKind
+    granularity: int
+    segments: List[Segment] = field(default_factory=list)
+    iterations: int = 0
+
+    def __post_init__(self) -> None:
+        if self.granularity < 0:
+            raise TraceError("granularity must be >= 0")
+        if self.granularity == 0:
+            if self.iterations != 0:
+                raise TraceError("fused traces cannot have iterations")
+        elif self.iterations <= 0:
+            raise TraceError("decoupled traces need >= 1 iteration")
+
+    @property
+    def is_decoupled(self) -> bool:
+        """Whether this trace alternates memory/compute segments."""
+        return self.granularity > 0
+
+    def memory_segments(self) -> List[Segment]:
+        """Segments that run at the LFO clock."""
+        return [s for s in self.segments if s.kind is SegmentKind.MEMORY]
+
+    def compute_segments(self) -> List[Segment]:
+        """Segments that run at the HFO clock."""
+        return [s for s in self.segments if s.kind is SegmentKind.COMPUTE]
+
+    def total_workload(self) -> SegmentWorkload:
+        """Sum of all segment workloads (granularity-independent MACs
+        plus granularity-dependent buffering overheads)."""
+        total = SegmentWorkload()
+        for segment in self.segments:
+            total = total.merged(segment.workload)
+        return total
+
+    def mux_switch_count(self) -> int:
+        """SYSCLK mux transitions this trace's execution performs.
+
+        Two per iteration: into the memory segment (to HSE) and back
+        into the compute segment (to PLL).  Fused traces switch zero
+        times within the layer.
+        """
+        return 2 * self.iterations if self.is_decoupled else 0
+
+
+@dataclass
+class ModelTrace:
+    """Per-layer traces for one full model configuration."""
+
+    model_name: str
+    layer_traces: List[LayerTrace] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[LayerTrace]:
+        return iter(self.layer_traces)
+
+    def __len__(self) -> int:
+        return len(self.layer_traces)
+
+    def trace_for(self, node_id: int) -> LayerTrace:
+        """Find the trace of one node.
+
+        Raises:
+            TraceError: if the node has no trace.
+        """
+        for trace in self.layer_traces:
+            if trace.node_id == node_id:
+                return trace
+        raise TraceError(f"no trace for node {node_id}")

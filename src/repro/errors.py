@@ -1,0 +1,77 @@
+"""Exception hierarchy for the library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`
+so downstream users can catch library failures with a single handler
+while still distinguishing the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ClockConfigError(ReproError):
+    """An illegal clock-tree configuration was requested.
+
+    Raised when PLL divider/multiplier values fall outside the legal
+    STM32F7 ranges, the VCO input/output frequency constraints are
+    violated, or the resulting SYSCLK exceeds the part's maximum.
+    """
+
+
+class ClockSwitchError(ReproError):
+    """A clock switch was requested that the RCC cannot perform.
+
+    For example selecting the PLL as the SYSCLK source while the PLL is
+    disabled or not yet locked.
+    """
+
+
+class PowerModelError(ReproError):
+    """The power model was queried with an inconsistent state."""
+
+
+class QuantizationError(ReproError):
+    """Invalid quantization parameters or out-of-range quantized data."""
+
+
+class ShapeError(ReproError):
+    """A tensor shape does not match what a layer expects."""
+
+
+class GraphError(ReproError):
+    """The model graph is malformed (dangling refs, cycles, type errors)."""
+
+
+class TraceError(ReproError):
+    """An execution trace is inconsistent (e.g. negative durations)."""
+
+
+class ProfilingError(ReproError):
+    """The profiler was used incorrectly (e.g. stop before start)."""
+
+
+class DesignSpaceError(ReproError):
+    """An empty or inconsistent design space was supplied to the DSE."""
+
+
+class QoSInfeasibleError(ReproError):
+    """No selection of per-layer configurations can satisfy the QoS.
+
+    Carries the tightest achievable latency so callers can report how
+    far away the requested budget is.
+    """
+
+    def __init__(self, qos_s: float, min_latency_s: float):
+        self.qos_s = qos_s
+        self.min_latency_s = min_latency_s
+        super().__init__(
+            f"QoS budget of {qos_s * 1e3:.3f} ms is infeasible: the "
+            f"minimum achievable latency is {min_latency_s * 1e3:.3f} ms"
+        )
+
+
+class SolverError(ReproError):
+    """The knapsack solver received a malformed problem instance."""

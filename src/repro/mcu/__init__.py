@@ -1,0 +1,36 @@
+"""MCU substrate: memory, cache, core timing, timers and the board."""
+
+from .board import Board, make_nucleo_f746zg, make_nucleo_f767zi
+from .cache import CacheModel, CacheStats, SetAssociativeCache
+from .core import CoreModel, CoreTimingParams, SegmentWorkload
+from .memory import MemoryMap, MemoryRegion, make_flash, make_memory_map, make_sram
+from .replay import (
+    ReplayPoint,
+    interleaved_refetch_fraction,
+    measured_refetch_fraction,
+    validate_analytic_model,
+)
+from .timers import HardwareTimer, TimerConfig
+
+__all__ = [
+    "Board",
+    "make_nucleo_f746zg",
+    "make_nucleo_f767zi",
+    "CacheModel",
+    "CacheStats",
+    "SetAssociativeCache",
+    "CoreModel",
+    "CoreTimingParams",
+    "SegmentWorkload",
+    "MemoryMap",
+    "MemoryRegion",
+    "make_flash",
+    "make_memory_map",
+    "make_sram",
+    "ReplayPoint",
+    "interleaved_refetch_fraction",
+    "measured_refetch_fraction",
+    "validate_analytic_model",
+    "HardwareTimer",
+    "TimerConfig",
+]

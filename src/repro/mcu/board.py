@@ -1,0 +1,118 @@
+"""Board composition: the simulated STM32F767ZI Nucleo.
+
+A :class:`Board` bundles every hardware model the rest of the library
+consumes -- the RCC clock tree, the power model, the core timing
+model, the L1 cache model and the switch-cost model -- behind one
+object, so engines, profilers and benchmarks all run against the same
+hardware description.  :func:`make_nucleo_f767zi` builds the default
+board matching the paper's experimental setup (Sec. IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..clock.configs import ClockConfig, lfo_config
+from ..clock.rcc import RCC
+from ..clock.switching import SwitchCostModel
+from ..power.model import BoardPowerModel, PowerModelParams
+from .cache import CacheModel
+from .core import CoreModel, CoreTimingParams
+from .memory import MemoryMap
+from .timers import HardwareTimer, TimerConfig
+
+
+@dataclass
+class Board:
+    """One simulated MCU board.
+
+    Attributes:
+        name: board identifier.
+        rcc: the stateful clock controller.
+        power_model: (config, state) -> watts.
+        core: segment-workload -> wall-time pricing.
+        cache: analytic L1 model bounding the DAE granularity.
+        switch_cost_model: clock-transition pricing (shared with the
+            RCC so everyone agrees on switch latencies).
+    """
+
+    name: str
+    rcc: RCC
+    power_model: BoardPowerModel
+    core: CoreModel
+    cache: CacheModel
+    switch_cost_model: SwitchCostModel
+
+    @property
+    def memory_map(self) -> MemoryMap:
+        """The board's memory hierarchy."""
+        return self.core.memory_map
+
+    def make_timer(
+        self, sysclk_hz: Optional[float] = None, config: Optional[TimerConfig] = None
+    ) -> HardwareTimer:
+        """Create a timer clocked from the current (or given) SYSCLK."""
+        return HardwareTimer(
+            sysclk_hz=sysclk_hz if sysclk_hz is not None else self.rcc.sysclk_hz,
+            config=config,
+        )
+
+
+def make_nucleo_f746zg(
+    power_params: Optional[PowerModelParams] = None,
+    timing_params: Optional[CoreTimingParams] = None,
+) -> "Board":
+    """Build a sibling board: the STM32F746ZG Nucleo.
+
+    Same Cortex-M7 core and 216 MHz ceiling as the F767, but only a
+    4 KB L1 data cache and a slightly leakier process corner.  Used by
+    the portability benchmark (E17) to show the methodology is not
+    specific to one family member: the smaller cache pushes the useful
+    DAE granularities down, and the optimizer adapts.
+    """
+    base_power = power_params or PowerModelParams().scaled(
+        p_mcu_leakage_w=0.009
+    )
+    board = make_nucleo_f767zi(
+        power_params=base_power,
+        timing_params=timing_params,
+        cache=CacheModel(capacity_bytes=4 * 1024),
+    )
+    return Board(
+        name="nucleo-f746zg",
+        rcc=board.rcc,
+        power_model=board.power_model,
+        core=board.core,
+        cache=board.cache,
+        switch_cost_model=board.switch_cost_model,
+    )
+
+
+def make_nucleo_f767zi(
+    power_params: Optional[PowerModelParams] = None,
+    timing_params: Optional[CoreTimingParams] = None,
+    cache: Optional[CacheModel] = None,
+    memory_map: Optional[MemoryMap] = None,
+    switch_cost_model: Optional[SwitchCostModel] = None,
+    initial_config: Optional[ClockConfig] = None,
+) -> Board:
+    """Build the default STM32F767ZI Nucleo board model.
+
+    Every component can be overridden for sensitivity studies; the
+    defaults reproduce the paper's setup: Cortex-M7 with a 16 KB L1
+    data cache, 1..50 MHz HSE, 216 MHz maximum SYSCLK and the
+    calibrated power constants.
+    """
+    switch_model = switch_cost_model or SwitchCostModel()
+    return Board(
+        name="nucleo-f767zi",
+        rcc=RCC(
+            cost_model=switch_model,
+            initial=initial_config or lfo_config(),
+        ),
+        power_model=BoardPowerModel(power_params),
+        core=CoreModel(params=timing_params, memory_map=memory_map),
+        cache=cache or CacheModel(),
+        switch_cost_model=switch_model,
+    )

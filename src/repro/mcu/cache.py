@@ -1,0 +1,173 @@
+"""L1 data-cache models (16 KB on the Cortex-M7 of the STM32F767).
+
+Two models live here:
+
+* :class:`SetAssociativeCache` -- a faithful line-granular LRU
+  simulator.  It is used by the unit/property tests and by the one-off
+  calibration of the analytic model, and is available to users who
+  want to replay address traces.
+* :class:`CacheModel` -- the analytic capacity model consumed by the
+  segment cost model.  DAE buffers ``g`` channels (or ``g`` pointwise
+  columns) before computing on them; once the buffered working set
+  exceeds the usable cache capacity, buffered data is evicted before
+  it is consumed and the compute-bound segment has to re-fetch it from
+  flash.  This is the "very high buffer size can lead the cache misses
+  to skyrocket" cliff of paper Sec. III-A, and it is what bounds the
+  useful range of the decoupling granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..errors import ShapeError
+from ..units import kib
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of the cache simulator."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total number of accesses observed."""
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Miss ratio (0.0 when no accesses were made)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+
+class SetAssociativeCache:
+    """Line-granular set-associative LRU cache simulator.
+
+    Args:
+        capacity_bytes: total data capacity.
+        line_bytes: cache-line size.
+        ways: associativity.
+
+    Raises:
+        ShapeError: if the geometry is inconsistent (capacity not a
+            multiple of ``line_bytes * ways``, non-positive sizes).
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int = kib(16),
+        line_bytes: int = 32,
+        ways: int = 4,
+    ):
+        if capacity_bytes <= 0 or line_bytes <= 0 or ways <= 0:
+            raise ShapeError("cache geometry values must be positive")
+        if capacity_bytes % (line_bytes * ways) != 0:
+            raise ShapeError(
+                f"capacity {capacity_bytes} is not a multiple of "
+                f"line_bytes*ways = {line_bytes * ways}"
+            )
+        self.capacity_bytes = capacity_bytes
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.n_sets = capacity_bytes // (line_bytes * ways)
+        # Each set is an ordered list of line tags, most recent last.
+        self._sets: Dict[int, List[int]] = {}
+        self.stats = CacheStats()
+
+    def reset(self) -> None:
+        """Flush the cache and zero the statistics."""
+        self._sets.clear()
+        self.stats = CacheStats()
+
+    def access(self, address: int) -> bool:
+        """Access one byte address; returns True on hit.
+
+        Both loads and stores are modelled identically (write-allocate).
+        """
+        if address < 0:
+            raise ShapeError(f"address must be >= 0, got {address}")
+        line = address // self.line_bytes
+        set_index = line % self.n_sets
+        tag = line // self.n_sets
+        lines = self._sets.setdefault(set_index, [])
+        if tag in lines:
+            lines.remove(tag)
+            lines.append(tag)
+            self.stats.hits += 1
+            return True
+        lines.append(tag)
+        if len(lines) > self.ways:
+            lines.pop(0)
+        self.stats.misses += 1
+        return False
+
+    def access_range(self, start: int, n_bytes: int) -> int:
+        """Access a contiguous byte range; returns the number of misses."""
+        if n_bytes < 0:
+            raise ShapeError(f"range length must be >= 0, got {n_bytes}")
+        misses_before = self.stats.misses
+        line = start // self.line_bytes
+        last_line = (start + max(0, n_bytes - 1)) // self.line_bytes
+        while line <= last_line and n_bytes > 0:
+            self.access(line * self.line_bytes)
+            line += 1
+        return self.stats.misses - misses_before
+
+    def resident_bytes(self) -> int:
+        """Bytes currently held in the cache."""
+        return sum(len(lines) for lines in self._sets.values()) * self.line_bytes
+
+
+@dataclass(frozen=True)
+class CacheModel:
+    """Analytic miss model for DAE buffering.
+
+    Attributes:
+        capacity_bytes: L1 data-cache capacity (16 KB on the F767).
+        usable_fraction: fraction of the capacity actually available to
+            the DAE buffers -- the rest is occupied by weights, the
+            output tile and the runtime's own state.  Conflict misses
+            in a low-associativity cache further shrink the usable
+            share, which is why this is well below 1.0.
+        overflow_sharpness: how abruptly the refetch fraction ramps up
+            once the working set overflows (1.0 = proportional to the
+            overflow share; larger = steeper cliff).
+    """
+
+    capacity_bytes: int = kib(16)
+    usable_fraction: float = 0.55
+    overflow_sharpness: float = 1.6
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ShapeError("cache capacity must be positive")
+        if not 0.0 < self.usable_fraction <= 1.0:
+            raise ShapeError("usable_fraction must be in (0, 1]")
+        if self.overflow_sharpness <= 0:
+            raise ShapeError("overflow_sharpness must be positive")
+
+    @property
+    def usable_bytes(self) -> float:
+        """Capacity effectively available to buffered DAE data."""
+        return self.capacity_bytes * self.usable_fraction
+
+    def refetch_fraction(self, working_set_bytes: float) -> float:
+        """Fraction of buffered bytes evicted before they are consumed.
+
+        0.0 while the working set fits in the usable capacity, then a
+        convex ramp towards 1.0 as the working set grows -- the
+        granularity cliff.  Monotonically non-decreasing in the working
+        set size (a property test pins this).
+        """
+        if working_set_bytes < 0:
+            raise ShapeError("working set must be >= 0")
+        usable = self.usable_bytes
+        if working_set_bytes <= usable:
+            return 0.0
+        overflow_share = 1.0 - usable / working_set_bytes
+        return min(1.0, overflow_share ** (1.0 / self.overflow_sharpness))

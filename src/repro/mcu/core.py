@@ -1,0 +1,150 @@
+"""Analytic Cortex-M7 core timing model.
+
+The engine layer (:mod:`repro.engine.trace`) describes every layer
+execution as a sequence of *segments*, each carrying primitive counts:
+pure compute cycles, bytes streamed from flash and bytes moved in
+SRAM.  This module prices a segment at a given SYSCLK frequency:
+
+    t(f) = cpu_cycles / f  +  t_flash(bytes, f)  +  t_sram(bytes, f)
+
+where the flash term is mostly frequency-*independent* (wait-state
+bound, see :mod:`repro.mcu.memory`) and everything else scales 1/f.
+That split is the entire physical basis of the DAE+DVFS methodology:
+memory-bound segments lose little time at the 50 MHz LFO clock, while
+compute-bound segments need the PLL-generated HFO clock to meet
+latency.
+
+Cycle-per-MAC constants reflect CMSIS-NN-style int8 kernels on the
+M7's dual-issue pipeline with SMLAD (2 MACs/cycle peak): pointwise
+(1x1) convolutions vectorize well, depthwise convolutions suffer from
+short inner loops and achieve fewer MACs per cycle -- which is exactly
+why the paper finds depthwise layers tolerate lower frequencies
+(Fig. 6 analysis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ShapeError
+from .memory import MemoryMap, make_memory_map
+
+
+@dataclass(frozen=True)
+class CoreTimingParams:
+    """Cycle-cost constants of the analytic core model.
+
+    Attributes:
+        cycles_per_mac_depthwise: cycles per int8 MAC in depthwise
+            kernels (short rows, poor dual-issue utilization).
+        cycles_per_mac_pointwise: cycles per int8 MAC in pointwise
+            (1x1, matmul-like) kernels.
+        cycles_per_mac_conv: cycles per int8 MAC in generic conv/dense
+            kernels.
+        cycles_per_buffer_byte: cycles to move one byte into an SRAM
+            DAE buffer (load-use plus store, amortized).
+        cycles_per_output_byte: cycles to requantize and store one
+            output byte.
+        loop_overhead_cycles: fixed per-segment control overhead
+            (loop setup, pointer arithmetic, function prologue).
+    """
+
+    cycles_per_mac_depthwise: float = 1.7
+    cycles_per_mac_pointwise: float = 1.0
+    cycles_per_mac_conv: float = 1.3
+    cycles_per_buffer_byte: float = 0.8
+    cycles_per_output_byte: float = 0.6
+    loop_overhead_cycles: float = 14.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "cycles_per_mac_depthwise",
+            "cycles_per_mac_pointwise",
+            "cycles_per_mac_conv",
+            "cycles_per_buffer_byte",
+            "cycles_per_output_byte",
+            "loop_overhead_cycles",
+        ):
+            if getattr(self, name) < 0:
+                raise ShapeError(f"{name} must be >= 0")
+
+
+@dataclass(frozen=True)
+class SegmentWorkload:
+    """Primitive counts of one execution segment.
+
+    Attributes:
+        cpu_cycles: pure computation cycles (scale as 1/f).
+        flash_bytes: bytes streamed from flash (wait-state bound;
+            mostly frequency independent in wall time).
+        sram_bytes: bytes moved within SRAM (cycle priced).
+    """
+
+    cpu_cycles: float = 0.0
+    flash_bytes: float = 0.0
+    sram_bytes: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cpu_cycles < 0 or self.flash_bytes < 0 or self.sram_bytes < 0:
+            raise ShapeError("segment workload counts must be >= 0")
+
+    def merged(self, other: "SegmentWorkload") -> "SegmentWorkload":
+        """Element-wise sum of two workloads."""
+        return SegmentWorkload(
+            cpu_cycles=self.cpu_cycles + other.cpu_cycles,
+            flash_bytes=self.flash_bytes + other.flash_bytes,
+            sram_bytes=self.sram_bytes + other.sram_bytes,
+        )
+
+
+class CoreModel:
+    """Prices :class:`SegmentWorkload` objects at a given frequency."""
+
+    def __init__(
+        self,
+        params: CoreTimingParams | None = None,
+        memory_map: MemoryMap | None = None,
+    ):
+        self.params = params or CoreTimingParams()
+        self.memory_map = memory_map or make_memory_map()
+
+    def segment_time_parts(
+        self, workload: SegmentWorkload, f_hz: float
+    ) -> "tuple[float, float]":
+        """(compute_time, memory_time) of one segment at ``f_hz``.
+
+        The compute part is the pure-cycle term; the memory part is the
+        flash/SRAM transfer time.  The runtime prices the two parts at
+        different power states (the core draws less while stalled).
+
+        Raises:
+            ShapeError: if the frequency is not positive.
+        """
+        if f_hz <= 0:
+            raise ShapeError(f"frequency must be positive, got {f_hz}")
+        compute_t = workload.cpu_cycles / f_hz
+        memory_t = self.memory_map.flash.transfer_time_s(
+            workload.flash_bytes, f_hz
+        ) + self.memory_map.sram.transfer_time_s(workload.sram_bytes, f_hz)
+        return compute_t, memory_t
+
+    def segment_time_s(self, workload: SegmentWorkload, f_hz: float) -> float:
+        """Wall time of one segment at SYSCLK frequency ``f_hz``."""
+        compute_t, memory_t = self.segment_time_parts(workload, f_hz)
+        return compute_t + memory_t
+
+    def frequency_sensitivity(
+        self, workload: SegmentWorkload, f_low_hz: float, f_high_hz: float
+    ) -> float:
+        """How much a segment speeds up from ``f_low`` to ``f_high``.
+
+        Returns the speedup ratio ``t(f_low) / t(f_high)``; 1.0 means
+        completely frequency-insensitive (perfectly memory bound), and
+        ``f_high / f_low`` means perfectly compute bound.  The DSE uses
+        this as a diagnostic for how well DAE separated the phases.
+        """
+        t_low = self.segment_time_s(workload, f_low_hz)
+        t_high = self.segment_time_s(workload, f_high_hz)
+        if t_high == 0.0:
+            return 1.0
+        return t_low / t_high

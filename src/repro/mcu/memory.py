@@ -1,0 +1,119 @@
+"""Memory-system timing model (flash and SRAM of the STM32F767).
+
+The crucial physical fact the DAE methodology exploits is that the two
+memory levels scale *differently* with the core clock:
+
+* **Flash** accesses are wait-state bound.  The F7 inserts wait states
+  proportionally to SYSCLK (ART accelerator aside), so a random flash
+  line fetch takes roughly constant *wall time* (~tens of ns)
+  regardless of frequency.  Running a flash-streaming, memory-bound
+  segment at 50 MHz instead of 216 MHz therefore wastes little time
+  while saving a lot of power -- "exploiting processor idling during
+  memory accesses" (paper Sec. I).
+* **SRAM** (and cache hits) take a fixed number of *cycles*, so their
+  wall time scales as 1/f like compute.
+
+Each :class:`MemoryRegion` carries both components: a fixed wall-time
+term per line fetch and a per-access cycle term, so
+``access_time(f) = cycles / f + fixed``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ShapeError
+from ..units import kib, ns
+
+
+@dataclass(frozen=True)
+class MemoryRegion:
+    """One addressable memory of the board.
+
+    Attributes:
+        name: human-readable region name.
+        size_bytes: region capacity.
+        line_bytes: transfer granularity (cache-line sized bursts for
+            flash; word-sized for SRAM).
+        fixed_latency_s: wall-time component of one line transfer
+            (wait-state / array-access bound; frequency independent).
+        cycles_per_line: core-cycle component of one line transfer
+            (issue, address generation, bus handshake).
+    """
+
+    name: str
+    size_bytes: int
+    line_bytes: int
+    fixed_latency_s: float
+    cycles_per_line: float
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.line_bytes <= 0:
+            raise ShapeError("memory sizes must be positive")
+        if self.fixed_latency_s < 0 or self.cycles_per_line < 0:
+            raise ShapeError("memory latencies must be >= 0")
+
+    def lines_for(self, n_bytes: float) -> float:
+        """Number of line transfers needed to move ``n_bytes``.
+
+        Fractional results are allowed: the analytic cost model works
+        with expected values, not discrete event counts.
+        """
+        if n_bytes < 0:
+            raise ShapeError(f"byte count must be >= 0, got {n_bytes}")
+        return n_bytes / self.line_bytes
+
+    def transfer_time_s(self, n_bytes: float, f_hz: float) -> float:
+        """Wall time to move ``n_bytes`` at core frequency ``f_hz``."""
+        if f_hz <= 0:
+            raise ShapeError(f"frequency must be positive, got {f_hz}")
+        lines = self.lines_for(n_bytes)
+        return lines * (self.cycles_per_line / f_hz + self.fixed_latency_s)
+
+
+def make_flash() -> MemoryRegion:
+    """The 2 MiB embedded flash of the STM32F767.
+
+    One 32-byte line fetch costs ~1 issue cycle plus ~40 ns of
+    wait-state time (the F7 scales wait states with frequency, making
+    the array access roughly constant in wall time).
+    """
+    return MemoryRegion(
+        name="flash",
+        size_bytes=2 * kib(1024),
+        line_bytes=32,
+        fixed_latency_s=ns(40),
+        cycles_per_line=1.0,
+    )
+
+
+def make_sram() -> MemoryRegion:
+    """The AXI SRAM of the STM32F767 as seen through the L1 cache.
+
+    Word-granular scattered accesses: one issue cycle plus ~30 ns of
+    average bus-matrix/line-fill latency per word.  The fixed term
+    aggregates the L1 miss cost over typical conv access patterns --
+    it is a calibrated average, not a zero-wait-state DTCM figure --
+    and is the frequency-independent stall time that makes memory-
+    bound segments cheap to run at the LFO clock.
+    """
+    return MemoryRegion(
+        name="sram",
+        size_bytes=kib(512),
+        line_bytes=4,
+        fixed_latency_s=ns(14),
+        cycles_per_line=1.0,
+    )
+
+
+@dataclass(frozen=True)
+class MemoryMap:
+    """The board's memory hierarchy endpoints."""
+
+    flash: MemoryRegion
+    sram: MemoryRegion
+
+
+def make_memory_map() -> MemoryMap:
+    """Default STM32F767 memory map."""
+    return MemoryMap(flash=make_flash(), sram=make_sram())

@@ -1,0 +1,117 @@
+"""Address-trace replay: cross-validating the analytic cache model.
+
+The analytic :class:`~repro.mcu.cache.CacheModel` predicts how much of
+a DAE buffer survives in cache until the compute phase consumes it.
+This module generates the actual address traces a DAE iteration
+produces -- buffer fill, weight walk, buffer consumption -- and replays
+them through the line-accurate :class:`~repro.mcu.cache.SetAssociativeCache`
+simulator, so the analytic shortcut can be validated against a real
+eviction process (see ``tests/mcu/test_replay.py`` and the discussion
+in docs/calibration.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..errors import ShapeError
+from .cache import CacheModel, SetAssociativeCache
+
+
+@dataclass(frozen=True)
+class ReplayPoint:
+    """One working-set size, predicted vs. simulated."""
+
+    working_set_bytes: int
+    analytic_refetch: float
+    simulated_refetch: float
+
+
+def measured_refetch_fraction(
+    cache: SetAssociativeCache, working_set_bytes: int
+) -> float:
+    """Fraction of a just-written buffer that misses when consumed.
+
+    Models one DAE iteration: the memory-bound phase streams
+    ``working_set_bytes`` through the cache (buffer fill), then the
+    compute phase walks the same bytes again.  The second pass's miss
+    rate is the refetch fraction the analytic model approximates.
+
+    Raises:
+        ShapeError: for a non-positive working set.
+    """
+    if working_set_bytes <= 0:
+        raise ShapeError("working set must be positive")
+    cache.reset()
+    cache.access_range(0, working_set_bytes)
+    cache.stats = type(cache.stats)()
+    cache.access_range(0, working_set_bytes)
+    return cache.stats.miss_rate
+
+
+def interleaved_refetch_fraction(
+    cache: SetAssociativeCache,
+    buffer_bytes: int,
+    weight_bytes: int,
+) -> float:
+    """Refetch fraction when weights compete with the DAE buffer.
+
+    The compute phase of a pointwise group alternates between buffered
+    columns and the weight matrix; both fight for the same sets.  The
+    trace: fill the buffer, then interleave one weight walk with the
+    buffer consumption, and report the miss rate of the buffer reads.
+    """
+    if buffer_bytes <= 0 or weight_bytes < 0:
+        raise ShapeError("buffer must be positive, weights non-negative")
+    cache.reset()
+    weight_base = 1 << 26  # distinct address region
+    cache.access_range(weight_base, weight_bytes)  # warm weights
+    cache.access_range(0, buffer_bytes)            # buffer fill
+    # Compute phase: walk weights fully per chunk of buffer (worst
+    # case of a column-major kernel), counting only buffer misses.
+    chunk = max(cache.line_bytes, buffer_bytes // 8)
+    buffer_misses = 0
+    buffer_accesses = 0
+    offset = 0
+    while offset < buffer_bytes:
+        n = min(chunk, buffer_bytes - offset)
+        before = cache.stats.misses
+        cache.access_range(offset, n)
+        buffer_misses += cache.stats.misses - before
+        buffer_accesses += -(-n // cache.line_bytes)
+        cache.access_range(weight_base, weight_bytes)
+        offset += n
+    if buffer_accesses == 0:
+        return 0.0
+    return buffer_misses / buffer_accesses
+
+
+def validate_analytic_model(
+    model: CacheModel,
+    working_sets: Sequence[int],
+    line_bytes: int = 32,
+    ways: int = 4,
+) -> List[ReplayPoint]:
+    """Predicted vs. simulated refetch across working-set sizes.
+
+    Returns one :class:`ReplayPoint` per requested size; callers (and
+    the test suite) assert the analytic model brackets the simulated
+    eviction behaviour: zero below the usable capacity, rising toward
+    1.0 beyond it, monotone in between.
+    """
+    simulator = SetAssociativeCache(
+        capacity_bytes=model.capacity_bytes,
+        line_bytes=line_bytes,
+        ways=ways,
+    )
+    points = []
+    for ws in working_sets:
+        points.append(
+            ReplayPoint(
+                working_set_bytes=ws,
+                analytic_refetch=model.refetch_fraction(ws),
+                simulated_refetch=measured_refetch_fraction(simulator, ws),
+            )
+        )
+    return points

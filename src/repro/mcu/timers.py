@@ -1,0 +1,102 @@
+"""On-board timer model used by the per-layer profiler.
+
+The paper's runtime monitoring mechanism "relies on the on-board
+timers of the target MCU, which are triggered in-between the layers'
+code segments" (Sec. III-B).  A hardware timer counts SYSCLK ticks
+through a prescaler, so latency measurements are quantized to the tick
+period and wrap at the counter width.  Modelling that quantization
+keeps the profiling pipeline honest: the DSE consumes *measured*
+latencies, not the model's infinitely precise floats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ProfilingError
+
+
+@dataclass(frozen=True)
+class TimerConfig:
+    """Configuration of one timer peripheral.
+
+    Attributes:
+        prescaler: SYSCLK divider feeding the counter (>= 1).
+        counter_bits: counter width (16 for most STM32 TIMx, 32 for
+            TIM2/TIM5).
+    """
+
+    prescaler: int = 1
+    counter_bits: int = 32
+
+    def __post_init__(self) -> None:
+        if self.prescaler < 1:
+            raise ProfilingError("timer prescaler must be >= 1")
+        if self.counter_bits not in (16, 32):
+            raise ProfilingError("counter_bits must be 16 or 32")
+
+
+class HardwareTimer:
+    """A free-running timer clocked from the SYSCLK.
+
+    Args:
+        sysclk_hz: frequency of the clock feeding the timer.
+        config: prescaler and counter width.
+    """
+
+    def __init__(self, sysclk_hz: float, config: TimerConfig | None = None):
+        if sysclk_hz <= 0:
+            raise ProfilingError("timer SYSCLK must be positive")
+        self.sysclk_hz = sysclk_hz
+        self.config = config or TimerConfig()
+        self._start_ticks: int | None = None
+        self._now_s = 0.0
+
+    @property
+    def tick_period_s(self) -> float:
+        """Seconds per counter tick."""
+        return self.config.prescaler / self.sysclk_hz
+
+    @property
+    def max_ticks(self) -> int:
+        """Counter wrap value."""
+        return 1 << self.config.counter_bits
+
+    def ticks_for(self, duration_s: float) -> int:
+        """Ticks elapsed for ``duration_s`` (floor quantization)."""
+        if duration_s < 0:
+            raise ProfilingError("duration must be >= 0")
+        return int(duration_s / self.tick_period_s)
+
+    def advance(self, duration_s: float) -> None:
+        """Advance simulated time."""
+        if duration_s < 0:
+            raise ProfilingError("cannot advance time backwards")
+        self._now_s += duration_s
+
+    def start(self) -> None:
+        """Latch the current counter value."""
+        self._start_ticks = self.ticks_for(self._now_s) % self.max_ticks
+
+    def stop(self) -> float:
+        """Return the measured (quantized) duration since :meth:`start`.
+
+        Handles a single counter wrap, like real firmware does.
+
+        Raises:
+            ProfilingError: if :meth:`start` was never called.
+        """
+        if self._start_ticks is None:
+            raise ProfilingError("timer stopped before it was started")
+        now_ticks = self.ticks_for(self._now_s) % self.max_ticks
+        delta = now_ticks - self._start_ticks
+        if delta < 0:
+            delta += self.max_ticks
+        self._start_ticks = None
+        return delta * self.tick_period_s
+
+    def measure(self, duration_s: float) -> float:
+        """Convenience: measure a known duration with tick quantization."""
+        self.start()
+        self.advance(duration_s)
+        return self.stop()

@@ -1,0 +1,70 @@
+"""int8 CNN library: tensors, quantization, layers, graphs, models."""
+
+from .generator import random_separable_cnn
+from .graph import INPUT_ID, Model, Node
+from .layers import (
+    Conv2D,
+    ReLU,
+    Dense,
+    DepthwiseConv2D,
+    Flatten,
+    GlobalAveragePool,
+    Layer,
+    LayerKind,
+    MaxPool2D,
+    PointwiseConv2D,
+    ResidualAdd,
+)
+from .models import (
+    PAPER_MODELS,
+    build_mbv2,
+    build_person_detection,
+    build_tiny_test_model,
+    build_vww,
+    scale_channels,
+)
+from .serialize import load_model, save_model
+from .quantize import (
+    QuantParams,
+    choose_qparams,
+    quantize_array,
+    quantize_multiplier,
+    quantize_tensor,
+    requantize,
+)
+from .tensor import INT8_MAX, INT8_MIN, QuantizedTensor
+
+__all__ = [
+    "random_separable_cnn",
+    "INPUT_ID",
+    "Model",
+    "Node",
+    "Conv2D",
+    "ReLU",
+    "Dense",
+    "DepthwiseConv2D",
+    "Flatten",
+    "GlobalAveragePool",
+    "Layer",
+    "LayerKind",
+    "MaxPool2D",
+    "PointwiseConv2D",
+    "ResidualAdd",
+    "PAPER_MODELS",
+    "build_mbv2",
+    "build_person_detection",
+    "build_tiny_test_model",
+    "build_vww",
+    "scale_channels",
+    "load_model",
+    "save_model",
+    "QuantParams",
+    "choose_qparams",
+    "quantize_array",
+    "quantize_multiplier",
+    "quantize_tensor",
+    "requantize",
+    "INT8_MAX",
+    "INT8_MIN",
+    "QuantizedTensor",
+]

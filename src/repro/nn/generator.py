@@ -1,0 +1,68 @@
+"""Random CNN workload generator.
+
+Stress-testing surface for the whole stack: generates random but
+*valid* MCU-scale CNNs in the depthwise-separable / inverted-residual
+family the paper targets.  Property-based tests drive the full
+pipeline — DAE bit-exactness, trace building, DSE, MCKP, deployment —
+over these architectures to establish that nothing in the toolchain
+depends on the three hand-built evaluation models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from .graph import Model
+from .models import _Builder, scale_channels
+
+
+def random_separable_cnn(
+    seed: int,
+    num_blocks: int = 4,
+    input_hw: int = 24,
+    num_classes: int = 4,
+    max_channels: int = 64,
+) -> Model:
+    """Generate a random depthwise-separable CNN.
+
+    Architecture template: conv stem, then ``num_blocks`` blocks each
+    randomly chosen as a MobileNet-V1 separable pair or a
+    MobileNet-V2 inverted residual (random expansion, stride and output
+    width), then GAP -> dense classifier.  All derived dimensions are
+    kept legal (strides only while the spatial size allows it).
+
+    Args:
+        seed: RNG seed; equal seeds produce identical models.
+        num_blocks: number of separable / inverted-residual blocks.
+        input_hw: input spatial resolution.
+        num_classes: classifier width.
+        max_channels: upper bound on any layer's channel count.
+
+    Raises:
+        ShapeError: for non-positive sizes.
+    """
+    if num_blocks < 1 or input_hw < 8 or num_classes < 1:
+        raise ShapeError("generator sizes must be positive (input_hw >= 8)")
+    rng = np.random.default_rng(seed)
+    b = _Builder(f"rand{seed}", (input_hw, input_hw, 3), seed)
+    stem = scale_channels(
+        int(rng.integers(8, 33)), 1.0
+    )
+    b.conv(min(stem, max_channels), kernel=3, stride=2)
+    hw = -(-input_hw // 2)
+    for _ in range(num_blocks):
+        out_ch = min(
+            max_channels, scale_channels(int(rng.integers(8, 97)), 1.0)
+        )
+        stride = int(rng.choice([1, 2])) if hw >= 8 else 1
+        if rng.random() < 0.5:
+            b.separable(out_ch, stride=stride)
+        else:
+            expansion = int(rng.choice([1, 2, 4]))
+            b.inverted_residual(out_ch, expansion=expansion, stride=stride)
+        hw = -(-hw // stride)
+    b.global_pool()
+    b.flatten()
+    b.dense(num_classes)
+    return b.model

@@ -1,0 +1,27 @@
+"""Quantized operator implementations."""
+
+from .activation import ReLU
+from .base import DAE_KINDS, Layer, LayerKind, Shape
+from .conv2d import Conv2D
+from .dense import Dense
+from .depthwise import DepthwiseConv2D
+from .pointwise import PointwiseConv2D
+from .pooling import GlobalAveragePool, MaxPool2D
+from .reshape import Flatten
+from .residual import ResidualAdd
+
+__all__ = [
+    "DAE_KINDS",
+    "Layer",
+    "LayerKind",
+    "Shape",
+    "ReLU",
+    "Conv2D",
+    "Dense",
+    "DepthwiseConv2D",
+    "PointwiseConv2D",
+    "GlobalAveragePool",
+    "MaxPool2D",
+    "Flatten",
+    "ResidualAdd",
+]

@@ -1,0 +1,53 @@
+"""Standalone quantized activation layers.
+
+Most activations in MCU graphs are fused into the preceding conv's
+requantization clamp (see ``convutils.make_requant_spec``); a
+standalone layer exists for graphs that keep them separate (e.g.
+after a residual add).  Operating directly on the quantized domain,
+ReLU is a clamp at the zero point and ReLU6 additionally clamps at the
+quantized 6.0.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import ShapeError
+from ..tensor import INT8_MAX, QuantizedTensor
+from .base import Layer, LayerKind, Shape
+
+
+class ReLU(Layer):
+    """Quantized ReLU / ReLU6: clamp at the input's zero point.
+
+    Args:
+        name: layer name.
+        max_value: optional real-valued upper clamp (6.0 for ReLU6);
+            None means no upper clamp.
+    """
+
+    def __init__(self, name: str, max_value: float | None = None):
+        super().__init__(name)
+        if max_value is not None and max_value <= 0:
+            raise ShapeError(f"{name}: max_value must be positive")
+        self.max_value = max_value
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.ACTIVATION
+
+    def output_shape(self, *input_shapes: Shape) -> Shape:
+        (shape,) = input_shapes
+        return shape
+
+    def forward(self, *inputs: QuantizedTensor) -> QuantizedTensor:
+        (x,) = inputs
+        lower = x.zero_point
+        if self.max_value is None:
+            upper = INT8_MAX
+        else:
+            upper = min(
+                INT8_MAX,
+                x.zero_point + int(round(self.max_value / x.scale)),
+            )
+        return x.with_data(np.clip(x.data, lower, upper))

@@ -1,0 +1,155 @@
+"""Layer abstraction shared by every operator.
+
+A :class:`Layer` is both an *executable* (``forward`` computes real
+int8 numerics) and a *cost descriptor* (shape/MAC/traffic accessors the
+engine's segment cost model consumes).  Keeping both faces on one
+object guarantees the latency/energy model and the arithmetic always
+describe the same operator configuration.
+
+``LayerKind`` matters to the methodology: the DAE transformation is
+applied to depthwise and pointwise convolutions only -- the paper notes
+these two types make up over 80% of the layers of lightweight CNNs --
+while every other layer type is scheduled as a single undecoupled
+segment.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from typing import Tuple
+
+from ...errors import ShapeError
+from ..tensor import QuantizedTensor
+
+#: Feature-map shape convention: (height, width, channels).
+Shape = Tuple[int, ...]
+
+
+class LayerKind(enum.Enum):
+    """Operator taxonomy used by the scheduler and the figures."""
+
+    CONV2D = "conv2d"
+    DEPTHWISE_CONV = "depthwise"
+    POINTWISE_CONV = "pointwise"
+    DENSE = "dense"
+    AVG_POOL = "avg_pool"
+    MAX_POOL = "max_pool"
+    ADD = "add"
+    ACTIVATION = "activation"
+    FLATTEN = "flatten"
+
+
+#: Layer kinds eligible for the DAE transformation (paper Sec. III-A).
+DAE_KINDS = frozenset({LayerKind.DEPTHWISE_CONV, LayerKind.POINTWISE_CONV})
+
+
+class Layer(abc.ABC):
+    """One operator of a quantized CNN.
+
+    Args:
+        name: unique human-readable identifier within a model.
+    """
+
+    def __init__(self, name: str):
+        if not name:
+            raise ShapeError("layer name must be non-empty")
+        self.name = name
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    @abc.abstractmethod
+    def kind(self) -> LayerKind:
+        """The operator taxonomy entry for this layer."""
+
+    @property
+    def supports_dae(self) -> bool:
+        """Whether the DAE transformation applies to this layer."""
+        return self.kind in DAE_KINDS
+
+    # -- execution ---------------------------------------------------------
+
+    @abc.abstractmethod
+    def forward(self, *inputs: QuantizedTensor) -> QuantizedTensor:
+        """Run the operator on int8 inputs, producing an int8 output."""
+
+    # -- shape & cost descriptors -------------------------------------------
+
+    @abc.abstractmethod
+    def output_shape(self, *input_shapes: Shape) -> Shape:
+        """Output feature-map shape for the given input shapes.
+
+        Raises:
+            ShapeError: if the inputs are incompatible with the layer.
+        """
+
+    def macs(self, *input_shapes: Shape) -> int:
+        """Multiply-accumulate count (0 for non-arithmetic layers)."""
+        return 0
+
+    def weight_bytes(self) -> int:
+        """Bytes of weights+biases resident in flash (0 if stateless)."""
+        return 0
+
+    def input_bytes(self, *input_shapes: Shape) -> int:
+        """Total bytes of activation input (one byte per element)."""
+        total = 0
+        for shape in input_shapes:
+            n = 1
+            for dim in shape:
+                n *= dim
+            total += n
+        return total
+
+    def output_bytes(self, *input_shapes: Shape) -> int:
+        """Bytes of activation output."""
+        n = 1
+        for dim in self.output_shape(*input_shapes):
+            n *= dim
+        return n
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r} ({self.kind.value})>"
+
+
+def require_hwc(shape: Shape, who: str) -> Tuple[int, int, int]:
+    """Validate and unpack an (H, W, C) feature-map shape.
+
+    Raises:
+        ShapeError: if the shape is not rank-3 with positive dims.
+    """
+    if len(shape) != 3:
+        raise ShapeError(f"{who} expects an (H, W, C) input, got shape {shape}")
+    h, w, c = shape
+    if h <= 0 or w <= 0 or c <= 0:
+        raise ShapeError(f"{who} got non-positive dimensions in {shape}")
+    return h, w, c
+
+
+def conv_output_hw(
+    h: int, w: int, kernel: int, stride: int, padding: str
+) -> Tuple[int, int]:
+    """Spatial output dims for a square-kernel convolution.
+
+    Args:
+        padding: ``"same"`` (zero-pad to preserve H/W at stride 1) or
+            ``"valid"``.
+
+    Raises:
+        ShapeError: for unknown padding modes or empty outputs.
+    """
+    if padding == "same":
+        out_h = -(-h // stride)
+        out_w = -(-w // stride)
+    elif padding == "valid":
+        out_h = (h - kernel) // stride + 1
+        out_w = (w - kernel) // stride + 1
+    else:
+        raise ShapeError(f"unknown padding mode {padding!r}")
+    if out_h <= 0 or out_w <= 0:
+        raise ShapeError(
+            f"convolution output would be empty: input {h}x{w}, "
+            f"kernel {kernel}, stride {stride}, padding {padding}"
+        )
+    return out_h, out_w

@@ -1,0 +1,144 @@
+"""Standard quantized 2-D convolution."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ...errors import ShapeError
+from ..quantize import QuantParams, requantize
+from ..tensor import QuantizedTensor
+from .base import Layer, LayerKind, Shape, conv_output_hw, require_hwc
+from .convutils import (
+    RequantSpec,
+    im2col,
+    make_requant_spec,
+    pad_hwc,
+    quantize_bias,
+    quantize_weights,
+    weight_scales,
+)
+
+
+class Conv2D(Layer):
+    """int8 2-D convolution with fused bias/activation.
+
+    Weights are quantized symmetrically per-tensor (zero point 0), the
+    bias at the accumulator scale, and the output is requantized with
+    the TFLite fixed-point scheme -- see :mod:`repro.nn.quantize`.
+
+    Args:
+        name: layer name.
+        weights: float weights of shape (kh, kw, c_in, c_out) with
+            kh == kw (square kernels only, as in the target models).
+        bias: float bias of shape (c_out,), or None for zero bias.
+        input_params: quantization of the incoming feature map.
+        output_params: quantization of the produced feature map.
+        stride: spatial stride.
+        padding: "same" or "valid".
+        activation: None, "relu" or "relu6" (fused clamp).
+        per_channel: quantize weights per output channel (TFLite's
+            production scheme) instead of per tensor.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        weights: np.ndarray,
+        bias: Optional[np.ndarray],
+        input_params: QuantParams,
+        output_params: QuantParams,
+        stride: int = 1,
+        padding: str = "same",
+        activation: Optional[str] = "relu6",
+        per_channel: bool = False,
+    ):
+        super().__init__(name)
+        if weights.ndim != 4:
+            raise ShapeError(
+                f"{name}: conv weights must be (kh, kw, c_in, c_out), "
+                f"got shape {weights.shape}"
+            )
+        if weights.shape[0] != weights.shape[1]:
+            raise ShapeError(f"{name}: only square kernels are supported")
+        if stride < 1:
+            raise ShapeError(f"{name}: stride must be >= 1, got {stride}")
+        self.kernel = int(weights.shape[0])
+        self.in_channels = int(weights.shape[2])
+        self.out_channels = int(weights.shape[3])
+        self.stride = stride
+        self.padding = padding
+        self.input_params = input_params
+        self.output_params = output_params
+
+        self.per_channel = per_channel
+        self.weight_scale = weight_scales(weights, per_channel)
+        self.weights_q = quantize_weights(weights, self.weight_scale)
+        bias = bias if bias is not None else np.zeros(self.out_channels)
+        if bias.shape != (self.out_channels,):
+            raise ShapeError(
+                f"{name}: bias shape {bias.shape} != ({self.out_channels},)"
+            )
+        self.bias_q = quantize_bias(bias, input_params.scale, self.weight_scale)
+        self.activation = activation
+        self.requant: RequantSpec = make_requant_spec(
+            input_params, self.weight_scale, output_params, activation
+        )
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.CONV2D
+
+    def output_shape(self, *input_shapes: Shape) -> Shape:
+        (shape,) = input_shapes
+        h, w, c = require_hwc(shape, self.name)
+        if c != self.in_channels:
+            raise ShapeError(
+                f"{self.name}: expected {self.in_channels} input channels, "
+                f"got {c}"
+            )
+        out_h, out_w = conv_output_hw(
+            h, w, self.kernel, self.stride, self.padding
+        )
+        return (out_h, out_w, self.out_channels)
+
+    def macs(self, *input_shapes: Shape) -> int:
+        out_h, out_w, _ = self.output_shape(*input_shapes)
+        return (
+            out_h * out_w * self.kernel * self.kernel
+            * self.in_channels * self.out_channels
+        )
+
+    def weight_bytes(self) -> int:
+        return int(self.weights_q.size) + 4 * self.out_channels
+
+    def forward(self, *inputs: QuantizedTensor) -> QuantizedTensor:
+        (x,) = inputs
+        out_h, out_w, _ = self.output_shape(x.shape)
+        x_padded = pad_hwc(
+            x.data, self.kernel, self.stride, self.padding, x.zero_point
+        )
+        patches = im2col(
+            x_padded.astype(np.int32), self.kernel, self.stride, out_h, out_w
+        )
+        patches -= x.zero_point
+        w_mat = (
+            self.weights_q.astype(np.int32)
+            .reshape(-1, self.out_channels)
+        )
+        acc = patches.astype(np.int64) @ w_mat.astype(np.int64)
+        acc += self.bias_q[np.newaxis, :]
+        out = requantize(
+            acc,
+            self.requant.multiplier,
+            self.requant.shift,
+            self.requant.output_zero_point,
+            self.requant.activation_min,
+            self.requant.activation_max,
+        )
+        return QuantizedTensor(
+            data=out.reshape(out_h, out_w, self.out_channels),
+            scale=self.output_params.scale,
+            zero_point=self.output_params.zero_point,
+        )

@@ -1,0 +1,202 @@
+"""Shared helpers for the quantized convolution family."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ...errors import QuantizationError, ShapeError
+from ..quantize import QuantParams, quantize_multiplier
+from ..tensor import INT8_MAX, INT8_MIN
+
+
+def same_padding_amounts(
+    size: int, kernel: int, stride: int
+) -> Tuple[int, int]:
+    """TensorFlow-style 'same' padding (before, after) for one axis."""
+    out = -(-size // stride)
+    total = max((out - 1) * stride + kernel - size, 0)
+    before = total // 2
+    return before, total - before
+
+
+def pad_hwc(
+    x: np.ndarray, kernel: int, stride: int, padding: str, pad_value: int
+) -> np.ndarray:
+    """Zero-point-pad an (H, W, C) int array for a square convolution.
+
+    Padding uses the input *zero point* so the padded ring represents
+    real-value zero, exactly like the MCU kernels.
+    """
+    if padding == "valid":
+        return x
+    if padding != "same":
+        raise ShapeError(f"unknown padding mode {padding!r}")
+    h, w = x.shape[0], x.shape[1]
+    top, bottom = same_padding_amounts(h, kernel, stride)
+    left, right = same_padding_amounts(w, kernel, stride)
+    if top == bottom == left == right == 0:
+        return x
+    return np.pad(
+        x,
+        ((top, bottom), (left, right), (0, 0)),
+        mode="constant",
+        constant_values=pad_value,
+    )
+
+
+def im2col(
+    x_padded: np.ndarray, kernel: int, stride: int, out_h: int, out_w: int
+) -> np.ndarray:
+    """Extract convolution patches from an (H, W, C) array.
+
+    Returns an ``(out_h * out_w, kernel * kernel * C)`` array whose
+    rows are flattened receptive fields, matching a weight layout of
+    ``(kh, kw, C, ...)`` flattened on its first three axes.
+    """
+    c = x_padded.shape[2]
+    patches = np.empty(
+        (out_h, out_w, kernel, kernel, c), dtype=x_padded.dtype
+    )
+    for kh in range(kernel):
+        h_stop = kh + out_h * stride
+        for kw in range(kernel):
+            w_stop = kw + out_w * stride
+            patches[:, :, kh, kw, :] = x_padded[
+                kh:h_stop:stride, kw:w_stop:stride, :
+            ]
+    return patches.reshape(out_h * out_w, kernel * kernel * c)
+
+
+@dataclass(frozen=True, eq=False)
+class RequantSpec:
+    """Precomputed requantization constants of one conv/dense layer.
+
+    Attributes:
+        multiplier: Q31 mantissa of ``s_in * s_w / s_out`` -- an int
+            for per-tensor weight quantization, an int64 array (one
+            entry per output channel) for per-channel.
+        shift: right-shift exponent companion of ``multiplier`` (int or
+            matching array).
+        output_zero_point: output tensor zero point.
+        activation_min: fused activation lower clamp (quantized).
+        activation_max: fused activation upper clamp (quantized).
+    """
+
+    multiplier: "int | np.ndarray"
+    shift: "int | np.ndarray"
+    output_zero_point: int
+    activation_min: int
+    activation_max: int
+
+    @property
+    def is_per_channel(self) -> bool:
+        """Whether the multipliers are per output channel."""
+        return isinstance(self.multiplier, np.ndarray)
+
+    def sliced(self, channel_idx) -> "RequantSpec":
+        """The spec restricted to a subset of output channels.
+
+        A no-op for per-tensor specs; used by the DAE depthwise kernel
+        that computes channel groups independently.
+        """
+        if not self.is_per_channel:
+            return self
+        return RequantSpec(
+            multiplier=self.multiplier[channel_idx],
+            shift=self.shift[channel_idx],
+            output_zero_point=self.output_zero_point,
+            activation_min=self.activation_min,
+            activation_max=self.activation_max,
+        )
+
+
+def make_requant_spec(
+    input_params: QuantParams,
+    weight_scale,
+    output_params: QuantParams,
+    activation: Optional[str],
+) -> RequantSpec:
+    """Build the requantization constants for a conv/dense layer.
+
+    Args:
+        weight_scale: the per-tensor weight scale (float), or the
+            per-output-channel scales (ndarray) for per-channel
+            quantization.
+        activation: ``None`` (linear), ``"relu"`` or ``"relu6"`` --
+            fused into the output clamp exactly like TFLite/CMSIS-NN.
+
+    Raises:
+        QuantizationError: for unknown activation names or a requant
+            multiplier outside (0, 1).
+    """
+    if isinstance(weight_scale, np.ndarray):
+        pairs = [
+            quantize_multiplier(
+                input_params.scale * float(scale) / output_params.scale
+            )
+            for scale in weight_scale
+        ]
+        multiplier = np.array([m for m, _ in pairs], dtype=np.int64)
+        shift = np.array([s for _, s in pairs], dtype=np.int64)
+    else:
+        real_multiplier = (
+            input_params.scale * weight_scale / output_params.scale
+        )
+        multiplier, shift = quantize_multiplier(real_multiplier)
+    zp = output_params.zero_point
+    if activation is None:
+        act_min, act_max = INT8_MIN, INT8_MAX
+    elif activation == "relu":
+        act_min, act_max = zp, INT8_MAX
+    elif activation == "relu6":
+        act_min = zp
+        act_max = min(INT8_MAX, zp + int(round(6.0 / output_params.scale)))
+    else:
+        raise QuantizationError(f"unknown fused activation {activation!r}")
+    act_min = max(INT8_MIN, min(act_min, INT8_MAX))
+    act_max = max(act_min, min(act_max, INT8_MAX))
+    return RequantSpec(
+        multiplier=multiplier,
+        shift=shift,
+        output_zero_point=zp,
+        activation_min=act_min,
+        activation_max=act_max,
+    )
+
+
+def quantize_bias(
+    bias: np.ndarray, input_scale: float, weight_scale
+) -> np.ndarray:
+    """Quantize a float bias to int32/int64 at the accumulator scale.
+
+    ``weight_scale`` may be per-tensor (float) or per-output-channel
+    (ndarray matching the bias length).
+    """
+    scale = input_scale * np.asarray(weight_scale, dtype=np.float64)
+    return np.round(bias / scale).astype(np.int64)
+
+
+def weight_scales(
+    weights: np.ndarray, per_channel: bool
+) -> "float | np.ndarray":
+    """Symmetric weight scale(s): per-tensor or per-output-channel.
+
+    The output channel is the last axis, matching every conv/dense
+    weight layout in this library.
+    """
+    if not per_channel:
+        bound = float(np.max(np.abs(weights))) or 1e-8
+        return bound / 127.0
+    reduce_axes = tuple(range(weights.ndim - 1))
+    bounds = np.abs(weights).max(axis=reduce_axes)
+    bounds = np.where(bounds == 0.0, 1e-8, bounds)
+    return bounds / 127.0
+
+
+def quantize_weights(weights: np.ndarray, scales) -> np.ndarray:
+    """Quantize weights symmetrically with per-tensor/channel scales."""
+    q = np.round(weights / np.asarray(scales, dtype=np.float64))
+    return np.clip(q, -128, 127).astype(np.int8)

@@ -1,0 +1,111 @@
+"""Quantized fully-connected (dense) layer."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ...errors import ShapeError
+from ..quantize import QuantParams, requantize
+from ..tensor import QuantizedTensor
+from .base import Layer, LayerKind, Shape
+from .convutils import (
+    RequantSpec,
+    make_requant_spec,
+    quantize_bias,
+    quantize_weights,
+    weight_scales,
+)
+
+
+class Dense(Layer):
+    """int8 fully-connected layer over a flattened input.
+
+    Args:
+        name: layer name.
+        weights: float weights of shape (in_features, out_features).
+        bias: float bias of shape (out_features,), or None.
+        input_params: quantization of the incoming tensor.
+        output_params: quantization of the produced tensor.
+        activation: None, "relu" or "relu6".
+        per_channel: quantize weights per output channel (TFLite's
+            production scheme) instead of per tensor.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        weights: np.ndarray,
+        bias: Optional[np.ndarray],
+        input_params: QuantParams,
+        output_params: QuantParams,
+        activation: Optional[str] = None,
+        per_channel: bool = False,
+    ):
+        super().__init__(name)
+        if weights.ndim != 2:
+            raise ShapeError(
+                f"{name}: dense weights must be (in, out), got {weights.shape}"
+            )
+        self.in_features = int(weights.shape[0])
+        self.out_features = int(weights.shape[1])
+        self.input_params = input_params
+        self.output_params = output_params
+
+        self.per_channel = per_channel
+        self.weight_scale = weight_scales(weights, per_channel)
+        self.weights_q = quantize_weights(weights, self.weight_scale)
+        bias = bias if bias is not None else np.zeros(self.out_features)
+        if bias.shape != (self.out_features,):
+            raise ShapeError(
+                f"{name}: bias shape {bias.shape} != ({self.out_features},)"
+            )
+        self.bias_q = quantize_bias(bias, input_params.scale, self.weight_scale)
+        self.activation = activation
+        self.requant: RequantSpec = make_requant_spec(
+            input_params, self.weight_scale, output_params, activation
+        )
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.DENSE
+
+    def output_shape(self, *input_shapes: Shape) -> Shape:
+        (shape,) = input_shapes
+        n = 1
+        for dim in shape:
+            n *= dim
+        if n != self.in_features:
+            raise ShapeError(
+                f"{self.name}: expected {self.in_features} input features, "
+                f"got {n} (shape {shape})"
+            )
+        return (self.out_features,)
+
+    def macs(self, *input_shapes: Shape) -> int:
+        self.output_shape(*input_shapes)
+        return self.in_features * self.out_features
+
+    def weight_bytes(self) -> int:
+        return int(self.weights_q.size) + 4 * self.out_features
+
+    def forward(self, *inputs: QuantizedTensor) -> QuantizedTensor:
+        (x,) = inputs
+        self.output_shape(x.shape)
+        flat = x.data.reshape(-1).astype(np.int32) - x.zero_point
+        acc = flat.astype(np.int64) @ self.weights_q.astype(np.int64)
+        acc += self.bias_q
+        out = requantize(
+            acc,
+            self.requant.multiplier,
+            self.requant.shift,
+            self.requant.output_zero_point,
+            self.requant.activation_min,
+            self.requant.activation_max,
+        )
+        return QuantizedTensor(
+            data=out,
+            scale=self.output_params.scale,
+            zero_point=self.output_params.zero_point,
+        )

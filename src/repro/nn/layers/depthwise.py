@@ -1,0 +1,196 @@
+"""Quantized depthwise convolution.
+
+Depthwise convolution convolves *each input channel with its own
+filter* (channel multiplier 1), which is what makes it the natural DAE
+target: channels are independent, so any ``g`` of them can be buffered
+(memory-bound segment) and then convolved back-to-back (compute-bound
+segment) without changing a single output bit -- paper Listing 1.
+
+Besides the whole-layer :meth:`forward`, the layer exposes
+:meth:`forward_channels`, the per-channel-group kernel the DAE engine
+composes.  Both paths share the same integer arithmetic, so
+DAE-vs-reference bit-exactness is checked end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ...errors import ShapeError
+from ..quantize import QuantParams, requantize
+from ..tensor import QuantizedTensor
+from .base import Layer, LayerKind, Shape, conv_output_hw, require_hwc
+from .convutils import (
+    RequantSpec,
+    make_requant_spec,
+    pad_hwc,
+    quantize_bias,
+    quantize_weights,
+    weight_scales,
+)
+
+
+class DepthwiseConv2D(Layer):
+    """int8 depthwise convolution (channel multiplier 1).
+
+    Args:
+        name: layer name.
+        weights: float weights of shape (kh, kw, channels), kh == kw.
+        bias: float bias of shape (channels,), or None.
+        input_params: quantization of the incoming feature map.
+        output_params: quantization of the produced feature map.
+        stride: spatial stride.
+        padding: "same" or "valid".
+        activation: None, "relu" or "relu6".
+        per_channel: quantize weights per output channel (TFLite's
+            production scheme) instead of per tensor.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        weights: np.ndarray,
+        bias: Optional[np.ndarray],
+        input_params: QuantParams,
+        output_params: QuantParams,
+        stride: int = 1,
+        padding: str = "same",
+        activation: Optional[str] = "relu6",
+        per_channel: bool = False,
+    ):
+        super().__init__(name)
+        if weights.ndim != 3:
+            raise ShapeError(
+                f"{name}: depthwise weights must be (kh, kw, c), got "
+                f"shape {weights.shape}"
+            )
+        if weights.shape[0] != weights.shape[1]:
+            raise ShapeError(f"{name}: only square kernels are supported")
+        if stride < 1:
+            raise ShapeError(f"{name}: stride must be >= 1, got {stride}")
+        self.kernel = int(weights.shape[0])
+        self.channels = int(weights.shape[2])
+        self.stride = stride
+        self.padding = padding
+        self.input_params = input_params
+        self.output_params = output_params
+
+        self.per_channel = per_channel
+        self.weight_scale = weight_scales(weights, per_channel)
+        self.weights_q = quantize_weights(weights, self.weight_scale)
+        bias = bias if bias is not None else np.zeros(self.channels)
+        if bias.shape != (self.channels,):
+            raise ShapeError(
+                f"{name}: bias shape {bias.shape} != ({self.channels},)"
+            )
+        self.bias_q = quantize_bias(bias, input_params.scale, self.weight_scale)
+        self.activation = activation
+        self.requant: RequantSpec = make_requant_spec(
+            input_params, self.weight_scale, output_params, activation
+        )
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.DEPTHWISE_CONV
+
+    def output_shape(self, *input_shapes: Shape) -> Shape:
+        (shape,) = input_shapes
+        h, w, c = require_hwc(shape, self.name)
+        if c != self.channels:
+            raise ShapeError(
+                f"{self.name}: expected {self.channels} channels, got {c}"
+            )
+        out_h, out_w = conv_output_hw(
+            h, w, self.kernel, self.stride, self.padding
+        )
+        return (out_h, out_w, self.channels)
+
+    def macs(self, *input_shapes: Shape) -> int:
+        out_h, out_w, c = self.output_shape(*input_shapes)
+        return out_h * out_w * self.kernel * self.kernel * c
+
+    def weight_bytes(self) -> int:
+        return int(self.weights_q.size) + 4 * self.channels
+
+    # -- kernels -------------------------------------------------------------
+
+    def _convolve(
+        self, x_padded_i32: np.ndarray, channel_slice: np.ndarray
+    ) -> np.ndarray:
+        """Accumulate the depthwise conv for a channel subset.
+
+        Args:
+            x_padded_i32: zero-point-subtracted, padded input slice of
+                shape (Hp, Wp, len(channel_slice)), int32.
+            channel_slice: channel indices being computed.
+
+        Returns:
+            int8 output of shape (out_h, out_w, len(channel_slice)).
+        """
+        stride = self.stride
+        hp, wp = x_padded_i32.shape[0], x_padded_i32.shape[1]
+        out_h = (hp - self.kernel) // stride + 1
+        out_w = (wp - self.kernel) // stride + 1
+        acc = np.zeros((out_h, out_w, len(channel_slice)), dtype=np.int64)
+        w_q = self.weights_q[:, :, channel_slice].astype(np.int64)
+        for kh in range(self.kernel):
+            h_stop = kh + out_h * stride
+            for kw in range(self.kernel):
+                w_stop = kw + out_w * stride
+                window = x_padded_i32[kh:h_stop:stride, kw:w_stop:stride, :]
+                acc += window.astype(np.int64) * w_q[kh, kw, :]
+        acc += self.bias_q[channel_slice]
+        spec = self.requant.sliced(channel_slice)
+        return requantize(
+            acc,
+            spec.multiplier,
+            spec.shift,
+            spec.output_zero_point,
+            spec.activation_min,
+            spec.activation_max,
+        )
+
+    def forward_channels(
+        self, x: QuantizedTensor, channels: Sequence[int]
+    ) -> np.ndarray:
+        """Compute the output for a group of channels (the DAE kernel).
+
+        This is the "convolve_depthwise(kernel, buf_i)" of Listing 1:
+        the caller has conceptually buffered these channels; we compute
+        their outputs independently of all other channels.
+
+        Returns:
+            int8 array of shape (out_h, out_w, len(channels)).
+        """
+        channel_idx = np.asarray(list(channels), dtype=np.intp)
+        if channel_idx.size == 0:
+            raise ShapeError(f"{self.name}: empty channel group")
+        if channel_idx.min() < 0 or channel_idx.max() >= self.channels:
+            raise ShapeError(
+                f"{self.name}: channel indices {channels} out of range"
+            )
+        x_padded = pad_hwc(
+            x.data[:, :, channel_idx],
+            self.kernel,
+            self.stride,
+            self.padding,
+            x.zero_point,
+        )
+        x_i32 = x_padded.astype(np.int32) - x.zero_point
+        return self._convolve(x_i32, channel_idx)
+
+    def forward(self, *inputs: QuantizedTensor) -> QuantizedTensor:
+        (x,) = inputs
+        out_h, out_w, _ = self.output_shape(x.shape)
+        x_padded = pad_hwc(
+            x.data, self.kernel, self.stride, self.padding, x.zero_point
+        )
+        x_i32 = x_padded.astype(np.int32) - x.zero_point
+        out = self._convolve(x_i32, np.arange(self.channels, dtype=np.intp))
+        return QuantizedTensor(
+            data=out.reshape(out_h, out_w, self.channels),
+            scale=self.output_params.scale,
+            zero_point=self.output_params.zero_point,
+        )

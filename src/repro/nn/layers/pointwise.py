@@ -1,0 +1,161 @@
+"""Quantized pointwise (1x1) convolution.
+
+Pointwise convolution mixes channels at each spatial position; each
+output "column" (one pixel across all output channels) depends only on
+the corresponding input column.  CMSIS-NN and TinyEngine therefore
+compute it column by column; the paper's DAE variant instead buffers
+``g`` input columns (memory-bound segment) and then runs the ``g``
+matrix-vector products back to back (compute-bound segment).
+
+:meth:`forward_columns` is that per-column-group kernel; the DAE engine
+composes it and the tests check bit-exactness against :meth:`forward`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ...errors import ShapeError
+from ..quantize import QuantParams, requantize
+from ..tensor import QuantizedTensor
+from .base import Layer, LayerKind, Shape, require_hwc
+from .convutils import (
+    RequantSpec,
+    make_requant_spec,
+    quantize_bias,
+    quantize_weights,
+    weight_scales,
+)
+
+
+class PointwiseConv2D(Layer):
+    """int8 1x1 convolution (channel mixing).
+
+    Args:
+        name: layer name.
+        weights: float weights of shape (c_in, c_out).
+        bias: float bias of shape (c_out,), or None.
+        input_params: quantization of the incoming feature map.
+        output_params: quantization of the produced feature map.
+        activation: None, "relu" or "relu6".
+        per_channel: quantize weights per output channel (TFLite's
+            production scheme) instead of per tensor.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        weights: np.ndarray,
+        bias: Optional[np.ndarray],
+        input_params: QuantParams,
+        output_params: QuantParams,
+        activation: Optional[str] = "relu6",
+        per_channel: bool = False,
+    ):
+        super().__init__(name)
+        if weights.ndim != 2:
+            raise ShapeError(
+                f"{name}: pointwise weights must be (c_in, c_out), got "
+                f"shape {weights.shape}"
+            )
+        self.in_channels = int(weights.shape[0])
+        self.out_channels = int(weights.shape[1])
+        self.input_params = input_params
+        self.output_params = output_params
+
+        self.per_channel = per_channel
+        self.weight_scale = weight_scales(weights, per_channel)
+        self.weights_q = quantize_weights(weights, self.weight_scale)
+        bias = bias if bias is not None else np.zeros(self.out_channels)
+        if bias.shape != (self.out_channels,):
+            raise ShapeError(
+                f"{name}: bias shape {bias.shape} != ({self.out_channels},)"
+            )
+        self.bias_q = quantize_bias(bias, input_params.scale, self.weight_scale)
+        self.activation = activation
+        self.requant: RequantSpec = make_requant_spec(
+            input_params, self.weight_scale, output_params, activation
+        )
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.POINTWISE_CONV
+
+    def output_shape(self, *input_shapes: Shape) -> Shape:
+        (shape,) = input_shapes
+        h, w, c = require_hwc(shape, self.name)
+        if c != self.in_channels:
+            raise ShapeError(
+                f"{self.name}: expected {self.in_channels} input channels, "
+                f"got {c}"
+            )
+        return (h, w, self.out_channels)
+
+    def macs(self, *input_shapes: Shape) -> int:
+        h, w, _ = self.output_shape(*input_shapes)
+        return h * w * self.in_channels * self.out_channels
+
+    def weight_bytes(self) -> int:
+        return int(self.weights_q.size) + 4 * self.out_channels
+
+    # -- kernels -------------------------------------------------------------
+
+    def _mix_columns(self, columns_i32: np.ndarray) -> np.ndarray:
+        """Matrix-multiply zero-point-subtracted columns by the weights.
+
+        Args:
+            columns_i32: (n_columns, c_in) int32 array.
+
+        Returns:
+            int8 array of shape (n_columns, c_out).
+        """
+        acc = columns_i32.astype(np.int64) @ self.weights_q.astype(np.int64)
+        acc += self.bias_q[np.newaxis, :]
+        return requantize(
+            acc,
+            self.requant.multiplier,
+            self.requant.shift,
+            self.requant.output_zero_point,
+            self.requant.activation_min,
+            self.requant.activation_max,
+        )
+
+    def forward_columns(
+        self, x: QuantizedTensor, columns: Sequence[int]
+    ) -> np.ndarray:
+        """Compute output columns for a group of flattened positions.
+
+        A "column" is one spatial position of the NHWC feature map --
+        ``c_in`` contiguous bytes -- indexed by ``row * W + col``.
+
+        Returns:
+            int8 array of shape (len(columns), c_out).
+        """
+        column_idx = np.asarray(list(columns), dtype=np.intp)
+        if column_idx.size == 0:
+            raise ShapeError(f"{self.name}: empty column group")
+        h, w, c = require_hwc(x.shape, self.name)
+        if c != self.in_channels:
+            raise ShapeError(
+                f"{self.name}: expected {self.in_channels} channels, got {c}"
+            )
+        if column_idx.min() < 0 or column_idx.max() >= h * w:
+            raise ShapeError(
+                f"{self.name}: column indices out of range for {h}x{w}"
+            )
+        flat = x.data.reshape(h * w, c)
+        columns_i32 = flat[column_idx].astype(np.int32) - x.zero_point
+        return self._mix_columns(columns_i32)
+
+    def forward(self, *inputs: QuantizedTensor) -> QuantizedTensor:
+        (x,) = inputs
+        h, w, _ = self.output_shape(x.shape)
+        flat = x.data.reshape(h * w, self.in_channels)
+        out = self._mix_columns(flat.astype(np.int32) - x.zero_point)
+        return QuantizedTensor(
+            data=out.reshape(h, w, self.out_channels),
+            scale=self.output_params.scale,
+            zero_point=self.output_params.zero_point,
+        )

@@ -1,0 +1,80 @@
+"""Quantized pooling layers.
+
+Average and max pooling keep the input quantization parameters
+(TFLite convention), so they are pure int8 -> int8 reductions with no
+requantization step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import ShapeError
+from ..tensor import INT8_MAX, INT8_MIN, QuantizedTensor
+from .base import Layer, LayerKind, Shape, require_hwc
+
+
+class GlobalAveragePool(Layer):
+    """Global spatial average pooling: (H, W, C) -> (1, 1, C).
+
+    Uses round-half-away-from-zero on the integer mean, matching the
+    CMSIS-NN implementation.
+    """
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.AVG_POOL
+
+    def output_shape(self, *input_shapes: Shape) -> Shape:
+        (shape,) = input_shapes
+        _, _, c = require_hwc(shape, self.name)
+        return (1, 1, c)
+
+    def forward(self, *inputs: QuantizedTensor) -> QuantizedTensor:
+        (x,) = inputs
+        h, w, c = require_hwc(x.shape, self.name)
+        total = x.data.astype(np.int32).sum(axis=(0, 1))
+        count = h * w
+        mean = np.where(
+            total >= 0,
+            (total + count // 2) // count,
+            -((-total + count // 2) // count),
+        )
+        out = np.clip(mean, INT8_MIN, INT8_MAX).astype(np.int8)
+        return x.with_data(out.reshape(1, 1, c))
+
+
+class MaxPool2D(Layer):
+    """Windowed max pooling with stride == window (non-overlapping).
+
+    Args:
+        name: layer name.
+        pool: window size (and stride).
+    """
+
+    def __init__(self, name: str, pool: int = 2):
+        super().__init__(name)
+        if pool < 1:
+            raise ShapeError(f"{name}: pool size must be >= 1, got {pool}")
+        self.pool = pool
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.MAX_POOL
+
+    def output_shape(self, *input_shapes: Shape) -> Shape:
+        (shape,) = input_shapes
+        h, w, c = require_hwc(shape, self.name)
+        if h % self.pool or w % self.pool:
+            raise ShapeError(
+                f"{self.name}: input {h}x{w} not divisible by pool "
+                f"{self.pool}"
+            )
+        return (h // self.pool, w // self.pool, c)
+
+    def forward(self, *inputs: QuantizedTensor) -> QuantizedTensor:
+        (x,) = inputs
+        out_h, out_w, c = self.output_shape(x.shape)
+        p = self.pool
+        windows = x.data.reshape(out_h, p, out_w, p, c)
+        return x.with_data(windows.max(axis=(1, 3)))

@@ -1,0 +1,25 @@
+"""Shape-only layers (flatten)."""
+
+from __future__ import annotations
+
+from .base import Layer, LayerKind, Shape
+from ..tensor import QuantizedTensor
+
+
+class Flatten(Layer):
+    """Flatten any tensor into a rank-1 vector (no data movement cost)."""
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.FLATTEN
+
+    def output_shape(self, *input_shapes: Shape) -> Shape:
+        (shape,) = input_shapes
+        n = 1
+        for dim in shape:
+            n *= dim
+        return (n,)
+
+    def forward(self, *inputs: QuantizedTensor) -> QuantizedTensor:
+        (x,) = inputs
+        return x.with_data(x.data.reshape(-1))

@@ -1,0 +1,88 @@
+"""Quantized residual (element-wise) addition.
+
+Implements the TFLite integer add: both inputs are rescaled to a
+common intermediate scale with a 20-bit headroom left shift, summed,
+and requantized to the output scale -- all in fixed-point arithmetic.
+Residual adds appear between inverted-residual blocks in
+MobileNet-V2-style models; they are not DAE targets (paper Sec. III-A)
+but must execute bit-deterministically so whole-model DAE-vs-reference
+comparisons stay exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import ShapeError
+from ..quantize import QuantParams, quantize_multiplier, rounding_right_shift
+from ..tensor import INT8_MAX, INT8_MIN, QuantizedTensor
+from .base import Layer, LayerKind, Shape
+
+#: Headroom shift of the TFLite int8 ADD kernel.
+LEFT_SHIFT = 20
+
+
+def _fixed_point_scale(values: np.ndarray, multiplier: int, shift: int) -> np.ndarray:
+    """Multiply int64 values by ``multiplier * 2^(-31-shift)`` (rounded)."""
+    prod = values.astype(np.int64) * int(multiplier)
+    return rounding_right_shift(prod, 31 + shift)
+
+
+class ResidualAdd(Layer):
+    """int8 element-wise addition of two equal-shape feature maps.
+
+    Args:
+        name: layer name.
+        a_params: quantization of the first input.
+        b_params: quantization of the second input.
+        output_params: quantization of the sum.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        a_params: QuantParams,
+        b_params: QuantParams,
+        output_params: QuantParams,
+    ):
+        super().__init__(name)
+        self.a_params = a_params
+        self.b_params = b_params
+        self.output_params = output_params
+        twice_max = 2.0 * max(a_params.scale, b_params.scale)
+        self._a_mult, self._a_shift = quantize_multiplier(
+            a_params.scale / twice_max
+        )
+        self._b_mult, self._b_shift = quantize_multiplier(
+            b_params.scale / twice_max
+        )
+        self._out_mult, self._out_shift = quantize_multiplier(
+            twice_max / ((1 << LEFT_SHIFT) * output_params.scale)
+        )
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.ADD
+
+    def output_shape(self, *input_shapes: Shape) -> Shape:
+        a, b = input_shapes
+        if a != b:
+            raise ShapeError(
+                f"{self.name}: residual add inputs differ: {a} vs {b}"
+            )
+        return a
+
+    def forward(self, *inputs: QuantizedTensor) -> QuantizedTensor:
+        a, b = inputs
+        self.output_shape(a.shape, b.shape)
+        a_shifted = (a.data.astype(np.int64) - a.zero_point) << LEFT_SHIFT
+        b_shifted = (b.data.astype(np.int64) - b.zero_point) << LEFT_SHIFT
+        acc = _fixed_point_scale(a_shifted, self._a_mult, self._a_shift)
+        acc = acc + _fixed_point_scale(b_shifted, self._b_mult, self._b_shift)
+        out = _fixed_point_scale(acc, self._out_mult, self._out_shift)
+        out = out + self.output_params.zero_point
+        return QuantizedTensor(
+            data=np.clip(out, INT8_MIN, INT8_MAX).astype(np.int8),
+            scale=self.output_params.scale,
+            zero_point=self.output_params.zero_point,
+        )

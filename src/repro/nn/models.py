@@ -1,0 +1,325 @@
+"""The paper's three evaluation CNNs (MCUNet-style, int8).
+
+The paper evaluates on three pre-trained models exported from the
+MCUNet/TinyEngine flow: **Visual Wake Words (VWW)**, **Person
+Detection (PD)** and **MobileNet-V2 (MBV2)** (Sec. IV).  The trained
+parameters are not publicly redistributable, and accuracy plays no
+role in the paper's claims (DAE is bit-exact; DVFS does not touch
+arithmetic), so we rebuild the *architectures* faithfully --
+depthwise-separable / inverted-residual structures at MCU-scale widths
+and resolutions -- with seeded, fan-in-scaled random weights.  What
+matters for the reproduction is preserved exactly: layer types, layer
+counts, channel/spatial dimensions, and therefore the MAC and memory
+traffic profile every downstream model consumes.
+
+* ``build_mbv2``  -- MobileNet-V2 backbone (inverted residual blocks,
+  width 0.35, 96x96 input), the deepest of the three.
+* ``build_vww``   -- a narrower MBV2-style backbone at 80x80, binary
+  classifier, as in the MCUNet VWW solution.
+* ``build_person_detection`` -- a MobileNet-V1-style depthwise
+  separable stack at 96x96, binary classifier.
+
+All three satisfy the paper's premise that depthwise + pointwise
+convolutions make up over 80% of conv-family layers
+(:meth:`repro.nn.graph.Model.dae_layer_fraction`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Callable, Optional
+
+import numpy as np
+
+from .graph import INPUT_ID, Model
+from .layers.base import Shape
+from .layers.conv2d import Conv2D
+from .layers.dense import Dense
+from .layers.depthwise import DepthwiseConv2D
+from .layers.pointwise import PointwiseConv2D
+from .layers.pooling import GlobalAveragePool
+from .layers.reshape import Flatten
+from .layers.residual import ResidualAdd
+from .quantize import QuantParams
+
+#: Input quantization: symmetric [-1, 1) images.
+INPUT_PARAMS = QuantParams(scale=1.0 / 128.0, zero_point=0)
+#: Post-ReLU6 feature maps span [0, 6].
+RELU6_PARAMS = QuantParams(scale=6.0 / 255.0, zero_point=-128)
+#: Linear (projection) feature maps.
+LINEAR_PARAMS = QuantParams(scale=0.05, zero_point=0)
+#: Classifier logits.
+LOGIT_PARAMS = QuantParams(scale=0.1, zero_point=0)
+
+
+def scale_channels(channels: int, width_mult: float) -> int:
+    """MobileNet width-multiplier rounding: multiples of 8, minimum 8."""
+    return max(8, int(round(channels * width_mult / 8.0)) * 8)
+
+
+class _Builder:
+    """Incremental model builder tracking quantization per node."""
+
+    def __init__(
+        self, name: str, input_shape: Shape, seed: int,
+        per_channel: bool = False,
+    ):
+        self.model = Model(
+            name=name, input_shape=input_shape, input_params=INPUT_PARAMS
+        )
+        self.rng = np.random.default_rng(seed)
+        self.per_channel = per_channel
+        self.last_id = INPUT_ID
+        self._params: Dict[int, QuantParams] = {INPUT_ID: INPUT_PARAMS}
+        self._counter = 0
+
+    def params_of(self, node_id: int) -> QuantParams:
+        return self._params[node_id]
+
+    def _register(self, node_id: int, params: QuantParams) -> int:
+        self._params[node_id] = params
+        self.last_id = node_id
+        return node_id
+
+    def _next_name(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}_{self._counter}"
+
+    def _weights(self, *shape: int) -> np.ndarray:
+        fan_in = int(np.prod(shape[:-1])) or 1
+        return self.rng.normal(0.0, 1.0 / np.sqrt(fan_in), size=shape)
+
+    def channels(self, node_id: Optional[int] = None) -> int:
+        node_id = self.last_id if node_id is None else node_id
+        return self.model.shape_of(node_id)[-1]
+
+    # -- layer appenders -----------------------------------------------------
+
+    def conv(
+        self,
+        out_channels: int,
+        kernel: int = 3,
+        stride: int = 1,
+        activation: Optional[str] = "relu6",
+    ) -> int:
+        in_ch = self.channels()
+        out_params = RELU6_PARAMS if activation == "relu6" else LINEAR_PARAMS
+        layer = Conv2D(
+            name=self._next_name("conv"),
+            weights=self._weights(kernel, kernel, in_ch, out_channels),
+            bias=self.rng.normal(0.0, 0.05, size=out_channels),
+            input_params=self.params_of(self.last_id),
+            output_params=out_params,
+            stride=stride,
+            padding="same",
+            activation=activation,
+            per_channel=self.per_channel,
+        )
+        return self._register(self.model.add(layer), out_params)
+
+    def dw(self, kernel: int = 3, stride: int = 1) -> int:
+        channels = self.channels()
+        layer = DepthwiseConv2D(
+            name=self._next_name("dw"),
+            weights=self._weights(kernel, kernel, channels),
+            bias=self.rng.normal(0.0, 0.05, size=channels),
+            input_params=self.params_of(self.last_id),
+            output_params=RELU6_PARAMS,
+            stride=stride,
+            padding="same",
+            activation="relu6",
+            per_channel=self.per_channel,
+        )
+        return self._register(self.model.add(layer), RELU6_PARAMS)
+
+    def pw(
+        self, out_channels: int, activation: Optional[str] = "relu6"
+    ) -> int:
+        in_ch = self.channels()
+        out_params = RELU6_PARAMS if activation == "relu6" else LINEAR_PARAMS
+        layer = PointwiseConv2D(
+            name=self._next_name("pw"),
+            weights=self._weights(in_ch, out_channels),
+            bias=self.rng.normal(0.0, 0.05, size=out_channels),
+            input_params=self.params_of(self.last_id),
+            output_params=out_params,
+            activation=activation,
+            per_channel=self.per_channel,
+        )
+        return self._register(self.model.add(layer), out_params)
+
+    def residual_add(self, a_id: int, b_id: int) -> int:
+        layer = ResidualAdd(
+            name=self._next_name("add"),
+            a_params=self.params_of(a_id),
+            b_params=self.params_of(b_id),
+            output_params=LINEAR_PARAMS,
+        )
+        node = self.model.add(layer, inputs=(a_id, b_id))
+        return self._register(node, LINEAR_PARAMS)
+
+    def global_pool(self) -> int:
+        params = self.params_of(self.last_id)
+        node = self.model.add(GlobalAveragePool(self._next_name("gap")))
+        return self._register(node, params)
+
+    def flatten(self) -> int:
+        params = self.params_of(self.last_id)
+        node = self.model.add(Flatten(self._next_name("flatten")))
+        return self._register(node, params)
+
+    def dense(self, out_features: int) -> int:
+        shape = self.model.shape_of(self.last_id)
+        in_features = 1
+        for dim in shape:
+            in_features *= dim
+        layer = Dense(
+            name=self._next_name("dense"),
+            weights=self._weights(in_features, out_features),
+            bias=self.rng.normal(0.0, 0.05, size=out_features),
+            input_params=self.params_of(self.last_id),
+            output_params=LOGIT_PARAMS,
+            activation=None,
+            per_channel=self.per_channel,
+        )
+        return self._register(self.model.add(layer), LOGIT_PARAMS)
+
+    # -- composite blocks --------------------------------------------------
+
+    def inverted_residual(
+        self, out_channels: int, expansion: int, stride: int
+    ) -> int:
+        """One MobileNet-V2 inverted residual block: [pw-expand] -> dw
+        -> pw-project (+ skip when shapes allow)."""
+        block_input = self.last_id
+        in_channels = self.channels()
+        hidden = in_channels * expansion
+        if expansion != 1:
+            self.pw(hidden, activation="relu6")
+        self.dw(kernel=3, stride=stride)
+        project = self.pw(out_channels, activation=None)
+        if stride == 1 and in_channels == out_channels:
+            return self.residual_add(block_input, project)
+        return project
+
+    def separable(self, out_channels: int, stride: int) -> int:
+        """One MobileNet-V1 depthwise separable pair: dw -> pw."""
+        self.dw(kernel=3, stride=stride)
+        return self.pw(out_channels, activation="relu6")
+
+
+def build_mbv2(
+    input_hw: int = 96,
+    width_mult: float = 0.35,
+    num_classes: int = 1000,
+    seed: int = 20240101,
+) -> Model:
+    """MobileNet-V2 backbone at MCU scale (the paper's MBV2).
+
+    Standard MBV2 block table scaled by ``width_mult``; 52 conv-family
+    layers at the default configuration.
+    """
+    b = _Builder("mbv2", (input_hw, input_hw, 3), seed)
+    b.conv(scale_channels(32, width_mult), kernel=3, stride=2)
+    block_table = (
+        (1, 16, 1, 1),
+        (6, 24, 2, 2),
+        (6, 32, 3, 2),
+        (6, 64, 4, 2),
+        (6, 96, 3, 1),
+        (6, 160, 3, 2),
+        (6, 320, 1, 1),
+    )
+    for expansion, channels, repeats, first_stride in block_table:
+        out_ch = scale_channels(channels, width_mult)
+        for i in range(repeats):
+            stride = first_stride if i == 0 else 1
+            b.inverted_residual(out_ch, expansion, stride)
+    b.pw(1280 if width_mult > 1.0 else scale_channels(1280, max(width_mult, 0.5)))
+    b.global_pool()
+    b.flatten()
+    b.dense(num_classes)
+    return b.model
+
+
+def build_vww(
+    input_hw: int = 80,
+    width_mult: float = 0.3,
+    num_classes: int = 2,
+    seed: int = 20240202,
+) -> Model:
+    """Visual Wake Words: a narrow MBV2-style binary classifier."""
+    b = _Builder("vww", (input_hw, input_hw, 3), seed)
+    b.conv(scale_channels(32, width_mult), kernel=3, stride=2)
+    block_table = (
+        (1, 16, 1, 1),
+        (6, 24, 2, 2),
+        (6, 32, 2, 2),
+        (6, 48, 2, 1),
+        (6, 64, 2, 2),
+        (6, 96, 2, 1),
+    )
+    for expansion, channels, repeats, first_stride in block_table:
+        out_ch = scale_channels(channels, width_mult)
+        for i in range(repeats):
+            stride = first_stride if i == 0 else 1
+            b.inverted_residual(out_ch, expansion, stride)
+    b.pw(scale_channels(320, max(width_mult, 0.5)))
+    b.global_pool()
+    b.flatten()
+    b.dense(num_classes)
+    return b.model
+
+
+def build_person_detection(
+    input_hw: int = 96,
+    width_mult: float = 0.25,
+    num_classes: int = 2,
+    seed: int = 20240303,
+) -> Model:
+    """Person Detection: a MobileNet-V1-style separable stack."""
+    b = _Builder("pd", (input_hw, input_hw, 3), seed)
+    b.conv(scale_channels(32, width_mult), kernel=3, stride=2)
+    separable_table = (
+        (64, 1),
+        (128, 2),
+        (128, 1),
+        (256, 2),
+        (256, 1),
+        (512, 2),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (1024, 2),
+        (1024, 1),
+    )
+    for channels, stride in separable_table:
+        b.separable(scale_channels(channels, width_mult), stride)
+    b.global_pool()
+    b.flatten()
+    b.dense(num_classes)
+    return b.model
+
+
+def build_tiny_test_model(
+    input_hw: int = 16, num_classes: int = 4, seed: int = 7
+) -> Model:
+    """A small, fast model for unit tests and the quickstart example."""
+    b = _Builder("tiny", (input_hw, input_hw, 3), seed)
+    b.conv(8, kernel=3, stride=2)
+    b.separable(16, stride=1)
+    b.inverted_residual(16, expansion=2, stride=1)
+    b.separable(24, stride=2)
+    b.global_pool()
+    b.flatten()
+    b.dense(num_classes)
+    return b.model
+
+
+#: The paper's evaluation suite, keyed as in Figs. 5 and 6.
+PAPER_MODELS: Dict[str, Callable[[], Model]] = {
+    "vww": build_vww,
+    "pd": build_person_detection,
+    "mbv2": build_mbv2,
+}

@@ -1,0 +1,188 @@
+"""Model persistence (.npz bundle).
+
+Ships the *exact* quantized model next to its deployment plan: layer
+topology and parameters as a JSON manifest, weights as arrays, all in
+one ``numpy`` ``.npz`` file.  Round-tripping is bit-exact: the saved
+quantized weights are rehydrated through the normal layer
+constructors (dequantize -> requantize reproduces the identical int8
+values because the per-tensor scale is recovered exactly), so a loaded
+model produces byte-identical inference outputs -- the property the
+test suite pins.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List, Union
+
+import numpy as np
+
+from ..errors import GraphError
+from .graph import Model
+from .layers.activation import ReLU
+from .layers.base import Layer
+from .layers.conv2d import Conv2D
+from .layers.dense import Dense
+from .layers.depthwise import DepthwiseConv2D
+from .layers.pointwise import PointwiseConv2D
+from .layers.pooling import GlobalAveragePool, MaxPool2D
+from .layers.reshape import Flatten
+from .layers.residual import ResidualAdd
+from .quantize import QuantParams
+
+#: Bundle format version.
+FORMAT_VERSION = 1
+
+
+def _qparams_to_dict(params: QuantParams) -> Dict:
+    return {"scale": params.scale, "zero_point": params.zero_point}
+
+
+def _qparams_from_dict(data: Dict) -> QuantParams:
+    return QuantParams(
+        scale=float(data["scale"]), zero_point=int(data["zero_point"])
+    )
+
+
+def _weights_key(index: int, what: str) -> str:
+    return f"layer{index}_{what}"
+
+
+def _layer_record(layer: Layer, index: int, arrays: Dict) -> Dict:
+    """Manifest entry + array stash for one layer."""
+    record: Dict = {"type": type(layer).__name__, "name": layer.name}
+    if isinstance(layer, (Conv2D, DepthwiseConv2D, PointwiseConv2D, Dense)):
+        # Rehydratable floats: w_q * scale and bias_q * (s_in * s_w)
+        # re-quantize to the identical integers.
+        arrays[_weights_key(index, "weights")] = (
+            layer.weights_q.astype(np.float64)
+            * np.asarray(layer.weight_scale)
+        ).astype(np.float32)
+        arrays[_weights_key(index, "bias")] = (
+            layer.bias_q.astype(np.float64)
+            * layer.input_params.scale
+            * np.asarray(layer.weight_scale)
+        )
+        record["input_params"] = _qparams_to_dict(layer.input_params)
+        record["output_params"] = _qparams_to_dict(layer.output_params)
+        record["activation"] = layer.activation
+        record["per_channel"] = bool(layer.per_channel)
+        if isinstance(layer, (Conv2D, DepthwiseConv2D)):
+            record["stride"] = layer.stride
+            record["padding"] = layer.padding
+    elif isinstance(layer, ResidualAdd):
+        record["a_params"] = _qparams_to_dict(layer.a_params)
+        record["b_params"] = _qparams_to_dict(layer.b_params)
+        record["output_params"] = _qparams_to_dict(layer.output_params)
+    elif isinstance(layer, MaxPool2D):
+        record["pool"] = layer.pool
+    elif isinstance(layer, ReLU):
+        record["max_value"] = layer.max_value
+    elif isinstance(layer, (GlobalAveragePool, Flatten)):
+        pass
+    else:
+        raise GraphError(
+            f"layer {layer.name!r} of type {type(layer).__name__} is not "
+            "serializable"
+        )
+    return record
+
+
+def _rebuild_layer(record: Dict, index: int, bundle) -> Layer:
+    layer_type = record["type"]
+    name = record["name"]
+    if layer_type in ("Conv2D", "DepthwiseConv2D", "PointwiseConv2D", "Dense"):
+        weights = bundle[_weights_key(index, "weights")].astype(np.float64)
+        bias = bundle[_weights_key(index, "bias")]
+        kwargs = dict(
+            name=name,
+            weights=weights,
+            bias=bias,
+            input_params=_qparams_from_dict(record["input_params"]),
+            output_params=_qparams_from_dict(record["output_params"]),
+            activation=record["activation"],
+            per_channel=bool(record.get("per_channel", False)),
+        )
+        if layer_type == "Conv2D":
+            return Conv2D(
+                stride=int(record["stride"]), padding=record["padding"],
+                **kwargs,
+            )
+        if layer_type == "DepthwiseConv2D":
+            return DepthwiseConv2D(
+                stride=int(record["stride"]), padding=record["padding"],
+                **kwargs,
+            )
+        if layer_type == "PointwiseConv2D":
+            return PointwiseConv2D(**kwargs)
+        return Dense(**kwargs)
+    if layer_type == "ResidualAdd":
+        return ResidualAdd(
+            name=name,
+            a_params=_qparams_from_dict(record["a_params"]),
+            b_params=_qparams_from_dict(record["b_params"]),
+            output_params=_qparams_from_dict(record["output_params"]),
+        )
+    if layer_type == "MaxPool2D":
+        return MaxPool2D(name, pool=int(record["pool"]))
+    if layer_type == "ReLU":
+        max_value = record["max_value"]
+        return ReLU(name, max_value=max_value)
+    if layer_type == "GlobalAveragePool":
+        return GlobalAveragePool(name)
+    if layer_type == "Flatten":
+        return Flatten(name)
+    raise GraphError(f"unknown layer type {layer_type!r} in model bundle")
+
+
+def save_model(model: Model, path: Union[str, pathlib.Path]) -> None:
+    """Write a model bundle to ``path`` (.npz).
+
+    Raises:
+        GraphError: if the model contains a non-serializable layer.
+    """
+    arrays: Dict[str, np.ndarray] = {}
+    records: List[Dict] = []
+    for index, node in enumerate(model.nodes):
+        record = _layer_record(node.layer, index, arrays)
+        record["inputs"] = list(node.inputs)
+        records.append(record)
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "name": model.name,
+        "input_shape": list(model.input_shape),
+        "input_params": _qparams_to_dict(model.input_params),
+        "layers": records,
+    }
+    arrays["manifest"] = np.frombuffer(
+        json.dumps(manifest).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(str(path), **arrays)
+
+
+def load_model(path: Union[str, pathlib.Path]) -> Model:
+    """Read a model bundle; the result infers bit-identically.
+
+    Raises:
+        GraphError: for missing manifests, unknown versions or layer
+            types.
+    """
+    with np.load(str(path)) as bundle:
+        if "manifest" not in bundle:
+            raise GraphError(f"{path}: not a model bundle (no manifest)")
+        manifest = json.loads(bytes(bundle["manifest"]).decode("utf-8"))
+        version = manifest.get("format_version")
+        if version != FORMAT_VERSION:
+            raise GraphError(
+                f"unsupported model bundle version {version!r}"
+            )
+        model = Model(
+            name=manifest["name"],
+            input_shape=tuple(manifest["input_shape"]),
+            input_params=_qparams_from_dict(manifest["input_params"]),
+        )
+        for index, record in enumerate(manifest["layers"]):
+            layer = _rebuild_layer(record, index, bundle)
+            model.add(layer, inputs=tuple(record["inputs"]))
+    return model

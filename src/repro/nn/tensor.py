@@ -1,0 +1,87 @@
+"""Quantized tensors (int8 data + affine quantization parameters).
+
+The paper's models come out of MCUNet/TinyEngine with linear int8
+quantization (Sec. IV).  We follow the same, TFLite-style convention:
+
+    real_value = scale * (quantized_value - zero_point)
+
+with int8 storage, per-tensor scale/zero-point for activations and
+symmetric (zero_point = 0) per-tensor weights.  Activations use NHWC
+layout throughout, matching how CMSIS-NN/TinyEngine lay feature maps
+out in MCU SRAM (channel-last makes a "column" -- one pixel across all
+channels -- contiguous, which is what the pointwise DAE buffers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import QuantizationError
+
+INT8_MIN = -128
+INT8_MAX = 127
+
+
+@dataclass(frozen=True)
+class QuantizedTensor:
+    """An int8 tensor with affine quantization parameters.
+
+    Attributes:
+        data: int8 ndarray, NHWC for feature maps.
+        scale: positive real scale factor.
+        zero_point: integer zero point within int8 range.
+    """
+
+    data: np.ndarray
+    scale: float
+    zero_point: int
+
+    def __post_init__(self) -> None:
+        if self.data.dtype != np.int8:
+            raise QuantizationError(
+                f"quantized tensor data must be int8, got {self.data.dtype}"
+            )
+        if self.scale <= 0:
+            raise QuantizationError(f"scale must be positive, got {self.scale}")
+        if not INT8_MIN <= self.zero_point <= INT8_MAX:
+            raise QuantizationError(
+                f"zero point {self.zero_point} outside int8 range"
+            )
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Shape of the underlying array."""
+        return self.data.shape
+
+    @property
+    def size_bytes(self) -> int:
+        """Storage footprint in bytes (one byte per element)."""
+        return int(self.data.size)
+
+    def dequantize(self) -> np.ndarray:
+        """Return the float32 real values this tensor represents."""
+        return self.scale * (
+            self.data.astype(np.float32) - float(self.zero_point)
+        )
+
+    def with_data(self, data: np.ndarray) -> "QuantizedTensor":
+        """New tensor with the same quantization parameters."""
+        return QuantizedTensor(
+            data=data, scale=self.scale, zero_point=self.zero_point
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QuantizedTensor):
+            return NotImplemented
+        return (
+            self.scale == other.scale
+            and self.zero_point == other.zero_point
+            and self.data.shape == other.data.shape
+            and bool(np.array_equal(self.data, other.data))
+        )
+
+    def __hash__(self) -> int:  # dataclass(frozen) would try to hash ndarray
+        return id(self)

@@ -1,0 +1,30 @@
+"""QoS-aware energy optimization: MCKP DP solver, greedy baseline, QoS."""
+
+from .greedy import solve_mckp_greedy
+from .harmonize import HarmonizationResult, harmonize_plan
+from .mckp import (
+    MCKPItem,
+    MCKPSolution,
+    min_total_weight,
+    solve_mckp_bruteforce,
+    solve_mckp_dp,
+    to_maximization,
+)
+from .qos import MODERATE, PAPER_QOS_LEVELS, RELAXED, TIGHT, QoSLevel
+
+__all__ = [
+    "solve_mckp_greedy",
+    "HarmonizationResult",
+    "harmonize_plan",
+    "MCKPItem",
+    "MCKPSolution",
+    "min_total_weight",
+    "solve_mckp_bruteforce",
+    "solve_mckp_dp",
+    "to_maximization",
+    "MODERATE",
+    "PAPER_QOS_LEVELS",
+    "RELAXED",
+    "TIGHT",
+    "QoSLevel",
+]

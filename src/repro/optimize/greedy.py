@@ -1,0 +1,85 @@
+"""Greedy / incremental-efficiency MCKP baseline solver.
+
+The classical LP-relaxation-inspired greedy for the minimization MCKP:
+start from the minimum-energy item of every class (the unconstrained
+optimum) and, while the latency budget is violated, repeatedly apply
+the single swap with the best *incremental efficiency* -- the least
+extra energy per second of latency saved.  This is the standard
+approximate companion to the exact DP (Kellerer et al., ch. 11) and is
+used here as the ablation baseline quantifying what the paper's exact
+pseudo-polynomial solver buys (benchmark E7).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import QoSInfeasibleError, SolverError
+from .mckp import MCKPItem, MCKPSolution, min_total_weight
+
+
+def _efficiency_candidates(
+    cls: Sequence[MCKPItem], current: MCKPItem
+) -> List[Tuple[float, MCKPItem]]:
+    """(efficiency, item) swaps that reduce weight, best first.
+
+    Efficiency is extra value per unit of weight saved; lower is
+    better.  Items that save no weight are never useful while the
+    budget is violated.
+    """
+    candidates: List[Tuple[float, MCKPItem]] = []
+    for item in cls:
+        saved = current.weight - item.weight
+        if saved <= 0:
+            continue
+        extra = item.value - current.value
+        candidates.append((extra / saved, item))
+    candidates.sort(key=lambda pair: pair[0])
+    return candidates
+
+
+def solve_mckp_greedy(
+    classes: Sequence[Sequence[MCKPItem]],
+    budget: float,
+) -> MCKPSolution:
+    """Greedy solver: feasible, near-optimal, no optimality guarantee.
+
+    Raises:
+        QoSInfeasibleError: when even the minimum-weight selection
+            exceeds the budget.
+        SolverError: for malformed instances.
+    """
+    if not classes:
+        raise SolverError("MCKP instance needs at least one class")
+    for k, cls in enumerate(classes):
+        if not cls:
+            raise SolverError(f"MCKP class {k} is empty")
+    tightest = min_total_weight(classes)
+    if tightest > budget:
+        raise QoSInfeasibleError(qos_s=budget, min_latency_s=tightest)
+
+    # Unconstrained optimum: min energy per class (ties -> min weight).
+    selection: List[MCKPItem] = [
+        min(cls, key=lambda item: (item.value, item.weight)) for cls in classes
+    ]
+    total_weight = sum(item.weight for item in selection)
+    while total_weight > budget:
+        best_swap: Optional[Tuple[float, int, MCKPItem]] = None
+        for k, cls in enumerate(classes):
+            candidates = _efficiency_candidates(cls, selection[k])
+            if not candidates:
+                continue
+            efficiency, item = candidates[0]
+            if best_swap is None or efficiency < best_swap[0]:
+                best_swap = (efficiency, k, item)
+        if best_swap is None:
+            # Cannot happen when the tightest selection fits, but guard
+            # against pathological floating-point budgets.
+            raise QoSInfeasibleError(qos_s=budget, min_latency_s=tightest)
+        _, k, item = best_swap
+        selection[k] = item
+        # Recompute instead of updating incrementally: repeated
+        # subtraction accumulates float error and can leave the loop
+        # spinning on a phantom few-ulp budget violation.
+        total_weight = sum(selected.weight for selected in selection)
+    return MCKPSolution(items=selection)

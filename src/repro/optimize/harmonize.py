@@ -1,0 +1,142 @@
+"""Schedule harmonization: trading Pareto-point optimality for fewer
+PLL re-locks.
+
+The paper's MCKP (Step 3) treats layers independently, but the runtime
+pays a ~200 us PLL reprogram whenever *consecutive* layers select
+different HFO frequencies. On millisecond-scale models this
+sequence-dependent cost can exceed the energy the per-layer optimum
+saves. The harmonization pass is a post-optimization local search:
+for every layer whose HFO differs from its predecessor's, try adopting
+the predecessor's HFO (re-picking the best Pareto point at that
+frequency) and keep the move iff the *deployed* window energy
+improves while the QoS still holds. It converges because every
+accepted move strictly reduces measured energy.
+
+This is an extension beyond the paper (benchmarked as experiment E9);
+the main pipeline already bounds re-lock damage with its refinement
+loop, so harmonization is opt-in.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from ..dse.explorer import SolutionPoint
+from ..engine.runtime import DVFSRuntime, InferenceReport
+from ..engine.schedule import DeploymentPlan, LayerPlan
+from ..errors import SolverError
+from ..nn.graph import Model
+
+
+@dataclasses.dataclass
+class HarmonizationResult:
+    """Outcome of one harmonization pass."""
+
+    plan: DeploymentPlan
+    report: InferenceReport
+    initial_report: InferenceReport
+    moves_applied: int = 0
+
+    @property
+    def energy_improvement(self) -> float:
+        """Fractional window-energy reduction achieved."""
+        if self.initial_report.energy_j == 0:
+            return 0.0
+        return 1.0 - self.report.energy_j / self.initial_report.energy_j
+
+    @property
+    def relocks_removed(self) -> int:
+        """PLL re-locks eliminated by the pass."""
+        return self.initial_report.relock_count - self.report.relock_count
+
+
+def _with_point(
+    plan: DeploymentPlan, node_id: int, point: SolutionPoint
+) -> DeploymentPlan:
+    layer_plans = dict(plan.layer_plans)
+    layer_plans[node_id] = LayerPlan(
+        node_id=node_id,
+        granularity=point.granularity,
+        hfo=point.hfo,
+        predicted_latency_s=point.latency_s,
+        predicted_energy_j=point.energy_j,
+    )
+    return dataclasses.replace(plan, layer_plans=layer_plans)
+
+
+def harmonize_plan(
+    runtime: DVFSRuntime,
+    model: Model,
+    plan: DeploymentPlan,
+    fronts: Dict[int, Sequence[SolutionPoint]],
+    qos_s: Optional[float] = None,
+    max_passes: int = 3,
+) -> HarmonizationResult:
+    """Reduce HFO changes in ``plan`` when that saves deployed energy.
+
+    Args:
+        runtime: the DVFS runtime used to measure candidate schedules.
+        model: the model the plan targets.
+        plan: the starting schedule.
+        fronts: per-layer Pareto points (from the DSE) to re-pick from.
+        qos_s: latency budget candidates must respect (defaults to the
+            plan's own budget; None disables the latency check).
+        max_passes: sweep limit; each pass walks all layers once.
+
+    Raises:
+        SolverError: when a scheduled layer has no Pareto points to
+            re-pick from.
+    """
+    qos = qos_s if qos_s is not None else plan.qos_s
+
+    def measure(candidate: DeploymentPlan) -> InferenceReport:
+        return runtime.run(
+            model,
+            candidate,
+            qos_s=qos,
+            initial_config=candidate.initial_config(),
+        )
+
+    best_plan = plan
+    best_report = measure(plan)
+    initial_report = best_report
+    moves = 0
+    node_ids: List[int] = sorted(plan.layer_plans)
+    for node_id in node_ids:
+        if node_id not in fronts:
+            raise SolverError(
+                f"no Pareto points supplied for scheduled node {node_id}"
+            )
+    for _ in range(max_passes):
+        improved = False
+        for position, node_id in enumerate(node_ids):
+            if position == 0:
+                continue
+            prev_hfo = best_plan.layer_plans[node_ids[position - 1]].hfo
+            current = best_plan.layer_plans[node_id]
+            if current.hfo == prev_hfo:
+                continue
+            candidates = [
+                p for p in fronts[node_id] if p.hfo == prev_hfo
+            ]
+            if not candidates:
+                continue
+            point = min(candidates, key=lambda p: p.energy_j)
+            trial_plan = _with_point(best_plan, node_id, point)
+            trial_report = measure(trial_plan)
+            if qos is not None and trial_report.latency_s > qos:
+                continue
+            if trial_report.energy_j < best_report.energy_j:
+                best_plan = trial_plan
+                best_report = trial_report
+                improved = True
+                moves += 1
+        if not improved:
+            break
+    return HarmonizationResult(
+        plan=best_plan,
+        report=best_report,
+        initial_report=initial_report,
+        moves_applied=moves,
+    )

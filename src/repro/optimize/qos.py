@@ -1,0 +1,53 @@
+"""QoS (latency budget) handling.
+
+The paper's evaluation (Sec. IV) runs an *iso-latency* scenario: the
+QoS budget is the baseline TinyEngine inference latency relaxed by a
+slack percentage -- 10% (tight), 30% (moderate) or 50% (relaxed) --
+and every engine is charged for the energy of the whole window,
+idling after it finishes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..errors import SolverError
+
+
+@dataclass(frozen=True)
+class QoSLevel:
+    """One QoS setting of the paper's grid.
+
+    Attributes:
+        name: label used in the figures ("tight", ...).
+        slack: relative latency slack over the baseline (0.10 = +10%).
+    """
+
+    name: str
+    slack: float
+
+    def __post_init__(self) -> None:
+        if self.slack < 0:
+            raise SolverError(f"QoS slack must be >= 0, got {self.slack}")
+
+    def budget_s(self, baseline_latency_s: float) -> float:
+        """The absolute latency budget for a given baseline latency."""
+        if baseline_latency_s <= 0:
+            raise SolverError(
+                f"baseline latency must be positive, got {baseline_latency_s}"
+            )
+        return baseline_latency_s * (1.0 + self.slack)
+
+    @property
+    def percent(self) -> int:
+        """The slack as an integer percentage (for labels)."""
+        return int(round(self.slack * 100))
+
+
+#: The paper's three QoS constraints (Fig. 5).
+TIGHT = QoSLevel(name="tight", slack=0.10)
+MODERATE = QoSLevel(name="moderate", slack=0.30)
+RELAXED = QoSLevel(name="relaxed", slack=0.50)
+
+PAPER_QOS_LEVELS: Tuple[QoSLevel, ...] = (TIGHT, MODERATE, RELAXED)

@@ -1,0 +1,465 @@
+"""End-to-end methodology (paper Fig. 3): DAE -> DSE -> MCKP -> deploy.
+
+:class:`DAEDVFSPipeline` chains the three steps of the paper on a
+simulated board:
+
+1. **DAE enablement** -- every depthwise/pointwise layer is traced at
+   each candidate granularity (the source restructuring of Sec. III-A
+   is captured by the segment cost model; its bit-exactness is
+   established separately by :mod:`repro.engine.dae`).
+2. **DAE x clocking co-exploration** (Sec. III-B) -- per-layer sweep of
+   (g, HFO) candidates, reduced to Pareto fronts.
+3. **QoS-aware energy optimization** (Sec. III-C) -- the fronts become
+   MCKP classes; the DP (or greedy) solver picks one point per layer
+   minimizing energy under the latency budget.
+
+The resulting :class:`~repro.engine.schedule.DeploymentPlan` deploys on
+the DVFS runtime, and :meth:`DAEDVFSPipeline.compare` reproduces the
+paper's Fig. 5 rows: ours vs. TinyEngine vs. TinyEngine + clock gating
+in the iso-latency energy scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from .dse.explorer import DSEExplorer, SolutionPoint
+from .dse.pareto import pareto_front
+from .dse.space import DesignSpace, paper_design_space
+from .engine.cost import TraceBuilder, TraceParams
+from .engine.runtime import DVFSRuntime, InferenceReport
+from .engine.schedule import DeploymentPlan, LayerPlan
+from .engine.tinyengine import TinyEngine, TinyEngineClockGated
+from .errors import QoSInfeasibleError, SolverError
+from .mcu.board import Board, make_nucleo_f767zi
+from .nn.graph import Model
+from .optimize.greedy import solve_mckp_greedy
+from .optimize.mckp import MCKPItem, solve_mckp_dp
+from .optimize.qos import QoSLevel
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only, avoids cycles
+    from .optimize.harmonize import HarmonizationResult
+    from .profiling.profiler import LayerProfiler
+
+
+@dataclass
+class OptimizationResult:
+    """Output of the optimization pipeline for one (model, QoS)."""
+
+    plan: DeploymentPlan
+    pareto_fronts: Dict[int, List[SolutionPoint]] = field(default_factory=dict)
+    baseline_latency_s: float = 0.0
+    qos_s: float = 0.0
+    fixed_overhead_s: float = 0.0
+
+
+@dataclass
+class ComparisonResult:
+    """One Fig. 5 data point: the three engines at one QoS setting."""
+
+    model_name: str
+    qos_name: str
+    qos_s: float
+    ours: InferenceReport
+    tinyengine: InferenceReport
+    clock_gated: InferenceReport
+
+    @property
+    def savings_vs_tinyengine(self) -> float:
+        """Fractional energy reduction vs. plain TinyEngine."""
+        return 1.0 - self.ours.energy_j / self.tinyengine.energy_j
+
+    @property
+    def savings_vs_clock_gated(self) -> float:
+        """Fractional energy reduction vs. TinyEngine + clock gating."""
+        return 1.0 - self.ours.energy_j / self.clock_gated.energy_j
+
+
+class DAEDVFSPipeline:
+    """The paper's methodology, end to end, on one board description.
+
+    Args:
+        board: simulated board (a default Nucleo-F767ZI if omitted).
+        space: design space (the paper's grid if omitted).
+        trace_params: access-pattern constants shared by all engines.
+        solver: "dp" (the paper's pseudo-polynomial exact solver) or
+            "greedy" (the ablation baseline).
+        dp_resolution: time-grid steps of the DP solver.
+        max_refinements: extra solve rounds allowed for the
+            switching-overhead refinement loop.
+        profiler: when given, Step 2 consumes *measured* per-layer
+            records (through the simulated timer + INA219 chain, as
+            the paper's hardware campaign does) instead of analytic
+            prices.
+        granularity_fn: optional per-layer granularity policy, e.g.
+            ``functools.partial(adaptive_granularities, board)``.
+    """
+
+    def __init__(
+        self,
+        board: Optional[Board] = None,
+        space: Optional[DesignSpace] = None,
+        trace_params: Optional[TraceParams] = None,
+        solver: str = "dp",
+        dp_resolution: int = 4000,
+        max_refinements: int = 3,
+        profiler: Optional["LayerProfiler"] = None,
+        granularity_fn=None,
+    ):
+        if solver not in ("dp", "greedy"):
+            raise SolverError(f"unknown solver {solver!r}")
+        if max_refinements < 0:
+            raise SolverError("max_refinements must be >= 0")
+        self.board = board or make_nucleo_f767zi()
+        self.space = space or paper_design_space(self.board.power_model)
+        self.trace_params = trace_params
+        self.solver = solver
+        self.dp_resolution = dp_resolution
+        self.max_refinements = max_refinements
+        self.profiler = profiler
+        self.explorer = DSEExplorer(
+            self.board, self.space, trace_params,
+            granularity_fn=granularity_fn,
+        )
+        self.runtime = DVFSRuntime(self.board, trace_params)
+        self._tinyengine = TinyEngine(self.board, trace_params=trace_params)
+        self._clock_gated = TinyEngineClockGated(
+            self.board, trace_params=trace_params
+        )
+
+    # -- building blocks -------------------------------------------------------
+
+    def baseline_latency_s(self, model: Model) -> float:
+        """TinyEngine inference latency (the QoS anchor)."""
+        return self._tinyengine.inference_latency_s(model)
+
+    def fixed_overhead_s(self, model: Model) -> float:
+        """Latency of the non-schedulable layers (pool/add/flatten).
+
+        These run at whatever clock the neighbouring conv layers leave
+        behind.  They are budgeted at the fastest HFO; if the deployed
+        schedule leaves them on a slower clock, the runtime-in-the-loop
+        refinement of :meth:`optimize` absorbs the difference.
+        """
+        fastest = max(self.space.hfo_configs, key=lambda c: c.sysclk_hz)
+        tracer = TraceBuilder(self.board, self.trace_params)
+        conv_ids = {node.node_id for node in model.conv_nodes()}
+        overhead = 0.0
+        for node in model.nodes:
+            if node.node_id in conv_ids:
+                continue
+            trace = tracer.build(model, node, 0)
+            latency, _ = self.explorer.pricer.price(
+                trace, fastest, self.space.lfo, assume_relock=False
+            )
+            overhead += latency
+        return overhead
+
+    def optimize(
+        self,
+        model: Model,
+        qos_level: Optional[QoSLevel] = None,
+        qos_s: Optional[float] = None,
+    ) -> OptimizationResult:
+        """Run Steps 2-3 and produce a deployment plan.
+
+        Exactly one of ``qos_level`` (relative to the TinyEngine
+        baseline latency) or ``qos_s`` (absolute seconds) must be
+        given.
+
+        Raises:
+            SolverError: when neither/both QoS forms are supplied.
+            QoSInfeasibleError: when no schedule can meet the budget.
+        """
+        if (qos_level is None) == (qos_s is None):
+            raise SolverError("provide exactly one of qos_level or qos_s")
+        baseline = self.baseline_latency_s(model)
+        budget = qos_s if qos_s is not None else qos_level.budget_s(baseline)
+
+        clouds = self._explore_clouds(model)
+        fronts = {
+            node_id: pareto_front(
+                points, key=lambda p: (p.latency_s, p.energy_j)
+            )
+            for node_id, points in clouds.items()
+        }
+        fixed = self.fixed_overhead_s(model)
+        conv_budget = budget - fixed
+        if conv_budget <= 0:
+            min_conv = sum(
+                min(p.latency_s for p in front) for front in fronts.values()
+            )
+            raise QoSInfeasibleError(qos_s=budget, min_latency_s=min_conv + fixed)
+
+        node_ids = sorted(fronts)
+        classes = [
+            [
+                MCKPItem(
+                    weight=p.latency_s, value=p.energy_j, payload=p
+                )
+                for p in fronts[node_id]
+            ]
+            for node_id in node_ids
+        ]
+
+        # The per-layer prices exclude inter-layer PLL re-locks (those
+        # depend on the *sequence* of choices, which MCKP cannot see).
+        # Solve, measure the real schedule on the runtime, and if the
+        # accumulated switching overhead overshoots the budget, tighten
+        # the knapsack and re-solve -- a couple of iterations converge.
+        # If the free schedule cannot converge (sub-millisecond models
+        # where 200 us re-locks dominate every layer), fall back to
+        # harmonized single-HFO schedules, which never re-lock inside
+        # the inference window.
+        plan = self._refine_free_plan(
+            model, classes, conv_budget, budget, fixed
+        )
+        # Always also solve the best single-HFO schedule: it pays no
+        # re-locks at all, so on switch-dominated (small/fast) models
+        # it can beat the "free" per-layer optimum whose knapsack
+        # could not see the sequence costs.  Keep whichever deploys
+        # cheaper over the window.
+        try:
+            uniform = self._best_uniform_hfo_plan(
+                model, clouds, conv_budget, budget, fixed
+            )
+        except QoSInfeasibleError:
+            uniform = None
+            if plan is None:
+                raise
+        if plan is None:
+            assert uniform is not None
+            plan = uniform
+        elif uniform is not None:
+            e_free = self.runtime.run(
+                model, plan, qos_s=budget,
+                initial_config=plan.initial_config(),
+            ).energy_j
+            e_uniform = self.runtime.run(
+                model, uniform, qos_s=budget,
+                initial_config=uniform.initial_config(),
+            ).energy_j
+            if e_uniform < e_free:
+                plan = uniform
+        return OptimizationResult(
+            plan=plan,
+            pareto_fronts=fronts,
+            baseline_latency_s=baseline,
+            qos_s=budget,
+            fixed_overhead_s=fixed,
+        )
+
+    def _explore_clouds(
+        self, model: Model
+    ) -> Dict[int, List[SolutionPoint]]:
+        """Per-layer candidate clouds: analytic or sensor-measured."""
+        if self.profiler is None:
+            return self.explorer.explore_model(model)
+        clouds: Dict[int, List[SolutionPoint]] = {}
+        for node in model.conv_nodes():
+            records = self.profiler.profile_layer(
+                model, node, assume_relock=False
+            )
+            clouds[node.node_id] = [
+                SolutionPoint(
+                    node_id=node.node_id,
+                    layer_name=node.layer.name,
+                    layer_kind=node.layer.kind,
+                    granularity=record.granularity,
+                    hfo=record.hfo,
+                    latency_s=record.latency_s,
+                    energy_j=record.energy_j,
+                )
+                for record in records
+            ]
+        return clouds
+
+    def harmonize(
+        self, model: Model, result: OptimizationResult
+    ) -> "HarmonizationResult":
+        """Post-optimize local search reducing PLL re-locks.
+
+        See :mod:`repro.optimize.harmonize`; keeps the result's QoS.
+        """
+        from .optimize.harmonize import harmonize_plan
+
+        return harmonize_plan(
+            self.runtime,
+            model,
+            result.plan,
+            result.pareto_fronts,
+            qos_s=result.qos_s,
+        )
+
+    def _solve_classes(self, classes, budget: float):
+        if self.solver == "dp":
+            return solve_mckp_dp(
+                classes, budget, resolution=self.dp_resolution
+            )
+        return solve_mckp_greedy(classes, budget)
+
+    def _refine_free_plan(
+        self,
+        model: Model,
+        classes,
+        conv_budget: float,
+        budget: float,
+        fixed: float,
+    ) -> Optional[DeploymentPlan]:
+        """Solve + runtime-measure + tighten; None if it cannot converge.
+
+        Starts a hair under the true budget so grid rounding and the
+        final mux handshakes cannot push the schedule over by floats.
+        """
+        effective_budget = conv_budget * 0.999
+        for _ in range(self.max_refinements + 1):
+            try:
+                solution = self._solve_classes(classes, effective_budget)
+            except QoSInfeasibleError:
+                return None
+            plan = self._plan_from_solution(model, solution, budget, fixed)
+            actual = self.runtime.run(
+                model, plan, initial_config=plan.initial_config()
+            ).latency_s
+            if actual <= budget:
+                return plan
+            # The gap between the runtime and the per-layer predictions
+            # is exactly the sequence-dependent switching overhead the
+            # MCKP cannot see.  Re-solve with that overhead (plus a
+            # grid quantum of margin) carved out of the budget.
+            unpriced = max(0.0, actual - plan.predicted_latency_s)
+            grid_step = effective_budget / self.dp_resolution
+            effective_budget = (
+                conv_budget * 0.999 - unpriced * 1.05 - 2.0 * grid_step
+            )
+            if effective_budget <= 0:
+                return None
+        return None
+
+    def _best_uniform_hfo_plan(
+        self,
+        model: Model,
+        clouds: Dict[int, List[SolutionPoint]],
+        conv_budget: float,
+        budget: float,
+        fixed: float,
+    ) -> DeploymentPlan:
+        """Minimum-energy schedule with one shared HFO for all layers.
+
+        A single HFO means the PLL is programmed once (before the
+        window opens) and only the cheap LFO/HFO mux bounces remain,
+        so the per-layer prices are accurate without refinement.
+
+        Raises:
+            QoSInfeasibleError: when no single-HFO schedule fits either.
+        """
+        node_ids = sorted(clouds)
+        best: Optional[DeploymentPlan] = None
+        tightest = float("inf")
+        for hfo in self.space.hfo_configs:
+            classes = []
+            usable = True
+            for node_id in node_ids:
+                points = [p for p in clouds[node_id] if p.hfo == hfo]
+                if not points:
+                    usable = False
+                    break
+                front = pareto_front(
+                    points, key=lambda p: (p.latency_s, p.energy_j)
+                )
+                classes.append(
+                    [
+                        MCKPItem(
+                            weight=p.latency_s, value=p.energy_j, payload=p
+                        )
+                        for p in front
+                    ]
+                )
+            if not usable:
+                continue
+            try:
+                solution = self._solve_classes(classes, conv_budget * 0.999)
+            except QoSInfeasibleError as err:
+                tightest = min(tightest, err.min_latency_s + fixed)
+                continue
+            plan = self._plan_from_solution(model, solution, budget, fixed)
+            actual = self.runtime.run(
+                model, plan, initial_config=plan.initial_config()
+            ).latency_s
+            if actual > budget:
+                tightest = min(tightest, actual)
+                continue
+            if (
+                best is None
+                or plan.predicted_energy_j < best.predicted_energy_j
+            ):
+                best = plan
+        if best is None:
+            raise QoSInfeasibleError(
+                qos_s=budget,
+                min_latency_s=(
+                    tightest if tightest != float("inf") else budget
+                ),
+            )
+        return best
+
+    def _plan_from_solution(
+        self,
+        model: Model,
+        solution,
+        budget: float,
+        fixed: float,
+    ) -> DeploymentPlan:
+        layer_plans: Dict[int, LayerPlan] = {}
+        for item in solution.items:
+            point: SolutionPoint = item.payload
+            layer_plans[point.node_id] = LayerPlan(
+                node_id=point.node_id,
+                granularity=point.granularity,
+                hfo=point.hfo,
+                predicted_latency_s=point.latency_s,
+                predicted_energy_j=point.energy_j,
+            )
+        return DeploymentPlan(
+            model_name=model.name,
+            lfo=self.space.lfo,
+            layer_plans=layer_plans,
+            qos_s=budget,
+            predicted_latency_s=solution.total_weight + fixed,
+            predicted_energy_j=solution.total_value,
+        )
+
+    def deploy(
+        self, model: Model, plan: DeploymentPlan, qos_s: Optional[float] = None
+    ) -> InferenceReport:
+        """Execute a plan on the DVFS runtime (gated post-QoS idle).
+
+        The board enters the window pre-locked on the first layer's
+        HFO, mirroring the baselines' pre-locked 216 MHz start.
+        """
+        return self.runtime.run(
+            model,
+            plan,
+            qos_s=qos_s if qos_s is not None else plan.qos_s,
+            initial_config=plan.initial_config(),
+        )
+
+    # -- the Fig. 5 comparison ---------------------------------------------------
+
+    def compare(
+        self, model: Model, qos_level: QoSLevel
+    ) -> ComparisonResult:
+        """Ours vs. TinyEngine vs. TinyEngine+gating at one QoS level."""
+        result = self.optimize(model, qos_level=qos_level)
+        ours = self.deploy(model, result.plan)
+        te = self._tinyengine.run(model, qos_s=result.qos_s)
+        cg = self._clock_gated.run(model, qos_s=result.qos_s)
+        return ComparisonResult(
+            model_name=model.name,
+            qos_name=qos_level.name,
+            qos_s=result.qos_s,
+            ours=ours,
+            tinyengine=te,
+            clock_gated=cg,
+        )

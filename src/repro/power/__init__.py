@@ -1,0 +1,41 @@
+"""Board power modelling, energy accounting and the INA219 sensor."""
+
+from .energy import (
+    EnergyAccount,
+    EnergyCategory,
+    EnergyInterval,
+    merge_accounts,
+)
+from .model import BoardPowerModel, PowerModelParams, PowerState
+from .thermal import (
+    ThermalModelParams,
+    ThermalReplayResult,
+    steady_state_temperature,
+    sustained_energy_correction,
+    thermal_replay,
+)
+from .sensor import (
+    INA219Config,
+    INA219Sensor,
+    PowerSample,
+    differential_energy,
+)
+
+__all__ = [
+    "EnergyAccount",
+    "EnergyCategory",
+    "EnergyInterval",
+    "merge_accounts",
+    "BoardPowerModel",
+    "PowerModelParams",
+    "PowerState",
+    "ThermalModelParams",
+    "ThermalReplayResult",
+    "steady_state_temperature",
+    "sustained_energy_correction",
+    "thermal_replay",
+    "INA219Config",
+    "INA219Sensor",
+    "PowerSample",
+    "differential_energy",
+]

@@ -1,0 +1,150 @@
+"""Energy accounting over execution traces.
+
+The DVFS runtime and the baselines both report their results through an
+:class:`EnergyAccount`: a categorized ledger of (duration, power)
+intervals.  Keeping the ledger categorized -- compute, memory, clock
+switching, idle -- lets the benchmarks answer the paper's analysis
+questions directly ("how much energy went to switching overhead?",
+"how much did the baseline burn idling at 216 MHz?").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from ..errors import TraceError
+
+
+class EnergyCategory(enum.Enum):
+    """Where a slice of energy was spent."""
+
+    COMPUTE = "compute"
+    MEMORY = "memory"
+    SWITCH = "switch"
+    IDLE = "idle"
+    OTHER = "other"
+
+
+@dataclass(frozen=True)
+class EnergyInterval:
+    """One homogeneous interval of the execution.
+
+    Attributes:
+        duration_s: interval length in seconds (>= 0).
+        power_w: board power during the interval (>= 0).
+        category: ledger category.
+        label: optional free-form tag (e.g. the layer name) used by
+            per-layer breakdowns.
+    """
+
+    duration_s: float
+    power_w: float
+    category: EnergyCategory
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.duration_s < 0:
+            raise TraceError(
+                f"interval duration must be >= 0, got {self.duration_s}"
+            )
+        if self.power_w < 0:
+            raise TraceError(f"interval power must be >= 0, got {self.power_w}")
+
+    @property
+    def energy_j(self) -> float:
+        """Energy of the interval in joules."""
+        return self.duration_s * self.power_w
+
+
+@dataclass
+class EnergyAccount:
+    """A categorized energy ledger.
+
+    Intervals are appended in execution order, so the account doubles
+    as a (piecewise-constant) power trace that the INA219 sensor model
+    can sample.
+    """
+
+    intervals: List[EnergyInterval] = field(default_factory=list)
+
+    def add(
+        self,
+        duration_s: float,
+        power_w: float,
+        category: EnergyCategory,
+        label: str = "",
+    ) -> None:
+        """Append one interval; zero-duration intervals are dropped."""
+        if duration_s == 0.0:
+            return
+        self.intervals.append(
+            EnergyInterval(
+                duration_s=duration_s,
+                power_w=power_w,
+                category=category,
+                label=label,
+            )
+        )
+
+    def extend(self, other: "EnergyAccount") -> None:
+        """Append every interval of ``other`` (in order)."""
+        self.intervals.extend(other.intervals)
+
+    @property
+    def total_energy_j(self) -> float:
+        """Total energy across all intervals."""
+        return sum(interval.energy_j for interval in self.intervals)
+
+    @property
+    def total_time_s(self) -> float:
+        """Total wall-clock time across all intervals."""
+        return sum(interval.duration_s for interval in self.intervals)
+
+    @property
+    def average_power_w(self) -> float:
+        """Time-weighted mean power (0.0 for an empty account)."""
+        total_time = self.total_time_s
+        if total_time == 0.0:
+            return 0.0
+        return self.total_energy_j / total_time
+
+    def energy_by_category(self) -> Dict[EnergyCategory, float]:
+        """Energy per category; categories never seen are absent."""
+        breakdown: Dict[EnergyCategory, float] = {}
+        for interval in self.intervals:
+            breakdown[interval.category] = (
+                breakdown.get(interval.category, 0.0) + interval.energy_j
+            )
+        return breakdown
+
+    def time_by_category(self) -> Dict[EnergyCategory, float]:
+        """Wall-clock time per category."""
+        breakdown: Dict[EnergyCategory, float] = {}
+        for interval in self.intervals:
+            breakdown[interval.category] = (
+                breakdown.get(interval.category, 0.0) + interval.duration_s
+            )
+        return breakdown
+
+    def energy_by_label(self) -> Dict[str, float]:
+        """Energy per label (e.g. per layer); unlabeled under ``""``."""
+        breakdown: Dict[str, float] = {}
+        for interval in self.intervals:
+            breakdown[interval.label] = (
+                breakdown.get(interval.label, 0.0) + interval.energy_j
+            )
+        return breakdown
+
+    def as_power_trace(self) -> List[EnergyInterval]:
+        """The ordered piecewise-constant power trace (read-only view)."""
+        return list(self.intervals)
+
+
+def merge_accounts(accounts: Iterable[EnergyAccount]) -> EnergyAccount:
+    """Concatenate several accounts into a new one (inputs untouched)."""
+    merged = EnergyAccount()
+    for account in accounts:
+        merged.extend(account)
+    return merged

@@ -1,0 +1,203 @@
+"""Thermal model: temperature-dependent leakage feedback.
+
+The paper motivates its measurement methodology with
+temperature-induced power fluctuations (Sec. IV) and cites
+leakage-aware DVFS (Jejurikar et al. [25]) as a reason DVFS is not
+straightforward: running slower lengthens execution, raising the
+leakage energy, and leakage itself grows with die temperature, which
+grows with dissipated power.  This module closes that loop as a
+first-order lumped RC model:
+
+    C_th * dT/dt = P(t) - (T - T_ambient) / R_th
+    leakage(T)   = leakage(T_ref) * exp((T - T_ref) / T_slope)
+
+:func:`thermal_replay` re-integrates an execution trace with the
+feedback active, reporting the temperature trajectory and the
+leakage-corrected energy.  Benchmark E13 uses it to check the paper's
+conclusions survive the feedback the simple energy model ignores.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..errors import PowerModelError
+from .energy import EnergyInterval
+
+
+@dataclass(frozen=True)
+class ThermalModelParams:
+    """Lumped thermal network of the package + board.
+
+    Attributes:
+        r_th_c_per_w: junction-to-ambient thermal resistance.  ~40 C/W
+            for an LQFP208 with board copper.
+        c_th_j_per_c: thermal capacitance; with R_th this sets the
+            thermal time constant (~ seconds for a small package).
+        t_ambient_c: ambient temperature.
+        t_ref_c: temperature at which the power model's leakage
+            constant was calibrated.
+        t_slope_c: exponential leakage slope; leakage doubles roughly
+            every ``t_slope * ln(2)`` degrees (~20-30 C for 90 nm-class
+            silicon).
+        leakage_ref_w: the leakage power at ``t_ref_c`` (the power
+            model's ``p_mcu_leakage_w``).
+    """
+
+    r_th_c_per_w: float = 40.0
+    c_th_j_per_c: float = 0.15
+    t_ambient_c: float = 25.0
+    t_ref_c: float = 25.0
+    t_slope_c: float = 35.0
+    leakage_ref_w: float = 0.008
+
+    def __post_init__(self) -> None:
+        if self.r_th_c_per_w <= 0 or self.c_th_j_per_c <= 0:
+            raise PowerModelError("thermal R and C must be positive")
+        if self.t_slope_c <= 0:
+            raise PowerModelError("t_slope_c must be positive")
+        if self.leakage_ref_w < 0:
+            raise PowerModelError("leakage_ref_w must be >= 0")
+
+    @property
+    def time_constant_s(self) -> float:
+        """Thermal RC time constant."""
+        return self.r_th_c_per_w * self.c_th_j_per_c
+
+    def leakage_at(self, temperature_c: float) -> float:
+        """Leakage power at a junction temperature."""
+        return self.leakage_ref_w * math.exp(
+            (temperature_c - self.t_ref_c) / self.t_slope_c
+        )
+
+
+@dataclass
+class ThermalReplayResult:
+    """Outcome of re-integrating a trace with thermal feedback."""
+
+    energy_j: float
+    baseline_energy_j: float
+    peak_temperature_c: float
+    final_temperature_c: float
+    temperatures_c: List[float]
+
+    @property
+    def leakage_correction(self) -> float:
+        """Fractional energy change caused by the feedback."""
+        if self.baseline_energy_j == 0:
+            return 0.0
+        return self.energy_j / self.baseline_energy_j - 1.0
+
+
+def steady_state_temperature(
+    average_power_w: float, params: ThermalModelParams | None = None
+) -> float:
+    """Junction temperature of a sustained workload.
+
+    Solves the RC model's fixed point ``T = T_amb + P(T) * R_th`` with
+    the leakage feedback included (a few fixed-point iterations
+    converge for realistic parameters).
+
+    Raises:
+        PowerModelError: if the feedback diverges (thermal runaway for
+            the given operating point).
+    """
+    params = params or ThermalModelParams()
+    base = average_power_w - params.leakage_ref_w
+    temperature = params.t_ambient_c
+    for _ in range(100):
+        power = base + params.leakage_at(temperature)
+        updated = params.t_ambient_c + power * params.r_th_c_per_w
+        if abs(updated - temperature) < 1e-9:
+            return updated
+        if updated > 300.0:
+            raise PowerModelError(
+                "thermal runaway: leakage feedback diverges at "
+                f"{average_power_w * 1e3:.0f} mW average power"
+            )
+        temperature = updated
+    return temperature
+
+
+def sustained_energy_correction(
+    average_power_w: float, params: ThermalModelParams | None = None
+) -> float:
+    """Fractional energy increase of a sustained workload vs. the
+    calibrated reference temperature.
+
+    This is the long-run limit of :func:`thermal_replay`: once the die
+    reaches its steady-state temperature, leakage exceeds the
+    calibrated reference value by a constant factor and total power
+    grows accordingly.
+    """
+    params = params or ThermalModelParams()
+    t_ss = steady_state_temperature(average_power_w, params)
+    extra_leakage = params.leakage_at(t_ss) - params.leakage_ref_w
+    if average_power_w == 0:
+        return 0.0
+    return extra_leakage / average_power_w
+
+
+def thermal_replay(
+    trace: Sequence[EnergyInterval],
+    params: ThermalModelParams | None = None,
+    max_step_s: float = 1e-3,
+    initial_temperature_c: float | None = None,
+) -> ThermalReplayResult:
+    """Re-integrate a power trace with temperature-dependent leakage.
+
+    Each interval's power is split into its (temperature-independent)
+    recorded value minus the calibrated reference leakage, plus the
+    temperature-dependent leakage evaluated along the trajectory.  The
+    ODE is integrated explicitly with sub-steps capped at
+    ``max_step_s`` (well below the thermal time constant).
+
+    Args:
+        trace: ordered piecewise-constant power intervals.
+        params: thermal network; defaults match the default power
+            model's leakage constant.
+        max_step_s: integration sub-step bound.
+        initial_temperature_c: starting junction temperature
+            (ambient if omitted).
+
+    Returns:
+        Energy with feedback, the uncorrected energy, and the
+        temperature trajectory (one sample per sub-step).
+    """
+    params = params or ThermalModelParams()
+    if max_step_s <= 0:
+        raise PowerModelError("max_step_s must be positive")
+    temperature = (
+        initial_temperature_c
+        if initial_temperature_c is not None
+        else params.t_ambient_c
+    )
+    energy = 0.0
+    baseline_energy = 0.0
+    peak = temperature
+    trajectory: List[float] = [temperature]
+    for interval in trace:
+        baseline_energy += interval.energy_j
+        remaining = interval.duration_s
+        base_power = interval.power_w - params.leakage_ref_w
+        while remaining > 0:
+            dt = min(max_step_s, remaining)
+            power = base_power + params.leakage_at(temperature)
+            energy += power * dt
+            dT = (
+                power
+                - (temperature - params.t_ambient_c) / params.r_th_c_per_w
+            ) * dt / params.c_th_j_per_c
+            temperature += dT
+            peak = max(peak, temperature)
+            remaining -= dt
+        trajectory.append(temperature)
+    return ThermalReplayResult(
+        energy_j=energy,
+        baseline_energy_j=baseline_energy,
+        peak_temperature_c=peak,
+        final_temperature_c=temperature,
+        temperatures_c=trajectory,
+    )

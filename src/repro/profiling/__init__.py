@@ -1,0 +1,11 @@
+"""Per-layer monitoring and profiling (paper Step 2A)."""
+
+from .monitor import LayerMonitor, Measurement
+from .profiler import LayerProfiler, ProfileRecord
+
+__all__ = [
+    "LayerMonitor",
+    "Measurement",
+    "LayerProfiler",
+    "ProfileRecord",
+]

@@ -1,0 +1,117 @@
+"""Installation self-test.
+
+``repro-dvfs selftest`` (or :func:`run_selftest`) executes a fast
+end-to-end sanity sweep -- the invariants a correct installation must
+satisfy -- without needing the full pytest suite.  Useful after
+installing into a fresh environment or porting to a new Python/numpy
+combination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Tuple
+
+
+@dataclass
+class SelfTestResult:
+    """Outcome of the self-test sweep."""
+
+    checks: List[Tuple[str, bool, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every check passed."""
+        return all(passed for _, passed, _ in self.checks)
+
+    def summary(self) -> str:
+        """One line per check."""
+        lines = []
+        for name, passed, detail in self.checks:
+            status = "ok " if passed else "FAIL"
+            lines.append(f"[{status}] {name}{': ' + detail if detail else ''}")
+        lines.append(
+            "self-test PASSED" if self.ok else "self-test FAILED"
+        )
+        return "\n".join(lines)
+
+
+def run_selftest() -> SelfTestResult:
+    """Run the sanity sweep; never raises, failures land in the result."""
+    result = SelfTestResult()
+
+    def check(name: str, fn: Callable[[], str]) -> None:
+        try:
+            detail = fn() or ""
+            result.checks.append((name, True, detail))
+        except Exception as err:  # noqa: BLE001 - report, don't crash
+            result.checks.append((name, False, f"{type(err).__name__}: {err}"))
+
+    def clock_tree() -> str:
+        from .clock import hfo_grid, max_performance_config
+
+        grid = hfo_grid()
+        assert len(grid) == 11
+        assert abs(max_performance_config().sysclk_hz - 216e6) < 1
+        return f"{len(grid)} legal HFO configs"
+
+    def dae_bit_exact() -> str:
+        from .engine import validate_plan_numerics
+        from .nn import build_tiny_test_model
+
+        model = build_tiny_test_model()
+        granularities = {n.node_id: 8 for n in model.dae_nodes()}
+        assert validate_plan_numerics(model, granularities, n_inputs=2)
+        return f"{len(granularities)} layers, g=8"
+
+    def pipeline_beats_baselines() -> str:
+        from . import DAEDVFSPipeline
+        from .nn import build_tiny_test_model
+        from .optimize import MODERATE
+
+        pipeline = DAEDVFSPipeline()
+        row = pipeline.compare(build_tiny_test_model(), MODERATE)
+        assert row.ours.met_qos
+        assert row.ours.energy_j < row.clock_gated.energy_j
+        assert row.clock_gated.energy_j < row.tinyengine.energy_j
+        return f"-{row.savings_vs_tinyengine:.1%} vs TinyEngine"
+
+    def plan_round_trip() -> str:
+        import tempfile
+
+        from .engine import load_plan, save_plan, uniform_plan
+        from .clock import max_performance_config
+        from .nn import build_tiny_test_model
+
+        model = build_tiny_test_model()
+        plan = uniform_plan(
+            model, hfo=max_performance_config(), granularity=8
+        )
+        with tempfile.NamedTemporaryFile(suffix=".json") as handle:
+            save_plan(plan, handle.name)
+            restored = load_plan(handle.name)
+        assert restored.granularities() == plan.granularities()
+        return "plan JSON"
+
+    def solver_exactness() -> str:
+        from .optimize import (
+            MCKPItem,
+            solve_mckp_bruteforce,
+            solve_mckp_dp,
+        )
+
+        classes = [
+            [MCKPItem(1.0, 10.0), MCKPItem(2.0, 4.0), MCKPItem(3.0, 1.0)],
+            [MCKPItem(1.0, 8.0), MCKPItem(2.0, 6.0), MCKPItem(4.0, 2.0)],
+        ]
+        dp = solve_mckp_dp(classes, budget=4.0)
+        brute = solve_mckp_bruteforce(classes, budget=4.0)
+        assert abs(dp.total_value - brute.total_value) < 1e-9
+        return "DP == exhaustive"
+
+    check("clock tree (Eq. 1, legality, 216 MHz)", clock_tree)
+    check("DAE bit-exactness", dae_bit_exact)
+    check("pipeline beats both baselines", pipeline_beats_baselines)
+    check("plan serialization round trip", plan_round_trip)
+    check("MCKP DP exactness", solver_exactness)
+    return result

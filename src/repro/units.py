@@ -1,0 +1,102 @@
+"""Unit conventions and helpers used across the library.
+
+All internal quantities use base SI units:
+
+* frequency  -- hertz (``float`` or ``int``)
+* time       -- seconds (``float``)
+* power      -- watts (``float``)
+* energy     -- joules (``float``)
+* capacity   -- bytes (``int``)
+
+These helpers exist so call sites read naturally (``50 * MHZ``,
+``us(200)``) instead of sprinkling magic exponents around, and so that
+unit conversions live in exactly one place.
+"""
+
+from __future__ import annotations
+
+# --- frequency ---------------------------------------------------------
+
+KHZ = 1_000.0
+MHZ = 1_000_000.0
+GHZ = 1_000_000_000.0
+
+
+def mhz(value: float) -> float:
+    """Convert a value given in megahertz to hertz."""
+    return value * MHZ
+
+
+def to_mhz(hertz: float) -> float:
+    """Convert a value given in hertz to megahertz."""
+    return hertz / MHZ
+
+
+# --- time ---------------------------------------------------------------
+
+def us(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return value * 1e-6
+
+
+def ms(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return value * 1e-3
+
+
+def ns(value: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return value * 1e-9
+
+
+def to_us(seconds: float) -> float:
+    """Convert seconds to microseconds."""
+    return seconds * 1e6
+
+
+def to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return seconds * 1e3
+
+
+# --- power / energy -----------------------------------------------------
+
+def mw(value: float) -> float:
+    """Convert milliwatts to watts."""
+    return value * 1e-3
+
+
+def to_mw(watts: float) -> float:
+    """Convert watts to milliwatts."""
+    return watts * 1e3
+
+
+def mj(value: float) -> float:
+    """Convert millijoules to joules."""
+    return value * 1e-3
+
+
+def to_mj(joules: float) -> float:
+    """Convert joules to millijoules."""
+    return joules * 1e3
+
+
+def uj(value: float) -> float:
+    """Convert microjoules to joules."""
+    return value * 1e-6
+
+
+def to_uj(joules: float) -> float:
+    """Convert joules to microjoules."""
+    return joules * 1e6
+
+
+# --- capacity -----------------------------------------------------------
+
+KIB = 1024
+MIB = 1024 * 1024
+
+
+def kib(value: float) -> int:
+    """Convert kibibytes to bytes."""
+    return int(value * KIB)

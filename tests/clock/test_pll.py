@@ -1,0 +1,141 @@
+"""PLL model: Eq. 1, legality constraints, lock sequencing."""
+
+import pytest
+
+from repro.clock.pll import (
+    PLL,
+    PLLSettings,
+    PLL_LOCK_TIME_S,
+    SYSCLK_MAX_HZ,
+    VCO_INPUT_MAX_HZ,
+    VCO_INPUT_MIN_HZ,
+    VCO_OUTPUT_MAX_HZ,
+    VCO_OUTPUT_MIN_HZ,
+)
+from repro.errors import ClockConfigError
+from repro.units import MHZ
+
+
+class TestPLLSettings:
+    def test_equation_one(self):
+        # Paper Eq. 1: F_SYSCLK = F_in * PLLN / (PLLM * PLLP).
+        s = PLLSettings(pllm=25, plln=216, pllp=2)
+        assert s.sysclk_hz(50 * MHZ) == pytest.approx(216 * MHZ)
+
+    def test_vco_frequencies(self):
+        s = PLLSettings(pllm=25, plln=216, pllp=2)
+        assert s.vco_input_hz(50 * MHZ) == pytest.approx(2 * MHZ)
+        assert s.vco_output_hz(50 * MHZ) == pytest.approx(432 * MHZ)
+
+    def test_sysclk_scales_inversely_with_pllp(self):
+        lo = PLLSettings(pllm=25, plln=216, pllp=2)
+        hi = PLLSettings(pllm=25, plln=216, pllp=4)
+        assert lo.sysclk_hz(50 * MHZ) == pytest.approx(
+            2 * hi.sysclk_hz(50 * MHZ)
+        )
+
+    @pytest.mark.parametrize("pllm", [1, 0, 64, -3])
+    def test_pllm_range_enforced(self, pllm):
+        with pytest.raises(ClockConfigError):
+            PLLSettings(pllm=pllm, plln=216, pllp=2)
+
+    @pytest.mark.parametrize("plln", [49, 433, 0])
+    def test_plln_range_enforced(self, plln):
+        with pytest.raises(ClockConfigError):
+            PLLSettings(pllm=25, plln=plln, pllp=2)
+
+    @pytest.mark.parametrize("pllp", [1, 3, 5, 7, 9])
+    def test_pllp_must_be_even_divider(self, pllp):
+        with pytest.raises(ClockConfigError):
+            PLLSettings(pllm=25, plln=216, pllp=pllp)
+
+    def test_vco_input_window_enforced(self):
+        # 50 MHz / 10 = 5 MHz, above the 2 MHz phase-comparator max.
+        s = PLLSettings(pllm=10, plln=100, pllp=2)
+        with pytest.raises(ClockConfigError, match="VCO input"):
+            s.validate_for_input(50 * MHZ)
+
+    def test_vco_output_window_enforced(self):
+        # 50/25 * 432 = 864 MHz VCO, above the 432 MHz max.
+        s = PLLSettings(pllm=25, plln=432, pllp=2)
+        with pytest.raises(ClockConfigError, match="VCO output"):
+            s.validate_for_input(50 * MHZ)
+
+    def test_vco_output_minimum_enforced(self):
+        # 50/50 * 75 = 75 MHz VCO, below the 100 MHz min.
+        s = PLLSettings(pllm=50, plln=75, pllp=2)
+        with pytest.raises(ClockConfigError, match="VCO output"):
+            s.validate_for_input(50 * MHZ)
+
+    def test_sysclk_cap_enforced(self):
+        # 2 MHz * 216 / ... wait: 16/8 = 2, *250 = 500 VCO, /2 = 250 MHz.
+        s = PLLSettings(pllm=8, plln=250, pllp=2)
+        with pytest.raises(ClockConfigError):
+            s.validate_for_input(16 * MHZ)
+
+    def test_is_valid_for_input_mirrors_validate(self):
+        good = PLLSettings(pllm=25, plln=216, pllp=2)
+        bad = PLLSettings(pllm=25, plln=432, pllp=2)
+        assert good.is_valid_for_input(50 * MHZ)
+        assert not bad.is_valid_for_input(50 * MHZ)
+
+    def test_constants_are_consistent(self):
+        assert VCO_INPUT_MIN_HZ < VCO_INPUT_MAX_HZ
+        assert VCO_OUTPUT_MIN_HZ < VCO_OUTPUT_MAX_HZ
+        assert SYSCLK_MAX_HZ == 216 * MHZ
+
+
+class TestPLLStateMachine:
+    def make_locked(self):
+        pll = PLL()
+        pll.configure(PLLSettings(pllm=25, plln=216, pllp=2), 50 * MHZ)
+        pll.enable()
+        return pll
+
+    def test_enable_requires_configuration(self):
+        with pytest.raises(ClockConfigError, match="unconfigured"):
+            PLL().enable()
+
+    def test_enable_returns_lock_time(self):
+        pll = PLL()
+        pll.configure(PLLSettings(pllm=25, plln=216, pllp=2), 50 * MHZ)
+        assert pll.enable() == pytest.approx(PLL_LOCK_TIME_S)
+
+    def test_double_enable_is_free(self):
+        pll = self.make_locked()
+        assert pll.enable() == 0.0
+
+    def test_cannot_reprogram_while_enabled(self):
+        pll = self.make_locked()
+        with pytest.raises(ClockConfigError, match="disable"):
+            pll.configure(PLLSettings(pllm=50, plln=432, pllp=2), 50 * MHZ)
+
+    def test_reprogram_after_disable(self):
+        pll = self.make_locked()
+        pll.disable()
+        pll.configure(PLLSettings(pllm=50, plln=432, pllp=2), 50 * MHZ)
+        pll.enable()
+        assert pll.output_hz() == pytest.approx(216 * MHZ)
+
+    def test_output_requires_lock(self):
+        pll = PLL()
+        pll.configure(PLLSettings(pllm=25, plln=216, pllp=2), 50 * MHZ)
+        with pytest.raises(ClockConfigError, match="locked"):
+            pll.output_hz()
+
+    def test_vco_hz_reports_vco_not_sysclk(self):
+        pll = self.make_locked()
+        assert pll.vco_hz() == pytest.approx(432 * MHZ)
+        assert pll.output_hz() == pytest.approx(216 * MHZ)
+
+    def test_disable_drops_lock(self):
+        pll = self.make_locked()
+        pll.disable()
+        assert not pll.locked
+        with pytest.raises(ClockConfigError):
+            pll.output_hz()
+
+    def test_illegal_settings_rejected_at_configure(self):
+        pll = PLL()
+        with pytest.raises(ClockConfigError):
+            pll.configure(PLLSettings(pllm=25, plln=432, pllp=2), 50 * MHZ)

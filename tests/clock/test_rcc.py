@@ -1,0 +1,112 @@
+"""RCC state machine: transitions, history, background PLL prep."""
+
+import pytest
+
+from repro.clock import RCC, lfo_config, pll_config
+from repro.errors import ClockSwitchError
+from repro.units import MHZ
+
+
+@pytest.fixture
+def rcc():
+    return RCC()
+
+
+@pytest.fixture
+def hfo():
+    return pll_config(50 * MHZ, 25, 216)
+
+
+@pytest.fixture
+def hfo_other():
+    return pll_config(50 * MHZ, 25, 150)
+
+
+class TestRCCTransitions:
+    def test_boots_on_lfo_without_history(self, rcc):
+        assert rcc.current == lfo_config()
+        assert rcc.history == []
+
+    def test_first_pll_switch_pays_relock(self, rcc, hfo):
+        cost = rcc.apply(hfo)
+        assert cost.reprogrammed_pll
+        assert rcc.current == hfo
+        assert rcc.sysclk_hz == pytest.approx(216 * MHZ)
+
+    def test_bounce_back_to_hse_keeps_pll_programmed(self, rcc, hfo):
+        rcc.apply(hfo)
+        rcc.switch_to_hse()
+        assert rcc.retained_pll == (hfo.pll, hfo.hse_hz)
+        # Returning to the same PLL config is now a cheap mux move.
+        cost = rcc.switch_to_pll(hfo)
+        assert not cost.reprogrammed_pll
+
+    def test_changing_pll_settings_relocks(self, rcc, hfo, hfo_other):
+        rcc.apply(hfo)
+        rcc.switch_to_hse()
+        cost = rcc.switch_to_pll(hfo_other)
+        assert cost.reprogrammed_pll
+
+    def test_noop_apply_records_nothing(self, rcc):
+        rcc.apply(lfo_config())
+        assert rcc.history == []
+
+    def test_history_records_each_transition(self, rcc, hfo):
+        rcc.apply(hfo)
+        rcc.switch_to_hse()
+        rcc.switch_to_pll(hfo)
+        assert len(rcc.history) == 3
+        assert rcc.relock_count() == 1
+
+    def test_total_switch_latency_accumulates(self, rcc, hfo):
+        rcc.apply(hfo)
+        rcc.switch_to_hse()
+        total = rcc.total_switch_latency_s()
+        assert total == pytest.approx(
+            sum(event.cost.latency_s for event in rcc.history)
+        )
+        assert total > 0
+
+    def test_reset_history(self, rcc, hfo):
+        rcc.apply(hfo)
+        rcc.reset_history()
+        assert rcc.history == []
+        assert rcc.current == hfo  # state untouched
+
+    def test_switch_to_pll_rejects_non_pll_config(self, rcc):
+        with pytest.raises(ClockSwitchError):
+            rcc.switch_to_pll(lfo_config())
+
+    def test_switch_to_hse_with_explicit_frequency(self, rcc):
+        rcc.switch_to_hse(25 * MHZ)
+        assert rcc.sysclk_hz == pytest.approx(25 * MHZ)
+
+
+class TestBackgroundPLLPreparation:
+    def test_prepare_while_on_hse(self, rcc, hfo):
+        lock = rcc.prepare_pll(hfo)
+        assert lock > 0
+        assert rcc.current == lfo_config()  # SYSCLK unchanged
+        assert rcc.pll_locked
+        # The subsequent mux move is cheap and not a reprogram.
+        cost = rcc.switch_to_pll(hfo)
+        assert not cost.reprogrammed_pll
+
+    def test_prepare_already_prepared_is_free(self, rcc, hfo):
+        rcc.prepare_pll(hfo)
+        assert rcc.prepare_pll(hfo) == 0.0
+
+    def test_prepare_rejected_while_running_from_pll(self, rcc, hfo, hfo_other):
+        rcc.apply(hfo)
+        with pytest.raises(ClockSwitchError, match="switch to the HSE"):
+            rcc.prepare_pll(hfo_other)
+
+    def test_prepare_rejects_non_pll_target(self, rcc):
+        with pytest.raises(ClockSwitchError):
+            rcc.prepare_pll(lfo_config())
+
+    def test_reprepare_with_new_settings(self, rcc, hfo, hfo_other):
+        rcc.prepare_pll(hfo)
+        lock = rcc.prepare_pll(hfo_other)
+        assert lock > 0
+        assert rcc.retained_pll == (hfo_other.pll, hfo_other.hse_hz)

@@ -1,0 +1,100 @@
+"""RCC register encoding: bit fields, round trips, hostile values."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.clock import (
+    RCCRegisters,
+    decode_registers,
+    encode_registers,
+    hfo_grid,
+    lfo_config,
+    pll_config,
+)
+from repro.clock.registers import SW_HSE, SW_HSI, SW_PLL, PLLSRC_HSE_BIT
+from repro.clock.configs import ClockConfig, SysclkSource
+from repro.errors import ClockConfigError
+from repro.units import MHZ
+
+
+class TestEncoding:
+    def test_bit_fields(self):
+        config = pll_config(50 * MHZ, pllm=25, plln=216, pllp=2)
+        registers = encode_registers(config)
+        word = registers.pllcfgr
+        assert word & 0x3F == 25
+        assert (word >> 6) & 0x1FF == 216
+        assert (word >> 16) & 0b11 == 0b00  # PLLP=2
+        assert word & PLLSRC_HSE_BIT
+        assert registers.cfgr_sw == SW_PLL
+
+    def test_pllp_encoding(self):
+        config = pll_config(50 * MHZ, pllm=25, plln=200, pllp=4)
+        word = encode_registers(config).pllcfgr
+        assert (word >> 16) & 0b11 == 0b01
+
+    def test_hse_direct(self):
+        registers = encode_registers(lfo_config())
+        assert registers.cfgr_sw == SW_HSE
+        assert registers.pllcfgr == 0
+
+    def test_hsi(self):
+        config = ClockConfig(source=SysclkSource.HSI)
+        assert encode_registers(config).cfgr_sw == SW_HSI
+
+
+class TestRoundTrip:
+    def test_whole_paper_grid(self):
+        for config in hfo_grid():
+            assert decode_registers(encode_registers(config)) == config
+
+    def test_lfo(self):
+        assert decode_registers(encode_registers(lfo_config())) == lfo_config()
+
+    @given(
+        pllm=st.sampled_from([8, 16, 25, 50]),
+        plln=st.sampled_from([75, 100, 150, 216]),
+        pllp=st.sampled_from([2, 4]),
+    )
+    def test_property_round_trip_when_legal(self, pllm, plln, pllp):
+        try:
+            config = pll_config(50 * MHZ, pllm, plln, pllp)
+        except ClockConfigError:
+            return
+        assert decode_registers(encode_registers(config)) == config
+
+
+class TestHostileValues:
+    def test_bad_sw_field(self):
+        with pytest.raises(ClockConfigError):
+            decode_registers(
+                RCCRegisters(pllcfgr=0, cfgr_sw=0b11, hse_hz=50 * MHZ)
+            )
+
+    def test_hsi_pll_source_rejected(self):
+        # PLLSRC bit cleared: HSI-sourced PLL, outside this model.
+        word = 25 | (216 << 6)
+        with pytest.raises(ClockConfigError):
+            decode_registers(
+                RCCRegisters(pllcfgr=word, cfgr_sw=SW_PLL, hse_hz=50 * MHZ)
+            )
+
+    def test_corrupt_dividers_rejected(self):
+        # PLLN = 0 is outside the legal 50..432 range.
+        word = 25 | (0 << 6) | PLLSRC_HSE_BIT
+        with pytest.raises(ClockConfigError):
+            decode_registers(
+                RCCRegisters(pllcfgr=word, cfgr_sw=SW_PLL, hse_hz=50 * MHZ)
+            )
+
+
+class TestCodegenIntegration:
+    def test_header_contains_register_word(self, tiny_model, hfo_216):
+        from repro.codegen import generate_clock_header
+        from repro.engine import uniform_plan
+
+        header = generate_clock_header(
+            uniform_plan(tiny_model, hfo=hfo_216)
+        )
+        expected = encode_registers(hfo_216).pllcfgr
+        assert f"0x{expected:08X}UL" in header

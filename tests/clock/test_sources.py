@@ -1,0 +1,48 @@
+"""Oscillator models: ranges, construction, characteristics."""
+
+import pytest
+
+from repro.clock.sources import (
+    HSE_MAX_HZ,
+    HSE_MIN_HZ,
+    HSI_FREQUENCY_HZ,
+    OscillatorKind,
+    make_hse,
+    make_hsi,
+)
+from repro.errors import ClockConfigError
+from repro.units import MHZ
+
+
+class TestHSI:
+    def test_fixed_sixteen_megahertz(self):
+        assert make_hsi().frequency_hz == pytest.approx(16 * MHZ)
+        assert HSI_FREQUENCY_HZ == 16 * MHZ
+
+    def test_kind(self):
+        assert make_hsi().kind is OscillatorKind.HSI
+
+    def test_hsi_jitter_exceeds_hse_jitter(self):
+        # Sec. II-A: the HSI is excluded partly for drift/jitter.
+        assert make_hsi().jitter_ppm > make_hse(50 * MHZ).jitter_ppm
+
+
+class TestHSE:
+    @pytest.mark.parametrize("mhz_value", [1, 8, 25, 50])
+    def test_legal_range_accepted(self, mhz_value):
+        osc = make_hse(mhz_value * MHZ)
+        assert osc.frequency_hz == pytest.approx(mhz_value * MHZ)
+        assert osc.kind is OscillatorKind.HSE
+
+    @pytest.mark.parametrize("mhz_value", [0.5, 51, 100, 0, -8])
+    def test_out_of_range_rejected(self, mhz_value):
+        with pytest.raises(ClockConfigError):
+            make_hse(mhz_value * MHZ)
+
+    def test_board_range_matches_paper(self):
+        # Sec. IV: the board supports an HSE from 1 to 50 MHz.
+        assert HSE_MIN_HZ == 1 * MHZ
+        assert HSE_MAX_HZ == 50 * MHZ
+
+    def test_startup_time_nonnegative(self):
+        assert make_hse(25 * MHZ).startup_time_s >= 0

@@ -1,0 +1,92 @@
+"""Switch-cost model: the cheap-mux / expensive-relock asymmetry."""
+
+import pytest
+
+from repro.clock import SwitchCostModel, lfo_config, pll_config
+from repro.clock.pll import PLL_LOCK_TIME_S
+from repro.units import MHZ, us
+
+
+@pytest.fixture
+def model():
+    return SwitchCostModel()
+
+
+@pytest.fixture
+def hfo():
+    return pll_config(50 * MHZ, 25, 216)
+
+
+@pytest.fixture
+def hfo_other():
+    return pll_config(50 * MHZ, 25, 150)
+
+
+class TestSwitchCosts:
+    def test_noop_switch_is_free(self, model, hfo):
+        cost = model.cost(hfo, hfo)
+        assert cost.latency_s == 0.0
+        assert not cost.reprogrammed_pll
+
+    def test_pll_to_hse_is_mux_only(self, model, hfo):
+        # Sec. II-A: switching from PLL to HSE is almost instant.
+        cost = model.cost(hfo, lfo_config())
+        assert cost.latency_s == pytest.approx(model.mux_switch_s)
+        assert not cost.reprogrammed_pll
+
+    def test_hse_to_unprepared_pll_pays_relock(self, model, hfo):
+        cost = model.cost(lfo_config(), hfo, retained_pll=None)
+        assert cost.reprogrammed_pll
+        assert cost.latency_s == pytest.approx(
+            model.pll_relock_s + model.mux_switch_s
+        )
+
+    def test_hse_to_prepared_pll_is_mux_only(self, model, hfo):
+        # The LFO/HFO bounce of Sec. III-B: the PLL stayed programmed.
+        retained = (hfo.pll, hfo.hse_hz)
+        cost = model.cost(lfo_config(), hfo, retained_pll=retained)
+        assert not cost.reprogrammed_pll
+        assert cost.latency_s == pytest.approx(model.mux_switch_s)
+
+    def test_pll_frequency_change_pays_relock(self, model, hfo, hfo_other):
+        cost = model.cost(hfo, hfo_other)
+        assert cost.reprogrammed_pll
+        assert cost.latency_s >= model.pll_relock_s
+
+    def test_relock_matches_paper_200us(self, model):
+        # Sec. II-A measures roughly 200 us per PLL reconfiguration.
+        assert model.pll_relock_s == pytest.approx(us(200))
+        assert PLL_LOCK_TIME_S == pytest.approx(us(200))
+
+    def test_relock_dwarfs_mux(self, model):
+        assert model.pll_relock_s > 50 * model.mux_switch_s
+
+    def test_negative_latency_rejected(self):
+        from repro.clock.switching import SwitchCost
+
+        with pytest.raises(ValueError):
+            SwitchCost(latency_s=-1e-6, reprogrammed_pll=False)
+
+
+class TestSwitchCostProperties:
+    def test_relock_only_when_target_pll_differs(self, model, hfo, hfo_other):
+        # Every transition NOT landing on a differently-programmed PLL
+        # must be a cheap mux move.
+        retained = (hfo.pll, hfo.hse_hz)
+        for current, target in [
+            (hfo, lfo_config()),
+            (lfo_config(), lfo_config(25 * MHZ)),
+            (hfo_other, lfo_config()),
+        ]:
+            cost = model.cost(current, target, retained_pll=retained)
+            assert not cost.reprogrammed_pll
+            assert cost.latency_s <= model.mux_switch_s
+
+    def test_cost_latency_nonnegative_for_grid(self, model):
+        from repro.clock import hfo_grid
+
+        grid = hfo_grid()
+        for current in grid[:4]:
+            for target in grid[:4]:
+                cost = model.cost(current, target)
+                assert cost.latency_s >= 0.0

@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clock import hfo_grid, lfo_config, max_performance_config
+from repro.mcu import make_nucleo_f767zi
+from repro.nn import QuantizedTensor, build_tiny_test_model
+from repro.nn.models import INPUT_PARAMS
+
+
+@pytest.fixture
+def board():
+    """A fresh default Nucleo-F767ZI board model."""
+    return make_nucleo_f767zi()
+
+
+@pytest.fixture
+def tiny_model():
+    """The small test CNN (conv + separable + inverted residual)."""
+    return build_tiny_test_model()
+
+
+@pytest.fixture
+def tiny_input():
+    """A deterministic input tensor for the tiny model."""
+    rng = np.random.default_rng(42)
+    data = rng.integers(-128, 128, size=(16, 16, 3)).astype(np.int8)
+    return QuantizedTensor(
+        data=data,
+        scale=INPUT_PARAMS.scale,
+        zero_point=INPUT_PARAMS.zero_point,
+    )
+
+
+@pytest.fixture
+def lfo():
+    """The paper's LFO clock (HSE direct at 50 MHz)."""
+    return lfo_config()
+
+
+@pytest.fixture
+def hfo_216():
+    """The minimum-power 216 MHz configuration."""
+    return max_performance_config()
+
+
+@pytest.fixture
+def hfo_configs():
+    """The paper's HFO grid."""
+    return hfo_grid()

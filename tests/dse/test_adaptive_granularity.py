@@ -1,0 +1,88 @@
+"""Adaptive granularity policy."""
+
+import functools
+
+import pytest
+
+from repro.dse import (
+    ADAPTIVE_GRANULARITY_LADDER,
+    DSEExplorer,
+    adaptive_granularities,
+    paper_design_space,
+)
+from repro.errors import DesignSpaceError
+from repro.mcu import CacheModel, make_nucleo_f767zi
+from repro.nn import LayerKind
+
+
+def node_of_kind(model, kind):
+    for node in model.nodes:
+        if node.layer.kind is kind:
+            return node
+    raise AssertionError
+
+
+class TestAdaptiveGranularities:
+    def test_always_contains_zero(self, board, tiny_model):
+        for node in tiny_model.conv_nodes():
+            grid = adaptive_granularities(board, tiny_model, node)
+            assert grid[0] == 0
+
+    def test_non_dae_layer_gets_only_zero(self, board, tiny_model):
+        conv = node_of_kind(tiny_model, LayerKind.CONV2D)
+        assert adaptive_granularities(board, tiny_model, conv) == (0,)
+
+    def test_capped_by_unit_count(self, board, tiny_model):
+        dw = node_of_kind(tiny_model, LayerKind.DEPTHWISE_CONV)
+        channels = dw.layer.channels
+        grid = adaptive_granularities(board, tiny_model, dw)
+        assert all(g <= channels for g in grid if g > 0)
+
+    def test_small_cache_shrinks_grid(self, tiny_model):
+        big = make_nucleo_f767zi()
+        small = make_nucleo_f767zi(
+            cache=CacheModel(capacity_bytes=512, usable_fraction=0.5)
+        )
+        dw = node_of_kind(tiny_model, LayerKind.DEPTHWISE_CONV)
+        big_grid = adaptive_granularities(big, tiny_model, dw)
+        small_grid = adaptive_granularities(small, tiny_model, dw)
+        assert max(small_grid) <= max(big_grid)
+
+    def test_pointwise_can_exceed_paper_grid(self, board, tiny_model):
+        # Small columns fit many at a time: the ladder extends past 16.
+        pw = node_of_kind(tiny_model, LayerKind.POINTWISE_CONV)
+        grid = adaptive_granularities(board, tiny_model, pw)
+        assert max(grid) > 16
+        assert max(grid) in ADAPTIVE_GRANULARITY_LADDER
+
+    def test_always_offers_some_decoupling(self, tiny_model):
+        tiny_cache = make_nucleo_f767zi(
+            cache=CacheModel(capacity_bytes=64, usable_fraction=0.5)
+        )
+        dw = node_of_kind(tiny_model, LayerKind.DEPTHWISE_CONV)
+        grid = adaptive_granularities(tiny_cache, tiny_model, dw)
+        assert 2 in grid
+
+
+class TestExplorerIntegration:
+    def test_explorer_uses_policy(self, board, tiny_model):
+        space = paper_design_space(board.power_model)
+        explorer = DSEExplorer(
+            board, space,
+            granularity_fn=functools.partial(adaptive_granularities, board),
+        )
+        pw = node_of_kind(tiny_model, LayerKind.POINTWISE_CONV)
+        points = explorer.explore_layer(tiny_model, pw)
+        granularities = {p.granularity for p in points}
+        assert granularities == set(
+            adaptive_granularities(board, tiny_model, pw)
+        )
+
+    def test_policy_without_zero_rejected(self, board, tiny_model):
+        space = paper_design_space(board.power_model)
+        explorer = DSEExplorer(
+            board, space, granularity_fn=lambda m, n: (2, 4)
+        )
+        dw = node_of_kind(tiny_model, LayerKind.DEPTHWISE_CONV)
+        with pytest.raises(DesignSpaceError):
+            explorer.explore_layer(tiny_model, dw)

@@ -1,0 +1,105 @@
+"""DSE explorer: candidate clouds, pricing consistency, trends."""
+
+import pytest
+
+from repro.dse import DSEExplorer, paper_design_space, pareto_front
+from repro.dse.explorer import LayerCostModel, layer_intervals
+from repro.engine.cost import TraceBuilder
+from repro.errors import DesignSpaceError
+from repro.nn import LayerKind
+
+
+@pytest.fixture
+def explorer(board):
+    return DSEExplorer(board, paper_design_space(board.power_model))
+
+
+def node_of_kind(model, kind):
+    for node in model.nodes:
+        if node.layer.kind is kind:
+            return node
+    raise AssertionError
+
+
+class TestExploreLayer:
+    def test_dae_layer_gets_full_grid(self, explorer, tiny_model):
+        dw = node_of_kind(tiny_model, LayerKind.DEPTHWISE_CONV)
+        points = explorer.explore_layer(tiny_model, dw)
+        assert len(points) == explorer.space.size_per_dae_layer
+        granularities = {p.granularity for p in points}
+        assert granularities == set(explorer.space.granularities)
+
+    def test_non_dae_conv_gets_frequency_sweep_only(self, explorer, tiny_model):
+        conv = node_of_kind(tiny_model, LayerKind.CONV2D)
+        points = explorer.explore_layer(tiny_model, conv)
+        assert len(points) == len(explorer.space.hfo_configs)
+        assert all(p.granularity == 0 for p in points)
+
+    def test_pool_layer_rejected(self, explorer, tiny_model):
+        pool = node_of_kind(tiny_model, LayerKind.AVG_POOL)
+        with pytest.raises(DesignSpaceError):
+            explorer.explore_layer(tiny_model, pool)
+
+    def test_explore_model_covers_conv_nodes(self, explorer, tiny_model):
+        clouds = explorer.explore_model(tiny_model)
+        assert set(clouds) == {n.node_id for n in tiny_model.conv_nodes()}
+
+    def test_latency_decreases_with_frequency_at_fixed_g(
+        self, explorer, tiny_model
+    ):
+        dw = node_of_kind(tiny_model, LayerKind.DEPTHWISE_CONV)
+        points = [
+            p for p in explorer.explore_layer(tiny_model, dw)
+            if p.granularity == 4
+        ]
+        points.sort(key=lambda p: p.hfo.sysclk_hz)
+        for slow, fast in zip(points, points[1:]):
+            assert fast.latency_s <= slow.latency_s + 1e-12
+
+    def test_pareto_front_nonempty_and_smaller(self, explorer, tiny_model):
+        dw = node_of_kind(tiny_model, LayerKind.DEPTHWISE_CONV)
+        points = explorer.explore_layer(tiny_model, dw)
+        front = pareto_front(points, key=lambda p: (p.latency_s, p.energy_j))
+        assert 0 < len(front) < len(points)
+
+    def test_dominates_helper(self, explorer, tiny_model):
+        dw = node_of_kind(tiny_model, LayerKind.DEPTHWISE_CONV)
+        points = explorer.explore_layer(tiny_model, dw)
+        front = pareto_front(points, key=lambda p: (p.latency_s, p.energy_j))
+        for member in front:
+            assert not any(p.dominates(member) for p in points)
+
+
+class TestPricingConsistency:
+    def test_intervals_match_price(self, board, tiny_model):
+        """layer_intervals totals must equal LayerCostModel.price."""
+        space = paper_design_space(board.power_model)
+        tracer = TraceBuilder(board)
+        pricer = LayerCostModel(board)
+        for node in tiny_model.conv_nodes():
+            for g in (0, 4):
+                if g and not node.layer.supports_dae:
+                    continue
+                trace = tracer.build(tiny_model, node, g)
+                for hfo in space.hfo_configs[::3]:
+                    for relock in (True, False):
+                        latency, energy = pricer.price(
+                            trace, hfo, space.lfo, assume_relock=relock
+                        )
+                        account = layer_intervals(
+                            board, trace, hfo, space.lfo, assume_relock=relock
+                        )
+                        assert account.total_time_s == pytest.approx(latency)
+                        assert account.total_energy_j == pytest.approx(energy)
+
+    def test_relock_charge_increases_cost(self, board, tiny_model):
+        space = paper_design_space(board.power_model)
+        tracer = TraceBuilder(board)
+        pricer = LayerCostModel(board)
+        node = tiny_model.conv_nodes()[0]
+        trace = tracer.build(tiny_model, node, 0)
+        hfo = space.hfo_configs[-1]
+        with_relock = pricer.price(trace, hfo, space.lfo, assume_relock=True)
+        without = pricer.price(trace, hfo, space.lfo, assume_relock=False)
+        assert with_relock[0] > without[0]
+        assert with_relock[1] > without[1]

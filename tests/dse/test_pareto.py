@@ -1,0 +1,134 @@
+"""Pareto-front extraction: correctness and properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dse import hypervolume_2d, is_pareto_optimal, pareto_front
+
+
+def identity(p):
+    return p
+
+
+class TestParetoFront:
+    def test_simple_front(self):
+        points = [(1, 10), (2, 5), (3, 7), (4, 1)]
+        front = pareto_front(points, identity)
+        assert front == [(1, 10), (2, 5), (4, 1)]
+
+    def test_single_point(self):
+        assert pareto_front([(1, 1)], identity) == [(1, 1)]
+
+    def test_empty(self):
+        assert pareto_front([], identity) == []
+
+    def test_duplicates_collapsed(self):
+        points = [(1, 5), (1, 5), (2, 3)]
+        front = pareto_front(points, identity)
+        assert front == [(1, 5), (2, 3)]
+
+    def test_equal_first_objective_keeps_best_second(self):
+        points = [(1, 7), (1, 4), (2, 2)]
+        front = pareto_front(points, identity)
+        assert front == [(1, 4), (2, 2)]
+
+    def test_totally_dominated_point_removed(self):
+        points = [(1, 1), (2, 2)]
+        assert pareto_front(points, identity) == [(1, 1)]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=100),
+                st.floats(min_value=0, max_value=100),
+            ),
+            max_size=60,
+        )
+    )
+    def test_front_properties(self, points):
+        """Properties: front members are mutually non-dominating, every
+        input point is dominated by (or equal to) a front member, and
+        the front is sorted with strictly decreasing second objective."""
+        front = pareto_front(points, identity)
+        # Sorted ascending in x, strictly descending in y.
+        for (x1, y1), (x2, y2) in zip(front, front[1:]):
+            assert x1 < x2
+            assert y1 > y2
+        # Every original point is weakly dominated by some front point.
+        for px, py in points:
+            assert any(fx <= px and fy <= py for fx, fy in front)
+        # Every front member is actually non-dominated in the input.
+        for member in front:
+            assert is_pareto_optimal(member, points, identity)
+
+
+class TestIsParetoOptimal:
+    def test_dominated_point(self):
+        points = [(1, 1), (2, 2)]
+        assert not is_pareto_optimal((2, 2), points, identity)
+        assert is_pareto_optimal((1, 1), points, identity)
+
+    def test_incomparable_points(self):
+        points = [(1, 5), (5, 1)]
+        assert is_pareto_optimal((1, 5), points, identity)
+        assert is_pareto_optimal((5, 1), points, identity)
+
+
+class TestHypervolume:
+    def test_single_point_rectangle(self):
+        volume = hypervolume_2d([(1, 1)], identity, reference=(3, 3))
+        assert volume == pytest.approx(4.0)
+
+    def test_staircase(self):
+        volume = hypervolume_2d(
+            [(1, 2), (2, 1)], identity, reference=(3, 3)
+        )
+        # (1..2)x(2..3 gap -> height 1) + (2..3)x(height 2) = 1 + 2
+        assert volume == pytest.approx(3.0)
+
+    def test_points_beyond_reference_ignored(self):
+        volume = hypervolume_2d(
+            [(5, 5), (1, 1)], identity, reference=(3, 3)
+        )
+        assert volume == pytest.approx(4.0)
+
+    def test_dominated_points_do_not_add_volume(self):
+        base = hypervolume_2d([(1, 1)], identity, reference=(4, 4))
+        more = hypervolume_2d([(1, 1), (2, 2)], identity, reference=(4, 4))
+        assert more == pytest.approx(base)
+
+
+class TestParetoProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=100),
+                st.floats(min_value=0, max_value=100),
+            ),
+            max_size=40,
+        )
+    )
+    def test_idempotent(self, points):
+        """Property: the front of a front is the front."""
+        front = pareto_front(points, identity)
+        assert pareto_front(front, identity) == front
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=100),
+                st.floats(min_value=0, max_value=100),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_front_contains_extremes(self, points):
+        """Property: the min-x and min-y points are never dominated
+        away entirely -- the front contains points achieving both
+        minima."""
+        front = pareto_front(points, identity)
+        min_x = min(p[0] for p in points)
+        min_y = min(p[1] for p in points)
+        assert any(p[0] == min_x for p in front)
+        assert any(p[1] == min_y for p in front)

@@ -1,0 +1,76 @@
+"""Design space: paper grid, pruning, validation."""
+
+import pytest
+
+from repro.clock import hfo_grid, lfo_config
+from repro.dse import DesignSpace, paper_design_space, prune_iso_frequency
+from repro.errors import DesignSpaceError
+from repro.power import BoardPowerModel
+from repro.units import MHZ
+
+
+class TestPaperDesignSpace:
+    def test_granularities_match_paper(self):
+        space = paper_design_space()
+        assert space.granularities == (0, 2, 4, 8, 12, 16)
+
+    def test_lfo_is_hse_50(self):
+        space = paper_design_space()
+        assert space.lfo == lfo_config()
+        assert space.lfo.sysclk_hz == pytest.approx(50 * MHZ)
+
+    def test_one_config_per_frequency(self):
+        space = paper_design_space()
+        freqs = [c.sysclk_hz for c in space.hfo_configs]
+        assert len(freqs) == len(set(freqs))
+
+    def test_frequency_range(self):
+        freqs = paper_design_space().frequencies_hz()
+        assert freqs[0] == pytest.approx(50 * MHZ)
+        assert freqs[-1] == pytest.approx(216 * MHZ)
+        assert len(freqs) >= 6
+
+    def test_size_per_dae_layer(self):
+        space = paper_design_space()
+        expected = 6 * len(space.hfo_configs)
+        assert space.size_per_dae_layer == expected
+
+
+class TestPruning:
+    def test_prune_keeps_min_power_per_frequency(self):
+        pm = BoardPowerModel()
+        pruned = prune_iso_frequency(hfo_grid(), pm)
+        freqs = [c.sysclk_hz for c in pruned]
+        assert len(freqs) == len(set(freqs))
+        # Every pruned config must be the cheapest of its group.
+        for config in pruned:
+            peers = [
+                c for c in hfo_grid()
+                if abs(c.sysclk_hz - config.sysclk_hz) <= 1.0
+            ]
+            assert pm.active_power(config) == pytest.approx(
+                min(pm.active_power(c) for c in peers)
+            )
+
+    def test_pruned_sorted_ascending(self):
+        pruned = prune_iso_frequency(hfo_grid(), BoardPowerModel())
+        freqs = [c.sysclk_hz for c in pruned]
+        assert freqs == sorted(freqs)
+
+
+class TestValidation:
+    def test_empty_granularities_rejected(self):
+        with pytest.raises(DesignSpaceError):
+            DesignSpace(granularities=(), hfo_configs=tuple(hfo_grid()))
+
+    def test_missing_zero_granularity_rejected(self):
+        with pytest.raises(DesignSpaceError):
+            DesignSpace(granularities=(2, 4), hfo_configs=tuple(hfo_grid()))
+
+    def test_negative_granularity_rejected(self):
+        with pytest.raises(DesignSpaceError):
+            DesignSpace(granularities=(0, -2), hfo_configs=tuple(hfo_grid()))
+
+    def test_empty_hfo_rejected(self):
+        with pytest.raises(DesignSpaceError):
+            DesignSpace(granularities=(0, 2), hfo_configs=())

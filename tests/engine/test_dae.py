@@ -1,0 +1,154 @@
+"""DAE execution: whole-model bit-exactness (the no-accuracy-drop claim)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import DAEExecutor, run_depthwise_dae, run_pointwise_dae
+from repro.engine.cost import PAPER_GRANULARITIES
+from repro.errors import TraceError
+from repro.nn import QuantizedTensor, build_tiny_test_model
+from repro.nn.layers.depthwise import DepthwiseConv2D
+from repro.nn.layers.pointwise import PointwiseConv2D
+from repro.nn.models import INPUT_PARAMS
+from repro.nn.quantize import QuantParams
+
+
+def make_input(model, seed=0):
+    rng = np.random.default_rng(seed)
+    h, w, c = model.input_shape
+    return QuantizedTensor(
+        rng.integers(-128, 128, size=(h, w, c)).astype(np.int8),
+        INPUT_PARAMS.scale,
+        INPUT_PARAMS.zero_point,
+    )
+
+
+class TestWholeModelBitExactness:
+    @pytest.mark.parametrize("g", [g for g in PAPER_GRANULARITIES if g > 0])
+    def test_uniform_granularity_bit_exact(self, tiny_model, tiny_input, g):
+        reference = tiny_model.forward(tiny_input)
+        executor = DAEExecutor(
+            {n.node_id: g for n in tiny_model.dae_nodes()}
+        )
+        out, stats = executor.run(tiny_model, tiny_input)
+        assert np.array_equal(out.data, reference.data)
+        assert stats.total_groups > 0
+
+    def test_mixed_granularities_bit_exact(self, tiny_model, tiny_input):
+        reference = tiny_model.forward(tiny_input)
+        granularities = {}
+        for i, node in enumerate(tiny_model.dae_nodes()):
+            granularities[node.node_id] = [2, 4, 8, 12, 16][i % 5]
+        out, _ = DAEExecutor(granularities).run(tiny_model, tiny_input)
+        assert np.array_equal(out.data, reference.data)
+
+    def test_no_granularities_equals_reference_path(
+        self, tiny_model, tiny_input
+    ):
+        out, stats = DAEExecutor().run(tiny_model, tiny_input)
+        assert np.array_equal(out.data, tiny_model.forward(tiny_input).data)
+        assert stats.total_groups == 0
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        g=st.sampled_from([2, 4, 8, 12, 16]),
+    )
+    def test_random_inputs_property(self, seed, g):
+        """Property: DAE == reference for arbitrary inputs and g."""
+        model = build_tiny_test_model()
+        x = make_input(model, seed=seed)
+        reference = model.forward(x)
+        out, _ = DAEExecutor(
+            {n.node_id: g for n in model.dae_nodes()}
+        ).run(model, x)
+        assert np.array_equal(out.data, reference.data)
+
+
+class TestBufferingStats:
+    def test_groups_match_ceil_division(self, tiny_model, tiny_input):
+        g = 4
+        _, stats = DAEExecutor(
+            {n.node_id: g for n in tiny_model.dae_nodes()}
+        ).run(tiny_model, tiny_input)
+        by_node = {s.node_id: s for s in stats.per_layer}
+        for node in tiny_model.dae_nodes():
+            record = by_node[node.node_id]
+            shape = tiny_model.input_shapes_of(node)[0]
+            if node.layer.kind.value == "depthwise":
+                units = shape[2]
+            else:
+                units = shape[0] * shape[1]
+            assert record.groups == -(-units // g)
+
+    def test_buffered_bytes_equal_input_bytes(self, tiny_model, tiny_input):
+        _, stats = DAEExecutor(
+            {n.node_id: 8 for n in tiny_model.dae_nodes()}
+        ).run(tiny_model, tiny_input)
+        for record in stats.per_layer:
+            assert record.buffered_bytes > 0
+
+
+class TestStandaloneKernels:
+    def make_dw(self):
+        rng = np.random.default_rng(0)
+        return DepthwiseConv2D(
+            "dw", rng.normal(0, 0.4, (3, 3, 6)), None,
+            QuantParams(0.05, 0), QuantParams(0.1, 0),
+        )
+
+    def make_pw(self):
+        rng = np.random.default_rng(0)
+        return PointwiseConv2D(
+            "pw", rng.normal(0, 0.3, (6, 8)), None,
+            QuantParams(0.05, 0), QuantParams(0.1, 0),
+        )
+
+    def make_x(self):
+        rng = np.random.default_rng(1)
+        return QuantizedTensor(
+            rng.integers(-128, 128, (5, 5, 6)).astype(np.int8), 0.05, 0
+        )
+
+    def test_run_depthwise_dae_matches(self):
+        layer, x = self.make_dw(), self.make_x()
+        for g in (1, 2, 3, 6, 100):
+            out = run_depthwise_dae(layer, x, g)
+            assert np.array_equal(out.data, layer.forward(x).data)
+
+    def test_run_pointwise_dae_matches(self):
+        layer, x = self.make_pw(), self.make_x()
+        for g in (1, 2, 7, 25, 100):
+            out = run_pointwise_dae(layer, x, g)
+            assert np.array_equal(out.data, layer.forward(x).data)
+
+    def test_nonpositive_granularity_rejected(self):
+        with pytest.raises(TraceError):
+            run_depthwise_dae(self.make_dw(), self.make_x(), 0)
+        with pytest.raises(TraceError):
+            run_pointwise_dae(self.make_pw(), self.make_x(), -2)
+
+
+class TestValidatePlanNumerics:
+    def test_valid_plan_passes(self, tiny_model):
+        from repro.engine import validate_plan_numerics
+
+        granularities = {n.node_id: 8 for n in tiny_model.dae_nodes()}
+        assert validate_plan_numerics(tiny_model, granularities)
+
+    def test_empty_plan_passes(self, tiny_model):
+        from repro.engine import validate_plan_numerics
+
+        assert validate_plan_numerics(tiny_model, {})
+
+    def test_optimized_plan_passes(self, tiny_model):
+        from repro import DAEDVFSPipeline
+        from repro.engine import validate_plan_numerics
+        from repro.optimize import MODERATE
+
+        pipeline = DAEDVFSPipeline()
+        plan = pipeline.optimize(tiny_model, qos_level=MODERATE).plan
+        assert validate_plan_numerics(
+            tiny_model, plan.granularities(), n_inputs=2
+        )

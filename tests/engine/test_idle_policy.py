@@ -1,0 +1,122 @@
+"""Idle policies: HOT vs GATED vs STOP accounting."""
+
+import pytest
+
+from repro.engine import (
+    DVFSRuntime,
+    IdlePolicy,
+    TinyEngine,
+    TinyEngineClockGated,
+    TinyEngineDeepSleep,
+    uniform_plan,
+)
+from repro.power import EnergyCategory
+
+
+@pytest.fixture
+def runtime(board):
+    return DVFSRuntime(board)
+
+
+def run_with_policy(runtime, model, hfo, qos_s, policy):
+    plan = uniform_plan(model, hfo=hfo, granularity=0)
+    return runtime.run(
+        model, plan, qos_s=qos_s, idle_policy=policy, initial_config=hfo
+    )
+
+
+class TestIdlePolicies:
+    def test_policy_ordering(self, runtime, tiny_model, hfo_216):
+        latency = run_with_policy(
+            runtime, tiny_model, hfo_216, None, None
+        ).latency_s
+        qos = latency * 3
+        hot = run_with_policy(
+            runtime, tiny_model, hfo_216, qos, IdlePolicy.HOT
+        )
+        gated = run_with_policy(
+            runtime, tiny_model, hfo_216, qos, IdlePolicy.GATED
+        )
+        stop = run_with_policy(
+            runtime, tiny_model, hfo_216, qos, IdlePolicy.STOP
+        )
+        assert stop.energy_j < gated.energy_j < hot.energy_j
+        # Inference energy identical across policies.
+        assert stop.inference_energy_j == pytest.approx(
+            hot.inference_energy_j
+        )
+
+    def test_stop_charges_wakeup(self, runtime, board, tiny_model, hfo_216):
+        latency = run_with_policy(
+            runtime, tiny_model, hfo_216, None, None
+        ).latency_s
+        qos = latency * 3
+        stop = run_with_policy(
+            runtime, tiny_model, hfo_216, qos, IdlePolicy.STOP
+        )
+        labels = stop.account.energy_by_label()
+        assert "stop-wakeup" in labels
+        wake = board.power_model.params.stop_wakeup_s
+        switch_time = stop.account.time_by_category()[EnergyCategory.SWITCH]
+        assert switch_time >= wake
+
+    def test_stop_degrades_to_gated_for_tiny_windows(
+        self, runtime, board, tiny_model, hfo_216
+    ):
+        latency = run_with_policy(
+            runtime, tiny_model, hfo_216, None, None
+        ).latency_s
+        # Idle window shorter than the wake-up latency.
+        qos = latency + board.power_model.params.stop_wakeup_s * 0.5
+        stop = run_with_policy(
+            runtime, tiny_model, hfo_216, qos, IdlePolicy.STOP
+        )
+        gated = run_with_policy(
+            runtime, tiny_model, hfo_216, qos, IdlePolicy.GATED
+        )
+        assert stop.energy_j == pytest.approx(gated.energy_j)
+
+    def test_legacy_idle_gated_flag_still_works(
+        self, runtime, tiny_model, hfo_216
+    ):
+        plan = uniform_plan(tiny_model, hfo=hfo_216, granularity=0)
+        latency = runtime.run(tiny_model, plan).latency_s
+        qos = latency * 2
+        legacy = runtime.run(
+            tiny_model, plan, qos_s=qos, idle_gated=True,
+            initial_config=hfo_216,
+        )
+        explicit = runtime.run(
+            tiny_model, plan, qos_s=qos, idle_policy=IdlePolicy.GATED,
+            initial_config=hfo_216,
+        )
+        assert legacy.energy_j == pytest.approx(explicit.energy_j)
+
+
+class TestEngineVariants:
+    def test_three_engines_ordered(self, board, tiny_model):
+        latency = TinyEngine(board).inference_latency_s(tiny_model)
+        qos = latency * 2
+        hot = TinyEngine(board).run(tiny_model, qos_s=qos)
+        gated = TinyEngineClockGated(board).run(tiny_model, qos_s=qos)
+        stop = TinyEngineDeepSleep(board).run(tiny_model, qos_s=qos)
+        assert stop.energy_j < gated.energy_j < hot.energy_j
+
+    def test_deep_sleep_equals_others_without_window(self, board, tiny_model):
+        stop = TinyEngineDeepSleep(board).run(tiny_model)
+        hot = TinyEngine(board).run(tiny_model)
+        assert stop.energy_j == pytest.approx(hot.energy_j)
+
+
+class TestStopPowerModel:
+    def test_stop_below_gated(self, board):
+        pm = board.power_model
+        assert pm.stop_power() < pm.gated_power()
+
+    def test_stop_state_via_power(self, board, hfo_216):
+        from repro.power import PowerState
+
+        pm = board.power_model
+        assert pm.power(hfo_216, PowerState.STOP) == pytest.approx(
+            pm.stop_power()
+        )

@@ -1,0 +1,93 @@
+"""Three-way bit-exactness: scalar reference == vectorized == DAE."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import run_depthwise_dae, run_pointwise_dae
+from repro.engine.kernels import depthwise_conv_scalar, pointwise_conv_scalar
+from repro.nn import DepthwiseConv2D, PointwiseConv2D, QuantizedTensor
+from repro.nn.quantize import QuantParams
+
+IN_PARAMS = QuantParams(scale=0.04, zero_point=-3)
+OUT_PARAMS = QuantParams(scale=0.09, zero_point=5)
+
+
+def make_dw(channels=4, kernel=3, stride=1, padding="same", seed=0):
+    rng = np.random.default_rng(seed)
+    return DepthwiseConv2D(
+        "dw", rng.normal(0, 0.4, (kernel, kernel, channels)),
+        rng.normal(0, 0.1, channels),
+        IN_PARAMS, OUT_PARAMS, stride=stride, padding=padding,
+        activation="relu6",
+    )
+
+
+def make_pw(c_in=4, c_out=5, seed=0):
+    rng = np.random.default_rng(seed)
+    return PointwiseConv2D(
+        "pw", rng.normal(0, 0.3, (c_in, c_out)),
+        rng.normal(0, 0.1, c_out),
+        IN_PARAMS, OUT_PARAMS, activation=None,
+    )
+
+
+def make_x(h=5, w=6, c=4, seed=1):
+    rng = np.random.default_rng(seed)
+    return QuantizedTensor(
+        rng.integers(-128, 128, (h, w, c)).astype(np.int8),
+        IN_PARAMS.scale, IN_PARAMS.zero_point,
+    )
+
+
+class TestDepthwiseScalar:
+    @pytest.mark.parametrize("stride,padding", [
+        (1, "same"), (2, "same"), (1, "valid"), (2, "valid"),
+    ])
+    def test_matches_vectorized(self, stride, padding):
+        layer = make_dw(stride=stride, padding=padding)
+        x = make_x()
+        scalar = depthwise_conv_scalar(layer, x)
+        vectorized = layer.forward(x).data
+        assert np.array_equal(scalar, vectorized)
+
+    def test_three_way_equality(self):
+        layer = make_dw()
+        x = make_x()
+        scalar = depthwise_conv_scalar(layer, x)
+        dae = run_depthwise_dae(layer, x, g=3).data
+        assert np.array_equal(scalar, dae)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=500))
+    def test_property_random_weights_and_inputs(self, seed):
+        layer = make_dw(seed=seed)
+        x = make_x(seed=seed + 1)
+        assert np.array_equal(
+            depthwise_conv_scalar(layer, x), layer.forward(x).data
+        )
+
+
+class TestPointwiseScalar:
+    def test_matches_vectorized(self):
+        layer = make_pw()
+        x = make_x()
+        assert np.array_equal(
+            pointwise_conv_scalar(layer, x), layer.forward(x).data
+        )
+
+    def test_three_way_equality(self):
+        layer = make_pw()
+        x = make_x()
+        scalar = pointwise_conv_scalar(layer, x)
+        dae = run_pointwise_dae(layer, x, g=7).data
+        assert np.array_equal(scalar, dae)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=500))
+    def test_property_random_weights_and_inputs(self, seed):
+        layer = make_pw(seed=seed)
+        x = make_x(seed=seed + 1)
+        assert np.array_equal(
+            pointwise_conv_scalar(layer, x), layer.forward(x).data
+        )

@@ -1,0 +1,168 @@
+"""DVFS runtime: execution accounting, switch behaviour, QoS windows."""
+
+import pytest
+
+from repro.clock import hfo_grid, lfo_config
+from repro.engine import DVFSRuntime, uniform_plan
+from repro.errors import TraceError
+from repro.power import EnergyCategory
+
+
+@pytest.fixture
+def runtime(board):
+    return DVFSRuntime(board)
+
+
+def hfo_at(mhz):
+    for cfg in hfo_grid():
+        if abs(cfg.sysclk_hz - mhz * 1e6) < 1:
+            return cfg
+    raise AssertionError(f"no {mhz} MHz config in the grid")
+
+
+class TestFusedExecution:
+    def test_report_totals_consistent(self, runtime, tiny_model, hfo_216):
+        plan = uniform_plan(tiny_model, hfo=hfo_216, granularity=0)
+        report = runtime.run(tiny_model, plan)
+        assert report.latency_s > 0
+        assert report.energy_j > 0
+        assert report.energy_j == pytest.approx(report.account.total_energy_j)
+        assert report.latency_s == pytest.approx(report.account.total_time_s)
+
+    def test_per_layer_reports_sum_to_total(self, runtime, tiny_model, hfo_216):
+        plan = uniform_plan(tiny_model, hfo=hfo_216, granularity=0)
+        report = runtime.run(tiny_model, plan)
+        assert sum(r.latency_s for r in report.layer_reports) == pytest.approx(
+            report.latency_s
+        )
+        assert sum(r.energy_j for r in report.layer_reports) == pytest.approx(
+            report.inference_energy_j
+        )
+
+    def test_latency_scales_with_frequency(self, runtime, tiny_model):
+        fast = runtime.run(
+            tiny_model, uniform_plan(tiny_model, hfo=hfo_at(216))
+        )
+        slow = runtime.run(
+            tiny_model, uniform_plan(tiny_model, hfo=hfo_at(75))
+        )
+        assert slow.latency_s > 1.5 * fast.latency_s
+
+    def test_one_relock_for_uniform_fused_plan(
+        self, runtime, tiny_model, hfo_216
+    ):
+        # Starting from the LFO, a constant-HFO fused plan needs exactly
+        # one PLL programming.
+        plan = uniform_plan(tiny_model, hfo=hfo_216, granularity=0)
+        report = runtime.run(tiny_model, plan)
+        assert report.relock_count == 1
+
+    def test_no_relock_when_started_on_target(
+        self, runtime, tiny_model, hfo_216
+    ):
+        plan = uniform_plan(tiny_model, hfo=hfo_216, granularity=0)
+        report = runtime.run(tiny_model, plan, initial_config=hfo_216)
+        assert report.relock_count == 0
+
+
+class TestDecoupledExecution:
+    def test_mux_switches_counted(self, runtime, tiny_model, hfo_216):
+        plan = uniform_plan(tiny_model, hfo=hfo_216, granularity=4)
+        report = runtime.run(tiny_model, plan)
+        assert report.mux_switch_count > 2 * len(tiny_model.dae_nodes())
+
+    def test_single_background_relock_for_uniform_hfo(
+        self, runtime, tiny_model, hfo_216
+    ):
+        plan = uniform_plan(tiny_model, hfo=hfo_216, granularity=4)
+        report = runtime.run(tiny_model, plan)
+        assert report.relock_count == 1
+
+    def test_memory_category_present(self, runtime, tiny_model, hfo_216):
+        plan = uniform_plan(tiny_model, hfo=hfo_216, granularity=4)
+        report = runtime.run(tiny_model, plan)
+        breakdown = report.account.energy_by_category()
+        assert breakdown.get(EnergyCategory.MEMORY, 0) > 0
+        assert breakdown.get(EnergyCategory.SWITCH, 0) > 0
+
+    def test_dae_at_216_saves_energy_vs_fused_216(
+        self, runtime, tiny_model, hfo_216
+    ):
+        # Memory segments at the LFO cost less energy than interleaved
+        # stalls at 216 MHz.
+        fused = runtime.run(
+            tiny_model, uniform_plan(tiny_model, hfo=hfo_216, granularity=0),
+            initial_config=hfo_216,
+        )
+        dae = runtime.run(
+            tiny_model, uniform_plan(tiny_model, hfo=hfo_216, granularity=8),
+            initial_config=hfo_216,
+        )
+        assert dae.inference_energy_j < fused.inference_energy_j
+
+    def test_hfo_must_be_pll_sourced(self, runtime, tiny_model):
+        plan = uniform_plan(tiny_model, hfo=lfo_config(), granularity=4)
+        with pytest.raises(TraceError):
+            runtime.run(tiny_model, plan)
+
+    def test_batched_iterations_match_layer_totals(
+        self, runtime, tiny_model, hfo_216
+    ):
+        # The batching optimization must not change per-layer totals:
+        # compare against per-layer price from the DSE cost model
+        # (identical formulas, unbatched).
+        from repro.dse.explorer import LayerCostModel
+        from repro.engine.cost import TraceBuilder
+
+        plan = uniform_plan(tiny_model, hfo=hfo_216, granularity=4)
+        report = runtime.run(tiny_model, plan, initial_config=hfo_216)
+        pricer = LayerCostModel(runtime.board)
+        tracer = TraceBuilder(runtime.board)
+        by_node = {r.node_id: r for r in report.layer_reports}
+        for node in tiny_model.dae_nodes():
+            trace = tracer.build(tiny_model, node, 4)
+            latency, energy = pricer.price(
+                trace, hfo_216, plan.lfo, assume_relock=False
+            )
+            measured = by_node[node.node_id]
+            assert measured.latency_s == pytest.approx(latency, rel=1e-6)
+            assert measured.energy_j == pytest.approx(energy, rel=1e-6)
+
+
+class TestQoSWindow:
+    def test_idle_energy_added_up_to_qos(self, runtime, tiny_model, hfo_216):
+        plan = uniform_plan(tiny_model, hfo=hfo_216, granularity=0)
+        bare = runtime.run(tiny_model, plan)
+        qos = bare.latency_s * 2
+        windowed = runtime.run(tiny_model, plan, qos_s=qos)
+        assert windowed.energy_j > windowed.inference_energy_j
+        assert windowed.met_qos
+
+    def test_gated_idle_cheaper_than_hot_idle(
+        self, runtime, tiny_model, hfo_216
+    ):
+        plan = uniform_plan(tiny_model, hfo=hfo_216, granularity=0)
+        qos = runtime.run(tiny_model, plan).latency_s * 2
+        gated = runtime.run(tiny_model, plan, qos_s=qos, idle_gated=True)
+        hot = runtime.run(tiny_model, plan, qos_s=qos, idle_gated=False)
+        assert gated.energy_j < hot.energy_j
+        assert gated.inference_energy_j == pytest.approx(
+            hot.inference_energy_j
+        )
+
+    def test_missed_qos_flagged(self, runtime, tiny_model, hfo_216):
+        plan = uniform_plan(tiny_model, hfo=hfo_216, granularity=0)
+        latency = runtime.run(tiny_model, plan).latency_s
+        report = runtime.run(tiny_model, plan, qos_s=latency / 2)
+        assert not report.met_qos
+
+    def test_average_power_between_gated_and_active(
+        self, runtime, tiny_model, hfo_216, board
+    ):
+        plan = uniform_plan(tiny_model, hfo=hfo_216, granularity=0)
+        report = runtime.run(tiny_model, plan)
+        assert (
+            board.power_model.gated_power()
+            < report.average_power_w
+            <= board.power_model.active_power(hfo_216) * 1.01
+        )

@@ -1,0 +1,56 @@
+"""Deployment plans: structure, validation, uniform plans."""
+
+import pytest
+
+from repro.clock import lfo_config, max_performance_config
+from repro.engine import DeploymentPlan, LayerPlan, uniform_plan
+from repro.errors import GraphError
+
+
+class TestUniformPlan:
+    def test_covers_all_conv_nodes(self, tiny_model, hfo_216):
+        plan = uniform_plan(tiny_model, hfo=hfo_216, granularity=8)
+        conv_ids = {n.node_id for n in tiny_model.conv_nodes()}
+        assert set(plan.layer_plans) == conv_ids
+
+    def test_granularity_only_on_dae_layers(self, tiny_model, hfo_216):
+        plan = uniform_plan(tiny_model, hfo=hfo_216, granularity=8)
+        dae_ids = {n.node_id for n in tiny_model.dae_nodes()}
+        for node_id, lp in plan.layer_plans.items():
+            expected = 8 if node_id in dae_ids else 0
+            assert lp.granularity == expected
+
+    def test_default_lfo(self, tiny_model, hfo_216):
+        plan = uniform_plan(tiny_model, hfo=hfo_216)
+        assert plan.lfo == lfo_config()
+
+
+class TestValidation:
+    def test_wrong_model_name_rejected(self, tiny_model, hfo_216):
+        plan = uniform_plan(tiny_model, hfo=hfo_216)
+        plan.model_name = "different"
+        with pytest.raises(GraphError):
+            plan.validate_against(tiny_model)
+
+    def test_unknown_node_rejected(self, tiny_model, hfo_216):
+        plan = DeploymentPlan(model_name=tiny_model.name)
+        plan.layer_plans[999] = LayerPlan(
+            node_id=999, granularity=0, hfo=hfo_216
+        )
+        with pytest.raises(GraphError):
+            plan.validate_against(tiny_model)
+
+    def test_valid_plan_passes(self, tiny_model, hfo_216):
+        uniform_plan(tiny_model, hfo=hfo_216).validate_against(tiny_model)
+
+
+class TestAccessors:
+    def test_plan_for_missing_node_is_none(self, tiny_model, hfo_216):
+        plan = DeploymentPlan(model_name=tiny_model.name)
+        assert plan.plan_for(1) is None
+
+    def test_granularities_mapping(self, tiny_model, hfo_216):
+        plan = uniform_plan(tiny_model, hfo=hfo_216, granularity=4)
+        mapping = plan.granularities()
+        for node in tiny_model.dae_nodes():
+            assert mapping[node.node_id] == 4

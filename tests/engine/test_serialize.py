@@ -1,0 +1,153 @@
+"""Plan serialization: round trips and corrupt-file handling."""
+
+import json
+
+import pytest
+
+from repro.engine import (
+    DeploymentPlan,
+    LayerPlan,
+    load_plan,
+    plan_from_dict,
+    plan_to_dict,
+    save_plan,
+    uniform_plan,
+)
+from repro.engine.serialize import (
+    clock_config_from_dict,
+    clock_config_to_dict,
+)
+from repro.clock import lfo_config, pll_config
+from repro.errors import ClockConfigError, GraphError
+from repro.units import MHZ
+
+
+class TestClockConfigRoundTrip:
+    def test_pll_config(self):
+        config = pll_config(50 * MHZ, 25, 216)
+        assert clock_config_from_dict(clock_config_to_dict(config)) == config
+
+    def test_hse_config(self):
+        config = lfo_config()
+        assert clock_config_from_dict(clock_config_to_dict(config)) == config
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(GraphError):
+            clock_config_from_dict({"source": "rc-network", "hse_hz": 1e6})
+
+    def test_illegal_pll_values_rejected(self):
+        data = clock_config_to_dict(pll_config(50 * MHZ, 25, 216))
+        data["pll"]["plln"] = 9999
+        with pytest.raises(ClockConfigError):
+            clock_config_from_dict(data)
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(GraphError):
+            clock_config_from_dict({"source": "pll"})
+
+
+class TestPlanRoundTrip:
+    def test_dict_round_trip(self, tiny_model, hfo_216):
+        plan = uniform_plan(tiny_model, hfo=hfo_216, granularity=8)
+        plan.qos_s = 0.005
+        plan.predicted_latency_s = 0.004
+        plan.predicted_energy_j = 0.001
+        restored = plan_from_dict(plan_to_dict(plan))
+        assert restored.model_name == plan.model_name
+        assert restored.lfo == plan.lfo
+        assert restored.qos_s == pytest.approx(plan.qos_s)
+        assert set(restored.layer_plans) == set(plan.layer_plans)
+        for node_id, lp in plan.layer_plans.items():
+            other = restored.layer_plans[node_id]
+            assert other.granularity == lp.granularity
+            assert other.hfo == lp.hfo
+
+    def test_file_round_trip(self, tiny_model, hfo_216, tmp_path):
+        plan = uniform_plan(tiny_model, hfo=hfo_216, granularity=4)
+        path = tmp_path / "plan.json"
+        save_plan(plan, path)
+        restored = load_plan(path)
+        assert restored.granularities() == plan.granularities()
+
+    def test_restored_plan_executes_identically(
+        self, board, tiny_model, hfo_216, tmp_path
+    ):
+        from repro.engine import DVFSRuntime
+
+        plan = uniform_plan(tiny_model, hfo=hfo_216, granularity=8)
+        path = tmp_path / "plan.json"
+        save_plan(plan, path)
+        restored = load_plan(path)
+        runtime = DVFSRuntime(board)
+        a = runtime.run(tiny_model, plan, initial_config=hfo_216)
+        b = runtime.run(tiny_model, restored, initial_config=hfo_216)
+        assert a.latency_s == pytest.approx(b.latency_s)
+        assert a.energy_j == pytest.approx(b.energy_j)
+
+
+class TestCorruptFiles:
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text("{not json")
+        with pytest.raises(GraphError):
+            load_plan(path)
+
+    def test_wrong_version(self, tiny_model, hfo_216):
+        data = plan_to_dict(uniform_plan(tiny_model, hfo=hfo_216))
+        data["format_version"] = 99
+        with pytest.raises(GraphError):
+            plan_from_dict(data)
+
+    def test_duplicate_node_ids(self, tiny_model, hfo_216):
+        data = plan_to_dict(uniform_plan(tiny_model, hfo=hfo_216))
+        data["layers"].append(dict(data["layers"][0]))
+        with pytest.raises(GraphError):
+            plan_from_dict(data)
+
+    def test_missing_layers_key(self, tiny_model, hfo_216):
+        data = plan_to_dict(uniform_plan(tiny_model, hfo=hfo_216))
+        del data["layers"]
+        with pytest.raises(GraphError):
+            plan_from_dict(data)
+
+    def test_json_is_stable(self, tiny_model, hfo_216, tmp_path):
+        plan = uniform_plan(tiny_model, hfo=hfo_216, granularity=2)
+        path = tmp_path / "plan.json"
+        save_plan(plan, path)
+        parsed = json.loads(path.read_text())
+        assert parsed["format_version"] == 1
+        assert parsed["model_name"] == tiny_model.name
+
+
+class TestPropertyRoundTrip:
+    """Hypothesis: arbitrary legal plans survive serialization."""
+
+    def test_random_plans_round_trip(self, tiny_model):
+        import random
+
+        from repro.clock import hfo_grid
+
+        grid = hfo_grid()
+        rng = random.Random(7)
+        for _ in range(25):
+            plan = DeploymentPlan(model_name=tiny_model.name)
+            for node in tiny_model.conv_nodes():
+                g = rng.choice([0, 2, 4, 8, 12, 16])
+                if not node.layer.supports_dae:
+                    g = 0
+                plan.layer_plans[node.node_id] = LayerPlan(
+                    node_id=node.node_id,
+                    granularity=g,
+                    hfo=rng.choice(grid),
+                    predicted_latency_s=rng.random() * 1e-3,
+                    predicted_energy_j=rng.random() * 1e-4,
+                )
+            plan.qos_s = rng.random() * 0.1
+            restored = plan_from_dict(plan_to_dict(plan))
+            assert restored.granularities() == plan.granularities()
+            for node_id, lp in plan.layer_plans.items():
+                other = restored.layer_plans[node_id]
+                assert other.hfo == lp.hfo
+                assert other.predicted_latency_s == pytest.approx(
+                    lp.predicted_latency_s
+                )

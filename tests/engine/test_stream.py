@@ -1,0 +1,109 @@
+"""Streaming execution: periodic windows and carried clock state."""
+
+import pytest
+
+from repro import DAEDVFSPipeline
+from repro.engine import DVFSRuntime, IdlePolicy, run_stream, uniform_plan
+from repro.errors import SolverError
+from repro.optimize import MODERATE
+
+
+@pytest.fixture(scope="module")
+def planned():
+    pipeline = DAEDVFSPipeline()
+    from repro.nn import build_tiny_test_model
+
+    model = build_tiny_test_model()
+    result = pipeline.optimize(model, qos_level=MODERATE)
+    return pipeline, model, result
+
+
+class TestStream:
+    def test_total_energy_composition(self, planned):
+        pipeline, model, result = planned
+        report = run_stream(
+            pipeline.runtime, model, result.plan,
+            period_s=result.qos_s, windows=10,
+        )
+        assert report.total_energy_j == pytest.approx(
+            report.first.energy_j + 9 * report.steady.energy_j
+        )
+        assert report.deadline_misses == 0
+        assert report.total_time_s == pytest.approx(10 * result.qos_s)
+
+    def test_power_trace_covers_stream(self, planned):
+        pipeline, model, result = planned
+        report = run_stream(
+            pipeline.runtime, model, result.plan,
+            period_s=result.qos_s, windows=5,
+        )
+        trace = report.power_trace()
+        total = sum(i.duration_s for i in trace)
+        assert total == pytest.approx(report.total_time_s, rel=1e-6)
+        energy = sum(i.energy_j for i in trace)
+        assert energy == pytest.approx(report.total_energy_j, rel=1e-9)
+
+    def test_steady_state_not_worse_than_first(self, planned):
+        # The steady window inherits a running clock; it can only save
+        # the boot transitions, never add cost.
+        pipeline, model, result = planned
+        report = run_stream(
+            pipeline.runtime, model, result.plan,
+            period_s=result.qos_s, windows=3,
+        )
+        assert report.steady.energy_j <= report.first.energy_j * 1.001
+
+    def test_deep_sleep_stream_cheaper_than_gated(self, planned):
+        pipeline, model, result = planned
+        period = result.qos_s * 4  # generous idle between frames
+        gated = run_stream(
+            pipeline.runtime, model, result.plan, period_s=period,
+            windows=5, idle_policy=IdlePolicy.GATED,
+        )
+        stop = run_stream(
+            pipeline.runtime, model, result.plan, period_s=period,
+            windows=5, idle_policy=IdlePolicy.STOP,
+        )
+        assert stop.total_energy_j < gated.total_energy_j
+
+    def test_too_short_period_flags_misses(self, planned, board):
+        pipeline, model, result = planned
+        inference = pipeline.runtime.run(model, result.plan).latency_s
+        report = run_stream(
+            pipeline.runtime, model, result.plan,
+            period_s=inference / 2, windows=4,
+        )
+        assert report.deadline_misses == 4
+
+    def test_validation(self, planned):
+        pipeline, model, result = planned
+        with pytest.raises(SolverError):
+            run_stream(pipeline.runtime, model, result.plan,
+                       period_s=0.0, windows=3)
+        with pytest.raises(SolverError):
+            run_stream(pipeline.runtime, model, result.plan,
+                       period_s=0.01, windows=0)
+
+    def test_average_power_bounds(self, planned, board):
+        pipeline, model, result = planned
+        report = run_stream(
+            pipeline.runtime, model, result.plan,
+            period_s=result.qos_s * 2, windows=3,
+        )
+        assert (
+            board.power_model.gated_power() * 0.9
+            < report.average_power_w
+            < 1.0
+        )
+
+    def test_single_window_stream(self, planned):
+        pipeline, model, result = planned
+        report = run_stream(
+            pipeline.runtime, model, result.plan,
+            period_s=result.qos_s, windows=1,
+        )
+        assert report.total_energy_j == pytest.approx(report.first.energy_j)
+        trace = report.power_trace()
+        assert sum(i.duration_s for i in trace) == pytest.approx(
+            result.qos_s, rel=1e-6
+        )

@@ -1,0 +1,67 @@
+"""TinyEngine baselines: fixed clock, fused kernels, idle policies."""
+
+import pytest
+
+from repro.engine import TinyEngine, TinyEngineClockGated
+from repro.units import MHZ
+
+
+class TestTinyEngine:
+    def test_runs_at_216(self, board, tiny_model):
+        engine = TinyEngine(board)
+        assert engine.clock.sysclk_hz == pytest.approx(216 * MHZ)
+        report = engine.run(tiny_model)
+        for layer in report.layer_reports:
+            assert layer.hfo_hz == pytest.approx(216 * MHZ)
+            assert layer.granularity == 0
+
+    def test_no_clock_switching_during_inference(self, board, tiny_model):
+        report = TinyEngine(board).run(tiny_model)
+        assert report.relock_count == 0
+        assert report.mux_switch_count == 0
+
+    def test_inference_latency_helper(self, board, tiny_model):
+        engine = TinyEngine(board)
+        assert engine.inference_latency_s(tiny_model) == pytest.approx(
+            engine.run(tiny_model).latency_s
+        )
+
+    def test_idles_hot_until_qos(self, board, tiny_model):
+        engine = TinyEngine(board)
+        latency = engine.inference_latency_s(tiny_model)
+        report = engine.run(tiny_model, qos_s=2 * latency)
+        idle_power = board.power_model.idle_power(engine.clock)
+        expected_idle = latency * idle_power
+        idle_energy = report.energy_j - report.inference_energy_j
+        assert idle_energy == pytest.approx(expected_idle, rel=1e-6)
+
+
+class TestClockGatedVariant:
+    def test_same_inference_energy(self, board, tiny_model):
+        te = TinyEngine(board).run(tiny_model)
+        cg = TinyEngineClockGated(board).run(tiny_model)
+        assert cg.inference_energy_j == pytest.approx(te.inference_energy_j)
+
+    def test_cheaper_idle(self, board, tiny_model):
+        latency = TinyEngine(board).inference_latency_s(tiny_model)
+        qos = 1.5 * latency
+        te = TinyEngine(board).run(tiny_model, qos_s=qos)
+        cg = TinyEngineClockGated(board).run(tiny_model, qos_s=qos)
+        assert cg.energy_j < te.energy_j
+
+    def test_gap_grows_with_slack(self, board, tiny_model):
+        # The more idle time in the window, the more gating saves.
+        latency = TinyEngine(board).inference_latency_s(tiny_model)
+        gaps = []
+        for slack in (1.1, 1.5):
+            te = TinyEngine(board).run(tiny_model, qos_s=slack * latency)
+            cg = TinyEngineClockGated(board).run(
+                tiny_model, qos_s=slack * latency
+            )
+            gaps.append(te.energy_j - cg.energy_j)
+        assert gaps[1] > gaps[0]
+
+    def test_equal_without_qos_window(self, board, tiny_model):
+        te = TinyEngine(board).run(tiny_model)
+        cg = TinyEngineClockGated(board).run(tiny_model)
+        assert te.energy_j == pytest.approx(cg.energy_j)

@@ -1,0 +1,100 @@
+"""Trace data structures: invariants and accessors."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.engine import LayerTrace, ModelTrace, Segment, SegmentKind
+from repro.mcu import SegmentWorkload
+from repro.nn import LayerKind
+
+
+def seg(kind=SegmentKind.COMPUTE, cycles=100.0, flash=0.0, sram=0.0):
+    return Segment(
+        kind=kind,
+        workload=SegmentWorkload(
+            cpu_cycles=cycles, flash_bytes=flash, sram_bytes=sram
+        ),
+    )
+
+
+def decoupled_trace(iterations=3):
+    segments = []
+    for _ in range(iterations):
+        segments.append(seg(SegmentKind.MEMORY, cycles=10, sram=64))
+        segments.append(seg(SegmentKind.COMPUTE, cycles=1000))
+    return LayerTrace(
+        node_id=1,
+        layer_name="dw",
+        layer_kind=LayerKind.DEPTHWISE_CONV,
+        granularity=4,
+        segments=segments,
+        iterations=iterations,
+    )
+
+
+class TestSegment:
+    def test_empty_workload_rejected(self):
+        with pytest.raises(TraceError):
+            Segment(kind=SegmentKind.FUSED, workload=SegmentWorkload())
+
+
+class TestLayerTrace:
+    def test_fused_invariants(self):
+        trace = LayerTrace(
+            node_id=1, layer_name="conv", layer_kind=LayerKind.CONV2D,
+            granularity=0, segments=[seg(SegmentKind.FUSED)],
+        )
+        assert not trace.is_decoupled
+        assert trace.mux_switch_count() == 0
+
+    def test_fused_cannot_have_iterations(self):
+        with pytest.raises(TraceError):
+            LayerTrace(
+                node_id=1, layer_name="c", layer_kind=LayerKind.CONV2D,
+                granularity=0, segments=[seg()], iterations=2,
+            )
+
+    def test_decoupled_needs_iterations(self):
+        with pytest.raises(TraceError):
+            LayerTrace(
+                node_id=1, layer_name="dw",
+                layer_kind=LayerKind.DEPTHWISE_CONV,
+                granularity=4, segments=[seg()], iterations=0,
+            )
+
+    def test_negative_granularity_rejected(self):
+        with pytest.raises(TraceError):
+            LayerTrace(
+                node_id=1, layer_name="dw",
+                layer_kind=LayerKind.DEPTHWISE_CONV,
+                granularity=-1, segments=[seg()],
+            )
+
+    def test_segment_filters(self):
+        trace = decoupled_trace(3)
+        assert len(trace.memory_segments()) == 3
+        assert len(trace.compute_segments()) == 3
+
+    def test_mux_switch_count_two_per_iteration(self):
+        # Listing 1: one switch into the memory segment, one back.
+        assert decoupled_trace(5).mux_switch_count() == 10
+
+    def test_total_workload_sums_segments(self):
+        trace = decoupled_trace(2)
+        total = trace.total_workload()
+        assert total.cpu_cycles == pytest.approx(2 * (10 + 1000))
+        assert total.sram_bytes == pytest.approx(2 * 64)
+
+
+class TestModelTrace:
+    def test_iteration_and_lookup(self):
+        traces = [decoupled_trace(), ]
+        mt = ModelTrace(model_name="m", layer_traces=traces)
+        assert len(mt) == 1
+        assert mt.trace_for(1).layer_name == "dw"
+        assert list(mt) == traces
+
+    def test_missing_node_raises(self):
+        mt = ModelTrace(model_name="m")
+        with pytest.raises(TraceError):
+            mt.trace_for(7)

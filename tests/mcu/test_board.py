@@ -1,0 +1,76 @@
+"""Board composition and override points."""
+
+import pytest
+
+from repro.clock import SwitchCostModel, lfo_config, pll_config
+from repro.mcu import CacheModel, CoreTimingParams, make_nucleo_f767zi
+from repro.power import PowerModelParams
+from repro.units import MHZ, kib
+
+
+class TestDefaultBoard:
+    def test_name(self, board):
+        assert board.name == "nucleo-f767zi"
+
+    def test_boots_on_lfo(self, board):
+        assert board.rcc.current == lfo_config()
+
+    def test_cache_is_16k(self, board):
+        assert board.cache.capacity_bytes == kib(16)
+
+    def test_memory_map_exposed(self, board):
+        assert board.memory_map.flash.name == "flash"
+
+    def test_rcc_shares_switch_cost_model(self, board):
+        assert board.rcc.cost_model is board.switch_cost_model
+
+
+class TestOverrides:
+    def test_power_params_override(self):
+        board = make_nucleo_f767zi(
+            power_params=PowerModelParams(p_gated_w=0.001)
+        )
+        assert board.power_model.params.p_gated_w == pytest.approx(0.001)
+
+    def test_timing_params_override(self):
+        board = make_nucleo_f767zi(
+            timing_params=CoreTimingParams(cycles_per_mac_conv=9.0)
+        )
+        assert board.core.params.cycles_per_mac_conv == 9.0
+
+    def test_cache_override(self):
+        board = make_nucleo_f767zi(cache=CacheModel(capacity_bytes=kib(32)))
+        assert board.cache.capacity_bytes == kib(32)
+
+    def test_switch_model_override(self):
+        model = SwitchCostModel(mux_switch_s=5e-6)
+        board = make_nucleo_f767zi(switch_cost_model=model)
+        assert board.switch_cost_model.mux_switch_s == pytest.approx(5e-6)
+
+    def test_initial_config_override(self):
+        hfo = pll_config(50 * MHZ, 25, 216)
+        board = make_nucleo_f767zi(initial_config=hfo)
+        assert board.rcc.sysclk_hz == pytest.approx(216 * MHZ)
+
+
+class TestSiblingBoard:
+    def test_f746_characteristics(self):
+        from repro.mcu import make_nucleo_f746zg
+
+        board = make_nucleo_f746zg()
+        assert board.name == "nucleo-f746zg"
+        assert board.cache.capacity_bytes == 4 * 1024
+        # Same core/clock substrate as the F767.
+        assert board.rcc.sysclk_hz == pytest.approx(50e6)
+
+    def test_f746_pipeline_end_to_end(self):
+        from repro import DAEDVFSPipeline
+        from repro.mcu import make_nucleo_f746zg
+        from repro.nn import build_tiny_test_model
+        from repro.optimize import MODERATE
+
+        pipeline = DAEDVFSPipeline(board=make_nucleo_f746zg())
+        model = build_tiny_test_model()
+        row = pipeline.compare(model, MODERATE)
+        assert row.ours.met_qos
+        assert row.ours.energy_j < row.tinyengine.energy_j

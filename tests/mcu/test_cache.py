@@ -1,0 +1,138 @@
+"""Cache models: LRU simulator correctness and the analytic g-cliff."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ShapeError
+from repro.mcu import CacheModel, SetAssociativeCache
+from repro.units import kib
+
+
+class TestSetAssociativeCache:
+    def test_cold_miss_then_hit(self):
+        cache = SetAssociativeCache()
+        assert not cache.access(0)
+        assert cache.access(0)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_same_line_hits(self):
+        cache = SetAssociativeCache(line_bytes=32)
+        cache.access(0)
+        assert cache.access(31)
+        assert not cache.access(32)
+
+    def test_lru_eviction_within_set(self):
+        # Direct-mapped-like tiny cache: 2 ways, 1 set.
+        cache = SetAssociativeCache(capacity_bytes=64, line_bytes=32, ways=2)
+        cache.access(0)      # line 0
+        cache.access(32)     # line 1
+        cache.access(64)     # line 2: evicts line 0 (LRU)
+        assert not cache.access(0)
+
+    def test_lru_refresh_on_hit(self):
+        cache = SetAssociativeCache(capacity_bytes=64, line_bytes=32, ways=2)
+        cache.access(0)
+        cache.access(32)
+        cache.access(0)      # refresh line 0
+        cache.access(64)     # evicts line 1 now
+        assert cache.access(0)
+        assert not cache.access(32)
+
+    def test_working_set_within_capacity_all_hits_second_pass(self):
+        cache = SetAssociativeCache(capacity_bytes=kib(16))
+        cache.access_range(0, kib(8))
+        cache.stats = type(cache.stats)()
+        misses = cache.access_range(0, kib(8))
+        assert misses == 0
+
+    def test_working_set_beyond_capacity_thrashes(self):
+        cache = SetAssociativeCache(capacity_bytes=kib(16))
+        cache.access_range(0, kib(64))
+        cache.reset()
+        cache.access_range(0, kib(64))
+        second_pass = cache.access_range(0, kib(64))
+        assert second_pass > 0
+
+    def test_resident_bytes_bounded_by_capacity(self):
+        cache = SetAssociativeCache(capacity_bytes=kib(16))
+        cache.access_range(0, kib(64))
+        assert cache.resident_bytes() <= kib(16)
+
+    def test_reset_clears_state(self):
+        cache = SetAssociativeCache()
+        cache.access_range(0, 1024)
+        cache.reset()
+        assert cache.stats.accesses == 0
+        assert cache.resident_bytes() == 0
+
+    def test_geometry_validation(self):
+        with pytest.raises(ShapeError):
+            SetAssociativeCache(capacity_bytes=1000, line_bytes=32, ways=4)
+        with pytest.raises(ShapeError):
+            SetAssociativeCache(capacity_bytes=0)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ShapeError):
+            SetAssociativeCache().access(-1)
+
+    def test_miss_rate_zero_without_accesses(self):
+        assert SetAssociativeCache().stats.miss_rate == 0.0
+
+
+class TestCacheModel:
+    def test_no_refetch_within_usable_capacity(self):
+        model = CacheModel()
+        assert model.refetch_fraction(model.usable_bytes * 0.9) == 0.0
+
+    def test_refetch_grows_beyond_capacity(self):
+        model = CacheModel()
+        small = model.refetch_fraction(model.usable_bytes * 1.5)
+        large = model.refetch_fraction(model.usable_bytes * 10)
+        assert 0.0 < small < large <= 1.0
+
+    def test_refetch_saturates_at_one(self):
+        model = CacheModel()
+        assert model.refetch_fraction(model.usable_bytes * 1e6) <= 1.0
+
+    def test_negative_working_set_rejected(self):
+        with pytest.raises(ShapeError):
+            CacheModel().refetch_fraction(-1.0)
+
+    def test_usable_fraction_bounds(self):
+        with pytest.raises(ShapeError):
+            CacheModel(usable_fraction=0.0)
+        with pytest.raises(ShapeError):
+            CacheModel(usable_fraction=1.1)
+
+    @given(
+        ws=st.lists(
+            st.floats(min_value=0, max_value=1e6), min_size=2, max_size=20
+        )
+    )
+    def test_refetch_monotone_nondecreasing(self, ws):
+        """Property: a larger working set never refetches less."""
+        model = CacheModel()
+        ordered = sorted(ws)
+        fractions = [model.refetch_fraction(w) for w in ordered]
+        for a, b in zip(fractions, fractions[1:]):
+            assert b >= a - 1e-12
+
+    def test_simulator_agrees_with_analytic_cliff_location(self):
+        """Streaming reuse through the LRU simulator shows the same
+        fits/doesn't-fit threshold the analytic model encodes."""
+        capacity = kib(16)
+        sim = SetAssociativeCache(capacity_bytes=capacity)
+        model = CacheModel(capacity_bytes=capacity)
+
+        def second_pass_miss_rate(ws_bytes):
+            sim.reset()
+            sim.access_range(0, ws_bytes)
+            sim.stats = type(sim.stats)()
+            sim.access_range(0, ws_bytes)
+            return sim.stats.miss_rate
+
+        fits = second_pass_miss_rate(int(model.usable_bytes * 0.8))
+        thrashes = second_pass_miss_rate(capacity * 4)
+        assert fits == 0.0
+        assert thrashes > 0.9

@@ -1,0 +1,77 @@
+"""Core timing model: segment pricing and frequency sensitivity."""
+
+import pytest
+
+from repro.errors import ShapeError
+from repro.mcu import CoreModel, CoreTimingParams, SegmentWorkload
+from repro.units import MHZ
+
+
+@pytest.fixture
+def core():
+    return CoreModel()
+
+
+class TestSegmentTiming:
+    def test_pure_compute_scales_inversely_with_frequency(self, core):
+        w = SegmentWorkload(cpu_cycles=1e6)
+        t216 = core.segment_time_s(w, 216 * MHZ)
+        t108 = core.segment_time_s(w, 108 * MHZ)
+        assert t108 == pytest.approx(2 * t216)
+
+    def test_compute_time_exact(self, core):
+        w = SegmentWorkload(cpu_cycles=216e6)
+        assert core.segment_time_s(w, 216 * MHZ) == pytest.approx(1.0)
+
+    def test_time_parts_sum_to_total(self, core):
+        w = SegmentWorkload(cpu_cycles=5e4, flash_bytes=2048, sram_bytes=4096)
+        compute_t, memory_t = core.segment_time_parts(w, 216 * MHZ)
+        assert compute_t + memory_t == pytest.approx(
+            core.segment_time_s(w, 216 * MHZ)
+        )
+        assert compute_t > 0 and memory_t > 0
+
+    def test_workload_merge(self):
+        a = SegmentWorkload(cpu_cycles=10, flash_bytes=20, sram_bytes=30)
+        b = SegmentWorkload(cpu_cycles=1, flash_bytes=2, sram_bytes=3)
+        merged = a.merged(b)
+        assert merged.cpu_cycles == 11
+        assert merged.flash_bytes == 22
+        assert merged.sram_bytes == 33
+
+    def test_negative_workload_rejected(self):
+        with pytest.raises(ShapeError):
+            SegmentWorkload(cpu_cycles=-1)
+
+    def test_nonpositive_frequency_rejected(self, core):
+        with pytest.raises(ShapeError):
+            core.segment_time_s(SegmentWorkload(cpu_cycles=1), 0.0)
+
+
+class TestFrequencySensitivity:
+    def test_memory_bound_segment_insensitive(self, core):
+        w = SegmentWorkload(cpu_cycles=100, flash_bytes=64 * 1024)
+        speedup = core.frequency_sensitivity(w, 50 * MHZ, 216 * MHZ)
+        assert speedup < 2.0  # far below the 4.32x frequency ratio
+
+    def test_compute_bound_segment_fully_sensitive(self, core):
+        w = SegmentWorkload(cpu_cycles=1e7)
+        speedup = core.frequency_sensitivity(w, 50 * MHZ, 216 * MHZ)
+        assert speedup == pytest.approx(216 / 50)
+
+    def test_mixed_segment_in_between(self, core):
+        w = SegmentWorkload(cpu_cycles=1e5, flash_bytes=16 * 1024)
+        speedup = core.frequency_sensitivity(w, 50 * MHZ, 216 * MHZ)
+        assert 1.0 < speedup < 216 / 50
+
+
+class TestTimingParams:
+    def test_pointwise_more_efficient_per_mac_than_depthwise(self):
+        # Fig. 6 rationale: depthwise kernels achieve fewer MACs/cycle,
+        # which is why they tolerate lower frequencies.
+        params = CoreTimingParams()
+        assert params.cycles_per_mac_pointwise < params.cycles_per_mac_depthwise
+
+    def test_negative_constant_rejected(self):
+        with pytest.raises(ShapeError):
+            CoreTimingParams(cycles_per_mac_conv=-0.5)

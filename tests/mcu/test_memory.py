@@ -1,0 +1,77 @@
+"""Memory regions: timing decomposition and frequency sensitivity."""
+
+import pytest
+
+from repro.errors import ShapeError
+from repro.mcu import MemoryRegion, make_flash, make_memory_map, make_sram
+from repro.units import MHZ
+
+
+class TestMemoryRegion:
+    def test_transfer_time_decomposition(self):
+        region = MemoryRegion(
+            name="r", size_bytes=1024, line_bytes=32,
+            fixed_latency_s=50e-9, cycles_per_line=4,
+        )
+        f = 100 * MHZ
+        t = region.transfer_time_s(320, f)
+        # 10 lines x (4 cycles / 100 MHz + 50 ns)
+        assert t == pytest.approx(10 * (4 / f + 50e-9))
+
+    def test_zero_bytes_zero_time(self):
+        assert make_flash().transfer_time_s(0, 216 * MHZ) == 0.0
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ShapeError):
+            make_flash().transfer_time_s(-1, 216 * MHZ)
+
+    def test_nonpositive_frequency_rejected(self):
+        with pytest.raises(ShapeError):
+            make_flash().transfer_time_s(32, 0)
+
+    def test_fractional_lines_allowed(self):
+        assert make_flash().lines_for(16) == pytest.approx(0.5)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ShapeError):
+            MemoryRegion("bad", 0, 32, 0.0, 1.0)
+        with pytest.raises(ShapeError):
+            MemoryRegion("bad", 32, 32, -1e-9, 1.0)
+
+
+class TestFrequencyInsensitivity:
+    def test_flash_mostly_frequency_insensitive(self):
+        # The physical basis of DAE+DVFS: flash wall time barely moves
+        # between 216 MHz and 50 MHz because wait states dominate.
+        flash = make_flash()
+        t_fast = flash.transfer_time_s(4096, 216 * MHZ)
+        t_slow = flash.transfer_time_s(4096, 50 * MHZ)
+        assert t_slow / t_fast < 2.2
+
+    def test_sram_more_sensitive_than_flash(self):
+        flash, sram = make_flash(), make_sram()
+        flash_ratio = flash.transfer_time_s(4096, 50 * MHZ) / \
+            flash.transfer_time_s(4096, 216 * MHZ)
+        sram_ratio = sram.transfer_time_s(4096, 50 * MHZ) / \
+            sram.transfer_time_s(4096, 216 * MHZ)
+        assert sram_ratio > flash_ratio
+
+    def test_sram_still_far_from_pure_cycle_scaling(self):
+        # If SRAM scaled purely with cycles, the 50/216 ratio would be
+        # 4.32; the wait-state share keeps it well below.
+        sram = make_sram()
+        ratio = sram.transfer_time_s(1024, 50 * MHZ) / \
+            sram.transfer_time_s(1024, 216 * MHZ)
+        assert ratio < 3.0
+
+
+class TestMemoryMap:
+    def test_default_map_has_both_regions(self):
+        mm = make_memory_map()
+        assert mm.flash.name == "flash"
+        assert mm.sram.name == "sram"
+
+    def test_capacities_match_part(self):
+        mm = make_memory_map()
+        assert mm.flash.size_bytes == 2 * 1024 * 1024
+        assert mm.sram.size_bytes == 512 * 1024

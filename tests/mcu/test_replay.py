@@ -1,0 +1,85 @@
+"""Address-trace replay vs. the analytic cache model."""
+
+import pytest
+
+from repro.errors import ShapeError
+from repro.mcu import CacheModel, SetAssociativeCache
+from repro.mcu.replay import (
+    interleaved_refetch_fraction,
+    measured_refetch_fraction,
+    validate_analytic_model,
+)
+from repro.units import kib
+
+
+class TestMeasuredRefetch:
+    def test_fitting_buffer_never_refetches(self):
+        cache = SetAssociativeCache(capacity_bytes=kib(16))
+        assert measured_refetch_fraction(cache, kib(8)) == 0.0
+
+    def test_oversized_buffer_thrashes_completely(self):
+        # A sequential walk larger than an LRU cache always misses on
+        # the second pass.
+        cache = SetAssociativeCache(capacity_bytes=kib(16))
+        assert measured_refetch_fraction(cache, kib(64)) == pytest.approx(
+            1.0
+        )
+
+    def test_validation(self):
+        cache = SetAssociativeCache()
+        with pytest.raises(ShapeError):
+            measured_refetch_fraction(cache, 0)
+
+
+class TestInterleavedRefetch:
+    def test_small_buffer_and_weights_coexist(self):
+        cache = SetAssociativeCache(capacity_bytes=kib(16))
+        refetch = interleaved_refetch_fraction(cache, kib(2), kib(2))
+        assert refetch == 0.0
+
+    def test_large_weights_evict_buffer(self):
+        cache = SetAssociativeCache(capacity_bytes=kib(16))
+        friendly = interleaved_refetch_fraction(cache, kib(4), kib(1))
+        hostile = interleaved_refetch_fraction(cache, kib(4), kib(32))
+        assert hostile > friendly
+
+    def test_validation(self):
+        cache = SetAssociativeCache()
+        with pytest.raises(ShapeError):
+            interleaved_refetch_fraction(cache, 0, kib(1))
+
+
+class TestAnalyticAgreement:
+    def test_model_brackets_simulator(self):
+        """The analytic refetch fraction must agree with the simulator
+        on the three regimes: fits (both 0), far-overflow (both ~1),
+        and monotone growth in between."""
+        model = CacheModel(capacity_bytes=kib(16))
+        working_sets = [
+            int(model.usable_bytes * r)
+            for r in (0.25, 0.5, 0.9, 1.5, 2.5, 5.0, 20.0)
+        ]
+        points = validate_analytic_model(model, working_sets)
+        for point in points:
+            if point.working_set_bytes <= model.usable_bytes:
+                assert point.analytic_refetch == 0.0
+                assert point.simulated_refetch == 0.0
+        far = points[-1]
+        assert far.analytic_refetch > 0.8
+        assert far.simulated_refetch > 0.95
+        analytic = [p.analytic_refetch for p in points]
+        simulated = [p.simulated_refetch for p in points]
+        assert analytic == sorted(analytic)
+        assert simulated == sorted(simulated)
+
+    def test_usable_fraction_is_the_conservative_gap(self):
+        """Between usable_bytes and the raw capacity the analytic model
+        charges refetching while a sequential LRU walk would still fit;
+        that margin stands in for conflict misses and co-resident data,
+        so analytic >= 0 == simulated there."""
+        model = CacheModel(capacity_bytes=kib(16))
+        ws = int((model.usable_bytes + model.capacity_bytes) / 2)
+        points = validate_analytic_model(model, [ws])
+        (point,) = points
+        assert point.simulated_refetch == 0.0
+        assert point.analytic_refetch > 0.0

@@ -1,0 +1,82 @@
+"""Hardware timer: quantization, wrap handling, misuse errors."""
+
+import pytest
+
+from repro.errors import ProfilingError
+from repro.mcu import HardwareTimer, TimerConfig
+from repro.units import MHZ
+
+
+class TestTimerBasics:
+    def test_tick_period(self):
+        timer = HardwareTimer(216 * MHZ, TimerConfig(prescaler=216))
+        assert timer.tick_period_s == pytest.approx(1e-6)
+
+    def test_measure_quantizes_down(self):
+        timer = HardwareTimer(1 * MHZ)  # 1 us ticks
+        measured = timer.measure(10.4e-6)
+        assert measured == pytest.approx(10e-6)
+
+    def test_measure_exact_multiple(self):
+        timer = HardwareTimer(1 * MHZ)
+        assert timer.measure(25e-6) == pytest.approx(25e-6)
+
+    def test_high_clock_gives_fine_resolution(self):
+        timer = HardwareTimer(216 * MHZ)
+        duration = 123.456e-6
+        measured = timer.measure(duration)
+        assert abs(measured - duration) <= timer.tick_period_s
+
+    def test_sequential_measurements(self):
+        timer = HardwareTimer(1 * MHZ)
+        assert timer.measure(5e-6) == pytest.approx(5e-6)
+        assert timer.measure(7e-6) == pytest.approx(7e-6)
+
+
+class TestTimerWrap:
+    def test_16bit_counter_wraps(self):
+        timer = HardwareTimer(1 * MHZ, TimerConfig(counter_bits=16))
+        # Advance near the wrap point, then measure across it.
+        timer.advance(60000e-6)
+        measured = timer.measure(10000e-6)  # crosses 65536 ticks
+        assert measured == pytest.approx(10000e-6)
+
+    def test_max_ticks(self):
+        assert HardwareTimer(1e6, TimerConfig(counter_bits=16)).max_ticks == 65536
+
+
+class TestTimerErrors:
+    def test_stop_before_start(self):
+        with pytest.raises(ProfilingError):
+            HardwareTimer(1e6).stop()
+
+    def test_negative_advance(self):
+        with pytest.raises(ProfilingError):
+            HardwareTimer(1e6).advance(-1.0)
+
+    def test_nonpositive_clock(self):
+        with pytest.raises(ProfilingError):
+            HardwareTimer(0.0)
+
+    def test_bad_prescaler(self):
+        with pytest.raises(ProfilingError):
+            TimerConfig(prescaler=0)
+
+    def test_bad_counter_bits(self):
+        with pytest.raises(ProfilingError):
+            TimerConfig(counter_bits=24)
+
+    def test_negative_duration_rejected(self):
+        timer = HardwareTimer(1e6)
+        with pytest.raises(ProfilingError):
+            timer.ticks_for(-1e-6)
+
+
+class TestBoardIntegration:
+    def test_board_makes_timer_at_current_sysclk(self, board):
+        timer = board.make_timer()
+        assert timer.sysclk_hz == pytest.approx(board.rcc.sysclk_hz)
+
+    def test_board_timer_with_explicit_clock(self, board):
+        timer = board.make_timer(sysclk_hz=216e6)
+        assert timer.sysclk_hz == pytest.approx(216e6)

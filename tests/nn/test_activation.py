@@ -1,0 +1,80 @@
+"""Standalone ReLU layer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn import LayerKind, QuantizedTensor, ReLU
+
+
+def qt(data, scale=0.05, zp=-10):
+    return QuantizedTensor(
+        np.asarray(data, dtype=np.int8), scale=scale, zero_point=zp
+    )
+
+
+class TestReLU:
+    def test_clamps_at_zero_point(self):
+        layer = ReLU("relu")
+        x = qt([-50, -10, 0, 40])
+        out = layer.forward(x)
+        assert out.data.tolist() == [-10, -10, 0, 40]
+
+    def test_relu6_upper_clamp(self):
+        layer = ReLU("relu6", max_value=6.0)
+        # zp=-10, scale=0.05: q(6.0) = -10 + 120 = 110.
+        x = qt([-50, 100, 127])
+        out = layer.forward(x)
+        assert out.data.tolist() == [-10, 100, 110]
+
+    def test_preserves_quantization(self):
+        out = ReLU("relu").forward(qt([1, 2]))
+        assert out.scale == 0.05
+        assert out.zero_point == -10
+
+    def test_shape_identity(self):
+        assert ReLU("relu").output_shape((4, 4, 8)) == (4, 4, 8)
+
+    def test_kind_and_dae(self):
+        layer = ReLU("relu")
+        assert layer.kind is LayerKind.ACTIVATION
+        assert not layer.supports_dae
+
+    def test_bad_max_value(self):
+        with pytest.raises(ShapeError):
+            ReLU("bad", max_value=0.0)
+
+    def test_in_graph(self, tiny_input):
+        from repro.nn import Model
+        from repro.nn.models import INPUT_PARAMS
+
+        model = Model(
+            name="act", input_shape=(16, 16, 3), input_params=INPUT_PARAMS
+        )
+        model.add(ReLU("relu"))
+        out = model.forward(tiny_input)
+        assert out.data.min() >= INPUT_PARAMS.zero_point
+
+
+class TestHotspots:
+    def test_ranked_and_shares_sum(self, board, tiny_model):
+        from repro.analysis import identify_hotspots
+
+        hotspots = identify_hotspots(board, tiny_model)
+        latencies = [h.latency_s for h in hotspots]
+        assert latencies == sorted(latencies, reverse=True)
+        assert sum(h.latency_share for h in hotspots) == pytest.approx(1.0)
+        assert len(hotspots) == len(tiny_model.conv_nodes())
+
+    def test_top_k(self, board, tiny_model):
+        from repro.analysis import identify_hotspots
+
+        top = identify_hotspots(board, tiny_model, top_k=3)
+        assert len(top) == 3
+
+    def test_dae_flag_present(self, board, tiny_model):
+        from repro.analysis import identify_hotspots
+
+        hotspots = identify_hotspots(board, tiny_model)
+        assert any(h.supports_dae for h in hotspots)
+        assert any(not h.supports_dae for h in hotspots)

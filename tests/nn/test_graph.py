@@ -1,0 +1,132 @@
+"""Model graph: construction validation, execution, introspection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.nn import (
+    Flatten,
+    GlobalAveragePool,
+    INPUT_ID,
+    Model,
+    QuantizedTensor,
+    ResidualAdd,
+)
+from repro.nn.models import INPUT_PARAMS, _Builder
+from repro.nn.quantize import QuantParams
+
+
+def empty_model():
+    return Model(
+        name="m", input_shape=(8, 8, 3), input_params=INPUT_PARAMS
+    )
+
+
+class TestConstruction:
+    def test_sequential_default_wiring(self):
+        b = _Builder("m", (8, 8, 3), seed=0)
+        first = b.conv(4)
+        second = b.dw()
+        model = b.model
+        assert model.nodes[0].inputs == (INPUT_ID,)
+        assert model.nodes[1].inputs == (first,)
+        assert second == 2
+
+    def test_dangling_reference_rejected(self):
+        model = empty_model()
+        with pytest.raises(GraphError):
+            model.add(Flatten("f"), inputs=(5,))
+
+    def test_duplicate_names_rejected(self):
+        model = empty_model()
+        model.add(Flatten("f"), inputs=(0,))
+        with pytest.raises(GraphError):
+            model.add(Flatten("f"), inputs=(0,))
+
+    def test_shape_inference_at_add_time(self):
+        b = _Builder("m", (8, 8, 3), seed=0)
+        b.conv(4, stride=2)
+        assert b.model.shape_of(1) == (4, 4, 4)
+
+    def test_bad_input_shape_rejected(self):
+        with pytest.raises(GraphError):
+            Model(name="m", input_shape=(0, 8, 3), input_params=INPUT_PARAMS)
+
+    def test_shape_of_unknown_node(self):
+        with pytest.raises(GraphError):
+            empty_model().shape_of(3)
+
+
+class TestResidualWiring:
+    def test_skip_connection(self):
+        b = _Builder("m", (8, 8, 3), seed=0)
+        b.conv(8)
+        block_in = b.last_id
+        b.pw(8, activation=None)
+        add_id = b.residual_add(block_in, b.last_id)
+        node = b.model.nodes[add_id - 1]
+        assert len(node.inputs) == 2
+        assert node.output_shape == (8, 8, 8)
+
+
+class TestExecution:
+    def test_forward_returns_final_output(self, tiny_model, tiny_input):
+        out = tiny_model.forward(tiny_input)
+        assert out.shape == tiny_model.output_shape
+
+    def test_forward_with_activations_covers_all_nodes(
+        self, tiny_model, tiny_input
+    ):
+        acts = tiny_model.forward_with_activations(tiny_input)
+        assert set(acts) == set(range(len(tiny_model.nodes) + 1))
+
+    def test_wrong_input_shape_rejected(self, tiny_model):
+        bad = QuantizedTensor(
+            np.zeros((8, 8, 3), dtype=np.int8),
+            INPUT_PARAMS.scale,
+            INPUT_PARAMS.zero_point,
+        )
+        with pytest.raises(GraphError):
+            tiny_model.forward(bad)
+
+    def test_wrong_input_quantization_rejected(self, tiny_model):
+        bad = QuantizedTensor(
+            np.zeros((16, 16, 3), dtype=np.int8), 0.5, 0
+        )
+        with pytest.raises(GraphError):
+            tiny_model.forward(bad)
+
+    def test_deterministic(self, tiny_model, tiny_input):
+        a = tiny_model.forward(tiny_input)
+        b = tiny_model.forward(tiny_input)
+        assert np.array_equal(a.data, b.data)
+
+
+class TestIntrospection:
+    def test_conv_nodes_excludes_structure_layers(self, tiny_model):
+        kinds = {n.layer.kind.value for n in tiny_model.conv_nodes()}
+        assert "avg_pool" not in kinds
+        assert "flatten" not in kinds
+
+    def test_dae_nodes_subset_of_conv_nodes(self, tiny_model):
+        conv_ids = {n.node_id for n in tiny_model.conv_nodes()}
+        for node in tiny_model.dae_nodes():
+            assert node.node_id in conv_ids
+            assert node.layer.supports_dae
+
+    def test_total_macs_positive(self, tiny_model):
+        assert tiny_model.total_macs() > 0
+
+    def test_total_weight_bytes_counts_all_params(self, tiny_model):
+        expected = sum(
+            n.layer.weight_bytes() for n in tiny_model.nodes
+        )
+        assert tiny_model.total_weight_bytes() == expected
+
+    def test_summary_mentions_every_layer(self, tiny_model):
+        text = tiny_model.summary()
+        for node in tiny_model.nodes:
+            assert node.layer.name in text
+
+    def test_output_shape_of_empty_model(self):
+        assert empty_model().output_shape == (8, 8, 3)

@@ -1,0 +1,168 @@
+"""Conv2D: shapes, numerics vs. a float reference, cost hooks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn import Conv2D, LayerKind, QuantizedTensor
+from repro.nn.quantize import QuantParams
+
+IN_PARAMS = QuantParams(scale=0.05, zero_point=3)
+OUT_PARAMS = QuantParams(scale=0.1, zero_point=-4)
+
+
+def make_conv(kernel=3, c_in=3, c_out=8, stride=1, padding="same",
+              activation=None, seed=0):
+    rng = np.random.default_rng(seed)
+    return Conv2D(
+        name="conv",
+        weights=rng.normal(0, 0.3, size=(kernel, kernel, c_in, c_out)),
+        bias=rng.normal(0, 0.1, size=c_out),
+        input_params=IN_PARAMS,
+        output_params=OUT_PARAMS,
+        stride=stride,
+        padding=padding,
+        activation=activation,
+    )
+
+
+def make_input(h=8, w=8, c=3, seed=1):
+    rng = np.random.default_rng(seed)
+    return QuantizedTensor(
+        data=rng.integers(-128, 128, size=(h, w, c)).astype(np.int8),
+        scale=IN_PARAMS.scale,
+        zero_point=IN_PARAMS.zero_point,
+    )
+
+
+def float_conv_reference(layer, x):
+    """Dequantized reference using the layer's quantized weights."""
+    x_real = x.dequantize()
+    w_real = layer.weights_q.astype(np.float64) * layer.weight_scale
+    bias_real = (
+        layer.bias_q.astype(np.float64)
+        * layer.input_params.scale
+        * layer.weight_scale
+    )
+    out_h, out_w, c_out = layer.output_shape(x.shape)
+    k, s = layer.kernel, layer.stride
+    if layer.padding == "same":
+        from repro.nn.layers.convutils import same_padding_amounts
+
+        top, bottom = same_padding_amounts(x_real.shape[0], k, s)
+        left, right = same_padding_amounts(x_real.shape[1], k, s)
+        x_real = np.pad(
+            x_real, ((top, bottom), (left, right), (0, 0))
+        )
+    out = np.zeros((out_h, out_w, c_out))
+    for i in range(out_h):
+        for j in range(out_w):
+            patch = x_real[i * s:i * s + k, j * s:j * s + k, :]
+            out[i, j, :] = (
+                np.tensordot(patch, w_real, axes=([0, 1, 2], [0, 1, 2]))
+                + bias_real
+            )
+    # Clip to the representable output range (int8 saturation).
+    zp, scale = OUT_PARAMS.zero_point, OUT_PARAMS.scale
+    return np.clip(out, (-128 - zp) * scale, (127 - zp) * scale)
+
+
+class TestShapes:
+    def test_same_padding_preserves_hw(self):
+        conv = make_conv()
+        assert conv.output_shape((8, 8, 3)) == (8, 8, 8)
+
+    def test_valid_padding_shrinks(self):
+        conv = make_conv(padding="valid")
+        assert conv.output_shape((8, 8, 3)) == (6, 6, 8)
+
+    def test_stride_two(self):
+        conv = make_conv(stride=2)
+        assert conv.output_shape((8, 8, 3)) == (4, 4, 8)
+        conv = make_conv(stride=2)
+        assert conv.output_shape((9, 9, 3)) == (5, 5, 8)
+
+    def test_channel_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            make_conv(c_in=3).output_shape((8, 8, 4))
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            make_conv().output_shape((8, 8))
+
+    def test_non_square_kernel_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ShapeError):
+            Conv2D(
+                "bad", rng.normal(size=(3, 5, 3, 4)), None,
+                IN_PARAMS, OUT_PARAMS,
+            )
+
+    def test_bias_shape_checked(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ShapeError):
+            Conv2D(
+                "bad", rng.normal(size=(3, 3, 3, 4)), np.zeros(5),
+                IN_PARAMS, OUT_PARAMS,
+            )
+
+
+class TestNumerics:
+    def test_matches_float_reference_within_one_lsb(self):
+        conv = make_conv()
+        x = make_input()
+        out = conv.forward(x)
+        expected = float_conv_reference(conv, x)
+        error = np.abs(out.dequantize() - expected)
+        assert error.max() <= OUT_PARAMS.scale * 1.01
+
+    def test_stride_and_valid_padding_numerics(self):
+        conv = make_conv(stride=2, padding="valid")
+        x = make_input(9, 9)
+        out = conv.forward(x)
+        expected = float_conv_reference(conv, x)
+        assert np.abs(out.dequantize() - expected).max() <= OUT_PARAMS.scale * 1.01
+
+    def test_relu_clamps_at_zero_point(self):
+        conv = make_conv(activation="relu", seed=3)
+        out = conv.forward(make_input(seed=4))
+        assert out.data.min() >= OUT_PARAMS.zero_point
+
+    def test_relu6_upper_clamp(self):
+        conv = make_conv(activation="relu6", seed=5)
+        out = conv.forward(make_input(seed=6))
+        upper = OUT_PARAMS.zero_point + round(6.0 / OUT_PARAMS.scale)
+        assert out.data.max() <= min(127, upper)
+
+    def test_deterministic(self):
+        conv = make_conv()
+        x = make_input()
+        a = conv.forward(x)
+        b = conv.forward(x)
+        assert np.array_equal(a.data, b.data)
+
+    def test_output_quantization_params(self):
+        out = make_conv().forward(make_input())
+        assert out.scale == OUT_PARAMS.scale
+        assert out.zero_point == OUT_PARAMS.zero_point
+
+
+class TestCostHooks:
+    def test_macs(self):
+        conv = make_conv()
+        # 8*8 positions * 3*3 kernel * 3 in * 8 out
+        assert conv.macs((8, 8, 3)) == 8 * 8 * 9 * 3 * 8
+
+    def test_weight_bytes(self):
+        conv = make_conv()
+        assert conv.weight_bytes() == 3 * 3 * 3 * 8 + 4 * 8
+
+    def test_kind_and_dae_eligibility(self):
+        conv = make_conv()
+        assert conv.kind is LayerKind.CONV2D
+        assert not conv.supports_dae
+
+    def test_io_bytes(self):
+        conv = make_conv()
+        assert conv.input_bytes((8, 8, 3)) == 192
+        assert conv.output_bytes((8, 8, 3)) == 8 * 8 * 8

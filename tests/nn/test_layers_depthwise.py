@@ -1,0 +1,121 @@
+"""Depthwise conv: numerics, per-channel-group kernel, DAE equality."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ShapeError
+from repro.nn import DepthwiseConv2D, LayerKind, QuantizedTensor
+from repro.nn.quantize import QuantParams
+
+IN_PARAMS = QuantParams(scale=0.04, zero_point=-5)
+OUT_PARAMS = QuantParams(scale=0.08, zero_point=2)
+
+
+def make_dw(kernel=3, channels=8, stride=1, padding="same", seed=0,
+            activation="relu6"):
+    rng = np.random.default_rng(seed)
+    return DepthwiseConv2D(
+        name="dw",
+        weights=rng.normal(0, 0.4, size=(kernel, kernel, channels)),
+        bias=rng.normal(0, 0.1, size=channels),
+        input_params=IN_PARAMS,
+        output_params=OUT_PARAMS,
+        stride=stride,
+        padding=padding,
+        activation=activation,
+    )
+
+
+def make_input(h=8, w=8, c=8, seed=1):
+    rng = np.random.default_rng(seed)
+    return QuantizedTensor(
+        data=rng.integers(-128, 128, size=(h, w, c)).astype(np.int8),
+        scale=IN_PARAMS.scale,
+        zero_point=IN_PARAMS.zero_point,
+    )
+
+
+class TestShapes:
+    def test_same_padding(self):
+        assert make_dw().output_shape((8, 8, 8)) == (8, 8, 8)
+
+    def test_stride(self):
+        assert make_dw(stride=2).output_shape((8, 8, 8)) == (4, 4, 8)
+
+    def test_channel_count_enforced(self):
+        with pytest.raises(ShapeError):
+            make_dw(channels=8).output_shape((8, 8, 4))
+
+    def test_weights_rank_enforced(self):
+        with pytest.raises(ShapeError):
+            DepthwiseConv2D(
+                "bad", np.zeros((3, 3, 4, 2)), None, IN_PARAMS, OUT_PARAMS
+            )
+
+    def test_kind(self):
+        layer = make_dw()
+        assert layer.kind is LayerKind.DEPTHWISE_CONV
+        assert layer.supports_dae
+
+    def test_macs(self):
+        assert make_dw().macs((8, 8, 8)) == 8 * 8 * 9 * 8
+
+
+class TestChannelIndependence:
+    def test_each_channel_depends_only_on_itself(self):
+        layer = make_dw(channels=4)
+        x = make_input(c=4)
+        baseline = layer.forward(x)
+        # Perturb channel 0; only output channel 0 may change.
+        perturbed_data = x.data.copy()
+        perturbed_data[:, :, 0] = np.roll(perturbed_data[:, :, 0], 1)
+        perturbed = x.with_data(perturbed_data)
+        out = layer.forward(perturbed)
+        assert np.array_equal(out.data[:, :, 1:], baseline.data[:, :, 1:])
+        assert not np.array_equal(out.data[:, :, 0], baseline.data[:, :, 0])
+
+
+class TestForwardChannels:
+    def test_single_channel_matches_full(self):
+        layer = make_dw()
+        x = make_input()
+        full = layer.forward(x)
+        for c in range(8):
+            group = layer.forward_channels(x, [c])
+            assert np.array_equal(group[:, :, 0], full.data[:, :, c])
+
+    def test_group_matches_full(self):
+        layer = make_dw()
+        x = make_input()
+        full = layer.forward(x)
+        group = layer.forward_channels(x, [2, 5, 7])
+        assert np.array_equal(group, full.data[:, :, [2, 5, 7]])
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ShapeError):
+            make_dw().forward_channels(make_input(), [])
+
+    def test_out_of_range_channel_rejected(self):
+        with pytest.raises(ShapeError):
+            make_dw().forward_channels(make_input(), [8])
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        channels=st.integers(min_value=1, max_value=12),
+        g=st.integers(min_value=1, max_value=16),
+        stride=st.sampled_from([1, 2]),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_dae_grouping_bit_exact_property(self, channels, g, stride, seed):
+        """Property (paper Sec. III-A): any grouping of channels is
+        bit-identical to the reference execution."""
+        layer = make_dw(channels=channels, stride=stride, seed=seed)
+        x = make_input(h=6, w=6, c=channels, seed=seed + 1)
+        full = layer.forward(x)
+        pieces = []
+        for start in range(0, channels, g):
+            idx = list(range(start, min(start + g, channels)))
+            pieces.append(layer.forward_channels(x, idx))
+        stitched = np.concatenate(pieces, axis=2)
+        assert np.array_equal(stitched, full.data)

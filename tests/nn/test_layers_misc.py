@@ -1,0 +1,163 @@
+"""Dense, pooling, residual add, flatten."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn import (
+    Dense,
+    Flatten,
+    GlobalAveragePool,
+    LayerKind,
+    MaxPool2D,
+    QuantizedTensor,
+    ResidualAdd,
+)
+from repro.nn.quantize import QuantParams
+
+IN_PARAMS = QuantParams(scale=0.05, zero_point=0)
+OUT_PARAMS = QuantParams(scale=0.1, zero_point=0)
+
+
+def qt(data, scale=0.05, zp=0):
+    return QuantizedTensor(
+        data=np.asarray(data, dtype=np.int8), scale=scale, zero_point=zp
+    )
+
+
+class TestDense:
+    def make(self, in_features=12, out_features=4, seed=0):
+        rng = np.random.default_rng(seed)
+        return Dense(
+            name="fc",
+            weights=rng.normal(0, 0.3, size=(in_features, out_features)),
+            bias=rng.normal(0, 0.1, size=out_features),
+            input_params=IN_PARAMS,
+            output_params=OUT_PARAMS,
+        )
+
+    def test_flattens_any_input_shape(self):
+        layer = self.make()
+        assert layer.output_shape((2, 2, 3)) == (4,)
+        assert layer.output_shape((12,)) == (4,)
+
+    def test_feature_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            self.make().output_shape((5, 5, 1))
+
+    def test_numerics_match_float(self):
+        layer = self.make()
+        rng = np.random.default_rng(1)
+        x = qt(rng.integers(-128, 128, size=(12,)))
+        out = layer.forward(x)
+        w_real = layer.weights_q.astype(np.float64) * layer.weight_scale
+        b_real = (
+            layer.bias_q.astype(np.float64)
+            * IN_PARAMS.scale * layer.weight_scale
+        )
+        expected = x.dequantize() @ w_real + b_real
+        assert np.abs(out.dequantize() - expected).max() <= OUT_PARAMS.scale * 1.01
+
+    def test_macs_and_kind(self):
+        layer = self.make()
+        assert layer.macs((12,)) == 48
+        assert layer.kind is LayerKind.DENSE
+        assert not layer.supports_dae
+
+
+class TestGlobalAveragePool:
+    def test_shape(self):
+        assert GlobalAveragePool("gap").output_shape((7, 5, 16)) == (1, 1, 16)
+
+    def test_mean_rounded_half_away(self):
+        layer = GlobalAveragePool("gap")
+        data = np.zeros((2, 2, 2), dtype=np.int8)
+        data[:, :, 0] = [[1, 2], [1, 2]]      # mean 1.5 -> 2
+        data[:, :, 1] = [[-1, -2], [-1, -2]]  # mean -1.5 -> -2
+        out = layer.forward(qt(data))
+        assert out.data[0, 0, 0] == 2
+        assert out.data[0, 0, 1] == -2
+
+    def test_keeps_quantization_params(self):
+        out = GlobalAveragePool("gap").forward(qt(np.ones((2, 2, 3)), 0.07, 9))
+        assert out.scale == 0.07
+        assert out.zero_point == 9
+
+    def test_no_macs(self):
+        assert GlobalAveragePool("gap").macs((4, 4, 8)) == 0
+
+
+class TestMaxPool:
+    def test_shape_and_values(self):
+        layer = MaxPool2D("mp", pool=2)
+        data = np.arange(16, dtype=np.int8).reshape(4, 4, 1)
+        out = layer.forward(qt(data))
+        assert out.shape == (2, 2, 1)
+        assert out.data[:, :, 0].tolist() == [[5, 7], [13, 15]]
+
+    def test_indivisible_input_rejected(self):
+        with pytest.raises(ShapeError):
+            MaxPool2D("mp", pool=2).output_shape((5, 4, 1))
+
+    def test_bad_pool_size(self):
+        with pytest.raises(ShapeError):
+            MaxPool2D("mp", pool=0)
+
+
+class TestResidualAdd:
+    def make(self, sa=0.05, sb=0.05, so=0.05):
+        return ResidualAdd(
+            name="add",
+            a_params=QuantParams(scale=sa, zero_point=0),
+            b_params=QuantParams(scale=sb, zero_point=0),
+            output_params=QuantParams(scale=so, zero_point=0),
+        )
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            self.make().output_shape((2, 2, 3), (2, 2, 4))
+
+    def test_same_scale_addition(self):
+        layer = self.make()
+        a = qt(np.full((2, 2, 1), 10))
+        b = qt(np.full((2, 2, 1), 5))
+        out = layer.forward(a, b)
+        assert np.all(out.data == 15)
+
+    def test_rescaling_addition(self):
+        # a at scale 0.1, b at scale 0.05, out at 0.1:
+        # real = 10*0.1 + 20*0.05 = 2.0 -> q = 20 at scale 0.1.
+        layer = self.make(sa=0.1, sb=0.05, so=0.1)
+        a = qt(np.full((1, 1, 1), 10), 0.1)
+        b = qt(np.full((1, 1, 1), 20), 0.05)
+        out = layer.forward(a, b)
+        assert out.data[0, 0, 0] == 20
+
+    def test_negative_values(self):
+        layer = self.make()
+        a = qt(np.full((1, 1, 1), -30))
+        b = qt(np.full((1, 1, 1), 10))
+        assert layer.forward(a, b).data[0, 0, 0] == -20
+
+    def test_saturation(self):
+        layer = self.make()
+        a = qt(np.full((1, 1, 1), 120))
+        b = qt(np.full((1, 1, 1), 120))
+        assert layer.forward(a, b).data[0, 0, 0] == 127
+
+    def test_kind(self):
+        layer = self.make()
+        assert layer.kind is LayerKind.ADD
+        assert not layer.supports_dae
+
+
+class TestFlatten:
+    def test_shape_and_data(self):
+        layer = Flatten("flat")
+        x = qt(np.arange(12).reshape(2, 2, 3))
+        out = layer.forward(x)
+        assert out.shape == (12,)
+        assert np.array_equal(out.data, np.arange(12, dtype=np.int8))
+
+    def test_kind(self):
+        assert Flatten("flat").kind is LayerKind.FLATTEN

@@ -1,0 +1,131 @@
+"""Pointwise conv: numerics, per-column-group kernel, DAE equality."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ShapeError
+from repro.nn import LayerKind, PointwiseConv2D, QuantizedTensor
+from repro.nn.quantize import QuantParams
+
+IN_PARAMS = QuantParams(scale=0.03, zero_point=7)
+OUT_PARAMS = QuantParams(scale=0.06, zero_point=-1)
+
+
+def make_pw(c_in=6, c_out=10, seed=0, activation="relu6"):
+    rng = np.random.default_rng(seed)
+    return PointwiseConv2D(
+        name="pw",
+        weights=rng.normal(0, 0.3, size=(c_in, c_out)),
+        bias=rng.normal(0, 0.1, size=c_out),
+        input_params=IN_PARAMS,
+        output_params=OUT_PARAMS,
+        activation=activation,
+    )
+
+
+def make_input(h=5, w=7, c=6, seed=1):
+    rng = np.random.default_rng(seed)
+    return QuantizedTensor(
+        data=rng.integers(-128, 128, size=(h, w, c)).astype(np.int8),
+        scale=IN_PARAMS.scale,
+        zero_point=IN_PARAMS.zero_point,
+    )
+
+
+class TestShapes:
+    def test_preserves_spatial_dims(self):
+        assert make_pw().output_shape((5, 7, 6)) == (5, 7, 10)
+
+    def test_channel_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            make_pw().output_shape((5, 7, 4))
+
+    def test_weights_rank_enforced(self):
+        with pytest.raises(ShapeError):
+            PointwiseConv2D(
+                "bad", np.zeros((3, 3, 6, 10)), None, IN_PARAMS, OUT_PARAMS
+            )
+
+    def test_kind_and_dae(self):
+        layer = make_pw()
+        assert layer.kind is LayerKind.POINTWISE_CONV
+        assert layer.supports_dae
+
+    def test_macs(self):
+        assert make_pw().macs((5, 7, 6)) == 5 * 7 * 6 * 10
+
+    def test_weight_bytes(self):
+        assert make_pw().weight_bytes() == 6 * 10 + 4 * 10
+
+
+class TestNumerics:
+    def test_equivalent_to_1x1_matmul_reference(self):
+        layer = make_pw(activation=None)
+        x = make_input()
+        out = layer.forward(x)
+        x_real = x.dequantize().reshape(-1, 6)
+        w_real = layer.weights_q.astype(np.float64) * layer.weight_scale
+        b_real = (
+            layer.bias_q.astype(np.float64)
+            * IN_PARAMS.scale * layer.weight_scale
+        )
+        expected = (x_real @ w_real + b_real).reshape(5, 7, 10)
+        assert np.abs(out.dequantize() - expected).max() <= OUT_PARAMS.scale * 1.01
+
+    def test_column_independence(self):
+        layer = make_pw()
+        x = make_input()
+        baseline = layer.forward(x)
+        perturbed_data = x.data.copy()
+        perturbed_data[0, 0, :] = np.roll(perturbed_data[0, 0, :], 1)
+        out = layer.forward(x.with_data(perturbed_data))
+        # Only position (0, 0) may differ.
+        assert np.array_equal(out.data[1:, :, :], baseline.data[1:, :, :])
+        assert np.array_equal(out.data[0, 1:, :], baseline.data[0, 1:, :])
+
+
+class TestForwardColumns:
+    def test_single_column_matches_full(self):
+        layer = make_pw()
+        x = make_input()
+        full = layer.forward(x).data.reshape(-1, 10)
+        for col in (0, 17, 34):
+            out = layer.forward_columns(x, [col])
+            assert np.array_equal(out[0], full[col])
+
+    def test_column_group_matches_full(self):
+        layer = make_pw()
+        x = make_input()
+        full = layer.forward(x).data.reshape(-1, 10)
+        idx = [3, 11, 19, 27]
+        assert np.array_equal(layer.forward_columns(x, idx), full[idx])
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ShapeError):
+            make_pw().forward_columns(make_input(), [])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ShapeError):
+            make_pw().forward_columns(make_input(), [5 * 7])
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        h=st.integers(min_value=1, max_value=6),
+        w=st.integers(min_value=1, max_value=6),
+        g=st.integers(min_value=1, max_value=16),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_dae_grouping_bit_exact_property(self, h, w, g, seed):
+        """Property: per-column-group execution in any granularity is
+        bit-identical to the reference (paper: no accuracy drop)."""
+        layer = make_pw(seed=seed)
+        x = make_input(h=h, w=w, seed=seed + 1)
+        full = layer.forward(x).data.reshape(-1, 10)
+        positions = h * w
+        pieces = []
+        for start in range(0, positions, g):
+            idx = list(range(start, min(start + g, positions)))
+            pieces.append(layer.forward_columns(x, idx))
+        stitched = np.concatenate(pieces, axis=0)
+        assert np.array_equal(stitched, full)

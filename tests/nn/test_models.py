@@ -1,0 +1,109 @@
+"""The paper's evaluation models: structure, scale, reproducibility."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    PAPER_MODELS,
+    QuantizedTensor,
+    build_mbv2,
+    build_person_detection,
+    build_tiny_test_model,
+    build_vww,
+    scale_channels,
+)
+from repro.nn.models import INPUT_PARAMS
+
+
+def run_model(model):
+    rng = np.random.default_rng(0)
+    h, w, c = model.input_shape
+    x = QuantizedTensor(
+        rng.integers(-128, 128, size=(h, w, c)).astype(np.int8),
+        INPUT_PARAMS.scale,
+        INPUT_PARAMS.zero_point,
+    )
+    return model.forward(x)
+
+
+class TestScaleChannels:
+    def test_multiples_of_eight(self):
+        assert scale_channels(32, 0.35) % 8 == 0
+
+    def test_minimum_eight(self):
+        assert scale_channels(16, 0.1) == 8
+
+    def test_identity_at_full_width(self):
+        assert scale_channels(32, 1.0) == 32
+
+
+class TestPaperModels:
+    @pytest.mark.parametrize("name", ["vww", "pd", "mbv2"])
+    def test_registry_builds(self, name):
+        model = PAPER_MODELS[name]()
+        assert model.name == name
+        assert len(model.nodes) > 10
+
+    def test_dae_layer_share_above_80_percent(self):
+        # Paper Sec. III-A: DW+PW make up over 80% of the layers of
+        # deep lightweight CNNs.
+        for build in (build_vww, build_person_detection, build_mbv2):
+            assert build().dae_layer_fraction() > 0.8
+
+    def test_mbv2_is_deepest(self):
+        assert len(build_mbv2().conv_nodes()) > len(build_vww().conv_nodes())
+        assert len(build_mbv2().conv_nodes()) > len(
+            build_person_detection().conv_nodes()
+        )
+
+    def test_mbv2_has_residual_adds(self):
+        kinds = [n.layer.kind.value for n in build_mbv2().nodes]
+        assert "add" in kinds
+
+    def test_pd_is_mbv1_style_no_residuals(self):
+        kinds = [n.layer.kind.value for n in build_person_detection().nodes]
+        assert "add" not in kinds
+
+    @pytest.mark.parametrize(
+        "build,classes",
+        [(build_vww, 2), (build_person_detection, 2), (build_mbv2, 1000)],
+    )
+    def test_output_classes(self, build, classes):
+        model = build()
+        assert model.output_shape == (classes,)
+
+    def test_macs_in_tinyml_range(self):
+        # MCUNet-scale models run single-digit-to-tens of MMACs.
+        for build in (build_vww, build_person_detection, build_mbv2):
+            mmacs = build().total_macs() / 1e6
+            assert 1 < mmacs < 100
+
+    def test_weights_fit_mcu_flash(self):
+        for build in (build_vww, build_person_detection, build_mbv2):
+            assert build().total_weight_bytes() < 2 * 1024 * 1024
+
+    def test_builders_deterministic(self):
+        a, b = build_vww(), build_vww()
+        out_a, out_b = run_model(a), run_model(b)
+        assert np.array_equal(out_a.data, out_b.data)
+
+    def test_different_seeds_differ(self):
+        a = build_vww(seed=1)
+        b = build_vww(seed=2)
+        assert not np.array_equal(run_model(a).data, run_model(b).data)
+
+    @pytest.mark.parametrize("build", [build_vww, build_person_detection])
+    def test_end_to_end_inference(self, build):
+        out = run_model(build())
+        assert out.shape == (2,)
+
+    def test_width_multiplier_changes_channels(self):
+        narrow = build_mbv2(width_mult=0.2)
+        wide = build_mbv2(width_mult=0.5)
+        assert wide.total_weight_bytes() > narrow.total_weight_bytes()
+
+    def test_tiny_model_fast_path(self):
+        model = build_tiny_test_model()
+        out = run_model(model)
+        assert out.shape == (4,)
+        assert len(model.dae_nodes()) >= 4

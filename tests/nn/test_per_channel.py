@@ -1,0 +1,177 @@
+"""Per-channel weight quantization (TFLite's production scheme)."""
+
+import numpy as np
+import pytest
+
+from repro.engine import run_depthwise_dae, run_pointwise_dae
+from repro.engine.kernels import depthwise_conv_scalar, pointwise_conv_scalar
+from repro.nn import (
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    PointwiseConv2D,
+    QuantizedTensor,
+)
+from repro.nn.quantize import QuantParams
+
+IN_PARAMS = QuantParams(scale=0.04, zero_point=-3)
+OUT_PARAMS = QuantParams(scale=0.09, zero_point=5)
+
+
+def imbalanced_weights(rng, shape):
+    """Weights whose per-channel magnitudes differ wildly -- the case
+    per-channel quantization exists for."""
+    w = rng.normal(0, 0.3, size=shape)
+    scales = np.logspace(-2, 0.5, shape[-1])
+    return w * scales
+
+
+def make_x(h=6, w=5, c=6, seed=1):
+    rng = np.random.default_rng(seed)
+    return QuantizedTensor(
+        rng.integers(-128, 128, (h, w, c)).astype(np.int8),
+        IN_PARAMS.scale, IN_PARAMS.zero_point,
+    )
+
+
+class TestAccuracyImprovement:
+    def test_per_channel_reduces_weight_error(self):
+        rng = np.random.default_rng(0)
+        weights = imbalanced_weights(rng, (3, 3, 6, 8))
+
+        def reconstruction_error(per_channel):
+            layer = Conv2D(
+                "c", weights, None, IN_PARAMS, OUT_PARAMS,
+                per_channel=per_channel,
+            )
+            reconstructed = layer.weights_q.astype(np.float64) * np.asarray(
+                layer.weight_scale
+            )
+            return np.abs(reconstructed - weights).max()
+
+        assert reconstruction_error(True) < reconstruction_error(False)
+
+    def test_per_channel_scales_shape(self):
+        rng = np.random.default_rng(0)
+        layer = PointwiseConv2D(
+            "pw", rng.normal(0, 0.3, (6, 8)), None, IN_PARAMS, OUT_PARAMS,
+            per_channel=True,
+        )
+        assert np.asarray(layer.weight_scale).shape == (8,)
+        assert layer.requant.is_per_channel
+
+
+class TestBitExactness:
+    def test_depthwise_dae_per_channel(self):
+        rng = np.random.default_rng(2)
+        layer = DepthwiseConv2D(
+            "dw", imbalanced_weights(rng, (3, 3, 6)),
+            rng.normal(0, 0.1, 6), IN_PARAMS, OUT_PARAMS,
+            per_channel=True,
+        )
+        x = make_x()
+        reference = layer.forward(x)
+        for g in (1, 2, 4, 6):
+            assert np.array_equal(
+                run_depthwise_dae(layer, x, g).data, reference.data
+            )
+
+    def test_pointwise_dae_per_channel(self):
+        rng = np.random.default_rng(3)
+        layer = PointwiseConv2D(
+            "pw", imbalanced_weights(rng, (6, 8)),
+            rng.normal(0, 0.1, 8), IN_PARAMS, OUT_PARAMS,
+            per_channel=True,
+        )
+        x = make_x()
+        reference = layer.forward(x)
+        for g in (1, 4, 16):
+            assert np.array_equal(
+                run_pointwise_dae(layer, x, g).data, reference.data
+            )
+
+    def test_scalar_kernels_per_channel(self):
+        rng = np.random.default_rng(4)
+        dw = DepthwiseConv2D(
+            "dw", imbalanced_weights(rng, (3, 3, 6)), None,
+            IN_PARAMS, OUT_PARAMS, per_channel=True,
+        )
+        pw = PointwiseConv2D(
+            "pw", imbalanced_weights(rng, (6, 8)), None,
+            IN_PARAMS, OUT_PARAMS, per_channel=True,
+        )
+        x = make_x()
+        assert np.array_equal(
+            depthwise_conv_scalar(dw, x), dw.forward(x).data
+        )
+        assert np.array_equal(
+            pointwise_conv_scalar(pw, x), pw.forward(x).data
+        )
+
+    def test_dense_per_channel(self):
+        rng = np.random.default_rng(5)
+        layer = Dense(
+            "fc", imbalanced_weights(rng, (12, 4)),
+            rng.normal(0, 0.1, 4), IN_PARAMS, OUT_PARAMS,
+            per_channel=True,
+        )
+        x = QuantizedTensor(
+            rng.integers(-128, 128, (12,)).astype(np.int8),
+            IN_PARAMS.scale, IN_PARAMS.zero_point,
+        )
+        out = layer.forward(x)
+        # Per-channel result is closer to the float reference.
+        w_real = layer.weights_q.astype(np.float64) * np.asarray(
+            layer.weight_scale
+        )
+        b_real = (
+            layer.bias_q.astype(np.float64)
+            * IN_PARAMS.scale * np.asarray(layer.weight_scale)
+        )
+        expected = x.dequantize() @ w_real + b_real
+        zp, scale = OUT_PARAMS.zero_point, OUT_PARAMS.scale
+        expected = np.clip(expected, (-128 - zp) * scale, (127 - zp) * scale)
+        assert np.abs(out.dequantize() - expected).max() <= scale * 1.01
+
+
+class TestEndToEnd:
+    def test_per_channel_model_pipeline(self, board):
+        from repro import DAEDVFSPipeline
+        from repro.engine import validate_plan_numerics
+        from repro.nn.models import _Builder
+        from repro.optimize import MODERATE
+
+        b = _Builder("pc", (12, 12, 3), seed=9, per_channel=True)
+        b.conv(8, stride=2)
+        b.separable(16, stride=1)
+        b.global_pool()
+        b.flatten()
+        b.dense(4)
+        model = b.model
+        pipeline = DAEDVFSPipeline(board=board)
+        plan = pipeline.optimize(model, qos_level=MODERATE).plan
+        assert validate_plan_numerics(model, plan.granularities())
+
+    def test_per_channel_serialization_round_trip(self, tmp_path):
+        from repro.nn import load_model, save_model
+        from repro.nn.models import _Builder
+
+        b = _Builder("pc", (12, 12, 3), seed=9, per_channel=True)
+        b.conv(8, stride=2)
+        b.separable(16, stride=1)
+        b.global_pool()
+        b.flatten()
+        b.dense(4)
+        model = b.model
+        path = tmp_path / "pc.npz"
+        save_model(model, path)
+        restored = load_model(path)
+        rng = np.random.default_rng(0)
+        x = QuantizedTensor(
+            rng.integers(-128, 128, (12, 12, 3)).astype(np.int8),
+            model.input_params.scale, model.input_params.zero_point,
+        )
+        assert np.array_equal(
+            model.forward(x).data, restored.forward(x).data
+        )
+        assert restored.nodes[0].layer.per_channel

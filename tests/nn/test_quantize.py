@@ -1,0 +1,156 @@
+"""Quantization math: qparams, round trips, fixed-point requantization."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import QuantizationError
+from repro.nn import (
+    choose_qparams,
+    quantize_array,
+    quantize_multiplier,
+    quantize_tensor,
+    requantize,
+)
+from repro.nn.quantize import QuantParams, dequantize_error
+
+
+class TestChooseQParams:
+    def test_range_covers_zero(self):
+        params = choose_qparams(2.0, 6.0)
+        # Zero must be exactly representable (padding correctness).
+        zero_q = round(-0.0 / params.scale) + params.zero_point
+        assert -128 <= zero_q <= 127
+
+    def test_symmetric_zero_point_is_zero(self):
+        params = choose_qparams(-3.0, 5.0, symmetric=True)
+        assert params.zero_point == 0
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(QuantizationError):
+            choose_qparams(1.0, -1.0)
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(QuantizationError):
+            choose_qparams(float("nan"), 1.0)
+        with pytest.raises(QuantizationError):
+            choose_qparams(0.0, float("inf"))
+
+    def test_degenerate_range_allowed(self):
+        params = choose_qparams(0.0, 0.0)
+        assert params.scale > 0
+
+
+class TestQuantizeRoundTrip:
+    def test_exact_grid_values_round_trip(self):
+        params = QuantParams(scale=0.5, zero_point=3)
+        values = np.array([-2.0, 0.0, 1.5, 10.0])
+        q = quantize_array(values, params)
+        reconstructed = params.scale * (q.astype(np.float32) - params.zero_point)
+        np.testing.assert_allclose(reconstructed, values)
+
+    def test_clipping_at_int8_bounds(self):
+        params = QuantParams(scale=0.1, zero_point=0)
+        q = quantize_array(np.array([1e6, -1e6]), params)
+        assert list(q) == [127, -128]
+
+    @given(
+        st.lists(
+            st.floats(min_value=-100, max_value=100),
+            min_size=1,
+            max_size=64,
+        )
+    )
+    def test_reconstruction_error_bounded(self, values):
+        """Property: in-range values reconstruct within half a step."""
+        arr = np.asarray(values)
+        tensor = quantize_tensor(arr)
+        # Half a step, plus a whisker for zero-point rounding at the
+        # extreme ends of the range interacting with round-half-even.
+        assert dequantize_error(arr, tensor) <= tensor.scale * 0.501 + 1e-6
+
+
+class TestQuantizeMultiplier:
+    @pytest.mark.parametrize("real", [0.9, 0.5, 0.25, 0.001, 1e-6])
+    def test_decomposition_accuracy(self, real):
+        m0, shift = quantize_multiplier(real)
+        reconstructed = m0 * 2.0 ** (-31 - shift)
+        assert reconstructed == pytest.approx(real, rel=1e-8)
+
+    def test_mantissa_normalized(self):
+        m0, _ = quantize_multiplier(0.3)
+        assert (1 << 30) <= m0 < (1 << 31)
+
+    @pytest.mark.parametrize("real", [0.0, 1.0, 1.5, -0.3])
+    def test_out_of_domain_rejected(self, real):
+        with pytest.raises(QuantizationError):
+            quantize_multiplier(real)
+
+    @given(st.floats(min_value=1e-9, max_value=0.999999))
+    def test_decomposition_property(self, real):
+        """Property: |m0 * 2^-(31+shift) - real| is tiny for all reals."""
+        m0, shift = quantize_multiplier(real)
+        assert m0 * 2.0 ** (-31 - shift) == pytest.approx(real, rel=1e-6)
+
+
+class TestRequantize:
+    def test_matches_float_rounding(self):
+        real_multiplier = 0.0037
+        m0, shift = quantize_multiplier(real_multiplier)
+        acc = np.array([12345, -9876, 0, 100000], dtype=np.int64)
+        out = requantize(acc, m0, shift, output_zero_point=3)
+        expected = np.clip(
+            np.array([round(v * real_multiplier) + 3 for v in acc]),
+            -128,
+            127,
+        )
+        np.testing.assert_array_equal(out, expected)
+
+    def test_round_half_away_from_zero(self):
+        # multiplier 0.5 exactly: acc=1 -> 0.5 -> rounds to 1; acc=-1 -> -1.
+        m0, shift = quantize_multiplier(0.5)
+        out = requantize(np.array([1, -1], dtype=np.int64), m0, shift, 0)
+        assert list(out) == [1, -1]
+
+    def test_activation_clamp(self):
+        m0, shift = quantize_multiplier(0.5)
+        acc = np.array([-100, 0, 100], dtype=np.int64)
+        out = requantize(
+            acc, m0, shift, output_zero_point=0,
+            activation_min=0, activation_max=20,
+        )
+        assert list(out) == [0, 0, 20]
+
+    def test_invalid_clamp_rejected(self):
+        m0, shift = quantize_multiplier(0.5)
+        with pytest.raises(QuantizationError):
+            requantize(
+                np.array([0], dtype=np.int64), m0, shift, 0,
+                activation_min=5, activation_max=1,
+            )
+
+    @given(
+        st.lists(
+            st.integers(min_value=-(2**30), max_value=2**30),
+            min_size=1,
+            max_size=32,
+        ),
+        st.floats(min_value=1e-6, max_value=0.99),
+    )
+    def test_requantize_matches_float_model(self, accs, real):
+        """Property: integer requantization == rounded float scaling."""
+        m0, shift = quantize_multiplier(real)
+        acc = np.array(accs, dtype=np.int64)
+        out = requantize(acc, m0, shift, 0)
+        # Allow 1 LSB of slack for mantissa truncation on huge accs.
+        float_model = np.clip(
+            np.array(
+                [math.floor(abs(v) * real + 0.5) * (1 if v >= 0 else -1)
+                 for v in acc]
+            ),
+            -128,
+            127,
+        )
+        assert np.max(np.abs(out.astype(np.int32) - float_model)) <= 1

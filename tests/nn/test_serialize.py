@@ -1,0 +1,105 @@
+"""Model persistence: bit-exact round trips."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.nn import (
+    QuantizedTensor,
+    build_tiny_test_model,
+    build_vww,
+)
+from repro.nn.models import INPUT_PARAMS
+from repro.nn.serialize import load_model, save_model
+
+
+def run(model, seed=0):
+    rng = np.random.default_rng(seed)
+    x = QuantizedTensor(
+        rng.integers(-128, 128, size=model.input_shape).astype(np.int8),
+        INPUT_PARAMS.scale,
+        INPUT_PARAMS.zero_point,
+    )
+    return model.forward(x)
+
+
+class TestRoundTrip:
+    def test_tiny_model_bit_exact(self, tmp_path):
+        model = build_tiny_test_model()
+        path = tmp_path / "tiny.npz"
+        save_model(model, path)
+        restored = load_model(path)
+        assert restored.name == model.name
+        assert restored.input_shape == model.input_shape
+        assert len(restored.nodes) == len(model.nodes)
+        assert np.array_equal(run(model).data, run(restored).data)
+
+    def test_vww_bit_exact(self, tmp_path):
+        model = build_vww()
+        path = tmp_path / "vww.npz"
+        save_model(model, path)
+        restored = load_model(path)
+        assert np.array_equal(run(model).data, run(restored).data)
+
+    def test_quantized_weights_identical(self, tmp_path):
+        model = build_tiny_test_model()
+        path = tmp_path / "m.npz"
+        save_model(model, path)
+        restored = load_model(path)
+        for a, b in zip(model.nodes, restored.nodes):
+            if hasattr(a.layer, "weights_q"):
+                assert np.array_equal(a.layer.weights_q, b.layer.weights_q)
+                assert np.array_equal(a.layer.bias_q, b.layer.bias_q)
+                assert a.layer.weight_scale == pytest.approx(
+                    b.layer.weight_scale
+                )
+
+    def test_graph_wiring_preserved(self, tmp_path):
+        model = build_tiny_test_model()  # contains a residual add
+        path = tmp_path / "m.npz"
+        save_model(model, path)
+        restored = load_model(path)
+        for a, b in zip(model.nodes, restored.nodes):
+            assert a.inputs == b.inputs
+            assert a.output_shape == b.output_shape
+            assert a.layer.kind == b.layer.kind
+
+    def test_cost_model_sees_identical_model(self, tmp_path, board):
+        from repro.engine.cost import TraceBuilder
+
+        model = build_tiny_test_model()
+        path = tmp_path / "m.npz"
+        save_model(model, path)
+        restored = load_model(path)
+        tracer = TraceBuilder(board)
+        for a, b in zip(model.nodes, restored.nodes):
+            ta = tracer.build(model, a, 4).total_workload()
+            tb = tracer.build(restored, b, 4).total_workload()
+            assert ta.cpu_cycles == pytest.approx(tb.cpu_cycles)
+            assert ta.flash_bytes == pytest.approx(tb.flash_bytes)
+            assert ta.sram_bytes == pytest.approx(tb.sram_bytes)
+
+
+class TestErrors:
+    def test_not_a_bundle(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, stuff=np.zeros(3))
+        with pytest.raises(GraphError):
+            load_model(path)
+
+    def test_wrong_version(self, tmp_path):
+        import json
+
+        model = build_tiny_test_model()
+        path = tmp_path / "m.npz"
+        save_model(model, path)
+        with np.load(path) as bundle:
+            arrays = {k: bundle[k] for k in bundle.files}
+        manifest = json.loads(bytes(arrays["manifest"]).decode())
+        manifest["format_version"] = 42
+        arrays["manifest"] = np.frombuffer(
+            json.dumps(manifest).encode(), dtype=np.uint8
+        )
+        np.savez(path, **arrays)
+        with pytest.raises(GraphError):
+            load_model(path)

@@ -1,0 +1,63 @@
+"""QuantizedTensor: validation, dequantization, equality."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QuantizationError
+from repro.nn import INT8_MAX, INT8_MIN, QuantizedTensor
+
+
+def make(data, scale=0.1, zp=0):
+    return QuantizedTensor(
+        data=np.asarray(data, dtype=np.int8), scale=scale, zero_point=zp
+    )
+
+
+class TestValidation:
+    def test_requires_int8(self):
+        with pytest.raises(QuantizationError):
+            QuantizedTensor(np.zeros(4, dtype=np.int32), 0.1, 0)
+
+    def test_requires_positive_scale(self):
+        with pytest.raises(QuantizationError):
+            make([1, 2], scale=0.0)
+        with pytest.raises(QuantizationError):
+            make([1, 2], scale=-0.5)
+
+    def test_zero_point_in_int8_range(self):
+        with pytest.raises(QuantizationError):
+            make([1], zp=200)
+        make([1], zp=INT8_MIN)
+        make([1], zp=INT8_MAX)
+
+
+class TestSemantics:
+    def test_dequantize(self):
+        t = make([0, 10, -10], scale=0.5, zp=2)
+        np.testing.assert_allclose(
+            t.dequantize(), [-1.0, 4.0, -6.0]
+        )
+
+    def test_shape_and_size(self):
+        t = make(np.zeros((4, 3, 2), dtype=np.int8))
+        assert t.shape == (4, 3, 2)
+        assert t.size_bytes == 24
+
+    def test_with_data_keeps_parameters(self):
+        t = make([1, 2], scale=0.3, zp=5)
+        u = t.with_data(np.array([7, 8], dtype=np.int8))
+        assert u.scale == t.scale
+        assert u.zero_point == t.zero_point
+        assert list(u.data) == [7, 8]
+
+    def test_equality_checks_data_and_params(self):
+        a = make([1, 2, 3])
+        b = make([1, 2, 3])
+        c = make([1, 2, 4])
+        d = make([1, 2, 3], scale=0.2)
+        assert a == b
+        assert a != c
+        assert a != d
+
+    def test_equality_against_other_types(self):
+        assert make([1]) != "not a tensor"

@@ -1,0 +1,74 @@
+"""Greedy MCKP baseline: feasibility, quality bound vs. the DP."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import QoSInfeasibleError, SolverError
+from repro.optimize import (
+    MCKPItem,
+    solve_mckp_bruteforce,
+    solve_mckp_dp,
+    solve_mckp_greedy,
+)
+
+
+def item(w, v):
+    return MCKPItem(weight=w, value=v)
+
+
+SIMPLE = [
+    [item(1.0, 10.0), item(2.0, 4.0), item(3.0, 1.0)],
+    [item(1.0, 8.0), item(2.0, 6.0), item(4.0, 2.0)],
+]
+
+
+class TestGreedy:
+    def test_unconstrained_matches_dp(self):
+        greedy = solve_mckp_greedy(SIMPLE, budget=100.0)
+        dp = solve_mckp_dp(SIMPLE, budget=100.0)
+        assert greedy.total_value == pytest.approx(dp.total_value)
+
+    def test_respects_budget(self):
+        solution = solve_mckp_greedy(SIMPLE, budget=3.0)
+        assert solution.total_weight <= 3.0
+
+    def test_infeasible_raises(self):
+        with pytest.raises(QoSInfeasibleError):
+            solve_mckp_greedy(SIMPLE, budget=1.0)
+
+    def test_empty_instance_rejected(self):
+        with pytest.raises(SolverError):
+            solve_mckp_greedy([], budget=1.0)
+
+    def test_never_beats_exhaustive(self):
+        brute = solve_mckp_bruteforce(SIMPLE, budget=4.0)
+        greedy = solve_mckp_greedy(SIMPLE, budget=4.0)
+        assert greedy.total_value >= brute.total_value - 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        classes=st.lists(
+            st.lists(
+                st.tuples(
+                    st.floats(min_value=0.01, max_value=5.0),
+                    st.floats(min_value=0.0, max_value=10.0),
+                ),
+                min_size=1,
+                max_size=4,
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+        budget_scale=st.floats(min_value=1.0, max_value=2.0),
+    )
+    def test_greedy_feasible_and_bounded_property(self, classes, budget_scale):
+        """Property: greedy is always feasible and never better than
+        the exhaustive optimum."""
+        from repro.optimize import min_total_weight
+
+        instance = [[item(w, v) for w, v in cls] for cls in classes]
+        budget = min_total_weight(instance) * budget_scale
+        greedy = solve_mckp_greedy(instance, budget=budget)
+        brute = solve_mckp_bruteforce(instance, budget=budget)
+        assert greedy.total_weight <= budget + 1e-9
+        assert greedy.total_value >= brute.total_value - 1e-9

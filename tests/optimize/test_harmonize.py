@@ -1,0 +1,59 @@
+"""Harmonization pass: re-lock reduction without QoS violations."""
+
+import pytest
+
+from repro import DAEDVFSPipeline
+from repro.errors import SolverError
+from repro.optimize import MODERATE, harmonize_plan
+
+
+@pytest.fixture(scope="module")
+def context():
+    pipeline = DAEDVFSPipeline()
+    from repro.nn import build_tiny_test_model
+
+    model = build_tiny_test_model()
+    result = pipeline.optimize(model, qos_level=MODERATE)
+    return pipeline, model, result
+
+
+class TestHarmonize:
+    def test_never_worse_and_qos_kept(self, context):
+        pipeline, model, result = context
+        outcome = pipeline.harmonize(model, result)
+        assert outcome.report.energy_j <= outcome.initial_report.energy_j
+        assert outcome.report.latency_s <= result.qos_s
+        assert outcome.report.met_qos
+
+    def test_relocks_never_increase(self, context):
+        pipeline, model, result = context
+        outcome = pipeline.harmonize(model, result)
+        assert outcome.report.relock_count <= (
+            outcome.initial_report.relock_count
+        )
+        assert outcome.relocks_removed >= 0
+
+    def test_idempotent_on_uniform_plans(self, context):
+        pipeline, model, result = context
+        first = pipeline.harmonize(model, result)
+        # Harmonize the harmonized plan: no further moves possible
+        # beyond noise, and energy cannot regress.
+        import dataclasses
+
+        second_result = dataclasses.replace(result, plan=first.plan)
+        second = pipeline.harmonize(model, second_result)
+        assert second.report.energy_j <= first.report.energy_j * (1 + 1e-9)
+
+    def test_missing_fronts_rejected(self, context):
+        pipeline, model, result = context
+        with pytest.raises(SolverError):
+            harmonize_plan(
+                pipeline.runtime, model, result.plan, fronts={},
+                qos_s=result.qos_s,
+            )
+
+    def test_energy_improvement_property(self, context):
+        pipeline, model, result = context
+        outcome = pipeline.harmonize(model, result)
+        assert 0.0 <= outcome.energy_improvement < 1.0
+        assert outcome.moves_applied >= 0

@@ -1,0 +1,37 @@
+"""QoS levels and budget derivation."""
+
+import pytest
+
+from repro.errors import SolverError
+from repro.optimize import MODERATE, PAPER_QOS_LEVELS, RELAXED, TIGHT, QoSLevel
+
+
+class TestPaperLevels:
+    def test_three_levels(self):
+        assert len(PAPER_QOS_LEVELS) == 3
+
+    def test_slacks_match_paper(self):
+        assert TIGHT.slack == pytest.approx(0.10)
+        assert MODERATE.slack == pytest.approx(0.30)
+        assert RELAXED.slack == pytest.approx(0.50)
+
+    def test_percent_labels(self):
+        assert [lvl.percent for lvl in PAPER_QOS_LEVELS] == [10, 30, 50]
+
+
+class TestBudget:
+    def test_budget_formula(self):
+        assert TIGHT.budget_s(1.0) == pytest.approx(1.10)
+        assert RELAXED.budget_s(0.050) == pytest.approx(0.075)
+
+    def test_nonpositive_baseline_rejected(self):
+        with pytest.raises(SolverError):
+            TIGHT.budget_s(0.0)
+
+    def test_negative_slack_rejected(self):
+        with pytest.raises(SolverError):
+            QoSLevel(name="bad", slack=-0.1)
+
+    def test_zero_slack_allowed(self):
+        level = QoSLevel(name="iso", slack=0.0)
+        assert level.budget_s(2.0) == pytest.approx(2.0)

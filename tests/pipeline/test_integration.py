@@ -1,0 +1,128 @@
+"""Cross-module integration tests on a paper-scale model.
+
+These exercise the whole stack together on VWW: cost-model vs runtime
+agreement, numerics vs scheduling consistency, plan serialization
+through deployment, and end-to-end invariants that only hold if every
+module agrees on the same hardware description.
+"""
+
+import numpy as np
+import pytest
+
+from repro import DAEDVFSPipeline, build_vww
+from repro.engine import DAEExecutor, load_plan, save_plan, uniform_plan
+from repro.nn import QuantizedTensor
+from repro.nn.models import INPUT_PARAMS
+from repro.optimize import MODERATE
+from repro.power import EnergyCategory
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    pipeline = DAEDVFSPipeline()
+    model = build_vww()
+    result = pipeline.optimize(model, qos_level=MODERATE)
+    report = pipeline.deploy(model, result.plan)
+    return pipeline, model, result, report
+
+
+class TestEndToEnd:
+    def test_qos_met_with_margin_accounting(self, ctx):
+        _, _, result, report = ctx
+        assert report.met_qos
+        assert report.latency_s <= result.qos_s
+        # The optimizer should not leave more than ~15% of the budget
+        # unused (it would mean it overpriced something badly).
+        assert report.latency_s >= 0.8 * result.qos_s
+
+    def test_every_conv_layer_scheduled_and_executed(self, ctx):
+        _, model, result, report = ctx
+        scheduled = set(result.plan.layer_plans)
+        executed = {r.node_id for r in report.layer_reports}
+        assert scheduled == {n.node_id for n in model.conv_nodes()}
+        assert executed == {n.node_id for n in model.nodes}
+
+    def test_window_energy_decomposition(self, ctx):
+        _, _, _, report = ctx
+        breakdown = report.account.energy_by_category()
+        total = sum(breakdown.values())
+        assert total == pytest.approx(report.energy_j)
+        assert breakdown[EnergyCategory.COMPUTE] > breakdown.get(
+            EnergyCategory.SWITCH, 0.0
+        )
+
+    def test_schedule_numerics_bit_exact_on_real_model(self, ctx):
+        _, model, result, _ = ctx
+        rng = np.random.default_rng(123)
+        x = QuantizedTensor(
+            rng.integers(-128, 128, size=model.input_shape).astype(np.int8),
+            INPUT_PARAMS.scale,
+            INPUT_PARAMS.zero_point,
+        )
+        reference = model.forward(x)
+        out, _ = DAEExecutor(result.plan.granularities()).run(model, x)
+        assert np.array_equal(out.data, reference.data)
+
+    def test_plan_survives_serialization_and_redeployment(
+        self, ctx, tmp_path
+    ):
+        pipeline, model, result, report = ctx
+        path = tmp_path / "vww.plan.json"
+        save_plan(result.plan, path)
+        redeployed = pipeline.deploy(model, load_plan(path))
+        assert redeployed.energy_j == pytest.approx(report.energy_j)
+        assert redeployed.latency_s == pytest.approx(report.latency_s)
+
+
+class TestCostModelRuntimeAgreement:
+    def test_uniform_plan_prices_match_runtime(self, ctx):
+        """Sum of per-layer DSE prices == runtime totals for a uniform
+        plan with a pinned clock (no sequence effects)."""
+        pipeline, model, _, _ = ctx
+        from repro.clock import max_performance_config
+        from repro.engine.cost import TraceBuilder
+
+        hfo = max_performance_config()
+        plan = uniform_plan(model, hfo=hfo, granularity=8)
+        report = pipeline.runtime.run(model, plan, initial_config=hfo)
+        tracer = TraceBuilder(pipeline.board)
+        total_latency = 0.0
+        total_energy = 0.0
+        for node in model.nodes:
+            g = plan.granularities().get(node.node_id, 0)
+            trace = tracer.build(model, node, g)
+            latency, energy = pipeline.explorer.pricer.price(
+                trace, hfo, plan.lfo, assume_relock=False
+            )
+            total_latency += latency
+            total_energy += energy
+        assert report.latency_s == pytest.approx(total_latency, rel=1e-6)
+        assert report.inference_energy_j == pytest.approx(
+            total_energy, rel=1e-6
+        )
+
+    def test_predicted_energy_close_to_deployed(self, ctx):
+        _, _, result, report = ctx
+        predicted = result.plan.predicted_energy_j
+        # Prediction covers the scheduled conv layers only; deployed
+        # inference adds elementwise layers and switching.
+        assert predicted <= report.inference_energy_j
+        assert report.inference_energy_j <= predicted * 1.25
+
+
+class TestMonotonicityAcrossBudgets:
+    def test_energy_monotone_in_slack(self, ctx):
+        pipeline, model, _, _ = ctx
+        from repro.optimize import QoSLevel
+
+        energies = []
+        for slack in (0.10, 0.30, 0.60):
+            level = QoSLevel(name=f"{slack}", slack=slack)
+            plan = pipeline.optimize(model, qos_level=level).plan
+            energies.append(
+                pipeline.runtime.run(
+                    model, plan, initial_config=plan.initial_config()
+                ).energy_j
+            )
+        for tighter, looser in zip(energies, energies[1:]):
+            assert looser <= tighter * 1.01

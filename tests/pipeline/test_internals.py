@@ -1,0 +1,94 @@
+"""Pipeline internals: fallbacks, resolution sensitivity, policies."""
+
+import functools
+
+import pytest
+
+from repro import DAEDVFSPipeline
+from repro.dse import adaptive_granularities
+from repro.optimize import MODERATE, TIGHT
+
+
+class TestUniformFallback:
+    def test_uniform_plan_single_hfo(self, board, tiny_model):
+        pipeline = DAEDVFSPipeline(board=board)
+        result = pipeline.optimize(tiny_model, qos_level=MODERATE)
+        clouds = pipeline._explore_clouds(tiny_model)
+        baseline = pipeline.baseline_latency_s(tiny_model)
+        budget = MODERATE.budget_s(baseline)
+        fixed = pipeline.fixed_overhead_s(tiny_model)
+        plan = pipeline._best_uniform_hfo_plan(
+            tiny_model, clouds, budget - fixed, budget, fixed
+        )
+        hfos = {lp.hfo for lp in plan.layer_plans.values()}
+        assert len(hfos) == 1
+        report = pipeline.runtime.run(
+            tiny_model, plan, initial_config=plan.initial_config()
+        )
+        assert report.latency_s <= budget
+        assert report.relock_count == 0
+
+    def test_chosen_plan_never_worse_than_uniform(self, board, tiny_model):
+        pipeline = DAEDVFSPipeline(board=board)
+        result = pipeline.optimize(tiny_model, qos_level=MODERATE)
+        clouds = pipeline._explore_clouds(tiny_model)
+        budget = result.qos_s
+        fixed = result.fixed_overhead_s
+        uniform = pipeline._best_uniform_hfo_plan(
+            tiny_model, clouds, budget - fixed, budget, fixed
+        )
+        e_chosen = pipeline.runtime.run(
+            tiny_model, result.plan, qos_s=budget,
+            initial_config=result.plan.initial_config(),
+        ).energy_j
+        e_uniform = pipeline.runtime.run(
+            tiny_model, uniform, qos_s=budget,
+            initial_config=uniform.initial_config(),
+        ).energy_j
+        assert e_chosen <= e_uniform * (1 + 1e-9)
+
+
+class TestResolutionSensitivity:
+    def test_coarse_and_fine_dp_agree(self, board, tiny_model):
+        coarse = DAEDVFSPipeline(board=board, dp_resolution=500)
+        fine = DAEDVFSPipeline(board=board, dp_resolution=16000)
+        e_coarse = coarse.deploy(
+            tiny_model, coarse.optimize(tiny_model, qos_level=MODERATE).plan
+        ).energy_j
+        e_fine = fine.deploy(
+            tiny_model, fine.optimize(tiny_model, qos_level=MODERATE).plan
+        ).energy_j
+        assert e_coarse == pytest.approx(e_fine, rel=0.03)
+
+    def test_both_meet_qos(self, board, tiny_model):
+        for resolution in (500, 16000):
+            pipeline = DAEDVFSPipeline(board=board, dp_resolution=resolution)
+            result = pipeline.optimize(tiny_model, qos_level=TIGHT)
+            assert pipeline.deploy(tiny_model, result.plan).met_qos
+
+
+class TestAdaptiveIntegration:
+    def test_adaptive_pipeline_end_to_end(self, board, tiny_model):
+        pipeline = DAEDVFSPipeline(
+            board=board,
+            granularity_fn=functools.partial(adaptive_granularities, board),
+        )
+        result = pipeline.optimize(tiny_model, qos_level=MODERATE)
+        report = pipeline.deploy(tiny_model, result.plan)
+        assert report.met_qos
+        # Some layer exploits a beyond-paper granularity.
+        assert any(
+            lp.granularity > 16 for lp in result.plan.layer_plans.values()
+        )
+
+    def test_adaptive_numerics_still_bit_exact(self, board, tiny_model):
+        from repro.engine import validate_plan_numerics
+
+        pipeline = DAEDVFSPipeline(
+            board=board,
+            granularity_fn=functools.partial(adaptive_granularities, board),
+        )
+        plan = pipeline.optimize(tiny_model, qos_level=MODERATE).plan
+        assert validate_plan_numerics(
+            tiny_model, plan.granularities(), n_inputs=2
+        )

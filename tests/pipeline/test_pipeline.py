@@ -1,0 +1,158 @@
+"""End-to-end pipeline: optimization, deployment, baselines."""
+
+import pytest
+
+from repro import DAEDVFSPipeline
+from repro.errors import QoSInfeasibleError, SolverError
+from repro.optimize import MODERATE, RELAXED, TIGHT, QoSLevel
+
+
+@pytest.fixture
+def pipeline(board):
+    return DAEDVFSPipeline(board=board)
+
+
+class TestOptimize:
+    def test_plan_covers_all_conv_nodes(self, pipeline, tiny_model):
+        result = pipeline.optimize(tiny_model, qos_level=MODERATE)
+        conv_ids = {n.node_id for n in tiny_model.conv_nodes()}
+        assert set(result.plan.layer_plans) == conv_ids
+
+    def test_deployment_meets_qos(self, pipeline, tiny_model):
+        for level in (TIGHT, MODERATE, RELAXED):
+            result = pipeline.optimize(tiny_model, qos_level=level)
+            report = pipeline.deploy(tiny_model, result.plan)
+            assert report.met_qos
+            assert report.latency_s <= result.qos_s
+
+    def test_absolute_qos_budget(self, pipeline, tiny_model):
+        baseline = pipeline.baseline_latency_s(tiny_model)
+        result = pipeline.optimize(tiny_model, qos_s=baseline * 1.4)
+        assert result.qos_s == pytest.approx(baseline * 1.4)
+
+    def test_both_qos_forms_rejected(self, pipeline, tiny_model):
+        with pytest.raises(SolverError):
+            pipeline.optimize(tiny_model, qos_level=TIGHT, qos_s=1.0)
+        with pytest.raises(SolverError):
+            pipeline.optimize(tiny_model)
+
+    def test_impossible_qos_raises(self, pipeline, tiny_model):
+        baseline = pipeline.baseline_latency_s(tiny_model)
+        with pytest.raises(QoSInfeasibleError) as info:
+            pipeline.optimize(tiny_model, qos_s=baseline / 100)
+        assert info.value.min_latency_s > info.value.qos_s
+
+    def test_pareto_fronts_attached(self, pipeline, tiny_model):
+        result = pipeline.optimize(tiny_model, qos_level=MODERATE)
+        assert set(result.pareto_fronts) == set(result.plan.layer_plans)
+        for front in result.pareto_fronts.values():
+            assert front
+
+    def test_relaxed_qos_never_costs_more_energy(self, pipeline, tiny_model):
+        tight = pipeline.deploy(
+            tiny_model, pipeline.optimize(tiny_model, qos_level=TIGHT).plan
+        )
+        relaxed = pipeline.deploy(
+            tiny_model, pipeline.optimize(tiny_model, qos_level=RELAXED).plan
+        )
+        assert (
+            relaxed.inference_energy_j
+            <= tight.inference_energy_j * 1.001
+        )
+
+    def test_unknown_solver_rejected(self, board):
+        with pytest.raises(SolverError):
+            DAEDVFSPipeline(board=board, solver="magic")
+
+    def test_greedy_solver_runs(self, board, tiny_model):
+        pipeline = DAEDVFSPipeline(board=board, solver="greedy")
+        result = pipeline.optimize(tiny_model, qos_level=MODERATE)
+        report = pipeline.deploy(tiny_model, result.plan)
+        assert report.met_qos
+
+    def test_dp_never_worse_than_greedy(self, board, tiny_model):
+        dp = DAEDVFSPipeline(board=board, solver="dp")
+        greedy = DAEDVFSPipeline(board=board, solver="greedy")
+        for level in (TIGHT, RELAXED):
+            e_dp = dp.deploy(
+                tiny_model, dp.optimize(tiny_model, qos_level=level).plan
+            ).energy_j
+            e_greedy = greedy.deploy(
+                tiny_model,
+                greedy.optimize(tiny_model, qos_level=level).plan,
+            ).energy_j
+            assert e_dp <= e_greedy * 1.005
+
+
+class TestCompare:
+    def test_ours_beats_both_baselines(self, pipeline, tiny_model):
+        row = pipeline.compare(tiny_model, MODERATE)
+        assert row.ours.energy_j < row.clock_gated.energy_j
+        assert row.clock_gated.energy_j < row.tinyengine.energy_j
+        assert 0 < row.savings_vs_tinyengine < 1
+        assert 0 < row.savings_vs_clock_gated < 1
+
+    def test_savings_vs_te_grow_with_slack(self, pipeline, tiny_model):
+        tight = pipeline.compare(tiny_model, TIGHT)
+        relaxed = pipeline.compare(tiny_model, RELAXED)
+        assert (
+            relaxed.savings_vs_tinyengine > tight.savings_vs_tinyengine
+        )
+
+    def test_all_engines_share_the_qos_window(self, pipeline, tiny_model):
+        row = pipeline.compare(tiny_model, MODERATE)
+        assert row.ours.qos_s == row.tinyengine.qos_s == row.clock_gated.qos_s
+
+    def test_zero_slack_feasible(self, pipeline, tiny_model):
+        # Iso-latency with no slack at all: DAE makes the model at
+        # least as fast as the baseline, so this must be solvable.
+        row = pipeline.compare(tiny_model, QoSLevel(name="iso", slack=0.0))
+        assert row.ours.met_qos
+
+
+class TestFixedOverhead:
+    def test_overhead_positive_and_small(self, pipeline, tiny_model):
+        overhead = pipeline.fixed_overhead_s(tiny_model)
+        baseline = pipeline.baseline_latency_s(tiny_model)
+        assert 0 < overhead < 0.5 * baseline
+
+
+class TestNonDAEModels:
+    def test_pipeline_on_conv_dense_only_model(self, pipeline):
+        """A model with no DAE-eligible layers degenerates to pure
+        per-layer DVFS and must still optimize and deploy."""
+        import numpy as np
+
+        from repro.nn import Conv2D, Dense, Flatten, Model
+        from repro.nn.models import INPUT_PARAMS, LOGIT_PARAMS, RELU6_PARAMS
+
+        rng = np.random.default_rng(0)
+        model = Model(
+            name="convnet", input_shape=(8, 8, 3),
+            input_params=INPUT_PARAMS,
+        )
+        model.add(
+            Conv2D(
+                "c1", rng.normal(0, 0.3, (3, 3, 3, 8)), None,
+                INPUT_PARAMS, RELU6_PARAMS, stride=2,
+            )
+        )
+        model.add(
+            Conv2D(
+                "c2", rng.normal(0, 0.3, (3, 3, 8, 8)), None,
+                RELU6_PARAMS, RELU6_PARAMS, stride=2,
+            )
+        )
+        model.add(Flatten("flat"))
+        model.add(
+            Dense(
+                "fc", rng.normal(0, 0.2, (32, 4)), None,
+                RELU6_PARAMS, LOGIT_PARAMS,
+            )
+        )
+        result = pipeline.optimize(model, qos_level=MODERATE)
+        assert all(
+            lp.granularity == 0 for lp in result.plan.layer_plans.values()
+        )
+        report = pipeline.deploy(model, result.plan)
+        assert report.met_qos

@@ -1,0 +1,71 @@
+"""Measured-profiles mode: the pipeline fed by the sensor chain."""
+
+import pytest
+
+from repro import DAEDVFSPipeline
+from repro.dse import paper_design_space
+from repro.optimize import MODERATE
+from repro.power import INA219Config
+from repro.profiling import LayerMonitor, LayerProfiler
+
+
+@pytest.fixture(scope="module")
+def pipelines():
+    analytic = DAEDVFSPipeline()
+    monitor = LayerMonitor(
+        analytic.board,
+        sensor_config=INA219Config(sample_period_s=2e-6, noise_std_w=5e-4),
+    )
+    profiler = LayerProfiler(
+        analytic.board,
+        paper_design_space(analytic.board.power_model),
+        monitor=monitor,
+    )
+    measured = DAEDVFSPipeline(board=analytic.board, profiler=profiler)
+    return analytic, measured
+
+
+class TestMeasuredMode:
+    def test_measured_plan_meets_qos(self, pipelines, tiny_model):
+        _, measured = pipelines
+        result = measured.optimize(tiny_model, qos_level=MODERATE)
+        report = measured.deploy(tiny_model, result.plan)
+        assert report.met_qos
+
+    def test_measured_energy_close_to_analytic(self, pipelines, tiny_model):
+        """Profiling noise and timer quantization must not derail the
+        optimization: the measured-mode schedule's deployed energy is
+        within a few percent of the analytic-mode schedule's."""
+        analytic, measured = pipelines
+        measured.profiler.monitor.sensor.reset()
+        e_analytic = analytic.deploy(
+            tiny_model,
+            analytic.optimize(tiny_model, qos_level=MODERATE).plan,
+        ).energy_j
+        e_measured = measured.deploy(
+            tiny_model,
+            measured.optimize(tiny_model, qos_level=MODERATE).plan,
+        ).energy_j
+        assert e_measured == pytest.approx(e_analytic, rel=0.05)
+
+    def test_clouds_have_same_shape(self, pipelines, tiny_model):
+        analytic, measured = pipelines
+        a_clouds = analytic._explore_clouds(tiny_model)
+        m_clouds = measured._explore_clouds(tiny_model)
+        assert set(a_clouds) == set(m_clouds)
+        for node_id in a_clouds:
+            assert len(a_clouds[node_id]) == len(m_clouds[node_id])
+
+    def test_measured_points_track_analytic(self, pipelines, tiny_model):
+        analytic, measured = pipelines
+        measured.profiler.monitor.sensor.reset()
+        a_clouds = analytic._explore_clouds(tiny_model)
+        m_clouds = measured._explore_clouds(tiny_model)
+        node_id = next(iter(a_clouds))
+        a_by_key = {
+            (p.granularity, p.hfo.sysclk_hz): p for p in a_clouds[node_id]
+        }
+        for p in m_clouds[node_id]:
+            truth = a_by_key[(p.granularity, p.hfo.sysclk_hz)]
+            assert p.latency_s == pytest.approx(truth.latency_s, rel=0.05)
+            assert p.energy_j == pytest.approx(truth.energy_j, rel=0.15)

@@ -1,0 +1,109 @@
+"""Energy accounting: ledgers, categories, merging, invariants."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TraceError
+from repro.power import (
+    EnergyAccount,
+    EnergyCategory,
+    EnergyInterval,
+    merge_accounts,
+)
+
+
+class TestEnergyInterval:
+    def test_energy_is_duration_times_power(self):
+        interval = EnergyInterval(0.5, 0.4, EnergyCategory.COMPUTE)
+        assert interval.energy_j == pytest.approx(0.2)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(TraceError):
+            EnergyInterval(-0.1, 0.4, EnergyCategory.COMPUTE)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(TraceError):
+            EnergyInterval(0.1, -0.4, EnergyCategory.COMPUTE)
+
+
+class TestEnergyAccount:
+    def make_account(self):
+        account = EnergyAccount()
+        account.add(1.0, 0.1, EnergyCategory.COMPUTE, "layer_a")
+        account.add(0.5, 0.2, EnergyCategory.MEMORY, "layer_a")
+        account.add(2.0, 0.05, EnergyCategory.IDLE, "idle")
+        return account
+
+    def test_totals(self):
+        account = self.make_account()
+        assert account.total_time_s == pytest.approx(3.5)
+        assert account.total_energy_j == pytest.approx(0.1 + 0.1 + 0.1)
+
+    def test_average_power(self):
+        account = self.make_account()
+        assert account.average_power_w == pytest.approx(0.3 / 3.5)
+
+    def test_average_power_empty(self):
+        assert EnergyAccount().average_power_w == 0.0
+
+    def test_zero_duration_dropped(self):
+        account = EnergyAccount()
+        account.add(0.0, 1.0, EnergyCategory.COMPUTE)
+        assert account.intervals == []
+
+    def test_energy_by_category(self):
+        breakdown = self.make_account().energy_by_category()
+        assert breakdown[EnergyCategory.COMPUTE] == pytest.approx(0.1)
+        assert breakdown[EnergyCategory.MEMORY] == pytest.approx(0.1)
+        assert breakdown[EnergyCategory.IDLE] == pytest.approx(0.1)
+        assert EnergyCategory.SWITCH not in breakdown
+
+    def test_time_by_category(self):
+        breakdown = self.make_account().time_by_category()
+        assert breakdown[EnergyCategory.IDLE] == pytest.approx(2.0)
+
+    def test_energy_by_label(self):
+        breakdown = self.make_account().energy_by_label()
+        assert breakdown["layer_a"] == pytest.approx(0.2)
+        assert breakdown["idle"] == pytest.approx(0.1)
+
+    def test_extend_preserves_order(self):
+        a = self.make_account()
+        b = EnergyAccount()
+        b.add(1.0, 1.0, EnergyCategory.SWITCH)
+        a.extend(b)
+        assert a.intervals[-1].category is EnergyCategory.SWITCH
+
+    def test_merge_accounts_leaves_inputs_untouched(self):
+        a = self.make_account()
+        b = self.make_account()
+        merged = merge_accounts([a, b])
+        assert len(merged.intervals) == 6
+        assert len(a.intervals) == 3
+        assert merged.total_energy_j == pytest.approx(2 * a.total_energy_j)
+
+    def test_as_power_trace_is_a_copy(self):
+        account = self.make_account()
+        trace = account.as_power_trace()
+        trace.clear()
+        assert len(account.intervals) == 3
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=10.0),
+            st.floats(min_value=0.0, max_value=5.0),
+        ),
+        max_size=50,
+    )
+)
+def test_account_totals_additive(pairs):
+    """Property: totals equal the sum of interval contributions."""
+    account = EnergyAccount()
+    for duration, power in pairs:
+        account.add(duration, power, EnergyCategory.OTHER)
+    expected_time = sum(d for d, _ in pairs)
+    expected_energy = sum(d * p for d, p in pairs)
+    assert account.total_time_s == pytest.approx(expected_time)
+    assert account.total_energy_j == pytest.approx(expected_energy)

@@ -1,0 +1,124 @@
+"""INA219 sensor model: sampling, noise, drift compensation."""
+
+import pytest
+
+from repro.errors import PowerModelError
+from repro.power import (
+    EnergyCategory,
+    EnergyInterval,
+    INA219Config,
+    INA219Sensor,
+    differential_energy,
+)
+
+
+def flat_trace(duration_s, power_w):
+    return [EnergyInterval(duration_s, power_w, EnergyCategory.COMPUTE)]
+
+
+def stepped_trace():
+    return [
+        EnergyInterval(0.010, 0.100, EnergyCategory.MEMORY),
+        EnergyInterval(0.020, 0.400, EnergyCategory.COMPUTE),
+        EnergyInterval(0.010, 0.050, EnergyCategory.IDLE),
+    ]
+
+
+class TestSampling:
+    def test_sample_count_matches_duration(self):
+        sensor = INA219Sensor(INA219Config(sample_period_s=1e-3, noise_std_w=0))
+        samples = sensor.measure(flat_trace(0.050, 0.3))
+        assert len(samples) == 50
+
+    def test_flat_trace_measured_accurately(self):
+        sensor = INA219Sensor(
+            INA219Config(sample_period_s=1e-3, noise_std_w=0.0)
+        )
+        samples = sensor.measure(flat_trace(0.100, 0.300))
+        energy = sensor.estimate_energy(samples)
+        assert energy == pytest.approx(0.03, rel=0.01)
+
+    def test_stepped_trace_energy_close_to_truth(self):
+        sensor = INA219Sensor(INA219Config(sample_period_s=1e-4))
+        trace = stepped_trace()
+        true_energy = sum(i.energy_j for i in trace)
+        energy = sensor.estimate_energy(sensor.measure(trace))
+        assert energy == pytest.approx(true_energy, rel=0.05)
+
+    def test_quantization_to_power_lsb(self):
+        sensor = INA219Sensor(
+            INA219Config(sample_period_s=1e-3, noise_std_w=0.0, power_lsb_w=0.01)
+        )
+        samples = sensor.measure(flat_trace(0.01, 0.123))
+        for sample in samples:
+            ratio = sample.power_w / 0.01
+            assert ratio == pytest.approx(round(ratio))
+
+    def test_noise_is_reproducible_after_reset(self):
+        sensor = INA219Sensor(INA219Config(noise_std_w=5e-3))
+        first = sensor.measure(flat_trace(0.05, 0.3))
+        sensor.reset()
+        second = sensor.measure(flat_trace(0.05, 0.3))
+        assert [s.power_w for s in first] == [s.power_w for s in second]
+
+    def test_average_power_estimate(self):
+        sensor = INA219Sensor(INA219Config(noise_std_w=0.0))
+        samples = sensor.measure(flat_trace(0.05, 0.25))
+        assert sensor.estimate_average_power(samples) == pytest.approx(
+            0.25, rel=0.01
+        )
+
+    def test_empty_samples_average_zero(self):
+        sensor = INA219Sensor()
+        assert sensor.estimate_average_power([]) == 0.0
+
+
+class TestDriftCompensation:
+    def drifty_sensor(self):
+        return INA219Sensor(
+            INA219Config(
+                sample_period_s=1e-3,
+                noise_std_w=0.0,
+                drift_amplitude_w=0.050,
+                drift_period_s=1.0,
+            )
+        )
+
+    def test_drift_biases_absolute_measurement(self):
+        sensor = self.drifty_sensor()
+        # Sample near the drift peak (t ~ 0.25 s into the sine).
+        samples = sensor.measure(flat_trace(0.050, 0.300), start_time_s=0.22)
+        energy = sensor.estimate_energy(samples)
+        true_energy = 0.050 * 0.300
+        assert abs(energy - true_energy) / true_energy > 0.05
+
+    def test_differential_measurement_cancels_drift(self):
+        # The paper's Sec. IV methodology: compare against the baseline
+        # at the corresponding timestamp.
+        sensor = self.drifty_sensor()
+        test_trace = flat_trace(0.050, 0.300)
+        baseline_trace = flat_trace(0.050, 0.400)
+        baseline_energy = 0.050 * 0.400
+        compensated = differential_energy(
+            sensor,
+            test_trace,
+            baseline_trace,
+            baseline_energy,
+            start_time_s=0.22,
+        )
+        true_energy = 0.050 * 0.300
+        assert compensated == pytest.approx(true_energy, rel=0.02)
+
+
+class TestConfigValidation:
+    def test_nonpositive_period_rejected(self):
+        with pytest.raises(PowerModelError):
+            INA219Config(sample_period_s=0.0)
+
+    def test_nonpositive_lsb_rejected(self):
+        with pytest.raises(PowerModelError):
+            INA219Config(power_lsb_w=0.0)
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(PowerModelError):
+            INA219Config(noise_std_w=-1e-3)

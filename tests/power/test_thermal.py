@@ -1,0 +1,119 @@
+"""Thermal model: RC dynamics, leakage feedback, steady state."""
+
+import math
+
+import pytest
+
+from repro.errors import PowerModelError
+from repro.power import (
+    EnergyCategory,
+    EnergyInterval,
+    ThermalModelParams,
+    steady_state_temperature,
+    sustained_energy_correction,
+    thermal_replay,
+)
+
+
+def flat(duration_s, power_w):
+    return [EnergyInterval(duration_s, power_w, EnergyCategory.COMPUTE)]
+
+
+class TestParams:
+    def test_time_constant(self):
+        params = ThermalModelParams(r_th_c_per_w=40, c_th_j_per_c=0.15)
+        assert params.time_constant_s == pytest.approx(6.0)
+
+    def test_leakage_exponential(self):
+        params = ThermalModelParams(t_slope_c=35.0, leakage_ref_w=0.008)
+        assert params.leakage_at(25.0) == pytest.approx(0.008)
+        assert params.leakage_at(60.0) == pytest.approx(
+            0.008 * math.e, rel=1e-6
+        )
+
+    def test_validation(self):
+        with pytest.raises(PowerModelError):
+            ThermalModelParams(r_th_c_per_w=0)
+        with pytest.raises(PowerModelError):
+            ThermalModelParams(t_slope_c=-1)
+        with pytest.raises(PowerModelError):
+            ThermalModelParams(leakage_ref_w=-0.1)
+
+
+class TestReplay:
+    def test_short_trace_barely_heats(self):
+        result = thermal_replay(flat(0.010, 0.4))
+        assert result.peak_temperature_c < 26.0
+        assert result.energy_j == pytest.approx(
+            result.baseline_energy_j, rel=0.01
+        )
+
+    def test_sustained_trace_approaches_steady_state(self):
+        params = ThermalModelParams()
+        power = 0.4
+        result = thermal_replay(
+            flat(params.time_constant_s * 6, power), params,
+            max_step_s=5e-3,
+        )
+        t_ss = steady_state_temperature(power, params)
+        assert result.final_temperature_c == pytest.approx(t_ss, abs=0.5)
+
+    def test_temperature_never_exceeds_steady_state(self):
+        params = ThermalModelParams()
+        result = thermal_replay(flat(10.0, 0.3), params, max_step_s=5e-3)
+        t_ss = steady_state_temperature(0.3, params)
+        assert result.peak_temperature_c <= t_ss + 1e-6
+
+    def test_feedback_increases_energy_when_hot(self):
+        params = ThermalModelParams()
+        result = thermal_replay(flat(30.0, 0.5), params, max_step_s=10e-3)
+        assert result.energy_j > result.baseline_energy_j
+        assert result.leakage_correction > 0
+
+    def test_cooling_between_bursts(self):
+        params = ThermalModelParams()
+        trace = (
+            flat(2.0, 0.5)
+            + flat(6.0, 0.02)
+            + flat(0.001, 0.5)
+        )
+        result = thermal_replay(trace, params, max_step_s=5e-3)
+        # After a long cool-down, the final temp is near the idle SS.
+        idle_ss = steady_state_temperature(0.02, params)
+        assert result.temperatures_c[-2] < result.peak_temperature_c
+        assert abs(result.final_temperature_c - idle_ss) < 5.0
+
+    def test_bad_step_rejected(self):
+        with pytest.raises(PowerModelError):
+            thermal_replay(flat(1.0, 0.1), max_step_s=0)
+
+
+class TestSteadyState:
+    def test_matches_closed_form_without_feedback(self):
+        params = ThermalModelParams(leakage_ref_w=0.0)
+        t = steady_state_temperature(0.5, params)
+        assert t == pytest.approx(25.0 + 0.5 * 40.0)
+
+    def test_feedback_raises_steady_state(self):
+        no_leak = ThermalModelParams(leakage_ref_w=0.0)
+        leaky = ThermalModelParams(leakage_ref_w=0.008)
+        assert steady_state_temperature(0.4, leaky) > (
+            steady_state_temperature(0.4, no_leak)
+        )
+
+    def test_runaway_detected(self):
+        # Absurd parameters: huge R_th and steep leakage slope.
+        params = ThermalModelParams(
+            r_th_c_per_w=500.0, t_slope_c=5.0, leakage_ref_w=0.05
+        )
+        with pytest.raises(PowerModelError, match="runaway"):
+            steady_state_temperature(1.0, params)
+
+    def test_correction_monotone_in_power(self):
+        params = ThermalModelParams()
+        low = sustained_energy_correction(0.1, params)
+        high = sustained_energy_correction(0.5, params)
+        assert 0 <= low < high
+
+    def test_zero_power_correction(self):
+        assert sustained_energy_correction(0.0) == 0.0

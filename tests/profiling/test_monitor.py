@@ -1,0 +1,75 @@
+"""Layer monitor: measured vs. true latency/energy."""
+
+import pytest
+
+from repro.errors import ProfilingError
+from repro.power import EnergyCategory, EnergyInterval, INA219Config
+from repro.profiling import LayerMonitor
+
+
+def trace(durations_powers):
+    return [
+        EnergyInterval(d, p, EnergyCategory.COMPUTE)
+        for d, p in durations_powers
+    ]
+
+
+class TestMeasurement:
+    def test_flat_trace_accurate(self, board):
+        monitor = LayerMonitor(
+            board, sensor_config=INA219Config(
+                sample_period_s=10e-6, noise_std_w=0.0
+            )
+        )
+        m = monitor.measure_trace(trace([(0.010, 0.300)]))
+        assert m.latency_s == pytest.approx(0.010, rel=1e-3)
+        assert m.energy_j == pytest.approx(0.003, rel=0.01)
+        assert m.latency_error < 1e-3
+        assert m.energy_error < 0.01
+
+    def test_multi_phase_trace(self, board):
+        monitor = LayerMonitor(
+            board, sensor_config=INA219Config(
+                sample_period_s=5e-6, noise_std_w=0.0
+            )
+        )
+        m = monitor.measure_trace(
+            trace([(0.002, 0.050), (0.004, 0.400), (0.001, 0.100)])
+        )
+        true_energy = 0.002 * 0.05 + 0.004 * 0.4 + 0.001 * 0.1
+        assert m.true_energy_j == pytest.approx(true_energy)
+        assert m.energy_error < 0.05
+
+    def test_timer_quantization_reflected(self, board):
+        monitor = LayerMonitor(board)
+        # Timer clocked at 50 MHz (board default LFO): 20 ns ticks.
+        m = monitor.measure_trace(
+            trace([(1.00001e-3, 0.2)]), timer_clock_hz=50e6
+        )
+        assert m.latency_s <= 1.00001e-3
+        assert m.latency_s >= 1.00001e-3 - 2 / 50e6
+
+    def test_noise_bounded_for_many_samples(self, board):
+        monitor = LayerMonitor(
+            board, sensor_config=INA219Config(
+                sample_period_s=5e-6, noise_std_w=2e-3
+            )
+        )
+        m = monitor.measure_trace(trace([(0.050, 0.300)]))
+        assert m.energy_error < 0.02
+
+    def test_sample_count_reported(self, board):
+        monitor = LayerMonitor(
+            board, sensor_config=INA219Config(sample_period_s=1e-3)
+        )
+        m = monitor.measure_trace(trace([(0.010, 0.2)]))
+        assert m.samples == 10
+
+    def test_empty_trace_rejected(self, board):
+        with pytest.raises(ProfilingError):
+            LayerMonitor(board).measure_trace([])
+
+    def test_zero_error_properties_on_degenerate_truth(self, board):
+        monitor = LayerMonitor(board)
+        m = monitor.measure_trace(trace([(1e-9, 0.0)]))
+        assert m.energy_error == 0.0

@@ -1,0 +1,69 @@
+"""Layer profiler: measured records track the analytic DSE prices."""
+
+import pytest
+
+from repro.dse import DSEExplorer, paper_design_space, pareto_front
+from repro.power import INA219Config
+from repro.profiling import LayerMonitor, LayerProfiler
+
+
+@pytest.fixture
+def space(board):
+    return paper_design_space(board.power_model)
+
+
+@pytest.fixture
+def profiler(board, space):
+    monitor = LayerMonitor(
+        board,
+        sensor_config=INA219Config(sample_period_s=2e-6, noise_std_w=5e-4),
+    )
+    return LayerProfiler(board, space, monitor=monitor)
+
+
+class TestProfileCandidate:
+    def test_measurement_tracks_analytic_price(
+        self, board, space, profiler, tiny_model
+    ):
+        explorer = DSEExplorer(board, space)
+        node = tiny_model.dae_nodes()[0]
+        analytic = {
+            (p.granularity, p.hfo.sysclk_hz): p
+            for p in explorer.explore_layer(
+                tiny_model, node, assume_relock=True
+            )
+        }
+        for g in (0, 8):
+            hfo = space.hfo_configs[-1]
+            record = profiler.profile_candidate(tiny_model, node, g, hfo)
+            truth = analytic[(g, hfo.sysclk_hz)]
+            assert record.latency_s == pytest.approx(
+                truth.latency_s, rel=0.02
+            )
+            assert record.energy_j == pytest.approx(truth.energy_j, rel=0.10)
+
+    def test_profile_layer_covers_space(self, profiler, tiny_model):
+        node = tiny_model.dae_nodes()[0]
+        records = profiler.profile_layer(tiny_model, node)
+        assert len(records) == profiler.space.size_per_dae_layer
+
+    def test_non_dae_layer_profiles_frequencies_only(
+        self, profiler, tiny_model
+    ):
+        node = tiny_model.conv_nodes()[0]
+        assert not node.layer.supports_dae
+        records = profiler.profile_layer(tiny_model, node)
+        assert len(records) == len(profiler.space.hfo_configs)
+
+    def test_measured_pareto_front_sensible(self, profiler, tiny_model):
+        """Even measured (noisy, quantized) records produce a usable
+        Pareto front for the MCKP stage."""
+        node = tiny_model.dae_nodes()[-1]
+        records = profiler.profile_layer(tiny_model, node)
+        front = pareto_front(
+            records, key=lambda r: (r.latency_s, r.energy_j)
+        )
+        assert 0 < len(front) <= len(records)
+        # Fastest front point should use a high frequency.
+        fastest = min(front, key=lambda r: r.latency_s)
+        assert fastest.hfo.sysclk_hz >= 150e6

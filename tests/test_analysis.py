@@ -1,0 +1,270 @@
+"""Analysis helpers: figure stats, microbench, battery, timeline."""
+
+import pytest
+
+from repro import DAEDVFSPipeline
+from repro.analysis import (
+    Battery,
+    DutyCycle,
+    estimate_lifetime,
+    frequency_histogram,
+    granularity_histogram,
+    mean_frequency_hz,
+    run_addition_loop,
+    share_at_frequency,
+    share_at_granularity,
+    share_at_or_below_frequency,
+    timeline_csv,
+    timeline_events,
+    write_timeline_csv,
+)
+from repro.clock import lfo_config, max_performance_config
+from repro.engine import uniform_plan
+from repro.errors import PowerModelError, ShapeError
+from repro.nn import build_tiny_test_model
+from repro.optimize import MODERATE
+from repro.units import MHZ
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    pipeline = DAEDVFSPipeline()
+    model = build_tiny_test_model()
+    result = pipeline.optimize(model, qos_level=MODERATE)
+    report = pipeline.deploy(model, result.plan)
+    return pipeline, model, result, report
+
+
+class TestFigureStats:
+    def test_histograms_cover_all_layers(self, deployment):
+        _, model, result, _ = deployment
+        freqs = frequency_histogram(result.plan, model)
+        grans = granularity_histogram(result.plan)
+        assert sum(freqs.values()) == len(result.plan.layer_plans)
+        assert sum(grans.values()) == len(result.plan.layer_plans)
+
+    def test_shares_sum_sensibly(self, deployment):
+        _, model, result, _ = deployment
+        freqs = frequency_histogram(result.plan, model)
+        total = sum(
+            share_at_frequency(result.plan, model, mhz * MHZ)
+            for mhz in freqs
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_share_at_or_below_monotone(self, deployment):
+        _, model, result, _ = deployment
+        low = share_at_or_below_frequency(result.plan, model, 84 * MHZ)
+        high = share_at_or_below_frequency(result.plan, model, 216 * MHZ)
+        assert low <= high == pytest.approx(1.0)
+
+    def test_granularity_share(self, deployment):
+        _, _, result, _ = deployment
+        total = sum(
+            share_at_granularity(result.plan, g)
+            for g in {lp.granularity for lp in result.plan.layer_plans.values()}
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_mean_frequency_bounds(self, deployment):
+        _, _, result, _ = deployment
+        mean = mean_frequency_hz(result.plan)
+        assert 50 * MHZ <= mean <= 216 * MHZ
+
+    def test_empty_plan_edge_cases(self, deployment):
+        from repro.engine import DeploymentPlan
+
+        _, model, _, _ = deployment
+        empty = DeploymentPlan(model_name=model.name)
+        assert share_at_frequency(empty, model, 216 * MHZ) == 0.0
+        assert share_at_granularity(empty, 16) == 0.0
+        assert mean_frequency_hz(empty) == 0.0
+
+
+class TestMicrobench:
+    def test_power_matches_model(self, board):
+        config = max_performance_config()
+        result = run_addition_loop(board, config)
+        assert result.power_w == pytest.approx(
+            board.power_model.active_power(config)
+        )
+
+    def test_latency_scales_with_frequency(self, board):
+        fast = run_addition_loop(board, max_performance_config())
+        slow = run_addition_loop(board, lfo_config())
+        assert slow.latency_s == pytest.approx(
+            fast.latency_s * 216 / 50, rel=1e-6
+        )
+
+    def test_nonpositive_iterations_rejected(self, board):
+        with pytest.raises(ShapeError):
+            run_addition_loop(board, lfo_config(), iterations=0)
+
+
+class TestBattery:
+    def test_usable_energy(self):
+        battery = Battery(capacity_mah=1000, voltage_v=3.0,
+                          usable_fraction=1.0)
+        assert battery.usable_energy_j == pytest.approx(1.0 * 3600 * 3.0)
+
+    def test_lifetime_positive_and_sane(self, deployment):
+        _, _, _, report = deployment
+        life = estimate_lifetime(Battery(), report, DutyCycle())
+        assert life.hours > 0
+        assert 0 < life.active_share < 1
+        assert life.days == pytest.approx(life.hours / 24)
+
+    def test_lower_energy_schedule_lives_longer(self, deployment):
+        pipeline, model, result, report = deployment
+        te = pipeline._tinyengine.run(model, qos_s=result.qos_s)
+        ours = estimate_lifetime(Battery(), report, DutyCycle())
+        baseline = estimate_lifetime(Battery(), te, DutyCycle())
+        assert ours.hours > baseline.hours
+
+    def test_impossible_duty_cycle_rejected(self, deployment):
+        _, _, _, report = deployment
+        with pytest.raises(PowerModelError):
+            estimate_lifetime(
+                Battery(), report, DutyCycle(windows_per_hour=1e9)
+            )
+
+    def test_validation(self):
+        with pytest.raises(PowerModelError):
+            Battery(capacity_mah=0)
+        with pytest.raises(PowerModelError):
+            Battery(usable_fraction=1.5)
+        with pytest.raises(PowerModelError):
+            DutyCycle(windows_per_hour=-1)
+
+
+class TestTimeline:
+    def test_events_cover_full_duration(self, deployment):
+        _, _, _, report = deployment
+        events = timeline_events(report)
+        assert events[0].start_s == 0.0
+        assert events[-1].end_s == pytest.approx(report.account.total_time_s)
+        # Events are contiguous and ordered.
+        for a, b in zip(events, events[1:]):
+            assert b.start_s == pytest.approx(a.end_s)
+
+    def test_total_energy_preserved(self, deployment):
+        _, _, _, report = deployment
+        events = timeline_events(report)
+        assert sum(e.energy_j for e in events) == pytest.approx(
+            report.energy_j
+        )
+
+    def test_csv_shape(self, deployment, tmp_path):
+        _, _, _, report = deployment
+        text = timeline_csv(report)
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("start_s,")
+        assert len(lines) == len(timeline_events(report)) + 1
+        path = tmp_path / "timeline.csv"
+        write_timeline_csv(report, path)
+        assert path.read_text() == text
+
+
+class TestQoSSweep:
+    def test_sweep_rows_and_trends(self, deployment):
+        from repro.analysis import qos_energy_sweep, saturation_slack
+
+        pipeline, model, _, _ = deployment
+        rows = qos_energy_sweep(pipeline, model, [0.1, 0.3, 0.6])
+        assert len(rows) == 3
+        # TinyEngine energy grows with the window (hot idle) and our
+        # relative savings grow with slack; absolute window energies
+        # are not comparable across different window lengths.
+        te = [r.tinyengine_energy_j for r in rows]
+        assert te == sorted(te)
+        savings = [r.savings_vs_tinyengine for r in rows]
+        for tighter, looser in zip(savings, savings[1:]):
+            assert looser >= tighter - 0.01
+        assert all(r.met_qos for r in rows)
+        sat = saturation_slack(rows)
+        assert sat in [r.slack for r in rows]
+
+    def test_sweep_validation(self, deployment):
+        from repro.analysis import qos_energy_sweep
+        from repro.errors import SolverError
+
+        pipeline, model, _, _ = deployment
+        with pytest.raises(SolverError):
+            qos_energy_sweep(pipeline, model, [])
+        with pytest.raises(SolverError):
+            qos_energy_sweep(pipeline, model, [0.5, 0.1])
+
+    def test_savings_properties(self, deployment):
+        from repro.analysis import qos_energy_sweep
+
+        pipeline, model, _, _ = deployment
+        (row,) = qos_energy_sweep(pipeline, model, [0.3])
+        assert 0 < row.savings_vs_tinyengine < 1
+        assert row.savings_vs_clock_gated <= row.savings_vs_tinyengine
+
+
+class TestGantt:
+    def test_render_covers_phases(self, deployment):
+        from repro.analysis import render_gantt
+
+        _, _, _, report = deployment
+        art = render_gantt(report, width=80, max_rows=16)
+        assert "#" in art       # compute phases
+        assert "m" in art       # memory phases
+        assert "timeline:" in art
+        # Row labels name real layers.
+        assert any(
+            r.layer_name in art for r in report.layer_reports
+        )
+
+    def test_width_respected(self, deployment):
+        from repro.analysis import render_gantt
+
+        _, _, _, report = deployment
+        art = render_gantt(report, width=40, max_rows=30)
+        for line in art.splitlines()[1:]:
+            strip = line.split(" | ")[0]
+            assert len(strip) == 40
+
+    def test_empty_report(self, board):
+        from repro.analysis import render_gantt
+        from repro.engine import DVFSRuntime
+        from repro.engine.schedule import DeploymentPlan
+        from repro.nn import Model
+        from repro.nn.models import INPUT_PARAMS
+
+        model = Model(name="empty", input_shape=(2, 2, 1),
+                      input_params=INPUT_PARAMS)
+        report = DVFSRuntime(board).run(
+            model, DeploymentPlan(model_name="empty")
+        )
+        assert render_gantt(report) == "(empty execution)"
+
+
+class TestFrontsCSV:
+    def test_csv_covers_all_points(self, deployment):
+        from repro.analysis import fronts_csv
+
+        _, _, result, _ = deployment
+        text = fronts_csv(result.pareto_fronts)
+        lines = text.strip().splitlines()
+        n_points = sum(len(f) for f in result.pareto_fronts.values())
+        assert len(lines) == n_points + 1
+        assert lines[0].startswith("node_id,")
+
+    def test_file_round_trip(self, deployment, tmp_path):
+        from repro.analysis import fronts_csv, write_fronts_csv
+
+        _, _, result, _ = deployment
+        path = tmp_path / "fronts.csv"
+        write_fronts_csv(result.pareto_fronts, path)
+        assert path.read_text() == fronts_csv(result.pareto_fronts)
+
+
+class TestSweepEdges:
+    def test_saturation_slack_empty_rejected(self):
+        from repro.analysis import saturation_slack
+        from repro.errors import SolverError
+
+        with pytest.raises(SolverError):
+            saturation_slack([])

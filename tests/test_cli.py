@@ -1,0 +1,139 @@
+"""CLI: every subcommand exercised end to end."""
+
+import json
+
+import pytest
+
+from repro.cli import main, make_parser
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args([])
+
+    def test_unknown_model_exits(self):
+        with pytest.raises(SystemExit):
+            main(["summary", "resnet152"])
+
+    def test_optimize_requires_qos(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args(["optimize", "tiny"])
+
+    def test_qos_forms_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args(
+                ["optimize", "tiny", "--qos-percent", "30", "--qos-ms", "5"]
+            )
+
+
+class TestCommands:
+    def test_summary(self, capsys):
+        assert main(["summary", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "tiny" in out
+        assert "DAE-eligible" in out
+
+    def test_optimize_writes_plan(self, capsys, tmp_path):
+        plan_path = tmp_path / "plan.json"
+        code = main(
+            ["optimize", "tiny", "--qos-percent", "30",
+             "--output", str(plan_path)]
+        )
+        assert code == 0
+        data = json.loads(plan_path.read_text())
+        assert data["model_name"] == "tiny"
+        assert data["layers"]
+
+    def test_optimize_harmonized(self, capsys, tmp_path):
+        plan_path = tmp_path / "plan.json"
+        code = main(
+            ["optimize", "tiny", "--qos-percent", "30", "--harmonize",
+             "--output", str(plan_path)]
+        )
+        assert code == 0
+
+    def test_deploy_roundtrip(self, capsys, tmp_path):
+        plan_path = tmp_path / "plan.json"
+        timeline_path = tmp_path / "timeline.csv"
+        main(["optimize", "tiny", "--qos-percent", "30",
+              "--output", str(plan_path)])
+        capsys.readouterr()
+        code = main(
+            ["deploy", "tiny", "--plan", str(plan_path),
+             "--qos-ms", "2.0", "--timeline", str(timeline_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "QoS met: True" in out
+        assert timeline_path.read_text().startswith("start_s,")
+
+    def test_deploy_missing_plan_reports_error(self, capsys, tmp_path):
+        bad = tmp_path / "nope.json"
+        bad.write_text("{broken")
+        code = main(["deploy", "tiny", "--plan", str(bad)])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_compare(self, capsys):
+        assert main(["compare", "tiny", "--qos-percents", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "vs TE" in out
+        assert "20%" in out
+
+    def test_microbench(self, capsys):
+        assert main(["microbench"]) == 0
+        out = capsys.readouterr().out
+        assert "MHz" in out
+        assert "mW" in out
+
+    def test_lifetime(self, capsys):
+        code = main(
+            ["lifetime", "tiny", "--qos-percent", "30",
+             "--capacity-mah", "500", "--windows-per-hour", "120"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "days" in out
+        assert "DAE + DVFS" in out
+
+    def test_codegen(self, capsys, tmp_path):
+        plan_path = tmp_path / "plan.json"
+        main(["optimize", "tiny", "--qos-percent", "30",
+              "--output", str(plan_path)])
+        capsys.readouterr()
+        outdir = tmp_path / "firmware"
+        code = main(
+            ["codegen", "tiny", "--plan", str(plan_path),
+             "--outdir", str(outdir)]
+        )
+        assert code == 0
+        header = (outdir / "dae_dvfs_clocks.h").read_text()
+        source = (outdir / "dae_dvfs_inference.c").read_text()
+        assert "PLLN" in header
+        assert "run_inference" in source
+
+    def test_infeasible_qos_reports_error(self, capsys):
+        code = main(["optimize", "tiny", "--qos-ms", "0.001"])
+        assert code == 1
+        assert "infeasible" in capsys.readouterr().err
+
+    def test_stream(self, capsys):
+        code = main(
+            ["stream", "tiny", "--qos-percent", "30",
+             "--windows", "20", "--idle", "stop"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "20 windows" in out
+        assert "thermal" in out
+
+    def test_hotspots(self, capsys):
+        assert main(["hotspots", "tiny", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "share" in out
+
+    def test_selftest(self, capsys):
+        assert main(["selftest"]) == 0
+        out = capsys.readouterr().out
+        assert "self-test PASSED" in out

@@ -1,0 +1,126 @@
+"""Firmware scaffolding generation."""
+
+import pytest
+
+from repro import DAEDVFSPipeline
+from repro.codegen import (
+    distinct_hfos,
+    generate_clock_header,
+    generate_firmware,
+    generate_inference_source,
+)
+from repro.engine import DeploymentPlan, LayerPlan, uniform_plan
+from repro.errors import GraphError
+from repro.nn import build_tiny_test_model
+from repro.optimize import MODERATE
+
+
+@pytest.fixture(scope="module")
+def planned():
+    pipeline = DAEDVFSPipeline()
+    model = build_tiny_test_model()
+    result = pipeline.optimize(model, qos_level=MODERATE)
+    return model, result.plan
+
+
+class TestClockHeader:
+    def test_contains_pll_register_values(self, planned):
+        model, plan = planned
+        header = generate_clock_header(plan)
+        for config in distinct_hfos(plan):
+            mhz = int(round(config.sysclk_hz / 1e6))
+            assert f"HFO_{mhz}MHZ_PLLM {config.pll.pllm}U" in header
+            assert f"HFO_{mhz}MHZ_PLLN {config.pll.plln}U" in header
+
+    def test_lfo_frequency_emitted(self, planned):
+        _, plan = planned
+        header = generate_clock_header(plan)
+        assert f"LFO_HSE_HZ {int(plan.lfo.hse_hz)}UL" in header
+
+    def test_include_guard(self, planned):
+        _, plan = planned
+        header = generate_clock_header(plan)
+        assert header.startswith("/*")
+        assert "#ifndef DAE_DVFS_CLOCKS_H" in header
+        assert header.rstrip().endswith("#endif /* DAE_DVFS_CLOCKS_H */")
+
+    def test_non_pll_hfo_rejected(self, tiny_model, lfo):
+        plan = DeploymentPlan(model_name=tiny_model.name)
+        plan.layer_plans[1] = LayerPlan(node_id=1, granularity=0, hfo=lfo)
+        with pytest.raises(GraphError):
+            generate_clock_header(plan)
+
+
+class TestInferenceSource:
+    def test_listing1_structure_for_dae_layers(self, planned):
+        model, plan = planned
+        source = generate_inference_source(model, plan)
+        assert "ClockSwitchHSE(LFO_HSE_HZ);" in source
+        assert "ClockSwitchPLL(" in source
+        assert "memory-bound segment" in source
+        assert "compute-bound segment" in source
+
+    def test_every_layer_mentioned(self, planned):
+        model, plan = planned
+        source = generate_inference_source(model, plan)
+        for node in model.nodes:
+            assert node.layer.name in source
+
+    def test_granularity_in_loop_bounds(self, planned):
+        model, plan = planned
+        source = generate_inference_source(model, plan)
+        for node_id, lp in plan.layer_plans.items():
+            node = model.nodes[node_id - 1]
+            if lp.granularity > 0 and node.layer.supports_dae:
+                assert f"base += {lp.granularity}" in source
+
+    def test_braces_balanced(self, planned):
+        model, plan = planned
+        source = generate_inference_source(model, plan)
+        assert source.count("{") == source.count("}")
+
+    def test_fused_layers_have_no_hse_switch(self, tiny_model, hfo_216):
+        plan = uniform_plan(tiny_model, hfo=hfo_216, granularity=0)
+        source = generate_inference_source(tiny_model, plan)
+        assert "ClockSwitchHSE" not in source
+        assert "ClockSwitchPLL" in source
+
+    def test_wrong_model_rejected(self, planned, tiny_model):
+        _, plan = planned
+        other = build_tiny_test_model(input_hw=8)
+        other.name = "other"
+        with pytest.raises(GraphError):
+            generate_inference_source(other, plan)
+
+    def test_deterministic(self, planned):
+        model, plan = planned
+        assert generate_inference_source(model, plan) == (
+            generate_inference_source(model, plan)
+        )
+
+
+class TestFirmwareBundle:
+    def test_both_files_present(self, planned):
+        model, plan = planned
+        files = generate_firmware(model, plan)
+        assert set(files) == {"dae_dvfs_clocks.h", "dae_dvfs_inference.c"}
+        assert '#include "dae_dvfs_clocks.h"' in files["dae_dvfs_inference.c"]
+
+
+class TestLargeModels:
+    def test_mbv2_scale_generation(self):
+        from repro import DAEDVFSPipeline
+        from repro.nn import build_vww
+        from repro.optimize import TIGHT
+
+        pipeline = DAEDVFSPipeline()
+        model = build_vww()
+        plan = pipeline.optimize(model, qos_level=TIGHT).plan
+        files = generate_firmware(model, plan)
+        source = files["dae_dvfs_inference.c"]
+        assert source.count("{") == source.count("}")
+        # Every scheduled DAE layer emits its buffer.
+        dae_layers = sum(
+            1 for lp in plan.layer_plans.values() if lp.granularity > 0
+        )
+        assert source.count("static q7_t buf[") == dae_layers

@@ -1,0 +1,159 @@
+"""Cross-cutting edge cases the per-module suites do not reach."""
+
+import numpy as np
+import pytest
+
+from repro.clock import hfo_grid, iso_frequency_groups, pll_config
+from repro.engine import DVFSRuntime, TinyEngine, uniform_plan
+from repro.engine.schedule import DeploymentPlan
+from repro.mcu import CacheModel
+from repro.nn import (
+    Flatten,
+    GlobalAveragePool,
+    Model,
+    PointwiseConv2D,
+    QuantizedTensor,
+)
+from repro.nn.models import INPUT_PARAMS
+from repro.nn.quantize import QuantParams
+from repro.power import PowerModelParams
+from repro.units import MHZ
+
+
+class TestRemainderGroups:
+    def test_runtime_matches_pricer_with_short_last_group(
+        self, board, tiny_model
+    ):
+        """g=12 on 16 channels leaves a 4-channel remainder group; the
+        batched runtime must still agree with the aggregate pricer."""
+        from repro.clock import max_performance_config
+        from repro.dse.explorer import LayerCostModel
+        from repro.engine.cost import TraceBuilder
+
+        hfo = max_performance_config()
+        runtime = DVFSRuntime(board)
+        plan = uniform_plan(tiny_model, hfo=hfo, granularity=12)
+        report = runtime.run(tiny_model, plan, initial_config=hfo)
+        pricer = LayerCostModel(board)
+        tracer = TraceBuilder(board)
+        by_node = {r.node_id: r for r in report.layer_reports}
+        for node in tiny_model.dae_nodes():
+            trace = tracer.build(tiny_model, node, 12)
+            latency, energy = pricer.price(
+                trace, hfo, plan.lfo, assume_relock=False
+            )
+            assert by_node[node.node_id].latency_s == pytest.approx(latency)
+            assert by_node[node.node_id].energy_j == pytest.approx(energy)
+
+    def test_granularity_exceeding_units_is_single_group(
+        self, board, tiny_model
+    ):
+        from repro.engine.cost import TraceBuilder
+
+        tracer = TraceBuilder(board)
+        dw = tiny_model.dae_nodes()[0]
+        channels = tiny_model.input_shapes_of(dw)[0][2]
+        trace = tracer.build(tiny_model, dw, channels * 10)
+        assert trace.iterations == 1
+
+
+class TestDegenerateModels:
+    def make_convless_model(self):
+        model = Model(
+            name="convless", input_shape=(4, 4, 2), input_params=INPUT_PARAMS
+        )
+        model.add(GlobalAveragePool("gap"))
+        model.add(Flatten("flat"))
+        return model
+
+    def test_runtime_executes_empty_plan(self, board):
+        model = self.make_convless_model()
+        runtime = DVFSRuntime(board)
+        plan = DeploymentPlan(model_name="convless")
+        report = runtime.run(model, plan)
+        assert report.latency_s > 0
+        assert report.relock_count == 0
+
+    def test_tinyengine_on_convless_model(self, board):
+        model = self.make_convless_model()
+        report = TinyEngine(board).run(model)
+        assert report.latency_s > 0
+
+    def test_forward_on_convless_model(self):
+        model = self.make_convless_model()
+        rng = np.random.default_rng(0)
+        x = QuantizedTensor(
+            rng.integers(-128, 128, (4, 4, 2)).astype(np.int8),
+            INPUT_PARAMS.scale,
+            INPUT_PARAMS.zero_point,
+        )
+        assert model.forward(x).shape == (2,)
+
+
+class TestMultiConsumerGraph:
+    def test_two_layers_consume_same_tensor(self):
+        rng = np.random.default_rng(0)
+        act = QuantParams(scale=0.05, zero_point=0)
+        model = Model(
+            name="fanout", input_shape=(4, 4, 4), input_params=INPUT_PARAMS
+        )
+        a = model.add(
+            PointwiseConv2D(
+                "branch_a", rng.normal(0, 0.3, (4, 6)), None,
+                INPUT_PARAMS, act,
+            ),
+            inputs=(0,),
+        )
+        b = model.add(
+            PointwiseConv2D(
+                "branch_b", rng.normal(0, 0.3, (4, 6)), None,
+                INPUT_PARAMS, act,
+            ),
+            inputs=(0,),
+        )
+        x = QuantizedTensor(
+            rng.integers(-128, 128, (4, 4, 4)).astype(np.int8),
+            INPUT_PARAMS.scale,
+            INPUT_PARAMS.zero_point,
+        )
+        activations = model.forward_with_activations(x)
+        assert activations[a].shape == (4, 4, 6)
+        assert activations[b].shape == (4, 4, 6)
+        assert not np.array_equal(activations[a].data, activations[b].data)
+
+
+class TestClockEdges:
+    def test_iso_grouping_respects_tolerance(self):
+        a = pll_config(50 * MHZ, 25, 100)
+        groups = iso_frequency_groups([a], tolerance_hz=1.0)
+        assert len(groups) == 1
+
+    def test_custom_engine_clock(self, board, tiny_model):
+        clock_168 = next(
+            c for c in hfo_grid() if abs(c.sysclk_hz - 168 * MHZ) < 1
+        )
+        engine = TinyEngine(board, clock=clock_168)
+        report = engine.run(tiny_model)
+        for layer in report.layer_reports:
+            assert layer.hfo_hz == pytest.approx(168 * MHZ)
+
+
+class TestVOSBoundaries:
+    @pytest.mark.parametrize(
+        "freq_mhz,expected_v",
+        [(96, 1.08), (96.000001, 1.20), (144, 1.20), (168, 1.23),
+         (180, 1.26), (216, 1.32)],
+    )
+    def test_step_edges(self, freq_mhz, expected_v):
+        params = PowerModelParams()
+        assert params.core_voltage(freq_mhz * 1e6) == pytest.approx(
+            expected_v
+        )
+
+
+class TestCacheSharpness:
+    def test_sharper_cliff_refetches_more_just_past_capacity(self):
+        gentle = CacheModel(overflow_sharpness=1.0)
+        steep = CacheModel(overflow_sharpness=3.0)
+        ws = gentle.usable_bytes * 1.2
+        assert steep.refetch_fraction(ws) > gentle.refetch_fraction(ws)

@@ -1,0 +1,38 @@
+"""Error hierarchy: everything derives from ReproError."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.ClockConfigError,
+    errors.ClockSwitchError,
+    errors.PowerModelError,
+    errors.QuantizationError,
+    errors.ShapeError,
+    errors.GraphError,
+    errors.TraceError,
+    errors.ProfilingError,
+    errors.DesignSpaceError,
+    errors.SolverError,
+]
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("error_type", ALL_ERRORS)
+    def test_derives_from_repro_error(self, error_type):
+        assert issubclass(error_type, errors.ReproError)
+        assert issubclass(error_type, Exception)
+
+    def test_qos_infeasible_carries_context(self):
+        err = errors.QoSInfeasibleError(qos_s=0.010, min_latency_s=0.015)
+        assert isinstance(err, errors.ReproError)
+        assert err.qos_s == pytest.approx(0.010)
+        assert err.min_latency_s == pytest.approx(0.015)
+        assert "10.000 ms" in str(err)
+        assert "15.000 ms" in str(err)
+
+    def test_catch_all_via_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.ShapeError("bad shape")

@@ -1,0 +1,86 @@
+"""Random-architecture property tests: the stack holds on any model.
+
+These are the heaviest property tests in the suite: each generated
+architecture runs through bit-exact DAE execution and the full
+optimization pipeline.  Example counts are kept small; determinism
+comes from the generator seeds.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import DAEDVFSPipeline
+from repro.engine import DAEExecutor
+from repro.errors import ShapeError
+from repro.nn import QuantizedTensor
+from repro.nn.generator import random_separable_cnn
+from repro.nn.models import INPUT_PARAMS
+from repro.optimize import QoSLevel
+
+
+def make_input(model, seed):
+    rng = np.random.default_rng(seed)
+    return QuantizedTensor(
+        rng.integers(-128, 128, size=model.input_shape).astype(np.int8),
+        INPUT_PARAMS.scale,
+        INPUT_PARAMS.zero_point,
+    )
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = random_separable_cnn(seed=5)
+        b = random_separable_cnn(seed=5)
+        x = make_input(a, 0)
+        assert np.array_equal(a.forward(x).data, b.forward(x).data)
+
+    def test_seeds_vary_architecture(self):
+        shapes = {
+            tuple(
+                n.output_shape for n in random_separable_cnn(seed=s).nodes
+            )
+            for s in range(5)
+        }
+        assert len(shapes) > 1
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            random_separable_cnn(seed=0, num_blocks=0)
+        with pytest.raises(ShapeError):
+            random_separable_cnn(seed=0, input_hw=4)
+
+    def test_channel_bound_respected(self):
+        model = random_separable_cnn(seed=3, max_channels=32)
+        for node in model.conv_nodes():
+            assert node.output_shape[-1] <= max(32, 4)
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_dae_bit_exact_on_random_architectures(seed):
+    """Property: DAE == reference on arbitrary generated CNNs."""
+    model = random_separable_cnn(seed=seed, num_blocks=3, input_hw=16)
+    x = make_input(model, seed + 1)
+    reference = model.forward(x)
+    for g in (3, 8, 16):
+        out, _ = DAEExecutor(
+            {n.node_id: g for n in model.dae_nodes()}
+        ).run(model, x)
+        assert np.array_equal(out.data, reference.data)
+
+
+@settings(max_examples=4, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    slack=st.sampled_from([0.15, 0.40]),
+)
+def test_pipeline_handles_random_architectures(seed, slack):
+    """Property: the full pipeline produces a QoS-feasible,
+    baseline-beating schedule for arbitrary generated CNNs."""
+    model = random_separable_cnn(seed=seed, num_blocks=3, input_hw=16)
+    pipeline = DAEDVFSPipeline()
+    level = QoSLevel(name="rand", slack=slack)
+    row = pipeline.compare(model, level)
+    assert row.ours.met_qos
+    assert row.ours.energy_j <= row.tinyengine.energy_j

@@ -1,0 +1,16 @@
+"""Installation self-test."""
+
+from repro.selftest import run_selftest
+
+
+class TestSelfTest:
+    def test_all_checks_pass(self):
+        result = run_selftest()
+        assert result.ok, result.summary()
+        assert len(result.checks) == 5
+
+    def test_summary_format(self):
+        result = run_selftest()
+        text = result.summary()
+        assert "self-test PASSED" in text
+        assert text.count("[ok ]") == 5

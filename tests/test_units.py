@@ -1,0 +1,50 @@
+"""Unit helpers: conversions are exact inverses."""
+
+import pytest
+
+from repro import units
+
+
+class TestFrequency:
+    def test_constants(self):
+        assert units.MHZ == 1e6
+        assert units.KHZ == 1e3
+        assert units.GHZ == 1e9
+
+    def test_mhz_round_trip(self):
+        assert units.to_mhz(units.mhz(216)) == pytest.approx(216)
+
+
+class TestTime:
+    @pytest.mark.parametrize(
+        "forward,backward,value",
+        [
+            (units.us, units.to_us, 200.0),
+            (units.ms, units.to_ms, 31.5),
+        ],
+    )
+    def test_round_trips(self, forward, backward, value):
+        assert backward(forward(value)) == pytest.approx(value)
+
+    def test_ns(self):
+        assert units.ns(40) == pytest.approx(40e-9)
+
+
+class TestPowerEnergy:
+    @pytest.mark.parametrize(
+        "forward,backward,value",
+        [
+            (units.mw, units.to_mw, 450.0),
+            (units.mj, units.to_mj, 18.0),
+            (units.uj, units.to_uj, 7.5),
+        ],
+    )
+    def test_round_trips(self, forward, backward, value):
+        assert backward(forward(value)) == pytest.approx(value)
+
+
+class TestCapacity:
+    def test_kib(self):
+        assert units.kib(16) == 16384
+        assert units.KIB == 1024
+        assert units.MIB == 1024 * 1024
