@@ -1,0 +1,151 @@
+"""Performance harness for the DSE -> MCKP -> deploy hot path.
+
+Times the three pipeline stages (explore / solve / deploy) for the
+paper's evaluation models and writes ``BENCH_perf_pipeline.json`` at
+the repo root with the schema::
+
+    {stage: {"wall_s": float, "calls": int}}
+
+plus a ``_meta`` block.  To quantify the win of batched pricing + the
+trace cache, the harness also runs an in-file *baseline* explorer that
+replicates the pre-optimization behavior -- scalar ``price()`` per
+(g, HFO) candidate on an uncached ``TraceBuilder`` -- so the speedup
+is recorded against the same board/space/model in the same file
+(``_meta.explore_speedup``).
+
+Run standalone (CI smoke does exactly this)::
+
+    PYTHONPATH=src python benchmarks/bench_perf_pipeline.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from repro import DAEDVFSPipeline, build_mbv2, build_person_detection, build_vww
+from repro.dse.explorer import LayerCostModel, SolutionPoint
+from repro.engine.cost import TraceBuilder
+from repro.optimize import MODERATE
+
+OUTPUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_perf_pipeline.json"
+
+#: The largest bundled model; the headline speedup is measured on it.
+LARGEST = "mbv2"
+
+
+def build_models():
+    return {
+        "vww": build_vww(),
+        "pd": build_person_detection(),
+        "mbv2": build_mbv2(),
+    }
+
+
+def baseline_explore(board, space, model):
+    """The pre-optimization Step-2 sweep: scalar pricing, no caches.
+
+    Mirrors the original ``DSEExplorer.explore_model`` loop: one trace
+    build per (layer, g) on a cache-disabled builder, then one scalar
+    ``price()`` call per HFO candidate.
+    """
+    tracer = TraceBuilder(board, cache=False)
+    pricer = LayerCostModel(board)
+    clouds = {}
+    for node in model.conv_nodes():
+        granularities = (
+            space.granularities if node.layer.supports_dae else (0,)
+        )
+        points = []
+        for g in granularities:
+            trace = tracer.build(model, node, g)
+            for hfo in space.hfo_configs:
+                latency, energy = pricer.price(
+                    trace, hfo, space.lfo, assume_relock=False
+                )
+                points.append(
+                    SolutionPoint(
+                        node_id=node.node_id,
+                        layer_name=node.layer.name,
+                        layer_kind=node.layer.kind,
+                        granularity=trace.granularity,
+                        hfo=hfo,
+                        latency_s=latency,
+                        energy_j=energy,
+                    )
+                )
+        clouds[node.node_id] = points
+    return clouds
+
+
+def timed(stages, stage, fn):
+    start = time.perf_counter()
+    result = fn()
+    wall = time.perf_counter() - start
+    entry = stages.setdefault(stage, {"wall_s": 0.0, "calls": 0})
+    entry["wall_s"] += wall
+    entry["calls"] += 1
+    return result
+
+
+def main():
+    stages = {}
+    models = build_models()
+    pipeline = DAEDVFSPipeline()
+    for name, model in models.items():
+        # Pre-change Step 2: scalar pricing, throwaway traces.
+        baseline = timed(
+            stages,
+            f"explore_baseline[{name}]",
+            lambda: baseline_explore(pipeline.board, pipeline.space, model),
+        )
+        # New Step 2, cold: batched pricing filling the trace cache.
+        clouds = timed(
+            stages,
+            f"explore[{name}]",
+            lambda: pipeline._explore_clouds(model),
+        )
+        assert set(clouds) == set(baseline)
+        # Warm repeat: served from the per-model cloud cache.
+        timed(
+            stages,
+            f"explore_cached[{name}]",
+            lambda: pipeline._explore_clouds(model),
+        )
+        # Step 3 (solve + refinement) on the warmed caches, then deploy.
+        result = timed(
+            stages,
+            f"solve[{name}]",
+            lambda: pipeline.optimize(model, qos_level=MODERATE),
+        )
+        timed(
+            stages,
+            f"deploy[{name}]",
+            lambda: pipeline.deploy(model, result.plan),
+        )
+
+    cold = stages[f"explore[{LARGEST}]"]["wall_s"]
+    base = stages[f"explore_baseline[{LARGEST}]"]["wall_s"]
+    stages["_meta"] = {
+        "models": sorted(models),
+        "largest_model": LARGEST,
+        "explore_speedup": base / cold if cold > 0 else float("inf"),
+        "trace_cache_hits": pipeline.tracer.cache_hits,
+        "trace_cache_misses": pipeline.tracer.cache_misses,
+    }
+    OUTPUT.write_text(json.dumps(stages, indent=2, sort_keys=True) + "\n")
+
+    print(f"wrote {OUTPUT}")
+    for stage in sorted(s for s in stages if s != "_meta"):
+        entry = stages[stage]
+        print(f"{stage:28s} {entry['wall_s'] * 1e3:9.2f} ms  x{entry['calls']}")
+    print(
+        f"explore speedup on {LARGEST}: "
+        f"{stages['_meta']['explore_speedup']:.1f}x"
+    )
+    return stages
+
+
+if __name__ == "__main__":
+    main()

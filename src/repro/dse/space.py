@@ -58,6 +58,16 @@ class DesignSpace:
         if not self.hfo_configs:
             raise DesignSpaceError("design space needs at least one HFO config")
 
+    def fingerprint(self) -> Tuple:
+        """Hashable identity of the exploration space, for cache keys.
+
+        Two spaces with equal fingerprints price every candidate
+        identically given the same board, so exploration clouds and
+        Pareto fronts keyed on (model fingerprint, space fingerprint)
+        can be reused across QoS levels and uniform-HFO sweeps.
+        """
+        return (self.granularities, self.hfo_configs, self.lfo)
+
     @property
     def size_per_dae_layer(self) -> int:
         """Candidate count for a DAE-eligible layer."""

@@ -39,7 +39,7 @@ ratios.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..errors import TraceError
 from ..mcu.board import Board
@@ -51,6 +51,31 @@ from .trace import LayerTrace, ModelTrace, Segment, SegmentKind
 
 #: The paper's explored granularities (Sec. III-B); 0 = no DAE.
 PAPER_GRANULARITIES = (0, 2, 4, 8, 12, 16)
+
+
+def model_fingerprint(model: Model) -> Tuple:
+    """Structural identity of a model, suitable as a cache key.
+
+    Two models with the same fingerprint produce byte-identical traces:
+    the fingerprint covers the graph topology and every shape the cost
+    model reads (weights do not enter the access-pattern model).
+    Mutating a model (``Model.add``) changes its fingerprint, so caches
+    keyed on it never serve stale traces.
+    """
+    return (
+        model.name,
+        model.input_shape,
+        tuple(
+            (
+                node.node_id,
+                node.layer.name,
+                node.layer.kind.value,
+                node.inputs,
+                node.output_shape,
+            )
+            for node in model.nodes
+        ),
+    )
 
 
 @dataclass(frozen=True)
@@ -97,15 +122,43 @@ def _group_sizes(total: int, g: int) -> List[int]:
 
 
 class TraceBuilder:
-    """Builds layer/model traces against one board description."""
+    """Builds layer/model traces against one board description.
+
+    Traces are pure functions of (board, params, model structure, node,
+    granularity), so by default every built trace is memoized and the
+    same :class:`~repro.engine.trace.LayerTrace` instance is returned
+    on repeat requests -- the DSE sweep, the pipeline's fixed-overhead
+    accounting, the refinement loop and the runtime all share one
+    build per (model, node, g).  Callers must treat cached traces as
+    immutable.  The cache is a plain dict (not thread-safe); use
+    :meth:`clear_cache` after mutating ``board`` or ``params`` in
+    place, or pass ``cache=False`` for the uncached reference
+    behaviour.
+
+    Args:
+        board: the simulated board.
+        params: access-pattern constants.
+        cache: memoize built traces (on by default).
+    """
 
     def __init__(
         self,
         board: Board,
         params: Optional[TraceParams] = None,
+        cache: bool = True,
     ):
         self.board = board
         self.params = params or TraceParams()
+        self._cache_enabled = cache
+        self._trace_cache: Dict[Tuple, LayerTrace] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def clear_cache(self) -> None:
+        """Drop every memoized trace (and reset the hit/miss counters)."""
+        self._trace_cache.clear()
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     @property
     def _cache(self) -> CacheModel:
@@ -118,7 +171,7 @@ class TraceBuilder:
     # -- public API -----------------------------------------------------------
 
     def build(self, model: Model, node: Node, granularity: int) -> LayerTrace:
-        """Trace one node at one granularity.
+        """Trace one node at one granularity (memoized).
 
         Non-DAE layer kinds ignore the granularity and always produce a
         fused trace.
@@ -128,6 +181,26 @@ class TraceBuilder:
         """
         if granularity < 0:
             raise TraceError(f"granularity must be >= 0, got {granularity}")
+        if not self._cache_enabled:
+            return self._build_uncached(model, node, granularity)
+        # Non-DAE kinds fold every granularity onto the fused (g=0)
+        # trace, so normalize the key and share the entry.
+        effective_g = (
+            granularity if node.layer.supports_dae else 0
+        )
+        key = (model_fingerprint(model), node.node_id, effective_g)
+        cached = self._trace_cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        trace = self._build_uncached(model, node, granularity)
+        self._trace_cache[key] = trace
+        self.cache_misses += 1
+        return trace
+
+    def _build_uncached(
+        self, model: Model, node: Node, granularity: int
+    ) -> LayerTrace:
         input_shapes = model.input_shapes_of(node)
         kind = node.layer.kind
         if granularity > 0 and node.layer.supports_dae:
@@ -310,32 +383,41 @@ class TraceBuilder:
         macs_per_channel = out_b * layer.kernel * layer.kernel
         segments: List[Segment] = []
         sizes = _group_sizes(c, g)
+        # All full groups produce identical (immutable) segment pairs;
+        # build one pair per distinct group size and share it.
+        pair_for_size: Dict[int, Tuple[Segment, Segment]] = {}
         for gi in sizes:
-            # Memory-bound: burst-copy gi channel maps into the buffer
-            # and stream the group's filters from flash.
-            mem = SegmentWorkload(
-                cpu_cycles=self._timing.loop_overhead_cycles,
-                flash_bytes=gi * weight_b,
-                sram_bytes=2.0 * gi * in_b / self.params.burst_factor,
-            )
-            segments.append(Segment(kind=SegmentKind.MEMORY, workload=mem))
-            # Compute-bound: MACs out of warm buffers.  An overflowing
-            # working set evicts buffered channels before use and the
-            # scattered re-fetch cost comes back.
-            working_set = gi * (in_b + out_b + weight_b)
-            refetch = self._cache.refetch_fraction(working_set)
-            compute = SegmentWorkload(
-                cpu_cycles=(
-                    gi * macs_per_channel
-                    * self._timing.cycles_per_mac_depthwise
-                    + gi * out_b * self._timing.cycles_per_output_byte
-                    + self._timing.loop_overhead_cycles
-                ),
-                flash_bytes=0.0,
-                sram_bytes=gi * out_b
-                + refetch * self.params.reuse_dw * gi * in_b,
-            )
-            segments.append(Segment(kind=SegmentKind.COMPUTE, workload=compute))
+            pair = pair_for_size.get(gi)
+            if pair is None:
+                # Memory-bound: burst-copy gi channel maps into the
+                # buffer and stream the group's filters from flash.
+                mem = SegmentWorkload(
+                    cpu_cycles=self._timing.loop_overhead_cycles,
+                    flash_bytes=gi * weight_b,
+                    sram_bytes=2.0 * gi * in_b / self.params.burst_factor,
+                )
+                # Compute-bound: MACs out of warm buffers.  An
+                # overflowing working set evicts buffered channels
+                # before use and the scattered re-fetch cost comes back.
+                working_set = gi * (in_b + out_b + weight_b)
+                refetch = self._cache.refetch_fraction(working_set)
+                compute = SegmentWorkload(
+                    cpu_cycles=(
+                        gi * macs_per_channel
+                        * self._timing.cycles_per_mac_depthwise
+                        + gi * out_b * self._timing.cycles_per_output_byte
+                        + self._timing.loop_overhead_cycles
+                    ),
+                    flash_bytes=0.0,
+                    sram_bytes=gi * out_b
+                    + refetch * self.params.reuse_dw * gi * in_b,
+                )
+                pair = (
+                    Segment(kind=SegmentKind.MEMORY, workload=mem),
+                    Segment(kind=SegmentKind.COMPUTE, workload=compute),
+                )
+                pair_for_size[gi] = pair
+            segments.extend(pair)
         return segments, len(sizes)
 
     def _pointwise_dae(
@@ -358,24 +440,33 @@ class TraceBuilder:
         weight_flash_per_group = total_weight_flash / n_groups
         activation_refetch = self._cache.refetch_fraction(buffer_ws)
         segments: List[Segment] = []
+        # Full groups share one immutable segment pair per distinct
+        # size (only the last group can differ).
+        pair_for_size: Dict[int, Tuple[Segment, Segment]] = {}
         for gi in sizes:
-            mem = SegmentWorkload(
-                cpu_cycles=self._timing.loop_overhead_cycles,
-                flash_bytes=0.0,
-                sram_bytes=2.0 * gi * c_in / self.params.burst_factor,
-            )
-            segments.append(Segment(kind=SegmentKind.MEMORY, workload=mem))
-            compute = SegmentWorkload(
-                cpu_cycles=(
-                    gi * c_in * c_out * self._timing.cycles_per_mac_pointwise
-                    + gi * self.params.column_overhead_cycles
-                    + gi * c_out * self._timing.cycles_per_output_byte
-                    + self._timing.loop_overhead_cycles
-                ),
-                flash_bytes=weight_flash_per_group,
-                sram_bytes=gi * c_out + activation_refetch * gi * c_in,
-            )
-            segments.append(Segment(kind=SegmentKind.COMPUTE, workload=compute))
+            pair = pair_for_size.get(gi)
+            if pair is None:
+                mem = SegmentWorkload(
+                    cpu_cycles=self._timing.loop_overhead_cycles,
+                    flash_bytes=0.0,
+                    sram_bytes=2.0 * gi * c_in / self.params.burst_factor,
+                )
+                compute = SegmentWorkload(
+                    cpu_cycles=(
+                        gi * c_in * c_out * self._timing.cycles_per_mac_pointwise
+                        + gi * self.params.column_overhead_cycles
+                        + gi * c_out * self._timing.cycles_per_output_byte
+                        + self._timing.loop_overhead_cycles
+                    ),
+                    flash_bytes=weight_flash_per_group,
+                    sram_bytes=gi * c_out + activation_refetch * gi * c_in,
+                )
+                pair = (
+                    Segment(kind=SegmentKind.MEMORY, workload=mem),
+                    Segment(kind=SegmentKind.COMPUTE, workload=compute),
+                )
+                pair_for_size[gi] = pair
+            segments.extend(pair)
         return segments, n_groups
 
     # -- shared helpers -------------------------------------------------------------

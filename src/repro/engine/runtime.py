@@ -130,11 +130,19 @@ class DVFSRuntime:
     Args:
         board: the simulated board (clocking, power, timing models).
         trace_params: access-pattern constants for the cost model.
+        tracer: an existing (typically memoizing) :class:`TraceBuilder`
+            to share; when given, the runtime reuses its trace cache
+            instead of rebuilding every layer trace per run.
     """
 
-    def __init__(self, board: Board, trace_params: Optional[TraceParams] = None):
+    def __init__(
+        self,
+        board: Board,
+        trace_params: Optional[TraceParams] = None,
+        tracer: Optional[TraceBuilder] = None,
+    ):
         self.board = board
-        self.tracer = TraceBuilder(board, trace_params)
+        self.tracer = tracer or TraceBuilder(board, trace_params)
 
     # -- public API -----------------------------------------------------------
 

@@ -23,7 +23,7 @@ from typing import Optional
 from ..clock.configs import ClockConfig, max_performance_config
 from ..mcu.board import Board
 from ..nn.graph import Model
-from .cost import TraceParams
+from .cost import TraceBuilder, TraceParams
 from .runtime import DVFSRuntime, IdlePolicy, InferenceReport
 from .schedule import uniform_plan
 
@@ -37,6 +37,8 @@ class TinyEngine:
             configuration (the paper's baseline setting).
         trace_params: access-pattern constants (shared with the DVFS
             runtime for apples-to-apples comparisons).
+        tracer: an existing :class:`TraceBuilder` to share, so the
+            baselines reuse the pipeline's memoized g=0 traces.
     """
 
     #: Post-inference idle policy of this engine variant.
@@ -47,10 +49,11 @@ class TinyEngine:
         board: Board,
         clock: Optional[ClockConfig] = None,
         trace_params: Optional[TraceParams] = None,
+        tracer: Optional[TraceBuilder] = None,
     ):
         self.board = board
         self.clock = clock or max_performance_config()
-        self._runtime = DVFSRuntime(board, trace_params)
+        self._runtime = DVFSRuntime(board, trace_params, tracer=tracer)
 
     def run(self, model: Model, qos_s: Optional[float] = None) -> InferenceReport:
         """Run one inference; idle (per the engine's policy) to ``qos_s``."""

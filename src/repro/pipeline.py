@@ -22,12 +22,12 @@ in the iso-latency energy scenario.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, TYPE_CHECKING
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from .dse.explorer import DSEExplorer, SolutionPoint
 from .dse.pareto import pareto_front
 from .dse.space import DesignSpace, paper_design_space
-from .engine.cost import TraceBuilder, TraceParams
+from .engine.cost import TraceParams, model_fingerprint
 from .engine.runtime import DVFSRuntime, InferenceReport
 from .engine.schedule import DeploymentPlan, LayerPlan
 from .engine.tinyengine import TinyEngine, TinyEngineClockGated
@@ -122,11 +122,46 @@ class DAEDVFSPipeline:
             self.board, self.space, trace_params,
             granularity_fn=granularity_fn,
         )
-        self.runtime = DVFSRuntime(self.board, trace_params)
-        self._tinyengine = TinyEngine(self.board, trace_params=trace_params)
-        self._clock_gated = TinyEngineClockGated(
-            self.board, trace_params=trace_params
+        # One memoized TraceBuilder feeds the explorer, the runtime,
+        # the fixed-overhead accounting and both baseline engines, so
+        # every (model, node, g) trace is built exactly once.
+        self.tracer = self.explorer.tracer
+        self.runtime = DVFSRuntime(self.board, trace_params, tracer=self.tracer)
+        self._tinyengine = TinyEngine(
+            self.board, trace_params=trace_params, tracer=self.tracer
         )
+        self._clock_gated = TinyEngineClockGated(
+            self.board, trace_params=trace_params, tracer=self.tracer
+        )
+        # Step-2 result caches, keyed by (model fingerprint, space
+        # fingerprint): exploration clouds, their Pareto fronts, the
+        # per-(model, HFO) uniform-sweep fronts and the fixed
+        # (non-schedulable) overhead.  `compare()` across QoS levels
+        # and the uniform-HFO fallback sweep reuse Step 2 instead of
+        # re-running it.  Plain dicts -- not thread-safe; see
+        # :meth:`clear_caches`.
+        self._cloud_cache: Dict[Tuple, Dict[int, List[SolutionPoint]]] = {}
+        self._front_cache: Dict[Tuple, Dict[int, List[SolutionPoint]]] = {}
+        self._uniform_front_cache: Dict[Tuple, Dict] = {}
+        self._fixed_overhead_cache: Dict[Tuple, float] = {}
+
+    def _model_key(self, model: Model) -> Tuple:
+        """Cache key: model identity + design-space fingerprint."""
+        return (model_fingerprint(model), self.space.fingerprint())
+
+    def clear_caches(self) -> None:
+        """Invalidate every memoized Step-2 result and layer trace.
+
+        Call after mutating the board, the design space, the trace
+        params or the profiler in place (replacing the pipeline is the
+        recommended alternative).  Model mutations need no manual
+        invalidation: the fingerprint changes with the graph.
+        """
+        self._cloud_cache.clear()
+        self._front_cache.clear()
+        self._uniform_front_cache.clear()
+        self._fixed_overhead_cache.clear()
+        self.tracer.clear_cache()
 
     # -- building blocks -------------------------------------------------------
 
@@ -141,19 +176,27 @@ class DAEDVFSPipeline:
         behind.  They are budgeted at the fastest HFO; if the deployed
         schedule leaves them on a slower clock, the runtime-in-the-loop
         refinement of :meth:`optimize` absorbs the difference.
+
+        The result is memoized per (model, space): the traces come out
+        of the shared :attr:`tracer` cache and the sum is reused by
+        every refinement round and QoS level.
         """
+        key = self._model_key(model)
+        cached = self._fixed_overhead_cache.get(key)
+        if cached is not None:
+            return cached
         fastest = max(self.space.hfo_configs, key=lambda c: c.sysclk_hz)
-        tracer = TraceBuilder(self.board, self.trace_params)
         conv_ids = {node.node_id for node in model.conv_nodes()}
         overhead = 0.0
         for node in model.nodes:
             if node.node_id in conv_ids:
                 continue
-            trace = tracer.build(model, node, 0)
+            trace = self.tracer.build(model, node, 0)
             latency, _ = self.explorer.pricer.price(
                 trace, fastest, self.space.lfo, assume_relock=False
             )
             overhead += latency
+        self._fixed_overhead_cache[key] = overhead
         return overhead
 
     def optimize(
@@ -178,12 +221,7 @@ class DAEDVFSPipeline:
         budget = qos_s if qos_s is not None else qos_level.budget_s(baseline)
 
         clouds = self._explore_clouds(model)
-        fronts = {
-            node_id: pareto_front(
-                points, key=lambda p: (p.latency_s, p.energy_j)
-            )
-            for node_id, points in clouds.items()
-        }
+        fronts = self._pareto_fronts(model, clouds)
         fixed = self.fixed_overhead_s(model)
         conv_budget = budget - fixed
         if conv_budget <= 0:
@@ -253,27 +291,56 @@ class DAEDVFSPipeline:
     def _explore_clouds(
         self, model: Model
     ) -> Dict[int, List[SolutionPoint]]:
-        """Per-layer candidate clouds: analytic or sensor-measured."""
+        """Per-layer candidate clouds: analytic or sensor-measured.
+
+        Memoized per (model, space): re-optimizing the same model at a
+        different QoS level reuses the Step-2 sweep (and, in profiled
+        mode, the already-collected measurement campaign) instead of
+        exploring again.
+        """
+        key = self._model_key(model)
+        cached = self._cloud_cache.get(key)
+        if cached is not None:
+            return cached
         if self.profiler is None:
-            return self.explorer.explore_model(model)
-        clouds: Dict[int, List[SolutionPoint]] = {}
-        for node in model.conv_nodes():
-            records = self.profiler.profile_layer(
-                model, node, assume_relock=False
-            )
-            clouds[node.node_id] = [
-                SolutionPoint(
-                    node_id=node.node_id,
-                    layer_name=node.layer.name,
-                    layer_kind=node.layer.kind,
-                    granularity=record.granularity,
-                    hfo=record.hfo,
-                    latency_s=record.latency_s,
-                    energy_j=record.energy_j,
+            clouds = self.explorer.explore_model(model)
+        else:
+            clouds = {}
+            for node in model.conv_nodes():
+                records = self.profiler.profile_layer(
+                    model, node, assume_relock=False
                 )
-                for record in records
-            ]
+                clouds[node.node_id] = [
+                    SolutionPoint(
+                        node_id=node.node_id,
+                        layer_name=node.layer.name,
+                        layer_kind=node.layer.kind,
+                        granularity=record.granularity,
+                        hfo=record.hfo,
+                        latency_s=record.latency_s,
+                        energy_j=record.energy_j,
+                    )
+                    for record in records
+                ]
+        self._cloud_cache[key] = clouds
         return clouds
+
+    def _pareto_fronts(
+        self, model: Model, clouds: Dict[int, List[SolutionPoint]]
+    ) -> Dict[int, List[SolutionPoint]]:
+        """Per-layer Pareto fronts of the clouds (memoized per model)."""
+        key = self._model_key(model)
+        cached = self._front_cache.get(key)
+        if cached is not None:
+            return cached
+        fronts = {
+            node_id: pareto_front(
+                points, key=lambda p: (p.latency_s, p.energy_j)
+            )
+            for node_id, points in clouds.items()
+        }
+        self._front_cache[key] = fronts
+        return fronts
 
     def harmonize(
         self, model: Model, result: OptimizationResult
@@ -311,6 +378,14 @@ class DAEDVFSPipeline:
 
         Starts a hair under the true budget so grid rounding and the
         final mux handshakes cannot push the schedule over by floats.
+
+        Every refinement round tightens the *previous* effective
+        budget (not a recomputation from ``conv_budget``), so the
+        knapsack budget is strictly monotonically decreasing across
+        rounds: two rounds observing similar unpriced overhead still
+        make at least two grid steps of progress each instead of
+        re-solving a near-identical instance until ``max_refinements``
+        is burned.
         """
         effective_budget = conv_budget * 0.999
         for _ in range(self.max_refinements + 1):
@@ -327,15 +402,52 @@ class DAEDVFSPipeline:
             # The gap between the runtime and the per-layer predictions
             # is exactly the sequence-dependent switching overhead the
             # MCKP cannot see.  Re-solve with that overhead (plus a
-            # grid quantum of margin) carved out of the budget.
+            # grid quantum of margin) carved out of the remaining
+            # budget.
             unpriced = max(0.0, actual - plan.predicted_latency_s)
             grid_step = effective_budget / self.dp_resolution
-            effective_budget = (
-                conv_budget * 0.999 - unpriced * 1.05 - 2.0 * grid_step
-            )
+            effective_budget -= unpriced * 1.05 + 2.0 * grid_step
             if effective_budget <= 0:
                 return None
         return None
+
+    def _uniform_classes(
+        self, model: Model, clouds: Dict[int, List[SolutionPoint]]
+    ) -> Dict:
+        """Per-HFO MCKP classes for the uniform sweep (memoized).
+
+        Maps each HFO to the per-layer Pareto fronts of its slice of
+        the clouds (as MCKP classes), or ``None`` when some layer has
+        no candidate at that HFO.  Budget-independent, so the sweep
+        across QoS levels reuses one filtering + front pass per model.
+        """
+        key = self._model_key(model)
+        cached = self._uniform_front_cache.get(key)
+        if cached is not None:
+            return cached
+        node_ids = sorted(clouds)
+        per_hfo: Dict = {}
+        for hfo in self.space.hfo_configs:
+            classes = []
+            for node_id in node_ids:
+                points = [p for p in clouds[node_id] if p.hfo == hfo]
+                if not points:
+                    classes = None
+                    break
+                front = pareto_front(
+                    points, key=lambda p: (p.latency_s, p.energy_j)
+                )
+                classes.append(
+                    [
+                        MCKPItem(
+                            weight=p.latency_s, value=p.energy_j, payload=p
+                        )
+                        for p in front
+                    ]
+                )
+            per_hfo[hfo] = classes
+        self._uniform_front_cache[key] = per_hfo
+        return per_hfo
 
     def _best_uniform_hfo_plan(
         self,
@@ -354,29 +466,12 @@ class DAEDVFSPipeline:
         Raises:
             QoSInfeasibleError: when no single-HFO schedule fits either.
         """
-        node_ids = sorted(clouds)
         best: Optional[DeploymentPlan] = None
         tightest = float("inf")
+        per_hfo = self._uniform_classes(model, clouds)
         for hfo in self.space.hfo_configs:
-            classes = []
-            usable = True
-            for node_id in node_ids:
-                points = [p for p in clouds[node_id] if p.hfo == hfo]
-                if not points:
-                    usable = False
-                    break
-                front = pareto_front(
-                    points, key=lambda p: (p.latency_s, p.energy_j)
-                )
-                classes.append(
-                    [
-                        MCKPItem(
-                            weight=p.latency_s, value=p.energy_j, payload=p
-                        )
-                        for p in front
-                    ]
-                )
-            if not usable:
+            classes = per_hfo.get(hfo)
+            if classes is None:
                 continue
             try:
                 solution = self._solve_classes(classes, conv_budget * 0.999)

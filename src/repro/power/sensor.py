@@ -68,10 +68,20 @@ class INA219Config:
 
 @dataclass(frozen=True)
 class PowerSample:
-    """One sensor reading."""
+    """One sensor reading.
+
+    Attributes:
+        time_s: absolute sample timestamp.
+        power_w: quantized, noisy power reading.
+        duration_s: trace time this sample accounts for.  Full samples
+            cover one conversion period; the final sample of a trace
+            whose duration is not a period multiple covers only the
+            remaining tail.  ``None`` (legacy) means one full period.
+    """
 
     time_s: float
     power_w: float
+    duration_s: float | None = None
 
 
 class INA219Sensor:
@@ -105,27 +115,60 @@ class INA219Sensor:
                 traces measured at different times see different drift.
 
         Returns:
-            One :class:`PowerSample` per conversion period, sampled at
-            interval midpoints-of-period, quantized and noisy.
+            One :class:`PowerSample` per conversion period.  Each
+            reading is the trace's average power over the conversion
+            window (the ADC integrates over the window, it does not
+            point-sample), quantized and noisy, timestamped at the
+            window midpoint.  A trace whose total duration is not a
+            multiple of the period gets one final clamped sample
+            covering (and weighted by, via ``duration_s``) only the
+            remaining tail, so no trace time is silently dropped.
         """
         cfg = self.config
         total = sum(interval.duration_s for interval in trace)
-        n_samples = max(1, int(total / cfg.sample_period_s))
+        # Ceil with an epsilon so an exact multiple of the period does
+        # not grow a phantom sample out of float dust (0.05 / 1e-3 is
+        # 50.000000000000007 in binary floats).
+        n_samples = max(1, math.ceil(total / cfg.sample_period_s - 1e-9))
         samples: List[PowerSample] = []
-        # Precompute cumulative boundaries for O(log n) lookup.
+        # Cumulative boundaries and energies so each conversion window
+        # can integrate the trace in O(1) amortized.
         boundaries: List[float] = []
-        acc = 0.0
+        prefix_energy: List[float] = [0.0]
+        acc_t = 0.0
+        acc_e = 0.0
         for interval in trace:
-            acc += interval.duration_s
-            boundaries.append(acc)
+            acc_t += interval.duration_s
+            acc_e += interval.duration_s * interval.power_w
+            boundaries.append(acc_t)
+            prefix_energy.append(acc_e)
         idx = 0
-        for k in range(n_samples):
-            t_rel = (k + 0.5) * cfg.sample_period_s
-            if t_rel > total:
-                t_rel = total
-            while idx < len(boundaries) - 1 and t_rel > boundaries[idx]:
+
+        def energy_to(t: float) -> float:
+            """Trace energy over [0, t] (t never decreases across calls)."""
+            nonlocal idx
+            while idx < len(boundaries) - 1 and t > boundaries[idx]:
                 idx += 1
-            true_power = trace[idx].power_w if trace else 0.0
+            start = boundaries[idx - 1] if idx else 0.0
+            power = trace[idx].power_w if trace else 0.0
+            return prefix_energy[idx] + (t - start) * power
+
+        window_energy = 0.0
+        for k in range(n_samples):
+            window_start = k * cfg.sample_period_s
+            duration = min(cfg.sample_period_s, max(0.0, total - window_start))
+            t_rel = min(window_start + 0.5 * duration, total)
+            window_end_energy = energy_to(min(window_start + duration, total))
+            # The ADC integrates the shunt voltage over the conversion
+            # window, so the true reading is the window-average power,
+            # not the instantaneous power at one point -- point
+            # sampling aliases against DAE traces whose LFO/HFO phase
+            # alternation is commensurate with the period.
+            if duration > 0:
+                true_power = (window_end_energy - window_energy) / duration
+            else:
+                true_power = trace[idx].power_w if trace else 0.0
+            window_energy = window_end_energy
             raw = (
                 true_power
                 + self._drift(start_time_s + t_rel)
@@ -133,13 +176,33 @@ class INA219Sensor:
             )
             quantized = round(raw / cfg.power_lsb_w) * cfg.power_lsb_w
             samples.append(
-                PowerSample(time_s=start_time_s + t_rel, power_w=max(0.0, quantized))
+                PowerSample(
+                    time_s=start_time_s + t_rel,
+                    power_w=max(0.0, quantized),
+                    duration_s=duration,
+                )
             )
         return samples
 
+    def covered_duration_s(self, samples: Sequence[PowerSample]) -> float:
+        """Trace time a sample train accounts for."""
+        return sum(
+            s.duration_s if s.duration_s is not None else self.config.sample_period_s
+            for s in samples
+        )
+
     def estimate_energy(self, samples: Sequence[PowerSample]) -> float:
-        """Rectangle-rule energy estimate from a sample train."""
-        return sum(s.power_w for s in samples) * self.config.sample_period_s
+        """Rectangle-rule energy estimate from a sample train.
+
+        Each sample is weighted by the trace time it covers, so the
+        final clamped sample of a non-aligned trace contributes its
+        true tail duration rather than a full conversion period.
+        """
+        period = self.config.sample_period_s
+        return sum(
+            s.power_w * (s.duration_s if s.duration_s is not None else period)
+            for s in samples
+        )
 
     def estimate_average_power(self, samples: Sequence[PowerSample]) -> float:
         """Mean of the sample train (0.0 when empty)."""
@@ -175,10 +238,10 @@ def differential_energy(
     """
     test_samples = sensor.measure(trace, start_time_s=start_time_s)
     base_samples = sensor.measure(baseline_trace, start_time_s=start_time_s)
-    base_duration = len(base_samples) * sensor.config.sample_period_s
+    base_duration = sensor.covered_duration_s(base_samples)
     if base_duration == 0.0:
         return sensor.estimate_energy(test_samples)
     base_measured = sensor.estimate_energy(base_samples)
     drift_power_bias = (base_measured - baseline_true_energy_j) / base_duration
-    test_duration = len(test_samples) * sensor.config.sample_period_s
+    test_duration = sensor.covered_duration_s(test_samples)
     return sensor.estimate_energy(test_samples) - drift_power_bias * test_duration

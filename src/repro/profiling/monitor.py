@@ -114,11 +114,12 @@ class LayerMonitor:
         measured_latency = timer.measure(true_latency)
         samples = self.sensor.measure(intervals, start_time_s=start_time_s)
         measured_energy = self.sensor.estimate_energy(samples)
-        # The sample train covers n*period seconds; rescale the
-        # rectangle-rule estimate to the measured duration so short
-        # tails are not dropped (the paper's harness aligns windows the
-        # same way).
-        covered = len(samples) * self.sensor.config.sample_period_s
+        # The sample train covers the true trace duration (the final
+        # sample is clamped to the tail); rescale the rectangle-rule
+        # estimate to the *timer-measured* duration so both observables
+        # come from the same quantized window (the paper's harness
+        # aligns windows the same way).
+        covered = self.sensor.covered_duration_s(samples)
         if covered > 0 and measured_latency > 0:
             measured_energy *= measured_latency / covered
         return Measurement(

@@ -133,6 +133,65 @@ class TestDPSolver:
         assert dp.total_value <= conservative.total_value + 1e-9
 
 
+class TestSeededRandomInstances:
+    """DP vs. brute force on a fixed battery of 50 seeded instances.
+
+    Unlike the hypothesis property above, this battery is fully
+    deterministic (no shrinking, identical on every machine/CI run):
+    up to 5 classes x 4 items with adversarial weight spreads, checked
+    against the documented discretization contract -- the DP never
+    exceeds the budget, and its energy is no worse than the exhaustive
+    optimum of the budget shrunk by one grid step per class.
+    """
+
+    RESOLUTION = 20000
+
+    def random_instance(self, rng):
+        n_classes = rng.randint(1, 5)
+        classes = []
+        for _ in range(n_classes):
+            n_items = rng.randint(1, 4)
+            classes.append(
+                [
+                    item(
+                        rng.uniform(1e-4, 5.0),
+                        rng.uniform(0.0, 10.0),
+                    )
+                    for _ in range(n_items)
+                ]
+            )
+        budget = min_total_weight(classes) * rng.uniform(1.01, 3.0)
+        return classes, budget
+
+    def test_fifty_seeded_instances(self):
+        import random
+
+        rng = random.Random(0xDAE)
+        checked = 0
+        for _ in range(50):
+            classes, budget = self.random_instance(rng)
+            dp = solve_mckp_dp(
+                classes, budget=budget, resolution=self.RESOLUTION
+            )
+            brute = solve_mckp_bruteforce(classes, budget=budget)
+            # One item per class, never over budget, never beats the
+            # continuous optimum.
+            assert len(dp.items) == len(classes)
+            assert dp.total_weight <= budget + 1e-9
+            assert dp.total_value >= brute.total_value - 1e-9
+            # Documented bound: ceil-rounding shrinks the effective
+            # budget by at most one grid step per class.
+            shrunk = budget - len(classes) * (budget / self.RESOLUTION)
+            try:
+                conservative = solve_mckp_bruteforce(classes, budget=shrunk)
+            except QoSInfeasibleError:
+                continue
+            assert dp.total_value <= conservative.total_value + 1e-9
+            checked += 1
+        # The battery must actually exercise the bound, not skip it.
+        assert checked >= 40
+
+
 class TestMaximizationTransformation:
     def test_offset_is_sum_of_class_maxima(self):
         transformed, offset = to_maximization(SIMPLE)

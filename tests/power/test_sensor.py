@@ -73,6 +73,52 @@ class TestSampling:
         assert sensor.estimate_average_power([]) == 0.0
 
 
+class TestTailCoverage:
+    """Regression: non-period-aligned traces must not lose their tail.
+
+    The original ``measure`` truncated the sample count
+    (``int(total / period)``), dropping up to one full conversion
+    period of trace -- a 1.9 ms trace at a 1 ms period yielded one
+    sample and under-reported energy by ~47%.
+    """
+
+    def test_non_aligned_trace_gets_tail_sample(self):
+        sensor = INA219Sensor(INA219Config(sample_period_s=1e-3, noise_std_w=0))
+        samples = sensor.measure(flat_trace(1.9e-3, 0.3))
+        assert len(samples) == 2
+        assert samples[0].duration_s == pytest.approx(1e-3)
+        assert samples[1].duration_s == pytest.approx(0.9e-3)
+
+    def test_non_aligned_trace_energy_accurate(self):
+        sensor = INA219Sensor(INA219Config(sample_period_s=1e-3, noise_std_w=0))
+        trace = flat_trace(1.9e-3, 0.3)
+        energy = sensor.estimate_energy(sensor.measure(trace))
+        assert energy == pytest.approx(1.9e-3 * 0.3, rel=1e-6)
+
+    def test_clamped_sample_not_charged_full_period(self):
+        # A 1.1-period trace: the 0.1-period tail sample must weigh
+        # 0.1 periods in the estimate, not a full period.
+        sensor = INA219Sensor(INA219Config(sample_period_s=1e-3, noise_std_w=0))
+        samples = sensor.measure(flat_trace(1.1e-3, 0.5))
+        energy = sensor.estimate_energy(samples)
+        assert energy == pytest.approx(1.1e-3 * 0.5, rel=1e-6)
+        assert energy < 2 * 1e-3 * 0.5  # full-period charging would hit this
+
+    def test_covered_duration_matches_trace(self):
+        sensor = INA219Sensor(INA219Config(sample_period_s=1e-3, noise_std_w=0))
+        samples = sensor.measure(stepped_trace())
+        total = sum(i.duration_s for i in stepped_trace())
+        assert sensor.covered_duration_s(samples) == pytest.approx(total)
+
+    def test_aligned_trace_sample_count_unchanged(self):
+        # Exact period multiples must not grow a phantom sample out of
+        # float rounding (0.05 / 1e-3 > 50 in binary floats).
+        sensor = INA219Sensor(INA219Config(sample_period_s=1e-3, noise_std_w=0))
+        samples = sensor.measure(flat_trace(0.050, 0.3))
+        assert len(samples) == 50
+        assert all(s.duration_s == pytest.approx(1e-3) for s in samples)
+
+
 class TestDriftCompensation:
     def drifty_sensor(self):
         return INA219Sensor(
