@@ -1,0 +1,115 @@
+"""Performance harness for the fleet deployment service.
+
+Plans the same sampled fleet twice per model -- serially on private
+per-device pipelines (the PR-1 single-device cost, N times) and pooled
+on the fleet-shared pricing caches -- and writes ``BENCH_fleet.json``
+at the repo root with the schema::
+
+    {mode[model]: {"wall_s": float, "devices": int,
+                   "devices_per_s": float}}
+
+plus a ``_meta`` block recording the per-model speedups and the
+headline ``fleet_speedup`` (pooled-shared vs. serial-unshared on the
+largest model).  Both modes produce bit-identical fleet reports -- the
+harness asserts the digests match before timing is trusted -- so the
+speedup measures pure cache sharing, never a change of answer.
+
+Run standalone (CI smoke does exactly this)::
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from repro.fleet import FleetScheduler, aggregate_fleet, sample_fleet
+from repro.nn import build_mbv2, build_person_detection, build_vww
+from repro.optimize import MODERATE
+
+OUTPUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_fleet.json"
+
+#: Devices per fleet: enough to amortize the first device's cold
+#: exploration without making the serial baseline take minutes.
+FLEET_SIZE = 24
+SEED = 0
+
+#: The largest bundled model; the headline speedup is measured on it.
+LARGEST = "mbv2"
+
+
+def build_models():
+    return {
+        "vww": build_vww(),
+        "pd": build_person_detection(),
+        "mbv2": build_mbv2(),
+    }
+
+
+def run_mode(model, fleet, share, pooled):
+    scheduler = FleetScheduler(
+        model, qos_level=MODERATE, share=share, max_workers=4
+    )
+    start = time.perf_counter()
+    results = scheduler.run(fleet, pooled=pooled)
+    wall = time.perf_counter() - start
+    qos_s = next(
+        (r.optimized.qos_s for r in results if r.error is None), 0.0
+    )
+    report = aggregate_fleet(model, qos_s, results)
+    return wall, report
+
+
+def main():
+    stages = {}
+    speedups = {}
+    for name, model in build_models().items():
+        fleet = sample_fleet(FLEET_SIZE, seed=SEED)
+        serial_wall, serial_report = run_mode(
+            model, fleet, share=False, pooled=False
+        )
+        pooled_wall, pooled_report = run_mode(
+            model, fleet, share=True, pooled=True
+        )
+        # Sharing must never move a bit of any device's plan or price.
+        assert serial_report.digest() == pooled_report.digest(), (
+            f"{name}: pooled-shared report diverged from serial baseline"
+        )
+        stages[f"serial[{name}]"] = {
+            "wall_s": serial_wall,
+            "devices": FLEET_SIZE,
+            "devices_per_s": FLEET_SIZE / serial_wall,
+        }
+        stages[f"pooled[{name}]"] = {
+            "wall_s": pooled_wall,
+            "devices": FLEET_SIZE,
+            "devices_per_s": FLEET_SIZE / pooled_wall,
+        }
+        speedups[name] = serial_wall / pooled_wall
+
+    stages["_meta"] = {
+        "models": sorted(speedups),
+        "largest_model": LARGEST,
+        "fleet_size": FLEET_SIZE,
+        "seed": SEED,
+        "speedups": speedups,
+        "fleet_speedup": speedups[LARGEST],
+    }
+    OUTPUT.write_text(json.dumps(stages, indent=2, sort_keys=True) + "\n")
+
+    print(f"wrote {OUTPUT}")
+    for stage in sorted(s for s in stages if s != "_meta"):
+        entry = stages[stage]
+        print(
+            f"{stage:16s} {entry['wall_s'] * 1e3:9.2f} ms  "
+            f"{entry['devices_per_s']:7.1f} devices/s"
+        )
+    for name in sorted(speedups):
+        print(f"fleet speedup on {name}: {speedups[name]:.2f}x")
+    return stages
+
+
+if __name__ == "__main__":
+    main()

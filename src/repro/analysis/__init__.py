@@ -1,6 +1,14 @@
 """Schedule/figure analysis helpers and the Sec. II-A microbenchmark."""
 
-from .battery import Battery, DutyCycle, LifetimeEstimate, estimate_lifetime
+from .battery import (
+    SUPPLY_RAILS,
+    Battery,
+    BatteryState,
+    DutyCycle,
+    LifetimeEstimate,
+    estimate_lifetime,
+    max_sysclk_for_voltage,
+)
 from .microbench import MicrobenchResult, run_addition_loop
 from .sweep import QoSSweepRow, qos_energy_sweep, saturation_slack
 from .timeline import (
@@ -22,7 +30,10 @@ from .figures import (
 )
 
 __all__ = [
+    "SUPPLY_RAILS",
     "Battery",
+    "BatteryState",
+    "max_sysclk_for_voltage",
     "DutyCycle",
     "LifetimeEstimate",
     "estimate_lifetime",

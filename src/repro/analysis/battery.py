@@ -47,6 +47,93 @@ class Battery:
         )
 
 
+#: ``((min_supply_v, max_sysclk_hz), ...)`` descending by voltage: the
+#: board's regulator needs input headroom to hold the higher VOS core
+#: scales, so a sagging supply caps the fastest usable SYSCLK.  The
+#: thresholds model a 3.0 V primary-cell board; a fresh cell supports
+#: the full 216 MHz grid and an almost-flat cell is pinned to the
+#: lowest VOS scale.
+SUPPLY_RAILS = (
+    (2.9, 216e6),
+    (2.7, 180e6),
+    (2.5, 150e6),
+    (2.3, 108e6),
+    (0.0, 84e6),
+)
+
+
+def max_sysclk_for_voltage(
+    voltage_v: float, rails=SUPPLY_RAILS
+) -> float:
+    """Fastest SYSCLK the supply voltage can sustain."""
+    for min_v, max_hz in rails:
+        if voltage_v >= min_v:
+            return max_hz
+    return rails[-1][1]
+
+
+@dataclass(frozen=True)
+class BatteryState:
+    """A battery at a point along its discharge curve.
+
+    The open-circuit voltage droops linearly with depth of discharge
+    (a deliberate first-order stand-in for a real Li/MnO2 curve) and
+    the loaded terminal voltage additionally drops across the internal
+    resistance path.  The terminal voltage is what gates the supply
+    rails: as the cell sags, :meth:`max_sysclk_hz` falls and the fleet
+    governor must re-plan the device onto slower HFO choices.
+
+    Attributes:
+        battery: the cell's rated parameters.
+        charge_fraction: remaining fraction of the usable capacity.
+        droop_v: total open-circuit voltage droop from full to empty.
+        load_drop_v: additional drop under inference load.
+    """
+
+    battery: Battery = Battery()
+    charge_fraction: float = 1.0
+    droop_v: float = 0.6
+    load_drop_v: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.charge_fraction <= 1.0:
+            raise PowerModelError("charge_fraction must be in [0, 1]")
+        if self.droop_v < 0 or self.load_drop_v < 0:
+            raise PowerModelError("voltage drops must be >= 0")
+
+    @property
+    def voltage_v(self) -> float:
+        """Loaded terminal voltage at the current state of charge."""
+        return (
+            self.battery.voltage_v
+            - (1.0 - self.charge_fraction) * self.droop_v
+            - self.load_drop_v
+        )
+
+    @property
+    def remaining_energy_j(self) -> float:
+        """Usable energy left in the cell."""
+        return self.charge_fraction * self.battery.usable_energy_j
+
+    def max_sysclk_hz(self, rails=SUPPLY_RAILS) -> float:
+        """Fastest SYSCLK the sagging cell can currently sustain."""
+        return max_sysclk_for_voltage(self.voltage_v, rails)
+
+    def discharged(self, energy_j: float) -> "BatteryState":
+        """State after drawing ``energy_j`` from the cell (floored at
+        empty)."""
+        if energy_j < 0:
+            raise PowerModelError("energy_j must be >= 0")
+        usable = self.battery.usable_energy_j
+        drop = energy_j / usable if usable > 0 else 1.0
+        return BatteryState(
+            battery=self.battery,
+            charge_fraction=max(0.0, self.charge_fraction - drop),
+            droop_v=self.droop_v,
+            load_drop_v=self.load_drop_v,
+        )
+
+
 @dataclass(frozen=True)
 class DutyCycle:
     """How often the node wakes up to run an inference window.

@@ -9,6 +9,7 @@ Exposes the end-to-end flow without writing Python::
     repro-dvfs compare pd --qos-percents 10 30 50
     repro-dvfs microbench
     repro-dvfs lifetime vww --qos-percent 30 --capacity-mah 1200
+    repro-dvfs fleet --devices 1000 --seed 0 --json fleet.json
 
 Model names: ``vww``, ``pd``, ``mbv2`` (the paper's suite) and
 ``tiny`` (a small test CNN).
@@ -251,6 +252,46 @@ def cmd_lifetime(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    import json
+
+    from .fleet import (
+        FleetScheduler,
+        GovernorConfig,
+        aggregate_fleet,
+        sample_fleet,
+        supervise_device,
+    )
+
+    model = _build_model(args.model)
+    level = _qos_level(args) or QoSLevel(name="30%", slack=0.30)
+    fleet = sample_fleet(args.devices, seed=args.seed)
+    scheduler = FleetScheduler(
+        model, qos_level=level, max_workers=args.workers
+    )
+    results = scheduler.run(fleet, pooled=not args.serial)
+    governed = {}
+    if args.epochs > 0:
+        config = GovernorConfig(epochs=args.epochs)
+        for result in results:
+            if result.error is None:
+                pipeline = scheduler.pipeline_for(result.profile)
+                governed[result.device_id] = supervise_device(
+                    pipeline, result.profile, model,
+                    result.optimized, config,
+                )
+    qos_s = next(
+        (r.optimized.qos_s for r in results if r.error is None), 0.0
+    )
+    report = aggregate_fleet(model, qos_s, results, governed)
+    print(report.summary())
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"fleet report written to {args.json}")
+    return 0
+
+
 def make_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -332,6 +373,36 @@ def make_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("selftest", help="fast installation sanity sweep")
     p.set_defaults(func=cmd_selftest)
+
+    p = sub.add_parser(
+        "fleet",
+        help="plan a heterogeneous device fleet and supervise drift",
+    )
+    p.add_argument(
+        "model", nargs="?", default="tiny",
+        help=f"one of {sorted(MODEL_BUILDERS)} (default: tiny)",
+    )
+    add_qos(p)
+    p.add_argument(
+        "--devices", type=int, default=100, help="fleet size"
+    )
+    p.add_argument(
+        "--seed", type=int, default=0,
+        help="root seed of the device-variation sampler",
+    )
+    p.add_argument(
+        "--workers", type=int, default=4, help="planning thread-pool width"
+    )
+    p.add_argument(
+        "--serial", action="store_true",
+        help="plan on the calling thread instead of the pool",
+    )
+    p.add_argument(
+        "--epochs", type=int, default=10,
+        help="governor telemetry epochs per device (0 disables)",
+    )
+    p.add_argument("--json", help="write the full fleet report JSON here")
+    p.set_defaults(func=cmd_fleet)
 
     p = sub.add_parser("lifetime", help="battery-lifetime projection")
     add_model(p)

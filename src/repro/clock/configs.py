@@ -48,9 +48,15 @@ PAPER_HSE_HZ = 50 * MHZ
 PAPER_LFO_HZ = 50 * MHZ
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class ClockConfig:
     """A complete, legal SYSCLK configuration.
+
+    Configs are immutable and serve as keys in every pricing cache, so
+    equality/hash are hand-rolled: the hash is computed once at
+    construction and ``==`` short-circuits on identity (design spaces
+    hand the same instances to every consumer, making the common
+    comparison an ``is`` check instead of a field-tuple walk).
 
     Attributes:
         source: SYSCLK mux selection.
@@ -79,6 +85,19 @@ class ClockConfig:
                     f"HSE frequency {self.hse_hz / MHZ:.3f} MHz outside "
                     f"[{HSE_MIN_HZ / MHZ:.0f}, {HSE_MAX_HZ / MHZ:.0f}] MHz"
                 )
+        key = (self.source, self.hse_hz, self.pll)
+        object.__setattr__(self, "_key", key)
+        object.__setattr__(self, "_hash", hash(key))
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, ClockConfig):
+            return NotImplemented
+        return self._key == other._key
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def _pll_input_hz(self) -> float:
         return self.hse_hz

@@ -77,18 +77,107 @@ class SolutionPoint:
         )
 
 
+@dataclass(frozen=True)
+class TimeComponents:
+    """Power-independent time decomposition of one trace vs. an HFO grid.
+
+    Everything the pricing of a (trace, HFO) candidate needs from the
+    *timing* side -- how long the core spends in each power state at
+    each clock -- separated from the *power* side, which is the only
+    part that differs between devices of a heterogeneous fleet.  The
+    fleet pricing service (:mod:`repro.fleet.pricing`) computes these
+    once per (model, space) and re-prices them against every device's
+    power model.
+
+    Attributes:
+        comp_hfo: per-HFO time in ACTIVE_COMPUTE at the HFO clock.
+        mem_hfo: per-HFO time in ACTIVE_MEMORY at the HFO clock.
+        comp_lfo: time in ACTIVE_COMPUTE at the LFO (decoupled memory
+            phases; zero for fused traces).
+        mem_lfo: time in ACTIVE_MEMORY at the LFO.
+        switch_lfo: per-HFO stall time charged at the LFO switching
+            power (mux handshakes, un-hidden re-lock remainders).
+    """
+
+    comp_hfo: np.ndarray
+    mem_hfo: np.ndarray
+    comp_lfo: float
+    mem_lfo: float
+    switch_lfo: np.ndarray
+
+    def latency(self) -> np.ndarray:
+        """Per-HFO total latency in seconds."""
+        latency = np.full(len(self.comp_hfo), self.comp_lfo + self.mem_lfo)
+        latency += self.comp_hfo + self.mem_hfo
+        latency += self.switch_lfo
+        return latency
+
+
+@dataclass(frozen=True)
+class StackedComponents:
+    """Several :class:`TimeComponents` stacked along a leading axis.
+
+    One layer's decompositions across its whole granularity sweep,
+    packed into (n_granularity, n_hfo) matrices so a device prices the
+    entire sweep in one vectorized pass instead of one numpy round-trip
+    per granularity.  Element-for-element the arithmetic matches
+    :meth:`LayerCostModel.price_components` (same operations in the
+    same order), so the batched prices are bit-identical to the
+    per-granularity ones.
+
+    Attributes:
+        comp_lfo / mem_lfo: per-granularity LFO-phase scalars.
+        comp_hfo / mem_hfo / switch_lfo: per-(granularity, HFO) times.
+        effective_granularities: the trace-clamped granularity actually
+            realized for each requested one.
+    """
+
+    comp_lfo: np.ndarray
+    mem_lfo: np.ndarray
+    comp_hfo: np.ndarray
+    mem_hfo: np.ndarray
+    switch_lfo: np.ndarray
+    effective_granularities: Tuple[int, ...]
+
+    @classmethod
+    def stack(
+        cls,
+        entries: Sequence["tuple[TimeComponents, int]"],
+    ) -> "StackedComponents":
+        """Pack (components, effective granularity) pairs into matrices."""
+        components = [c for c, _ in entries]
+        return cls(
+            comp_lfo=np.array(
+                [c.comp_lfo for c in components], dtype=np.float64
+            ),
+            mem_lfo=np.array(
+                [c.mem_lfo for c in components], dtype=np.float64
+            ),
+            comp_hfo=np.stack([c.comp_hfo for c in components]),
+            mem_hfo=np.stack([c.mem_hfo for c in components]),
+            switch_lfo=np.stack([c.switch_lfo for c in components]),
+            effective_granularities=tuple(g for _, g in entries),
+        )
+
+
 class LayerCostModel:
     """Prices one layer trace under the LFO/HFO discipline.
 
     :meth:`price` is the scalar reference oracle; :meth:`price_batch`
     prices one trace against a whole vector of HFO candidates at once
     (the DSE hot path) and agrees with the oracle to 1e-12 relative.
+    The batch path factors through :meth:`time_components_batch`, a
+    power-model-independent time decomposition that fleet deployments
+    share across devices whose timing models match.
     """
 
     def __init__(self, board: Board):
         self.board = board
         #: Per-HFO-tuple frequency/power vectors, built once per sweep.
         self._power_cache: Dict[Tuple[ClockConfig, ...], Dict[str, np.ndarray]] = {}
+        #: Per-LFO scalar powers (compute, memory, switching) -- three
+        #: constants re-read on every price_components call otherwise.
+        self._lfo_power_cache: Dict[ClockConfig, Tuple[float, float, float]] = {}
 
     def _power_vectors(
         self, hfos: Tuple[ClockConfig, ...]
@@ -109,8 +198,9 @@ class LayerCostModel:
             ),
             "uses_pll": np.array([c.uses_pll for c in hfos], dtype=bool),
         }
-        self._power_cache[hfos] = vectors
-        return vectors
+        # setdefault so concurrent builders converge on one canonical
+        # entry instead of racing get/set.
+        return self._power_cache.setdefault(hfos, vectors)
 
     def _segment_time_parts_vec(
         self, workload: SegmentWorkload, f_vec: np.ndarray
@@ -130,28 +220,25 @@ class LayerCostModel:
         )
         return compute_t, memory_t
 
-    def price_batch(
+    def time_components_batch(
         self,
         trace: LayerTrace,
         hfos: Sequence[ClockConfig],
         lfo: ClockConfig,
         assume_relock: bool = False,
-    ) -> "tuple[np.ndarray, np.ndarray]":
-        """(latency_s, energy_j) vectors of one trace across ``hfos``.
+    ) -> TimeComponents:
+        """Power-independent time decomposition of one trace vs. ``hfos``.
 
-        The memory/compute workloads are aggregated once per trace and
-        broadcast over the candidate frequency and power vectors, so
-        pricing a layer against the whole HFO grid costs one numpy
-        pass instead of ``len(hfos)`` scalar walks of the segment
-        list.  Semantics match :meth:`price` exactly (pinned by test
-        to 1e-12 relative error over the full paper grid).
+        Touches only the board's core timing, memory map, cache and
+        switch-cost models -- never the power model -- so the result is
+        shared by every device of a fleet whose timing parameters
+        match, regardless of per-device power variation.
         """
         hfos = tuple(hfos)
         core = self.board.core
-        power = self.board.power_model
         switch = self.board.switch_cost_model
-        vectors = self._power_vectors(hfos)
-        f_vec = vectors["f"]
+        f_vec = self._power_vectors(hfos)["f"]
+        n = len(hfos)
         if trace.is_decoupled:
             # Aggregate with plain float accumulators -- the same
             # addition order as a merged() chain (bit-identical), but
@@ -181,46 +268,145 @@ class LayerCostModel:
                 flash_bytes=comp_flash,
                 sram_bytes=comp_sram,
             )
-            # Memory segments run at the LFO: one scalar price shared
-            # by every candidate.
+            # Memory segments run at the LFO: one scalar time pair
+            # shared by every candidate.
             mem_ct, mem_mt = core.segment_time_parts(
                 total_mem, lfo.sysclk_hz
-            )
-            latency = np.full(len(hfos), mem_ct + mem_mt)
-            energy = np.full(
-                len(hfos),
-                mem_ct * power.power(lfo, PowerState.ACTIVE_COMPUTE)
-                + mem_mt * power.power(lfo, PowerState.ACTIVE_MEMORY),
             )
             comp_ct, comp_mt = self._segment_time_parts_vec(
                 total_comp, f_vec
             )
-            latency += comp_ct + comp_mt
-            energy += comp_ct * vectors["compute"]
-            energy += comp_mt * vectors["memory"]
             extra = 0.0
             if assume_relock and first_mem is not None:
                 first_mem_t = core.segment_time_s(first_mem, lfo.sysclk_hz)
                 extra += max(0.0, switch.pll_relock_s - first_mem_t)
             extra_t = extra + trace.mux_switch_count() * switch.mux_switch_s
-            latency += extra_t
-            energy += extra_t * power.switching_power(lfo)
-            return latency, energy
-        latency = np.zeros(len(hfos))
-        energy = np.zeros(len(hfos))
+            return TimeComponents(
+                comp_hfo=comp_ct,
+                mem_hfo=comp_mt,
+                comp_lfo=mem_ct,
+                mem_lfo=mem_mt,
+                switch_lfo=np.full(n, extra_t),
+            )
+        comp_t = np.zeros(n)
+        mem_t = np.zeros(n)
         for segment in trace.segments:
             compute_t, memory_t = self._segment_time_parts_vec(
                 segment.workload, f_vec
             )
-            latency += compute_t + memory_t
-            energy += compute_t * vectors["compute"]
-            energy += memory_t * vectors["memory"]
+            comp_t += compute_t
+            mem_t += memory_t
         if assume_relock:
             stall = switch.pll_relock_s + switch.mux_switch_s
-            stalled = vectors["uses_pll"].astype(np.float64) * stall
-            latency += stalled
-            energy += stalled * power.switching_power(lfo)
+            uses_pll = np.array([c.uses_pll for c in hfos], dtype=bool)
+            stalled = uses_pll.astype(np.float64) * stall
+        else:
+            stalled = np.zeros(n)
+        return TimeComponents(
+            comp_hfo=comp_t,
+            mem_hfo=mem_t,
+            comp_lfo=0.0,
+            mem_lfo=0.0,
+            switch_lfo=stalled,
+        )
+
+    def price_components(
+        self,
+        components: TimeComponents,
+        hfos: Sequence[ClockConfig],
+        lfo: ClockConfig,
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Combine a time decomposition with *this* board's power model.
+
+        This is the per-device half of batched pricing: given the
+        (shared) :class:`TimeComponents`, produce the (latency_s,
+        energy_j) vectors under this cost model's power constants.
+        """
+        hfos = tuple(hfos)
+        power = self.board.power_model
+        vectors = self._power_vectors(hfos)
+        lfo_powers = self._lfo_power_cache.get(lfo)
+        if lfo_powers is None:
+            lfo_powers = (
+                power.power(lfo, PowerState.ACTIVE_COMPUTE),
+                power.power(lfo, PowerState.ACTIVE_MEMORY),
+                power.switching_power(lfo),
+            )
+            lfo_powers = self._lfo_power_cache.setdefault(lfo, lfo_powers)
+        p_compute_lfo, p_memory_lfo, p_switch_lfo = lfo_powers
+        latency = np.full(
+            len(hfos), components.comp_lfo + components.mem_lfo
+        )
+        energy = np.full(
+            len(hfos),
+            components.comp_lfo * p_compute_lfo
+            + components.mem_lfo * p_memory_lfo,
+        )
+        latency += components.comp_hfo + components.mem_hfo
+        energy += components.comp_hfo * vectors["compute"]
+        energy += components.mem_hfo * vectors["memory"]
+        latency += components.switch_lfo
+        energy += components.switch_lfo * p_switch_lfo
         return latency, energy
+
+    def price_components_stacked(
+        self,
+        stacked: StackedComponents,
+        hfos: Sequence[ClockConfig],
+        lfo: ClockConfig,
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Price a whole granularity sweep in one vectorized pass.
+
+        Returns (latency_s, energy_j) matrices of shape
+        (n_granularity, n_hfo).  Broadcasting performs exactly the
+        operations of :meth:`price_components` on each element in the
+        same order, so row ``i`` is bit-identical to pricing
+        ``stacked``'s ``i``-th decomposition on its own.
+        """
+        hfos = tuple(hfos)
+        power = self.board.power_model
+        vectors = self._power_vectors(hfos)
+        lfo_powers = self._lfo_power_cache.get(lfo)
+        if lfo_powers is None:
+            lfo_powers = (
+                power.power(lfo, PowerState.ACTIVE_COMPUTE),
+                power.power(lfo, PowerState.ACTIVE_MEMORY),
+                power.switching_power(lfo),
+            )
+            lfo_powers = self._lfo_power_cache.setdefault(lfo, lfo_powers)
+        p_compute_lfo, p_memory_lfo, p_switch_lfo = lfo_powers
+        latency = (stacked.comp_lfo + stacked.mem_lfo)[:, None] + (
+            stacked.comp_hfo + stacked.mem_hfo
+        )
+        energy = (
+            stacked.comp_lfo * p_compute_lfo
+            + stacked.mem_lfo * p_memory_lfo
+        )[:, None] + stacked.comp_hfo * vectors["compute"]
+        energy = energy + stacked.mem_hfo * vectors["memory"]
+        latency = latency + stacked.switch_lfo
+        energy = energy + stacked.switch_lfo * p_switch_lfo
+        return latency, energy
+
+    def price_batch(
+        self,
+        trace: LayerTrace,
+        hfos: Sequence[ClockConfig],
+        lfo: ClockConfig,
+        assume_relock: bool = False,
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """(latency_s, energy_j) vectors of one trace across ``hfos``.
+
+        The memory/compute workloads are aggregated once per trace and
+        broadcast over the candidate frequency and power vectors, so
+        pricing a layer against the whole HFO grid costs one numpy
+        pass instead of ``len(hfos)`` scalar walks of the segment
+        list.  Semantics match :meth:`price` exactly (pinned by test
+        to 1e-12 relative error over the full paper grid).
+        """
+        components = self.time_components_batch(
+            trace, hfos, lfo, assume_relock=assume_relock
+        )
+        return self.price_components(components, hfos, lfo)
 
     def price(
         self,
@@ -382,6 +568,7 @@ class DSEExplorer:
         space: DesignSpace,
         trace_params: Optional[TraceParams] = None,
         granularity_fn=None,
+        tracer: Optional[TraceBuilder] = None,
     ):
         """
         Args:
@@ -389,10 +576,15 @@ class DSEExplorer:
                 overriding the space's granularity grid per layer --
                 e.g. :func:`repro.dse.space.adaptive_granularities`
                 bound to a board.  Must always include 0.
+            tracer: an existing (typically shared, memoizing)
+                :class:`TraceBuilder` to use instead of building a
+                private one -- fleet deployments hand every explorer
+                one fleet-wide builder, since traces depend only on
+                the timing/cache models the fleet shares.
         """
         self.board = board
         self.space = space
-        self.tracer = TraceBuilder(board, trace_params)
+        self.tracer = tracer or TraceBuilder(board, trace_params)
         self.pricer = LayerCostModel(board)
         self.granularity_fn = granularity_fn
 

@@ -38,6 +38,8 @@ ratios.
 
 from __future__ import annotations
 
+import threading
+import weakref
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
 
@@ -53,15 +55,48 @@ from .trace import LayerTrace, ModelTrace, Segment, SegmentKind
 PAPER_GRANULARITIES = (0, 2, 4, 8, 12, 16)
 
 
+#: id(model) -> (weakref, mutation guard, fingerprint).  The guard
+#: covers every mutable input of the fingerprint: the node count
+#: changes on ``Model.add`` (nodes are frozen, so append is the only
+#: graph mutation) and the name/input shape on direct reassignment.
+#: The weakref both detects id() reuse and evicts entries when the
+#: model is collected.
+_FINGERPRINT_MEMO: Dict[int, Tuple] = {}
+_FINGERPRINT_LOCK = threading.Lock()
+
+
+def _fingerprint_guard(model: Model) -> Tuple:
+    return (model.name, model.input_shape, len(model.nodes))
+
+
 def model_fingerprint(model: Model) -> Tuple:
     """Structural identity of a model, suitable as a cache key.
 
     Two models with the same fingerprint produce byte-identical traces:
     the fingerprint covers the graph topology and every shape the cost
     model reads (weights do not enter the access-pattern model).
-    Mutating a model (``Model.add``) changes its fingerprint, so caches
-    keyed on it never serve stale traces.
+    Mutating a model (``Model.add``, renaming) changes its
+    fingerprint, so caches keyed on it never serve stale traces.
     """
+    key = id(model)
+    with _FINGERPRINT_LOCK:
+        memo = _FINGERPRINT_MEMO.get(key)
+    if memo is not None:
+        ref, guard, fingerprint = memo
+        if ref() is model and guard == _fingerprint_guard(model):
+            return fingerprint
+    fingerprint = _compute_fingerprint(model)
+    ref = weakref.ref(
+        model, lambda _ref, _key=key: _FINGERPRINT_MEMO.pop(_key, None)
+    )
+    with _FINGERPRINT_LOCK:
+        _FINGERPRINT_MEMO[key] = (
+            ref, _fingerprint_guard(model), fingerprint,
+        )
+    return fingerprint
+
+
+def _compute_fingerprint(model: Model) -> Tuple:
     return (
         model.name,
         model.input_shape,
@@ -130,8 +165,9 @@ class TraceBuilder:
     on repeat requests -- the DSE sweep, the pipeline's fixed-overhead
     accounting, the refinement loop and the runtime all share one
     build per (model, node, g).  Callers must treat cached traces as
-    immutable.  The cache is a plain dict (not thread-safe); use
-    :meth:`clear_cache` after mutating ``board`` or ``params`` in
+    immutable.  The cache is lock-protected, so one builder can be
+    shared across threads (the fleet worker pool does exactly that);
+    use :meth:`clear_cache` after mutating ``board`` or ``params`` in
     place, or pass ``cache=False`` for the uncached reference
     behaviour.
 
@@ -151,14 +187,16 @@ class TraceBuilder:
         self.params = params or TraceParams()
         self._cache_enabled = cache
         self._trace_cache: Dict[Tuple, LayerTrace] = {}
+        self._lock = threading.RLock()
         self.cache_hits = 0
         self.cache_misses = 0
 
     def clear_cache(self) -> None:
         """Drop every memoized trace (and reset the hit/miss counters)."""
-        self._trace_cache.clear()
-        self.cache_hits = 0
-        self.cache_misses = 0
+        with self._lock:
+            self._trace_cache.clear()
+            self.cache_hits = 0
+            self.cache_misses = 0
 
     @property
     def _cache(self) -> CacheModel:
@@ -189,14 +227,18 @@ class TraceBuilder:
             granularity if node.layer.supports_dae else 0
         )
         key = (model_fingerprint(model), node.node_id, effective_g)
-        cached = self._trace_cache.get(key)
-        if cached is not None:
-            self.cache_hits += 1
-            return cached
+        with self._lock:
+            cached = self._trace_cache.get(key)
+            if cached is not None:
+                self.cache_hits += 1
+                return cached
+        # Build outside the lock: concurrent misses may duplicate work,
+        # but setdefault makes one instance canonical, so every caller
+        # still sees a single shared trace per key.
         trace = self._build_uncached(model, node, granularity)
-        self._trace_cache[key] = trace
-        self.cache_misses += 1
-        return trace
+        with self._lock:
+            self.cache_misses += 1
+            return self._trace_cache.setdefault(key, trace)
 
     def _build_uncached(
         self, model: Model, node: Node, granularity: int

@@ -184,7 +184,11 @@ class DVFSRuntime:
         account = EnergyAccount()
         reports: List[LayerReport] = []
         mux_switches = 0
-        self._background_relocks = 0
+        # Background re-locks are tallied locally (not on self) so one
+        # runtime instance can execute plans from several threads --
+        # the fleet worker pool shares pipelines, and with them this
+        # runtime, across devices whose boards fingerprint equal.
+        background_relocks = 0
         traces = self.tracer.build_model_trace(model, plan.granularities())
         for trace in traces:
             layer_plan = plan.plan_for(trace.node_id)
@@ -199,9 +203,11 @@ class DVFSRuntime:
             )
             if trace.is_decoupled:
                 assert layer_plan is not None
-                mux_switches += self._run_decoupled(
+                mux, relocks = self._run_decoupled(
                     rcc, trace, layer_plan.hfo, plan.lfo, account, report
                 )
+                mux_switches += mux
+                background_relocks += relocks
             else:
                 target = layer_plan.hfo if layer_plan else rcc.current
                 mux_switches += self._run_fused(
@@ -219,7 +225,7 @@ class DVFSRuntime:
                 idle_policy = (
                     IdlePolicy.GATED if idle_gated else IdlePolicy.HOT
                 )
-            self._charge_idle(account, rcc, idle_policy, idle_time)
+            self._charge_idle(account, rcc.current, idle_policy, idle_time)
         return InferenceReport(
             model_name=model.name,
             plan=plan,
@@ -228,16 +234,33 @@ class DVFSRuntime:
             inference_energy_j=inference_energy,
             account=account,
             layer_reports=reports,
-            relock_count=rcc.relock_count() + self._background_relocks,
+            relock_count=rcc.relock_count() + background_relocks,
             mux_switch_count=mux_switches,
             qos_s=qos_s,
             met_qos=met_qos,
         )
 
+    def measure_latency_s(
+        self,
+        model: Model,
+        plan: DeploymentPlan,
+        initial_config: Optional[ClockConfig] = None,
+    ) -> float:
+        """Inference-window latency of ``plan`` (no QoS idle charged).
+
+        Exactly ``run(...).latency_s``; a separate entry point so
+        runtimes that can answer from a recorded schedule (the fleet's
+        :class:`~repro.fleet.pricing.ReplayingRuntime`) skip the
+        energy re-pricing when the caller only wants the timing side.
+        """
+        return self.run(
+            model, plan, initial_config=initial_config
+        ).latency_s
+
     def _charge_idle(
         self,
         account: EnergyAccount,
-        rcc: RCC,
+        current: ClockConfig,
         policy: IdlePolicy,
         idle_time: float,
     ) -> None:
@@ -245,30 +268,35 @@ class DVFSRuntime:
         power = self.board.power_model
         if policy is IdlePolicy.HOT:
             account.add(
-                idle_time, power.idle_power(rcc.current),
+                idle_time, power.idle_power(current),
                 EnergyCategory.IDLE, "idle",
+                config=current, state=PowerState.IDLE,
             )
             return
         if policy is IdlePolicy.GATED:
             account.add(
-                idle_time, power.gated_power(), EnergyCategory.IDLE, "idle"
+                idle_time, power.gated_power(), EnergyCategory.IDLE, "idle",
+                config=current, state=PowerState.IDLE_GATED,
             )
             return
         # STOP: worth entering only if the window outlasts the wake-up.
         wake = power.params.stop_wakeup_s
         if idle_time <= wake:
             account.add(
-                idle_time, power.gated_power(), EnergyCategory.IDLE, "idle"
+                idle_time, power.gated_power(), EnergyCategory.IDLE, "idle",
+                config=current, state=PowerState.IDLE_GATED,
             )
             return
         account.add(
-            idle_time - wake, power.stop_power(), EnergyCategory.IDLE, "idle"
+            idle_time - wake, power.stop_power(), EnergyCategory.IDLE, "idle",
+            config=current, state=PowerState.STOP,
         )
         # The wake-up path runs regulator/oscillator restart at the
         # low-power HSE clock, not at the hot PLL configuration.
         account.add(
             wake, power.switching_power(lfo_config()),
             EnergyCategory.SWITCH, "stop-wakeup",
+            config=lfo_config(), state=PowerState.SWITCHING,
         )
 
     # -- execution helpers -------------------------------------------------------
@@ -288,13 +316,17 @@ class DVFSRuntime:
         if compute_t > 0:
             p = power.power(config, PowerState.ACTIVE_COMPUTE)
             account.add(
-                compute_t, p, EnergyCategory.COMPUTE, report.layer_name
+                compute_t, p, EnergyCategory.COMPUTE, report.layer_name,
+                config=config, state=PowerState.ACTIVE_COMPUTE,
             )
             report.latency_s += compute_t
             report.energy_j += compute_t * p
         if memory_t > 0:
             p = power.power(config, PowerState.ACTIVE_MEMORY)
-            account.add(memory_t, p, EnergyCategory.MEMORY, report.layer_name)
+            account.add(
+                memory_t, p, EnergyCategory.MEMORY, report.layer_name,
+                config=config, state=PowerState.ACTIVE_MEMORY,
+            )
             report.latency_s += memory_t
             report.energy_j += memory_t * p
 
@@ -308,7 +340,10 @@ class DVFSRuntime:
         if latency_s <= 0:
             return
         p = self.board.power_model.switching_power(config)
-        account.add(latency_s, p, EnergyCategory.SWITCH, report.layer_name)
+        account.add(
+            latency_s, p, EnergyCategory.SWITCH, report.layer_name,
+            config=config, state=PowerState.SWITCHING,
+        )
         report.latency_s += latency_s
         report.energy_j += latency_s * p
 
@@ -328,10 +363,6 @@ class DVFSRuntime:
             self._charge_segment(segment, rcc.current, account, report)
         return mux
 
-    #: Background PLL re-locks observed during the current run (reset
-    #: at the top of :meth:`run`).
-    _background_relocks: int = 0
-
     def _run_decoupled(
         self,
         rcc: RCC,
@@ -340,13 +371,17 @@ class DVFSRuntime:
         lfo: ClockConfig,
         account: EnergyAccount,
         report: LayerReport,
-    ) -> int:
-        """Run a DAE layer bouncing between LFO and HFO segments."""
+    ) -> tuple:
+        """Run a DAE layer bouncing between LFO and HFO segments.
+
+        Returns ``(mux_switches, background_relocks)``.
+        """
         if hfo.source is not SysclkSource.PLL:
             raise TraceError(
                 f"layer {trace.layer_name!r}: HFO must be PLL-sourced"
             )
         mux = 0
+        background_relocks = 0
         segments = trace.segments
         if len(segments) != 2 * trace.iterations:
             raise TraceError(
@@ -369,7 +404,7 @@ class DVFSRuntime:
         )
         lock_s = rcc.prepare_pll(hfo)
         if lock_s > 0:
-            self._background_relocks += 1
+            background_relocks += 1
         self._charge_switch(max(0.0, lock_s - mem_time), lfo, account, report)
         self._charge_segment(mem_seg, lfo, account, report)
         # ClockSwitchPLL (Listing 1, line 7): mux onto the locked PLL.
@@ -407,7 +442,7 @@ class DVFSRuntime:
                     comp_workload, count, hfo, SegmentKind.COMPUTE,
                     account, report,
                 )
-        return mux
+        return mux, background_relocks
 
     def _charge_segment_batch(
         self,
@@ -426,14 +461,18 @@ class DVFSRuntime:
         if compute_t > 0:
             p = power.power(config, PowerState.ACTIVE_COMPUTE)
             account.add(
-                count * compute_t, p, EnergyCategory.COMPUTE, report.layer_name
+                count * compute_t, p, EnergyCategory.COMPUTE,
+                report.layer_name,
+                config=config, state=PowerState.ACTIVE_COMPUTE,
             )
             report.latency_s += count * compute_t
             report.energy_j += count * compute_t * p
         if memory_t > 0:
             p = power.power(config, PowerState.ACTIVE_MEMORY)
             account.add(
-                count * memory_t, p, EnergyCategory.MEMORY, report.layer_name
+                count * memory_t, p, EnergyCategory.MEMORY,
+                report.layer_name,
+                config=config, state=PowerState.ACTIVE_MEMORY,
             )
             report.latency_s += count * memory_t
             report.energy_j += count * memory_t * p

@@ -1,0 +1,417 @@
+"""Adaptive per-device re-plan governor.
+
+The MCKP plan a device ships with was priced against its power model
+at deployment time.  In the field the operating point drifts: the die
+heats up (leakage grows exponentially with temperature) and the
+battery sags (the supply can no longer hold the top VOS scales, which
+caps the usable SYSCLK).  The governor closes the loop the paper's
+differential-measurement methodology opens:
+
+1. every telemetry epoch, simulate one QoS window under the *true*
+   conditions (thermal excess leakage, frequency clamping) and measure
+   it with the device's own seeded INA219;
+2. compare the measurement against the plan's prediction;
+3. when the drift breaches the tolerance -- or the window misses its
+   QoS budget outright -- **re-solve** the MCKP from the cached
+   Pareto fronts, re-priced for the drifted conditions
+   (:func:`repro.optimize.mckp.reprice_classes`), via
+   :meth:`DAEDVFSPipeline.replan`.  No design-space re-exploration
+   happens: the fronts' timing is drift-invariant, only the energy
+   ranking moved.
+
+The thermal response pushes hot devices toward *faster* schedules
+(slow choices soak up more of the extra leakage joules); the battery
+response pushes sagging devices onto HFOs their supply can still
+hold.  Both re-converge within an epoch or two, which the fleet
+report quantifies across the population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..engine.schedule import DeploymentPlan, LayerPlan
+from ..errors import PowerModelError, ReproError
+from ..nn.graph import Model
+from ..optimize.mckp import MCKPItem, reprice_classes
+from ..pipeline import DAEDVFSPipeline, OptimizationResult
+from ..power.energy import EnergyInterval
+from ..power.model import PowerState
+from ..power.sensor import INA219Config
+from .variation import DeviceProfile
+
+#: Power states that carry the MCU leakage term (and therefore the
+#: thermal excess); gated/deep-sleep states power the leaky domains
+#: down.
+_LEAKY_STATES = frozenset(
+    {
+        PowerState.ACTIVE_COMPUTE,
+        PowerState.ACTIVE_MEMORY,
+        PowerState.IDLE,
+        PowerState.SWITCHING,
+    }
+)
+
+
+@dataclass(frozen=True)
+class GovernorConfig:
+    """Tuning of the re-plan loop.
+
+    Attributes:
+        epochs: telemetry epochs to simulate.
+        epoch_s: sustained operation per epoch (back-to-back QoS
+            windows); sets how fast temperature and battery move.
+        drift_threshold: fractional measured-vs-predicted energy
+            drift that triggers a re-plan.  The default sits about
+            2x above the worst INA219 quantization+noise drift a
+            nominal device shows (~1.5%), and below the steady-state
+            thermal excess of a hot, leaky-corner device (~4%).
+        max_replans: re-plan budget per device.
+        sensor_config: INA219 configuration for the telemetry sensor.
+    """
+
+    epochs: int = 20
+    epoch_s: float = 2.0
+    drift_threshold: float = 0.03
+    max_replans: int = 4
+    sensor_config: Optional[INA219Config] = None
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise PowerModelError("epochs must be >= 1")
+        if self.epoch_s <= 0:
+            raise PowerModelError("epoch_s must be positive")
+        if self.drift_threshold <= 0:
+            raise PowerModelError("drift_threshold must be positive")
+        if self.max_replans < 0:
+            raise PowerModelError("max_replans must be >= 0")
+
+
+@dataclass(frozen=True)
+class EpochSample:
+    """Telemetry of one epoch."""
+
+    epoch: int
+    measured_energy_j: float
+    predicted_energy_j: float
+    drift: float
+    met_qos: bool
+    clamped: bool
+    temperature_c: float
+    charge_fraction: float
+    replanned: bool
+
+
+@dataclass
+class GovernorResult:
+    """Outcome of supervising one device.
+
+    Attributes:
+        profile: the supervised device.
+        final_plan: the plan in force after the last epoch.
+        samples: per-epoch telemetry, in order.
+        replans: re-solves actually applied.
+        converged: the last epoch met its QoS budget with drift inside
+            the tolerance and no frequency clamping.
+    """
+
+    profile: DeviceProfile
+    final_plan: DeploymentPlan
+    samples: List[EpochSample] = field(default_factory=list)
+    replans: int = 0
+    drift_threshold: float = float("inf")
+
+    @property
+    def converged(self) -> bool:
+        last = self.samples[-1] if self.samples else None
+        return bool(
+            last
+            and last.met_qos
+            and not last.clamped
+            and abs(last.drift) <= self.drift_threshold
+        )
+
+    @property
+    def epochs_met(self) -> int:
+        """Epochs whose window met the QoS budget."""
+        return sum(1 for s in self.samples if s.met_qos)
+
+
+def _clamp_plan(
+    plan: DeploymentPlan, cap_hz: float, hfo_configs
+) -> "tuple[DeploymentPlan, bool]":
+    """Force every over-cap layer onto the fastest supplied HFO.
+
+    This is what the hardware would do: the regulator cannot hold the
+    VOS scale the plan asked for, so the runtime falls back to the
+    fastest configuration the rail supports (and the schedule slows
+    down accordingly -- possibly past its budget, which is the
+    governor's re-plan trigger).
+    """
+    if all(
+        lp.hfo.sysclk_hz <= cap_hz for lp in plan.layer_plans.values()
+    ):
+        return plan, False
+    allowed = [c for c in hfo_configs if c.sysclk_hz <= cap_hz]
+    fastest = max(allowed, key=lambda c: c.sysclk_hz)
+    clamped_plans = {}
+    for node_id, lp in plan.layer_plans.items():
+        if lp.hfo.sysclk_hz <= cap_hz:
+            clamped_plans[node_id] = lp
+        else:
+            clamped_plans[node_id] = LayerPlan(
+                node_id=lp.node_id,
+                granularity=lp.granularity,
+                hfo=fastest,
+                predicted_latency_s=lp.predicted_latency_s,
+                predicted_energy_j=lp.predicted_energy_j,
+            )
+    return (
+        DeploymentPlan(
+            model_name=plan.model_name,
+            lfo=plan.lfo,
+            layer_plans=clamped_plans,
+            qos_s=plan.qos_s,
+            predicted_latency_s=plan.predicted_latency_s,
+            predicted_energy_j=plan.predicted_energy_j,
+        ),
+        True,
+    )
+
+
+class FleetGovernor:
+    """Supervises one device's deployed plan across telemetry epochs."""
+
+    def __init__(
+        self,
+        pipeline: DAEDVFSPipeline,
+        profile: DeviceProfile,
+        model: Model,
+        optimized: OptimizationResult,
+        config: Optional[GovernorConfig] = None,
+    ):
+        self.pipeline = pipeline
+        self.profile = profile
+        self.model = model
+        self.optimized = optimized
+        self.config = config or GovernorConfig()
+        node_ids = sorted(optimized.pareto_fronts)
+        #: Device-priced MCKP classes rebuilt from the cached fronts;
+        #: every re-plan re-prices THESE -- exploration never re-runs.
+        self.base_classes = [
+            [
+                MCKPItem(
+                    weight=p.latency_s, value=p.energy_j, payload=p
+                )
+                for p in optimized.pareto_fronts[node_id]
+            ]
+            for node_id in node_ids
+        ]
+
+    def supervise(self) -> GovernorResult:
+        """Run the epochs; returns the telemetry and the final plan."""
+        cfg = self.config
+        profile = self.profile
+        budget = self.optimized.qos_s
+        fixed = self.optimized.fixed_overhead_s
+        thermal = profile.thermal
+        sensor = profile.make_sensor(cfg.sensor_config)
+        hfo_configs = self.pipeline.space.hfo_configs
+        runtime = self.pipeline.runtime
+
+        plan = self.optimized.plan
+        battery = profile.battery
+        temperature = thermal.t_ambient_c
+        #: Extra leakage power the current plan's pricing already
+        #: accounts for (set at re-plan time); drift is measured
+        #: against prediction *including* this compensation.
+        compensated_w = 0.0
+        samples: List[EpochSample] = []
+        replans = 0
+
+        for epoch in range(cfg.epochs):
+            cap_hz = battery.max_sysclk_hz()
+            exec_plan, clamped = _clamp_plan(plan, cap_hz, hfo_configs)
+            ref = runtime.run(
+                self.model,
+                exec_plan,
+                qos_s=budget,
+                initial_config=exec_plan.initial_config(),
+            )
+            extra_w = thermal.leakage_at(temperature) - thermal.leakage_ref_w
+            # The window as the silicon actually burns it: leaky
+            # states carry the thermal excess on top of the calibrated
+            # model.
+            true_trace = [
+                EnergyInterval(
+                    duration_s=iv.duration_s,
+                    power_w=iv.power_w
+                    + (extra_w if iv.state in _LEAKY_STATES else 0.0),
+                    category=iv.category,
+                    label=iv.label,
+                )
+                for iv in ref.account.intervals
+            ]
+            true_energy = sum(iv.energy_j for iv in true_trace)
+            leaky_t = sum(
+                iv.duration_s
+                for iv in ref.account.intervals
+                if iv.state in _LEAKY_STATES
+            )
+            measured = sensor.estimate_energy(
+                sensor.measure(true_trace, start_time_s=epoch * cfg.epoch_s)
+            )
+            predicted = ref.energy_j + compensated_w * leaky_t
+            drift = (
+                (measured - predicted) / predicted if predicted > 0 else 0.0
+            )
+            window_s = ref.qos_s if ref.qos_s is not None else ref.latency_s
+            avg_power = true_energy / window_s if window_s > 0 else 0.0
+            met = ref.met_qos
+
+            replanned = False
+            if (
+                not met or clamped or abs(drift) > cfg.drift_threshold
+            ) and replans < cfg.max_replans:
+                new_plan = self._replan(extra_w, cap_hz, budget, fixed)
+                if new_plan is not None:
+                    plan = new_plan
+                    compensated_w = extra_w
+                    replans += 1
+                    replanned = True
+
+            # Epoch bookkeeping: the die integrates toward its
+            # operating temperature, the cell drains by the epoch's
+            # true energy.
+            battery = battery.discharged(avg_power * cfg.epoch_s)
+            temperature = thermal.temperature_step(
+                temperature, avg_power, cfg.epoch_s
+            )
+            samples.append(
+                EpochSample(
+                    epoch=epoch,
+                    measured_energy_j=measured,
+                    predicted_energy_j=predicted,
+                    drift=drift,
+                    met_qos=met,
+                    clamped=clamped,
+                    temperature_c=temperature,
+                    charge_fraction=battery.charge_fraction,
+                    replanned=replanned,
+                )
+            )
+
+        return GovernorResult(
+            profile=profile,
+            final_plan=plan,
+            samples=samples,
+            replans=replans,
+            drift_threshold=cfg.drift_threshold,
+        )
+
+    def _replan(
+        self,
+        extra_w: float,
+        cap_hz: float,
+        budget: float,
+        fixed: float,
+    ) -> Optional[DeploymentPlan]:
+        """Re-price the cached fronts and re-solve; None if infeasible.
+
+        The free MCKP re-solve can land on a mixed-frequency schedule
+        whose sequence-dependent relock overhead the knapsack cannot
+        price; when the refinement loop fails to converge such a
+        schedule under the budget, fall back to the uniform-frequency
+        ladder (the paper's global-DVFS shape), which pays at most one
+        lock and always contains the schedules the refinement loop is
+        hunting for.
+        """
+        try:
+            classes = reprice_classes(
+                self.base_classes,
+                extra_power_w=extra_w,
+                item_filter=lambda item: (
+                    item.payload.hfo.sysclk_hz <= cap_hz
+                ),
+            )
+        except ReproError:
+            return None
+        try:
+            plan = self.pipeline.replan(self.model, classes, budget, fixed)
+        except ReproError:
+            plan = None
+        if plan is not None:
+            return plan
+        return self._uniform_fallback(classes, cap_hz, budget, fixed)
+
+    def _uniform_fallback(
+        self,
+        classes,
+        cap_hz: float,
+        budget: float,
+        fixed: float,
+    ) -> Optional[DeploymentPlan]:
+        """Best single-frequency schedule meeting the budget, if any.
+
+        Candidates are ranked by the drift-compensated item values, so
+        the winner is optimal for the *current* operating point among
+        uniform schedules.
+        """
+        best_energy = None
+        best_plan = None
+        for hfo in self.pipeline.space.hfo_configs:
+            if hfo.sysclk_hz > cap_hz:
+                continue
+            picks = []
+            for cls in classes:
+                matches = [
+                    item for item in cls if item.payload.hfo == hfo
+                ]
+                if not matches:
+                    picks = None
+                    break
+                picks.append(min(matches, key=lambda item: item.value))
+            if picks is None:
+                continue
+            layer_plans = {
+                item.payload.node_id: LayerPlan(
+                    node_id=item.payload.node_id,
+                    granularity=item.payload.granularity,
+                    hfo=item.payload.hfo,
+                    predicted_latency_s=item.payload.latency_s,
+                    predicted_energy_j=item.payload.energy_j,
+                )
+                for item in picks
+            }
+            plan = DeploymentPlan(
+                model_name=self.model.name,
+                lfo=self.pipeline.space.lfo,
+                layer_plans=layer_plans,
+                qos_s=budget,
+                predicted_latency_s=sum(i.weight for i in picks) + fixed,
+                predicted_energy_j=sum(i.value for i in picks),
+            )
+            actual = self.pipeline.runtime.measure_latency_s(
+                self.model, plan, initial_config=plan.initial_config()
+            )
+            if actual > budget:
+                continue
+            energy = sum(item.value for item in picks)
+            if best_energy is None or energy < best_energy:
+                best_energy = energy
+                best_plan = plan
+        return best_plan
+
+
+def supervise_device(
+    pipeline: DAEDVFSPipeline,
+    profile: DeviceProfile,
+    model: Model,
+    optimized: OptimizationResult,
+    config: Optional[GovernorConfig] = None,
+) -> GovernorResult:
+    """Convenience wrapper: build a governor and run it."""
+    return FleetGovernor(
+        pipeline, profile, model, optimized, config
+    ).supervise()

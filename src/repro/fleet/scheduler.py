@@ -1,0 +1,217 @@
+"""Fleet work-queue: fan the planning pipeline across a worker pool.
+
+The scheduler owns one fleet's shared pricing state (traces, time
+decompositions, replayed schedules -- see :mod:`repro.fleet.pricing`)
+and builds one :class:`~repro.pipeline.DAEDVFSPipeline` per distinct
+board fingerprint, wired into that shared state.  Devices then flow
+through a :class:`concurrent.futures.ThreadPoolExecutor`: every worker
+optimizes + deploys its device on the device's pipeline, and all
+cross-device reuse happens through the lock-protected caches.
+
+Two executions of the same fleet produce identical results regardless
+of worker count or scheduling order: per-device computations are
+independent, shared caches publish canonical values with
+``setdefault``, and results are reported in device-id order.
+
+The ``share=False`` mode prices every device from scratch on a private
+pipeline (the PR-1 single-device cost, N times) -- it exists as the
+honest baseline the fleet benchmark compares against.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..dse.space import DesignSpace, paper_design_space
+from ..engine.cost import TraceParams
+from ..engine.runtime import InferenceReport
+from ..errors import ReproError
+from ..mcu.board import Board, make_nucleo_f767zi
+from ..nn.graph import Model
+from ..optimize.qos import QoSLevel
+from ..pipeline import DAEDVFSPipeline, OptimizationResult
+from .pricing import (
+    FleetSharedState,
+    ReplayingRuntime,
+    SharedComponentExplorer,
+)
+from .variation import DeviceProfile
+
+
+@dataclass
+class DeviceResult:
+    """Planning outcome for one device.
+
+    Attributes:
+        profile: the device this result belongs to.
+        optimized: the full optimization result (plan, fronts, budget).
+        report: the plan deployed over one QoS window on this device.
+        error: failure description when planning raised (the fleet
+            keeps going; the report counts failures).
+    """
+
+    profile: DeviceProfile
+    optimized: Optional[OptimizationResult] = None
+    report: Optional[InferenceReport] = None
+    error: Optional[str] = None
+
+    @property
+    def device_id(self) -> int:
+        """The device's stable fleet index."""
+        return self.profile.device_id
+
+
+class FleetScheduler:
+    """Plans a heterogeneous fleet against one model and QoS setting.
+
+    Args:
+        model: the network every device deploys.
+        qos_level: latency budget relative to the TinyEngine baseline
+            (exactly one of ``qos_level``/``qos_s``).
+        qos_s: absolute latency budget in seconds.
+        base_board: nominal board the design space is derived from.
+            One *canonical* space serves the whole fleet -- the space
+            prunes iso-frequency configs with the power model, so
+            deriving it per device would fragment every shared cache
+            (and real deployments ship one frequency grid, not one per
+            unit).
+        trace_params: access-pattern constants.
+        solver / dp_resolution / max_refinements: forwarded to each
+            device pipeline.
+        max_workers: thread-pool width for :meth:`run_pooled`.
+        share: wire devices into the fleet-shared pricing state.  Off,
+            every device pays the full single-device planning cost on
+            a private pipeline (the benchmark's serial baseline).
+    """
+
+    def __init__(
+        self,
+        model: Model,
+        qos_level: Optional[QoSLevel] = None,
+        qos_s: Optional[float] = None,
+        base_board: Optional[Board] = None,
+        trace_params: Optional[TraceParams] = None,
+        solver: str = "dp",
+        dp_resolution: int = 4000,
+        max_refinements: int = 3,
+        max_workers: int = 4,
+        share: bool = True,
+    ):
+        if (qos_level is None) == (qos_s is None):
+            raise ReproError("provide exactly one of qos_level or qos_s")
+        if max_workers < 1:
+            raise ReproError("max_workers must be >= 1")
+        self.model = model
+        self.qos_level = qos_level
+        self.qos_s = qos_s
+        self.base_board = base_board or make_nucleo_f767zi()
+        self.trace_params = trace_params
+        self.solver = solver
+        self.dp_resolution = dp_resolution
+        self.max_refinements = max_refinements
+        self.max_workers = max_workers
+        self.share = share
+        self.space: DesignSpace = paper_design_space(
+            self.base_board.power_model
+        )
+        self.shared = FleetSharedState(self.base_board, trace_params)
+        # The nominal pipeline anchors the timing-only results every
+        # device inherits (baseline latency, fixed overhead).
+        self._nominal = self._build_pipeline(self.base_board)
+        self._pipelines: Dict[Tuple, DAEDVFSPipeline] = {
+            self.base_board.fingerprint(): self._nominal
+        }
+        self._pipelines_lock = threading.Lock()
+
+    # -- pipeline wiring ---------------------------------------------------------
+
+    def _build_pipeline(self, board: Board) -> DAEDVFSPipeline:
+        if not self.share:
+            return DAEDVFSPipeline(
+                board=board,
+                space=self.space,
+                trace_params=self.trace_params,
+                solver=self.solver,
+                dp_resolution=self.dp_resolution,
+                max_refinements=self.max_refinements,
+            )
+        explorer = SharedComponentExplorer(board, self.space, self.shared)
+        runtime = ReplayingRuntime(board, self.shared, self.trace_params)
+        return DAEDVFSPipeline(
+            board=board,
+            space=self.space,
+            trace_params=self.trace_params,
+            solver=self.solver,
+            dp_resolution=self.dp_resolution,
+            max_refinements=self.max_refinements,
+            explorer=explorer,
+            runtime=runtime,
+        )
+
+    def pipeline_for(self, profile: DeviceProfile) -> DAEDVFSPipeline:
+        """The device's pipeline (shared across equal-fingerprint boards).
+
+        Pipeline caches embed the power model through their prices, so
+        only devices whose boards fingerprint equal may share one;
+        distinct devices still share everything timing-side through
+        the fleet state.
+        """
+        if not self.share:
+            return self._build_pipeline(profile.board)
+        key = profile.board.fingerprint()
+        with self._pipelines_lock:
+            pipeline = self._pipelines.get(key)
+        if pipeline is not None:
+            return pipeline
+        pipeline = self._build_pipeline(profile.board)
+        pipeline.warm_start_from(self._nominal, self.model)
+        with self._pipelines_lock:
+            return self._pipelines.setdefault(key, pipeline)
+
+    # -- execution ---------------------------------------------------------------
+
+    def plan_device(self, profile: DeviceProfile) -> DeviceResult:
+        """Optimize + deploy one device (errors captured, not raised)."""
+        try:
+            pipeline = self.pipeline_for(profile)
+            optimized = pipeline.optimize(
+                self.model, qos_level=self.qos_level, qos_s=self.qos_s
+            )
+            report = pipeline.deploy(self.model, optimized.plan)
+            return DeviceResult(
+                profile=profile, optimized=optimized, report=report
+            )
+        except ReproError as err:
+            return DeviceResult(
+                profile=profile, error=f"{type(err).__name__}: {err}"
+            )
+
+    def run_serial(
+        self, profiles: Sequence[DeviceProfile]
+    ) -> List[DeviceResult]:
+        """Plan every device on the calling thread, in order."""
+        results = [self.plan_device(profile) for profile in profiles]
+        results.sort(key=lambda r: r.device_id)
+        return results
+
+    def run_pooled(
+        self, profiles: Sequence[DeviceProfile]
+    ) -> List[DeviceResult]:
+        """Plan the fleet on the worker pool; results in device order."""
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            results = list(pool.map(self.plan_device, profiles))
+        results.sort(key=lambda r: r.device_id)
+        return results
+
+    def run(
+        self,
+        profiles: Sequence[DeviceProfile],
+        pooled: bool = True,
+    ) -> List[DeviceResult]:
+        """Plan the fleet, pooled or serial."""
+        if pooled:
+            return self.run_pooled(profiles)
+        return self.run_serial(profiles)

@@ -49,6 +49,37 @@ class Board:
         """The board's memory hierarchy."""
         return self.core.memory_map
 
+    def fingerprint(self) -> tuple:
+        """Hashable identity of the full hardware description.
+
+        Two boards with equal fingerprints price every (model, plan)
+        pair identically -- timing *and* power -- so pipelines and
+        their caches built against one serve the other.  The fleet
+        scheduler groups devices by this key.
+        """
+        return (
+            self.name,
+            self.power_model.params,
+            self.timing_fingerprint(),
+        )
+
+    def timing_fingerprint(self) -> tuple:
+        """Identity of the timing side only (power model excluded).
+
+        Layer traces and runtime interval *durations* depend only on
+        these models, so boards equal under this key can share one
+        :class:`~repro.engine.cost.TraceBuilder` and one recorded
+        execution trace even when their power models differ -- the
+        fleet's device-variation case, where process/temperature
+        spread moves the power curves but not the cycle counts.
+        """
+        return (
+            self.core.params,
+            self.core.memory_map,
+            self.cache,
+            self.switch_cost_model,
+        )
+
     def make_timer(
         self, sysclk_hz: Optional[float] = None, config: Optional[TimerConfig] = None
     ) -> HardwareTimer:

@@ -6,6 +6,7 @@ from .mckp import (
     MCKPItem,
     MCKPSolution,
     min_total_weight,
+    reprice_classes,
     solve_mckp_bruteforce,
     solve_mckp_dp,
     to_maximization,
@@ -19,6 +20,7 @@ __all__ = [
     "MCKPItem",
     "MCKPSolution",
     "min_total_weight",
+    "reprice_classes",
     "solve_mckp_bruteforce",
     "solve_mckp_dp",
     "to_maximization",

@@ -113,6 +113,55 @@ def to_maximization(
     return transformed, offset
 
 
+def reprice_classes(
+    classes: Sequence[Sequence[MCKPItem]],
+    extra_power_w: float = 0.0,
+    item_filter=None,
+) -> List[List[MCKPItem]]:
+    """Rebuild MCKP classes under drifted operating conditions.
+
+    The fleet governor re-solves the knapsack when a device's power
+    curves move away from the ones the Pareto fronts were priced at,
+    *without* re-running the design-space exploration:
+
+    * ``extra_power_w`` adds a constant power offset to every item --
+      ``value' = value + extra_power_w * weight``.  A thermal leakage
+      ramp is exactly this shape (leakage is state-independent to
+      first order), and it genuinely re-ranks items: slow choices
+      absorb more of the extra joules, so a hot device is pushed
+      toward faster, shorter schedules.
+    * ``item_filter`` drops items that are no longer *feasible*, e.g.
+      HFOs whose VOS scale a sagging battery can no longer supply.
+
+    Weights (latencies) are untouched -- drift moves power, not cycle
+    counts.
+
+    Raises:
+        QoSInfeasibleError: when filtering empties a class (no
+            operating point of that layer is feasible any more).
+    """
+    _validate_classes(classes)
+    if extra_power_w < 0:
+        raise SolverError("extra_power_w must be >= 0")
+    repriced: List[List[MCKPItem]] = []
+    for k, cls in enumerate(classes):
+        items = [
+            MCKPItem(
+                weight=item.weight,
+                value=item.value + extra_power_w * item.weight,
+                payload=item.payload,
+            )
+            for item in cls
+            if item_filter is None or item_filter(item)
+        ]
+        if not items:
+            raise QoSInfeasibleError(
+                qos_s=0.0, min_latency_s=min(i.weight for i in cls)
+            )
+        repriced.append(items)
+    return repriced
+
+
 def solve_mckp_dp(
     classes: Sequence[Sequence[MCKPItem]],
     budget: float,

@@ -21,6 +21,7 @@ in the iso-latency energy scenario.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
@@ -94,6 +95,19 @@ class DAEDVFSPipeline:
             prices.
         granularity_fn: optional per-layer granularity policy, e.g.
             ``functools.partial(adaptive_granularities, board)``.
+        tracer: an existing :class:`~repro.engine.cost.TraceBuilder`
+            to share.  Traces depend only on the *timing* side of the
+            board, so pipelines for boards that differ only in their
+            power model (the fleet's device-variation case) can share
+            one builder and each (model, node, g) trace is built once
+            for the whole fleet.
+        explorer: an existing :class:`DSEExplorer` (or subclass) to
+            use for Step 2 instead of constructing one -- the fleet
+            hands every device an explorer backed by shared timing
+            decompositions.  Its board/space must match this
+            pipeline's.
+        runtime: an existing :class:`DVFSRuntime` (or subclass, e.g.
+            the fleet's replaying runtime) to execute plans on.
     """
 
     def __init__(
@@ -106,6 +120,9 @@ class DAEDVFSPipeline:
         max_refinements: int = 3,
         profiler: Optional["LayerProfiler"] = None,
         granularity_fn=None,
+        tracer=None,
+        explorer: Optional[DSEExplorer] = None,
+        runtime: Optional[DVFSRuntime] = None,
     ):
         if solver not in ("dp", "greedy"):
             raise SolverError(f"unknown solver {solver!r}")
@@ -118,15 +135,18 @@ class DAEDVFSPipeline:
         self.dp_resolution = dp_resolution
         self.max_refinements = max_refinements
         self.profiler = profiler
-        self.explorer = DSEExplorer(
+        self.explorer = explorer or DSEExplorer(
             self.board, self.space, trace_params,
             granularity_fn=granularity_fn,
+            tracer=tracer,
         )
         # One memoized TraceBuilder feeds the explorer, the runtime,
         # the fixed-overhead accounting and both baseline engines, so
         # every (model, node, g) trace is built exactly once.
         self.tracer = self.explorer.tracer
-        self.runtime = DVFSRuntime(self.board, trace_params, tracer=self.tracer)
+        self.runtime = runtime or DVFSRuntime(
+            self.board, trace_params, tracer=self.tracer
+        )
         self._tinyengine = TinyEngine(
             self.board, trace_params=trace_params, tracer=self.tracer
         )
@@ -135,15 +155,21 @@ class DAEDVFSPipeline:
         )
         # Step-2 result caches, keyed by (model fingerprint, space
         # fingerprint): exploration clouds, their Pareto fronts, the
-        # per-(model, HFO) uniform-sweep fronts and the fixed
-        # (non-schedulable) overhead.  `compare()` across QoS levels
-        # and the uniform-HFO fallback sweep reuse Step 2 instead of
-        # re-running it.  Plain dicts -- not thread-safe; see
-        # :meth:`clear_caches`.
+        # per-(model, HFO) uniform-sweep fronts, the fixed
+        # (non-schedulable) overhead and the baseline latency.
+        # `compare()` across QoS levels and the uniform-HFO fallback
+        # sweep reuse Step 2 instead of re-running it.  Reads/writes go
+        # through ``_cache_lock`` (values are computed outside the lock
+        # and published with ``setdefault``, so concurrent misses cost
+        # a duplicate computation but always observe one canonical
+        # value) -- the fleet worker pool shares pipelines across
+        # threads; see :meth:`clear_caches`.
+        self._cache_lock = threading.RLock()
         self._cloud_cache: Dict[Tuple, Dict[int, List[SolutionPoint]]] = {}
         self._front_cache: Dict[Tuple, Dict[int, List[SolutionPoint]]] = {}
         self._uniform_front_cache: Dict[Tuple, Dict] = {}
         self._fixed_overhead_cache: Dict[Tuple, float] = {}
+        self._baseline_cache: Dict[Tuple, float] = {}
 
     def _model_key(self, model: Model) -> Tuple:
         """Cache key: model identity + design-space fingerprint."""
@@ -157,17 +183,87 @@ class DAEDVFSPipeline:
         recommended alternative).  Model mutations need no manual
         invalidation: the fingerprint changes with the graph.
         """
-        self._cloud_cache.clear()
-        self._front_cache.clear()
-        self._uniform_front_cache.clear()
-        self._fixed_overhead_cache.clear()
+        with self._cache_lock:
+            self._cloud_cache.clear()
+            self._front_cache.clear()
+            self._uniform_front_cache.clear()
+            self._fixed_overhead_cache.clear()
+            self._baseline_cache.clear()
         self.tracer.clear_cache()
+
+    def warm_start_from(
+        self, donor: "DAEDVFSPipeline", model: Model
+    ) -> None:
+        """Inherit the donor's timing-only results for ``model``.
+
+        The baseline latency and the fixed (non-schedulable) overhead
+        depend only on the timing side of the board, so pipelines for
+        power-varied boards of one fleet can copy them from a nominal
+        donor instead of recomputing per device.  The donor computes
+        them on first use; requires matching design spaces (the cache
+        key embeds the space fingerprint, so a mismatch is inert
+        rather than wrong).
+        """
+        baseline = donor.baseline_latency_s(model)
+        fixed = donor.fixed_overhead_s(model)
+        key = self._model_key(model)
+        with self._cache_lock:
+            self._baseline_cache.setdefault(key, baseline)
+            self._fixed_overhead_cache.setdefault(key, fixed)
+
+    def replan(
+        self,
+        model: Model,
+        classes,
+        budget: float,
+        fixed_overhead_s: float,
+    ) -> Optional[DeploymentPlan]:
+        """Re-solve the MCKP over pre-priced classes -- no exploration.
+
+        The fleet governor's drift response: when a device's operating
+        conditions move (thermal leakage ramp, battery-sag frequency
+        caps), it re-prices the *cached* Pareto-front items (see
+        :func:`repro.optimize.mckp.reprice_classes`) and calls this to
+        get a fresh plan.  Runs the same solve/measure/tighten
+        refinement as :meth:`optimize` but skips Step 2 entirely.
+
+        Returns:
+            The refined plan, or ``None`` when no schedule over the
+            given classes can converge under the budget.
+
+        Raises:
+            QoSInfeasibleError: when the budget cannot even cover the
+                fixed overhead.
+        """
+        conv_budget = budget - fixed_overhead_s
+        if conv_budget <= 0:
+            min_conv = sum(
+                min(item.weight for item in cls) for cls in classes
+            )
+            raise QoSInfeasibleError(
+                qos_s=budget, min_latency_s=min_conv + fixed_overhead_s
+            )
+        return self._refine_free_plan(
+            model, classes, conv_budget, budget, fixed_overhead_s
+        )
 
     # -- building blocks -------------------------------------------------------
 
     def baseline_latency_s(self, model: Model) -> float:
-        """TinyEngine inference latency (the QoS anchor)."""
-        return self._tinyengine.inference_latency_s(model)
+        """TinyEngine inference latency (the QoS anchor).
+
+        Memoized per (model, space): latency depends only on the
+        timing model, so every QoS level -- and, fleet-wide, every
+        device sharing this pipeline -- anchors to the same number.
+        """
+        key = self._model_key(model)
+        with self._cache_lock:
+            cached = self._baseline_cache.get(key)
+        if cached is not None:
+            return cached
+        baseline = self._tinyengine.inference_latency_s(model)
+        with self._cache_lock:
+            return self._baseline_cache.setdefault(key, baseline)
 
     def fixed_overhead_s(self, model: Model) -> float:
         """Latency of the non-schedulable layers (pool/add/flatten).
@@ -182,7 +278,8 @@ class DAEDVFSPipeline:
         every refinement round and QoS level.
         """
         key = self._model_key(model)
-        cached = self._fixed_overhead_cache.get(key)
+        with self._cache_lock:
+            cached = self._fixed_overhead_cache.get(key)
         if cached is not None:
             return cached
         fastest = max(self.space.hfo_configs, key=lambda c: c.sysclk_hz)
@@ -196,8 +293,8 @@ class DAEDVFSPipeline:
                 trace, fastest, self.space.lfo, assume_relock=False
             )
             overhead += latency
-        self._fixed_overhead_cache[key] = overhead
-        return overhead
+        with self._cache_lock:
+            return self._fixed_overhead_cache.setdefault(key, overhead)
 
     def optimize(
         self,
@@ -299,7 +396,8 @@ class DAEDVFSPipeline:
         exploring again.
         """
         key = self._model_key(model)
-        cached = self._cloud_cache.get(key)
+        with self._cache_lock:
+            cached = self._cloud_cache.get(key)
         if cached is not None:
             return cached
         if self.profiler is None:
@@ -322,15 +420,16 @@ class DAEDVFSPipeline:
                     )
                     for record in records
                 ]
-        self._cloud_cache[key] = clouds
-        return clouds
+        with self._cache_lock:
+            return self._cloud_cache.setdefault(key, clouds)
 
     def _pareto_fronts(
         self, model: Model, clouds: Dict[int, List[SolutionPoint]]
     ) -> Dict[int, List[SolutionPoint]]:
         """Per-layer Pareto fronts of the clouds (memoized per model)."""
         key = self._model_key(model)
-        cached = self._front_cache.get(key)
+        with self._cache_lock:
+            cached = self._front_cache.get(key)
         if cached is not None:
             return cached
         fronts = {
@@ -339,8 +438,8 @@ class DAEDVFSPipeline:
             )
             for node_id, points in clouds.items()
         }
-        self._front_cache[key] = fronts
-        return fronts
+        with self._cache_lock:
+            return self._front_cache.setdefault(key, fronts)
 
     def harmonize(
         self, model: Model, result: OptimizationResult
@@ -394,9 +493,9 @@ class DAEDVFSPipeline:
             except QoSInfeasibleError:
                 return None
             plan = self._plan_from_solution(model, solution, budget, fixed)
-            actual = self.runtime.run(
+            actual = self.runtime.measure_latency_s(
                 model, plan, initial_config=plan.initial_config()
-            ).latency_s
+            )
             if actual <= budget:
                 return plan
             # The gap between the runtime and the per-layer predictions
@@ -422,15 +521,25 @@ class DAEDVFSPipeline:
         across QoS levels reuses one filtering + front pass per model.
         """
         key = self._model_key(model)
-        cached = self._uniform_front_cache.get(key)
+        with self._cache_lock:
+            cached = self._uniform_front_cache.get(key)
         if cached is not None:
             return cached
         node_ids = sorted(clouds)
+        # One pass per node groups its cloud by HFO (stable order), so
+        # the per-HFO loop below indexes instead of rescanning the
+        # whole cloud once per frequency.
+        sliced = []
+        for node_id in node_ids:
+            by_hfo: Dict = {}
+            for p in clouds[node_id]:
+                by_hfo.setdefault(p.hfo, []).append(p)
+            sliced.append(by_hfo)
         per_hfo: Dict = {}
         for hfo in self.space.hfo_configs:
             classes = []
-            for node_id in node_ids:
-                points = [p for p in clouds[node_id] if p.hfo == hfo]
+            for by_hfo in sliced:
+                points = by_hfo.get(hfo)
                 if not points:
                     classes = None
                     break
@@ -446,8 +555,8 @@ class DAEDVFSPipeline:
                     ]
                 )
             per_hfo[hfo] = classes
-        self._uniform_front_cache[key] = per_hfo
-        return per_hfo
+        with self._cache_lock:
+            return self._uniform_front_cache.setdefault(key, per_hfo)
 
     def _best_uniform_hfo_plan(
         self,
@@ -479,9 +588,9 @@ class DAEDVFSPipeline:
                 tightest = min(tightest, err.min_latency_s + fixed)
                 continue
             plan = self._plan_from_solution(model, solution, budget, fixed)
-            actual = self.runtime.run(
+            actual = self.runtime.measure_latency_s(
                 model, plan, initial_config=plan.initial_config()
-            ).latency_s
+            )
             if actual > budget:
                 tightest = min(tightest, actual)
                 continue

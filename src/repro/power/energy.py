@@ -37,12 +37,23 @@ class EnergyInterval:
         category: ledger category.
         label: optional free-form tag (e.g. the layer name) used by
             per-layer breakdowns.
+        config: the clock configuration active during the interval,
+            when the producer recorded it (the DVFS runtime does).
+            Interval *durations* depend only on the timing model, so a
+            (config, state)-tagged trace can be re-priced against a
+            different board's power model -- the fleet replay cache
+            uses this to execute a plan once and price it for every
+            device.
+        state: the :class:`~repro.power.model.PowerState` the power
+            was computed for, when recorded.
     """
 
     duration_s: float
     power_w: float
     category: EnergyCategory
     label: str = ""
+    config: object = None
+    state: object = None
 
     def __post_init__(self) -> None:
         if self.duration_s < 0:
@@ -75,6 +86,8 @@ class EnergyAccount:
         power_w: float,
         category: EnergyCategory,
         label: str = "",
+        config: object = None,
+        state: object = None,
     ) -> None:
         """Append one interval; zero-duration intervals are dropped."""
         if duration_s == 0.0:
@@ -85,6 +98,8 @@ class EnergyAccount:
                 power_w=power_w,
                 category=category,
                 label=label,
+                config=config,
+                state=state,
             )
         )
 

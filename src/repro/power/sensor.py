@@ -85,15 +85,31 @@ class PowerSample:
 
 
 class INA219Sensor:
-    """Samples piecewise-constant power traces like the real sensor."""
+    """Samples piecewise-constant power traces like the real sensor.
 
-    def __init__(self, config: INA219Config | None = None):
+    Args:
+        config: sensor configuration.
+        seed: overrides ``config.seed`` as the noise-stream seed.
+            Accepts anything :func:`numpy.random.default_rng` does --
+            in particular a :class:`numpy.random.SeedSequence`, which
+            is how the fleet hands every device its own independent
+            child stream instead of N sensors all replaying the one
+            default-seeded sequence.  The override is remembered, so
+            :meth:`reset` restores *this* device's stream.
+    """
+
+    def __init__(
+        self,
+        config: INA219Config | None = None,
+        seed=None,
+    ):
         self.config = config or INA219Config()
-        self._rng = np.random.default_rng(self.config.seed)
+        self._seed = self.config.seed if seed is None else seed
+        self._rng = np.random.default_rng(self._seed)
 
     def reset(self) -> None:
         """Re-seed the noise generator (drift is deterministic in time)."""
-        self._rng = np.random.default_rng(self.config.seed)
+        self._rng = np.random.default_rng(self._seed)
 
     def _drift(self, time_s: float) -> float:
         cfg = self.config

@@ -72,6 +72,23 @@ class ThermalModelParams:
             (temperature_c - self.t_ref_c) / self.t_slope_c
         )
 
+    def temperature_step(
+        self, temperature_c: float, power_w: float, dt_s: float
+    ) -> float:
+        """One explicit-Euler step of the RC model.
+
+        The fleet governor integrates device temperature window by
+        window with this helper (a QoS window is far shorter than the
+        thermal time constant, so one step per window is accurate).
+        """
+        if dt_s < 0:
+            raise PowerModelError("dt_s must be >= 0")
+        dT = (
+            power_w
+            - (temperature_c - self.t_ambient_c) / self.r_th_c_per_w
+        ) * dt_s / self.c_th_j_per_c
+        return temperature_c + dT
+
 
 @dataclass
 class ThermalReplayResult:

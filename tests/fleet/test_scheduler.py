@@ -1,0 +1,150 @@
+"""Fleet scheduler: pooled/serial/shared equivalence, cache reuse."""
+
+import threading
+
+import pytest
+
+from repro.errors import ReproError
+from repro.fleet import FleetScheduler, sample_fleet
+from repro.nn import build_tiny_test_model
+from repro.optimize import MODERATE
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return build_tiny_test_model()
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return sample_fleet(6, seed=3)
+
+
+def run_results(tiny, fleet, share, pooled, max_workers=4):
+    scheduler = FleetScheduler(
+        tiny, qos_level=MODERATE, share=share, max_workers=max_workers
+    )
+    return scheduler.run(fleet, pooled=pooled)
+
+
+def assert_result_lists_identical(a, b):
+    assert len(a) == len(b)
+    for x, y in zip(a, b):
+        assert x.device_id == y.device_id
+        assert x.error == y.error
+        assert x.optimized.plan == y.optimized.plan
+        assert x.report.energy_j == y.report.energy_j
+        assert x.report.latency_s == y.report.latency_s
+        assert x.report.met_qos == y.report.met_qos
+
+
+class TestEquivalence:
+    def test_pooled_equals_serial(self, tiny, fleet):
+        pooled = run_results(tiny, fleet, share=True, pooled=True)
+        serial = run_results(tiny, fleet, share=True, pooled=False)
+        assert_result_lists_identical(pooled, serial)
+
+    def test_shared_equals_private(self, tiny, fleet):
+        # The whole point of the fleet caches: sharing timing across
+        # devices must not move a single bit of any device's result.
+        shared = run_results(tiny, fleet, share=True, pooled=False)
+        private = run_results(tiny, fleet, share=False, pooled=False)
+        assert_result_lists_identical(shared, private)
+
+    def test_worker_count_does_not_matter(self, tiny, fleet):
+        two = run_results(tiny, fleet, share=True, pooled=True, max_workers=2)
+        eight = run_results(
+            tiny, fleet, share=True, pooled=True, max_workers=8
+        )
+        assert_result_lists_identical(two, eight)
+
+    def test_results_sorted_by_device_id(self, tiny, fleet):
+        results = run_results(tiny, fleet, share=True, pooled=True)
+        ids = [r.device_id for r in results]
+        assert ids == sorted(ids)
+
+
+class TestSharing:
+    def test_distinct_devices_get_distinct_pipelines(self, tiny, fleet):
+        scheduler = FleetScheduler(tiny, qos_level=MODERATE)
+        pipes = {
+            p.device_id: scheduler.pipeline_for(p) for p in fleet
+        }
+        assert len(set(map(id, pipes.values()))) == len(fleet)
+
+    def test_equal_fingerprint_devices_share_a_pipeline(self, tiny, fleet):
+        scheduler = FleetScheduler(tiny, qos_level=MODERATE)
+        profile = fleet[0]
+        assert scheduler.pipeline_for(profile) is scheduler.pipeline_for(
+            profile
+        )
+
+    def test_fleet_shares_one_trace_cache(self, tiny, fleet):
+        scheduler = FleetScheduler(tiny, qos_level=MODERATE)
+        scheduler.run(fleet, pooled=False)
+        # Every device's explorer and runtime point at the same tracer.
+        tracers = {
+            id(scheduler.pipeline_for(p).explorer.tracer) for p in fleet
+        }
+        assert tracers == {id(scheduler.shared.tracer)}
+
+    def test_second_device_runs_no_new_schedules(self, tiny, fleet):
+        scheduler = FleetScheduler(tiny, qos_level=MODERATE)
+        scheduler.plan_device(fleet[0])
+        replays = len(scheduler.shared.replays)
+        components = len(scheduler.shared.components)
+        assert replays > 0 and components > 0
+        scheduler.plan_device(fleet[1])
+        # Both devices deploy the same schedule shape; the second one
+        # re-prices the recorded intervals instead of re-executing.
+        assert len(scheduler.shared.replays) == replays
+        assert len(scheduler.shared.components) == components
+
+    def test_concurrent_optimize_on_one_shared_pipeline(self, tiny):
+        # Hammer a single pipeline from many threads; the lock/
+        # setdefault discipline must keep results identical to a cold
+        # solo run.
+        scheduler = FleetScheduler(tiny, qos_level=MODERATE)
+        pipeline = scheduler.pipeline_for(sample_fleet(1, seed=5)[0])
+        reference = pipeline.optimize(tiny, qos_level=MODERATE)
+        pipeline.clear_caches()
+        results = [None] * 8
+        errors = []
+
+        def worker(i):
+            try:
+                results[i] = pipeline.optimize(tiny, qos_level=MODERATE)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        for r in results:
+            assert r.plan == reference.plan
+            assert r.qos_s == reference.qos_s
+
+
+class TestErrors:
+    def test_infeasible_device_captured_not_raised(self, tiny, fleet):
+        scheduler = FleetScheduler(tiny, qos_s=1e-9)
+        results = scheduler.run(fleet, pooled=True)
+        assert len(results) == len(fleet)
+        for r in results:
+            assert r.error is not None
+            assert r.optimized is None
+
+    def test_qos_forms_are_exclusive(self, tiny):
+        with pytest.raises(ReproError):
+            FleetScheduler(tiny, qos_level=MODERATE, qos_s=0.01)
+        with pytest.raises(ReproError):
+            FleetScheduler(tiny)
+
+    def test_bad_worker_count_rejected(self, tiny):
+        with pytest.raises(ReproError):
+            FleetScheduler(tiny, qos_level=MODERATE, max_workers=0)

@@ -1,0 +1,127 @@
+"""Device-variation sampling: determinism, power-only perturbation."""
+
+import pytest
+
+from repro.errors import PowerModelError
+from repro.fleet import VariationModel, sample_fleet
+from repro.mcu import make_nucleo_f767zi
+
+
+class TestDeterminism:
+    def test_resampling_is_bit_identical(self):
+        a = sample_fleet(16, seed=42)
+        b = sample_fleet(16, seed=42)
+        for x, y in zip(a, b):
+            assert x.board.power_model.params == y.board.power_model.params
+            assert x.thermal == y.thermal
+            assert x.battery == y.battery
+
+    def test_different_seeds_differ(self):
+        a = sample_fleet(4, seed=0)
+        b = sample_fleet(4, seed=1)
+        assert any(
+            x.board.power_model.params != y.board.power_model.params
+            for x, y in zip(a, b)
+        )
+
+    def test_prefix_stability(self):
+        # Growing the fleet must not re-roll the existing devices.
+        small = sample_fleet(4, seed=7)
+        large = sample_fleet(8, seed=7)
+        for x, y in zip(small, large):
+            assert x.board.power_model.params == y.board.power_model.params
+
+    def test_device_ids_are_sampling_order(self):
+        fleet = sample_fleet(5, seed=0)
+        assert [p.device_id for p in fleet] == [0, 1, 2, 3, 4]
+
+
+class TestPowerOnlyVariation:
+    def test_timing_fingerprint_shared_fleet_wide(self):
+        nominal = make_nucleo_f767zi()
+        for profile in sample_fleet(8, seed=3):
+            assert (
+                profile.board.timing_fingerprint()
+                == nominal.timing_fingerprint()
+            )
+
+    def test_power_params_spread(self):
+        fleet = sample_fleet(8, seed=3)
+        leakages = {
+            p.board.power_model.params.p_mcu_leakage_w for p in fleet
+        }
+        assert len(leakages) == len(fleet)
+
+    def test_board_fingerprints_distinct(self):
+        fleet = sample_fleet(8, seed=3)
+        assert len({p.board.fingerprint() for p in fleet}) == len(fleet)
+
+    def test_ambient_and_charge_within_model_ranges(self):
+        variation = VariationModel()
+        for p in sample_fleet(32, seed=9, variation=variation):
+            assert (
+                variation.ambient_low_c
+                <= p.thermal.t_ambient_c
+                <= variation.ambient_high_c
+            )
+            assert (
+                variation.charge_low
+                <= p.battery.charge_fraction
+                <= variation.charge_high
+            )
+
+    def test_zero_sigma_collapses_to_nominal(self):
+        frozen = VariationModel(
+            static_sigma=0.0,
+            leakage_sigma=0.0,
+            k_core_sigma=0.0,
+            k_vco_sigma=0.0,
+            k_hse_sigma=0.0,
+        )
+        nominal = make_nucleo_f767zi()
+        for p in sample_fleet(3, seed=0, variation=frozen):
+            assert (
+                p.board.power_model.params == nominal.power_model.params
+            )
+
+
+class TestSensorSeeds:
+    def test_devices_have_private_noise_streams(self):
+        fleet = sample_fleet(3, seed=0)
+        from repro.power import EnergyCategory, EnergyInterval, INA219Config
+
+        trace = [EnergyInterval(0.05, 0.3, EnergyCategory.COMPUTE)]
+        config = INA219Config(sample_period_s=1e-3, noise_std_w=5e-3)
+        readings = [
+            [s.power_w for s in p.make_sensor(config).measure(trace)]
+            for p in fleet
+        ]
+        assert readings[0] != readings[1]
+        assert readings[1] != readings[2]
+
+    def test_sensor_stream_reproducible_across_resampling(self):
+        from repro.power import EnergyCategory, EnergyInterval, INA219Config
+
+        trace = [EnergyInterval(0.05, 0.3, EnergyCategory.COMPUTE)]
+        config = INA219Config(sample_period_s=1e-3, noise_std_w=5e-3)
+        first = sample_fleet(2, seed=5)[1].make_sensor(config).measure(trace)
+        second = sample_fleet(2, seed=5)[1].make_sensor(config).measure(trace)
+        assert [s.power_w for s in first] == [s.power_w for s in second]
+
+
+class TestValidation:
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(PowerModelError):
+            sample_fleet(0)
+
+    def test_inverted_ambient_range_rejected(self):
+        with pytest.raises(PowerModelError):
+            VariationModel(ambient_low_c=40, ambient_high_c=10)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(PowerModelError):
+            VariationModel(leakage_sigma=-0.1)
+
+    def test_charge_range_outside_unit_interval_rejected(self):
+        with pytest.raises(PowerModelError):
+            VariationModel(charge_low=0.5, charge_high=1.2)

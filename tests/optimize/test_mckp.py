@@ -7,6 +7,7 @@ from repro.errors import QoSInfeasibleError, SolverError
 from repro.optimize import (
     MCKPItem,
     min_total_weight,
+    reprice_classes,
     solve_mckp_bruteforce,
     solve_mckp_dp,
     to_maximization,
@@ -190,6 +191,67 @@ class TestSeededRandomInstances:
             checked += 1
         # The battery must actually exercise the bound, not skip it.
         assert checked >= 40
+
+
+class TestReprice:
+    """Incremental re-pricing for drifted operating points."""
+
+    def test_weights_untouched(self):
+        repriced = reprice_classes(SIMPLE, extra_power_w=0.5)
+        for old_cls, new_cls in zip(SIMPLE, repriced):
+            for old, new in zip(old_cls, new_cls):
+                assert new.weight == old.weight
+
+    def test_values_gain_extra_energy(self):
+        repriced = reprice_classes(SIMPLE, extra_power_w=2.0)
+        # value' = value + extra_w * weight: the slow 3 s item pays
+        # 6 J extra, the fast 1 s item only 2 J.
+        assert repriced[0][0].value == pytest.approx(12.0)
+        assert repriced[0][2].value == pytest.approx(7.0)
+
+    def test_zero_extra_power_is_identity(self):
+        repriced = reprice_classes(SIMPLE, extra_power_w=0.0)
+        for old_cls, new_cls in zip(SIMPLE, repriced):
+            for old, new in zip(old_cls, new_cls):
+                assert new.value == old.value
+
+    def test_negative_extra_power_rejected(self):
+        with pytest.raises(SolverError):
+            reprice_classes(SIMPLE, extra_power_w=-0.1)
+
+    def test_item_filter_drops_items(self):
+        repriced = reprice_classes(
+            SIMPLE, item_filter=lambda i: i.weight < 3.0
+        )
+        assert [len(c) for c in repriced] == [2, 2]
+
+    def test_filter_emptying_a_class_is_infeasible(self):
+        with pytest.raises(QoSInfeasibleError):
+            reprice_classes(SIMPLE, item_filter=lambda i: i.weight > 10)
+
+    def test_payloads_preserved(self):
+        classes = [[MCKPItem(1.0, 1.0, payload="tag")]]
+        repriced = reprice_classes(classes, extra_power_w=1.0)
+        assert repriced[0][0].payload == "tag"
+
+    def test_leakage_ramp_flips_the_pick(self):
+        """The governor's core mechanism: the slow/cheap item wins
+        cold, but under enough extra leakage power the fast/pricey
+        item absorbs fewer extra joules and the solver flips to it."""
+        classes = [
+            [
+                MCKPItem(weight=2.0, value=1.0, payload="slow"),
+                MCKPItem(weight=1.0, value=1.5, payload="fast"),
+            ]
+        ]
+        cold = solve_mckp_dp(classes, budget=3.0)
+        assert cold.items[0].payload == "slow"
+        # Above extra_w = 0.5 W the orderings cross:
+        # 1.0 + 2 w  vs  1.5 + 1 w.
+        hot = solve_mckp_dp(
+            reprice_classes(classes, extra_power_w=1.0), budget=3.0
+        )
+        assert hot.items[0].payload == "fast"
 
 
 class TestMaximizationTransformation:

@@ -156,6 +156,44 @@ class TestDriftCompensation:
         assert compensated == pytest.approx(true_energy, rel=0.02)
 
 
+class TestSeededStreams:
+    """Per-instance seeding: fleet devices must not share noise."""
+
+    NOISY = INA219Config(sample_period_s=1e-3, noise_std_w=5e-3)
+
+    def test_distinct_seeds_draw_distinct_noise(self):
+        a = INA219Sensor(self.NOISY, seed=1)
+        b = INA219Sensor(self.NOISY, seed=2)
+        trace = flat_trace(0.05, 0.3)
+        assert [s.power_w for s in a.measure(trace)] != [
+            s.power_w for s in b.measure(trace)
+        ]
+
+    def test_same_seed_same_stream(self):
+        trace = flat_trace(0.05, 0.3)
+        first = INA219Sensor(self.NOISY, seed=7).measure(trace)
+        second = INA219Sensor(self.NOISY, seed=7).measure(trace)
+        assert [s.power_w for s in first] == [s.power_w for s in second]
+
+    def test_explicit_seed_reset_preserves_stream(self):
+        sensor = INA219Sensor(self.NOISY, seed=11)
+        trace = flat_trace(0.05, 0.3)
+        first = sensor.measure(trace)
+        sensor.reset()
+        second = sensor.measure(trace)
+        assert [s.power_w for s in first] == [s.power_w for s in second]
+
+    def test_seed_sequence_accepted(self):
+        import numpy as np
+
+        root = np.random.SeedSequence(0)
+        children = root.spawn(2)
+        trace = flat_trace(0.05, 0.3)
+        a = INA219Sensor(self.NOISY, seed=children[0]).measure(trace)
+        b = INA219Sensor(self.NOISY, seed=children[1]).measure(trace)
+        assert [s.power_w for s in a] != [s.power_w for s in b]
+
+
 class TestConfigValidation:
     def test_nonpositive_period_rejected(self):
         with pytest.raises(PowerModelError):

@@ -40,6 +40,56 @@ class TestParams:
             ThermalModelParams(leakage_ref_w=-0.1)
 
 
+class TestTemperatureStep:
+    """Explicit-Euler stepping (the governor's epoch integrator)."""
+
+    def test_heats_toward_steady_state(self):
+        params = ThermalModelParams()
+        t = params.t_ambient_c
+        for _ in range(600):
+            t = params.temperature_step(t, 0.4, 0.1)
+        assert t == pytest.approx(
+            steady_state_temperature(0.4, ThermalModelParams(leakage_ref_w=0.0)),
+            abs=0.5,
+        )
+
+    def test_cools_toward_ambient_without_power(self):
+        params = ThermalModelParams()
+        t = 60.0
+        for _ in range(400):
+            t = params.temperature_step(t, 0.0, 0.1)
+        assert t == pytest.approx(params.t_ambient_c, abs=0.5)
+
+    def test_zero_dt_is_identity(self):
+        params = ThermalModelParams()
+        assert params.temperature_step(37.0, 0.5, 0.0) == 37.0
+
+    def test_step_matches_rc_rate(self):
+        params = ThermalModelParams(r_th_c_per_w=40.0, c_th_j_per_c=0.15)
+        t0 = params.t_ambient_c
+        dt = 1e-3
+        t1 = params.temperature_step(t0, 0.3, dt)
+        # At ambient the conduction term vanishes: dT = P * dt / C.
+        assert t1 - t0 == pytest.approx(0.3 * dt / 0.15, rel=1e-9)
+
+    def test_negative_dt_rejected(self):
+        with pytest.raises(PowerModelError):
+            ThermalModelParams().temperature_step(25.0, 0.1, -1.0)
+
+    def test_drift_ramp_grows_leakage(self):
+        # The governor's drift source end to end: sustained load warms
+        # the die, and leakage_at() along the trajectory is strictly
+        # non-decreasing.
+        params = ThermalModelParams(leakage_ref_w=0.008)
+        t = params.t_ambient_c
+        leaks = []
+        for _ in range(100):
+            t = params.temperature_step(t, 0.4, 0.2)
+            leaks.append(params.leakage_at(t))
+        assert all(b >= a for a, b in zip(leaks, leaks[1:]))
+        assert leaks[-1] > params.leakage_ref_w * 1.2
+
+
 class TestReplay:
     def test_short_trace_barely_heats(self):
         result = thermal_replay(flat(0.010, 0.4))

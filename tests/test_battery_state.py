@@ -1,0 +1,82 @@
+"""Battery state-of-charge, supply rails, frequency caps."""
+
+import pytest
+
+from repro.analysis import (
+    SUPPLY_RAILS,
+    Battery,
+    BatteryState,
+    max_sysclk_for_voltage,
+)
+from repro.errors import PowerModelError
+
+
+class TestRails:
+    def test_full_voltage_allows_top_rail(self):
+        assert max_sysclk_for_voltage(3.3) == pytest.approx(216e6)
+
+    def test_sagging_voltage_steps_down(self):
+        caps = [max_sysclk_for_voltage(v) for v in (3.0, 2.8, 2.6, 2.4, 2.0)]
+        assert caps == [216e6, 180e6, 150e6, 108e6, 84e6]
+
+    def test_rails_are_sorted_descending(self):
+        volts = [v for v, _ in SUPPLY_RAILS]
+        assert volts == sorted(volts, reverse=True)
+
+    def test_floor_rail_always_available(self):
+        # Even a dead cell maps to the slowest rail, never an empty cap.
+        assert max_sysclk_for_voltage(0.0) == pytest.approx(84e6)
+
+
+class TestBatteryState:
+    def test_full_charge_full_voltage(self):
+        state = BatteryState(battery=Battery(), load_drop_v=0.0)
+        assert state.voltage_v == pytest.approx(Battery().voltage_v)
+
+    def test_voltage_sags_with_charge(self):
+        full = BatteryState(battery=Battery(), charge_fraction=1.0)
+        low = BatteryState(battery=Battery(), charge_fraction=0.3)
+        assert low.voltage_v < full.voltage_v
+
+    def test_sag_caps_sysclk(self):
+        low = BatteryState(battery=Battery(), charge_fraction=0.35)
+        assert low.max_sysclk_hz() < 216e6
+
+    def test_discharge_reduces_charge(self):
+        state = BatteryState(battery=Battery(), charge_fraction=0.5)
+        drained = state.discharged(state.remaining_energy_j / 2)
+        assert drained.charge_fraction == pytest.approx(0.25)
+
+    def test_discharge_floors_at_empty(self):
+        state = BatteryState(battery=Battery(), charge_fraction=0.1)
+        drained = state.discharged(state.remaining_energy_j * 10)
+        assert drained.charge_fraction == 0.0
+
+    def test_discharge_is_pure(self):
+        state = BatteryState(battery=Battery(), charge_fraction=0.8)
+        state.discharged(1.0)
+        assert state.charge_fraction == 0.8
+
+    def test_remaining_energy_scales_with_charge(self):
+        full = BatteryState(battery=Battery(), charge_fraction=1.0)
+        half = BatteryState(battery=Battery(), charge_fraction=0.5)
+        assert half.remaining_energy_j == pytest.approx(
+            full.remaining_energy_j / 2
+        )
+
+    def test_invalid_charge_rejected(self):
+        with pytest.raises(PowerModelError):
+            BatteryState(battery=Battery(), charge_fraction=1.5)
+        with pytest.raises(PowerModelError):
+            BatteryState(battery=Battery(), charge_fraction=-0.1)
+
+    def test_sag_drift_path_hits_every_rail(self):
+        # The governor's battery-sag trajectory: draining a cell walks
+        # the cap monotonically down the rail table.
+        state = BatteryState(battery=Battery(), charge_fraction=1.0)
+        caps = []
+        while state.charge_fraction > 0.0:
+            caps.append(state.max_sysclk_hz())
+            state = state.discharged(state.battery.usable_energy_j * 0.05)
+        assert caps == sorted(caps, reverse=True)
+        assert caps[0] > caps[-1]
