@@ -1,0 +1,130 @@
+"""Benchmark harness for the chaos fault-injection campaigns.
+
+Runs seeded campaigns on the tiny test model across a sweep of fault
+intensities (off / low / high) and writes ``BENCH_chaos.json`` at the
+repo root with the schema::
+
+    {rate[level]: {"wall_s": float, "devices": int,
+                   "quarantine_free_fraction": float,
+                   "qos_met_fraction": float,
+                   "energy_overhead": float,
+                   "injected": {kind: count}, "digest": str}}
+
+plus a ``_meta`` block.  Two invariants are asserted before the
+numbers are trusted:
+
+* **determinism** -- the ``low`` campaign runs twice and must produce
+  byte-identical survival reports (same sha256 digest);
+* **no-fault transparency** -- the ``off`` campaign (all rates zero)
+  must quarantine nobody and inject nothing, i.e. the hardened paths
+  are free when faults are disabled.
+
+Run standalone (CI smoke does exactly this)::
+
+    PYTHONPATH=src python benchmarks/bench_chaos.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from repro.faults import ChaosConfig, FaultPlan, run_campaign
+from repro.nn import build_tiny_test_model
+
+OUTPUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_chaos.json"
+
+DEVICES = 32
+EPOCHS = 3
+FLEET_SEED = 0
+FAULT_SEED = 7
+
+#: Fault-rate sweep: per-opportunity probabilities for (hse dropout,
+#: pll timeout, sensor dropout, sensor stuck, sensor nack, brownout,
+#: watchdog reset).
+LEVELS = {
+    "off": (0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0),
+    "low": (0.01, 0.02, 0.02, 0.01, 0.01, 0.02, 0.001),
+    "high": (0.05, 0.10, 0.10, 0.05, 0.05, 0.10, 0.005),
+}
+
+
+def plan_for(rates) -> FaultPlan:
+    hse, pll, s_drop, s_stuck, s_nack, brown, wdg = rates
+    return FaultPlan(
+        seed=FAULT_SEED,
+        hse_dropout_rate=hse,
+        pll_lock_timeout_rate=pll,
+        sensor_dropout_rate=s_drop,
+        sensor_stuck_rate=s_stuck,
+        sensor_nack_rate=s_nack,
+        brownout_rate=brown,
+        watchdog_rate=wdg,
+    )
+
+
+def main():
+    model = build_tiny_test_model()
+    config = ChaosConfig(devices=DEVICES, seed=FLEET_SEED, epochs=EPOCHS)
+    stages = {}
+    digests = {}
+    for level, rates in LEVELS.items():
+        fault_plan = plan_for(rates)
+        start = time.perf_counter()
+        report = run_campaign(model, fault_plan, config)
+        wall = time.perf_counter() - start
+        digests[level] = report.digest()
+        stages[f"rate[{level}]"] = {
+            "wall_s": wall,
+            "devices": DEVICES,
+            "quarantine_free_fraction": report.quarantine_free_fraction,
+            "qos_met_fraction": report.qos_met_fraction,
+            "energy_overhead": report.energy_overhead,
+            "total_retries": report.total_retries,
+            "injected": report.total_injected,
+            "digest": report.digest(),
+        }
+
+    # Determinism gate: same seed, byte-identical report.
+    rerun = run_campaign(model, plan_for(LEVELS["low"]), config)
+    assert rerun.digest() == digests["low"], (
+        "same-seed chaos campaigns diverged: "
+        f"{rerun.digest()} != {digests['low']}"
+    )
+
+    # No-fault transparency gate: zero rates inject and cost nothing.
+    off = stages["rate[off]"]
+    assert off["quarantine_free_fraction"] == 1.0, (
+        "no-fault campaign quarantined a device"
+    )
+    assert not off["injected"], "no-fault campaign injected a fault"
+    assert off["energy_overhead"] == 0.0, (
+        "no-fault campaign shows failsafe energy overhead"
+    )
+
+    stages["_meta"] = {
+        "model": "tiny",
+        "devices": DEVICES,
+        "epochs": EPOCHS,
+        "fleet_seed": FLEET_SEED,
+        "fault_seed": FAULT_SEED,
+        "levels": {k: list(v) for k, v in LEVELS.items()},
+        "deterministic": True,
+    }
+    OUTPUT.write_text(json.dumps(stages, indent=2, sort_keys=True) + "\n")
+
+    print(f"wrote {OUTPUT}")
+    for stage in sorted(s for s in stages if s != "_meta"):
+        entry = stages[stage]
+        print(
+            f"{stage:12s} {entry['wall_s'] * 1e3:9.2f} ms  "
+            f"quarantine-free {entry['quarantine_free_fraction']:6.1%}  "
+            f"QoS {entry['qos_met_fraction']:6.1%}  "
+            f"overhead {entry['energy_overhead']:+7.2%}"
+        )
+    return stages
+
+
+if __name__ == "__main__":
+    main()

@@ -22,15 +22,18 @@ from .errors import (
     ClockConfigError,
     ClockSwitchError,
     DesignSpaceError,
+    FaultInjectionError,
     GraphError,
     PowerModelError,
     ProfilingError,
     QoSInfeasibleError,
     QuantizationError,
     ReproError,
+    SensorReadError,
     ShapeError,
     SolverError,
     TraceError,
+    WatchdogResetError,
 )
 from .mcu.board import Board, make_nucleo_f767zi
 from .nn.models import (
@@ -48,15 +51,18 @@ __all__ = [
     "ClockConfigError",
     "ClockSwitchError",
     "DesignSpaceError",
+    "FaultInjectionError",
     "GraphError",
     "PowerModelError",
     "ProfilingError",
     "QoSInfeasibleError",
     "QuantizationError",
     "ReproError",
+    "SensorReadError",
     "ShapeError",
     "SolverError",
     "TraceError",
+    "WatchdogResetError",
     "Board",
     "make_nucleo_f767zi",
     "PAPER_MODELS",

@@ -10,6 +10,7 @@ Exposes the end-to-end flow without writing Python::
     repro-dvfs microbench
     repro-dvfs lifetime vww --qos-percent 30 --capacity-mah 1200
     repro-dvfs fleet --devices 1000 --seed 0 --json fleet.json
+    repro-dvfs chaos --devices 64 --fault-seed 7 --json chaos.json
 
 Model names: ``vww``, ``pd``, ``mbv2`` (the paper's suite) and
 ``tiny`` (a small test CNN).
@@ -292,6 +293,37 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from .faults import ChaosConfig, FaultPlan, run_campaign
+
+    model = _build_model(args.model)
+    fault_plan = FaultPlan(
+        seed=args.fault_seed,
+        hse_dropout_rate=args.hse_dropout_rate,
+        pll_lock_timeout_rate=args.pll_timeout_rate,
+        sensor_dropout_rate=args.sensor_dropout_rate,
+        sensor_stuck_rate=args.sensor_stuck_rate,
+        sensor_nack_rate=args.sensor_nack_rate,
+        brownout_rate=args.brownout_rate,
+        watchdog_rate=args.watchdog_rate,
+    )
+    config = ChaosConfig(
+        devices=args.devices,
+        seed=args.seed,
+        epochs=args.epochs,
+        max_workers=args.workers,
+    )
+    report = run_campaign(model, fault_plan, config)
+    print(report.summary())
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"chaos report written to {args.json}")
+    return 0
+
+
 def make_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -403,6 +435,61 @@ def make_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--json", help="write the full fleet report JSON here")
     p.set_defaults(func=cmd_fleet)
+
+    p = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection campaign over a fleet",
+    )
+    p.add_argument(
+        "model", nargs="?", default="tiny",
+        help=f"one of {sorted(MODEL_BUILDERS)} (default: tiny)",
+    )
+    p.add_argument("--devices", type=int, default=64, help="fleet size")
+    p.add_argument(
+        "--seed", type=int, default=0,
+        help="device-variation sampling seed",
+    )
+    p.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="root seed of the fault streams",
+    )
+    p.add_argument(
+        "--epochs", type=int, default=4,
+        help="governor telemetry epochs per device",
+    )
+    p.add_argument(
+        "--workers", type=int, default=4, help="planning thread-pool width"
+    )
+    p.add_argument(
+        "--hse-dropout-rate", type=float, default=0.02,
+        help="HSE failure probability per oscillator (re)start",
+    )
+    p.add_argument(
+        "--pll-timeout-rate", type=float, default=0.05,
+        help="PLL lock-timeout probability per lock wait",
+    )
+    p.add_argument(
+        "--sensor-dropout-rate", type=float, default=0.05,
+        help="lost INA219 conversion probability per sample",
+    )
+    p.add_argument(
+        "--sensor-stuck-rate", type=float, default=0.02,
+        help="frozen power-register probability per measurement",
+    )
+    p.add_argument(
+        "--sensor-nack-rate", type=float, default=0.02,
+        help="I2C NACK probability per measurement",
+    )
+    p.add_argument(
+        "--brownout-rate", type=float, default=0.05,
+        help="supply-sag probability per telemetry epoch",
+    )
+    p.add_argument(
+        "--watchdog-rate", type=float, default=0.002,
+        help="watchdog-reset probability per layer checkpoint",
+    )
+    p.add_argument("--json", help="write the survival report JSON here")
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser("lifetime", help="battery-lifetime projection")
     add_model(p)

@@ -24,6 +24,7 @@ from .configs import (
     PAPER_PLLN_VALUES,
     enumerate_configs,
     hfo_grid,
+    hsi_config,
     iso_frequency_groups,
     lfo_config,
     max_performance_config,
@@ -31,14 +32,14 @@ from .configs import (
     pll_config,
 )
 from .pll import PLL, PLLSettings, PLL_LOCK_TIME_S, SYSCLK_MAX_HZ
-from .rcc import RCC, ClockSwitchEvent
+from .rcc import RCC, ClockSwitchEvent, CSSEvent
 from .registers import (
     RCCRegisters,
     decode_registers,
     encode_registers,
 )
 from .sources import Oscillator, OscillatorKind, make_hse, make_hsi
-from .switching import SwitchCost, SwitchCostModel
+from .switching import RetryPolicy, SwitchCost, SwitchCostModel
 
 __all__ = [
     "ClockConfig",
@@ -49,6 +50,7 @@ __all__ = [
     "PAPER_PLLN_VALUES",
     "enumerate_configs",
     "hfo_grid",
+    "hsi_config",
     "iso_frequency_groups",
     "lfo_config",
     "max_performance_config",
@@ -60,6 +62,8 @@ __all__ = [
     "SYSCLK_MAX_HZ",
     "RCC",
     "ClockSwitchEvent",
+    "CSSEvent",
+    "RetryPolicy",
     "RCCRegisters",
     "decode_registers",
     "encode_registers",

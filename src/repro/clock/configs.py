@@ -149,6 +149,16 @@ def lfo_config(hse_hz: float = PAPER_LFO_HZ) -> ClockConfig:
     return ClockConfig(source=SysclkSource.HSE, hse_hz=hse_hz)
 
 
+def hsi_config() -> ClockConfig:
+    """The CSS failsafe config: internal 16 MHz HSI direct to SYSCLK.
+
+    This is where the STM32F7 Clock Security System parks the core
+    when the HSE fails: the HSI needs no external components, so it is
+    always available -- slow and jittery, but alive.
+    """
+    return ClockConfig(source=SysclkSource.HSI)
+
+
 def pll_config(
     hse_hz: float, pllm: int, plln: int, pllp: int = 2
 ) -> ClockConfig:

@@ -10,18 +10,29 @@ re-lock, mux switch) and returns the incurred latency, mirroring the
 
 Every transition is appended to :attr:`RCC.history` so tests and the
 profiler can audit exactly how many expensive re-locks occurred.
+
+Fault tolerance mirrors the real part's **Clock Security System**
+(CSS, RM0410 Sec. 5.2.7): when the HSE drops out -- an injectable
+fault through the optional :attr:`RCC.fault_clock` hook -- the
+hardware falls back to the always-available HSI, raises an NMI (the
+:attr:`RCC.css_callback`) and leaves firmware running at the failsafe
+frequency instead of dead on a silent clock.  PLL lock timeouts are
+survived with a bounded retry-with-backoff
+(:class:`~repro.clock.switching.RetryPolicy`) before
+:class:`~repro.errors.ClockSwitchError` gives up; every retry's stall
+lands in the transition's :class:`~repro.clock.switching.SwitchCost`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from ..errors import ClockSwitchError
-from .configs import ClockConfig, SysclkSource, lfo_config
+from .configs import ClockConfig, SysclkSource, hsi_config, lfo_config
 from .pll import PLL
 from .sources import Oscillator, make_hse, make_hsi
-from .switching import RetainedPLL, SwitchCost, SwitchCostModel
+from .switching import RetainedPLL, RetryPolicy, SwitchCost, SwitchCostModel
 
 
 @dataclass(frozen=True)
@@ -30,13 +41,27 @@ class ClockSwitchEvent:
 
     Attributes:
         previous: configuration before the switch.
-        target: configuration after the switch.
+        target: configuration after the switch (on a CSS failsafe this
+            is the HSI fallback, not the requested target).
         cost: latency and re-lock information for the transition.
     """
 
     previous: ClockConfig
     target: ClockConfig
     cost: SwitchCost
+
+
+@dataclass(frozen=True)
+class CSSEvent:
+    """One Clock Security System intervention (HSE loss -> HSI).
+
+    Attributes:
+        requested: the configuration whose HSE start-up failed.
+        failsafe: the HSI configuration the CSS parked the SYSCLK on.
+    """
+
+    requested: ClockConfig
+    failsafe: ClockConfig
 
 
 @dataclass
@@ -48,10 +73,21 @@ class RCC:
         initial: configuration the board boots with.  Real STM32 parts
             boot from the HSI; the paper's experiments run from the
             50 MHz HSE, so that is the default here.
+        retry: bounded retry-with-backoff policy for PLL lock
+            timeouts.
+        fault_clock: optional fault-decision source (an object with
+            ``hse_dropout()`` / ``pll_lock_timeout()`` hooks, see
+            :class:`repro.faults.plan.FaultClock`).  ``None`` keeps
+            every sequence byte-identical to the fault-free model.
+        css_callback: NMI-style handler invoked with a
+            :class:`CSSEvent` whenever the CSS fires.
     """
 
     cost_model: SwitchCostModel = field(default_factory=SwitchCostModel)
     initial: ClockConfig = field(default_factory=lfo_config)
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    fault_clock: Optional[object] = None
+    css_callback: Optional[Callable[[CSSEvent], None]] = None
 
     def __post_init__(self) -> None:
         self._hsi: Oscillator = make_hsi()
@@ -59,9 +95,15 @@ class RCC:
         self._pll = PLL()
         self._current: ClockConfig = self.initial
         self.history: List[ClockSwitchEvent] = []
-        # Bring the tree into the initial state without charging latency:
-        # boot-time configuration is outside the measured inference window.
+        self.css_events: List[CSSEvent] = []
+        #: PLL lock retries performed (each burned a lock + backoff).
+        self.pll_retries: int = 0
+        # Bring the tree into the initial state without charging latency
+        # and without fault opportunities: boot-time configuration is
+        # outside the measured inference window.
+        clock, self.fault_clock = self.fault_clock, None
         self._materialize(self.initial)
+        self.fault_clock = clock
 
     # -- public state ----------------------------------------------------
 
@@ -87,6 +129,11 @@ class RCC:
         """Whether the PLL is currently enabled and locked."""
         return self._pll.locked
 
+    @property
+    def css_count(self) -> int:
+        """How many times the CSS failsafe fired."""
+        return len(self.css_events)
+
     # -- transitions -------------------------------------------------------
 
     def apply(self, target: ClockConfig) -> SwitchCost:
@@ -95,13 +142,30 @@ class RCC:
         Performs the full hardware sequence and records the event.  A
         no-op switch (target equals the current configuration) costs
         nothing and records nothing.
+
+        Under fault injection the transition may not land on
+        ``target``: an HSE dropout triggers the CSS and parks the
+        SYSCLK on the HSI failsafe instead (check :attr:`current`
+        afterwards), and a persistent PLL lock timeout raises
+        :class:`~repro.errors.ClockSwitchError` after the retry budget
+        is exhausted.  All retry/failsafe stalls are folded into the
+        returned cost.
         """
         cost = self.cost_model.cost(self._current, target, self.retained_pll)
         if target == self._current:
             return cost
         previous = self._current
-        self._materialize(target)
-        event = ClockSwitchEvent(previous=previous, target=target, cost=cost)
+        extra = self._materialize(
+            target, priced_relock=cost.reprogrammed_pll
+        )
+        if extra > 0.0:
+            cost = SwitchCost(
+                latency_s=cost.latency_s + extra,
+                reprogrammed_pll=cost.reprogrammed_pll,
+            )
+        event = ClockSwitchEvent(
+            previous=previous, target=self._current, cost=cost
+        )
         self.history.append(event)
         return cost
 
@@ -149,11 +213,17 @@ class RCC:
         Returns:
             The lock latency that elapses in the background (0.0 when
             the PLL is already programmed and locked as requested).
+            Lock-timeout retries extend it by their backoff + re-lock
+            stalls.  If the HSE drops out while (re)starting for the
+            PLL input, the CSS fires, the PLL stays unprogrammed and
+            0.0 is returned -- the following :meth:`apply` pays the
+            full (foreground) re-lock if the HSE recovers.
 
         Raises:
-            ClockSwitchError: if ``config`` is not PLL-sourced or the
+            ClockSwitchError: if ``config`` is not PLL-sourced, the
                 SYSCLK currently runs *from* the PLL (hardware forbids
-                reprogramming the active SYSCLK source).
+                reprogramming the active SYSCLK source), or the PLL
+                exhausts its lock-retry budget.
         """
         if config.source is not SysclkSource.PLL:
             raise ClockSwitchError("prepare_pll requires a PLL-sourced config")
@@ -166,11 +236,12 @@ class RCC:
                 "cannot reprogram the PLL while the SYSCLK runs from it; "
                 "switch to the HSE first"
             )
-        if self._hse is None or self._hse.frequency_hz != config.hse_hz:
-            self._hse = make_hse(config.hse_hz)
+        if not self._ensure_hse(config.hse_hz):
+            self._css_failsafe(config)
+            return 0.0
         self._pll.disable()
         self._pll.configure(config.pll, config.hse_hz)
-        return self._pll.enable()
+        return self._lock_pll()
 
     def relock_count(self) -> int:
         """How many expensive PLL re-locks occurred so far."""
@@ -186,11 +257,85 @@ class RCC:
 
     # -- internals ---------------------------------------------------------
 
-    def _materialize(self, target: ClockConfig) -> None:
-        """Drive oscillators/PLL into the state ``target`` requires."""
+    def _ensure_hse(self, hse_hz: float) -> bool:
+        """(Re)start the HSE; False when the fault stream drops it.
+
+        Every call is one dropout opportunity: the oscillator either
+        keeps running / starts cleanly, or it fails and the caller must
+        take the CSS failsafe path.
+        """
+        if self.fault_clock is not None and self.fault_clock.hse_dropout():
+            self._hse = None
+            return False
+        if self._hse is None or self._hse.frequency_hz != hse_hz:
+            self._hse = make_hse(hse_hz)
+        return True
+
+    def _css_failsafe(self, requested: ClockConfig) -> float:
+        """HSE loss: park on the HSI, drop the PLL, raise the NMI.
+
+        Returns the failsafe mux stall (the CSS switchover is a
+        hardware mux move, same order as any other handshake).
+        """
+        self._pll.disable()
+        failsafe = hsi_config()
+        event = CSSEvent(requested=requested, failsafe=failsafe)
+        self.css_events.append(event)
+        self._current = failsafe
+        if self.css_callback is not None:
+            self.css_callback(event)
+        return self.cost_model.mux_switch_s
+
+    def _lock_pll(self) -> float:
+        """Enable the PLL and wait out the lock, retrying timeouts.
+
+        Returns the total elapsed lock latency (first lock plus any
+        backoff + re-lock retries); 0.0 when the PLL was already
+        enabled and locked.
+
+        Raises:
+            ClockSwitchError: when the lock never sticks within the
+                retry budget.  The PLL is left disabled.
+        """
+        latency = self._pll.enable()
+        if latency == 0.0:
+            return 0.0
+        fault = self.fault_clock
+        retries = 0
+        while fault is not None and fault.pll_lock_timeout():
+            self._pll.disable()
+            if retries >= self.retry.max_retries:
+                raise ClockSwitchError(
+                    f"PLL failed to lock after {retries + 1} attempts "
+                    f"(retry budget {self.retry.max_retries} exhausted)"
+                )
+            latency += self.retry.backoff_s(retries)
+            retries += 1
+            self.pll_retries += 1
+            latency += self._pll.enable()
+        return latency
+
+    def _materialize(
+        self, target: ClockConfig, priced_relock: bool = False
+    ) -> float:
+        """Drive oscillators/PLL into the state ``target`` requires.
+
+        Returns the *extra* stall beyond what the cost model already
+        priced for this transition: retry backoffs, repeated lock
+        windows and the CSS switchover.  Fault-free this is exactly
+        0.0, keeping :meth:`apply` bit-identical to the nominal model.
+
+        Args:
+            priced_relock: whether the caller's base cost already
+                includes one nominal lock window (so only the excess
+                is charged here).
+        """
+        from .pll import PLL_LOCK_TIME_S
+
+        extra = 0.0
         if target.source is not SysclkSource.HSI:
-            if self._hse is None or self._hse.frequency_hz != target.hse_hz:
-                self._hse = make_hse(target.hse_hz)
+            if not self._ensure_hse(target.hse_hz):
+                return self._css_failsafe(target)
         if target.source is SysclkSource.PLL:
             assert target.pll is not None
             wanted: RetainedPLL = (target.pll, target.hse_hz)
@@ -198,5 +343,8 @@ class RCC:
                 self._pll.disable()
                 self._pll.configure(target.pll, target.hse_hz)
             if not self._pll.locked:
-                self._pll.enable()
+                lock = self._lock_pll()
+                priced = PLL_LOCK_TIME_S if priced_relock else 0.0
+                extra += max(0.0, lock - priced)
         self._current = target
+        return extra

@@ -27,6 +27,7 @@ from typing import Optional, Tuple
 
 from .configs import ClockConfig, SysclkSource
 from .pll import PLLSettings, PLL_LOCK_TIME_S
+from ..errors import ClockSwitchError
 from ..units import us
 
 #: (settings, input_hz) pair describing what the PLL is programmed to,
@@ -49,7 +50,43 @@ class SwitchCost:
 
     def __post_init__(self) -> None:
         if self.latency_s < 0:
-            raise ValueError("switch latency must be >= 0")
+            raise ClockSwitchError("switch latency must be >= 0")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry-with-backoff for PLL lock timeouts.
+
+    When a lock wait times out (an injected fault; real silicon does
+    this under marginal supply or temperature), the RCC disables the
+    PLL, waits out an exponentially growing backoff and re-locks, up to
+    ``max_retries`` times before declaring the switch failed with
+    :class:`~repro.errors.ClockSwitchError`.  Every retry burns a full
+    extra lock window plus its backoff, and the whole stall surfaces in
+    the transition's :class:`SwitchCost` so the energy ledger prices
+    failsafe operation honestly.
+
+    Attributes:
+        max_retries: re-lock attempts after the first timeout.
+        backoff_base_s: stall before the first retry.
+        backoff_factor: multiplier applied per subsequent retry.
+    """
+
+    max_retries: int = 3
+    backoff_base_s: float = us(50)
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ClockSwitchError("max_retries must be >= 0")
+        if self.backoff_base_s < 0:
+            raise ClockSwitchError("backoff_base_s must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ClockSwitchError("backoff_factor must be >= 1")
+
+    def backoff_s(self, retry: int) -> float:
+        """Stall before retry number ``retry`` (0-based)."""
+        return self.backoff_base_s * self.backoff_factor**retry
 
 
 @dataclass(frozen=True)

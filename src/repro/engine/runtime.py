@@ -21,7 +21,7 @@ from typing import Dict, List, Optional
 
 from ..clock.configs import ClockConfig, SysclkSource, lfo_config
 from ..clock.rcc import RCC
-from ..errors import TraceError
+from ..errors import TraceError, WatchdogResetError
 from ..mcu.board import Board
 from ..nn.graph import Model
 from ..nn.layers.base import LayerKind
@@ -77,6 +77,12 @@ class InferenceReport:
         mux_switch_count: SYSCLK mux transitions.
         qos_s: the accounting window, if any.
         met_qos: whether the inference finished within the window.
+        css_events: Clock Security System interventions (HSE loss ->
+            HSI failsafe) during this inference.  0 without faults.
+        watchdog_resets: watchdog resets survived via checkpoint
+            resume.  0 without faults.
+        pll_retries: PLL lock-timeout retries absorbed by the retry
+            policy.  0 without faults.
     """
 
     model_name: str
@@ -90,6 +96,9 @@ class InferenceReport:
     mux_switch_count: int = 0
     qos_s: Optional[float] = None
     met_qos: bool = True
+    css_events: int = 0
+    watchdog_resets: int = 0
+    pll_retries: int = 0
 
     @property
     def average_power_w(self) -> float:
@@ -154,6 +163,7 @@ class DVFSRuntime:
         idle_gated: bool = True,
         initial_config: Optional[ClockConfig] = None,
         idle_policy: Optional[IdlePolicy] = None,
+        fault_clock=None,
     ) -> InferenceReport:
         """Execute ``plan`` for ``model``; account energy to ``qos_s``.
 
@@ -172,14 +182,31 @@ class DVFSRuntime:
                 latency inside the window.
             initial_config: clock the board starts from; defaults to
                 the plan's LFO.
+            fault_clock: optional :class:`repro.faults.plan.FaultClock`
+                driving HSE dropouts, PLL lock timeouts and watchdog
+                resets.  ``None`` (default) keeps the run bit-identical
+                to the fault-free engine.  Inference is checkpointed at
+                layer granularity: a watchdog reset replays the current
+                layer on a freshly booted clock tree (the PLL lock is
+                lost, the reset stall is charged), and repeated resets
+                at one layer raise
+                :class:`~repro.errors.WatchdogResetError`.  An HSE
+                dropout lands the layer on the HSI failsafe via the
+                CSS; execution continues at the failsafe clock.
 
         Returns:
             The full :class:`InferenceReport`.
+
+        Raises:
+            WatchdogResetError: no forward progress at one layer.
+            ClockSwitchError: the PLL exhausted its lock-retry budget.
         """
         plan.validate_against(model)
+        boot = initial_config or plan.lfo
         rcc = RCC(
             cost_model=self.board.switch_cost_model,
-            initial=initial_config or plan.lfo,
+            initial=boot,
+            fault_clock=fault_clock,
         )
         account = EnergyAccount()
         reports: List[LayerReport] = []
@@ -189,8 +216,42 @@ class DVFSRuntime:
         # the fleet worker pool shares pipelines, and with them this
         # runtime, across devices whose boards fingerprint equal.
         background_relocks = 0
-        traces = self.tracer.build_model_trace(model, plan.granularities())
-        for trace in traces:
+        css_events = 0
+        pll_retries = 0
+        watchdog_resets = 0
+        consecutive_resets = 0
+        # Materialized so the watchdog checkpoint can replay layer i.
+        traces = list(self.tracer.build_model_trace(model, plan.granularities()))
+        i = 0
+        while i < len(traces):
+            trace = traces[i]
+            if fault_clock is not None and fault_clock.watchdog_reset():
+                # Watchdog fired at this layer checkpoint: the core
+                # reboots, the clock tree returns to its boot state
+                # (PLL lock lost) and the layer replays from its
+                # checkpoint after the reset stall.
+                consecutive_resets += 1
+                watchdog_resets += 1
+                if consecutive_resets > fault_clock.plan.max_consecutive_resets:
+                    raise WatchdogResetError(
+                        trace.layer_name, consecutive_resets
+                    )
+                power = self.board.power_model.switching_power(boot)
+                account.add(
+                    fault_clock.plan.watchdog_reset_s, power,
+                    EnergyCategory.SWITCH, "watchdog-reset",
+                    config=boot, state=PowerState.SWITCHING,
+                )
+                css_events += rcc.css_count
+                pll_retries += rcc.pll_retries
+                background_relocks += rcc.relock_count()
+                rcc = RCC(
+                    cost_model=self.board.switch_cost_model,
+                    initial=boot,
+                    fault_clock=fault_clock,
+                )
+                continue
+            consecutive_resets = 0
             layer_plan = plan.plan_for(trace.node_id)
             report = LayerReport(
                 node_id=trace.node_id,
@@ -214,6 +275,9 @@ class DVFSRuntime:
                     rcc, trace, target, account, report
                 )
             reports.append(report)
+            i += 1
+        css_events += rcc.css_count
+        pll_retries += rcc.pll_retries
 
         inference_latency = account.total_time_s
         inference_energy = account.total_energy_j
@@ -238,6 +302,9 @@ class DVFSRuntime:
             mux_switch_count=mux_switches,
             qos_s=qos_s,
             met_qos=met_qos,
+            css_events=css_events,
+            watchdog_resets=watchdog_resets,
+            pll_retries=pll_retries,
         )
 
     def measure_latency_s(
@@ -393,25 +460,37 @@ class DVFSRuntime:
         # the mux handshakes and the PLL hunts for lock.
         mem_seg, comp_seg = segments[0], segments[1]
         # ClockSwitchHSE (Listing 1, line 3): park the mux on the HSE.
+        # Under an injected HSE dropout the CSS parks it on the HSI
+        # failsafe instead, so the landed config (rcc.current) prices
+        # the stall and the memory segment, not the requested LFO.
         cost = rcc.apply(lfo)
-        self._charge_switch(cost.latency_s, lfo, account, report)
+        park = rcc.current
+        self._charge_switch(cost.latency_s, park, account, report)
         if cost.latency_s > 0:
             mux += 1
         # The PLL reprograms in the background during the first buffer
         # copy; any lock time the copy does not cover stalls the core.
         mem_time = self.board.core.segment_time_s(
-            mem_seg.workload, lfo.sysclk_hz
+            mem_seg.workload, park.sysclk_hz
         )
         lock_s = rcc.prepare_pll(hfo)
         if lock_s > 0:
             background_relocks += 1
-        self._charge_switch(max(0.0, lock_s - mem_time), lfo, account, report)
-        self._charge_segment(mem_seg, lfo, account, report)
+        self._charge_switch(max(0.0, lock_s - mem_time), park, account, report)
+        self._charge_segment(mem_seg, park, account, report)
         # ClockSwitchPLL (Listing 1, line 7): mux onto the locked PLL.
         cost = rcc.apply(hfo)
-        self._charge_switch(cost.latency_s, lfo, account, report)
+        self._charge_switch(cost.latency_s, park, account, report)
         if cost.latency_s > 0:
             mux += 1
+        if rcc.current != hfo:
+            # CSS failsafe: the HSE (hence the PLL) is gone and the
+            # core runs from the HSI.  Finish the layer there -- no
+            # LFO/HFO bouncing is possible without the HSE -- charging
+            # every remaining segment at the failsafe clock.
+            for segment in segments[1:]:
+                self._charge_segment(segment, rcc.current, account, report)
+            return mux, background_relocks
         self._charge_segment(comp_seg, hfo, account, report)
         # --- remaining iterations: identical LFO<->HFO bounces ---------
         # The RCC state no longer changes (the PLL stays programmed),

@@ -75,3 +75,38 @@ class QoSInfeasibleError(ReproError):
 
 class SolverError(ReproError):
     """The knapsack solver received a malformed problem instance."""
+
+
+class FaultInjectionError(ReproError):
+    """A fault plan or chaos campaign was configured inconsistently.
+
+    Raised for out-of-range fault rates, malformed scheduled events or
+    invalid campaign parameters -- never for an *injected* fault, which
+    surfaces through the domain error of the failing subsystem
+    (:class:`ClockSwitchError`, :class:`SensorReadError`,
+    :class:`WatchdogResetError`).
+    """
+
+
+class SensorReadError(ReproError):
+    """The INA219 failed to deliver a reading (I2C NACK / bus fault).
+
+    The telemetry consumer (the fleet governor) must treat the epoch's
+    measurement as missing rather than as a zero-energy window.
+    """
+
+
+class WatchdogResetError(ReproError):
+    """The watchdog reset the core repeatedly at the same checkpoint.
+
+    Carries the layer at which forward progress stopped so the fleet
+    layer can quarantine the device instead of spinning forever.
+    """
+
+    def __init__(self, layer_name: str, resets: int):
+        self.layer_name = layer_name
+        self.resets = resets
+        super().__init__(
+            f"watchdog reset the core {resets} consecutive times at "
+            f"layer {layer_name!r}; no forward progress"
+        )

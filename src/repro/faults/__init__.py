@@ -1,0 +1,33 @@
+"""repro.faults -- seeded fault injection and chaos campaigns.
+
+:mod:`.plan` defines the fault models (:class:`~repro.faults.plan.FaultPlan`)
+and the deterministic per-(device, stage) decision streams
+(:class:`~repro.faults.plan.FaultClock`); :mod:`.chaos` runs seeded
+campaigns over a fleet and emits digest-pinned survival reports.
+"""
+
+from .plan import (
+    FaultClock,
+    FaultKind,
+    FaultPlan,
+    GOVERN_STAGE,
+    PLAN_STAGE,
+)
+from .chaos import (
+    ChaosConfig,
+    ChaosReport,
+    DeviceSurvival,
+    run_campaign,
+)
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosReport",
+    "DeviceSurvival",
+    "FaultClock",
+    "FaultKind",
+    "FaultPlan",
+    "GOVERN_STAGE",
+    "PLAN_STAGE",
+    "run_campaign",
+]

@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from ..engine.schedule import DeploymentPlan, LayerPlan
-from ..errors import PowerModelError, ReproError
+from ..errors import PowerModelError, ReproError, SensorReadError
 from ..nn.graph import Model
 from ..optimize.mckp import MCKPItem, reprice_classes
 from ..pipeline import DAEDVFSPipeline, OptimizationResult
@@ -69,6 +69,17 @@ class GovernorConfig:
             thermal excess of a hot, leaky-corner device (~4%).
         max_replans: re-plan budget per device.
         sensor_config: INA219 configuration for the telemetry sensor.
+        min_coverage: fraction of the window's trace time the sensor
+            train must cover for the epoch's telemetry to count.
+            Dropped conversions below this bar invalidate the epoch
+            (the governor holds the last plan) instead of feeding a
+            biased energy estimate into the drift trigger.
+        widen_factor: multiplier applied to the drift tolerance per
+            consecutive invalid-telemetry epoch -- after blind epochs
+            the first fresh measurement is judged against a wider
+            window so a momentarily stale prediction does not trigger
+            a spurious re-plan.
+        max_widen: cap on the accumulated widening factor.
     """
 
     epochs: int = 20
@@ -76,6 +87,9 @@ class GovernorConfig:
     drift_threshold: float = 0.03
     max_replans: int = 4
     sensor_config: Optional[INA219Config] = None
+    min_coverage: float = 0.5
+    widen_factor: float = 2.0
+    max_widen: float = 8.0
 
     def __post_init__(self) -> None:
         if self.epochs < 1:
@@ -86,11 +100,23 @@ class GovernorConfig:
             raise PowerModelError("drift_threshold must be positive")
         if self.max_replans < 0:
             raise PowerModelError("max_replans must be >= 0")
+        if not 0.0 <= self.min_coverage <= 1.0:
+            raise PowerModelError("min_coverage must be in [0, 1]")
+        if self.widen_factor < 1.0:
+            raise PowerModelError("widen_factor must be >= 1")
+        if self.max_widen < 1.0:
+            raise PowerModelError("max_widen must be >= 1")
 
 
 @dataclass(frozen=True)
 class EpochSample:
-    """Telemetry of one epoch."""
+    """Telemetry of one epoch.
+
+    ``valid`` is False when the epoch's telemetry was unusable (sensor
+    NACK, stuck register, coverage below the bar, or the window itself
+    failed under injected faults); measured/drift are zeroed then and
+    never feed the drift trigger.
+    """
 
     epoch: int
     measured_energy_j: float
@@ -101,6 +127,7 @@ class EpochSample:
     temperature_c: float
     charge_fraction: float
     replanned: bool
+    valid: bool = True
 
 
 @dataclass
@@ -114,6 +141,10 @@ class GovernorResult:
         replans: re-solves actually applied.
         converged: the last epoch met its QoS budget with drift inside
             the tolerance and no frequency clamping.
+        invalid_epochs: epochs whose telemetry was unusable.
+        css_events: CSS failsafe interventions across the epochs.
+        watchdog_resets: watchdog resets survived across the epochs.
+        pll_retries: PLL lock retries absorbed across the epochs.
     """
 
     profile: DeviceProfile
@@ -121,6 +152,10 @@ class GovernorResult:
     samples: List[EpochSample] = field(default_factory=list)
     replans: int = 0
     drift_threshold: float = float("inf")
+    invalid_epochs: int = 0
+    css_events: int = 0
+    watchdog_resets: int = 0
+    pll_retries: int = 0
 
     @property
     def converged(self) -> bool:
@@ -154,6 +189,12 @@ def _clamp_plan(
     ):
         return plan, False
     allowed = [c for c in hfo_configs if c.sysclk_hz <= cap_hz]
+    if not allowed:
+        # The rail sagged below even the slowest HFO (deep brownout).
+        # Run at the slowest grid point rather than crashing: the
+        # window will miss its budget, which is exactly the re-plan /
+        # QoS-miss signal the governor acts on.
+        allowed = [min(hfo_configs, key=lambda c: c.sysclk_hz)]
     fastest = max(allowed, key=lambda c: c.sysclk_hz)
     clamped_plans = {}
     for node_id, lp in plan.layer_plans.items():
@@ -181,7 +222,17 @@ def _clamp_plan(
 
 
 class FleetGovernor:
-    """Supervises one device's deployed plan across telemetry epochs."""
+    """Supervises one device's deployed plan across telemetry epochs.
+
+    Tolerates faulty telemetry: missing (NACKed), stuck or
+    under-covered sensor readings invalidate the epoch -- the governor
+    holds the last plan and judges the next fresh measurement against
+    a temporarily widened drift window -- and a window that fails
+    outright under injected faults is recorded as a missed, invalid
+    epoch rather than killing the supervision loop.  ``fault_clock``
+    is ``None`` by default, in which case every epoch is bit-identical
+    to the fault-free governor.
+    """
 
     def __init__(
         self,
@@ -190,12 +241,14 @@ class FleetGovernor:
         model: Model,
         optimized: OptimizationResult,
         config: Optional[GovernorConfig] = None,
+        fault_clock=None,
     ):
         self.pipeline = pipeline
         self.profile = profile
         self.model = model
         self.optimized = optimized
         self.config = config or GovernorConfig()
+        self.fault_clock = fault_clock
         node_ids = sorted(optimized.pareto_fronts)
         #: Device-priced MCKP classes rebuilt from the cached fronts;
         #: every re-plan re-prices THESE -- exploration never re-runs.
@@ -213,10 +266,11 @@ class FleetGovernor:
         """Run the epochs; returns the telemetry and the final plan."""
         cfg = self.config
         profile = self.profile
+        fault = self.fault_clock
         budget = self.optimized.qos_s
         fixed = self.optimized.fixed_overhead_s
         thermal = profile.thermal
-        sensor = profile.make_sensor(cfg.sensor_config)
+        sensor = profile.make_sensor(cfg.sensor_config, fault_clock=fault)
         hfo_configs = self.pipeline.space.hfo_configs
         runtime = self.pipeline.runtime
 
@@ -229,16 +283,53 @@ class FleetGovernor:
         compensated_w = 0.0
         samples: List[EpochSample] = []
         replans = 0
+        #: Consecutive epochs with unusable telemetry; widens the
+        #: drift window the first fresh measurement is judged against.
+        invalid_streak = 0
+        invalid_epochs = 0
+        css_events = 0
+        watchdog_resets = 0
+        pll_retries = 0
 
         for epoch in range(cfg.epochs):
             cap_hz = battery.max_sysclk_hz()
+            if fault is not None and fault.brownout_sag():
+                # The rail sags below nominal for this epoch: derate
+                # the sustainable SYSCLK on top of the battery cap.
+                cap_hz *= fault.plan.brownout_derate
             exec_plan, clamped = _clamp_plan(plan, cap_hz, hfo_configs)
-            ref = runtime.run(
-                self.model,
-                exec_plan,
-                qos_s=budget,
-                initial_config=exec_plan.initial_config(),
-            )
+            try:
+                ref = runtime.run(
+                    self.model,
+                    exec_plan,
+                    qos_s=budget,
+                    initial_config=exec_plan.initial_config(),
+                    fault_clock=fault,
+                )
+            except ReproError:
+                # The window itself died (watchdog never made forward
+                # progress, PLL never locked): a missed, invalid epoch.
+                # The plan is held; the next epoch tries again.
+                invalid_streak += 1
+                invalid_epochs += 1
+                samples.append(
+                    EpochSample(
+                        epoch=epoch,
+                        measured_energy_j=0.0,
+                        predicted_energy_j=0.0,
+                        drift=0.0,
+                        met_qos=False,
+                        clamped=clamped,
+                        temperature_c=temperature,
+                        charge_fraction=battery.charge_fraction,
+                        replanned=False,
+                        valid=False,
+                    )
+                )
+                continue
+            css_events += ref.css_events
+            watchdog_resets += ref.watchdog_resets
+            pll_retries += ref.pll_retries
             extra_w = thermal.leakage_at(temperature) - thermal.leakage_ref_w
             # The window as the silicon actually burns it: leaky
             # states carry the thermal excess on top of the calibrated
@@ -259,20 +350,55 @@ class FleetGovernor:
                 for iv in ref.account.intervals
                 if iv.state in _LEAKY_STATES
             )
-            measured = sensor.estimate_energy(
-                sensor.measure(true_trace, start_time_s=epoch * cfg.epoch_s)
-            )
+            telemetry_valid = True
+            try:
+                train = sensor.measure(
+                    true_trace, start_time_s=epoch * cfg.epoch_s
+                )
+            except SensorReadError:
+                train = []
+                telemetry_valid = False
+            if telemetry_valid and fault is not None:
+                # Sanity-screen the train before trusting it: too many
+                # dropped conversions bias the rectangle-rule energy
+                # low, and a stuck power register reads as a perfectly
+                # flat train.  (Guarded on fault mode: a nominal
+                # sensor never produces either.)
+                total_t = sum(iv.duration_s for iv in true_trace)
+                covered = sensor.covered_duration_s(train)
+                if covered < cfg.min_coverage * total_t:
+                    telemetry_valid = False
+                elif len(train) >= 2 and len(
+                    {s.power_w for s in train}
+                ) == 1:
+                    telemetry_valid = False
             predicted = ref.energy_j + compensated_w * leaky_t
-            drift = (
-                (measured - predicted) / predicted if predicted > 0 else 0.0
-            )
+            if telemetry_valid:
+                measured = sensor.estimate_energy(train)
+                drift = (
+                    (measured - predicted) / predicted
+                    if predicted > 0
+                    else 0.0
+                )
+            else:
+                measured = 0.0
+                drift = 0.0
+                invalid_epochs += 1
             window_s = ref.qos_s if ref.qos_s is not None else ref.latency_s
             avg_power = true_energy / window_s if window_s > 0 else 0.0
             met = ref.met_qos
 
+            # Blind epochs widen the tolerance the next fresh
+            # measurement is judged against (stale compensation would
+            # otherwise read as drift); QoS-miss and clamp triggers
+            # stay live -- they come from the run, not the sensor.
+            threshold = cfg.drift_threshold * min(
+                cfg.widen_factor**invalid_streak, cfg.max_widen
+            )
+            drift_trigger = telemetry_valid and abs(drift) > threshold
             replanned = False
             if (
-                not met or clamped or abs(drift) > cfg.drift_threshold
+                not met or clamped or drift_trigger
             ) and replans < cfg.max_replans:
                 new_plan = self._replan(extra_w, cap_hz, budget, fixed)
                 if new_plan is not None:
@@ -280,10 +406,12 @@ class FleetGovernor:
                     compensated_w = extra_w
                     replans += 1
                     replanned = True
+            invalid_streak = 0 if telemetry_valid else invalid_streak + 1
 
             # Epoch bookkeeping: the die integrates toward its
             # operating temperature, the cell drains by the epoch's
-            # true energy.
+            # true energy.  Physics advance even when telemetry was
+            # unusable -- the window still ran and burned energy.
             battery = battery.discharged(avg_power * cfg.epoch_s)
             temperature = thermal.temperature_step(
                 temperature, avg_power, cfg.epoch_s
@@ -299,6 +427,7 @@ class FleetGovernor:
                     temperature_c=temperature,
                     charge_fraction=battery.charge_fraction,
                     replanned=replanned,
+                    valid=telemetry_valid,
                 )
             )
 
@@ -308,6 +437,10 @@ class FleetGovernor:
             samples=samples,
             replans=replans,
             drift_threshold=cfg.drift_threshold,
+            invalid_epochs=invalid_epochs,
+            css_events=css_events,
+            watchdog_resets=watchdog_resets,
+            pll_retries=pll_retries,
         )
 
     def _replan(
@@ -410,8 +543,9 @@ def supervise_device(
     model: Model,
     optimized: OptimizationResult,
     config: Optional[GovernorConfig] = None,
+    fault_clock=None,
 ) -> GovernorResult:
     """Convenience wrapper: build a governor and run it."""
     return FleetGovernor(
-        pipeline, profile, model, optimized, config
+        pipeline, profile, model, optimized, config, fault_clock=fault_clock
     ).supervise()

@@ -280,7 +280,18 @@ class ReplayingRuntime(DVFSRuntime):
         idle_gated: bool = True,
         initial_config: Optional[ClockConfig] = None,
         idle_policy: Optional[IdlePolicy] = None,
+        fault_clock=None,
     ) -> InferenceReport:
+        if fault_clock is not None:
+            # Fault-injected runs are device-specific and stateful (the
+            # fault clock advances); replaying a shared fault-free
+            # record would hide every injected event, so the run goes
+            # straight to the native engine.
+            return super().run(
+                model, plan, qos_s=qos_s, idle_gated=idle_gated,
+                initial_config=initial_config, idle_policy=idle_policy,
+                fault_clock=fault_clock,
+            )
         record = self._record_for(model, plan, initial_config)
         return self._reprice(record, plan, qos_s, idle_gated, idle_policy)
 
@@ -365,4 +376,7 @@ class ReplayingRuntime(DVFSRuntime):
             mux_switch_count=record.mux_switch_count,
             qos_s=qos_s,
             met_qos=met_qos,
+            css_events=record.css_events,
+            watchdog_resets=record.watchdog_resets,
+            pll_retries=record.pll_retries,
         )

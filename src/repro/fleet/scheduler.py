@@ -21,6 +21,7 @@ honest baseline the fleet benchmark compares against.
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -28,7 +29,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..dse.space import DesignSpace, paper_design_space
 from ..engine.cost import TraceParams
 from ..engine.runtime import InferenceReport
-from ..errors import ReproError
+from ..errors import (
+    ClockSwitchError,
+    FaultInjectionError,
+    ReproError,
+    SensorReadError,
+    WatchdogResetError,
+)
+from ..faults.plan import FaultPlan, PLAN_STAGE
 from ..mcu.board import Board, make_nucleo_f767zi
 from ..nn.graph import Model
 from ..optimize.qos import QoSLevel
@@ -39,6 +47,17 @@ from .pricing import (
     SharedComponentExplorer,
 )
 from .variation import DeviceProfile
+
+#: Failures worth retrying: the transient hardware faults.  Everything
+#: else (config errors, solver failures, poisoned models) is
+#: deterministic -- retrying would reproduce it, so the device goes
+#: straight to the error/quarantine path.
+TRANSIENT_ERRORS = (
+    ClockSwitchError,
+    WatchdogResetError,
+    SensorReadError,
+    FaultInjectionError,
+)
 
 
 @dataclass
@@ -51,12 +70,17 @@ class DeviceResult:
         report: the plan deployed over one QoS window on this device.
         error: failure description when planning raised (the fleet
             keeps going; the report counts failures).
+        attempts: planning attempts consumed (1 without faults).
+        quarantined: the device exhausted its retry budget (or failed
+            persistently) and was pulled from the fleet.
     """
 
     profile: DeviceProfile
     optimized: Optional[OptimizationResult] = None
     report: Optional[InferenceReport] = None
     error: Optional[str] = None
+    attempts: int = 1
+    quarantined: bool = False
 
     @property
     def device_id(self) -> int:
@@ -85,6 +109,15 @@ class FleetScheduler:
         share: wire devices into the fleet-shared pricing state.  Off,
             every device pays the full single-device planning cost on
             a private pipeline (the benchmark's serial baseline).
+        fault_plan: optional :class:`~repro.faults.plan.FaultPlan`;
+            every device deploys under its own deterministic fault
+            stream (spawn-keyed by device id, so results are invariant
+            to worker scheduling).
+        max_plan_attempts: planning attempts per device before it is
+            quarantined.  Only transient hardware faults are retried.
+        plan_backoff_s: base of the exponential backoff slept between
+            attempts (0.0, the default, retries immediately -- real
+            wall-clock sleeps would only slow the simulation down).
     """
 
     def __init__(
@@ -99,11 +132,18 @@ class FleetScheduler:
         max_refinements: int = 3,
         max_workers: int = 4,
         share: bool = True,
+        fault_plan: Optional[FaultPlan] = None,
+        max_plan_attempts: int = 3,
+        plan_backoff_s: float = 0.0,
     ):
         if (qos_level is None) == (qos_s is None):
             raise ReproError("provide exactly one of qos_level or qos_s")
         if max_workers < 1:
             raise ReproError("max_workers must be >= 1")
+        if max_plan_attempts < 1:
+            raise ReproError("max_plan_attempts must be >= 1")
+        if plan_backoff_s < 0:
+            raise ReproError("plan_backoff_s must be >= 0")
         self.model = model
         self.qos_level = qos_level
         self.qos_s = qos_s
@@ -114,6 +154,13 @@ class FleetScheduler:
         self.max_refinements = max_refinements
         self.max_workers = max_workers
         self.share = share
+        self.fault_plan = fault_plan
+        self.max_plan_attempts = max_plan_attempts
+        self.plan_backoff_s = plan_backoff_s
+        #: Device ids pulled from the fleet after exhausting retries
+        #: (sorted; stable across worker scheduling).
+        self.quarantined: List[int] = []
+        self._quarantine_lock = threading.Lock()
         self.space: DesignSpace = paper_design_space(
             self.base_board.power_model
         )
@@ -174,20 +221,58 @@ class FleetScheduler:
     # -- execution ---------------------------------------------------------------
 
     def plan_device(self, profile: DeviceProfile) -> DeviceResult:
-        """Optimize + deploy one device (errors captured, not raised)."""
-        try:
-            pipeline = self.pipeline_for(profile)
-            optimized = pipeline.optimize(
-                self.model, qos_level=self.qos_level, qos_s=self.qos_s
+        """Optimize + deploy one device (errors captured, not raised).
+
+        No exception escapes: a failure of *any* class -- ReproError or
+        an unexpected bug in a device's models -- is captured as
+        :attr:`DeviceResult.error` so one poisoned device cannot kill a
+        pooled fleet run.  Transient hardware faults
+        (:data:`TRANSIENT_ERRORS`) are retried with exponential backoff
+        up to ``max_plan_attempts``; a device that exhausts its budget
+        (or fails persistently under injection) is quarantined.
+        """
+        fault_clock = None
+        if self.fault_plan is not None and self.fault_plan.any_faults:
+            fault_clock = self.fault_plan.clock_for(
+                profile.device_id, stage=PLAN_STAGE
             )
-            report = pipeline.deploy(self.model, optimized.plan)
-            return DeviceResult(
-                profile=profile, optimized=optimized, report=report
-            )
-        except ReproError as err:
-            return DeviceResult(
-                profile=profile, error=f"{type(err).__name__}: {err}"
-            )
+        last_error: Optional[str] = None
+        transient = False
+        attempt = 0
+        while attempt < self.max_plan_attempts:
+            attempt += 1
+            try:
+                pipeline = self.pipeline_for(profile)
+                optimized = pipeline.optimize(
+                    self.model, qos_level=self.qos_level, qos_s=self.qos_s
+                )
+                report = pipeline.deploy(
+                    self.model, optimized.plan, fault_clock=fault_clock
+                )
+                return DeviceResult(
+                    profile=profile, optimized=optimized, report=report,
+                    attempts=attempt,
+                )
+            except TRANSIENT_ERRORS as err:
+                last_error = f"{type(err).__name__}: {err}"
+                transient = True
+                if attempt < self.max_plan_attempts and self.plan_backoff_s:
+                    time.sleep(self.plan_backoff_s * 2 ** (attempt - 1))
+            except Exception as err:  # noqa: BLE001 -- isolate the pool
+                last_error = f"{type(err).__name__}: {err}"
+                transient = False
+                break
+        # Retry budget exhausted (transient) or persistent failure:
+        # pull the device out of the fleet.
+        quarantined = fault_clock is not None or transient
+        if quarantined:
+            with self._quarantine_lock:
+                self.quarantined.append(profile.device_id)
+                self.quarantined.sort()
+        return DeviceResult(
+            profile=profile, error=last_error, attempts=attempt,
+            quarantined=quarantined,
+        )
 
     def run_serial(
         self, profiles: Sequence[DeviceProfile]

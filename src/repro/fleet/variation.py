@@ -107,10 +107,16 @@ class DeviceProfile:
     sensor_seed: np.random.SeedSequence = field(repr=False)
 
     def make_sensor(
-        self, config: Optional[INA219Config] = None
+        self, config: Optional[INA219Config] = None, fault_clock=None
     ) -> INA219Sensor:
-        """This device's INA219, on its own seeded noise stream."""
-        return INA219Sensor(config=config, seed=self.sensor_seed)
+        """This device's INA219, on its own seeded noise stream.
+
+        ``fault_clock`` optionally wires the sensor's dropout / stuck /
+        NACK fault hooks (see :class:`repro.faults.plan.FaultClock`).
+        """
+        return INA219Sensor(
+            config=config, seed=self.sensor_seed, fault_clock=fault_clock
+        )
 
 
 def _lognormal(rng: np.random.Generator, sigma: float) -> float:

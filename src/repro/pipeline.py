@@ -635,18 +635,32 @@ class DAEDVFSPipeline:
         )
 
     def deploy(
-        self, model: Model, plan: DeploymentPlan, qos_s: Optional[float] = None
+        self,
+        model: Model,
+        plan: DeploymentPlan,
+        qos_s: Optional[float] = None,
+        fault_clock=None,
     ) -> InferenceReport:
         """Execute a plan on the DVFS runtime (gated post-QoS idle).
 
         The board enters the window pre-locked on the first layer's
         HFO, mirroring the baselines' pre-locked 216 MHz start.
+
+        Args:
+            model: model to execute.
+            plan: the deployment plan.
+            qos_s: accounting window override (``plan.qos_s`` default).
+            fault_clock: optional
+                :class:`repro.faults.plan.FaultClock`; routes the run
+                through the hardened (CSS / watchdog / retry) engine
+                paths.  ``None`` is bit-identical to the nominal run.
         """
         return self.runtime.run(
             model,
             plan,
             qos_s=qos_s if qos_s is not None else plan.qos_s,
             initial_config=plan.initial_config(),
+            fault_clock=fault_clock,
         )
 
     # -- the Fig. 5 comparison ---------------------------------------------------

@@ -28,7 +28,7 @@ from typing import List, Sequence
 
 import numpy as np
 
-from ..errors import PowerModelError
+from ..errors import PowerModelError, SensorReadError
 from .energy import EnergyInterval
 
 
@@ -96,16 +96,30 @@ class INA219Sensor:
             child stream instead of N sensors all replaying the one
             default-seeded sequence.  The override is remembered, so
             :meth:`reset` restores *this* device's stream.
+        fault_clock: optional fault-decision source (an object with
+            ``sensor_nack()`` / ``sensor_stuck()`` / ``sensor_dropout()``
+            hooks, see :class:`repro.faults.plan.FaultClock`).  With
+            ``None`` (the default) every reading is byte-identical to
+            the fault-free sensor.  Faults model the three INA219
+            failure modes seen in the field: the I2C transaction NACKs
+            (whole read lost, :class:`~repro.errors.SensorReadError`),
+            the power register freezes (every sample of the train
+            repeats the first conversion), and individual conversions
+            are dropped (gaps in the train; energy estimation weights
+            by covered duration, so consumers see reduced coverage
+            rather than silently biased energy).
     """
 
     def __init__(
         self,
         config: INA219Config | None = None,
         seed=None,
+        fault_clock=None,
     ):
         self.config = config or INA219Config()
         self._seed = self.config.seed if seed is None else seed
         self._rng = np.random.default_rng(self._seed)
+        self.fault_clock = fault_clock
 
     def reset(self) -> None:
         """Re-seed the noise generator (drift is deterministic in time)."""
@@ -139,7 +153,19 @@ class INA219Sensor:
             multiple of the period gets one final clamped sample
             covering (and weighted by, via ``duration_s``) only the
             remaining tail, so no trace time is silently dropped.
+
+        Raises:
+            SensorReadError: when the fault clock NACKs the I2C
+                transaction (the whole read is lost; callers decide
+                whether to retry, skip the epoch or quarantine).
         """
+        fault = self.fault_clock
+        if fault is not None and fault.sensor_nack():
+            raise SensorReadError(
+                "INA219 read failed: I2C transaction NACKed"
+            )
+        stuck = fault is not None and fault.sensor_stuck()
+        stuck_power: float | None = None
         cfg = self.config
         total = sum(interval.duration_s for interval in trace)
         # Ceil with an epsilon so an exact multiple of the period does
@@ -191,10 +217,20 @@ class INA219Sensor:
                 + float(self._rng.normal(0.0, cfg.noise_std_w))
             )
             quantized = round(raw / cfg.power_lsb_w) * cfg.power_lsb_w
+            # Fault hooks run after the noise draw so the underlying
+            # noise stream is identical with and without faults.
+            if fault is not None and fault.sensor_dropout():
+                continue  # conversion lost: a gap in the train
+            power = max(0.0, quantized)
+            if stuck:
+                if stuck_power is None:
+                    stuck_power = power  # register froze on this value
+                else:
+                    power = stuck_power
             samples.append(
                 PowerSample(
                     time_s=start_time_s + t_rel,
-                    power_w=max(0.0, quantized),
+                    power_w=power,
                     duration_s=duration,
                 )
             )

@@ -110,3 +110,121 @@ class TestBackgroundPLLPreparation:
         lock = rcc.prepare_pll(hfo_other)
         assert lock > 0
         assert rcc.retained_pll == (hfo_other.pll, hfo_other.hse_hz)
+
+
+def clock_with(*events):
+    """A fault clock firing exactly at the scheduled opportunities."""
+    from repro.faults import FaultPlan
+
+    return FaultPlan(scheduled=tuple(events)).clock_for(0)
+
+
+class TestCSSFailsafe:
+    def test_hse_dropout_parks_on_hsi(self, hfo):
+        from repro.clock import hsi_config
+        from repro.faults import FaultKind
+
+        clock = clock_with((FaultKind.HSE_DROPOUT, 0))
+        nmi = []
+        rcc = RCC(fault_clock=clock, css_callback=nmi.append)
+        cost = rcc.apply(hfo)
+        assert rcc.current == hsi_config()
+        assert rcc.css_count == 1
+        assert nmi[0].requested == hfo
+        assert nmi[0].failsafe == hsi_config()
+        # History records where the switch landed, not the request.
+        assert rcc.history[-1].target == hsi_config()
+        assert cost.latency_s > 0.0
+
+    def test_next_switch_recovers_the_hse(self, hfo):
+        from repro.faults import FaultKind
+
+        clock = clock_with((FaultKind.HSE_DROPOUT, 0))
+        rcc = RCC(fault_clock=clock)
+        rcc.apply(hfo)  # CSS fires
+        cost = rcc.apply(hfo)  # oscillator restarts cleanly
+        assert rcc.current == hfo
+        assert cost.reprogrammed_pll  # the failsafe dropped the PLL
+        assert rcc.css_count == 1
+
+    def test_boot_consumes_no_fault_opportunity(self):
+        from repro.faults import FaultKind
+
+        clock = clock_with((FaultKind.HSE_DROPOUT, 0))
+        rcc = RCC(fault_clock=clock)  # boots on the HSE-sourced LFO
+        assert rcc.current == lfo_config()
+        assert clock.opportunities[FaultKind.HSE_DROPOUT] == 0
+
+    def test_background_prepare_survives_dropout(self, hfo):
+        from repro.faults import FaultKind
+
+        clock = clock_with((FaultKind.HSE_DROPOUT, 0))
+        rcc = RCC(fault_clock=clock)
+        assert rcc.prepare_pll(hfo) == 0.0
+        assert rcc.css_count == 1
+        assert not rcc.pll_locked
+        assert rcc.current.sysclk_hz == pytest.approx(16e6)
+
+
+class TestPLLLockRetry:
+    def test_single_timeout_costs_backoff_plus_relock(self, hfo):
+        from repro.clock.pll import PLL_LOCK_TIME_S
+        from repro.faults import FaultKind
+
+        clock = clock_with((FaultKind.PLL_LOCK_TIMEOUT, 0))
+        rcc = RCC(fault_clock=clock)
+        cost = rcc.apply(hfo)
+        assert rcc.current == hfo
+        assert rcc.pll_retries == 1
+        # Cumulative accounting: nominal relock+mux, plus the retry's
+        # backoff and its full second lock window.
+        expected = (
+            rcc.cost_model.pll_relock_s
+            + rcc.cost_model.mux_switch_s
+            + rcc.retry.backoff_s(0)
+            + PLL_LOCK_TIME_S
+        )
+        assert cost.latency_s == pytest.approx(expected)
+        assert cost.reprogrammed_pll
+        assert rcc.total_switch_latency_s() == pytest.approx(expected)
+
+    def test_consecutive_timeouts_accumulate_backoffs(self, hfo):
+        from repro.clock.pll import PLL_LOCK_TIME_S
+        from repro.faults import FaultKind
+
+        clock = clock_with(
+            (FaultKind.PLL_LOCK_TIMEOUT, 0), (FaultKind.PLL_LOCK_TIMEOUT, 1)
+        )
+        rcc = RCC(fault_clock=clock)
+        cost = rcc.apply(hfo)
+        expected = (
+            rcc.cost_model.pll_relock_s
+            + rcc.cost_model.mux_switch_s
+            + rcc.retry.backoff_s(0)
+            + rcc.retry.backoff_s(1)
+            + 2 * PLL_LOCK_TIME_S
+        )
+        assert cost.latency_s == pytest.approx(expected)
+        assert rcc.pll_retries == 2
+
+    def test_exhausted_budget_raises(self, hfo):
+        from repro.clock import RetryPolicy
+        from repro.faults import FaultPlan
+
+        clock = FaultPlan(pll_lock_timeout_rate=1.0).clock_for(0)
+        rcc = RCC(retry=RetryPolicy(max_retries=2), fault_clock=clock)
+        with pytest.raises(ClockSwitchError, match="retry budget"):
+            rcc.apply(hfo)
+        assert not rcc.pll_locked
+        assert rcc.current == lfo_config()  # the switch never landed
+
+    def test_zero_rate_clock_is_transparent(self, hfo):
+        from repro.faults import FaultPlan
+
+        clean = RCC()
+        hardened = RCC(fault_clock=FaultPlan().clock_for(0))
+        assert hardened.apply(hfo).latency_s == pytest.approx(
+            clean.apply(hfo).latency_s
+        )
+        assert hardened.pll_retries == 0
+        assert hardened.css_count == 0

@@ -63,9 +63,35 @@ class TestSwitchCosts:
 
     def test_negative_latency_rejected(self):
         from repro.clock.switching import SwitchCost
+        from repro.errors import ClockSwitchError
 
-        with pytest.raises(ValueError):
+        with pytest.raises(ClockSwitchError):
             SwitchCost(latency_s=-1e-6, reprogrammed_pll=False)
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially(self):
+        from repro.clock import RetryPolicy
+
+        policy = RetryPolicy(backoff_base_s=us(50), backoff_factor=2.0)
+        assert policy.backoff_s(0) == pytest.approx(us(50))
+        assert policy.backoff_s(1) == pytest.approx(us(100))
+        assert policy.backoff_s(3) == pytest.approx(us(400))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_retries": -1},
+            {"backoff_base_s": -1e-6},
+            {"backoff_factor": 0.5},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        from repro.clock import RetryPolicy
+        from repro.errors import ClockSwitchError
+
+        with pytest.raises(ClockSwitchError):
+            RetryPolicy(**kwargs)
 
 
 class TestSwitchCostProperties:

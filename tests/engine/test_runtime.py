@@ -166,3 +166,94 @@ class TestQoSWindow:
             < report.average_power_w
             <= board.power_model.active_power(hfo_216) * 1.01
         )
+
+
+class TestFaultInjection:
+    @staticmethod
+    def clock_with(*events):
+        from repro.faults import FaultPlan
+
+        return FaultPlan(scheduled=tuple(events)).clock_for(0)
+
+    def test_clean_run_reports_zero_interventions(
+        self, runtime, tiny_model, hfo_216
+    ):
+        plan = uniform_plan(tiny_model, hfo=hfo_216, granularity=0)
+        report = runtime.run(tiny_model, plan)
+        assert report.css_events == 0
+        assert report.watchdog_resets == 0
+        assert report.pll_retries == 0
+
+    def test_zero_rate_clock_is_transparent(self, runtime, tiny_model, hfo_216):
+        from repro.faults import FaultPlan
+
+        plan = uniform_plan(tiny_model, hfo=hfo_216, granularity=0)
+        clean = runtime.run(tiny_model, plan)
+        hardened = runtime.run(
+            tiny_model, plan, fault_clock=FaultPlan().clock_for(0)
+        )
+        assert hardened.latency_s == clean.latency_s
+        assert hardened.energy_j == clean.energy_j
+
+    def test_watchdog_reset_resumes_at_layer(self, runtime, tiny_model, hfo_216):
+        from repro.faults import FaultKind
+
+        plan = uniform_plan(tiny_model, hfo=hfo_216, granularity=0)
+        clean = runtime.run(tiny_model, plan)
+        clock = self.clock_with((FaultKind.WATCHDOG_RESET, 1))
+        report = runtime.run(tiny_model, plan, fault_clock=clock)
+        assert report.watchdog_resets == 1
+        # Every layer still executed exactly once after the replay.
+        assert len(report.layer_reports) == len(clean.layer_reports)
+        # The reset stall and the post-reboot re-lock cost time/energy.
+        assert report.latency_s > clean.latency_s
+        assert report.energy_j > clean.energy_j
+        assert report.latency_s >= (
+            clean.latency_s + clock.plan.watchdog_reset_s
+        )
+
+    def test_watchdog_storm_raises_after_budget(
+        self, runtime, tiny_model, hfo_216
+    ):
+        from repro.errors import WatchdogResetError
+        from repro.faults import FaultPlan
+
+        plan = uniform_plan(tiny_model, hfo=hfo_216, granularity=0)
+        fault_plan = FaultPlan(watchdog_rate=1.0, max_consecutive_resets=2)
+        with pytest.raises(WatchdogResetError) as info:
+            runtime.run(
+                tiny_model, plan, fault_clock=fault_plan.clock_for(0)
+            )
+        assert info.value.resets == 3  # budget of 2 exceeded
+
+    def test_css_failsafe_completes_inference(
+        self, runtime, tiny_model, hfo_216
+    ):
+        from repro.faults import FaultKind
+
+        plan = uniform_plan(tiny_model, hfo=hfo_216, granularity=0)
+        clock = self.clock_with((FaultKind.HSE_DROPOUT, 0))
+        report = runtime.run(tiny_model, plan, fault_clock=clock)
+        assert report.css_events == 1
+        assert len(report.layer_reports) == len(tiny_model.nodes)
+        assert report.energy_j > 0
+
+    def test_css_failsafe_in_decoupled_plan(self, runtime, tiny_model, hfo_216):
+        from repro.faults import FaultKind
+
+        plan = uniform_plan(tiny_model, hfo=hfo_216, granularity=2)
+        clean = runtime.run(tiny_model, plan)
+        clock = self.clock_with((FaultKind.HSE_DROPOUT, 1))
+        report = runtime.run(tiny_model, plan, fault_clock=clock)
+        assert report.css_events >= 1
+        assert len(report.layer_reports) == len(clean.layer_reports)
+
+    def test_pll_retry_surfaces_in_report(self, runtime, tiny_model, hfo_216):
+        from repro.faults import FaultKind
+
+        plan = uniform_plan(tiny_model, hfo=hfo_216, granularity=0)
+        clean = runtime.run(tiny_model, plan)
+        clock = self.clock_with((FaultKind.PLL_LOCK_TIMEOUT, 0))
+        report = runtime.run(tiny_model, plan, fault_clock=clock)
+        assert report.pll_retries == 1
+        assert report.latency_s > clean.latency_s

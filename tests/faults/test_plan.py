@@ -1,0 +1,127 @@
+"""Fault models: plan validation, seeded decision streams, scheduling."""
+
+import pytest
+
+from repro.errors import FaultInjectionError
+from repro.faults import FaultClock, FaultKind, FaultPlan, GOVERN_STAGE, PLAN_STAGE
+
+
+class TestPlanValidation:
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "hse_dropout_rate",
+            "pll_lock_timeout_rate",
+            "sensor_dropout_rate",
+            "sensor_stuck_rate",
+            "sensor_nack_rate",
+            "brownout_rate",
+            "watchdog_rate",
+        ],
+    )
+    @pytest.mark.parametrize("value", [-0.1, 1.5])
+    def test_rates_must_be_probabilities(self, field, value):
+        with pytest.raises(FaultInjectionError):
+            FaultPlan(**{field: value})
+
+    def test_brownout_derate_bounds(self):
+        with pytest.raises(FaultInjectionError):
+            FaultPlan(brownout_derate=0.0)
+        with pytest.raises(FaultInjectionError):
+            FaultPlan(brownout_derate=1.1)
+
+    def test_negative_reset_stall_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            FaultPlan(watchdog_reset_s=-1e-3)
+
+    def test_max_consecutive_resets_positive(self):
+        with pytest.raises(FaultInjectionError):
+            FaultPlan(max_consecutive_resets=0)
+
+    def test_scheduled_entries_validated(self):
+        with pytest.raises(FaultInjectionError):
+            FaultPlan(scheduled=(("not-a-kind", 0),))
+        with pytest.raises(FaultInjectionError):
+            FaultPlan(scheduled=((FaultKind.HSE_DROPOUT, -1),))
+
+    def test_validation_raises_repro_error_subclass(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            FaultPlan(hse_dropout_rate=2.0)
+
+    def test_any_faults(self):
+        assert not FaultPlan().any_faults
+        assert FaultPlan(watchdog_rate=0.1).any_faults
+        assert FaultPlan(scheduled=((FaultKind.SENSOR_NACK, 0),)).any_faults
+
+    def test_rate_lookup(self):
+        plan = FaultPlan(sensor_stuck_rate=0.25)
+        assert plan.rate(FaultKind.SENSOR_STUCK) == 0.25
+        assert plan.rate(FaultKind.HSE_DROPOUT) == 0.0
+
+    def test_to_dict_round_trips_schedule(self):
+        plan = FaultPlan(seed=7, scheduled=((FaultKind.BROWNOUT_SAG, 2),))
+        d = plan.to_dict()
+        assert d["seed"] == 7
+        assert d["scheduled"] == [["brownout-sag", 2]]
+
+
+class TestFaultClock:
+    def test_zero_rate_never_trips(self):
+        clock = FaultPlan().clock_for(0)
+        assert not any(clock.hse_dropout() for _ in range(100))
+        assert clock.total_injected == 0
+        assert clock.opportunities[FaultKind.HSE_DROPOUT] == 100
+
+    def test_rate_one_always_trips(self):
+        clock = FaultPlan(sensor_nack_rate=1.0).clock_for(0)
+        assert all(clock.sensor_nack() for _ in range(10))
+        assert clock.injected[FaultKind.SENSOR_NACK] == 10
+
+    def test_scheduled_trips_exact_opportunity(self):
+        plan = FaultPlan(scheduled=((FaultKind.WATCHDOG_RESET, 2),))
+        clock = plan.clock_for(0)
+        hits = [clock.watchdog_reset() for _ in range(5)]
+        assert hits == [False, False, True, False, False]
+
+    def test_same_seed_same_decisions(self):
+        plan = FaultPlan(seed=11, pll_lock_timeout_rate=0.3)
+        left = plan.clock_for(4)
+        right = plan.clock_for(4)
+        assert [left.pll_lock_timeout() for _ in range(50)] == [
+            right.pll_lock_timeout() for _ in range(50)
+        ]
+
+    def test_kinds_draw_independent_streams(self):
+        # Interleaving other kinds must not shift a kind's decisions.
+        plan = FaultPlan(
+            seed=3, hse_dropout_rate=0.4, sensor_dropout_rate=0.4
+        )
+        solo = plan.clock_for(0)
+        pure = [solo.hse_dropout() for _ in range(40)]
+        mixed_clock = plan.clock_for(0)
+        mixed = []
+        for _ in range(40):
+            mixed_clock.sensor_dropout()  # interleaved foreign draws
+            mixed.append(mixed_clock.hse_dropout())
+        assert pure == mixed
+
+    def test_devices_and_stages_are_independent(self):
+        plan = FaultPlan(seed=5, watchdog_rate=0.5)
+        streams = {}
+        for device in (0, 1):
+            for stage in (PLAN_STAGE, GOVERN_STAGE):
+                clock = plan.clock_for(device, stage=stage)
+                streams[(device, stage)] = [
+                    clock.watchdog_reset() for _ in range(64)
+                ]
+        assert len({tuple(s) for s in streams.values()}) == len(streams)
+
+    def test_injected_by_kind_reports_only_fired(self):
+        plan = FaultPlan(scheduled=((FaultKind.SENSOR_STUCK, 0),))
+        clock = FaultClock(plan)
+        clock.sensor_stuck()
+        clock.hse_dropout()
+        assert clock.injected_by_kind() == {"sensor-stuck": 1}
+        assert clock.total_injected == 1

@@ -206,3 +206,98 @@ class TestDeterminism:
             s.drift for s in runs[1].samples
         ]
         assert runs[0].replans == runs[1].replans
+
+
+def supervise_faulted(tiny, profile, qos_level, config, fault_clock):
+    scheduler = FleetScheduler(tiny, qos_level=qos_level)
+    result = scheduler.plan_device(profile)
+    assert result.error is None, result.error
+    pipeline = scheduler.pipeline_for(profile)
+    return supervise_device(
+        pipeline, profile, tiny, result.optimized, config,
+        fault_clock=fault_clock,
+    )
+
+
+class TestFaultTolerance:
+    @staticmethod
+    def clock_with(*events):
+        from repro.faults import FaultPlan
+
+        return FaultPlan(scheduled=tuple(events)).clock_for(0)
+
+    def test_nacked_epochs_invalidated_plan_held(self, tiny):
+        from repro.faults import FaultKind
+
+        clock = self.clock_with(
+            (FaultKind.SENSOR_NACK, 0), (FaultKind.SENSOR_NACK, 1)
+        )
+        governed = supervise_faulted(
+            tiny, make_profile(), MODERATE, GovernorConfig(epochs=4), clock
+        )
+        assert governed.invalid_epochs == 2
+        assert len(governed.samples) == 4
+        assert not governed.samples[0].valid
+        assert not governed.samples[1].valid
+        assert governed.samples[2].valid
+        # Blind epochs never feed the drift trigger.
+        assert governed.samples[0].measured_energy_j == 0.0
+        assert governed.samples[0].drift == 0.0
+
+    def test_stuck_telemetry_invalidated(self, tiny):
+        from repro.faults import FaultKind
+
+        clock = self.clock_with((FaultKind.SENSOR_STUCK, 0))
+        governed = supervise_faulted(
+            tiny, make_profile(), MODERATE, GovernorConfig(epochs=2), clock
+        )
+        assert not governed.samples[0].valid
+        assert governed.samples[1].valid
+        assert governed.invalid_epochs == 1
+
+    def test_brownout_sag_clamps_the_window(self, tiny):
+        from repro.faults import FaultPlan
+
+        clock = FaultPlan(brownout_rate=1.0, brownout_derate=0.3).clock_for(0)
+        governed = supervise_faulted(
+            tiny, make_profile(), MODERATE, GovernorConfig(epochs=2), clock
+        )
+        assert any(s.clamped for s in governed.samples)
+
+    def test_zero_rate_clock_matches_fault_free_supervision(self, tiny):
+        from repro.faults import FaultPlan
+
+        cfg = GovernorConfig(epochs=3)
+        clean = supervise_faulted(
+            tiny, make_profile(), MODERATE, cfg, fault_clock=None
+        )
+        hardened = supervise_faulted(
+            tiny, make_profile(), MODERATE, cfg,
+            fault_clock=FaultPlan().clock_for(0),
+        )
+        assert len(clean.samples) == len(hardened.samples)
+        for a, b in zip(clean.samples, hardened.samples):
+            assert a == b
+        assert hardened.invalid_epochs == 0
+        assert hardened.css_events == 0
+
+
+class TestConfigHardening:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"min_coverage": -0.1},
+            {"min_coverage": 1.5},
+            {"widen_factor": 0.9},
+            {"max_widen": 0.5},
+        ],
+    )
+    def test_tolerance_knobs_validated(self, kwargs):
+        with pytest.raises(PowerModelError):
+            GovernorConfig(**kwargs)
+
+    def test_validation_errors_are_repro_errors(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            GovernorConfig(epochs=0)

@@ -148,3 +148,70 @@ class TestErrors:
     def test_bad_worker_count_rejected(self, tiny):
         with pytest.raises(ReproError):
             FleetScheduler(tiny, qos_level=MODERATE, max_workers=0)
+
+
+class TestFaultIsolation:
+    def test_poisoned_device_cannot_kill_pooled_run(
+        self, tiny, fleet, monkeypatch
+    ):
+        # A non-ReproError bug in one device's models is captured as
+        # DeviceResult.error; the rest of the fleet plans normally.
+        scheduler = FleetScheduler(tiny, qos_level=MODERATE, max_workers=4)
+        poisoned_id = fleet[2].device_id
+        real = FleetScheduler.pipeline_for
+
+        def poisoned(self, profile):
+            if profile.device_id == poisoned_id:
+                raise RuntimeError("corrupted calibration table")
+            return real(self, profile)
+
+        monkeypatch.setattr(FleetScheduler, "pipeline_for", poisoned)
+        results = scheduler.run(fleet, pooled=True)
+        assert len(results) == len(fleet)
+        by_id = {r.device_id: r for r in results}
+        bad = by_id[poisoned_id]
+        assert bad.error == "RuntimeError: corrupted calibration table"
+        assert bad.report is None
+        assert bad.attempts == 1  # non-transient: no retry burned
+        assert not bad.quarantined  # a bug, not a hardware fault
+        assert scheduler.quarantined == []
+        for result in results:
+            if result.device_id != poisoned_id:
+                assert result.error is None
+                assert result.report is not None
+
+    def test_transient_faults_retried_then_quarantined(self, tiny, fleet):
+        from repro.faults import FaultPlan
+
+        # A watchdog storm kills every deploy attempt: the budget
+        # drains and the device lands in quarantine.
+        scheduler = FleetScheduler(
+            tiny,
+            qos_level=MODERATE,
+            fault_plan=FaultPlan(watchdog_rate=1.0),
+            max_plan_attempts=3,
+        )
+        result = scheduler.plan_device(fleet[0])
+        assert result.error is not None
+        assert result.error.startswith("WatchdogResetError")
+        assert result.attempts == 3
+        assert result.quarantined
+        assert scheduler.quarantined == [fleet[0].device_id]
+
+    def test_zero_rate_fault_plan_is_transparent(self, tiny, fleet):
+        from repro.faults import FaultPlan
+
+        plain = FleetScheduler(tiny, qos_level=MODERATE)
+        hardened = FleetScheduler(
+            tiny, qos_level=MODERATE, fault_plan=FaultPlan()
+        )
+        assert_result_lists_identical(
+            plain.run(fleet, pooled=False), hardened.run(fleet, pooled=False)
+        )
+        assert hardened.quarantined == []
+
+    def test_scheduler_validates_retry_budget(self, tiny):
+        with pytest.raises(ReproError):
+            FleetScheduler(tiny, qos_level=MODERATE, max_plan_attempts=0)
+        with pytest.raises(ReproError):
+            FleetScheduler(tiny, qos_level=MODERATE, plan_backoff_s=-1.0)

@@ -206,3 +206,76 @@ class TestConfigValidation:
     def test_negative_noise_rejected(self):
         with pytest.raises(PowerModelError):
             INA219Config(noise_std_w=-1e-3)
+
+
+class TestFaultInjection:
+    QUIET = INA219Config(sample_period_s=1e-3, noise_std_w=0.0)
+
+    @staticmethod
+    def clock_with(*events):
+        from repro.faults import FaultPlan
+
+        return FaultPlan(scheduled=tuple(events)).clock_for(0)
+
+    def test_nack_raises_sensor_read_error(self):
+        from repro.errors import SensorReadError
+        from repro.faults import FaultKind
+
+        clock = self.clock_with((FaultKind.SENSOR_NACK, 0))
+        sensor = INA219Sensor(self.QUIET, fault_clock=clock)
+        with pytest.raises(SensorReadError, match="NACK"):
+            sensor.measure(flat_trace(0.010, 0.3))
+        # The next transaction goes through.
+        assert sensor.measure(flat_trace(0.010, 0.3))
+
+    def test_dropout_leaves_gaps_without_shifting_noise(self):
+        from repro.faults import FaultKind
+
+        noisy = INA219Config(sample_period_s=1e-3, noise_std_w=1e-3)
+        trace = flat_trace(0.010, 0.3)
+        clean = INA219Sensor(noisy).measure(trace)
+        clock = self.clock_with(
+            (FaultKind.SENSOR_DROPOUT, 2), (FaultKind.SENSOR_DROPOUT, 7)
+        )
+        faulted = INA219Sensor(noisy, fault_clock=clock).measure(trace)
+        assert len(faulted) == len(clean) - 2
+        # Fault decisions draw after the noise, so surviving samples
+        # are bit-identical to the fault-free train.
+        survivors = [s for k, s in enumerate(clean) if k not in (2, 7)]
+        assert [s.power_w for s in faulted] == [s.power_w for s in survivors]
+
+    def test_dropout_reduces_covered_duration(self):
+        from repro.faults import FaultKind
+
+        clock = self.clock_with((FaultKind.SENSOR_DROPOUT, 0))
+        sensor = INA219Sensor(self.QUIET, fault_clock=clock)
+        samples = sensor.measure(flat_trace(0.010, 0.3))
+        assert sensor.covered_duration_s(samples) == pytest.approx(0.009)
+
+    def test_stuck_register_latches_first_value(self):
+        from repro.faults import FaultKind
+
+        clock = self.clock_with((FaultKind.SENSOR_STUCK, 0))
+        sensor = INA219Sensor(self.QUIET, fault_clock=clock)
+        samples = sensor.measure(stepped_trace())
+        assert len({s.power_w for s in samples}) == 1
+        assert samples[0].power_w == pytest.approx(0.100, abs=1e-3)
+
+    def test_stuck_clears_on_next_measure(self):
+        from repro.faults import FaultKind
+
+        clock = self.clock_with((FaultKind.SENSOR_STUCK, 0))
+        sensor = INA219Sensor(self.QUIET, fault_clock=clock)
+        sensor.measure(stepped_trace())
+        fresh = sensor.measure(stepped_trace())
+        assert len({s.power_w for s in fresh}) > 1
+
+    def test_zero_rate_clock_is_transparent(self):
+        from repro.faults import FaultPlan
+
+        trace = stepped_trace()
+        clean = INA219Sensor(self.QUIET).measure(trace)
+        hardened = INA219Sensor(
+            self.QUIET, fault_clock=FaultPlan().clock_for(0)
+        ).measure(trace)
+        assert [s.power_w for s in clean] == [s.power_w for s in hardened]

@@ -137,3 +137,18 @@ class TestCommands:
         assert main(["selftest"]) == 0
         out = capsys.readouterr().out
         assert "self-test PASSED" in out
+
+    def test_chaos_campaign(self, capsys, tmp_path):
+        out_path = tmp_path / "chaos.json"
+        code = main(
+            ["chaos", "tiny", "--devices", "3", "--epochs", "1",
+             "--watchdog-rate", "0.01", "--json", str(out_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chaos campaign" in out
+        assert "digest:" in out
+        data = json.loads(out_path.read_text())
+        assert data["n_devices"] == 3
+        assert data["digest"]
+        assert len(data["devices"]) == 3

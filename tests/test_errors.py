@@ -16,6 +16,9 @@ ALL_ERRORS = [
     errors.ProfilingError,
     errors.DesignSpaceError,
     errors.SolverError,
+    errors.FaultInjectionError,
+    errors.SensorReadError,
+    errors.WatchdogResetError,
 ]
 
 
@@ -32,6 +35,13 @@ class TestHierarchy:
         assert err.min_latency_s == pytest.approx(0.015)
         assert "10.000 ms" in str(err)
         assert "15.000 ms" in str(err)
+
+    def test_watchdog_reset_carries_context(self):
+        err = errors.WatchdogResetError(layer_name="conv0", resets=4)
+        assert isinstance(err, errors.ReproError)
+        assert err.layer_name == "conv0"
+        assert err.resets == 4
+        assert "conv0" in str(err)
 
     def test_catch_all_via_base(self):
         with pytest.raises(errors.ReproError):
