@@ -1,0 +1,173 @@
+"""Performance harness for the serve layer (E21).
+
+Drives the same seeded 32-request burst of same-model ``plan``
+requests against two server configurations:
+
+* **stateless**: every request plans on a cold private pipeline with
+  caching and coalescing forced off -- exactly the per-invocation cost
+  of today's batch CLI, reproduced inside the server;
+* **batched**: the full service -- shared warm pipeline, micro-batch
+  coalescing and the LRU plan cache.
+
+and writes ``BENCH_serve.json`` at the repo root with the schema::
+
+    {mode[model]: {"wall_s": float, "ok": int, "throughput_rps": float,
+                   "p50_ms": float, "p95_ms": float, "cached": int}}
+
+plus a ``_meta`` block with the headline ``serve_speedup`` (batched
+vs. stateless throughput on the same request stream), the
+digest-consistency verdict (every cached payload must hash identically
+to a cold recompute) and the overload-determinism verdict (two
+identical oversubscribed bursts must shed identical counts).
+
+Run standalone (CI smoke does exactly this)::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.serve import LoadGenConfig, run_loadgen
+from repro.serve.server import ServeConfig
+
+OUTPUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+#: The acceptance gate's scenario: 32 concurrent same-model requests.
+MODEL = "vww"
+REQUESTS = 32
+QOS_PERCENTS = (10.0, 30.0, 50.0)
+SEED = 0
+
+#: The speedup the serve layer must clear over per-request planning.
+MIN_SPEEDUP = 3.0
+
+
+def run_scenario(stateless: bool) -> dict:
+    config = LoadGenConfig(
+        model=MODEL,
+        qos_percents=QOS_PERCENTS,
+        requests=REQUESTS,
+        seed=SEED,
+        burst=True,  # all 32 in flight at once
+        verify_digests=not stateless,
+        serve=ServeConfig(
+            workers=4,
+            stateless=stateless,
+            max_queue_depth=REQUESTS,  # nothing sheds; this is a race
+        ),
+    )
+    return run_loadgen(config)
+
+
+def run_overload(seed: int) -> dict:
+    """One deliberately oversubscribed burst with deterministic time."""
+    return run_loadgen(
+        LoadGenConfig(
+            model="tiny",
+            qos_percents=(30.0,),
+            requests=48,
+            seed=seed,
+            burst=True,
+            verify_digests=False,
+            serve=ServeConfig(
+                workers=2,
+                max_queue_depth=8,
+                rate_per_s=4.0,
+                burst=2.0,
+                admission_tick_s=0.02,
+            ),
+        )
+    )
+
+
+def summarize(summary: dict) -> dict:
+    latency = summary["latency"]
+    return {
+        "wall_s": summary["wall_s"],
+        "ok": summary["ok"],
+        "throughput_rps": summary["throughput_rps"],
+        "p50_ms": latency["p50_s"] * 1e3,
+        "p95_ms": latency["p95_s"] * 1e3,
+        "cached": summary["cached_responses"],
+    }
+
+
+def main():
+    stages = {}
+
+    stateless = run_scenario(stateless=True)
+    batched = run_scenario(stateless=False)
+    assert stateless["ok"] == batched["ok"] == REQUESTS
+    assert batched["digest_checks"] == len(QOS_PERCENTS)
+    assert batched["cache_consistent"], (
+        "cached plan payloads diverged from cold recomputation"
+    )
+    speedup = (
+        batched["throughput_rps"] / stateless["throughput_rps"]
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"serve speedup {speedup:.2f}x under the {MIN_SPEEDUP}x gate"
+    )
+
+    first = run_overload(seed=1)
+    second = run_overload(seed=1)
+    sheds_reproduce = (
+        first["sheds"] == second["sheds"]
+        and first["server"]["metrics"]["sheds_by_reason"]
+        == second["server"]["metrics"]["sheds_by_reason"]
+    )
+    assert first["sheds"] > 0, "overload scenario never shed"
+    assert sheds_reproduce, (
+        f"shed counts diverged: {first['sheds']} vs {second['sheds']}"
+    )
+
+    stages[f"stateless[{MODEL}]"] = summarize(stateless)
+    stages[f"batched[{MODEL}]"] = summarize(batched)
+    stages["overload[tiny]"] = {
+        "requests": 48,
+        "ok": first["ok"],
+        "sheds": first["sheds"],
+        "sheds_by_reason": first["server"]["metrics"][
+            "sheds_by_reason"
+        ],
+    }
+    stages["_meta"] = {
+        "model": MODEL,
+        "requests": REQUESTS,
+        "qos_percents": list(QOS_PERCENTS),
+        "seed": SEED,
+        "serve_speedup": speedup,
+        "min_speedup": MIN_SPEEDUP,
+        "digest_checks": batched["digest_checks"],
+        "cache_consistent": batched["cache_consistent"],
+        "sheds_reproduce": sheds_reproduce,
+        "coalesce_ratio": batched["server"]["metrics"][
+            "coalesce_ratio"
+        ],
+        "cache_hit_rate": batched["server"]["cache"]["hit_rate"],
+    }
+    OUTPUT.write_text(json.dumps(stages, indent=2, sort_keys=True) + "\n")
+
+    print(f"wrote {OUTPUT}")
+    for stage in sorted(s for s in stages if s != "_meta"):
+        entry = stages[stage]
+        if "throughput_rps" in entry:
+            print(
+                f"{stage:18s} {entry['wall_s'] * 1e3:9.2f} ms  "
+                f"{entry['throughput_rps']:8.1f} req/s  "
+                f"p95 {entry['p95_ms']:7.2f} ms"
+            )
+        else:
+            print(
+                f"{stage:18s} {entry['ok']:3d} ok, "
+                f"{entry['sheds']} shed {entry['sheds_by_reason']}"
+            )
+    print(f"serve speedup (batched vs stateless): {speedup:.2f}x")
+    return stages
+
+
+if __name__ == "__main__":
+    main()

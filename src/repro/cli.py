@@ -11,16 +11,33 @@ Exposes the end-to-end flow without writing Python::
     repro-dvfs lifetime vww --qos-percent 30 --capacity-mah 1200
     repro-dvfs fleet --devices 1000 --seed 0 --json fleet.json
     repro-dvfs chaos --devices 64 --fault-seed 7 --json chaos.json
+    repro-dvfs serve --port 7070
+    repro-dvfs loadgen --requests 64 --concurrency 8 --json -
 
 Model names: ``vww``, ``pd``, ``mbv2`` (the paper's suite) and
 ``tiny`` (a small test CNN).
+
+The ``--json`` contract (optimize / compare / lifetime / selftest /
+fleet / chaos / loadgen): when the flag is present, stdout carries
+*only* the machine-parseable JSON payload -- human-readable progress
+moves to stderr -- so ``repro-dvfs ... --json | jq .`` always works.
+``--json PATH`` additionally writes the same payload to ``PATH``
+(``-`` means stdout only).
+
+Exit codes: 0 on success; 1 when the command failed with a
+:class:`~repro.errors.ReproError` (infeasible QoS, bad plan file,
+overload, ...) -- in ``--json`` mode the error is also emitted on
+stdout as ``{"ok": false, "error": {"kind": ..., "message": ...}}`` --
+or when a check-style command (``selftest``, ``loadgen``) found a
+failing check; 2 on argparse usage errors (argparse's convention).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
 from .analysis import (
     Battery,
@@ -67,6 +84,39 @@ def _qos_seconds(args: argparse.Namespace) -> Optional[float]:
     return None
 
 
+def _json_mode(args: argparse.Namespace) -> bool:
+    return getattr(args, "json", None) is not None
+
+
+def _out(args: argparse.Namespace):
+    """Human-readable stream: stderr once ``--json`` owns stdout."""
+    return sys.stderr if _json_mode(args) else sys.stdout
+
+
+def _emit_json(args: argparse.Namespace, payload: Dict[str, Any]) -> None:
+    """Honor the ``--json`` contract for one payload.
+
+    Stdout always gets the JSON (and nothing else); a path argument
+    other than ``-`` gets a copy on disk.
+    """
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if args.json != "-":
+        with open(args.json, "w") as fh:
+            fh.write(text + "\n")
+        print(f"report written to {args.json}", file=sys.stderr)
+    print(text)
+
+
+def _add_json_flag(p: argparse.ArgumentParser, what: str) -> None:
+    p.add_argument(
+        "--json", nargs="?", const="-", metavar="PATH",
+        help=(
+            f"emit the {what} as JSON on stdout (human text moves to"
+            " stderr); with PATH, also write it there"
+        ),
+    )
+
+
 def cmd_summary(args: argparse.Namespace) -> int:
     model = _build_model(args.model)
     print(model.summary())
@@ -86,20 +136,37 @@ def cmd_optimize(args: argparse.Namespace) -> int:
     plan = result.plan
     if args.harmonize:
         plan = pipeline.harmonize(model, result).plan
+    out = _out(args)
     print(
         f"baseline {to_ms(result.baseline_latency_s):.3f} ms, "
-        f"budget {to_ms(result.qos_s):.3f} ms"
+        f"budget {to_ms(result.qos_s):.3f} ms",
+        file=out,
     )
     for node_id in sorted(plan.layer_plans):
         lp = plan.layer_plans[node_id]
         layer = model.nodes[node_id - 1].layer
         print(
             f"  [{node_id:3d}] {layer.name:24s} g={lp.granularity:2d} "
-            f"@ {to_mhz(lp.hfo.sysclk_hz):5.0f} MHz"
+            f"@ {to_mhz(lp.hfo.sysclk_hz):5.0f} MHz",
+            file=out,
         )
     if args.output:
         save_plan(plan, args.output)
-        print(f"plan written to {args.output}")
+        print(f"plan written to {args.output}", file=out)
+    if _json_mode(args):
+        from .engine.serialize import plan_to_dict
+        from .serve.protocol import plan_digest
+
+        payload = {
+            "model": args.model,
+            "baseline_latency_s": result.baseline_latency_s,
+            "budget_s": result.qos_s,
+            "fixed_overhead_s": result.fixed_overhead_s,
+            "harmonized": bool(args.harmonize),
+            "plan": plan_to_dict(plan),
+        }
+        payload["digest"] = plan_digest(payload)
+        _emit_json(args, payload)
     return 0
 
 
@@ -135,10 +202,13 @@ def cmd_codegen(args: argparse.Namespace) -> int:
 def cmd_compare(args: argparse.Namespace) -> int:
     model = _build_model(args.model)
     pipeline = DAEDVFSPipeline()
+    out = _out(args)
     print(
         f"{'QoS':>6s} {'TinyEngine':>11s} {'TE+gating':>10s} {'ours':>9s}"
-        f" {'vs TE':>7s} {'vs CG':>7s}"
+        f" {'vs TE':>7s} {'vs CG':>7s}",
+        file=out,
     )
+    rows = []
     for percent in args.qos_percents:
         level = QoSLevel(name=f"{percent}%", slack=percent / 100.0)
         row = pipeline.compare(model, level)
@@ -147,8 +217,22 @@ def cmd_compare(args: argparse.Namespace) -> int:
             f" {to_mj(row.clock_gated.energy_j):8.3f}mJ"
             f" {to_mj(row.ours.energy_j):7.3f}mJ"
             f" {row.savings_vs_tinyengine:7.1%}"
-            f" {row.savings_vs_clock_gated:7.1%}"
+            f" {row.savings_vs_clock_gated:7.1%}",
+            file=out,
         )
+        rows.append(
+            {
+                "qos_percent": percent,
+                "tinyengine_j": row.tinyengine.energy_j,
+                "clock_gated_j": row.clock_gated.energy_j,
+                "ours_j": row.ours.energy_j,
+                "savings_vs_tinyengine": row.savings_vs_tinyengine,
+                "savings_vs_clock_gated": row.savings_vs_clock_gated,
+                "met_qos": row.ours.met_qos,
+            }
+        )
+    if _json_mode(args):
+        _emit_json(args, {"model": args.model, "rows": rows})
     return 0
 
 
@@ -224,8 +308,10 @@ def cmd_hotspots(args: argparse.Namespace) -> int:
 def cmd_selftest(args: argparse.Namespace) -> int:
     from .selftest import run_selftest
 
-    result = run_selftest()
-    print(result.summary())
+    result = run_selftest(quick=args.quick)
+    print(result.summary(), file=_out(args))
+    if _json_mode(args):
+        _emit_json(args, result.to_dict())
     return 0 if result.ok else 1
 
 
@@ -236,26 +322,42 @@ def cmd_lifetime(args: argparse.Namespace) -> int:
     row = pipeline.compare(model, level)
     battery = Battery(capacity_mah=args.capacity_mah)
     duty = DutyCycle(windows_per_hour=args.windows_per_hour)
+    out = _out(args)
     print(
         f"battery {battery.capacity_mah:.0f} mAh @ {battery.voltage_v:.1f} V, "
-        f"{duty.windows_per_hour:.0f} inferences/hour:"
+        f"{duty.windows_per_hour:.0f} inferences/hour:",
+        file=out,
     )
-    for name, report in (
-        ("TinyEngine", row.tinyengine),
-        ("TinyEngine + gating", row.clock_gated),
-        ("DAE + DVFS (ours)", row.ours),
+    systems = {}
+    for key, name, report in (
+        ("tinyengine", "TinyEngine", row.tinyengine),
+        ("clock_gated", "TinyEngine + gating", row.clock_gated),
+        ("ours", "DAE + DVFS (ours)", row.ours),
     ):
         life = estimate_lifetime(battery, report, duty)
         print(
             f"  {name:20s} {life.days:8.1f} days "
-            f"({life.energy_per_hour_j:.3f} J/h)"
+            f"({life.energy_per_hour_j:.3f} J/h)",
+            file=out,
+        )
+        systems[key] = {
+            "days": life.days,
+            "energy_per_hour_j": life.energy_per_hour_j,
+        }
+    if _json_mode(args):
+        _emit_json(
+            args,
+            {
+                "model": args.model,
+                "capacity_mah": battery.capacity_mah,
+                "windows_per_hour": duty.windows_per_hour,
+                "systems": systems,
+            },
         )
     return 0
 
 
 def cmd_fleet(args: argparse.Namespace) -> int:
-    import json
-
     from .fleet import (
         FleetScheduler,
         GovernorConfig,
@@ -285,17 +387,13 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         (r.optimized.qos_s for r in results if r.error is None), 0.0
     )
     report = aggregate_fleet(model, qos_s, results, governed)
-    print(report.summary())
-    if args.json:
-        with open(args.json, "w") as fh:
-            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
-        print(f"fleet report written to {args.json}")
+    print(report.summary(), file=_out(args))
+    if _json_mode(args):
+        _emit_json(args, report.to_dict())
     return 0
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
-    import json
-
     from .faults import ChaosConfig, FaultPlan, run_campaign
 
     model = _build_model(args.model)
@@ -316,12 +414,109 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         max_workers=args.workers,
     )
     report = run_campaign(model, fault_plan, config)
-    print(report.summary())
-    if args.json:
-        with open(args.json, "w") as fh:
-            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
-        print(f"chaos report written to {args.json}")
+    print(report.summary(), file=_out(args))
+    if _json_mode(args):
+        _emit_json(args, report.to_dict())
     return 0
+
+
+def _serve_config(args: argparse.Namespace):
+    from .serve import ServeConfig
+
+    return ServeConfig(
+        host=getattr(args, "host", "127.0.0.1") or "127.0.0.1",
+        port=getattr(args, "port", 0) or 0,
+        solver=args.solver,
+        cache_enabled=not args.no_cache,
+        cache_capacity=args.cache_capacity,
+        batch_enabled=not args.no_batch,
+        batch_window_s=args.batch_window_ms * 1e-3,
+        max_batch=args.max_batch,
+        workers=args.workers,
+        stateless=args.stateless,
+        max_queue_depth=args.max_queue_depth,
+        rate_per_s=args.rate,
+        burst=args.bucket_burst,
+        admission_tick_s=(
+            args.admission_tick_ms * 1e-3
+            if args.admission_tick_ms is not None
+            else None
+        ),
+        default_deadline_s=args.default_deadline_s,
+    )
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve import PlanServer
+
+    config = _serve_config(args)
+
+    async def _run() -> None:
+        server = PlanServer(config)
+        await server.start()
+        print(
+            f"repro-dvfs serve listening on {config.host}:{server.port} "
+            f"(cache={'on' if server.service.cache_enabled else 'off'}, "
+            f"batch={'on' if server.batcher.enabled else 'off'}, "
+            f"workers={config.workers})",
+            flush=True,
+        )
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("draining and shutting down", file=sys.stderr)
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    from .serve import LoadGenConfig, run_loadgen
+
+    config = LoadGenConfig(
+        model=args.model,
+        qos_percents=tuple(args.qos_percents),
+        requests=args.requests,
+        concurrency=args.concurrency,
+        seed=args.seed,
+        burst=args.burst,
+        deadline_s=args.deadline_s,
+        verify_digests=not args.no_verify,
+        serve=_serve_config(args),
+        target_host=args.host,
+        target_port=args.port,
+    )
+    summary = run_loadgen(config)
+    out = _out(args)
+    latency = summary["latency"]
+    print(
+        f"{summary['ok']}/{summary['requests']} ok, "
+        f"{summary['sheds']} shed, "
+        f"{summary['cached_responses']} cached, "
+        f"{summary['throughput_rps']:.1f} req/s over "
+        f"{summary['wall_s']:.3f} s",
+        file=out,
+    )
+    print(
+        f"latency p50 {latency['p50_s'] * 1e3:.2f} ms, "
+        f"p95 {latency['p95_s'] * 1e3:.2f} ms, "
+        f"p99 {latency['p99_s'] * 1e3:.2f} ms",
+        file=out,
+    )
+    if summary["digest_checks"]:
+        print(
+            f"cache consistency: {summary['digest_checks']} digests "
+            f"checked, {summary['digest_mismatches']} mismatches",
+            file=out,
+        )
+    if _json_mode(args):
+        _emit_json(args, summary)
+    return 0 if summary["cache_consistent"] else 1
 
 
 def make_parser() -> argparse.ArgumentParser:
@@ -356,6 +551,7 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--harmonize", action="store_true",
                    help="run the re-lock reduction pass on the plan")
     p.add_argument("--output", "-o", help="write the plan JSON here")
+    _add_json_flag(p, "plan payload (with sha256 digest)")
     p.set_defaults(func=cmd_optimize)
 
     p = sub.add_parser("deploy", help="execute a saved plan")
@@ -378,6 +574,7 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--qos-percents", type=int, nargs="+", default=[10, 30, 50]
     )
+    _add_json_flag(p, "comparison table")
     p.set_defaults(func=cmd_compare)
 
     p = sub.add_parser(
@@ -404,6 +601,11 @@ def make_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_hotspots)
 
     p = sub.add_parser("selftest", help="fast installation sanity sweep")
+    p.add_argument(
+        "--quick", action="store_true",
+        help="only the cheap structural checks (the serve health subset)",
+    )
+    _add_json_flag(p, "check results")
     p.set_defaults(func=cmd_selftest)
 
     p = sub.add_parser(
@@ -433,7 +635,7 @@ def make_parser() -> argparse.ArgumentParser:
         "--epochs", type=int, default=10,
         help="governor telemetry epochs per device (0 disables)",
     )
-    p.add_argument("--json", help="write the full fleet report JSON here")
+    _add_json_flag(p, "full fleet report")
     p.set_defaults(func=cmd_fleet)
 
     p = sub.add_parser(
@@ -488,7 +690,7 @@ def make_parser() -> argparse.ArgumentParser:
         "--watchdog-rate", type=float, default=0.002,
         help="watchdog-reset probability per layer checkpoint",
     )
-    p.add_argument("--json", help="write the survival report JSON here")
+    _add_json_flag(p, "survival report")
     p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser("lifetime", help="battery-lifetime projection")
@@ -496,18 +698,140 @@ def make_parser() -> argparse.ArgumentParser:
     add_qos(p)
     p.add_argument("--capacity-mah", type=float, default=1200.0)
     p.add_argument("--windows-per-hour", type=float, default=60.0)
+    _add_json_flag(p, "lifetime projection")
     p.set_defaults(func=cmd_lifetime)
+
+    def add_serve_tuning(p):
+        p.add_argument(
+            "--solver", choices=("dp", "greedy"), default="dp"
+        )
+        p.add_argument(
+            "--workers", type=int, default=4,
+            help="planner thread-pool width",
+        )
+        p.add_argument(
+            "--no-cache", action="store_true",
+            help="disable the LRU plan cache",
+        )
+        p.add_argument("--cache-capacity", type=int, default=256)
+        p.add_argument(
+            "--no-batch", action="store_true",
+            help="disable request coalescing",
+        )
+        p.add_argument(
+            "--batch-window-ms", type=float, default=2.0,
+            help="micro-batch collection window",
+        )
+        p.add_argument("--max-batch", type=int, default=32)
+        p.add_argument(
+            "--stateless", action="store_true",
+            help="cold pipeline per request (the batch-CLI baseline)",
+        )
+        p.add_argument(
+            "--max-queue-depth", type=int, default=64,
+            help="in-flight bound before shedding with queue_full",
+        )
+        p.add_argument(
+            "--rate", type=float, default=None,
+            help="token-bucket admission rate (requests/s)",
+        )
+        p.add_argument(
+            "--bucket-burst", type=float, default=None,
+            help="token-bucket capacity (defaults to 1)",
+        )
+        p.add_argument(
+            "--admission-tick-ms", type=float, default=None,
+            help=(
+                "advance the limiter clock this much per admission"
+                " check (deterministic shedding)"
+            ),
+        )
+        p.add_argument(
+            "--default-deadline-s", type=float, default=None,
+            help="deadline applied to requests that carry none",
+        )
+
+    p = sub.add_parser(
+        "serve",
+        help="JSON-lines planning service over TCP (Ctrl-C to drain)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=7070,
+        help="TCP port to bind (0 picks a free one)",
+    )
+    add_serve_tuning(p)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="seeded closed-loop load generator for the serve layer",
+    )
+    p.add_argument(
+        "--model", default="tiny",
+        help=f"one of {sorted(MODEL_BUILDERS)} (default: tiny)",
+    )
+    p.add_argument(
+        "--qos-percents", type=float, nargs="+",
+        default=[10.0, 30.0, 50.0],
+        help="QoS slack values the seeded schedule draws from",
+    )
+    p.add_argument("--requests", type=int, default=64)
+    p.add_argument(
+        "--concurrency", type=int, default=8,
+        help="closed-loop workers (ignored with --burst)",
+    )
+    p.add_argument(
+        "--seed", type=int, default=0, help="request-schedule seed"
+    )
+    p.add_argument(
+        "--burst", action="store_true",
+        help="submit every request at once (deterministic overload)",
+    )
+    p.add_argument(
+        "--deadline-s", type=float, default=None,
+        help="per-request deadline",
+    )
+    p.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the cached-vs-cold digest cross-check",
+    )
+    p.add_argument(
+        "--host", default=None,
+        help="drive an external server instead of an in-process one",
+    )
+    p.add_argument("--port", type=int, default=None)
+    add_serve_tuning(p)
+    _add_json_flag(p, "load-generation summary")
+    p.set_defaults(func=cmd_loadgen)
 
     return parser
 
 
 def main(argv: Optional[list] = None) -> int:
-    """CLI entry point."""
+    """CLI entry point.
+
+    Returns 0 on success, 1 on a :class:`~repro.errors.ReproError`
+    (or a failed check); argparse exits with 2 on usage errors.
+    """
     args = make_parser().parse_args(argv)
     try:
         return args.func(args)
     except ReproError as err:
         print(f"error: {err}", file=sys.stderr)
+        if _json_mode(args):
+            from .serve.protocol import error_from_exception
+
+            print(
+                json.dumps(
+                    {
+                        "ok": False,
+                        "error": error_from_exception(err).to_dict(),
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
         return 1
 
 

@@ -88,6 +88,46 @@ class FaultInjectionError(ReproError):
     """
 
 
+class ProtocolError(ReproError):
+    """A serve-layer request or response violates the wire schema.
+
+    Raised for unparseable JSON lines, unsupported protocol versions,
+    unknown operations and missing/ill-typed request fields.  Maps to
+    the ``bad_request`` error payload on the wire.
+    """
+
+
+class OverloadedError(ReproError):
+    """The serve layer shed this request instead of queueing it.
+
+    Carries the shed reason (``queue_full`` or ``rate_limited``) and a
+    retry hint so clients can back off instead of hammering.  Maps to
+    the ``overloaded`` error payload on the wire.
+    """
+
+    def __init__(self, reason: str, retry_after_s: float = 0.0):
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+        super().__init__(
+            f"request shed ({reason}); retry after {retry_after_s:.3f} s"
+        )
+
+
+class DeadlineExceededError(ReproError):
+    """A serve request missed its client-supplied deadline.
+
+    The work may still complete (and warm the plan cache) but the
+    response is no longer useful to the caller.  Maps to the
+    ``deadline_exceeded`` error payload on the wire.
+    """
+
+    def __init__(self, deadline_s: float):
+        self.deadline_s = deadline_s
+        super().__init__(
+            f"request deadline of {deadline_s * 1e3:.1f} ms exceeded"
+        )
+
+
 class SensorReadError(ReproError):
     """The INA219 failed to deliver a reading (I2C NACK / bus fault).
 

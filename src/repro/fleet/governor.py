@@ -476,65 +476,9 @@ class FleetGovernor:
             plan = None
         if plan is not None:
             return plan
-        return self._uniform_fallback(classes, cap_hz, budget, fixed)
-
-    def _uniform_fallback(
-        self,
-        classes,
-        cap_hz: float,
-        budget: float,
-        fixed: float,
-    ) -> Optional[DeploymentPlan]:
-        """Best single-frequency schedule meeting the budget, if any.
-
-        Candidates are ranked by the drift-compensated item values, so
-        the winner is optimal for the *current* operating point among
-        uniform schedules.
-        """
-        best_energy = None
-        best_plan = None
-        for hfo in self.pipeline.space.hfo_configs:
-            if hfo.sysclk_hz > cap_hz:
-                continue
-            picks = []
-            for cls in classes:
-                matches = [
-                    item for item in cls if item.payload.hfo == hfo
-                ]
-                if not matches:
-                    picks = None
-                    break
-                picks.append(min(matches, key=lambda item: item.value))
-            if picks is None:
-                continue
-            layer_plans = {
-                item.payload.node_id: LayerPlan(
-                    node_id=item.payload.node_id,
-                    granularity=item.payload.granularity,
-                    hfo=item.payload.hfo,
-                    predicted_latency_s=item.payload.latency_s,
-                    predicted_energy_j=item.payload.energy_j,
-                )
-                for item in picks
-            }
-            plan = DeploymentPlan(
-                model_name=self.model.name,
-                lfo=self.pipeline.space.lfo,
-                layer_plans=layer_plans,
-                qos_s=budget,
-                predicted_latency_s=sum(i.weight for i in picks) + fixed,
-                predicted_energy_j=sum(i.value for i in picks),
-            )
-            actual = self.pipeline.runtime.measure_latency_s(
-                self.model, plan, initial_config=plan.initial_config()
-            )
-            if actual > budget:
-                continue
-            energy = sum(item.value for item in picks)
-            if best_energy is None or energy < best_energy:
-                best_energy = energy
-                best_plan = plan
-        return best_plan
+        return self.pipeline.uniform_plan_from_classes(
+            self.model, classes, budget, fixed, max_hfo_hz=cap_hz
+        )
 
 
 def supervise_device(

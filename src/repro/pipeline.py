@@ -172,8 +172,22 @@ class DAEDVFSPipeline:
         self._baseline_cache: Dict[Tuple, float] = {}
 
     def _model_key(self, model: Model) -> Tuple:
-        """Cache key: model identity + design-space fingerprint."""
-        return (model_fingerprint(model), self.space.fingerprint())
+        """Cache key: model + board + design-space identity.
+
+        The board fingerprint covers the power-model *and* timing
+        parameters, so a pipeline whose board is swapped out (the
+        serve layer's reconfiguration case) misses every memoized
+        Step-2 result instead of serving prices computed against the
+        old hardware description.  In-place mutation of a component's
+        internals still needs :meth:`clear_caches`; replacing the
+        component (``pipeline.board.power_model = ...``) changes the
+        fingerprint and invalidates implicitly.
+        """
+        return (
+            model_fingerprint(model),
+            self.board.fingerprint(),
+            self.space.fingerprint(),
+        )
 
     def clear_caches(self) -> None:
         """Invalidate every memoized Step-2 result and layer trace.
@@ -246,6 +260,77 @@ class DAEDVFSPipeline:
         return self._refine_free_plan(
             model, classes, conv_budget, budget, fixed_overhead_s
         )
+
+    def uniform_plan_from_classes(
+        self,
+        model: Model,
+        classes,
+        budget: float,
+        fixed_overhead_s: float,
+        max_hfo_hz: float = float("inf"),
+    ) -> Optional[DeploymentPlan]:
+        """Best single-HFO schedule over pre-priced classes, if any.
+
+        The fallback when :meth:`replan`'s free re-solve cannot
+        converge a mixed-frequency schedule under the budget: a
+        uniform schedule pays at most one PLL lock, so its per-layer
+        prices hold without refinement.  Candidates are ranked by the
+        (possibly drift-repriced) item values, so the winner is
+        optimal for the *current* operating point among uniform
+        schedules.  Used by the fleet governor's drift response and
+        the serve layer's ``reprice`` endpoint.
+
+        Returns:
+            The cheapest uniform schedule meeting the budget at an
+            HFO at or under ``max_hfo_hz``, or ``None`` when no
+            frequency qualifies.
+        """
+        best_energy = None
+        best_plan = None
+        for hfo in self.space.hfo_configs:
+            if hfo.sysclk_hz > max_hfo_hz:
+                continue
+            picks = []
+            for cls in classes:
+                matches = [
+                    item for item in cls if item.payload.hfo == hfo
+                ]
+                if not matches:
+                    picks = None
+                    break
+                picks.append(min(matches, key=lambda item: item.value))
+            if picks is None:
+                continue
+            layer_plans = {
+                item.payload.node_id: LayerPlan(
+                    node_id=item.payload.node_id,
+                    granularity=item.payload.granularity,
+                    hfo=item.payload.hfo,
+                    predicted_latency_s=item.payload.latency_s,
+                    predicted_energy_j=item.payload.energy_j,
+                )
+                for item in picks
+            }
+            plan = DeploymentPlan(
+                model_name=model.name,
+                lfo=self.space.lfo,
+                layer_plans=layer_plans,
+                qos_s=budget,
+                predicted_latency_s=(
+                    sum(i.weight for i in picks) + fixed_overhead_s
+                ),
+                predicted_energy_j=sum(i.value for i in picks),
+            )
+            actual = self.runtime.measure_latency_s(
+                model, plan, initial_config=plan.initial_config()
+            )
+            if actual > budget:
+                continue
+            energy = sum(item.value for item in picks)
+            if best_energy is None or energy < best_energy:
+                best_energy = energy
+                best_plan = plan
+        return best_plan
 
     # -- building blocks -------------------------------------------------------
 

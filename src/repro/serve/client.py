@@ -1,0 +1,158 @@
+"""Clients for the serve protocol: TCP and in-process.
+
+:class:`ServeClient` speaks the JSON-lines protocol over TCP with
+pipelining -- requests carry monotonically increasing ids and a
+background reader task fans responses out to their waiters, so many
+coroutines can share one connection.
+
+:class:`InProcessClient` drives a :class:`~repro.serve.server.PlanServer`
+directly (no sockets): the default transport for tests and the load
+generator, where the event loop, the admission controller and the
+batcher behave exactly as over TCP but without kernel buffering in
+between.
+
+Both expose the same ``request(op, ...) -> result dict`` surface and
+raise the rehydrated typed exception on error responses, so call sites
+cannot tell the transports apart.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Any, Dict, Optional
+
+from ..errors import ProtocolError, ReproError
+from .protocol import (
+    Request,
+    Response,
+    decode_response,
+    encode_request,
+    exception_from_error,
+)
+from .server import PlanServer
+
+
+def _result_or_raise(response: Response) -> Dict[str, Any]:
+    if response.ok:
+        return response.result or {}
+    error = response.error
+    if error is None:
+        raise ReproError("malformed failure response without error")
+    raise exception_from_error(error)
+
+
+class InProcessClient:
+    """Drives a server's request path directly, without sockets."""
+
+    def __init__(self, server: PlanServer, client_id: str = "local"):
+        self.server = server
+        self._ids = itertools.count(1)
+        self.client_id = client_id
+
+    async def request(
+        self,
+        op: str,
+        deadline_s: Optional[float] = None,
+        **params: Any,
+    ) -> Dict[str, Any]:
+        """Send one request; returns the result or raises typed."""
+        request = Request(
+            op=op,
+            id=f"{self.client_id}-{next(self._ids)}",
+            params=params,
+            deadline_s=deadline_s,
+        )
+        response = await self.server.handle_request(request)
+        return _result_or_raise(response)
+
+
+class ServeClient:
+    """JSON-lines TCP client with id-correlated pipelining."""
+
+    def __init__(self, host: str, port: int, client_id: str = "tcp"):
+        self.host = host
+        self.port = port
+        self.client_id = client_id
+        self._ids = itertools.count(1)
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._waiters: Dict[str, "asyncio.Future[Response]"] = {}
+        self._read_task: Optional[asyncio.Task] = None
+        self._write_lock = asyncio.Lock()
+
+    async def connect(self) -> "ServeClient":
+        """Open the connection and start the response dispatcher."""
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        self._read_task = asyncio.ensure_future(self._read_loop())
+        return self
+
+    async def _read_loop(self) -> None:
+        assert self._reader is not None
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                try:
+                    response = decode_response(line.decode("utf-8"))
+                except ProtocolError:
+                    continue  # garbage on the wire; ids below time out
+                waiter = self._waiters.pop(response.id, None)
+                if waiter is not None and not waiter.done():
+                    waiter.set_result(response)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            failure = ReproError("connection closed")
+            for waiter in self._waiters.values():
+                if not waiter.done():
+                    waiter.set_exception(failure)
+            self._waiters.clear()
+
+    async def request(
+        self,
+        op: str,
+        deadline_s: Optional[float] = None,
+        **params: Any,
+    ) -> Dict[str, Any]:
+        """Send one request; returns the result or raises typed.
+
+        Concurrent callers share the connection: responses are matched
+        back by request id, whatever order the server answers in.
+        """
+        if self._writer is None:
+            raise ReproError("client is not connected")
+        request_id = f"{self.client_id}-{next(self._ids)}"
+        request = Request(
+            op=op, id=request_id, params=params, deadline_s=deadline_s
+        )
+        loop = asyncio.get_running_loop()
+        waiter: "asyncio.Future[Response]" = loop.create_future()
+        self._waiters[request_id] = waiter
+        line = encode_request(request).encode("utf-8") + b"\n"
+        async with self._write_lock:
+            self._writer.write(line)
+            await self._writer.drain()
+        response = await waiter
+        return _result_or_raise(response)
+
+    async def close(self) -> None:
+        """Tear the connection down and stop the dispatcher."""
+        if self._read_task is not None:
+            self._read_task.cancel()
+            try:
+                await self._read_task
+            except asyncio.CancelledError:
+                pass
+            self._read_task = None
+        if self._writer is not None:
+            try:
+                self._writer.close()
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._writer = None
+        self._reader = None

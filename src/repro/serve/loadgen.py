@@ -1,0 +1,208 @@
+"""Closed-loop seeded load generator for the serve layer.
+
+Drives a :class:`~repro.serve.server.PlanServer` (in-process by
+default, or any TCP address) with a *deterministic* request schedule:
+the full request list -- which QoS each request asks for -- is drawn
+up front from one seeded RNG, so two runs with the same seed issue
+byte-identical request streams whatever the scheduler does.
+
+Two shapes of load:
+
+* **closed loop** (default): ``concurrency`` workers each keep exactly
+  one request outstanding, the classic saturation harness.  With
+  concurrency below the admission depth this sheds nothing.
+* **burst** (``burst=True``): every request is submitted in one event
+  loop iteration before any can complete.  Admission decisions then
+  depend only on submission order, so shed counts reproduce exactly
+  run over run -- the overload-determinism gate of ``BENCH_serve``.
+
+The summary optionally cross-checks cache consistency: for every
+distinct QoS exercised, the cached plan payload must digest
+(sha256) byte-identically to one computed on a cold pipeline.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import OverloadedError, ReproError
+from .client import InProcessClient, ServeClient
+from .metrics import LatencyHistogram
+from .server import PlanServer, ServeConfig
+
+
+@dataclass
+class LoadGenConfig:
+    """One load-generation scenario.
+
+    Attributes:
+        model: wire name of the model every request plans.
+        qos_percents: QoS slack values the seeded schedule draws from.
+        requests: total requests to issue.
+        concurrency: closed-loop worker count (ignored for bursts).
+        seed: request-schedule seed.
+        burst: submit everything at once instead of closed-loop.
+        deadline_s: per-request deadline forwarded to the server.
+        verify_digests: cross-check cached payloads against a cold
+            pipeline per distinct QoS (in-process targets only).
+        serve: server configuration for the in-process target.
+        target_host / target_port: drive an external TCP server
+            instead of building one in-process.
+    """
+
+    model: str = "tiny"
+    qos_percents: Tuple[float, ...] = (10.0, 30.0, 50.0)
+    requests: int = 64
+    concurrency: int = 8
+    seed: int = 0
+    burst: bool = False
+    deadline_s: Optional[float] = None
+    verify_digests: bool = True
+    serve: ServeConfig = field(default_factory=ServeConfig)
+    target_host: Optional[str] = None
+    target_port: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.requests < 1:
+            raise ReproError("requests must be >= 1")
+        if self.concurrency < 1:
+            raise ReproError("concurrency must be >= 1")
+        if not self.qos_percents:
+            raise ReproError("qos_percents must be non-empty")
+
+
+def request_schedule(config: LoadGenConfig) -> List[float]:
+    """The deterministic per-request QoS assignment."""
+    rng = random.Random(f"loadgen:{config.seed}")
+    return [
+        config.qos_percents[rng.randrange(len(config.qos_percents))]
+        for _ in range(config.requests)
+    ]
+
+
+async def _issue(
+    client, config: LoadGenConfig, qos_percent: float, outcome: Dict
+) -> None:
+    start = time.perf_counter()
+    try:
+        result = await client.request(
+            "plan",
+            deadline_s=config.deadline_s,
+            model=config.model,
+            qos_percent=qos_percent,
+        )
+    except OverloadedError:
+        outcome["shed"] += 1
+    except ReproError as err:
+        outcome["errors"].append(type(err).__name__)
+    else:
+        outcome["ok"] += 1
+        if result.get("cached"):
+            outcome["cached"] += 1
+        outcome["histogram"].record(time.perf_counter() - start)
+
+
+async def _run(config: LoadGenConfig) -> Dict[str, Any]:
+    own_server: Optional[PlanServer] = None
+    if config.target_host is not None and config.target_port is not None:
+        client: Any = await ServeClient(
+            config.target_host, config.target_port, client_id="loadgen"
+        ).connect()
+    else:
+        own_server = PlanServer(config.serve)
+        client = InProcessClient(own_server, client_id="loadgen")
+
+    schedule = request_schedule(config)
+    outcome: Dict[str, Any] = {
+        "ok": 0,
+        "shed": 0,
+        "cached": 0,
+        "errors": [],
+        "histogram": LatencyHistogram(),
+    }
+    start = time.perf_counter()
+    if config.burst:
+        await asyncio.gather(
+            *(
+                _issue(client, config, qos, outcome)
+                for qos in schedule
+            )
+        )
+    else:
+        index = {"next": 0}
+
+        async def worker() -> None:
+            while True:
+                i = index["next"]
+                if i >= len(schedule):
+                    return
+                index["next"] = i + 1
+                await _issue(client, config, schedule[i], outcome)
+
+        await asyncio.gather(
+            *(worker() for _ in range(config.concurrency))
+        )
+    wall_s = time.perf_counter() - start
+
+    digest_checks = 0
+    digest_mismatches = 0
+    if (
+        config.verify_digests
+        and own_server is not None
+        and not config.serve.stateless
+    ):
+        service = own_server.service
+        loop = asyncio.get_running_loop()
+        for qos in sorted(set(schedule)):
+            qos_key = ("percent", float(qos))
+            cached = await loop.run_in_executor(
+                own_server.batcher.executor,
+                lambda qk=qos_key: service.plan(config.model, qk),
+            )
+            cold = await loop.run_in_executor(
+                own_server.batcher.executor,
+                lambda qk=qos_key: service.plan_cold(config.model, qk),
+            )
+            digest_checks += 1
+            if cached["digest"] != cold["digest"]:
+                digest_mismatches += 1
+
+    stats = own_server.stats() if own_server is not None else None
+    if own_server is not None:
+        await own_server.stop()
+    elif isinstance(client, ServeClient):
+        await client.close()
+
+    histogram: LatencyHistogram = outcome["histogram"]
+    error_counts: Dict[str, int] = {}
+    for kind in outcome["errors"]:
+        error_counts[kind] = error_counts.get(kind, 0) + 1
+    summary: Dict[str, Any] = {
+        "model": config.model,
+        "seed": config.seed,
+        "requests": config.requests,
+        "concurrency": config.concurrency,
+        "burst": config.burst,
+        "ok": outcome["ok"],
+        "sheds": outcome["shed"],
+        "cached_responses": outcome["cached"],
+        "errors_by_kind": error_counts,
+        "wall_s": wall_s,
+        "throughput_rps": outcome["ok"] / wall_s if wall_s > 0 else 0.0,
+        "latency": histogram.to_dict(),
+        "digest_checks": digest_checks,
+        "digest_mismatches": digest_mismatches,
+        "cache_consistent": digest_mismatches == 0,
+    }
+    if stats is not None:
+        summary["server"] = stats
+    return summary
+
+
+def run_loadgen(config: Optional[LoadGenConfig] = None) -> Dict[str, Any]:
+    """Run one scenario to completion and return its summary dict."""
+    return asyncio.run(_run(config or LoadGenConfig()))

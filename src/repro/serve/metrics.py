@@ -1,0 +1,200 @@
+"""Serve-layer observability: latency histograms and counters.
+
+The ``stats`` endpoint answers straight from a
+:class:`ServeMetrics` snapshot: per-endpoint latency percentiles
+(p50/p95/p99 out of log-spaced histogram buckets), queue depth (current
+and peak), shed counts by reason, batch coalescing ratios and the plan
+cache's hit/miss/eviction counters.
+
+Everything is lock-protected and cheap to record -- one bisect and a
+few integer adds per request -- so metrics never become the reason the
+event loop stalls.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Any, Dict, List, Optional
+
+
+def _log_bounds(
+    lo_s: float = 1e-6, hi_s: float = 100.0, per_decade: int = 8
+) -> List[float]:
+    """Log-spaced bucket upper bounds from ``lo_s`` to ``hi_s``."""
+    bounds = []
+    value = lo_s
+    ratio = 10.0 ** (1.0 / per_decade)
+    while value < hi_s:
+        bounds.append(value)
+        value *= ratio
+    bounds.append(hi_s)
+    return bounds
+
+
+class LatencyHistogram:
+    """Fixed-bucket log-spaced latency histogram.
+
+    Percentiles are answered as the upper bound of the bucket holding
+    the requested rank -- a deterministic over-estimate whose relative
+    error is bounded by the bucket ratio (~33% at 8 buckets/decade),
+    plenty for load-shedding decisions and benchmark gates.
+    """
+
+    def __init__(self, bounds: Optional[List[float]] = None):
+        self.bounds = bounds if bounds is not None else _log_bounds()
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum_s = 0.0
+        self.min_s = float("inf")
+        self.max_s = 0.0
+
+    def record(self, latency_s: float) -> None:
+        """Add one observation."""
+        index = bisect.bisect_left(self.bounds, latency_s)
+        self.counts[index] += 1
+        self.count += 1
+        self.sum_s += latency_s
+        self.min_s = min(self.min_s, latency_s)
+        self.max_s = max(self.max_s, latency_s)
+
+    def percentile_s(self, p: float) -> float:
+        """The ``p``-th percentile (0 < p <= 100), 0.0 when empty."""
+        if self.count == 0:
+            return 0.0
+        rank = max(1, int(round(p / 100.0 * self.count)))
+        seen = 0
+        for index, count in enumerate(self.counts):
+            seen += count
+            if seen >= rank:
+                if index < len(self.bounds):
+                    return self.bounds[index]
+                return self.max_s
+        return self.max_s
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Summary statistics (no raw buckets -- they are internal)."""
+        return {
+            "count": self.count,
+            "mean_s": self.sum_s / self.count if self.count else 0.0,
+            "min_s": self.min_s if self.count else 0.0,
+            "max_s": self.max_s,
+            "p50_s": self.percentile_s(50),
+            "p95_s": self.percentile_s(95),
+            "p99_s": self.percentile_s(99),
+        }
+
+
+class ServeMetrics:
+    """All counters and histograms of one server instance."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._latency: Dict[str, LatencyHistogram] = {}
+        self._requests: Dict[str, int] = {}
+        self._errors: Dict[str, int] = {}
+        self._sheds: Dict[str, int] = {}
+        self.queue_depth = 0
+        self.queue_depth_peak = 0
+        self.batches = 0
+        self.batched_requests = 0
+        self.telemetry_samples: Dict[str, Dict[str, float]] = {}
+
+    # -- recording ---------------------------------------------------------------
+
+    def record_request(self, op: str, latency_s: float) -> None:
+        """Count one completed request and its service latency."""
+        with self._lock:
+            self._requests[op] = self._requests.get(op, 0) + 1
+            histogram = self._latency.get(op)
+            if histogram is None:
+                histogram = self._latency.setdefault(op, LatencyHistogram())
+            histogram.record(latency_s)
+
+    def record_error(self, kind: str) -> None:
+        """Count one failed request by its typed error kind."""
+        with self._lock:
+            self._errors[kind] = self._errors.get(kind, 0) + 1
+
+    def record_shed(self, reason: str) -> None:
+        """Count one admission-control shed by reason."""
+        with self._lock:
+            self._sheds[reason] = self._sheds.get(reason, 0) + 1
+
+    def record_queue_depth(self, depth: int) -> None:
+        """Track the in-flight gauge (and its high-water mark)."""
+        with self._lock:
+            self.queue_depth = depth
+            self.queue_depth_peak = max(self.queue_depth_peak, depth)
+
+    def record_batch(self, size: int) -> None:
+        """Count one coalesced exploration batch of ``size`` requests."""
+        with self._lock:
+            self.batches += 1
+            self.batched_requests += size
+
+    def record_telemetry(
+        self, model: str, predicted_j: float, measured_j: float
+    ) -> Dict[str, float]:
+        """Fold one field sample into the per-model drift aggregate."""
+        drift = 0.0
+        if predicted_j > 0:
+            drift = (measured_j - predicted_j) / predicted_j
+        with self._lock:
+            entry = self.telemetry_samples.setdefault(
+                model, {"count": 0.0, "drift_sum": 0.0, "abs_drift_max": 0.0}
+            )
+            entry["count"] += 1
+            entry["drift_sum"] += drift
+            entry["abs_drift_max"] = max(entry["abs_drift_max"], abs(drift))
+            return {
+                "samples": int(entry["count"]),
+                "mean_drift": entry["drift_sum"] / entry["count"],
+                "max_abs_drift": entry["abs_drift_max"],
+            }
+
+    # -- reporting ---------------------------------------------------------------
+
+    @property
+    def shed_count(self) -> int:
+        """Total sheds across all reasons."""
+        with self._lock:
+            return sum(self._sheds.values())
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-safe copy of every metric (the ``stats`` payload)."""
+        with self._lock:
+            requests_total = sum(self._requests.values())
+            batched = self.batched_requests
+            return {
+                "requests_total": requests_total,
+                "requests_by_op": dict(self._requests),
+                "errors_by_kind": dict(self._errors),
+                "sheds_by_reason": dict(self._sheds),
+                "shed_count": sum(self._sheds.values()),
+                "queue_depth": self.queue_depth,
+                "queue_depth_peak": self.queue_depth_peak,
+                "batches": self.batches,
+                "batched_requests": batched,
+                "coalesce_ratio": (
+                    batched / self.batches if self.batches else 0.0
+                ),
+                "latency_by_op": {
+                    op: histogram.to_dict()
+                    for op, histogram in sorted(self._latency.items())
+                },
+                "telemetry": {
+                    model: {
+                        "samples": int(entry["count"]),
+                        "mean_drift": (
+                            entry["drift_sum"] / entry["count"]
+                            if entry["count"]
+                            else 0.0
+                        ),
+                        "max_abs_drift": entry["abs_drift_max"],
+                    }
+                    for model, entry in sorted(
+                        self.telemetry_samples.items()
+                    )
+                },
+            }

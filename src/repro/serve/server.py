@@ -1,0 +1,380 @@
+"""Asyncio TCP server wiring protocol -> admission -> batcher -> planner.
+
+:class:`PlanServer` is the long-lived service the ROADMAP's north star
+asks for: it builds the planning pipeline once and then answers
+JSON-lines requests over TCP (or in-process, for tests and the load
+generator) until drained.  The request path is::
+
+    line -> decode (protocol) -> admission (shed or admit)
+         -> batcher (coalesce + deadline) -> PlanService (executor)
+         -> encode -> line
+
+``stats`` and ``health`` bypass admission -- an overloaded server must
+still answer its monitoring.  Shutdown is graceful: the listener
+closes first, in-flight requests drain (bounded by
+``drain_timeout_s``), then the worker pool stops.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Set, Tuple
+
+from ..errors import OverloadedError, ProtocolError, ReproError
+from .admission import AdmissionController, ArrivalClock, TokenBucket
+from .batcher import PlanBatcher
+from .cache import PlanCache
+from .metrics import ServeMetrics
+from .protocol import (
+    Request,
+    Response,
+    decode_request,
+    encode_response,
+    error_from_exception,
+)
+from .service import PlanService, qos_key_from_params
+
+
+@dataclass
+class ServeConfig:
+    """Everything one :class:`PlanServer` instance is built from.
+
+    Attributes:
+        host / port: TCP bind address (port 0 picks a free port).
+        solver / dp_resolution / max_refinements: pipeline knobs.
+        cache_enabled / cache_capacity: the LRU plan cache.
+        batch_enabled / batch_window_s / max_batch: micro-batching.
+        workers: planner thread-pool width.
+        stateless: plan every request on a cold pipeline with cache
+            and batching forced off -- the batch-CLI cost, reproduced
+            inside the server for honest benchmarking.
+        max_queue_depth: admitted-but-unanswered bound; beyond it
+            requests shed with ``queue_full``.
+        rate_per_s / burst: optional token-bucket admission limiter.
+        admission_tick_s: when set, the limiter reads time from an
+            :class:`~repro.serve.admission.ArrivalClock` advancing
+            this much per admission check -- shed decisions become a
+            pure function of arrival order (deterministic loadgen).
+        default_deadline_s: deadline applied to requests that carry
+            none (None = wait forever).
+        drain_timeout_s: bound on the graceful-shutdown drain.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    solver: str = "dp"
+    dp_resolution: int = 4000
+    max_refinements: int = 3
+    cache_enabled: bool = True
+    cache_capacity: int = 256
+    batch_enabled: bool = True
+    batch_window_s: float = 0.002
+    max_batch: int = 32
+    workers: int = 4
+    stateless: bool = False
+    max_queue_depth: int = 64
+    rate_per_s: Optional[float] = None
+    burst: Optional[float] = None
+    admission_tick_s: Optional[float] = None
+    default_deadline_s: Optional[float] = None
+    drain_timeout_s: float = 10.0
+
+
+class PlanServer:
+    """One serving instance: state, endpoints, and the TCP front end."""
+
+    def __init__(self, config: Optional[ServeConfig] = None):
+        self.config = config or ServeConfig()
+        cfg = self.config
+        self.metrics = ServeMetrics()
+        self.cache = PlanCache(capacity=cfg.cache_capacity)
+        self.service = PlanService(
+            cache=self.cache,
+            cache_enabled=cfg.cache_enabled and not cfg.stateless,
+            solver=cfg.solver,
+            dp_resolution=cfg.dp_resolution,
+            max_refinements=cfg.max_refinements,
+        )
+        bucket = None
+        if cfg.rate_per_s is not None:
+            time_fn = (
+                ArrivalClock(cfg.admission_tick_s)
+                if cfg.admission_tick_s is not None
+                else time.monotonic
+            )
+            bucket = TokenBucket(
+                rate_per_s=cfg.rate_per_s,
+                burst=cfg.burst if cfg.burst is not None else 1.0,
+                time_fn=time_fn,
+            )
+        self.admission = AdmissionController(
+            max_queue_depth=cfg.max_queue_depth, bucket=bucket
+        )
+        self.batcher = PlanBatcher(
+            metrics=self.metrics,
+            window_s=cfg.batch_window_s,
+            max_batch=cfg.max_batch,
+            max_workers=cfg.workers,
+            enabled=cfg.batch_enabled and not cfg.stateless,
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._conn_tasks: Set[asyncio.Task] = set()
+        self._request_tasks: Set[asyncio.Task] = set()
+        self._draining = False
+
+    # -- request handling --------------------------------------------------------
+
+    async def handle_request(self, request: Request) -> Response:
+        """Dispatch one decoded request to its endpoint."""
+        start = time.perf_counter()
+        deadline_s = request.deadline_s
+        if deadline_s is None:
+            deadline_s = self.config.default_deadline_s
+        try:
+            if request.op in ("plan", "reprice"):
+                result = await self._admitted(request, deadline_s)
+            elif request.op == "telemetry":
+                result = self._telemetry(request.params)
+            elif request.op == "stats":
+                result = self.stats()
+            elif request.op == "health":
+                result = await self._health(request.params)
+            else:  # unreachable behind decode_request, kept for safety
+                raise ProtocolError(f"unknown op {request.op!r}")
+        except Exception as err:  # noqa: BLE001 - typed wire errors
+            payload = error_from_exception(err)
+            self.metrics.record_error(payload.kind)
+            return Response(id=request.id, ok=False, error=payload)
+        self.metrics.record_request(
+            request.op, time.perf_counter() - start
+        )
+        return Response.success(request.id, result)
+
+    async def _admitted(
+        self, request: Request, deadline_s: Optional[float]
+    ) -> Dict[str, Any]:
+        """Admission-guarded path for the expensive planning ops."""
+        try:
+            depth = self.admission.admit()
+        except OverloadedError as err:
+            self.metrics.record_shed(err.reason)
+            raise
+        self.metrics.record_queue_depth(depth)
+        try:
+            key, fn = self._planning_call(request)
+            return await self.batcher.submit(key, fn, deadline_s)
+        finally:
+            self.metrics.record_queue_depth(self.admission.release())
+
+    def _planning_call(self, request: Request):
+        """(coalescing key, blocking thunk) for a plan/reprice request."""
+        params = request.params
+        model_name = params.get("model")
+        qos_key = qos_key_from_params(params)
+        if request.op == "plan":
+            if self.config.stateless:
+                return (
+                    ("plan-cold", model_name, qos_key, id(request)),
+                    lambda: self.service.plan_cold(model_name, qos_key),
+                )
+            use_cache = not bool(params.get("no_cache", False))
+            return (
+                ("plan", model_name, qos_key, use_cache),
+                lambda: self.service.plan(
+                    model_name, qos_key, use_cache=use_cache
+                ),
+            )
+        try:
+            extra_power_w = float(params.get("extra_power_w", 0.0))
+            cap = params.get("max_hfo_mhz")
+            max_hfo_mhz = None if cap is None else float(cap)
+        except (TypeError, ValueError) as err:
+            raise ProtocolError(
+                f"drift parameters must be numeric: {err}"
+            ) from err
+        return (
+            ("reprice", model_name, qos_key, extra_power_w, max_hfo_mhz),
+            lambda: self.service.reprice(
+                model_name,
+                qos_key,
+                extra_power_w=extra_power_w,
+                max_hfo_mhz=max_hfo_mhz,
+            ),
+        )
+
+    def _telemetry(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        model = params.get("model")
+        if not isinstance(model, str) or not model:
+            raise ProtocolError("telemetry needs a model name")
+        try:
+            predicted = float(params["predicted_energy_j"])
+            measured = float(params["measured_energy_j"])
+        except (KeyError, TypeError, ValueError) as err:
+            raise ProtocolError(
+                f"telemetry needs numeric predicted/measured energy: {err}"
+            ) from err
+        aggregate = self.metrics.record_telemetry(
+            model, predicted, measured
+        )
+        return {"model": model, **aggregate}
+
+    async def _health(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        refresh = bool(params.get("refresh", False))
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self.batcher.executor,
+            lambda: self.service.health(refresh=refresh),
+        )
+
+    def stats(self) -> Dict[str, Any]:
+        """The ``stats`` payload: metrics + cache + admission view."""
+        return {
+            "metrics": self.metrics.snapshot(),
+            "cache": self.cache.stats(),
+            "admission": {
+                "max_queue_depth": self.admission.max_queue_depth,
+                "depth": self.admission.depth,
+                "sheds": dict(self.admission.sheds),
+            },
+            "config": {
+                "cache_enabled": self.service.cache_enabled,
+                "batch_enabled": self.batcher.enabled,
+                "stateless": self.config.stateless,
+                "workers": self.config.workers,
+            },
+        }
+
+    async def handle_request_dict(
+        self, data: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """In-process entry point (no sockets): dict in, dict out."""
+        import json
+
+        line = json.dumps(data, separators=(",", ":"))
+        response = await self.handle_line(line)
+        return json.loads(response)
+
+    async def handle_line(self, line: str) -> str:
+        """One request line -> one response line (never raises)."""
+        try:
+            request = decode_request(line)
+        except ReproError as err:
+            payload = error_from_exception(err)
+            self.metrics.record_error(payload.kind)
+            return encode_response(
+                Response(id="", ok=False, error=payload)
+            )
+        if self._draining:
+            err = OverloadedError(reason="draining", retry_after_s=1.0)
+            self.metrics.record_shed("draining")
+            return encode_response(Response.failure(request.id, err))
+        response = await self.handle_request(request)
+        return encode_response(response)
+
+    # -- TCP front end -----------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (after :meth:`start`)."""
+        if self._server is None or not self._server.sockets:
+            raise ReproError("server is not listening")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        if self._server is not None:
+            raise ReproError("server already started")
+        self._server = await asyncio.start_server(
+            self._on_client, host=self.config.host, port=self.config.port
+        )
+
+    async def _on_client(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        write_lock = asyncio.Lock()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                text = line.decode("utf-8", errors="replace").strip()
+                if not text:
+                    continue
+                request_task = asyncio.ensure_future(
+                    self._respond(text, writer, write_lock)
+                )
+                self._request_tasks.add(request_task)
+                request_task.add_done_callback(
+                    self._request_tasks.discard
+                )
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            pass  # drain-cancel from stop(); close the socket and exit
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _respond(
+        self,
+        line: str,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        response_line = await self.handle_line(line)
+        async with write_lock:
+            try:
+                writer.write(response_line.encode("utf-8") + b"\n")
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass  # client went away; the work still warmed caches
+
+    async def stop(self) -> None:
+        """Graceful drain: stop accepting, finish in-flight, shut down."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Reader loops block on readline indefinitely -- cancel them
+        # first; the in-flight *request* tasks are what drains.
+        for task in list(self._conn_tasks):
+            task.cancel()
+        pending = {
+            task for task in self._request_tasks if not task.done()
+        }
+        if pending:
+            await asyncio.wait(
+                pending, timeout=self.config.drain_timeout_s
+            )
+            for task in pending:
+                if not task.done():
+                    task.cancel()
+        if self._conn_tasks:
+            await asyncio.wait(
+                set(self._conn_tasks), timeout=1.0
+            )
+        self.batcher.shutdown()
+        self._server = None
+
+
+async def serve_forever(config: Optional[ServeConfig] = None) -> None:
+    """Run a server until cancelled (the ``repro-dvfs serve`` loop)."""
+    server = PlanServer(config)
+    await server.start()
+    try:
+        await asyncio.Event().wait()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.stop()

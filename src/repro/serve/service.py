@@ -1,0 +1,362 @@
+"""The synchronous planning backend behind the serve endpoints.
+
+One :class:`PlanService` owns a warm :class:`DAEDVFSPipeline` wired
+into a fleet-shared pricing state
+(:class:`~repro.fleet.pricing.FleetSharedState` +
+:class:`~repro.fleet.pricing.SharedComponentExplorer` +
+:class:`~repro.fleet.pricing.ReplayingRuntime`), the bounded LRU
+:class:`~repro.serve.cache.PlanCache`, and a small store of the most
+recent per-(model, QoS) optimization results so the ``reprice``
+endpoint can re-solve the MCKP from *cached* Pareto fronts
+(:func:`repro.optimize.mckp.reprice_classes`) without ever
+re-exploring the design space.
+
+Everything here is blocking and thread-safe; the asyncio layer
+(:mod:`repro.serve.batcher`, :mod:`repro.serve.server`) drives it from
+an executor.  Plans are deterministic functions of their inputs, so a
+payload served from the cache is byte-identical (sha256) to a freshly
+computed one -- the benchmark gate.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..dse.space import paper_design_space
+from ..engine.cost import model_fingerprint
+from ..engine.serialize import plan_to_dict
+from ..errors import ProtocolError, QoSInfeasibleError
+from ..fleet.pricing import (
+    FleetSharedState,
+    ReplayingRuntime,
+    SharedComponentExplorer,
+)
+from ..mcu.board import Board, make_nucleo_f767zi
+from ..nn import PAPER_MODELS, build_tiny_test_model
+from ..nn.graph import Model
+from ..optimize.mckp import MCKPItem, reprice_classes
+from ..optimize.qos import QoSLevel
+from ..pipeline import DAEDVFSPipeline, OptimizationResult
+from ..units import MHZ
+from .cache import PlanCache, plan_cache_key
+from .protocol import plan_digest
+
+#: Models the service will plan for, by wire name.
+MODEL_REGISTRY: Dict[str, Callable[[], Model]] = {
+    **PAPER_MODELS,
+    "tiny": build_tiny_test_model,
+}
+
+
+def qos_key_from_params(params: Dict[str, Any]) -> Tuple:
+    """Normalize request QoS params to a hashable cache-key component.
+
+    Raises:
+        ProtocolError: unless exactly one of ``qos_percent`` /
+            ``qos_ms`` is present and numeric.
+    """
+    percent = params.get("qos_percent")
+    ms = params.get("qos_ms")
+    if (percent is None) == (ms is None):
+        raise ProtocolError(
+            "provide exactly one of qos_percent or qos_ms"
+        )
+    try:
+        if percent is not None:
+            return ("percent", float(percent))
+        return ("ms", float(ms))
+    except (TypeError, ValueError) as err:
+        raise ProtocolError(f"QoS must be numeric: {err}") from err
+
+
+class PlanService:
+    """Blocking planning backend shared by every serve endpoint.
+
+    Args:
+        board_factory: builds the board description; called once for
+            the warm pipeline and once per cold (stateless) plan.
+        cache: the plan cache (constructed if omitted).
+        cache_enabled: look plans up before planning.
+        solver / dp_resolution / max_refinements: pipeline knobs.
+        max_front_store: recent (model, QoS) optimization results kept
+            for the ``reprice`` endpoint.
+    """
+
+    def __init__(
+        self,
+        board_factory: Callable[[], Board] = make_nucleo_f767zi,
+        cache: Optional[PlanCache] = None,
+        cache_enabled: bool = True,
+        solver: str = "dp",
+        dp_resolution: int = 4000,
+        max_refinements: int = 3,
+        max_front_store: int = 32,
+    ):
+        self.board_factory = board_factory
+        self.cache = cache if cache is not None else PlanCache()
+        self.cache_enabled = cache_enabled
+        self.solver = solver
+        self.dp_resolution = dp_resolution
+        self.max_refinements = max_refinements
+        self.board = board_factory()
+        self.shared = FleetSharedState(self.board)
+        self.pipeline = self._build_pipeline(self.board, shared=True)
+        self._models: Dict[str, Model] = {}
+        self._models_lock = threading.Lock()
+        # (model_key, qos_key) -> OptimizationResult, most recent last.
+        self._front_store: "OrderedDict[Tuple, OptimizationResult]" = (
+            OrderedDict()
+        )
+        self._front_lock = threading.Lock()
+        self.max_front_store = max_front_store
+        self._health_lock = threading.Lock()
+        self._health_result: Optional[Dict[str, Any]] = None
+
+    # -- wiring ------------------------------------------------------------------
+
+    def _build_pipeline(
+        self, board: Board, shared: bool
+    ) -> DAEDVFSPipeline:
+        if not shared:
+            return DAEDVFSPipeline(
+                board=board,
+                solver=self.solver,
+                dp_resolution=self.dp_resolution,
+                max_refinements=self.max_refinements,
+            )
+        space = paper_design_space(board.power_model)
+        explorer = SharedComponentExplorer(board, space, self.shared)
+        runtime = ReplayingRuntime(board, self.shared)
+        return DAEDVFSPipeline(
+            board=board,
+            space=space,
+            solver=self.solver,
+            dp_resolution=self.dp_resolution,
+            max_refinements=self.max_refinements,
+            explorer=explorer,
+            runtime=runtime,
+        )
+
+    def resolve_model(self, name: Any) -> Model:
+        """The shared model instance for a wire name.
+
+        One canonical instance per name keeps the memoized model
+        fingerprint (and with it every pipeline cache) warm across
+        requests.
+
+        Raises:
+            ProtocolError: unknown model name.
+        """
+        if not isinstance(name, str) or name not in MODEL_REGISTRY:
+            raise ProtocolError(
+                f"unknown model {name!r}; expected one of "
+                f"{sorted(MODEL_REGISTRY)}"
+            )
+        with self._models_lock:
+            model = self._models.get(name)
+            if model is None:
+                model = self._models.setdefault(
+                    name, MODEL_REGISTRY[name]()
+                )
+            return model
+
+    # -- planning ----------------------------------------------------------------
+
+    def _qos_args(self, qos_key: Tuple) -> Dict[str, Any]:
+        kind, value = qos_key
+        if kind == "percent":
+            return {
+                "qos_level": QoSLevel(
+                    name=f"{value:g}%", slack=value / 100.0
+                )
+            }
+        return {"qos_s": value * 1e-3}
+
+    def cache_key(self, model: Model, qos_key: Tuple) -> Tuple:
+        """Full plan-cache key: model + board + space + QoS identity."""
+        return plan_cache_key(
+            model_fingerprint(model),
+            self.board.fingerprint(),
+            self.pipeline.space.fingerprint(),
+            qos_key,
+        )
+
+    def _payload(
+        self,
+        model_name: str,
+        qos_key: Tuple,
+        result: OptimizationResult,
+    ) -> Dict[str, Any]:
+        """The deterministic core payload (digest input) for a plan."""
+        kind, value = qos_key
+        core = {
+            "model": model_name,
+            "qos": {kind: value, "budget_s": result.qos_s},
+            "baseline_latency_s": result.baseline_latency_s,
+            "fixed_overhead_s": result.fixed_overhead_s,
+            "plan": plan_to_dict(result.plan),
+        }
+        core["digest"] = plan_digest(
+            {k: v for k, v in core.items() if k != "digest"}
+        )
+        return core
+
+    def _store_fronts(
+        self, model: Model, qos_key: Tuple, result: OptimizationResult
+    ) -> None:
+        key = (model_fingerprint(model), qos_key)
+        with self._front_lock:
+            self._front_store[key] = result
+            self._front_store.move_to_end(key)
+            while len(self._front_store) > self.max_front_store:
+                self._front_store.popitem(last=False)
+
+    def _optimize(
+        self, model_name: str, qos_key: Tuple
+    ) -> Tuple[Model, OptimizationResult]:
+        model = self.resolve_model(model_name)
+        result = self.pipeline.optimize(model, **self._qos_args(qos_key))
+        self._store_fronts(model, qos_key, result)
+        return model, result
+
+    def plan(
+        self,
+        model_name: str,
+        qos_key: Tuple,
+        use_cache: bool = True,
+    ) -> Dict[str, Any]:
+        """Plan (or serve from cache) one (model, QoS) request."""
+        model = self.resolve_model(model_name)
+        key = self.cache_key(model, qos_key)
+        if self.cache_enabled and use_cache:
+            cached = self.cache.get(key)
+            if cached is not None:
+                return {**cached, "cached": True}
+        _, result = self._optimize(model_name, qos_key)
+        payload = self._payload(model_name, qos_key, result)
+        if self.cache_enabled and use_cache:
+            payload = self.cache.put(key, payload)
+        return {**payload, "cached": False}
+
+    def plan_cold(self, model_name: str, qos_key: Tuple) -> Dict[str, Any]:
+        """Plan on a fresh pipeline -- the batch-CLI cost, per request.
+
+        No plan cache, no shared pricing state, no warm Step-2 caches:
+        exactly what every ``repro-dvfs optimize`` invocation pays
+        today.  The stateless benchmark baseline, and the oracle the
+        digest-consistency check compares cached payloads against.
+        """
+        model = self.resolve_model(model_name)
+        pipeline = self._build_pipeline(self.board_factory(), shared=False)
+        result = pipeline.optimize(model, **self._qos_args(qos_key))
+        payload = self._payload(model_name, qos_key, result)
+        return {**payload, "cached": False}
+
+    # -- repricing ---------------------------------------------------------------
+
+    def reprice(
+        self,
+        model_name: str,
+        qos_key: Tuple,
+        extra_power_w: float = 0.0,
+        max_hfo_mhz: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Re-solve the MCKP over cached fronts for drifted conditions.
+
+        ``extra_power_w`` models a thermal leakage ramp (constant
+        power offset on every item); ``max_hfo_mhz`` a battery-sag
+        frequency cap (items above it become infeasible).  The Pareto
+        fronts come from the stored optimization result -- warmed by a
+        prior ``plan`` call or computed once here -- so repricing
+        never re-explores the design space.
+
+        Raises:
+            QoSInfeasibleError: no schedule over the repriced classes
+                meets the stored budget.
+        """
+        model = self.resolve_model(model_name)
+        key = (model_fingerprint(model), qos_key)
+        with self._front_lock:
+            result = self._front_store.get(key)
+        if result is None:
+            _, result = self._optimize(model_name, qos_key)
+        node_ids = sorted(result.pareto_fronts)
+        classes = [
+            [
+                MCKPItem(
+                    weight=p.latency_s, value=p.energy_j, payload=p
+                )
+                for p in result.pareto_fronts[node_id]
+            ]
+            for node_id in node_ids
+        ]
+        item_filter = None
+        if max_hfo_mhz is not None:
+            cap_hz = max_hfo_mhz * MHZ
+            item_filter = (
+                lambda item: item.payload.hfo.sysclk_hz <= cap_hz
+            )
+        classes = reprice_classes(
+            classes, extra_power_w=extra_power_w, item_filter=item_filter
+        )
+        plan = self.pipeline.replan(
+            model, classes, result.qos_s, result.fixed_overhead_s
+        )
+        if plan is None:
+            # Free re-solve could not converge the sequence-dependent
+            # relock overhead; uniform single-HFO schedules never pay
+            # it (same fallback the fleet governor uses).
+            plan = self.pipeline.uniform_plan_from_classes(
+                model,
+                classes,
+                result.qos_s,
+                result.fixed_overhead_s,
+                max_hfo_hz=(
+                    max_hfo_mhz * MHZ if max_hfo_mhz is not None
+                    else float("inf")
+                ),
+            )
+        if plan is None:
+            min_conv = sum(
+                min(item.weight for item in cls) for cls in classes
+            )
+            raise QoSInfeasibleError(
+                qos_s=result.qos_s,
+                min_latency_s=min_conv + result.fixed_overhead_s,
+            )
+        repriced = OptimizationResult(
+            plan=plan,
+            pareto_fronts=result.pareto_fronts,
+            baseline_latency_s=result.baseline_latency_s,
+            qos_s=result.qos_s,
+            fixed_overhead_s=result.fixed_overhead_s,
+        )
+        payload = self._payload(model_name, qos_key, repriced)
+        payload["drift"] = {
+            "extra_power_w": extra_power_w,
+            "max_hfo_mhz": max_hfo_mhz,
+        }
+        return {**payload, "cached": False}
+
+    # -- health ------------------------------------------------------------------
+
+    def health(self, refresh: bool = False) -> Dict[str, Any]:
+        """Quick selftest subset (memoized; ``refresh`` re-runs it)."""
+        from ..selftest import run_selftest
+
+        with self._health_lock:
+            if self._health_result is not None and not refresh:
+                return self._health_result
+        result = run_selftest(quick=True)
+        payload = {
+            "ok": result.ok,
+            "checks": [
+                {"name": name, "ok": passed, "detail": detail}
+                for name, passed, detail in result.checks
+            ],
+        }
+        with self._health_lock:
+            self._health_result = payload
+            return payload

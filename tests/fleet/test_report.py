@@ -125,12 +125,14 @@ class TestCliFleet:
              "--epochs", "2", "--json", str(out_path)]
         )
         assert code == 0
-        out = capsys.readouterr().out
-        assert "fleet of 4 devices" in out
-        assert "digest:" in out
+        captured = capsys.readouterr()
+        # --json owns stdout; the human summary moves to stderr.
+        assert "fleet of 4 devices" in captured.err
+        assert "digest:" in captured.err
         data = json.loads(out_path.read_text())
+        assert json.loads(captured.out) == data
         assert data["n_devices"] == 4
-        assert data["digest"] in out
+        assert data["digest"] in captured.err
 
     def test_fleet_command_deterministic(self, capsys):
         args = ["fleet", "--devices", "4", "--seed", "1", "--epochs", "2"]

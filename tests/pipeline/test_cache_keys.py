@@ -1,0 +1,97 @@
+"""Cache-key completeness: board identity must be part of the key.
+
+Regression for the serve layer's reconfiguration case: memoized Step-2
+results (exploration clouds, Pareto fronts, baselines) are only valid
+for the exact hardware description they were priced against, so the
+pipeline's cache key must cover the board fingerprint -- power-model
+*and* timing parameters -- not just the model.
+"""
+
+from repro.mcu import make_nucleo_f767zi
+from repro.mcu.cache import CacheModel
+from repro.mcu.board import make_nucleo_f746zg
+from repro.pipeline import DAEDVFSPipeline
+from repro.power.model import BoardPowerModel, PowerModelParams
+from repro.serve.cache import PlanCache
+
+
+class TestModelKeyCoversBoard:
+    def test_power_param_flip_changes_key(self, tiny_model):
+        """Flipping one power constant must miss every memoized cache."""
+        pipeline_a = DAEDVFSPipeline(board=make_nucleo_f767zi())
+        pipeline_b = DAEDVFSPipeline(
+            board=make_nucleo_f767zi(
+                power_params=PowerModelParams().scaled(
+                    p_mcu_leakage_w=0.011
+                )
+            )
+        )
+        assert pipeline_a._model_key(tiny_model) != pipeline_b._model_key(
+            tiny_model
+        )
+
+    def test_timing_flip_changes_key(self, tiny_model):
+        pipeline_a = DAEDVFSPipeline(board=make_nucleo_f767zi())
+        pipeline_b = DAEDVFSPipeline(
+            board=make_nucleo_f767zi(
+                cache=CacheModel(capacity_bytes=4 * 1024)
+            )
+        )
+        assert pipeline_a._model_key(tiny_model) != pipeline_b._model_key(
+            tiny_model
+        )
+
+    def test_sibling_board_changes_key(self, tiny_model):
+        pipeline_a = DAEDVFSPipeline(board=make_nucleo_f767zi())
+        pipeline_b = DAEDVFSPipeline(board=make_nucleo_f746zg())
+        assert pipeline_a._model_key(tiny_model) != pipeline_b._model_key(
+            tiny_model
+        )
+
+    def test_identical_boards_share_key(self, tiny_model):
+        pipeline_a = DAEDVFSPipeline(board=make_nucleo_f767zi())
+        pipeline_b = DAEDVFSPipeline(board=make_nucleo_f767zi())
+        assert pipeline_a._model_key(tiny_model) == pipeline_b._model_key(
+            tiny_model
+        )
+
+    def test_power_model_swap_invalidates_memoized_clouds(
+        self, tiny_model
+    ):
+        """Replacing the board's power model must recompute, in place."""
+        pipeline = DAEDVFSPipeline(board=make_nucleo_f767zi())
+        first = pipeline._explore_clouds(tiny_model)
+        assert pipeline._explore_clouds(tiny_model) is first
+        pipeline.board.power_model = BoardPowerModel(
+            PowerModelParams().scaled(p_mcu_leakage_w=0.011)
+        )
+        assert pipeline._explore_clouds(tiny_model) is not first
+
+
+class TestPlanCacheKeyCoversBoard:
+    def test_board_flip_misses_plan_cache(self, tiny_model):
+        """The serve-layer mirror of the pipeline regression above."""
+        from repro.engine.cost import model_fingerprint
+
+        cache = PlanCache()
+        board_a = make_nucleo_f767zi()
+        board_b = make_nucleo_f767zi(
+            power_params=PowerModelParams().scaled(p_board_static_w=0.2)
+        )
+        space_fp = ("space",)
+        model_fp = model_fingerprint(tiny_model)
+        cache.put(
+            (model_fp, board_a.fingerprint(), space_fp, ("percent", 30.0)),
+            {"plan": "a"},
+        )
+        assert (
+            cache.get(
+                (
+                    model_fp,
+                    board_b.fingerprint(),
+                    space_fp,
+                    ("percent", 30.0),
+                )
+            )
+            is None
+        )

@@ -1,0 +1,175 @@
+"""Micro-batcher: coalescing, deadlines, error fan-out."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.errors import DeadlineExceededError, ReproError, SolverError
+from repro.serve.batcher import PlanBatcher
+from repro.serve.metrics import ServeMetrics
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestCoalescing:
+    def test_same_key_runs_once(self):
+        calls = []
+        lock = threading.Lock()
+
+        def work():
+            with lock:
+                calls.append(1)
+            return "plan"
+
+        async def main():
+            metrics = ServeMetrics()
+            batcher = PlanBatcher(metrics=metrics, window_s=0.01)
+            results = await asyncio.gather(
+                *(batcher.submit(("k",), work) for _ in range(8))
+            )
+            batcher.shutdown()
+            return results, metrics
+
+        results, metrics = run(main())
+        assert results == ["plan"] * 8
+        assert len(calls) == 1
+        assert metrics.batches == 1
+        assert metrics.batched_requests == 8
+
+    def test_distinct_keys_run_separately(self):
+        seen = []
+        lock = threading.Lock()
+
+        def work(tag):
+            with lock:
+                seen.append(tag)
+            return tag
+
+        async def main():
+            batcher = PlanBatcher(window_s=0.005)
+            results = await asyncio.gather(
+                batcher.submit(("a",), lambda: work("a")),
+                batcher.submit(("b",), lambda: work("b")),
+            )
+            batcher.shutdown()
+            return results
+
+        assert sorted(run(main())) == ["a", "b"]
+        assert sorted(seen) == ["a", "b"]
+
+    def test_max_batch_dispatches_early(self):
+        async def main():
+            batcher = PlanBatcher(window_s=10.0, max_batch=2)
+            results = await asyncio.gather(
+                batcher.submit(("k",), lambda: 42),
+                batcher.submit(("k",), lambda: 42),
+            )
+            batcher.shutdown()
+            return results
+
+        # A 10 s window would time the test out; max_batch must cut it.
+        assert asyncio.run(asyncio.wait_for(main(), timeout=5.0)) == [42, 42]
+
+    def test_sequential_requests_get_fresh_batches(self):
+        calls = []
+
+        async def main():
+            batcher = PlanBatcher(window_s=0.0)
+            first = await batcher.submit(("k",), lambda: calls.append(1))
+            second = await batcher.submit(("k",), lambda: calls.append(1))
+            batcher.shutdown()
+            return first, second
+
+        run(main())
+        assert len(calls) == 2
+
+
+class TestDeadlines:
+    def test_deadline_exceeded_is_typed(self):
+        release = threading.Event()
+
+        def slow():
+            release.wait(timeout=5.0)
+            return "late"
+
+        async def main():
+            batcher = PlanBatcher(window_s=0.0)
+            try:
+                with pytest.raises(DeadlineExceededError):
+                    await batcher.submit(("k",), slow, deadline_s=0.05)
+            finally:
+                release.set()
+            batcher.shutdown()
+
+        run(main())
+
+    def test_one_timeout_does_not_cancel_other_waiters(self):
+        release = threading.Event()
+
+        def slow():
+            release.wait(timeout=5.0)
+            return "answer"
+
+        async def main():
+            batcher = PlanBatcher(window_s=0.0)
+            patient = asyncio.ensure_future(
+                batcher.submit(("k",), slow)
+            )
+            with pytest.raises(DeadlineExceededError):
+                await batcher.submit(("k",), slow, deadline_s=0.05)
+            release.set()
+            result = await patient
+            batcher.shutdown()
+            return result
+
+        assert run(main()) == "answer"
+
+
+class TestErrors:
+    def test_error_fans_out_to_every_waiter(self):
+        def boom():
+            raise SolverError("no solution")
+
+        async def main():
+            batcher = PlanBatcher(window_s=0.01)
+            results = await asyncio.gather(
+                *(batcher.submit(("k",), boom) for _ in range(4)),
+                return_exceptions=True,
+            )
+            batcher.shutdown()
+            return results
+
+        results = run(main())
+        assert len(results) == 4
+        assert all(isinstance(r, SolverError) for r in results)
+
+    def test_disabled_mode_still_works(self):
+        calls = []
+        lock = threading.Lock()
+
+        def work():
+            with lock:
+                calls.append(1)
+            return "x"
+
+        async def main():
+            batcher = PlanBatcher(enabled=False)
+            results = await asyncio.gather(
+                *(batcher.submit(("k",), work) for _ in range(4))
+            )
+            batcher.shutdown()
+            return results
+
+        assert run(main()) == ["x"] * 4
+        assert len(calls) == 4  # no coalescing when disabled
+
+    def test_config_validation(self):
+        with pytest.raises(ReproError):
+            PlanBatcher(window_s=-1.0)
+        with pytest.raises(ReproError):
+            PlanBatcher(max_batch=0)
+        with pytest.raises(ReproError):
+            PlanBatcher(max_workers=0)

@@ -1,0 +1,87 @@
+"""Plan cache: LRU behavior, counters, and key completeness."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.mcu import make_nucleo_f767zi
+from repro.serve.cache import PlanCache, plan_cache_key
+
+
+def key(n, qos=30.0):
+    return plan_cache_key(("m", n), ("b",), ("s",), ("percent", qos))
+
+
+class TestPlanCache:
+    def test_miss_then_hit(self):
+        cache = PlanCache(capacity=4)
+        assert cache.get(key(1)) is None
+        cache.put(key(1), {"plan": 1})
+        assert cache.get(key(1)) == {"plan": 1}
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_lru_eviction_order(self):
+        cache = PlanCache(capacity=2)
+        cache.put(key(1), {"plan": 1})
+        cache.put(key(2), {"plan": 2})
+        cache.get(key(1))  # refresh 1 -> 2 is now LRU
+        cache.put(key(3), {"plan": 3})
+        assert cache.get(key(2)) is None
+        assert cache.get(key(1)) is not None
+        assert cache.evictions == 1
+
+    def test_first_publish_wins(self):
+        cache = PlanCache()
+        first = cache.put(key(1), {"plan": "first"})
+        second = cache.put(key(1), {"plan": "second"})
+        assert first is second
+        assert cache.get(key(1)) == {"plan": "first"}
+
+    def test_capacity_validated(self):
+        with pytest.raises(ReproError):
+            PlanCache(capacity=0)
+
+    def test_clear_keeps_counters(self):
+        cache = PlanCache()
+        cache.put(key(1), {})
+        cache.get(key(1))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1
+
+    def test_stats(self):
+        cache = PlanCache(capacity=8)
+        cache.get(key(1))
+        cache.put(key(1), {})
+        cache.get(key(1))
+        stats = cache.stats()
+        assert stats["size"] == 1
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["hit_rate"] == pytest.approx(0.5)
+
+
+class TestKeyCompleteness:
+    def test_board_fingerprint_distinguishes_power_params(self):
+        """A power-model tweak must miss: plans are board-specific."""
+        board_a = make_nucleo_f767zi()
+        board_b = make_nucleo_f767zi(
+            power_params=board_a.power_model.params.scaled(
+                p_mcu_leakage_w=0.011
+            )
+        )
+        cache = PlanCache()
+        key_a = plan_cache_key(
+            ("m",), board_a.fingerprint(), ("s",), ("percent", 30.0)
+        )
+        key_b = plan_cache_key(
+            ("m",), board_b.fingerprint(), ("s",), ("percent", 30.0)
+        )
+        assert key_a != key_b
+        cache.put(key_a, {"plan": "a"})
+        assert cache.get(key_b) is None
+
+    def test_qos_distinguishes(self):
+        cache = PlanCache()
+        cache.put(key(1, qos=30.0), {"plan": "a"})
+        assert cache.get(key(1, qos=50.0)) is None

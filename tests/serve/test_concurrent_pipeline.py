@@ -1,0 +1,126 @@
+"""Concurrency: one pipeline hammered from asyncio and threads.
+
+The serve layer's core claim is that one warm
+:class:`~repro.pipeline.DAEDVFSPipeline` can be driven concurrently --
+from the batcher's thread pool under an asyncio event loop, or from a
+plain ThreadPoolExecutor -- and produce plans bit-identical to serial
+execution.  These tests are the regression net for that claim.
+"""
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.nn import build_tiny_test_model
+from repro.optimize import QoSLevel
+from repro.pipeline import DAEDVFSPipeline
+from repro.serve.batcher import PlanBatcher
+
+
+def plan_signature(result):
+    """Hashable bit-exact identity of an optimization result."""
+    plan = result.plan
+    return (
+        tuple(
+            (
+                node_id,
+                lp.granularity,
+                lp.hfo.sysclk_hz,
+                lp.hfo.describe(),
+            )
+            for node_id, lp in sorted(plan.layer_plans.items())
+        ),
+        result.qos_s,
+        result.baseline_latency_s,
+    )
+
+
+LEVELS = [
+    QoSLevel(name="10%", slack=0.10),
+    QoSLevel(name="30%", slack=0.30),
+    QoSLevel(name="50%", slack=0.50),
+]
+
+
+class TestConcurrentPipelineAccess:
+    def test_threadpool_matches_serial(self):
+        model = build_tiny_test_model()
+        serial_pipeline = DAEDVFSPipeline()
+        serial = {
+            level.name: plan_signature(
+                serial_pipeline.optimize(model, qos_level=level)
+            )
+            for level in LEVELS
+        }
+
+        shared_pipeline = DAEDVFSPipeline()
+        jobs = [LEVELS[i % len(LEVELS)] for i in range(12)]
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            results = list(
+                pool.map(
+                    lambda level: (
+                        level.name,
+                        plan_signature(
+                            shared_pipeline.optimize(
+                                model, qos_level=level
+                            )
+                        ),
+                    ),
+                    jobs,
+                )
+            )
+        for name, signature in results:
+            assert signature == serial[name]
+
+    def test_asyncio_batcher_matches_serial(self):
+        model = build_tiny_test_model()
+        serial_pipeline = DAEDVFSPipeline()
+        serial = {
+            level.name: plan_signature(
+                serial_pipeline.optimize(model, qos_level=level)
+            )
+            for level in LEVELS
+        }
+
+        shared_pipeline = DAEDVFSPipeline()
+
+        async def main():
+            batcher = PlanBatcher(window_s=0.002, max_workers=4)
+            jobs = [LEVELS[i % len(LEVELS)] for i in range(12)]
+            results = await asyncio.gather(
+                *(
+                    batcher.submit(
+                        ("plan", level.name),
+                        lambda level=level: (
+                            level.name,
+                            plan_signature(
+                                shared_pipeline.optimize(
+                                    model, qos_level=level
+                                )
+                            ),
+                        ),
+                    )
+                    for level in jobs
+                )
+            )
+            batcher.shutdown()
+            return results
+
+        for name, signature in asyncio.run(main()):
+            assert signature == serial[name]
+
+    def test_shared_caches_identical_after_hammering(self):
+        """Cache warm-up must not change answers: recompute and compare."""
+        model = build_tiny_test_model()
+        pipeline = DAEDVFSPipeline()
+        level = QoSLevel(name="30%", slack=0.30)
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            warm = list(
+                pool.map(
+                    lambda _: plan_signature(
+                        pipeline.optimize(model, qos_level=level)
+                    ),
+                    range(8),
+                )
+            )
+        after = plan_signature(pipeline.optimize(model, qos_level=level))
+        assert all(signature == after for signature in warm)

@@ -1,0 +1,96 @@
+"""Load generator: seeded schedules, deterministic overload, digests."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.serve import LoadGenConfig, run_loadgen
+from repro.serve.loadgen import request_schedule
+from repro.serve.server import ServeConfig
+
+
+class TestSchedule:
+    def test_same_seed_same_schedule(self):
+        config = LoadGenConfig(requests=32, seed=7)
+        assert request_schedule(config) == request_schedule(config)
+
+    def test_different_seed_different_schedule(self):
+        a = request_schedule(LoadGenConfig(requests=32, seed=0))
+        b = request_schedule(LoadGenConfig(requests=32, seed=1))
+        assert a != b
+
+    def test_draws_only_configured_qos(self):
+        config = LoadGenConfig(requests=64, qos_percents=(20.0, 40.0))
+        assert set(request_schedule(config)) <= {20.0, 40.0}
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            LoadGenConfig(requests=0)
+        with pytest.raises(ReproError):
+            LoadGenConfig(concurrency=0)
+        with pytest.raises(ReproError):
+            LoadGenConfig(qos_percents=())
+
+
+class TestClosedLoop:
+    def test_no_sheds_and_consistent_digests(self):
+        summary = run_loadgen(
+            LoadGenConfig(
+                requests=12,
+                concurrency=4,
+                qos_percents=(30.0, 50.0),
+                serve=ServeConfig(workers=2, batch_window_s=0.001),
+            )
+        )
+        assert summary["ok"] == 12
+        assert summary["sheds"] == 0
+        assert summary["errors_by_kind"] == {}
+        assert summary["cache_consistent"]
+        assert summary["digest_checks"] == 2
+        assert summary["cached_responses"] > 0
+        assert summary["latency"]["count"] == 12
+
+    def test_server_stats_in_summary(self):
+        summary = run_loadgen(
+            LoadGenConfig(
+                requests=4,
+                concurrency=2,
+                qos_percents=(30.0,),
+                verify_digests=False,
+                serve=ServeConfig(workers=2, batch_window_s=0.001),
+            )
+        )
+        assert summary["digest_checks"] == 0
+        assert summary["server"]["metrics"]["requests_by_op"]["plan"] == 4
+
+
+class TestBurstOverload:
+    def test_shed_counts_reproduce(self):
+        def one_run():
+            summary = run_loadgen(
+                LoadGenConfig(
+                    requests=16,
+                    qos_percents=(30.0,),
+                    burst=True,
+                    seed=3,
+                    verify_digests=False,
+                    serve=ServeConfig(
+                        workers=2,
+                        batch_window_s=0.001,
+                        max_queue_depth=2,
+                        rate_per_s=2.0,
+                        burst=1.0,
+                        admission_tick_s=0.05,
+                    ),
+                )
+            )
+            return (
+                summary["ok"],
+                summary["sheds"],
+                summary["server"]["metrics"]["sheds_by_reason"],
+            )
+
+        first, second = one_run(), one_run()
+        assert first == second
+        ok, sheds, _reasons = first
+        assert sheds > 0
+        assert ok + sheds == 16  # every request accounted for

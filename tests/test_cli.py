@@ -145,10 +145,111 @@ class TestCommands:
              "--watchdog-rate", "0.01", "--json", str(out_path)]
         )
         assert code == 0
-        out = capsys.readouterr().out
-        assert "chaos campaign" in out
-        assert "digest:" in out
+        captured = capsys.readouterr()
+        # --json owns stdout; the human summary moves to stderr.
+        assert "chaos campaign" in captured.err
+        assert "digest:" in captured.err
         data = json.loads(out_path.read_text())
+        assert json.loads(captured.out) == data
         assert data["n_devices"] == 3
         assert data["digest"]
         assert len(data["devices"]) == 3
+
+
+class TestJsonContract:
+    """--json: machine-parseable stdout, human text on stderr."""
+
+    def test_optimize_json_stdout_only(self, capsys):
+        code = main(
+            ["optimize", "tiny", "--qos-percent", "30", "--json"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["model"] == "tiny"
+        assert payload["plan"]["layers"]
+        assert len(payload["digest"]) == 64
+        assert "baseline" in captured.err  # human text on stderr
+
+    def test_optimize_json_to_file(self, capsys, tmp_path):
+        path = tmp_path / "out.json"
+        code = main(
+            ["optimize", "tiny", "--qos-percent", "30",
+             "--json", str(path)]
+        )
+        assert code == 0
+        on_disk = json.loads(path.read_text())
+        on_stdout = json.loads(capsys.readouterr().out)
+        assert on_disk == on_stdout
+
+    def test_compare_json(self, capsys):
+        code = main(
+            ["compare", "tiny", "--qos-percents", "30", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rows"][0]["qos_percent"] == 30
+        assert payload["rows"][0]["met_qos"]
+
+    def test_lifetime_json(self, capsys):
+        code = main(
+            ["lifetime", "tiny", "--qos-percent", "30", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["systems"]["ours"]["days"] > 0
+
+    def test_selftest_quick_json(self, capsys):
+        code = main(["selftest", "--quick", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["quick"] is True
+        assert len(payload["checks"]) == 3
+
+    def test_error_emits_structured_json(self, capsys):
+        code = main(
+            ["optimize", "tiny", "--qos-ms", "0.001", "--json"]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["ok"] is False
+        assert payload["error"]["kind"] == "qos_infeasible"
+        assert "infeasible" in captured.err
+
+    def test_fleet_json_stdout(self, capsys):
+        code = main(
+            ["fleet", "tiny", "--devices", "2", "--epochs", "0",
+             "--json"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["n_devices"] == 2
+        assert "fleet" in captured.err
+
+
+class TestServeCommands:
+    def test_loadgen_json(self, capsys):
+        code = main(
+            ["loadgen", "--requests", "6", "--concurrency", "2",
+             "--qos-percents", "30", "--workers", "2", "--json"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["ok"] == 6
+        assert payload["sheds"] == 0
+        assert payload["cache_consistent"] is True
+        assert "req/s" in captured.err
+
+    def test_loadgen_human_only(self, capsys):
+        code = main(
+            ["loadgen", "--requests", "4", "--concurrency", "2",
+             "--qos-percents", "30", "--workers", "2", "--no-verify"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "4/4 ok" in captured.out
+        assert captured.err == ""

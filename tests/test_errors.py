@@ -19,6 +19,9 @@ ALL_ERRORS = [
     errors.FaultInjectionError,
     errors.SensorReadError,
     errors.WatchdogResetError,
+    errors.ProtocolError,
+    errors.OverloadedError,
+    errors.DeadlineExceededError,
 ]
 
 
@@ -42,6 +45,18 @@ class TestHierarchy:
         assert err.layer_name == "conv0"
         assert err.resets == 4
         assert "conv0" in str(err)
+
+    def test_overloaded_carries_context(self):
+        err = errors.OverloadedError(
+            reason="queue_full", retry_after_s=0.25
+        )
+        assert err.reason == "queue_full"
+        assert err.retry_after_s == pytest.approx(0.25)
+        assert "queue_full" in str(err)
+
+    def test_deadline_exceeded_carries_context(self):
+        err = errors.DeadlineExceededError(deadline_s=0.5)
+        assert err.deadline_s == pytest.approx(0.5)
 
     def test_catch_all_via_base(self):
         with pytest.raises(errors.ReproError):

@@ -8,9 +8,35 @@ class TestSelfTest:
         result = run_selftest()
         assert result.ok, result.summary()
         assert len(result.checks) == 5
+        assert not result.quick
 
     def test_summary_format(self):
         result = run_selftest()
         text = result.summary()
         assert "self-test PASSED" in text
         assert text.count("[ok ]") == 5
+
+    def test_quick_subset(self):
+        result = run_selftest(quick=True)
+        assert result.ok, result.summary()
+        assert result.quick
+        assert len(result.checks) == 3
+        names = [name for name, _, _ in result.checks]
+        assert not any("pipeline" in name for name in names)
+        assert "quick self-test PASSED" in result.summary()
+
+    def test_quick_is_prefix_of_full(self):
+        """The health endpoint's subset is the full sweep's head."""
+        quick = [name for name, _, _ in run_selftest(quick=True).checks]
+        full = [name for name, _, _ in run_selftest().checks]
+        assert full[: len(quick)] == quick
+
+    def test_to_dict(self):
+        data = run_selftest(quick=True).to_dict()
+        assert data["ok"] is True
+        assert data["quick"] is True
+        assert len(data["checks"]) == 3
+        assert all(
+            set(check) == {"name", "ok", "detail"}
+            for check in data["checks"]
+        )
