@@ -79,6 +79,37 @@ def baseline_explore(board, space, model):
     return clouds
 
 
+def disabled_span_cost_s(iterations: int = 200_000) -> float:
+    """Per-call cost of :func:`repro.obs.tracing.span` while disabled.
+
+    The disabled path is one global read + returning a shared no-op
+    context manager; microbenching it directly gives a far less noisy
+    overhead estimate than A/B-timing two full pipeline runs.
+    """
+    from repro.obs.tracing import get_tracer, span
+
+    assert get_tracer() is None, "tracer must be off for this bench"
+    start = time.perf_counter()
+    for _ in range(iterations):
+        with span("bench.overhead"):
+            pass
+    return (time.perf_counter() - start) / iterations
+
+
+def count_pipeline_spans(model) -> int:
+    """Spans one cold optimize + deploy emits (the instrumented set)."""
+    from repro.obs.tracing import Tracer, install, uninstall
+
+    tracer = install(Tracer(deterministic=True))
+    try:
+        fresh = DAEDVFSPipeline()
+        result = fresh.optimize(model, qos_level=MODERATE)
+        fresh.deploy(model, result.plan)
+    finally:
+        uninstall()
+    return len(tracer.spans()) + tracer.dropped
+
+
 def timed(stages, stage, fn):
     start = time.perf_counter()
     result = fn()
@@ -127,12 +158,29 @@ def main():
 
     cold = stages[f"explore[{LARGEST}]"]["wall_s"]
     base = stages[f"explore_baseline[{LARGEST}]"]["wall_s"]
+    # Disabled-tracer overhead on the instrumented hot path: spans one
+    # cold optimize+deploy would emit, times the microbenched cost of a
+    # disabled span() call, over the same stages' measured wall time.
+    span_cost = disabled_span_cost_s()
+    span_calls = count_pipeline_spans(models[LARGEST])
+    instrumented_wall = sum(
+        stages[f"{stage}[{LARGEST}]"]["wall_s"]
+        for stage in ("explore", "solve", "deploy")
+    )
+    overhead = (
+        span_calls * span_cost / instrumented_wall
+        if instrumented_wall > 0
+        else 0.0
+    )
     stages["_meta"] = {
         "models": sorted(models),
         "largest_model": LARGEST,
         "explore_speedup": base / cold if cold > 0 else float("inf"),
         "trace_cache_hits": pipeline.tracer.cache_hits,
         "trace_cache_misses": pipeline.tracer.cache_misses,
+        "disabled_span_cost_s": span_cost,
+        "span_calls": span_calls,
+        "disabled_tracer_overhead": overhead,
     }
     OUTPUT.write_text(json.dumps(stages, indent=2, sort_keys=True) + "\n")
 
@@ -143,6 +191,11 @@ def main():
     print(
         f"explore speedup on {LARGEST}: "
         f"{stages['_meta']['explore_speedup']:.1f}x"
+    )
+    print(
+        f"disabled tracer overhead on {LARGEST}: "
+        f"{overhead:.4%} ({span_calls} spans x "
+        f"{span_cost * 1e9:.0f} ns / {instrumented_wall:.3f} s)"
     )
     return stages
 

@@ -13,6 +13,8 @@ Exposes the end-to-end flow without writing Python::
     repro-dvfs chaos --devices 64 --fault-seed 7 --json chaos.json
     repro-dvfs serve --port 7070
     repro-dvfs loadgen --requests 64 --concurrency 8 --json -
+    repro-dvfs plan tiny --qos-percent 30 --trace plan.trace.json
+    repro-dvfs obs plan.trace.jsonl --chrome plan.chrome.json
 
 Model names: ``vww``, ``pd``, ``mbv2`` (the paper's suite) and
 ``tiny`` (a small test CNN).
@@ -23,6 +25,14 @@ fleet / chaos / loadgen): when the flag is present, stdout carries
 moves to stderr -- so ``repro-dvfs ... --json | jq .`` always works.
 ``--json PATH`` additionally writes the same payload to ``PATH``
 (``-`` means stdout only).
+
+``--trace PATH`` (plan / fleet / chaos / serve) installs the
+:mod:`repro.obs` tracer for the run and writes the span trace to
+``PATH`` on exit -- ``.jsonl`` for the native line format, anything
+else for Chrome trace JSON (load it at https://ui.perfetto.dev).  In
+``--json`` mode the payload gains a ``trace`` summary (path, span
+count, deterministic digest) *after* the core digest is computed, so
+tracing never perturbs a payload's own digest.
 
 Exit codes: 0 on success; 1 when the command failed with a
 :class:`~repro.errors.ReproError` (infeasible QoS, bad plan file,
@@ -115,6 +125,55 @@ def _add_json_flag(p: argparse.ArgumentParser, what: str) -> None:
             " stderr); with PATH, also write it there"
         ),
     )
+
+
+def _add_trace_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--trace", metavar="PATH",
+        help=(
+            "record an execution trace and write it here (.jsonl for"
+            " the native format, anything else for Chrome/Perfetto"
+            " JSON)"
+        ),
+    )
+
+
+def _trace_begin(args: argparse.Namespace):
+    """Install a process tracer when ``--trace PATH`` was given."""
+    if not getattr(args, "trace", None):
+        return None
+    from .obs.tracing import Tracer, install
+
+    return install(Tracer())
+
+
+def _trace_finish(
+    args: argparse.Namespace,
+    tracer,
+    payload: Optional[Dict[str, Any]] = None,
+) -> Optional[Dict[str, Any]]:
+    """Uninstall the tracer, write the trace, attach the summary.
+
+    The summary lands under ``payload["trace"]`` *after* the caller
+    computed any content digest, so tracing never changes a payload's
+    own digest.
+    """
+    if tracer is None:
+        return None
+    from .obs.export import write_trace
+    from .obs.tracing import uninstall
+
+    uninstall()
+    summary = write_trace(tracer, args.trace)
+    print(
+        f"trace written to {summary['path']} "
+        f"({summary['format']}, {summary['spans']} spans, "
+        f"digest {summary['digest'][:12]}...)",
+        file=_out(args),
+    )
+    if payload is not None:
+        payload["trace"] = summary
+    return summary
 
 
 def cmd_summary(args: argparse.Namespace) -> int:
@@ -367,6 +426,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     )
 
     model = _build_model(args.model)
+    tracer = _trace_begin(args)
     level = _qos_level(args) or QoSLevel(name="30%", slack=0.30)
     fleet = sample_fleet(args.devices, seed=args.seed)
     scheduler = FleetScheduler(
@@ -388,8 +448,10 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     )
     report = aggregate_fleet(model, qos_s, results, governed)
     print(report.summary(), file=_out(args))
-    if _json_mode(args):
-        _emit_json(args, report.to_dict())
+    payload = report.to_dict() if _json_mode(args) else None
+    _trace_finish(args, tracer, payload)
+    if payload is not None:
+        _emit_json(args, payload)
     return 0
 
 
@@ -397,6 +459,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     from .faults import ChaosConfig, FaultPlan, run_campaign
 
     model = _build_model(args.model)
+    tracer = _trace_begin(args)
     fault_plan = FaultPlan(
         seed=args.fault_seed,
         hse_dropout_rate=args.hse_dropout_rate,
@@ -415,8 +478,10 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     )
     report = run_campaign(model, fault_plan, config)
     print(report.summary(), file=_out(args))
-    if _json_mode(args):
-        _emit_json(args, report.to_dict())
+    payload = report.to_dict() if _json_mode(args) else None
+    _trace_finish(args, tracer, payload)
+    if payload is not None:
+        _emit_json(args, payload)
     return 0
 
 
@@ -451,6 +516,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     from .serve import PlanServer
 
+    tracer = _trace_begin(args)
     config = _serve_config(args)
 
     async def _run() -> None:
@@ -472,6 +538,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(_run())
     except KeyboardInterrupt:
         print("draining and shutting down", file=sys.stderr)
+    _trace_finish(args, tracer)
     return 0
 
 
@@ -517,6 +584,117 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     if _json_mode(args):
         _emit_json(args, summary)
     return 0 if summary["cache_consistent"] else 1
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    """One plan request through the full in-process serve path.
+
+    Unlike ``optimize`` (which calls the pipeline directly), this
+    routes the request through :class:`~repro.serve.server.PlanServer`
+    -- admission, batcher, plan cache, planner pool -- so a ``--trace``
+    run captures the whole span tree ``serve.request -> serve.batch ->
+    serve.plan -> pipeline.optimize -> dse.explore -> mckp.solve``
+    under one correlation ID (the request ID).
+    """
+    import asyncio
+
+    from .serve import PlanServer
+    from .serve.protocol import ErrorPayload, exception_from_error
+
+    _build_model(args.model)  # fail fast on unknown models
+    tracer = _trace_begin(args)
+    config = _serve_config(args)
+    params: Dict[str, Any] = {"model": args.model}
+    if args.qos_percent is not None:
+        params["qos_percent"] = args.qos_percent
+    else:
+        params["qos_ms"] = args.qos_ms
+    if args.no_cache:
+        params["no_cache"] = True
+    request = {
+        "v": 1,
+        "id": args.request_id,
+        "op": "plan",
+        "params": params,
+    }
+
+    async def _run() -> Dict[str, Any]:
+        server = PlanServer(config)  # in-process: never bound to TCP
+        try:
+            return await server.handle_request_dict(request)
+        finally:
+            server.batcher.shutdown()
+
+    response = asyncio.run(_run())
+    if not response.get("ok", False):
+        _trace_finish(args, tracer)
+        raise exception_from_error(
+            ErrorPayload.from_dict(response.get("error", {}))
+        )
+    result = dict(response["result"])
+    out = _out(args)
+    qos = result["qos"]
+    print(
+        f"{args.model}: baseline "
+        f"{to_ms(result['baseline_latency_s']):.3f} ms, "
+        f"budget {to_ms(qos['budget_s']):.3f} ms, "
+        f"{'cached' if result.get('cached') else 'planned'} "
+        f"(digest {result['digest'][:12]}...)",
+        file=out,
+    )
+    # The trace summary rides outside the core payload: result["digest"]
+    # was computed server-side before tracing attached anything.
+    _trace_finish(args, tracer, result)
+    if _json_mode(args):
+        _emit_json(args, result)
+    return 0
+
+
+def cmd_obs(args: argparse.Namespace) -> int:
+    """Inspect a JSONL trace: digest, span counts, optional conversion."""
+    from collections import Counter
+
+    from .obs.export import (
+        chrome_trace,
+        dicts_to_records,
+        load_jsonl,
+        trace_digest,
+    )
+
+    entries = load_jsonl(args.trace_file)
+    records = dicts_to_records(entries)
+    names = Counter(r.name for r in records)
+    correlations = sorted(
+        {r.correlation for r in records if r.correlation is not None}
+    )
+    digest = trace_digest(records)
+    out = _out(args)
+    print(
+        f"{args.trace_file}: {len(records)} spans, "
+        f"{len(correlations)} correlation IDs, digest {digest}",
+        file=out,
+    )
+    for name, count in sorted(names.items()):
+        print(f"  {name:24s} {count:6d}", file=out)
+    chrome_path = None
+    if args.chrome:
+        with open(args.chrome, "w", encoding="utf-8") as fh:
+            json.dump(chrome_trace(records), fh, sort_keys=True)
+        chrome_path = args.chrome
+        print(f"chrome trace written to {chrome_path}", file=out)
+    if _json_mode(args):
+        _emit_json(
+            args,
+            {
+                "path": args.trace_file,
+                "spans": len(records),
+                "digest": digest,
+                "names": dict(sorted(names.items())),
+                "correlations": correlations,
+                "chrome": chrome_path,
+            },
+        )
+    return 0
 
 
 def make_parser() -> argparse.ArgumentParser:
@@ -636,6 +814,7 @@ def make_parser() -> argparse.ArgumentParser:
         help="governor telemetry epochs per device (0 disables)",
     )
     _add_json_flag(p, "full fleet report")
+    _add_trace_flag(p)
     p.set_defaults(func=cmd_fleet)
 
     p = sub.add_parser(
@@ -691,6 +870,7 @@ def make_parser() -> argparse.ArgumentParser:
         help="watchdog-reset probability per layer checkpoint",
     )
     _add_json_flag(p, "survival report")
+    _add_trace_flag(p)
     p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser("lifetime", help="battery-lifetime projection")
@@ -761,7 +941,38 @@ def make_parser() -> argparse.ArgumentParser:
         help="TCP port to bind (0 picks a free one)",
     )
     add_serve_tuning(p)
+    _add_trace_flag(p)
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "plan",
+        help="one plan request through the in-process serve path",
+    )
+    add_model(p)
+    add_qos(p, required=True)
+    p.add_argument(
+        "--request-id", default="plan-1",
+        help=(
+            "request (and trace correlation) ID; deterministic by"
+            " default so --trace digests reproduce"
+        ),
+    )
+    add_serve_tuning(p)
+    _add_json_flag(p, "served plan payload (with sha256 digest)")
+    _add_trace_flag(p)
+    p.set_defaults(func=cmd_plan)
+
+    p = sub.add_parser(
+        "obs",
+        help="inspect a recorded JSONL trace (digest, spans, convert)",
+    )
+    p.add_argument("trace_file", help="JSONL trace from --trace")
+    p.add_argument(
+        "--chrome", metavar="PATH",
+        help="also convert to Chrome/Perfetto trace JSON here",
+    )
+    _add_json_flag(p, "trace summary")
+    p.set_defaults(func=cmd_obs)
 
     p = sub.add_parser(
         "loadgen",

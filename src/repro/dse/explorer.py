@@ -48,6 +48,7 @@ from ..mcu.board import Board
 from ..mcu.core import SegmentWorkload
 from ..nn.graph import Model, Node
 from ..nn.layers.base import LayerKind
+from ..obs.tracing import span
 from ..power.energy import EnergyAccount, EnergyCategory
 from ..power.model import PowerState
 from .space import DesignSpace
@@ -656,7 +657,13 @@ class DSEExplorer:
 
     def explore_model(self, model: Model) -> Dict[int, List[SolutionPoint]]:
         """Candidate clouds for every conv-family layer of a model."""
-        return {
-            node.node_id: self.explore_layer(model, node)
-            for node in model.conv_nodes()
-        }
+        with span("dse.explore", model=model.name) as sp:
+            clouds = {
+                node.node_id: self.explore_layer(model, node)
+                for node in model.conv_nodes()
+            }
+            sp.set(
+                layers=len(clouds),
+                candidates=sum(len(c) for c in clouds.values()),
+            )
+            return clouds

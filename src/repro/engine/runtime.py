@@ -25,6 +25,7 @@ from ..errors import TraceError, WatchdogResetError
 from ..mcu.board import Board
 from ..nn.graph import Model
 from ..nn.layers.base import LayerKind
+from ..obs.registry import get_registry
 from ..power.energy import EnergyAccount, EnergyCategory
 from ..power.model import PowerState
 from .cost import TraceBuilder, TraceParams
@@ -278,6 +279,23 @@ class DVFSRuntime:
             i += 1
         css_events += rcc.css_count
         pll_retries += rcc.pll_retries
+
+        # Hardening events land in the obs registry only when they
+        # happened: the nominal (fault-free) run pays nothing here.
+        if css_events or watchdog_resets or pll_retries:
+            registry = get_registry()
+            if css_events:
+                registry.count(
+                    "engine.hardening", n=css_events, event="css"
+                )
+            if watchdog_resets:
+                registry.count(
+                    "engine.hardening", n=watchdog_resets, event="watchdog"
+                )
+            if pll_retries:
+                registry.count(
+                    "engine.hardening", n=pll_retries, event="pll_retry"
+                )
 
         inference_latency = account.total_time_s
         inference_energy = account.total_energy_j

@@ -25,6 +25,7 @@ from typing import Dict, List, Optional
 
 from ..errors import FaultInjectionError
 from ..nn.graph import Model
+from ..obs.tracing import span
 from ..optimize.qos import QoSLevel
 from .plan import FaultPlan, GOVERN_STAGE
 
@@ -292,13 +293,29 @@ def run_campaign(
     captured in the rows.  Two calls with identical arguments produce
     byte-identical reports (:meth:`ChaosReport.digest`).
     """
+    config = config or ChaosConfig()
+    # The span is strictly observational: the report rows (and their
+    # byte-identity-gated digest) are computed exactly as before.
+    with span(
+        "chaos.campaign",
+        model=model.name,
+        devices=config.devices,
+        seed=config.seed,
+    ):
+        return _run_campaign(model, fault_plan, config)
+
+
+def _run_campaign(
+    model: Model,
+    fault_plan: FaultPlan,
+    config: ChaosConfig,
+) -> ChaosReport:
     # Imported here, not at module level: the scheduler itself imports
     # the fault models, and this module closes that loop.
     from ..fleet.governor import GovernorConfig, supervise_device
     from ..fleet.scheduler import FleetScheduler
     from ..fleet.variation import sample_fleet
 
-    config = config or ChaosConfig()
     fleet = sample_fleet(config.devices, seed=config.seed)
     level = QoSLevel(name=f"chaos+{config.qos_slack:.0%}", slack=config.qos_slack)
     scheduler = FleetScheduler(

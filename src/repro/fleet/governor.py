@@ -34,6 +34,8 @@ from typing import List, Optional
 from ..engine.schedule import DeploymentPlan, LayerPlan
 from ..errors import PowerModelError, ReproError, SensorReadError
 from ..nn.graph import Model
+from ..obs.audit import get_audit_log
+from ..obs.registry import get_registry
 from ..optimize.mckp import MCKPItem, reprice_classes
 from ..pipeline import DAEDVFSPipeline, OptimizationResult
 from ..power.energy import EnergyInterval
@@ -312,6 +314,16 @@ class FleetGovernor:
                 # The plan is held; the next epoch tries again.
                 invalid_streak += 1
                 invalid_epochs += 1
+                get_audit_log().record(
+                    "governor.epoch",
+                    "window_failed",
+                    device_id=profile.device_id,
+                    epoch=epoch,
+                    clamped=clamped,
+                )
+                get_registry().count(
+                    "fleet.governor", event="window_failed"
+                )
                 samples.append(
                     EpochSample(
                         epoch=epoch,
@@ -406,6 +418,31 @@ class FleetGovernor:
                     compensated_w = extra_w
                     replans += 1
                     replanned = True
+            # Audit the epoch's decision with the inputs it was made
+            # from -- strictly observational, recorded after every
+            # value above is already computed.
+            if replanned:
+                decision = "replan"
+            elif not met or clamped or drift_trigger:
+                decision = "replan_unavailable"
+            elif not telemetry_valid:
+                decision = "hold_invalid_telemetry"
+            else:
+                decision = "hold"
+            get_audit_log().record(
+                "governor.epoch",
+                decision,
+                device_id=profile.device_id,
+                epoch=epoch,
+                drift=drift,
+                threshold=threshold,
+                predicted_energy_j=predicted,
+                measured_energy_j=measured,
+                met_qos=met,
+                clamped=clamped,
+                telemetry_valid=telemetry_valid,
+            )
+            get_registry().count("fleet.governor", event=decision)
             invalid_streak = 0 if telemetry_valid else invalid_streak + 1
 
             # Epoch bookkeeping: the die integrates toward its

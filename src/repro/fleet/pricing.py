@@ -44,6 +44,7 @@ from ..engine.runtime import DVFSRuntime, IdlePolicy, InferenceReport
 from ..engine.schedule import DeploymentPlan
 from ..mcu.board import Board
 from ..nn.graph import Model, Node
+from ..obs.registry import get_registry
 from ..power.energy import EnergyAccount
 
 
@@ -93,6 +94,15 @@ class FleetSharedState:
         self.replays: Dict[Tuple, InferenceReport] = {}
         self.lock = threading.RLock()
 
+    def stats(self) -> Dict[str, int]:
+        """Occupancy of each shared pool (for the obs registry)."""
+        with self.lock:
+            return {
+                "components": len(self.components),
+                "stacks": len(self.stacks),
+                "replays": len(self.replays),
+            }
+
 
 class SharedComponentExplorer(DSEExplorer):
     """Explorer backed by a fleet-shared time-decomposition cache.
@@ -134,7 +144,13 @@ class SharedComponentExplorer(DSEExplorer):
         with shared.lock:
             cached = shared.components.get(key)
         if cached is not None:
+            get_registry().count(
+                "fleet.pricing", pool="components", event="hit"
+            )
             return cached
+        get_registry().count(
+            "fleet.pricing", pool="components", event="miss"
+        )
         trace = self.tracer.build(model, node, granularity)
         components = self.pricer.time_components_batch(
             trace, self.space.hfo_configs, self.space.lfo,
@@ -161,7 +177,13 @@ class SharedComponentExplorer(DSEExplorer):
         with shared.lock:
             cached = shared.stacks.get(key)
         if cached is not None:
+            get_registry().count(
+                "fleet.pricing", pool="stacks", event="hit"
+            )
             return cached
+        get_registry().count(
+            "fleet.pricing", pool="stacks", event="miss"
+        )
         entries = [
             self._components_for(model, node, g, assume_relock)
             for g in granularities
@@ -265,11 +287,18 @@ class ReplayingRuntime(DVFSRuntime):
         with shared.lock:
             record = shared.replays.get(key)
         if record is None:
+            get_registry().count(
+                "fleet.pricing", pool="replays", event="miss"
+            )
             record = super().run(
                 model, plan, qos_s=None, initial_config=initial_config
             )
             with shared.lock:
                 record = shared.replays.setdefault(key, record)
+        else:
+            get_registry().count(
+                "fleet.pricing", pool="replays", event="hit"
+            )
         return record
 
     def run(

@@ -39,6 +39,8 @@ from ..errors import (
 from ..faults.plan import FaultPlan, PLAN_STAGE
 from ..mcu.board import Board, make_nucleo_f767zi
 from ..nn.graph import Model
+from ..obs.audit import get_audit_log
+from ..obs.tracing import span, wrap
 from ..optimize.qos import QoSLevel
 from ..pipeline import DAEDVFSPipeline, OptimizationResult
 from .pricing import (
@@ -231,6 +233,10 @@ class FleetScheduler:
         up to ``max_plan_attempts``; a device that exhausts its budget
         (or fails persistently under injection) is quarantined.
         """
+        with span("fleet.plan_device", device_id=profile.device_id):
+            return self._plan_device(profile)
+
+    def _plan_device(self, profile: DeviceProfile) -> DeviceResult:
         fault_clock = None
         if self.fault_plan is not None and self.fault_plan.any_faults:
             fault_clock = self.fault_plan.clock_for(
@@ -269,6 +275,14 @@ class FleetScheduler:
             with self._quarantine_lock:
                 self.quarantined.append(profile.device_id)
                 self.quarantined.sort()
+            get_audit_log().record(
+                "fleet.scheduler",
+                "quarantine",
+                device_id=profile.device_id,
+                attempts=attempt,
+                transient=transient,
+                error=last_error,
+            )
         return DeviceResult(
             profile=profile, error=last_error, attempts=attempt,
             quarantined=quarantined,
@@ -286,8 +300,10 @@ class FleetScheduler:
         self, profiles: Sequence[DeviceProfile]
     ) -> List[DeviceResult]:
         """Plan the fleet on the worker pool; results in device order."""
+        # wrap() carries the caller's span/correlation context into the
+        # worker threads (identity while tracing is off).
         with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-            results = list(pool.map(self.plan_device, profiles))
+            results = list(pool.map(wrap(self.plan_device), profiles))
         results.sort(key=lambda r: r.device_id)
         return results
 

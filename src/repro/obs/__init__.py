@@ -1,0 +1,75 @@
+"""repro.obs -- unified tracing, metrics, and decision-audit layer.
+
+Three pillars, one import:
+
+* :mod:`~repro.obs.tracing` -- nested spans with correlation IDs
+  threaded serve request -> batcher -> pipeline -> explorer -> solver;
+  off by default with a near-zero-cost disabled path.
+* :mod:`~repro.obs.registry` -- process-wide labeled counters, gauges,
+  and log-bucket histograms (home of :class:`LatencyHistogram`), so
+  every subsystem's counters land in one snapshot.
+* :mod:`~repro.obs.audit` -- bounded structured log of governor /
+  admission / cache decisions with the inputs that produced them.
+
+Exports live in :mod:`~repro.obs.export`: JSONL and Chrome-trace
+(Perfetto) files plus a sha256 digest over the deterministic fields.
+See ``docs/observability.md`` for the span taxonomy and metric naming
+convention.
+"""
+
+from .audit import DecisionLog, DecisionRecord, get_audit_log, set_audit_log
+from .export import (
+    chrome_trace,
+    dicts_to_records,
+    dump_jsonl,
+    load_jsonl,
+    span_dicts,
+    trace_digest,
+    write_trace,
+)
+from .registry import (
+    LatencyHistogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from .tracing import (
+    SpanRecord,
+    Tracer,
+    correlation,
+    current_correlation,
+    get_tracer,
+    install,
+    span,
+    traced,
+    uninstall,
+    wrap,
+)
+
+__all__ = [
+    "DecisionLog",
+    "DecisionRecord",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "SpanRecord",
+    "Tracer",
+    "chrome_trace",
+    "correlation",
+    "current_correlation",
+    "dicts_to_records",
+    "dump_jsonl",
+    "get_audit_log",
+    "get_registry",
+    "get_tracer",
+    "install",
+    "load_jsonl",
+    "set_audit_log",
+    "set_registry",
+    "span",
+    "span_dicts",
+    "trace_digest",
+    "traced",
+    "uninstall",
+    "wrap",
+    "write_trace",
+]

@@ -1,0 +1,353 @@
+"""Unified metrics registry: counters, gauges, log-bucket histograms.
+
+Before this module existed every subsystem kept private counters --
+``serve/metrics.py`` had histograms only the TCP server could see, the
+pipeline and the fleet pricing caches counted hits on their own
+instances, and governor re-plans only surfaced in end-of-run reports.
+The registry gives all of them one process-wide home: a metric is a
+**labeled family** (``pipeline.cache`` with labels ``cache=cloud,
+event=hit``), every subsystem records into the default registry, and
+one :meth:`MetricsRegistry.snapshot` returns the coherent cross-layer
+view the serve ``stats`` endpoint (and the ``repro-dvfs obs`` CLI)
+reports.
+
+Naming convention (see ``docs/observability.md``): family names are
+dotted ``<subsystem>.<thing>`` (``pipeline.cache``, ``fleet.pricing``,
+``serve.sheds``); labels are short lowercase keys; event-style
+counters use an ``event`` label rather than separate families.
+
+:class:`LatencyHistogram` lives here (promoted out of
+``repro.serve.metrics``, which re-exports it for compatibility): a
+fixed log-spaced-bucket histogram whose percentile answers are bucket
+*upper bounds* -- a deterministic over-estimate whose relative error
+is bounded by the bucket ratio, ``10 ** (1/buckets_per_decade) - 1``
+(~33% at the default 8 buckets/decade).  :meth:`LatencyHistogram.buckets`
+exposes the exact per-bucket counts so clients can compute tighter
+two-sided bounds themselves (documented in ``docs/api.md``).
+
+Everything is lock-protected and cheap to record -- one bisect and a
+few integer adds per observation -- so metrics never become the reason
+a hot path stalls.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+
+def _log_bounds(
+    lo_s: float = 1e-6, hi_s: float = 100.0, per_decade: int = 8
+) -> List[float]:
+    """Log-spaced bucket upper bounds from ``lo_s`` to ``hi_s``."""
+    bounds = []
+    value = lo_s
+    ratio = 10.0 ** (1.0 / per_decade)
+    while value < hi_s:
+        bounds.append(value)
+        value *= ratio
+    bounds.append(hi_s)
+    return bounds
+
+
+class LatencyHistogram:
+    """Fixed-bucket log-spaced latency histogram.
+
+    Percentiles are answered as the upper bound of the bucket holding
+    the requested rank -- a deterministic over-estimate whose relative
+    error is bounded by the bucket ratio (~33% at 8 buckets/decade),
+    plenty for load-shedding decisions and benchmark gates.  Clients
+    needing tighter bounds should use :meth:`buckets`: the true value
+    of any percentile lies in ``(lower, le]`` of its bucket, so the
+    exact counts bound it two-sided.
+    """
+
+    def __init__(self, bounds: Optional[List[float]] = None):
+        self.bounds = bounds if bounds is not None else _log_bounds()
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum_s = 0.0
+        self.min_s = float("inf")
+        self.max_s = 0.0
+
+    def record(self, latency_s: float) -> None:
+        """Add one observation."""
+        index = bisect.bisect_left(self.bounds, latency_s)
+        self.counts[index] += 1
+        self.count += 1
+        self.sum_s += latency_s
+        self.min_s = min(self.min_s, latency_s)
+        self.max_s = max(self.max_s, latency_s)
+
+    # Alias so histograms fit the registry's observe() verb.
+    observe = record
+
+    def percentile_s(self, p: float) -> float:
+        """The ``p``-th percentile (0 < p <= 100), 0.0 when empty."""
+        if self.count == 0:
+            return 0.0
+        rank = max(1, int(round(p / 100.0 * self.count)))
+        seen = 0
+        for index, count in enumerate(self.counts):
+            seen += count
+            if seen >= rank:
+                if index < len(self.bounds):
+                    return self.bounds[index]
+                return self.max_s
+        return self.max_s
+
+    def buckets(self) -> List[Dict[str, float]]:
+        """Exact per-bucket counts, non-empty buckets only.
+
+        Each entry is ``{"le": upper_bound_s, "count": n}`` (the final
+        overflow bucket reports ``le`` as ``inf``); together with
+        ``count`` this is a complete, exact snapshot of the recorded
+        distribution, so clients can compute two-sided percentile
+        bounds instead of trusting the upper-bound answers of
+        :meth:`percentile_s`.
+        """
+        out: List[Dict[str, float]] = []
+        for index, count in enumerate(self.counts):
+            if count == 0:
+                continue
+            le = (
+                self.bounds[index]
+                if index < len(self.bounds)
+                else float("inf")
+            )
+            out.append({"le": le, "count": count})
+        return out
+
+    def to_dict(self, include_buckets: bool = False) -> Dict[str, Any]:
+        """Summary statistics (optionally with the exact bucket counts)."""
+        summary: Dict[str, Any] = {
+            "count": self.count,
+            "mean_s": self.sum_s / self.count if self.count else 0.0,
+            "min_s": self.min_s if self.count else 0.0,
+            "max_s": self.max_s,
+            "p50_s": self.percentile_s(50),
+            "p95_s": self.percentile_s(95),
+            "p99_s": self.percentile_s(99),
+        }
+        if include_buckets:
+            summary["buckets"] = self.buckets()
+        return summary
+
+
+def _label_key(label_names: Tuple[str, ...], labels: Dict[str, Any]) -> Tuple:
+    if tuple(sorted(labels)) != tuple(sorted(label_names)):
+        raise ValueError(
+            f"expected labels {sorted(label_names)}, got {sorted(labels)}"
+        )
+    return tuple(str(labels[name]) for name in label_names)
+
+
+class _Family:
+    """One named family of metrics, keyed by label values."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, label_names: Sequence[str] = ()):
+        self.name = name
+        self.label_names = tuple(label_names)
+        self._children: Dict[Tuple, Any] = {}
+        self._lock = threading.Lock()
+
+    def _make_child(self) -> Any:
+        raise NotImplementedError
+
+    def child(self, labels: Dict[str, Any]) -> Any:
+        key = _label_key(self.label_names, labels)
+        with self._lock:
+            existing = self._children.get(key)
+            if existing is None:
+                existing = self._children.setdefault(
+                    key, self._make_child()
+                )
+            return existing
+
+    def items(self) -> List[Tuple[Tuple, Any]]:
+        with self._lock:
+            return sorted(self._children.items())
+
+    def _label_repr(self, key: Tuple) -> str:
+        return ",".join(
+            f"{name}={value}"
+            for name, value in zip(self.label_names, key)
+        )
+
+
+class _CounterFamily(_Family):
+    kind = "counter"
+
+    def _make_child(self) -> List[float]:
+        return [0.0]
+
+
+class _GaugeFamily(_Family):
+    kind = "gauge"
+
+    def _make_child(self) -> List[float]:
+        return [0.0]
+
+
+class _HistogramFamily(_Family):
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        label_names: Sequence[str] = (),
+        bounds: Optional[List[float]] = None,
+    ):
+        super().__init__(name, label_names)
+        self._bounds = bounds
+
+    def _make_child(self) -> LatencyHistogram:
+        return LatencyHistogram(
+            list(self._bounds) if self._bounds is not None else None
+        )
+
+
+class MetricsRegistry:
+    """Process-wide labeled metric families with one-call recording.
+
+    The recording verbs (:meth:`count`, :meth:`gauge_set`,
+    :meth:`observe`) create the family on first use, so call sites
+    never need registration boilerplate; a family's label *names* are
+    fixed by its first use and a mismatch raises immediately (catching
+    typos rather than silently forking families).
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._families: Dict[str, _Family] = {}
+
+    def _family(self, name: str, cls, label_names: Tuple[str, ...], **kw):
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = self._families.setdefault(
+                    name, cls(name, label_names, **kw)
+                )
+        if not isinstance(family, cls):
+            raise ValueError(
+                f"metric {name!r} is a {family.kind}, not a {cls.kind}"
+            )
+        if family.label_names != label_names:
+            raise ValueError(
+                f"metric {name!r} has labels {family.label_names}, "
+                f"got {label_names}"
+            )
+        return family
+
+    # -- recording verbs ---------------------------------------------------------
+
+    def count(self, name: str, n: float = 1.0, **labels: Any) -> None:
+        """Increment counter ``name`` (labeled by ``labels``) by ``n``."""
+        family = self._family(
+            name, _CounterFamily, tuple(sorted(labels))
+        )
+        cell = family.child(labels)
+        with family._lock:
+            cell[0] += n
+
+    def gauge_set(self, name: str, value: float, **labels: Any) -> None:
+        """Set gauge ``name`` (labeled by ``labels``) to ``value``."""
+        family = self._family(name, _GaugeFamily, tuple(sorted(labels)))
+        cell = family.child(labels)
+        with family._lock:
+            cell[0] = value
+
+    def observe(self, name: str, value_s: float, **labels: Any) -> None:
+        """Record one observation into histogram ``name``."""
+        family = self._family(
+            name, _HistogramFamily, tuple(sorted(labels))
+        )
+        histogram = family.child(labels)
+        with family._lock:
+            histogram.record(value_s)
+
+    def histogram(
+        self, name: str, **labels: Any
+    ) -> LatencyHistogram:
+        """The (created-on-first-use) histogram behind ``name``/``labels``."""
+        family = self._family(
+            name, _HistogramFamily, tuple(sorted(labels))
+        )
+        return family.child(labels)
+
+    def counter_value(self, name: str, **labels: Any) -> float:
+        """Current value of a counter (0.0 when never incremented)."""
+        with self._lock:
+            family = self._families.get(name)
+        if family is None or not isinstance(family, _CounterFamily):
+            return 0.0
+        try:
+            key = _label_key(family.label_names, labels)
+        except ValueError:
+            return 0.0
+        with family._lock:
+            cell = family._children.get(key)
+            return cell[0] if cell is not None else 0.0
+
+    # -- reporting ---------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe copy of every family, deterministically ordered.
+
+        Shape: ``{"counters": {name: {label_repr: value}}, "gauges":
+        {...}, "histograms": {name: {label_repr: summary+buckets}}}``.
+        Unlabeled metrics use the empty-string label key.
+        """
+        with self._lock:
+            families = sorted(self._families.items())
+        counters: Dict[str, Dict[str, float]] = {}
+        gauges: Dict[str, Dict[str, float]] = {}
+        histograms: Dict[str, Dict[str, Any]] = {}
+        for name, family in families:
+            if isinstance(family, _HistogramFamily):
+                histograms[name] = {
+                    family._label_repr(key): hist.to_dict(
+                        include_buckets=True
+                    )
+                    for key, hist in family.items()
+                }
+            elif isinstance(family, _GaugeFamily):
+                gauges[name] = {
+                    family._label_repr(key): cell[0]
+                    for key, cell in family.items()
+                }
+            else:
+                counters[name] = {
+                    family._label_repr(key): cell[0]
+                    for key, cell in family.items()
+                }
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def reset(self) -> None:
+        """Drop every family (tests; production registries live forever)."""
+        with self._lock:
+            self._families.clear()
+
+
+#: The process-wide default registry every subsystem records into.
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _REGISTRY
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the default registry (tests); returns the previous one."""
+    global _REGISTRY
+    previous = _REGISTRY
+    _REGISTRY = registry
+    return previous

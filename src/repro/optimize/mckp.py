@@ -30,6 +30,7 @@ from typing import Any, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import QoSInfeasibleError, SolverError
+from ..obs.tracing import span
 
 
 @dataclass(frozen=True)
@@ -185,6 +186,17 @@ def solve_mckp_dp(
             exceed the budget (on the conservative grid).
         SolverError: for malformed instances.
     """
+    with span(
+        "mckp.solve", classes=len(classes), resolution=resolution
+    ):
+        return _solve_mckp_dp(classes, budget, resolution)
+
+
+def _solve_mckp_dp(
+    classes: Sequence[Sequence[MCKPItem]],
+    budget: float,
+    resolution: int,
+) -> MCKPSolution:
     _validate_classes(classes)
     if budget < 0:
         raise SolverError(f"budget must be >= 0, got {budget}")

@@ -35,6 +35,8 @@ from .engine.tinyengine import TinyEngine, TinyEngineClockGated
 from .errors import QoSInfeasibleError, SolverError
 from .mcu.board import Board, make_nucleo_f767zi
 from .nn.graph import Model
+from .obs.registry import get_registry
+from .obs.tracing import span
 from .optimize.greedy import solve_mckp_greedy
 from .optimize.mckp import MCKPItem, solve_mckp_dp
 from .optimize.qos import QoSLevel
@@ -42,6 +44,11 @@ from .optimize.qos import QoSLevel
 if TYPE_CHECKING:  # pragma: no cover - typing-only, avoids cycles
     from .optimize.harmonize import HarmonizationResult
     from .profiling.profiler import LayerProfiler
+
+
+def _cache_event(cache: str, event: str) -> None:
+    """Count one Step-2 memo-cache hit/miss in the metrics registry."""
+    get_registry().count("pipeline.cache", cache=cache, event=event)
 
 
 @dataclass
@@ -345,7 +352,9 @@ class DAEDVFSPipeline:
         with self._cache_lock:
             cached = self._baseline_cache.get(key)
         if cached is not None:
+            _cache_event("baseline", "hit")
             return cached
+        _cache_event("baseline", "miss")
         baseline = self._tinyengine.inference_latency_s(model)
         with self._cache_lock:
             return self._baseline_cache.setdefault(key, baseline)
@@ -366,7 +375,9 @@ class DAEDVFSPipeline:
         with self._cache_lock:
             cached = self._fixed_overhead_cache.get(key)
         if cached is not None:
+            _cache_event("fixed", "hit")
             return cached
+        _cache_event("fixed", "miss")
         fastest = max(self.space.hfo_configs, key=lambda c: c.sysclk_hz)
         conv_ids = {node.node_id for node in model.conv_nodes()}
         overhead = 0.0
@@ -399,6 +410,22 @@ class DAEDVFSPipeline:
         """
         if (qos_level is None) == (qos_s is None):
             raise SolverError("provide exactly one of qos_level or qos_s")
+        with span(
+            "pipeline.optimize", model=model.name, solver=self.solver
+        ) as sp:
+            result = self._optimize(model, qos_level, qos_s)
+            sp.set(
+                qos_s=result.qos_s,
+                predicted_energy_j=result.plan.predicted_energy_j,
+            )
+            return result
+
+    def _optimize(
+        self,
+        model: Model,
+        qos_level: Optional[QoSLevel],
+        qos_s: Optional[float],
+    ) -> OptimizationResult:
         baseline = self.baseline_latency_s(model)
         budget = qos_s if qos_s is not None else qos_level.budget_s(baseline)
 
@@ -484,27 +511,34 @@ class DAEDVFSPipeline:
         with self._cache_lock:
             cached = self._cloud_cache.get(key)
         if cached is not None:
+            _cache_event("cloud", "hit")
             return cached
-        if self.profiler is None:
-            clouds = self.explorer.explore_model(model)
-        else:
-            clouds = {}
-            for node in model.conv_nodes():
-                records = self.profiler.profile_layer(
-                    model, node, assume_relock=False
-                )
-                clouds[node.node_id] = [
-                    SolutionPoint(
-                        node_id=node.node_id,
-                        layer_name=node.layer.name,
-                        layer_kind=node.layer.kind,
-                        granularity=record.granularity,
-                        hfo=record.hfo,
-                        latency_s=record.latency_s,
-                        energy_j=record.energy_j,
+        _cache_event("cloud", "miss")
+        with span(
+            "pipeline.explore",
+            model=model.name,
+            profiled=self.profiler is not None,
+        ):
+            if self.profiler is None:
+                clouds = self.explorer.explore_model(model)
+            else:
+                clouds = {}
+                for node in model.conv_nodes():
+                    records = self.profiler.profile_layer(
+                        model, node, assume_relock=False
                     )
-                    for record in records
-                ]
+                    clouds[node.node_id] = [
+                        SolutionPoint(
+                            node_id=node.node_id,
+                            layer_name=node.layer.name,
+                            layer_kind=node.layer.kind,
+                            granularity=record.granularity,
+                            hfo=record.hfo,
+                            latency_s=record.latency_s,
+                            energy_j=record.energy_j,
+                        )
+                        for record in records
+                    ]
         with self._cache_lock:
             return self._cloud_cache.setdefault(key, clouds)
 
@@ -516,7 +550,9 @@ class DAEDVFSPipeline:
         with self._cache_lock:
             cached = self._front_cache.get(key)
         if cached is not None:
+            _cache_event("front", "hit")
             return cached
+        _cache_event("front", "miss")
         fronts = {
             node_id: pareto_front(
                 points, key=lambda p: (p.latency_s, p.energy_j)
@@ -572,15 +608,24 @@ class DAEDVFSPipeline:
         is burned.
         """
         effective_budget = conv_budget * 0.999
-        for _ in range(self.max_refinements + 1):
-            try:
-                solution = self._solve_classes(classes, effective_budget)
-            except QoSInfeasibleError:
-                return None
-            plan = self._plan_from_solution(model, solution, budget, fixed)
-            actual = self.runtime.measure_latency_s(
-                model, plan, initial_config=plan.initial_config()
-            )
+        for round_index in range(self.max_refinements + 1):
+            with span("pipeline.solve", round=round_index) as sp:
+                try:
+                    solution = self._solve_classes(
+                        classes, effective_budget
+                    )
+                except QoSInfeasibleError:
+                    sp.set(outcome="infeasible")
+                    return None
+                plan = self._plan_from_solution(
+                    model, solution, budget, fixed
+                )
+                actual = self.runtime.measure_latency_s(
+                    model, plan, initial_config=plan.initial_config()
+                )
+                sp.set(
+                    outcome="converged" if actual <= budget else "tighten"
+                )
             if actual <= budget:
                 return plan
             # The gap between the runtime and the per-layer predictions
@@ -609,7 +654,9 @@ class DAEDVFSPipeline:
         with self._cache_lock:
             cached = self._uniform_front_cache.get(key)
         if cached is not None:
+            _cache_event("uniform", "hit")
             return cached
+        _cache_event("uniform", "miss")
         node_ids = sorted(clouds)
         # One pass per node groups its cloud by HFO (stable order), so
         # the per-HFO loop below indexes instead of rescanning the
@@ -740,13 +787,14 @@ class DAEDVFSPipeline:
                 through the hardened (CSS / watchdog / retry) engine
                 paths.  ``None`` is bit-identical to the nominal run.
         """
-        return self.runtime.run(
-            model,
-            plan,
-            qos_s=qos_s if qos_s is not None else plan.qos_s,
-            initial_config=plan.initial_config(),
-            fault_clock=fault_clock,
-        )
+        with span("pipeline.deploy", model=model.name):
+            return self.runtime.run(
+                model,
+                plan,
+                qos_s=qos_s if qos_s is not None else plan.qos_s,
+                initial_config=plan.initial_config(),
+                fault_clock=fault_clock,
+            )
 
     # -- the Fig. 5 comparison ---------------------------------------------------
 

@@ -23,6 +23,7 @@ import time
 from typing import Callable, Dict, Optional
 
 from ..errors import OverloadedError, ReproError
+from ..obs.audit import get_audit_log
 
 
 class ArrivalClock:
@@ -132,6 +133,14 @@ class AdmissionController:
         with self._lock:
             if self._in_flight >= self.max_queue_depth:
                 self.sheds["queue_full"] += 1
+                depth = self._in_flight
+                get_audit_log().record(
+                    "serve.admission",
+                    "shed",
+                    reason="queue_full",
+                    depth=depth,
+                    max_queue_depth=self.max_queue_depth,
+                )
                 raise OverloadedError(
                     reason="queue_full",
                     # Draining one slot takes about one service time;
@@ -143,6 +152,13 @@ class AdmissionController:
                 )
             if self.bucket is not None and not self.bucket.try_acquire():
                 self.sheds["rate_limited"] += 1
+                get_audit_log().record(
+                    "serve.admission",
+                    "shed",
+                    reason="rate_limited",
+                    depth=self._in_flight,
+                    rate_per_s=self.bucket.rate_per_s,
+                )
                 raise OverloadedError(
                     reason="rate_limited",
                     retry_after_s=self.bucket.retry_after_s,

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from ..errors import DeadlineExceededError, ReproError
+from ..obs.tracing import span, wrap
 from .metrics import ServeMetrics
 
 
@@ -91,8 +92,10 @@ class PlanBatcher:
         """
         loop = asyncio.get_running_loop()
         if not self.enabled:
+            # wrap() carries this request's span/correlation context
+            # into the worker thread (no-op while tracing is off).
             future: "asyncio.Future[Any]" = loop.run_in_executor(
-                self.executor, fn
+                self.executor, wrap(fn)
             )
             return await self._await_with_deadline(future, deadline_s)
         batch = self._inflight.get(key)
@@ -136,8 +139,17 @@ class PlanBatcher:
         batch.dispatched = True
         if self.metrics is not None:
             self.metrics.record_batch(batch.size)
+        size = batch.size
+
+        def call():
+            with span("serve.batch", op=str(key[0]), size=size):
+                return fn()
+
         try:
-            result = await loop.run_in_executor(self.executor, fn)
+            # This task was created in the first submitter's context,
+            # so wrap() hands that request's span/correlation context
+            # to the worker thread (no-op while tracing is off).
+            result = await loop.run_in_executor(self.executor, wrap(call))
         except BaseException as err:  # noqa: BLE001 - fan the error out
             if not batch.future.cancelled():
                 batch.future.set_exception(err)

@@ -19,6 +19,7 @@ from collections import OrderedDict
 from typing import Any, Dict, Optional, Tuple
 
 from ..errors import ReproError
+from ..obs.registry import get_registry
 
 
 def plan_cache_key(
@@ -54,10 +55,13 @@ class PlanCache:
             entry = self._entries.get(key)
             if entry is None:
                 self.misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return entry
+            else:
+                self._entries.move_to_end(key)
+                self.hits += 1
+        get_registry().count(
+            "serve.plan_cache", event="miss" if entry is None else "hit"
+        )
+        return entry
 
     def put(self, key: Tuple, payload: Dict[str, Any]) -> Dict[str, Any]:
         """Insert (or refresh) one payload, evicting the LRU tail.
@@ -66,6 +70,7 @@ class PlanCache:
         the same key converge on the first-published value, mirroring
         the pipeline caches' ``setdefault`` discipline.
         """
+        evicted = 0
         with self._lock:
             existing = self._entries.get(key)
             if existing is not None:
@@ -75,7 +80,12 @@ class PlanCache:
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.evictions += 1
-            return payload
+                evicted += 1
+        if evicted:
+            get_registry().count(
+                "serve.plan_cache", n=evicted, event="eviction"
+            )
+        return payload
 
     def clear(self) -> None:
         """Drop every entry (counters survive)."""

@@ -2,9 +2,17 @@
 
 The ``stats`` endpoint answers straight from a
 :class:`ServeMetrics` snapshot: per-endpoint latency percentiles
-(p50/p95/p99 out of log-spaced histogram buckets), queue depth (current
-and peak), shed counts by reason, batch coalescing ratios and the plan
-cache's hit/miss/eviction counters.
+(p50/p95/p99 out of log-spaced histogram buckets plus the exact
+per-bucket counts), queue depth (current and peak), shed counts by
+reason, batch coalescing ratios and the plan cache's
+hit/miss/eviction counters.
+
+:class:`LatencyHistogram` now lives in :mod:`repro.obs.registry` --
+the process-wide metrics registry -- and is re-exported here so
+existing imports keep working.  :class:`ServeMetrics` additionally
+mirrors its counters into the default registry, so the serve numbers
+appear alongside pipeline/fleet metrics in one
+:meth:`~repro.obs.registry.MetricsRegistry.snapshot`.
 
 Everything is lock-protected and cheap to record -- one bisect and a
 few integer adds per request -- so metrics never become the reason the
@@ -13,76 +21,12 @@ event loop stalls.
 
 from __future__ import annotations
 
-import bisect
 import threading
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict
 
+from ..obs.registry import LatencyHistogram, _log_bounds, get_registry
 
-def _log_bounds(
-    lo_s: float = 1e-6, hi_s: float = 100.0, per_decade: int = 8
-) -> List[float]:
-    """Log-spaced bucket upper bounds from ``lo_s`` to ``hi_s``."""
-    bounds = []
-    value = lo_s
-    ratio = 10.0 ** (1.0 / per_decade)
-    while value < hi_s:
-        bounds.append(value)
-        value *= ratio
-    bounds.append(hi_s)
-    return bounds
-
-
-class LatencyHistogram:
-    """Fixed-bucket log-spaced latency histogram.
-
-    Percentiles are answered as the upper bound of the bucket holding
-    the requested rank -- a deterministic over-estimate whose relative
-    error is bounded by the bucket ratio (~33% at 8 buckets/decade),
-    plenty for load-shedding decisions and benchmark gates.
-    """
-
-    def __init__(self, bounds: Optional[List[float]] = None):
-        self.bounds = bounds if bounds is not None else _log_bounds()
-        self.counts = [0] * (len(self.bounds) + 1)
-        self.count = 0
-        self.sum_s = 0.0
-        self.min_s = float("inf")
-        self.max_s = 0.0
-
-    def record(self, latency_s: float) -> None:
-        """Add one observation."""
-        index = bisect.bisect_left(self.bounds, latency_s)
-        self.counts[index] += 1
-        self.count += 1
-        self.sum_s += latency_s
-        self.min_s = min(self.min_s, latency_s)
-        self.max_s = max(self.max_s, latency_s)
-
-    def percentile_s(self, p: float) -> float:
-        """The ``p``-th percentile (0 < p <= 100), 0.0 when empty."""
-        if self.count == 0:
-            return 0.0
-        rank = max(1, int(round(p / 100.0 * self.count)))
-        seen = 0
-        for index, count in enumerate(self.counts):
-            seen += count
-            if seen >= rank:
-                if index < len(self.bounds):
-                    return self.bounds[index]
-                return self.max_s
-        return self.max_s
-
-    def to_dict(self) -> Dict[str, Any]:
-        """Summary statistics (no raw buckets -- they are internal)."""
-        return {
-            "count": self.count,
-            "mean_s": self.sum_s / self.count if self.count else 0.0,
-            "min_s": self.min_s if self.count else 0.0,
-            "max_s": self.max_s,
-            "p50_s": self.percentile_s(50),
-            "p95_s": self.percentile_s(95),
-            "p99_s": self.percentile_s(99),
-        }
+__all__ = ["LatencyHistogram", "ServeMetrics", "_log_bounds"]
 
 
 class ServeMetrics:
@@ -110,28 +54,41 @@ class ServeMetrics:
             if histogram is None:
                 histogram = self._latency.setdefault(op, LatencyHistogram())
             histogram.record(latency_s)
+        registry = get_registry()
+        registry.count("serve.requests", op=op)
+        registry.observe("serve.latency", latency_s, op=op)
 
     def record_error(self, kind: str) -> None:
         """Count one failed request by its typed error kind."""
         with self._lock:
             self._errors[kind] = self._errors.get(kind, 0) + 1
+        get_registry().count("serve.errors", kind=kind)
 
     def record_shed(self, reason: str) -> None:
         """Count one admission-control shed by reason."""
         with self._lock:
             self._sheds[reason] = self._sheds.get(reason, 0) + 1
+        get_registry().count("serve.sheds", reason=reason)
 
     def record_queue_depth(self, depth: int) -> None:
         """Track the in-flight gauge (and its high-water mark)."""
         with self._lock:
             self.queue_depth = depth
             self.queue_depth_peak = max(self.queue_depth_peak, depth)
+        registry = get_registry()
+        registry.gauge_set("serve.queue_depth", float(depth))
+        registry.gauge_set(
+            "serve.queue_depth_peak", float(self.queue_depth_peak)
+        )
 
     def record_batch(self, size: int) -> None:
         """Count one coalesced exploration batch of ``size`` requests."""
         with self._lock:
             self.batches += 1
             self.batched_requests += size
+        registry = get_registry()
+        registry.count("serve.batches")
+        registry.count("serve.batched_requests", n=size)
 
     def record_telemetry(
         self, model: str, predicted_j: float, measured_j: float
@@ -140,6 +97,7 @@ class ServeMetrics:
         drift = 0.0
         if predicted_j > 0:
             drift = (measured_j - predicted_j) / predicted_j
+        get_registry().count("serve.telemetry_samples", model=model)
         with self._lock:
             entry = self.telemetry_samples.setdefault(
                 model, {"count": 0.0, "drift_sum": 0.0, "abs_drift_max": 0.0}
@@ -180,7 +138,7 @@ class ServeMetrics:
                     batched / self.batches if self.batches else 0.0
                 ),
                 "latency_by_op": {
-                    op: histogram.to_dict()
+                    op: histogram.to_dict(include_buckets=True)
                     for op, histogram in sorted(self._latency.items())
                 },
                 "telemetry": {

@@ -23,6 +23,9 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional, Set, Tuple
 
 from ..errors import OverloadedError, ProtocolError, ReproError
+from ..obs.audit import get_audit_log
+from ..obs.registry import get_registry
+from ..obs.tracing import correlation, get_tracer, span
 from .admission import AdmissionController, ArrivalClock, TokenBucket
 from .batcher import PlanBatcher
 from .cache import PlanCache
@@ -127,7 +130,22 @@ class PlanServer:
     # -- request handling --------------------------------------------------------
 
     async def handle_request(self, request: Request) -> Response:
-        """Dispatch one decoded request to its endpoint."""
+        """Dispatch one decoded request to its endpoint.
+
+        When tracing is on, the whole dispatch runs inside a
+        ``serve.request`` span whose correlation ID is the request ID,
+        so every downstream span -- batcher, pipeline, explorer,
+        solver, even in pool threads -- carries the request identity.
+        """
+        if get_tracer() is None:
+            return await self._dispatch(request)
+        with correlation(request.id or None):
+            with span("serve.request", op=request.op) as sp:
+                response = await self._dispatch(request)
+                sp.set(ok=response.ok)
+                return response
+
+    async def _dispatch(self, request: Request) -> Response:
         start = time.perf_counter()
         deadline_s = request.deadline_s
         if deadline_s is None:
@@ -229,10 +247,15 @@ class PlanServer:
         )
 
     def stats(self) -> Dict[str, Any]:
-        """The ``stats`` payload: metrics + cache + admission view."""
+        """The ``stats`` payload: metrics + cache + admission +
+        the process-wide obs registry (one coherent snapshot covering
+        pipeline/fleet internals that happen off the request path)."""
+        self.service.publish_registry()
         return {
             "metrics": self.metrics.snapshot(),
             "cache": self.cache.stats(),
+            "registry": get_registry().snapshot(),
+            "audit": get_audit_log().counts(),
             "admission": {
                 "max_queue_depth": self.admission.max_queue_depth,
                 "depth": self.admission.depth,

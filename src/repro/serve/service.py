@@ -36,6 +36,9 @@ from ..fleet.pricing import (
 from ..mcu.board import Board, make_nucleo_f767zi
 from ..nn import PAPER_MODELS, build_tiny_test_model
 from ..nn.graph import Model
+from ..obs.audit import get_audit_log
+from ..obs.registry import get_registry
+from ..obs.tracing import span
 from ..optimize.mckp import MCKPItem, reprice_classes
 from ..optimize.qos import QoSLevel
 from ..pipeline import DAEDVFSPipeline, OptimizationResult
@@ -228,17 +231,33 @@ class PlanService:
         use_cache: bool = True,
     ) -> Dict[str, Any]:
         """Plan (or serve from cache) one (model, QoS) request."""
-        model = self.resolve_model(model_name)
-        key = self.cache_key(model, qos_key)
-        if self.cache_enabled and use_cache:
-            cached = self.cache.get(key)
-            if cached is not None:
-                return {**cached, "cached": True}
-        _, result = self._optimize(model_name, qos_key)
-        payload = self._payload(model_name, qos_key, result)
-        if self.cache_enabled and use_cache:
-            payload = self.cache.put(key, payload)
-        return {**payload, "cached": False}
+        with span("serve.plan", model=model_name) as sp:
+            model = self.resolve_model(model_name)
+            key = self.cache_key(model, qos_key)
+            if self.cache_enabled and use_cache:
+                cached = self.cache.get(key)
+                if cached is not None:
+                    sp.set(cached=True)
+                    get_audit_log().record(
+                        "serve.cache",
+                        "hit",
+                        model=model_name,
+                        qos=list(qos_key),
+                    )
+                    return {**cached, "cached": True}
+            sp.set(cached=False)
+            get_audit_log().record(
+                "serve.cache",
+                "bypass" if not (self.cache_enabled and use_cache)
+                else "miss",
+                model=model_name,
+                qos=list(qos_key),
+            )
+            _, result = self._optimize(model_name, qos_key)
+            payload = self._payload(model_name, qos_key, result)
+            if self.cache_enabled and use_cache:
+                payload = self.cache.put(key, payload)
+            return {**payload, "cached": False}
 
     def plan_cold(self, model_name: str, qos_key: Tuple) -> Dict[str, Any]:
         """Plan on a fresh pipeline -- the batch-CLI cost, per request.
@@ -280,6 +299,13 @@ class PlanService:
         key = (model_fingerprint(model), qos_key)
         with self._front_lock:
             result = self._front_store.get(key)
+        get_audit_log().record(
+            "serve.reprice",
+            "fronts_cached" if result is not None else "fronts_cold",
+            model=model_name,
+            extra_power_w=extra_power_w,
+            max_hfo_mhz=max_hfo_mhz,
+        )
         if result is None:
             _, result = self._optimize(model_name, qos_key)
         node_ids = sorted(result.pareto_fronts)
@@ -301,13 +327,21 @@ class PlanService:
         classes = reprice_classes(
             classes, extra_power_w=extra_power_w, item_filter=item_filter
         )
-        plan = self.pipeline.replan(
-            model, classes, result.qos_s, result.fixed_overhead_s
-        )
+        with span("serve.reprice", model=model_name) as sp:
+            plan = self.pipeline.replan(
+                model, classes, result.qos_s, result.fixed_overhead_s
+            )
+            sp.set(fallback=plan is None)
         if plan is None:
             # Free re-solve could not converge the sequence-dependent
             # relock overhead; uniform single-HFO schedules never pay
             # it (same fallback the fleet governor uses).
+            get_audit_log().record(
+                "serve.reprice",
+                "uniform_fallback",
+                model=model_name,
+                qos_s=result.qos_s,
+            )
             plan = self.pipeline.uniform_plan_from_classes(
                 model,
                 classes,
@@ -339,6 +373,30 @@ class PlanService:
             "max_hfo_mhz": max_hfo_mhz,
         }
         return {**payload, "cached": False}
+
+    def publish_registry(self) -> None:
+        """Mirror off-request-path cache counters into the registry.
+
+        The trace-builder cache counts hits on its own instance (the
+        hot path stays registry-free); snapshot time copies them into
+        gauges so the serve ``stats`` endpoint reports one coherent
+        cross-layer view.
+        """
+        registry = get_registry()
+        tracer = self.pipeline.tracer
+        registry.gauge_set(
+            "pipeline.trace_cache", float(tracer.cache_hits), event="hits"
+        )
+        registry.gauge_set(
+            "pipeline.trace_cache",
+            float(tracer.cache_misses),
+            event="misses",
+        )
+        stats = self.shared.stats()
+        for name, value in stats.items():
+            registry.gauge_set(
+                "fleet.shared_state", float(value), pool=name
+            )
 
     # -- health ------------------------------------------------------------------
 

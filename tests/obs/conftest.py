@@ -1,0 +1,33 @@
+"""Shared obs fixtures: isolate the process-wide singletons per test."""
+
+import pytest
+
+from repro.obs.audit import DecisionLog, set_audit_log
+from repro.obs.registry import MetricsRegistry, set_registry
+from repro.obs.tracing import Tracer, install, uninstall
+
+
+@pytest.fixture
+def tracer():
+    """A deterministic tracer installed for the test, removed after."""
+    t = install(Tracer(deterministic=True))
+    yield t
+    uninstall()
+
+
+@pytest.fixture
+def registry():
+    """A fresh default registry for the test; the old one is restored."""
+    fresh = MetricsRegistry()
+    previous = set_registry(fresh)
+    yield fresh
+    set_registry(previous)
+
+
+@pytest.fixture
+def audit():
+    """A fresh default decision log; the old one is restored."""
+    fresh = DecisionLog()
+    previous = set_audit_log(fresh)
+    yield fresh
+    set_audit_log(previous)

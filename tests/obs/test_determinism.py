@@ -1,0 +1,105 @@
+"""End-to-end trace determinism: seeded runs digest identically.
+
+The acceptance gate of the obs layer: the trace digest is a pure
+function of what the run computed, so two identical seeded runs match
+byte-for-byte while any parameter flip (QoS, drift power) shows up as
+a different digest.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.nn import build_tiny_test_model
+from repro.obs.export import trace_digest
+from repro.obs.tracing import Tracer, install, uninstall
+from repro.optimize import QoSLevel
+from repro.pipeline import DAEDVFSPipeline
+
+
+def _traced_optimize(slack: float) -> tuple:
+    tracer = install(Tracer(deterministic=True))
+    try:
+        pipeline = DAEDVFSPipeline()
+        model = build_tiny_test_model()
+        pipeline.optimize(
+            model, qos_level=QoSLevel(name=f"{slack:.0%}", slack=slack)
+        )
+    finally:
+        uninstall()
+    return tracer.spans(), tracer.dropped
+
+
+class TestPipelineDeterminism:
+    def test_identical_runs_digest_identically(self):
+        spans_a, dropped_a = _traced_optimize(0.30)
+        spans_b, dropped_b = _traced_optimize(0.30)
+        assert trace_digest(spans_a, dropped_a) == trace_digest(
+            spans_b, dropped_b
+        )
+
+    def test_flipped_qos_changes_digest(self):
+        spans_a, dropped_a = _traced_optimize(0.30)
+        spans_b, dropped_b = _traced_optimize(0.50)
+        assert trace_digest(spans_a, dropped_a) != trace_digest(
+            spans_b, dropped_b
+        )
+
+
+class TestServeSpanTree:
+    @pytest.fixture
+    def served_spans(self):
+        from repro.serve import PlanServer, ServeConfig
+
+        tracer = install(Tracer(deterministic=True))
+        try:
+            server = PlanServer(ServeConfig(workers=2))
+            request = {
+                "v": 1,
+                "id": "plan-1",
+                "op": "plan",
+                "params": {"model": "tiny", "qos_percent": 30},
+            }
+
+            async def _run():
+                try:
+                    return await server.handle_request_dict(request)
+                finally:
+                    server.batcher.shutdown()
+
+            response = asyncio.run(_run())
+        finally:
+            uninstall()
+        assert response["ok"], response
+        return tracer.spans()
+
+    def test_span_tree_spans_all_layers(self, served_spans):
+        names = {r.name for r in served_spans}
+        assert {
+            "serve.request",
+            "serve.batch",
+            "serve.plan",
+            "pipeline.optimize",
+            "pipeline.explore",
+            "dse.explore",
+            "mckp.solve",
+        } <= names
+
+    def test_one_correlation_id_everywhere(self, served_spans):
+        assert {r.correlation for r in served_spans} == {"plan-1"}
+
+    def test_parent_links_chain_to_the_request(self, served_spans):
+        by_seq = {r.seq: r for r in served_spans}
+
+        def root_of(record):
+            while record.parent_seq is not None:
+                record = by_seq[record.parent_seq]
+            return record
+
+        request = next(
+            r for r in served_spans if r.name == "serve.request"
+        )
+        solves = [r for r in served_spans if r.name == "mckp.solve"]
+        assert solves
+        for solve in solves:
+            assert root_of(solve) is request

@@ -1,0 +1,116 @@
+"""Exporters: digest determinism, Chrome schema, JSONL round-trip."""
+
+import json
+
+from repro.obs.export import (
+    chrome_trace,
+    dicts_to_records,
+    dump_jsonl,
+    load_jsonl,
+    span_dicts,
+    trace_digest,
+    write_trace,
+)
+from repro.obs.tracing import Tracer, correlation, install, span, uninstall
+
+
+def _record_workload(deterministic=True):
+    tracer = install(Tracer(deterministic=deterministic))
+    try:
+        with correlation("req-1"):
+            with span("outer", model="tiny"):
+                with span("inner", rate=0.25):
+                    pass
+    finally:
+        uninstall()
+    return tracer
+
+
+class TestDigest:
+    def test_identical_workloads_digest_identically(self):
+        a = _record_workload()
+        b = _record_workload()
+        assert trace_digest(a.spans()) == trace_digest(b.spans())
+
+    def test_wall_clock_does_not_change_digest(self):
+        # Same structure, one tick-clocked and one wall-clocked: the
+        # digest covers only deterministic fields.
+        a = _record_workload(deterministic=True)
+        b = _record_workload(deterministic=False)
+        assert trace_digest(a.spans()) == trace_digest(b.spans())
+
+    def test_attr_change_changes_digest(self):
+        a = _record_workload()
+        tracer = install(Tracer(deterministic=True))
+        try:
+            with correlation("req-1"):
+                with span("outer", model="tiny"):
+                    with span("inner", rate=0.5):  # flipped parameter
+                        pass
+        finally:
+            uninstall()
+        assert trace_digest(a.spans()) != trace_digest(tracer.spans())
+
+    def test_drop_count_changes_digest(self):
+        a = _record_workload()
+        assert trace_digest(a.spans(), 0) != trace_digest(a.spans(), 1)
+
+    def test_float_attrs_bit_exact(self):
+        a = _record_workload()
+        # 0.25 vs the nearest-but-different float must not collide.
+        tracer = install(Tracer(deterministic=True))
+        try:
+            with correlation("req-1"):
+                with span("outer", model="tiny"):
+                    with span("inner", rate=0.25000000000000006):
+                        pass
+        finally:
+            uninstall()
+        assert trace_digest(a.spans()) != trace_digest(tracer.spans())
+
+
+class TestChromeTrace:
+    def test_schema(self):
+        tracer = _record_workload()
+        doc = chrome_trace(tracer.spans())
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        assert len(doc["traceEvents"]) == 2
+        for event in doc["traceEvents"]:
+            assert event["ph"] == "X"
+            assert event["pid"] == 1
+            assert event["dur"] >= 0.0
+            assert "seq" in event["args"]
+            assert event["args"]["correlation"] == "req-1"
+        inner = next(
+            e for e in doc["traceEvents"] if e["name"] == "inner"
+        )
+        assert "parent_seq" in inner["args"]
+
+    def test_json_serializable(self):
+        tracer = _record_workload()
+        json.dumps(chrome_trace(tracer.spans()))
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        tracer = _record_workload()
+        path = str(tmp_path / "trace.jsonl")
+        dump_jsonl(tracer.spans(), path)
+        entries = load_jsonl(path)
+        records = dicts_to_records(entries)
+        assert trace_digest(records) == trace_digest(tracer.spans())
+        assert span_dicts(records) == span_dicts(tracer.spans())
+
+
+class TestWriteTrace:
+    def test_format_inferred_from_extension(self, tmp_path):
+        tracer = _record_workload()
+        jsonl = str(tmp_path / "t.jsonl")
+        chrome = str(tmp_path / "t.json")
+        s1 = write_trace(tracer, jsonl)
+        s2 = write_trace(tracer, chrome)
+        assert s1["format"] == "jsonl"
+        assert s2["format"] == "chrome"
+        assert s1["digest"] == s2["digest"]
+        assert s1["spans"] == 2
+        assert "traceEvents" in json.load(open(chrome))

@@ -1,0 +1,151 @@
+"""Span API: nesting, correlation, thread hand-off, disabled path."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.obs.tracing import (
+    Tracer,
+    correlation,
+    current_correlation,
+    get_tracer,
+    install,
+    span,
+    traced,
+    uninstall,
+    wrap,
+)
+
+
+class TestDisabledPath:
+    def test_span_is_shared_noop_singleton(self):
+        assert get_tracer() is None
+        first = span("a", x=1)
+        second = span("b")
+        assert first is second  # no allocation while disabled
+        with first as s:
+            s.set(anything="goes")
+
+    def test_wrap_returns_fn_unchanged(self):
+        def fn():
+            return 42
+
+        assert wrap(fn) is fn
+
+    def test_traced_calls_through(self):
+        @traced("never.recorded")
+        def double(x):
+            return 2 * x
+
+        assert double(21) == 42
+
+
+class TestNesting:
+    def test_parent_child_links(self, tracer):
+        with span("outer"):
+            with span("inner"):
+                pass
+            with span("sibling"):
+                pass
+        outer, inner, sibling = tracer.spans()
+        assert outer.parent_seq is None
+        assert inner.parent_seq == outer.seq
+        assert sibling.parent_seq == outer.seq
+
+    def test_attrs_and_set(self, tracer):
+        with span("s", model="tiny") as sp:
+            sp.set(cached=True)
+        (record,) = tracer.spans()
+        assert record.attrs == {"model": "tiny", "cached": True}
+
+    def test_exception_recorded_and_propagated(self, tracer):
+        try:
+            with span("boom"):
+                raise ValueError("nope")
+        except ValueError:
+            pass
+        (record,) = tracer.spans()
+        assert record.attrs["error"] == "ValueError"
+        assert record.end_s is not None
+
+    def test_traced_decorator_records(self, tracer):
+        @traced("fn.call", kind="test")
+        def fn():
+            return "ok"
+
+        assert fn() == "ok"
+        (record,) = tracer.spans()
+        assert record.name == "fn.call"
+        assert record.attrs == {"kind": "test"}
+
+
+class TestCorrelation:
+    def test_correlation_applies_to_nested_spans(self, tracer):
+        assert current_correlation() is None
+        with correlation("req-7"):
+            assert current_correlation() == "req-7"
+            with span("a"):
+                with span("b"):
+                    pass
+        assert current_correlation() is None
+        assert all(r.correlation == "req-7" for r in tracer.spans())
+
+    def test_wrap_carries_context_into_pool(self, tracer):
+        def work():
+            with span("pooled"):
+                pass
+
+        with correlation("req-9"):
+            with span("submitting"):
+                with ThreadPoolExecutor(max_workers=2) as pool:
+                    bound = wrap(work)
+                    for f in [pool.submit(bound) for _ in range(3)]:
+                        f.result()
+        records = {r.name: r for r in tracer.spans()}
+        submitting = records["submitting"]
+        pooled = [r for r in tracer.spans() if r.name == "pooled"]
+        assert len(pooled) == 3
+        for r in pooled:
+            assert r.parent_seq == submitting.seq
+            assert r.correlation == "req-9"
+
+
+class TestTracer:
+    def test_deterministic_clock_counts(self):
+        t = Tracer(deterministic=True)
+        install(t)
+        try:
+            with span("a"):
+                pass
+            with span("b"):
+                pass
+        finally:
+            uninstall()
+        a, b = t.spans()
+        assert (a.start_s, a.end_s) == (1.0, 2.0)
+        assert (b.start_s, b.end_s) == (3.0, 4.0)
+
+    def test_max_spans_drops_beyond_bound(self):
+        t = Tracer(deterministic=True, max_spans=2)
+        install(t)
+        try:
+            for _ in range(5):
+                with span("s"):
+                    pass
+        finally:
+            uninstall()
+        assert len(t.spans()) == 2
+        assert t.dropped == 3
+
+    def test_clear_resets(self, tracer):
+        with span("x"):
+            pass
+        tracer.clear()
+        assert tracer.spans() == []
+        with span("y"):
+            pass
+        assert tracer.spans()[0].seq == 0
+
+    def test_install_uninstall_roundtrip(self):
+        t = install(Tracer())
+        assert get_tracer() is t
+        assert uninstall() is t
+        assert get_tracer() is None

@@ -1,0 +1,95 @@
+"""Property-style check: baseline-differential cancels thermal drift.
+
+The paper (Sec. IV) compensates INA219 thermal drift by measuring the
+baseline model under the same drift process and subtracting the bias.
+These tests inject a *linear* drift (``slope * t``, a worst case the
+sinusoidal default never reaches within one trace) and assert, across
+seeds and slopes, that :func:`repro.power.sensor.differential_energy`
+cancels it while the absolute estimate stays biased.
+"""
+
+import pytest
+
+from repro.power import EnergyCategory, EnergyInterval, INA219Config
+from repro.power.sensor import INA219Sensor, differential_energy
+
+
+class LinearDriftSensor(INA219Sensor):
+    """INA219 whose drift is a linear thermal ramp ``slope * t``."""
+
+    def __init__(self, slope_w_per_s: float, **kwargs):
+        super().__init__(**kwargs)
+        self.slope_w_per_s = slope_w_per_s
+
+    def _drift(self, time_s: float) -> float:
+        return self.slope_w_per_s * time_s
+
+
+def trace(durations_powers):
+    return [
+        EnergyInterval(d, p, EnergyCategory.COMPUTE)
+        for d, p in durations_powers
+    ]
+
+
+#: The workload under test and its baseline (same duration, so the
+#: drift processes align sample-for-sample, as on the real harness).
+TEST_TRACE = trace([(0.020, 0.250), (0.020, 0.450), (0.010, 0.150)])
+BASE_TRACE = trace([(0.050, 0.300)])
+TRUE_TEST_J = sum(i.duration_s * i.power_w for i in TEST_TRACE)
+TRUE_BASE_J = sum(i.duration_s * i.power_w for i in BASE_TRACE)
+
+
+def make_sensor(slope, seed):
+    return LinearDriftSensor(
+        slope,
+        config=INA219Config(sample_period_s=1e-3, noise_std_w=0.0),
+        seed=seed,
+    )
+
+
+# Negative slopes must keep readings above the sensor's zero clamp
+# (power registers saturate at 0), hence the small magnitude.
+@pytest.mark.parametrize("seed", [0, 1, 7, 42, 1219])
+@pytest.mark.parametrize("slope", [0.5, 2.0, -0.004])
+def test_differential_cancels_linear_drift(seed, slope):
+    sensor = make_sensor(slope, seed)
+    start = 30.0  # deep into the ramp: a large absolute offset
+    absolute = sensor.estimate_energy(
+        sensor.measure(TEST_TRACE, start_time_s=start)
+    )
+    sensor.reset()
+    corrected = differential_energy(
+        sensor, TEST_TRACE, BASE_TRACE, TRUE_BASE_J, start_time_s=start
+    )
+    drift_j = abs(slope) * start * 0.050  # injected bias magnitude
+    # The absolute estimate eats essentially the whole injected bias...
+    assert abs(absolute - TRUE_TEST_J) > 0.5 * drift_j
+    # ...the differential estimate cancels all but quantization dust.
+    assert abs(corrected - TRUE_TEST_J) < 0.02 * drift_j
+    assert corrected == pytest.approx(TRUE_TEST_J, rel=0.02)
+
+
+@pytest.mark.parametrize("seed", [3, 11, 2026])
+def test_differential_matches_absolute_without_drift(seed):
+    sensor = make_sensor(0.0, seed)
+    samples = sensor.measure(TEST_TRACE)
+    absolute = sensor.estimate_energy(samples)
+    sensor.reset()
+    corrected = differential_energy(
+        sensor, TEST_TRACE, BASE_TRACE, TRUE_BASE_J
+    )
+    # With no drift the correction term is only quantization residue.
+    assert corrected == pytest.approx(absolute, rel=0.02)
+
+
+def test_noise_does_not_break_cancellation():
+    sensor = LinearDriftSensor(
+        1.0,
+        config=INA219Config(sample_period_s=1e-3, noise_std_w=2e-3),
+        seed=9,
+    )
+    corrected = differential_energy(
+        sensor, TEST_TRACE, BASE_TRACE, TRUE_BASE_J, start_time_s=60.0
+    )
+    assert corrected == pytest.approx(TRUE_TEST_J, rel=0.05)
