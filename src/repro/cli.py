@@ -514,12 +514,39 @@ def _serve_config(args: argparse.Namespace):
 def cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
-    from .serve import PlanServer
+    from .serve import PlanServer, RouterConfig, ShardRouter
 
     tracer = _trace_begin(args)
     config = _serve_config(args)
+    shards = getattr(args, "shards", 0) or 0
+
+    async def _run_sharded() -> None:
+        router = ShardRouter(
+            RouterConfig(
+                shards=shards,
+                host=config.host,
+                port=config.port,
+                health_interval_s=args.health_interval_s,
+                serve=config,
+            )
+        )
+        await router.start()
+        print(
+            f"repro-dvfs serve listening on "
+            f"{config.host}:{router.port} "
+            f"({shards} shards, shared cache on, "
+            f"batch={'on' if not args.no_batch else 'off'})",
+            flush=True,
+        )
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await router.stop()
 
     async def _run() -> None:
+        if shards:
+            await _run_sharded()
+            return
         server = PlanServer(config)
         await server.start()
         print(
@@ -547,14 +574,21 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
 
     config = LoadGenConfig(
         model=args.model,
+        models=tuple(args.models or ()),
         qos_percents=tuple(args.qos_percents),
         requests=args.requests,
         concurrency=args.concurrency,
+        clients=args.clients,
         seed=args.seed,
         burst=args.burst,
+        open_loop=args.open_loop,
+        arrival_rate_rps=args.arrival_rate,
         deadline_s=args.deadline_s,
+        slo_p95_ms=args.slo_p95_ms,
+        slo_p99_ms=args.slo_p99_ms,
         verify_digests=not args.no_verify,
         serve=_serve_config(args),
+        shards=getattr(args, "shards", 0) or 0,
         target_host=args.host,
         target_port=args.port,
     )
@@ -581,9 +615,17 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
             f"checked, {summary['digest_mismatches']} mismatches",
             file=out,
         )
+    for name, gate in summary.get("slo", {}).items():
+        print(
+            f"SLO {name}: {gate['attained_ms']:.2f} ms attained vs "
+            f"{gate['target_ms']:.2f} ms target "
+            f"({'met' if gate['met'] else 'MISSED'})",
+            file=out,
+        )
     if _json_mode(args):
         _emit_json(args, summary)
-    return 0 if summary["cache_consistent"] else 1
+    ok = summary["cache_consistent"] and summary["slo_met"]
+    return 0 if ok else 1
 
 
 def cmd_plan(args: argparse.Namespace) -> int:
@@ -940,6 +982,20 @@ def make_parser() -> argparse.ArgumentParser:
         "--port", type=int, default=7070,
         help="TCP port to bind (0 picks a free one)",
     )
+    p.add_argument(
+        "--shards", type=int, default=0,
+        help=(
+            "front this many worker processes with a consistent-hash"
+            " router and a shared plan-cache tier (0 = single process)"
+        ),
+    )
+    p.add_argument(
+        "--health-interval-s", type=float, default=None,
+        help=(
+            "probe shard health this often, evicting and respawning"
+            " failed workers (sharded mode only)"
+        ),
+    )
     add_serve_tuning(p)
     _add_trace_flag(p)
     p.set_defaults(func=cmd_serve)
@@ -976,7 +1032,10 @@ def make_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "loadgen",
-        help="seeded closed-loop load generator for the serve layer",
+        help=(
+            "seeded load generator for the serve layer (closed-loop,"
+            " burst, multi-client open-loop with SLO gates)"
+        ),
     )
     p.add_argument(
         "--model", default="tiny",
@@ -987,10 +1046,18 @@ def make_parser() -> argparse.ArgumentParser:
         default=[10.0, 30.0, 50.0],
         help="QoS slack values the seeded schedule draws from",
     )
+    p.add_argument(
+        "--models", nargs="+", default=None,
+        help="mixed traffic: draw each request's model from this set",
+    )
     p.add_argument("--requests", type=int, default=64)
     p.add_argument(
         "--concurrency", type=int, default=8,
-        help="closed-loop workers (ignored with --burst)",
+        help="closed-loop workers (ignored with --burst/--open-loop)",
+    )
+    p.add_argument(
+        "--clients", type=int, default=1,
+        help="independent client identities sharing the load",
     )
     p.add_argument(
         "--seed", type=int, default=0, help="request-schedule seed"
@@ -998,6 +1065,28 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--burst", action="store_true",
         help="submit every request at once (deterministic overload)",
+    )
+    p.add_argument(
+        "--open-loop", action="store_true",
+        help="dispatch on a fixed arrival timetable instead of"
+             " closed-loop",
+    )
+    p.add_argument(
+        "--arrival-rate", type=float, default=200.0,
+        help="open-loop arrival rate (requests/s)",
+    )
+    p.add_argument(
+        "--slo-p95-ms", type=float, default=None,
+        help="gate the run on attained p95 latency",
+    )
+    p.add_argument(
+        "--slo-p99-ms", type=float, default=None,
+        help="gate the run on attained p99 latency",
+    )
+    p.add_argument(
+        "--shards", type=int, default=0,
+        help="drive an in-process shard router with this many worker"
+             " processes (0 = single process)",
     )
     p.add_argument(
         "--deadline-s", type=float, default=None,

@@ -8,7 +8,14 @@ control that sheds load with a structured response instead of queueing
 unboundedly (:mod:`.admission`), an asyncio TCP server and clients
 (:mod:`.server`, :mod:`.client`), per-endpoint latency metrics
 (:mod:`.metrics`), the synchronous planning backend (:mod:`.service`)
-and a closed-loop seeded load generator (:mod:`.loadgen`).
+and a seeded load generator -- closed-loop, burst, and multi-client
+open-loop with latency-SLO gates (:mod:`.loadgen`).
+
+The tier also scales *out*: :mod:`.router` fronts N ``spawn``-ed
+worker processes (:mod:`.worker`, each a full :class:`PlanServer`)
+with a consistent-hash ring over the (model, QoS) coalescing identity,
+and the workers exchange plans byte-identically through the
+digest-addressed shared cache tier (:mod:`.shared_cache`).
 
 The paper's plans are pure functions of (model, board, QoS), which is
 exactly what the cache and the request coalescing exploit: N
@@ -35,16 +42,26 @@ from .protocol import (
     error_from_exception,
     plan_digest,
 )
+from .router import HashRing, RouterConfig, ShardRouter, shard_key
 from .server import PlanServer, ServeConfig
 from .service import PlanService
+from .shared_cache import (
+    LocalSharedCache,
+    ManagedSharedCache,
+    managed_shared_cache,
+)
+from .worker import worker_main
 
 __all__ = [
     "AdmissionController",
     "ArrivalClock",
     "ErrorPayload",
+    "HashRing",
     "InProcessClient",
     "LatencyHistogram",
     "LoadGenConfig",
+    "LocalSharedCache",
+    "ManagedSharedCache",
     "PROTOCOL_VERSION",
     "PlanBatcher",
     "PlanCache",
@@ -52,15 +69,20 @@ __all__ = [
     "PlanService",
     "Request",
     "Response",
+    "RouterConfig",
     "ServeClient",
     "ServeConfig",
     "ServeMetrics",
+    "ShardRouter",
     "TokenBucket",
     "decode_request",
     "decode_response",
     "encode_request",
     "encode_response",
     "error_from_exception",
+    "managed_shared_cache",
     "plan_digest",
     "run_loadgen",
+    "shard_key",
+    "worker_main",
 ]

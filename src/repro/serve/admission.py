@@ -48,7 +48,15 @@ class ArrivalClock:
 
 
 class TokenBucket:
-    """Classic token bucket: ``rate_per_s`` refill, ``burst`` capacity."""
+    """Classic token bucket: ``rate_per_s`` refill, ``burst`` capacity.
+
+    Construction reads no time: the first :meth:`try_acquire` anchors
+    the refill clock.  With an :class:`ArrivalClock` as ``time_fn``
+    this keeps the documented invariant that the n-th admission check
+    happens at ``start + n * tick_s`` -- an eager read at construction
+    would consume tick #1 and shift every deterministic shed decision
+    by one arrival.
+    """
 
     def __init__(
         self,
@@ -64,14 +72,17 @@ class TokenBucket:
         self.burst = float(burst)
         self._time_fn = time_fn
         self._tokens = float(burst)
-        self._last_s = time_fn()
+        self._last_s: Optional[float] = None
         self._lock = threading.Lock()
 
     def try_acquire(self, tokens: float = 1.0) -> bool:
         """Take ``tokens`` if available; never blocks."""
         with self._lock:
             now = self._time_fn()
-            elapsed = max(0.0, now - self._last_s)
+            if self._last_s is None:
+                elapsed = 0.0  # first reading anchors the clock
+            else:
+                elapsed = max(0.0, now - self._last_s)
             self._last_s = now
             self._tokens = min(
                 self.burst, self._tokens + elapsed * self.rate_per_s
@@ -83,8 +94,15 @@ class TokenBucket:
 
     @property
     def retry_after_s(self) -> float:
-        """Time until one token accumulates at the refill rate."""
-        return 1.0 / self.rate_per_s
+        """Time until the *next* token completes at the refill rate.
+
+        Fractional tokens already accrued count toward it, so a bucket
+        at 0.75 tokens hints a quarter period, not a full one.  Clamped
+        below by zero (a bucket holding a full token needs no wait).
+        """
+        with self._lock:
+            deficit = max(0.0, 1.0 - self._tokens)
+        return deficit / self.rate_per_s
 
 
 class AdmissionController:

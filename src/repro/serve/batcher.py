@@ -5,9 +5,11 @@ concurrent requests with the same coalescing key need exactly one
 exploration: the first request opens a *batch* (a shared future plus a
 short collection window), every later request for the same key joins
 it, and when the window closes the work runs once on a thread-pool
-executor and fans out to every waiter.  Requests that arrive while the
-work is already running still join the same future -- the answer they
-would compute is identical.
+executor and fans out to every waiter.  A batch *closes* the moment it
+dispatches -- when the window elapses or ``max_batch`` waiters have
+joined -- so requests arriving later open a fresh batch instead of
+silently riding a bounded one past its bound.  (The answer they
+compute is identical; usually it is a plan-cache hit by then.)
 
 Per-request deadlines ride on top: each waiter guards the *shared*
 future with its own ``asyncio.wait_for`` around an ``asyncio.shield``,
@@ -99,7 +101,12 @@ class PlanBatcher:
             )
             return await self._await_with_deadline(future, deadline_s)
         batch = self._inflight.get(key)
-        if batch is None:
+        if batch is None or batch.dispatched:
+            # No open batch for the key: either none in flight, or the
+            # in-flight one already dispatched (window elapsed or
+            # max_batch reached) and is closed to new joiners --
+            # joining it would let a "bounded" batch grow without
+            # bound and undercount coalescing metrics.
             batch = _Batch(future=loop.create_future())
             # Every waiter may have timed out by completion time;
             # retrieve the exception eagerly so the event loop never

@@ -112,6 +112,32 @@ class ServeClient:
                     waiter.set_exception(failure)
             self._waiters.clear()
 
+    async def call(self, request: Request) -> Response:
+        """Send a pre-built request; return the decoded response.
+
+        The raw pass-through surface the shard router forwards on: the
+        response comes back *verbatim* (typed error payloads intact,
+        not rehydrated), and the request keeps its original id -- which
+        is what propagates one correlation identity from the router
+        process into the worker's span tree.  The id must be unique
+        among this connection's in-flight requests.
+        """
+        if self._writer is None:
+            raise ReproError("client is not connected")
+        if request.id in self._waiters:
+            raise ReproError(
+                f"request id {request.id!r} is already in flight "
+                "on this connection"
+            )
+        loop = asyncio.get_running_loop()
+        waiter: "asyncio.Future[Response]" = loop.create_future()
+        self._waiters[request.id] = waiter
+        line = encode_request(request).encode("utf-8") + b"\n"
+        async with self._write_lock:
+            self._writer.write(line)
+            await self._writer.drain()
+        return await waiter
+
     async def request(
         self,
         op: str,
@@ -123,20 +149,11 @@ class ServeClient:
         Concurrent callers share the connection: responses are matched
         back by request id, whatever order the server answers in.
         """
-        if self._writer is None:
-            raise ReproError("client is not connected")
         request_id = f"{self.client_id}-{next(self._ids)}"
         request = Request(
             op=op, id=request_id, params=params, deadline_s=deadline_s
         )
-        loop = asyncio.get_running_loop()
-        waiter: "asyncio.Future[Response]" = loop.create_future()
-        self._waiters[request_id] = waiter
-        line = encode_request(request).encode("utf-8") + b"\n"
-        async with self._write_lock:
-            self._writer.write(line)
-            await self._writer.drain()
-        response = await waiter
+        response = await self.call(request)
         return _result_or_raise(response)
 
     async def close(self) -> None:

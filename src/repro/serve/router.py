@@ -1,0 +1,675 @@
+"""Shard router: consistent-hash front for N worker processes.
+
+The single-process :class:`~repro.serve.server.PlanServer` is capped
+by the GIL however well it batches.  :class:`ShardRouter` scales it
+out: N ``spawn``-ed worker processes (:mod:`repro.serve.worker`), each
+owning the full single-process stack -- warm pipeline, local LRU,
+micro-batcher, deterministic admission -- behind a front that routes
+every planning request by the consistent hash of its *coalescing
+identity* (model + QoS).  Same-key requests therefore always land on
+the same shard, so per-worker batching and front stores keep working,
+``reprice`` hits the shard whose fronts are warm, and each shard's
+admission decisions remain a pure function of its own arrival
+sequence (per-shard shed determinism).
+
+Workers exchange plans through a digest-addressed shared cache tier
+(:mod:`repro.serve.shared_cache`): the first worker to solve a key
+publishes the canonical payload bytes, and any worker later routed a
+colliding key (after churn, or via broadcast traffic) serves the
+byte-identical payload -- so every routed plan digests identically to
+a single-process solve.
+
+Health is driven by the workers' ``health`` endpoint (the
+``run_selftest(quick=True)`` subset): :meth:`ShardRouter.check_workers`
+probes every shard, evicts a failed worker from the ring and respawns
+it (same worker id, so its ring arcs -- and key ownership -- are
+restored).  A worker that exhausts its respawn budget stays evicted
+and the ring redistributes its keys to the survivors.
+
+Correlation propagates across the process boundary by construction:
+the router forwards each request with its original id, and the worker
+opens its ``serve.request`` span under exactly that id, so one
+correlation identity stitches router-side and worker-side traces
+together.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import OverloadedError, ProtocolError, ReproError
+from ..obs.audit import get_audit_log
+from ..obs.registry import get_registry
+from ..obs.tracing import correlation, get_tracer, span
+from .client import ServeClient
+from .protocol import (
+    Request,
+    Response,
+    decode_request,
+    encode_response,
+    error_from_exception,
+)
+from .server import JsonLinesListener, ServeConfig
+from .shared_cache import managed_shared_cache
+from .worker import worker_main
+
+
+class HashRing:
+    """Consistent hash ring with virtual nodes.
+
+    Each node owns ``replicas`` points placed by sha256 (stable across
+    processes and Python builds, unlike ``hash()``), and a key routes
+    to the first point clockwise from its own hash.  Adding or
+    removing one node only remaps the keys on that node's arcs -- the
+    property that keeps per-shard request streams (and with them shed
+    determinism and warm caches) stable under worker churn.
+    """
+
+    def __init__(self, replicas: int = 64):
+        if replicas < 1:
+            raise ReproError("replicas must be >= 1")
+        self.replicas = replicas
+        self._points: List[Tuple[int, int]] = []  # (point, node), sorted
+        self._nodes: set = set()
+
+    @staticmethod
+    def _hash(value: str) -> int:
+        return int.from_bytes(
+            hashlib.sha256(value.encode("utf-8")).digest()[:8], "big"
+        )
+
+    def add(self, node: int) -> None:
+        """Place ``node``'s virtual points on the ring (idempotent)."""
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for replica in range(self.replicas):
+            point = self._hash(f"{node}#{replica}")
+            bisect.insort(self._points, (point, node))
+
+    def remove(self, node: int) -> None:
+        """Drop ``node``'s points; its keys remap to the survivors."""
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        self._points = [
+            (point, owner)
+            for point, owner in self._points
+            if owner != node
+        ]
+
+    @property
+    def nodes(self) -> List[int]:
+        return sorted(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def route(self, key: str) -> int:
+        """The node owning ``key`` (first point clockwise)."""
+        if not self._points:
+            raise ReproError("hash ring is empty")
+        point = self._hash(key)
+        index = bisect.bisect_right(self._points, (point, 2**64))
+        if index >= len(self._points):
+            index = 0  # wrap
+        return self._points[index][1]
+
+
+def shard_key(params: Dict[str, Any]) -> str:
+    """The routing identity of one request's params.
+
+    Deliberately *just* (model, QoS): plan and reprice requests for
+    the same deployment co-locate (reprice then reuses the shard's
+    warm front store), telemetry aggregates per model, and drift
+    parameters stay out so a repriced deployment is owned by the same
+    shard that planned it.
+    """
+    qos: List[Any] = []
+    for name in ("qos_percent", "qos_ms"):
+        if params.get(name) is not None:
+            qos = [name, str(params[name])]
+    return json.dumps(
+        [str(params.get("model")), qos], separators=(",", ":")
+    )
+
+
+@dataclass
+class RouterConfig:
+    """Everything one :class:`ShardRouter` is built from.
+
+    Attributes:
+        shards: worker-process count.
+        host / port: TCP bind address of the router front end.
+        replicas: virtual nodes per worker on the hash ring.
+        shared_cache_enabled / shared_cache_capacity: the cross-worker
+            digest-addressed plan-cache tier.
+        health_interval_s: period of the background health loop
+            (None disables it; :meth:`ShardRouter.check_workers` can
+            still be driven manually).
+        health_timeout_s: per-probe deadline before a worker counts
+            as failed.
+        health_refresh: re-run the worker selftest on every probe
+            instead of serving the memoized result.
+        max_respawns: per-worker respawn budget; beyond it the worker
+            stays evicted from the ring.
+        spawn_timeout_s: bound on worker startup (import + pipeline
+            warm-up + bind).
+        drain_timeout_s: bound on the front-end drain at stop.
+        serve: the per-worker :class:`ServeConfig` (its host/port are
+            overridden to loopback/ephemeral per worker).
+    """
+
+    shards: int = 2
+    host: str = "127.0.0.1"
+    port: int = 0
+    replicas: int = 64
+    shared_cache_enabled: bool = True
+    shared_cache_capacity: int = 1024
+    health_interval_s: Optional[float] = None
+    health_timeout_s: float = 10.0
+    health_refresh: bool = False
+    max_respawns: int = 2
+    spawn_timeout_s: float = 120.0
+    drain_timeout_s: float = 10.0
+    serve: ServeConfig = field(default_factory=ServeConfig)
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ReproError("shards must be >= 1")
+
+
+@dataclass
+class _Worker:
+    """Router-side bookkeeping for one shard."""
+
+    worker_id: int
+    process: Any = None
+    conn: Any = None
+    client: Optional[ServeClient] = None
+    port: Optional[int] = None
+    pid: Optional[int] = None
+    respawns: int = 0
+    evicted: bool = False
+
+
+class ShardRouter(JsonLinesListener):
+    """Consistent-hash front over N spawned shard workers.
+
+    Mirrors the :class:`~repro.serve.server.PlanServer` surface that
+    clients and the load generator use (``handle_request``,
+    ``handle_request_dict``, ``handle_line``, ``stats``, ``start`` /
+    ``stop``), so an
+    :class:`~repro.serve.client.InProcessClient` drives a router and a
+    single server interchangeably.
+    """
+
+    def __init__(self, config: Optional[RouterConfig] = None):
+        self.config = config or RouterConfig()
+        cfg = self.config
+        self._init_listener(cfg.host, cfg.port, cfg.drain_timeout_s)
+        self._workers: Dict[int, _Worker] = {}
+        self.ring = HashRing(replicas=cfg.replicas)
+        self.shared_cache: Optional[Any] = None
+        self._manager: Any = None
+        self._mp_context: Any = None
+        self._health_task: Optional[asyncio.Task] = None
+        self._started = False
+        self._draining = False
+        self.routed: Dict[int, int] = {}
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Spawn the shards, connect to them, bind the front end."""
+        if self._started:
+            raise ReproError("router already started")
+        import multiprocessing
+
+        self._mp_context = multiprocessing.get_context("spawn")
+        if self.config.shared_cache_enabled:
+            self._manager = self._mp_context.Manager()
+            self.shared_cache = managed_shared_cache(
+                self._manager,
+                capacity=self.config.shared_cache_capacity,
+            )
+        # Launch every worker before waiting on any: startup cost is
+        # one import + pipeline warm-up, paid in parallel.
+        for worker_id in range(self.config.shards):
+            self._spawn(worker_id)
+        await asyncio.gather(
+            *(
+                self._connect(worker)
+                for worker in self._workers.values()
+            )
+        )
+        for worker in self._workers.values():
+            self.ring.add(worker.worker_id)
+            self.routed.setdefault(worker.worker_id, 0)
+        await super().start()
+        if self.config.health_interval_s is not None:
+            self._health_task = asyncio.ensure_future(
+                self._health_loop()
+            )
+        self._started = True
+
+    def _spawn(self, worker_id: int) -> _Worker:
+        worker = self._workers.get(worker_id) or _Worker(worker_id)
+        parent_conn, child_conn = self._mp_context.Pipe()
+        worker_config = replace(
+            self.config.serve,
+            host="127.0.0.1",
+            port=0,
+            worker_id=worker_id,
+        )
+        process = self._mp_context.Process(
+            target=worker_main,
+            args=(worker_id, child_conn, worker_config, self.shared_cache),
+            daemon=True,
+            name=f"repro-serve-worker-{worker_id}",
+        )
+        process.start()
+        child_conn.close()
+        worker.process = process
+        worker.conn = parent_conn
+        worker.client = None
+        worker.port = None
+        worker.pid = None
+        self._workers[worker_id] = worker
+        return worker
+
+    async def _connect(self, worker: _Worker) -> None:
+        """Wait for the worker's ready message, then open its client."""
+        loop = asyncio.get_running_loop()
+        deadline = time.monotonic() + self.config.spawn_timeout_s
+
+        def wait_ready() -> Dict[str, Any]:
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise ReproError(
+                        f"worker {worker.worker_id} did not become "
+                        f"ready within {self.config.spawn_timeout_s}s"
+                    )
+                if worker.conn.poll(min(remaining, 0.5)):
+                    message = worker.conn.recv()
+                    if (
+                        isinstance(message, dict)
+                        and message.get("event") == "ready"
+                    ):
+                        return message
+                if not worker.process.is_alive():
+                    raise ReproError(
+                        f"worker {worker.worker_id} died during "
+                        f"startup (exitcode "
+                        f"{worker.process.exitcode})"
+                    )
+
+        ready = await loop.run_in_executor(None, wait_ready)
+        worker.port = int(ready["port"])
+        worker.pid = ready.get("pid")
+        worker.client = await ServeClient(
+            "127.0.0.1",
+            worker.port,
+            client_id=f"router-w{worker.worker_id}",
+        ).connect()
+
+    async def stop(self) -> None:
+        """Drain the front end, stop every worker, shut the tier down."""
+        self._draining = True
+        if self._health_task is not None:
+            self._health_task.cancel()
+            try:
+                await self._health_task
+            except asyncio.CancelledError:
+                pass
+            self._health_task = None
+        await self._drain_listener()
+        await asyncio.gather(
+            *(
+                self._stop_worker(worker)
+                for worker in self._workers.values()
+            )
+        )
+        if self._manager is not None:
+            self._manager.shutdown()
+            self._manager = None
+        self._started = False
+
+    async def _stop_worker(self, worker: _Worker) -> None:
+        if worker.client is not None:
+            await worker.client.close()
+            worker.client = None
+        process = worker.process
+        if process is None:
+            return
+        try:
+            worker.conn.send({"event": "stop"})
+        except (BrokenPipeError, OSError):
+            pass
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, lambda: process.join(5.0))
+        if process.is_alive():
+            process.terminate()
+            await loop.run_in_executor(None, lambda: process.join(2.0))
+            if process.is_alive():
+                process.kill()
+                await loop.run_in_executor(None, process.join)
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        worker.process = None
+
+    # -- health / churn ----------------------------------------------------------
+
+    async def _health_loop(self) -> None:
+        assert self.config.health_interval_s is not None
+        while True:
+            await asyncio.sleep(self.config.health_interval_s)
+            try:
+                await self.check_workers()
+            except asyncio.CancelledError:
+                raise
+            except Exception:  # noqa: BLE001 - keep probing
+                pass
+
+    async def check_workers(self) -> Dict[int, bool]:
+        """Probe every shard; evict-and-respawn the ones that fail.
+
+        Returns:
+            worker id -> healthy after this pass (a respawned worker
+            reports True; one that exhausted its budget, False).
+        """
+        verdicts: Dict[int, bool] = {}
+        for worker in list(self._workers.values()):
+            if worker.evicted:
+                verdicts[worker.worker_id] = False
+                continue
+            healthy = await self._probe(worker)
+            if not healthy:
+                healthy = await self._respawn(worker)
+            verdicts[worker.worker_id] = healthy
+        return verdicts
+
+    async def _probe(self, worker: _Worker) -> bool:
+        if (
+            worker.client is None
+            or worker.process is None
+            or not worker.process.is_alive()
+        ):
+            return False
+        try:
+            result = await asyncio.wait_for(
+                worker.client.request(
+                    "health", refresh=self.config.health_refresh
+                ),
+                timeout=self.config.health_timeout_s,
+            )
+        except (ReproError, asyncio.TimeoutError, ConnectionError):
+            return False
+        return bool(result.get("ok"))
+
+    async def _respawn(self, worker: _Worker) -> bool:
+        """Evict a failed worker and bring a replacement up.
+
+        The replacement keeps the worker id, so its ring arcs -- and
+        therefore key ownership -- are restored exactly.  Past the
+        respawn budget the worker stays evicted and the ring
+        redistributes its keys to the survivors.
+        """
+        self.ring.remove(worker.worker_id)
+        get_registry().count(
+            "router.evictions", worker=str(worker.worker_id)
+        )
+        get_audit_log().record(
+            "serve.router",
+            "evict",
+            worker=worker.worker_id,
+            respawns=worker.respawns,
+        )
+        if worker.client is not None:
+            await worker.client.close()
+            worker.client = None
+        process = worker.process
+        if process is not None and process.is_alive():
+            process.terminate()
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(None, lambda: process.join(2.0))
+            if process.is_alive():
+                process.kill()
+        if worker.respawns >= self.config.max_respawns:
+            worker.evicted = True
+            get_audit_log().record(
+                "serve.router",
+                "evicted_permanently",
+                worker=worker.worker_id,
+            )
+            return False
+        worker.respawns += 1
+        try:
+            self._spawn(worker.worker_id)
+            await self._connect(worker)
+        except ReproError:
+            worker.evicted = True
+            return False
+        self.ring.add(worker.worker_id)
+        get_registry().count(
+            "router.respawns", worker=str(worker.worker_id)
+        )
+        get_audit_log().record(
+            "serve.router",
+            "respawn",
+            worker=worker.worker_id,
+            respawns=worker.respawns,
+        )
+        return True
+
+    # -- request path ------------------------------------------------------------
+
+    async def handle_request(self, request: Request) -> Response:
+        """Route one decoded request (the in-process entry point)."""
+        if get_tracer() is None:
+            return await self._dispatch(request)
+        with correlation(request.id or None):
+            with span("router.request", op=request.op) as sp:
+                response = await self._dispatch(request)
+                sp.set(ok=response.ok)
+                return response
+
+    async def _dispatch(self, request: Request) -> Response:
+        try:
+            if request.op == "stats":
+                return Response.success(request.id, await self.stats())
+            if request.op == "health":
+                return Response.success(
+                    request.id, await self._fanout_health(request)
+                )
+            return await self._forward(request)
+        except Exception as err:  # noqa: BLE001 - typed wire errors
+            return Response(
+                id=request.id,
+                ok=False,
+                error=error_from_exception(err),
+            )
+
+    async def _forward(self, request: Request) -> Response:
+        worker = self._owner(request)
+        with span(
+            "router.route",
+            op=request.op,
+            worker=worker.worker_id,
+        ):
+            self.routed[worker.worker_id] = (
+                self.routed.get(worker.worker_id, 0) + 1
+            )
+            get_registry().count(
+                "router.routed", worker=str(worker.worker_id)
+            )
+            response = await worker.client.call(request)
+        return response
+
+    def _owner(self, request: Request) -> _Worker:
+        if not len(self.ring):
+            raise OverloadedError(reason="no_workers", retry_after_s=1.0)
+        worker_id = self.ring.route(shard_key(request.params))
+        worker = self._workers[worker_id]
+        if worker.client is None:
+            raise OverloadedError(
+                reason="worker_down", retry_after_s=1.0
+            )
+        return worker
+
+    async def _fanout_health(
+        self, request: Request
+    ) -> Dict[str, Any]:
+        """``health`` fans out: the fleet is healthy if every live
+        shard is (evicted workers report as failed)."""
+        entries: Dict[str, Any] = {}
+        ok = True
+        for worker in self._workers.values():
+            if worker.evicted or worker.client is None:
+                entries[str(worker.worker_id)] = {
+                    "ok": False,
+                    "evicted": worker.evicted,
+                }
+                ok = False
+                continue
+            try:
+                result = await asyncio.wait_for(
+                    worker.client.request(
+                        "health", **dict(request.params)
+                    ),
+                    timeout=self.config.health_timeout_s,
+                )
+            except (ReproError, asyncio.TimeoutError, ConnectionError):
+                entries[str(worker.worker_id)] = {"ok": False}
+                ok = False
+                continue
+            entries[str(worker.worker_id)] = result
+            ok = ok and bool(result.get("ok"))
+        return {"ok": ok, "workers": entries}
+
+    # -- stats -------------------------------------------------------------------
+
+    def _stats_local(self) -> Dict[str, Any]:
+        """Router-side stats (no worker round-trips; see :meth:`stats`)."""
+        return {
+            "router": {
+                "shards": self.config.shards,
+                "replicas": self.config.replicas,
+                "live_workers": len(self.ring),
+                "evicted_workers": sorted(
+                    w.worker_id
+                    for w in self._workers.values()
+                    if w.evicted
+                ),
+                "routed": {
+                    str(wid): count
+                    for wid, count in sorted(self.routed.items())
+                },
+                "respawns": {
+                    str(w.worker_id): w.respawns
+                    for w in self._workers.values()
+                    if w.respawns
+                },
+                "shared_cache": (
+                    self.shared_cache.stats()
+                    if self.shared_cache is not None
+                    else None
+                ),
+            }
+        }
+
+    async def stats(self) -> Dict[str, Any]:
+        """Aggregated stats: router view, per-worker payloads, totals.
+
+        Unlike :class:`PlanServer` this is a coroutine -- it fans the
+        ``stats`` op out to every live worker.  The merged ``metrics``
+        block sums the additive per-worker counters so existing
+        consumers of the single-process schema keep working; the
+        per-worker views stay available under ``workers``.
+        """
+        local = self._stats_local()
+        workers: Dict[str, Any] = {}
+        for worker in self._workers.values():
+            if worker.evicted or worker.client is None:
+                continue
+            try:
+                workers[str(worker.worker_id)] = (
+                    await worker.client.request("stats")
+                )
+            except (ReproError, ConnectionError):
+                continue
+        merged: Dict[str, Any] = {
+            "requests_total": 0,
+            "requests_by_op": {},
+            "errors_by_kind": {},
+            "sheds_by_reason": {},
+            "shed_count": 0,
+            "batches": 0,
+            "batched_requests": 0,
+        }
+        cache = {"hits": 0, "misses": 0, "evictions": 0, "size": 0}
+        for stats in workers.values():
+            metrics = stats.get("metrics", {})
+            merged["requests_total"] += metrics.get("requests_total", 0)
+            merged["shed_count"] += metrics.get("shed_count", 0)
+            merged["batches"] += metrics.get("batches", 0)
+            merged["batched_requests"] += metrics.get(
+                "batched_requests", 0
+            )
+            for field_name in (
+                "requests_by_op",
+                "errors_by_kind",
+                "sheds_by_reason",
+            ):
+                for key, value in metrics.get(field_name, {}).items():
+                    merged[field_name][key] = (
+                        merged[field_name].get(key, 0) + value
+                    )
+            for key in cache:
+                cache[key] += stats.get("cache", {}).get(key, 0)
+        merged["coalesce_ratio"] = (
+            merged["batched_requests"] / merged["batches"]
+            if merged["batches"]
+            else 0.0
+        )
+        return {
+            **local,
+            "metrics": merged,
+            "cache": cache,
+            "workers": workers,
+        }
+
+    # -- wire adapters -----------------------------------------------------------
+
+    async def handle_request_dict(
+        self, data: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """In-process entry point (no sockets): dict in, dict out."""
+        line = json.dumps(data, separators=(",", ":"))
+        response = await self.handle_line(line)
+        return json.loads(response)
+
+    async def handle_line(self, line: str) -> str:
+        """One request line -> one response line (never raises)."""
+        try:
+            request = decode_request(line)
+        except ProtocolError as err:
+            return encode_response(
+                Response(
+                    id="", ok=False, error=error_from_exception(err)
+                )
+            )
+        if self._draining:
+            err = OverloadedError(reason="draining", retry_after_s=1.0)
+            return encode_response(Response.failure(request.id, err))
+        response = await self.handle_request(request)
+        return encode_response(response)

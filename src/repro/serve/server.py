@@ -63,6 +63,11 @@ class ServeConfig:
         default_deadline_s: deadline applied to requests that carry
             none (None = wait forever).
         drain_timeout_s: bound on the graceful-shutdown drain.
+        worker_id: shard identity when this server is one worker of a
+            :class:`~repro.serve.router.ShardRouter` (None when it is
+            the whole service).  Labels this worker's metrics and
+            rides on its ``stats`` payload so the router can aggregate
+            per-worker views.
     """
 
     host: str = "127.0.0.1"
@@ -83,12 +88,140 @@ class ServeConfig:
     admission_tick_s: Optional[float] = None
     default_deadline_s: Optional[float] = None
     drain_timeout_s: float = 10.0
+    worker_id: Optional[int] = None
 
 
-class PlanServer:
-    """One serving instance: state, endpoints, and the TCP front end."""
+class JsonLinesListener:
+    """Reusable asyncio TCP front end for JSON-lines endpoints.
 
-    def __init__(self, config: Optional[ServeConfig] = None):
+    Mixin shared by :class:`PlanServer` and the shard router: owns the
+    listener socket, per-connection reader loops and per-request
+    response tasks.  Subclasses provide ``handle_line(line) -> line``
+    and call :meth:`_init_listener` before :meth:`start`.
+    """
+
+    async def handle_line(self, line: str) -> str:
+        raise NotImplementedError
+
+    def _init_listener(
+        self, host: str, port: int, drain_timeout_s: float
+    ) -> None:
+        self._listen_host = host
+        self._listen_port = port
+        self._drain_timeout_s = drain_timeout_s
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._conn_tasks: Set[asyncio.Task] = set()
+        self._request_tasks: Set[asyncio.Task] = set()
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (after :meth:`start`)."""
+        if self._server is None or not self._server.sockets:
+            raise ReproError("server is not listening")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        if self._server is not None:
+            raise ReproError("server already started")
+        self._server = await asyncio.start_server(
+            self._on_client,
+            host=self._listen_host,
+            port=self._listen_port,
+        )
+
+    async def _on_client(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        write_lock = asyncio.Lock()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                text = line.decode("utf-8", errors="replace").strip()
+                if not text:
+                    continue
+                request_task = asyncio.ensure_future(
+                    self._respond(text, writer, write_lock)
+                )
+                self._request_tasks.add(request_task)
+                request_task.add_done_callback(
+                    self._request_tasks.discard
+                )
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            pass  # drain-cancel from stop(); close the socket and exit
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _respond(
+        self,
+        line: str,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        response_line = await self.handle_line(line)
+        async with write_lock:
+            try:
+                writer.write(response_line.encode("utf-8") + b"\n")
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass  # client went away; the work still warmed caches
+
+    async def _drain_listener(self) -> None:
+        """Stop accepting, cancel readers, drain in-flight requests."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Reader loops block on readline indefinitely -- cancel them
+        # first; the in-flight *request* tasks are what drains.
+        for task in list(self._conn_tasks):
+            task.cancel()
+        pending = {
+            task for task in self._request_tasks if not task.done()
+        }
+        if pending:
+            await asyncio.wait(
+                pending, timeout=self._drain_timeout_s
+            )
+            for task in pending:
+                if not task.done():
+                    task.cancel()
+        if self._conn_tasks:
+            await asyncio.wait(
+                set(self._conn_tasks), timeout=1.0
+            )
+        self._server = None
+
+
+class PlanServer(JsonLinesListener):
+    """One serving instance: state, endpoints, and the TCP front end.
+
+    Args:
+        config: everything else.
+        shared_cache: optional cross-worker plan-cache tier handed to
+            the :class:`~repro.serve.service.PlanService` (shard
+            workers receive the router's
+            :class:`~repro.serve.shared_cache.ManagedSharedCache`).
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        shared_cache: Optional[Any] = None,
+    ):
         self.config = config or ServeConfig()
         cfg = self.config
         self.metrics = ServeMetrics()
@@ -99,7 +232,14 @@ class PlanServer:
             solver=cfg.solver,
             dp_resolution=cfg.dp_resolution,
             max_refinements=cfg.max_refinements,
+            shared_cache=(
+                shared_cache if not cfg.stateless else None
+            ),
         )
+        if cfg.worker_id is not None:
+            get_registry().gauge_set(
+                "serve.worker_up", 1.0, worker=str(cfg.worker_id)
+            )
         bucket = None
         if cfg.rate_per_s is not None:
             time_fn = (
@@ -122,9 +262,7 @@ class PlanServer:
             max_workers=cfg.workers,
             enabled=cfg.batch_enabled and not cfg.stateless,
         )
-        self._server: Optional[asyncio.AbstractServer] = None
-        self._conn_tasks: Set[asyncio.Task] = set()
-        self._request_tasks: Set[asyncio.Task] = set()
+        self._init_listener(cfg.host, cfg.port, cfg.drain_timeout_s)
         self._draining = False
 
     # -- request handling --------------------------------------------------------
@@ -251,9 +389,12 @@ class PlanServer:
         the process-wide obs registry (one coherent snapshot covering
         pipeline/fleet internals that happen off the request path)."""
         self.service.publish_registry()
+        shared = self.service.shared_cache
         return {
+            "worker_id": self.config.worker_id,
             "metrics": self.metrics.snapshot(),
             "cache": self.cache.stats(),
+            "shared_cache": shared.stats() if shared is not None else None,
             "registry": get_registry().snapshot(),
             "audit": get_audit_log().counts(),
             "admission": {
@@ -298,97 +439,11 @@ class PlanServer:
 
     # -- TCP front end -----------------------------------------------------------
 
-    @property
-    def port(self) -> int:
-        """The bound TCP port (after :meth:`start`)."""
-        if self._server is None or not self._server.sockets:
-            raise ReproError("server is not listening")
-        return self._server.sockets[0].getsockname()[1]
-
-    async def start(self) -> None:
-        """Bind and start accepting connections."""
-        if self._server is not None:
-            raise ReproError("server already started")
-        self._server = await asyncio.start_server(
-            self._on_client, host=self.config.host, port=self.config.port
-        )
-
-    async def _on_client(
-        self,
-        reader: asyncio.StreamReader,
-        writer: asyncio.StreamWriter,
-    ) -> None:
-        task = asyncio.current_task()
-        if task is not None:
-            self._conn_tasks.add(task)
-            task.add_done_callback(self._conn_tasks.discard)
-        write_lock = asyncio.Lock()
-        try:
-            while True:
-                line = await reader.readline()
-                if not line:
-                    break
-                text = line.decode("utf-8", errors="replace").strip()
-                if not text:
-                    continue
-                request_task = asyncio.ensure_future(
-                    self._respond(text, writer, write_lock)
-                )
-                self._request_tasks.add(request_task)
-                request_task.add_done_callback(
-                    self._request_tasks.discard
-                )
-        except (ConnectionError, asyncio.IncompleteReadError):
-            pass
-        except asyncio.CancelledError:
-            pass  # drain-cancel from stop(); close the socket and exit
-        finally:
-            try:
-                writer.close()
-                await writer.wait_closed()
-            except (ConnectionError, OSError):
-                pass
-
-    async def _respond(
-        self,
-        line: str,
-        writer: asyncio.StreamWriter,
-        write_lock: asyncio.Lock,
-    ) -> None:
-        response_line = await self.handle_line(line)
-        async with write_lock:
-            try:
-                writer.write(response_line.encode("utf-8") + b"\n")
-                await writer.drain()
-            except (ConnectionError, OSError):
-                pass  # client went away; the work still warmed caches
-
     async def stop(self) -> None:
         """Graceful drain: stop accepting, finish in-flight, shut down."""
         self._draining = True
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-        # Reader loops block on readline indefinitely -- cancel them
-        # first; the in-flight *request* tasks are what drains.
-        for task in list(self._conn_tasks):
-            task.cancel()
-        pending = {
-            task for task in self._request_tasks if not task.done()
-        }
-        if pending:
-            await asyncio.wait(
-                pending, timeout=self.config.drain_timeout_s
-            )
-            for task in pending:
-                if not task.done():
-                    task.cancel()
-        if self._conn_tasks:
-            await asyncio.wait(
-                set(self._conn_tasks), timeout=1.0
-            )
+        await self._drain_listener()
         self.batcher.shutdown()
-        self._server = None
 
 
 async def serve_forever(config: Optional[ServeConfig] = None) -> None:

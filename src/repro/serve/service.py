@@ -6,8 +6,9 @@ into a fleet-shared pricing state
 :class:`~repro.fleet.pricing.SharedComponentExplorer` +
 :class:`~repro.fleet.pricing.ReplayingRuntime`), the bounded LRU
 :class:`~repro.serve.cache.PlanCache`, and a small store of the most
-recent per-(model, QoS) optimization results so the ``reprice``
-endpoint can re-solve the MCKP from *cached* Pareto fronts
+recent optimization results -- keyed, like the plan cache, by the full
+(model, board, space, QoS) identity -- so the ``reprice`` endpoint can
+re-solve the MCKP from *cached* Pareto fronts
 (:func:`repro.optimize.mckp.reprice_classes`) without ever
 re-exploring the design space.
 
@@ -85,6 +86,9 @@ class PlanService:
         solver / dp_resolution / max_refinements: pipeline knobs.
         max_front_store: recent (model, QoS) optimization results kept
             for the ``reprice`` endpoint.
+        shared_cache: optional cross-worker plan-cache tier consulted
+            on a local LRU miss and published to on every fresh plan
+            (see :mod:`repro.serve.shared_cache`).
     """
 
     def __init__(
@@ -96,10 +100,12 @@ class PlanService:
         dp_resolution: int = 4000,
         max_refinements: int = 3,
         max_front_store: int = 32,
+        shared_cache: Optional[Any] = None,
     ):
         self.board_factory = board_factory
         self.cache = cache if cache is not None else PlanCache()
         self.cache_enabled = cache_enabled
+        self.shared_cache = shared_cache
         self.solver = solver
         self.dp_resolution = dp_resolution
         self.max_refinements = max_refinements
@@ -206,10 +212,30 @@ class PlanService:
         )
         return core
 
+    def reconfigure(
+        self, board_factory: Callable[[], Board]
+    ) -> None:
+        """Swap the hardware description under a live service.
+
+        Rebuilds the warm pipeline and the fleet-shared pricing state
+        for the new board.  The plan cache and the reprice front store
+        survive untouched: both are keyed by the board fingerprint, so
+        entries priced against the old board can never answer a
+        request planned for the new one -- they simply age out.
+        """
+        self.board_factory = board_factory
+        self.board = board_factory()
+        self.shared = FleetSharedState(self.board)
+        self.pipeline = self._build_pipeline(self.board, shared=True)
+
     def _store_fronts(
         self, model: Model, qos_key: Tuple, result: OptimizationResult
     ) -> None:
-        key = (model_fingerprint(model), qos_key)
+        # Keyed by the *full* plan-cache key -- board and design-space
+        # fingerprints included -- so a service reconfigured with a
+        # different board or power model can never reprice from fronts
+        # priced against the old hardware (the stale-reprice bug).
+        key = self.cache_key(model, qos_key)
         with self._front_lock:
             self._front_store[key] = result
             self._front_store.move_to_end(key)
@@ -245,6 +271,18 @@ class PlanService:
                         qos=list(qos_key),
                     )
                     return {**cached, "cached": True}
+                if self.shared_cache is not None:
+                    shared = self.shared_cache.lookup(key)
+                    if shared is not None:
+                        sp.set(cached=True, tier="shared")
+                        get_audit_log().record(
+                            "serve.cache",
+                            "shared_hit",
+                            model=model_name,
+                            qos=list(qos_key),
+                        )
+                        shared = self.cache.put(key, shared)
+                        return {**shared, "cached": True}
             sp.set(cached=False)
             get_audit_log().record(
                 "serve.cache",
@@ -257,6 +295,8 @@ class PlanService:
             payload = self._payload(model_name, qos_key, result)
             if self.cache_enabled and use_cache:
                 payload = self.cache.put(key, payload)
+                if self.shared_cache is not None:
+                    self.shared_cache.publish(key, payload)
             return {**payload, "cached": False}
 
     def plan_cold(self, model_name: str, qos_key: Tuple) -> Dict[str, Any]:
@@ -296,7 +336,7 @@ class PlanService:
                 meets the stored budget.
         """
         model = self.resolve_model(model_name)
-        key = (model_fingerprint(model), qos_key)
+        key = self.cache_key(model, qos_key)
         with self._front_lock:
             result = self._front_store.get(key)
         get_audit_log().record(

@@ -1,0 +1,212 @@
+"""Digest-addressed cross-worker plan-cache tier.
+
+Plans are pure functions of their (model, board, space, QoS) identity,
+so replicas can exchange them *byte-identically*: the tier stores each
+payload once as canonical JSON (the exact bytes
+:func:`repro.serve.protocol.plan_digest` hashes), addressed by its
+``digest`` field, plus an index mapping plan-cache keys to digests.
+A worker that computes a plan publishes it; every other worker's next
+miss on the same key deserializes the same bytes and therefore serves
+a payload whose digest is identical to a single-process solve -- the
+sharding acceptance gate.
+
+Two implementations share one surface (``lookup`` / ``publish`` /
+``stats``):
+
+* :class:`LocalSharedCache` -- plain dicts behind a lock.  The
+  single-process tier, and the reference implementation tests pin
+  behavior against.
+* :class:`ManagedSharedCache` -- the same maps as
+  :mod:`multiprocessing` manager proxies, so ``spawn``-ed shard
+  workers share one tier.  The handle pickles across the process
+  boundary; all mutation happens under one manager-side lock.
+
+Lookups verify: a payload whose recomputed digest does not match its
+address is treated as a miss (and the index entry dropped where
+possible), so a corrupt or torn write can never be served.
+
+Capacity is a soft bound enforced at publish time: beyond
+``capacity`` index entries, new publishes become no-ops rather than
+evicting -- cross-process LRU bookkeeping would put a lock on every
+hit, and the per-worker LRUs in front of this tier already absorb hot
+keys.  ``stats`` reports the rejections.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import ReproError
+from .protocol import plan_digest
+
+
+def wire_key(key: Tuple) -> str:
+    """Canonical string form of a plan-cache key.
+
+    Manager-proxied dicts hash keys in the *manager* process, so the
+    tier addresses entries by a canonical JSON string instead of the
+    nested fingerprint tuples (tuples and lists would also collide
+    differently per process).  Deterministic: sorted-keys JSON of the
+    nested-list form.
+    """
+    return json.dumps(_jsonable(key), sort_keys=True, separators=(",", ":"))
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (tuple, list)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in sorted(value.items())}
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def _payload_digest(payload: Dict[str, Any]) -> str:
+    """The digest a payload claims, verified against its content."""
+    claimed = payload.get("digest")
+    computed = plan_digest(
+        {k: v for k, v in payload.items() if k != "digest"}
+    )
+    if claimed is not None and claimed != computed:
+        raise ReproError(
+            f"plan payload digest mismatch: claims {claimed}, "
+            f"content hashes to {computed}"
+        )
+    return computed
+
+
+class _SharedCacheBase:
+    """Shared get/put logic over injectable map + lock primitives.
+
+    Subclasses provide ``_index`` (wire key -> digest), ``_payloads``
+    (digest -> canonical JSON string), ``_counters`` (str -> int) and
+    ``_lock``; everything else -- digest addressing, verification,
+    capacity -- lives here so both tiers behave identically.
+    """
+
+    capacity: int
+    _index: Any
+    _payloads: Any
+    _counters: Any
+    _lock: Any
+
+    def lookup(self, key: Tuple) -> Optional[Dict[str, Any]]:
+        """The payload published under ``key``, or None.
+
+        Returns a fresh dict deserialized from the canonical bytes, so
+        callers can annotate it without mutating the shared copy.
+        """
+        wk = wire_key(key)
+        with self._lock:
+            digest = self._index.get(wk)
+            raw = self._payloads.get(digest) if digest is not None else None
+            if raw is None:
+                self._counters["misses"] = (
+                    self._counters.get("misses", 0) + 1
+                )
+                return None
+            self._counters["hits"] = self._counters.get("hits", 0) + 1
+        payload = json.loads(raw)
+        try:
+            if _payload_digest(payload) != digest:
+                raise ReproError("stored payload does not match address")
+        except ReproError:
+            with self._lock:
+                if self._index.get(wk) == digest:
+                    del self._index[wk]
+                self._counters["corrupt"] = (
+                    self._counters.get("corrupt", 0) + 1
+                )
+            return None
+        return payload
+
+    def publish(self, key: Tuple, payload: Dict[str, Any]) -> str:
+        """Store ``payload`` under ``key``; returns its digest address.
+
+        First publisher wins: an existing index entry for the key is
+        left alone (plans are deterministic, so a disagreement would
+        mean a corrupt payload, not a newer answer).
+        """
+        digest = _payload_digest(payload)
+        raw = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        wk = wire_key(key)
+        with self._lock:
+            if wk in self._index:
+                return self._index[wk]
+            if len(self._index) >= self.capacity:
+                self._counters["rejected"] = (
+                    self._counters.get("rejected", 0) + 1
+                )
+                return digest
+            # Content store first, index last: a reader that sees the
+            # index entry always finds its payload.
+            if digest not in self._payloads:
+                self._payloads[digest] = raw
+            self._index[wk] = digest
+            self._counters["publishes"] = (
+                self._counters.get("publishes", 0) + 1
+            )
+        return digest
+
+    def stats(self) -> Dict[str, Any]:
+        """Counters plus occupancy (one consistent snapshot)."""
+        with self._lock:
+            counters = dict(self._counters)
+            size = len(self._index)
+            payloads = len(self._payloads)
+        return {
+            "capacity": self.capacity,
+            "size": size,
+            "payloads": payloads,
+            "hits": counters.get("hits", 0),
+            "misses": counters.get("misses", 0),
+            "publishes": counters.get("publishes", 0),
+            "rejected": counters.get("rejected", 0),
+            "corrupt": counters.get("corrupt", 0),
+        }
+
+
+class LocalSharedCache(_SharedCacheBase):
+    """In-process tier: plain dicts behind a threading lock."""
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 1:
+            raise ReproError("shared cache capacity must be >= 1")
+        self.capacity = capacity
+        self._index: Dict[str, str] = {}
+        self._payloads: Dict[str, str] = {}
+        self._counters: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+
+class ManagedSharedCache(_SharedCacheBase):
+    """Cross-process tier over :mod:`multiprocessing` manager proxies.
+
+    Build with :func:`managed_shared_cache` in the router process and
+    pass the instance to spawned workers -- the proxies (and the
+    manager lock) pickle into a handle that reconnects to the same
+    manager-side maps.
+    """
+
+    def __init__(self, index, payloads, counters, lock, capacity: int):
+        if capacity < 1:
+            raise ReproError("shared cache capacity must be >= 1")
+        self.capacity = capacity
+        self._index = index
+        self._payloads = payloads
+        self._counters = counters
+        self._lock = lock
+
+
+def managed_shared_cache(manager, capacity: int = 1024) -> ManagedSharedCache:
+    """A :class:`ManagedSharedCache` over a ``multiprocessing.Manager``."""
+    return ManagedSharedCache(
+        index=manager.dict(),
+        payloads=manager.dict(),
+        counters=manager.dict(),
+        lock=manager.Lock(),
+        capacity=capacity,
+    )

@@ -32,8 +32,45 @@ class TestTokenBucket:
         assert bucket.try_acquire()
 
     def test_retry_hint(self):
-        bucket = TokenBucket(rate_per_s=4.0, burst=1)
+        bucket = TokenBucket(
+            rate_per_s=4.0, burst=1, time_fn=ArrivalClock(tick_s=0.0)
+        )
+        # A full bucket needs no waiting; a drained one needs a whole
+        # token's worth.
+        assert bucket.retry_after_s == pytest.approx(0.0)
+        assert bucket.try_acquire()
         assert bucket.retry_after_s == pytest.approx(0.25)
+
+    def test_retry_hint_credits_fractional_tokens(self):
+        # Regression: retry_after_s once quoted a flat 1/rate even when
+        # most of the next token had already accrued.
+        clock = ArrivalClock(tick_s=0.25)
+        bucket = TokenBucket(rate_per_s=1.0, burst=1, time_fn=clock)
+        assert bucket.try_acquire()  # drains the initial token
+        assert not bucket.try_acquire()  # 0.25 tokens accrued: shed
+        assert bucket.retry_after_s == pytest.approx(0.75)
+
+    def test_construction_consumes_no_clock_tick(self):
+        # Regression: __init__ used to read time_fn() once, so the n-th
+        # admission check saw the (n+1)-th clock reading and every shed
+        # decision shifted by one tick.
+        clock = ArrivalClock(tick_s=0.5)
+        bucket = TokenBucket(rate_per_s=1.0, burst=1, time_fn=clock)
+        assert bucket.try_acquire()
+        # The bucket's first check consumed exactly one reading: the
+        # clock's next value is 2 ticks, not 3.
+        assert clock() == pytest.approx(1.0)
+
+    def test_first_check_anchors_clock_without_refill(self):
+        # The first reading anchors elapsed time; it must not be
+        # interpreted as elapsed seconds of token accrual.
+        clock = ArrivalClock(tick_s=100.0)  # huge first reading
+        bucket = TokenBucket(rate_per_s=1.0, burst=1, time_fn=clock)
+        assert bucket.try_acquire()  # drains the only token
+        # Had the first reading counted as elapsed accrual the bucket
+        # would be full again; no time has passed since the anchor.
+        clock.tick_s = 0.0
+        assert not bucket.try_acquire()
 
     def test_validation(self):
         with pytest.raises(ReproError):

@@ -87,6 +87,70 @@ class TestCoalescing:
         assert len(calls) == 2
 
 
+class TestCloseAtDispatch:
+    def test_late_arrival_cannot_join_dispatched_batch(self):
+        """Regression: a batch closes the moment it dispatches.
+
+        A request arriving while a ``max_batch``-bounded batch is
+        already running used to join it silently -- growing a
+        "bounded" batch past its bound after its size had been read
+        into the metrics.  It must open a fresh batch instead.
+        """
+        release = threading.Event()
+        calls = []
+        lock = threading.Lock()
+
+        def work():
+            with lock:
+                calls.append(1)
+                execution = len(calls)
+            release.wait(timeout=5.0)
+            return execution
+
+        async def main():
+            metrics = ServeMetrics()
+            batcher = PlanBatcher(
+                metrics=metrics, window_s=0.005, max_batch=2
+            )
+            first = asyncio.ensure_future(batcher.submit(("k",), work))
+            second = asyncio.ensure_future(batcher.submit(("k",), work))
+            # Wait until the pair has dispatched and is running.
+            while not calls:
+                await asyncio.sleep(0.001)
+            third = asyncio.ensure_future(batcher.submit(("k",), work))
+            await asyncio.sleep(0.02)
+            release.set()
+            results = await asyncio.gather(first, second, third)
+            batcher.shutdown()
+            return results, metrics
+
+        results, metrics = run(main())
+        # The pair shared execution #1; the late arrival got its own.
+        assert results[0] == results[1] == 1
+        assert results[2] == 2
+        assert len(calls) == 2
+        # Accounting is exact: two batches, every waiter counted.
+        assert metrics.batches == 2
+        assert metrics.batched_requests == 3
+
+    def test_max_batch_size_is_recorded_exactly(self):
+        async def main():
+            metrics = ServeMetrics()
+            batcher = PlanBatcher(
+                metrics=metrics, window_s=10.0, max_batch=3
+            )
+            results = await asyncio.gather(
+                *(batcher.submit(("k",), lambda: "p") for _ in range(3))
+            )
+            batcher.shutdown()
+            return results, metrics
+
+        results, metrics = run(main())
+        assert results == ["p"] * 3
+        assert metrics.batches == 1
+        assert metrics.batched_requests == 3
+
+
 class TestDeadlines:
     def test_deadline_exceeded_is_typed(self):
         release = threading.Event()

@@ -20,7 +20,18 @@ class TestSchedule:
 
     def test_draws_only_configured_qos(self):
         config = LoadGenConfig(requests=64, qos_percents=(20.0, 40.0))
-        assert set(request_schedule(config)) <= {20.0, 40.0}
+        assert {qos for _, qos in request_schedule(config)} <= {20.0, 40.0}
+
+    def test_single_model_traffic_uses_model(self):
+        config = LoadGenConfig(requests=16, model="mbv2")
+        assert {model for model, _ in request_schedule(config)} == {"mbv2"}
+
+    def test_mixed_traffic_draws_from_pool(self):
+        config = LoadGenConfig(requests=64, models=("tiny", "mbv2"))
+        assert {model for model, _ in request_schedule(config)} == {
+            "tiny",
+            "mbv2",
+        }
 
     def test_validation(self):
         with pytest.raises(ReproError):
@@ -29,6 +40,12 @@ class TestSchedule:
             LoadGenConfig(concurrency=0)
         with pytest.raises(ReproError):
             LoadGenConfig(qos_percents=())
+        with pytest.raises(ReproError):
+            LoadGenConfig(clients=0)
+        with pytest.raises(ReproError):
+            LoadGenConfig(open_loop=True, arrival_rate_rps=0.0)
+        with pytest.raises(ReproError):
+            LoadGenConfig(burst=True, open_loop=True)
 
 
 class TestClosedLoop:
@@ -94,3 +111,40 @@ class TestBurstOverload:
         ok, sheds, _reasons = first
         assert sheds > 0
         assert ok + sheds == 16  # every request accounted for
+
+
+class TestOpenLoop:
+    def test_open_loop_multi_client_with_slo_gate(self):
+        summary = run_loadgen(
+            LoadGenConfig(
+                requests=8,
+                clients=2,
+                open_loop=True,
+                arrival_rate_rps=500.0,
+                qos_percents=(30.0,),
+                slo_p95_ms=60_000.0,  # generous: gate plumbing, not speed
+                verify_digests=False,
+                serve=ServeConfig(workers=2, batch_window_s=0.001),
+            )
+        )
+        assert summary["ok"] == 8
+        assert summary["open_loop"] is True
+        assert summary["clients"] == 2
+        assert summary["slo"]["p95"]["met"] is True
+        assert summary["slo_met"] is True
+
+    def test_unattainable_slo_fails_gate(self):
+        summary = run_loadgen(
+            LoadGenConfig(
+                requests=4,
+                open_loop=True,
+                arrival_rate_rps=500.0,
+                qos_percents=(30.0,),
+                slo_p99_ms=0.0,  # nothing completes in zero time
+                verify_digests=False,
+                serve=ServeConfig(workers=2, batch_window_s=0.001),
+            )
+        )
+        assert summary["ok"] == 4
+        assert summary["slo"]["p99"]["met"] is False
+        assert summary["slo_met"] is False

@@ -1,0 +1,109 @@
+"""Reprice front-store keys must cover the board identity.
+
+Regression for the stale-reprice bug: ``PlanService._store_fronts``
+once keyed the front store by (model fingerprint, QoS) only, so a
+server reconfigured onto a different board would ``reprice`` from
+Pareto fronts priced against the *old* hardware -- silently wrong
+plans.  The store is now keyed by the full plan-cache key (model +
+board + space + QoS), mirroring :mod:`tests.pipeline.test_cache_keys`.
+"""
+
+import pytest
+
+from repro.mcu.board import make_nucleo_f746zg, make_nucleo_f767zi
+from repro.power.model import PowerModelParams
+from repro.serve.service import PlanService
+
+QOS = ("percent", 30.0)
+
+
+def make_service(board_factory=make_nucleo_f767zi) -> PlanService:
+    return PlanService(board_factory=board_factory, cache_enabled=False)
+
+
+def hotter_board():
+    return make_nucleo_f767zi(
+        power_params=PowerModelParams().scaled(p_board_static_w=0.2)
+    )
+
+
+class TestFrontStoreKeyCoversBoard:
+    def test_differing_boards_differing_front_keys(self):
+        """The stored front key must change when only the board does."""
+        service_a = make_service()
+        service_b = make_service(hotter_board)
+        service_a.plan("tiny", QOS)
+        service_b.plan("tiny", QOS)
+        (key_a,) = service_a._front_store.keys()
+        (key_b,) = service_b._front_store.keys()
+        assert key_a != key_b
+
+    def test_sibling_board_differing_front_keys(self):
+        service_a = make_service()
+        service_b = make_service(make_nucleo_f746zg)
+        service_a.plan("tiny", QOS)
+        service_b.plan("tiny", QOS)
+        (key_a,) = service_a._front_store.keys()
+        (key_b,) = service_b._front_store.keys()
+        assert key_a != key_b
+
+    def test_identical_boards_share_front_key(self):
+        service_a = make_service()
+        service_b = make_service()
+        service_a.plan("tiny", QOS)
+        service_b.plan("tiny", QOS)
+        assert list(service_a._front_store) == list(
+            service_b._front_store
+        )
+
+    def test_plan_warms_fronts_for_reprice(self):
+        """Same service, same board: reprice reuses the stored fronts."""
+        service = make_service()
+        service.plan("tiny", QOS)
+        stored = dict(service._front_store)
+        service.reprice("tiny", QOS, extra_power_w=0.01)
+        # Repricing from warm fronts must not have recomputed them.
+        assert dict(service._front_store) == stored
+
+
+class TestRepriceAfterReconfigure:
+    def test_reconfigured_service_never_reprices_stale_fronts(self):
+        """The behavioral half of the regression.
+
+        Plan on board A, reconfigure to board B, reprice: the answer
+        must digest-match a reprice computed by a service that only
+        ever saw board B -- not reuse fronts priced on A.
+        """
+        service = make_service()
+        service.plan("tiny", QOS)
+        service.reconfigure(hotter_board)
+        repriced = service.reprice("tiny", QOS, extra_power_w=0.005)
+
+        oracle = make_service(hotter_board)
+        oracle.plan("tiny", QOS)
+        expected = oracle.reprice("tiny", QOS, extra_power_w=0.005)
+        assert repriced["digest"] == expected["digest"]
+
+    def test_reconfigure_back_restores_old_fronts(self):
+        """Keys cover the board, so old fronts survive a round trip."""
+        service = make_service()
+        service.plan("tiny", QOS)
+        baseline = service.reprice("tiny", QOS, extra_power_w=0.005)
+        (key_before,) = service._front_store.keys()
+
+        service.reconfigure(hotter_board)
+        service.plan("tiny", QOS)
+        assert len(service._front_store) == 2  # old entry not clobbered
+
+        service.reconfigure(make_nucleo_f767zi)
+        assert key_before in service._front_store
+        again = service.reprice("tiny", QOS, extra_power_w=0.005)
+        assert again["digest"] == baseline["digest"]
+
+
+class TestQoSStillSeparated:
+    def test_differing_qos_differing_front_keys(self):
+        service = make_service()
+        service.plan("tiny", ("percent", 30.0))
+        service.plan("tiny", ("percent", 50.0))
+        assert len(service._front_store) == 2
