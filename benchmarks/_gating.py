@@ -1,0 +1,97 @@
+"""Uniform acceptance-gate records for the benchmark harnesses.
+
+Every bench that asserts a performance or correctness gate writes one
+record per gate into its ``_meta["gates"]`` block, all with the same
+shape::
+
+    {"measured": <value>, "threshold": <value>, "comparator": ">=",
+     "passed": bool, "enforced": bool, "gate_reason": <slug or None>}
+
+The contract the harnesses (and CI) rely on:
+
+* the **measured value is always recorded**, whether or not the gate
+  is enforced on this host;
+* a gate that is *recorded but not enforced* (e.g. a multi-core
+  throughput gate on a 1-core runner) carries a **machine-readable
+  ``gate_reason`` slug** saying why enforcement was waived, plus an
+  optional human ``detail`` string -- downstream tooling branches on
+  the slug, humans read the detail;
+* an enforced gate always has ``gate_reason: None`` and is asserted
+  by :func:`enforce_gates` before the bench JSON is trusted.
+
+Extra keyword context (``cpu_count=...``) is merged into the record.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+_COMPARATORS = {
+    ">=": lambda measured, threshold: measured >= threshold,
+    "<=": lambda measured, threshold: measured <= threshold,
+    "==": lambda measured, threshold: measured == threshold,
+}
+
+
+def gate_record(
+    measured,
+    threshold,
+    *,
+    comparator: str = ">=",
+    enforced: bool = True,
+    gate_reason: Optional[str] = None,
+    detail: Optional[str] = None,
+    **context,
+) -> Dict:
+    """One uniform gate record; see the module docstring for the shape."""
+    if comparator not in _COMPARATORS:
+        raise ValueError(
+            f"unknown comparator {comparator!r}; "
+            f"choose from {sorted(_COMPARATORS)}"
+        )
+    if enforced and gate_reason is not None:
+        raise ValueError("gate_reason is reserved for skipped gates")
+    if not enforced and not gate_reason:
+        raise ValueError(
+            "a recorded-but-not-enforced gate needs a machine-readable "
+            "gate_reason slug"
+        )
+    record: Dict = {
+        "measured": measured,
+        "threshold": threshold,
+        "comparator": comparator,
+        "passed": bool(_COMPARATORS[comparator](measured, threshold)),
+        "enforced": bool(enforced),
+        "gate_reason": gate_reason,
+    }
+    if detail is not None:
+        record["detail"] = detail
+    record.update(context)
+    return record
+
+
+def enforce_gates(gates: Dict[str, Dict]) -> Dict[str, Dict]:
+    """Assert every enforced gate passed; returns the gates unchanged."""
+    for name, record in sorted(gates.items()):
+        if record["enforced"]:
+            assert record["passed"], (
+                f"gate {name!r} failed: measured {record['measured']!r} "
+                f"not {record['comparator']} {record['threshold']!r}"
+            )
+    return gates
+
+
+def print_gates(gates: Dict[str, Dict]) -> None:
+    """One status line per gate, flagging recorded-only gates."""
+    for name, record in sorted(gates.items()):
+        status = "pass" if record["passed"] else "FAIL"
+        mode = (
+            "enforced"
+            if record["enforced"]
+            else f"recorded-only: {record['gate_reason']}"
+        )
+        print(
+            f"gate {name:28s} {record['measured']!r:>24} "
+            f"{record['comparator']} {record['threshold']!r}"
+            f"  [{status}, {mode}]"
+        )

@@ -8,10 +8,12 @@ at the repo root with the schema::
     {mode[model]: {"wall_s": float, "devices": int,
                    "devices_per_s": float}}
 
-plus a ``_meta`` block recording the per-model speedups and the
-headline ``fleet_speedup`` (pooled-shared vs. serial-unshared on the
-largest model).  Both modes produce bit-identical fleet reports -- the
-harness asserts the digests match before timing is trusted -- so the
+plus a ``_meta`` block recording the per-model speedups, the headline
+``fleet_speedup`` (pooled-shared vs. serial-unshared on the largest
+model) and a ``gates`` entry with one uniform measured / threshold /
+enforced / ``gate_reason`` record per acceptance gate (see
+``_gating.py``).  Both modes produce bit-identical fleet reports --
+the digest-match gates assert so before timing is trusted -- so the
 speedup measures pure cache sharing, never a change of answer.
 
 Run standalone (CI smoke does exactly this)::
@@ -25,6 +27,7 @@ import json
 import pathlib
 import time
 
+from _gating import enforce_gates, gate_record, print_gates
 from repro.fleet import FleetScheduler, aggregate_fleet, sample_fleet
 from repro.nn import build_mbv2, build_person_detection, build_vww
 from repro.optimize import MODERATE
@@ -38,6 +41,11 @@ SEED = 0
 
 #: The largest bundled model; the headline speedup is measured on it.
 LARGEST = "mbv2"
+
+#: Pooled pricing-cache sharing must at least halve the serial wall
+#: time on the largest model (cache reuse, not parallelism, so the
+#: gate holds on any core count).
+MIN_FLEET_SPEEDUP = 2.0
 
 
 def build_models():
@@ -65,6 +73,7 @@ def run_mode(model, fleet, share, pooled):
 def main():
     stages = {}
     speedups = {}
+    digests_match = {}
     for name, model in build_models().items():
         fleet = sample_fleet(FLEET_SIZE, seed=SEED)
         serial_wall, serial_report = run_mode(
@@ -74,8 +83,8 @@ def main():
             model, fleet, share=True, pooled=True
         )
         # Sharing must never move a bit of any device's plan or price.
-        assert serial_report.digest() == pooled_report.digest(), (
-            f"{name}: pooled-shared report diverged from serial baseline"
+        digests_match[name] = (
+            serial_report.digest() == pooled_report.digest()
         )
         stages[f"serial[{name}]"] = {
             "wall_s": serial_wall,
@@ -89,6 +98,17 @@ def main():
         }
         speedups[name] = serial_wall / pooled_wall
 
+    gates = {
+        "fleet_speedup": gate_record(
+            speedups[LARGEST], MIN_FLEET_SPEEDUP, largest_model=LARGEST
+        ),
+    }
+    for name, matched in sorted(digests_match.items()):
+        gates[f"digest_match[{name}]"] = gate_record(
+            matched, True, comparator="=="
+        )
+    enforce_gates(gates)
+
     stages["_meta"] = {
         "models": sorted(speedups),
         "largest_model": LARGEST,
@@ -96,6 +116,8 @@ def main():
         "seed": SEED,
         "speedups": speedups,
         "fleet_speedup": speedups[LARGEST],
+        "min_fleet_speedup": MIN_FLEET_SPEEDUP,
+        "gates": gates,
     }
     OUTPUT.write_text(json.dumps(stages, indent=2, sort_keys=True) + "\n")
 
@@ -108,6 +130,7 @@ def main():
         )
     for name in sorted(speedups):
         print(f"fleet speedup on {name}: {speedups[name]:.2f}x")
+    print_gates(gates)
     return stages
 
 

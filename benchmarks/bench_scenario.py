@@ -1,0 +1,156 @@
+"""Benchmark harness for the scenario lifecycle simulator (E24).
+
+Runs the headline lifecycle: 24 simulated hours of diurnal traffic
+with a midday Poisson burst at ``DEVICES`` devices (tick 900 s), the
+clairvoyant oracle twinned on a stride of the fleet, and writes
+``BENCH_scenario.json`` at the repo root with the schema::
+
+    {"run[first]": {"wall_s": float, "devices": int, "epochs_run": int,
+                    "epochs_per_s": float, "qos_met_fraction": float,
+                    "replans": {...}, "oracle_gap": float,
+                    "digest": str},
+     "run[second]": {...}}
+
+plus a ``_meta`` block whose ``gates`` entry records every acceptance
+gate as a uniform measured / threshold / enforced / ``gate_reason``
+record (see ``_gating.py``):
+
+* **determinism** -- the scenario runs twice with the same seed and
+  must produce byte-identical digested reports;
+* **oracle gap** -- the governed fleet's true energy on the twinned
+  devices must stay within ``MAX_ORACLE_GAP`` of the clairvoyant
+  re-planner (which sees every drift before the window it lands in).
+
+Run standalone (CI's scenario-smoke job runs a smaller preset)::
+
+    PYTHONPATH=src python benchmarks/bench_scenario.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from _gating import enforce_gates, gate_record, print_gates
+from repro.scenario import (
+    AmbientCycle,
+    CompositeArrivals,
+    DAY_S,
+    DiurnalArrivals,
+    PoissonBurstArrivals,
+    ScenarioConfig,
+    run_scenario,
+)
+
+OUTPUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_scenario.json"
+
+DEVICES = 2000
+SEED = 0
+TICK_S = 900.0
+
+#: One clairvoyant twin per ORACLE_STRIDE governed devices.
+ORACLE_STRIDE = 100
+
+#: The governed fleet may spend at most 10% more true energy than the
+#: clairvoyant oracle on the twinned devices.  The governor re-plans
+#: *after* it observes drift; the oracle re-plans *before* the window
+#: the drift lands in -- the gap prices that one-window lag.
+MAX_ORACLE_GAP = 0.10
+
+
+def build_config() -> ScenarioConfig:
+    """24 simulated hours of diurnal + midday-burst traffic."""
+    burst_start = DAY_S * 0.5
+    return ScenarioConfig(
+        name="bench-diurnal-burst",
+        devices=DEVICES,
+        horizon_s=DAY_S,
+        tick_s=TICK_S,
+        seed=SEED,
+        arrivals=CompositeArrivals(
+            [
+                DiurnalArrivals(
+                    mean_per_hour=1.0, amplitude=0.8, seed=SEED + 1
+                ),
+                PoissonBurstArrivals(
+                    base_per_hour=0.1,
+                    bursts=(
+                        (burst_start, burst_start + 1800.0, 8.0),
+                    ),
+                    seed=SEED + 2,
+                ),
+            ]
+        ),
+        ambient=AmbientCycle(amplitude_c=4.0),
+        oracle_stride=ORACLE_STRIDE,
+    )
+
+
+def run_once(label: str) -> dict:
+    start = time.perf_counter()
+    report = run_scenario(build_config())
+    wall = time.perf_counter() - start
+    epochs = report.demand.get("epochs_run", 0)
+    return {
+        "label": label,
+        "wall_s": wall,
+        "devices": DEVICES,
+        "epochs_run": epochs,
+        "epochs_per_s": epochs / wall if wall > 0 else 0.0,
+        "qos_met_fraction": report.qos_met_fraction,
+        "replans": dict(sorted(report.replans.items())),
+        "oracle_gap": report.oracle_gap_fraction,
+        "digest": report.digest(),
+    }
+
+
+def main():
+    first = run_once("first")
+    second = run_once("second")
+
+    gates = {
+        "deterministic_rerun": gate_record(
+            first["digest"] == second["digest"], True, comparator="=="
+        ),
+        "oracle_gap": gate_record(
+            first["oracle_gap"],
+            MAX_ORACLE_GAP,
+            comparator="<=",
+            twinned_devices=DEVICES // ORACLE_STRIDE,
+        ),
+    }
+    enforce_gates(gates)
+
+    stages = {
+        "run[first]": first,
+        "run[second]": second,
+        "_meta": {
+            "devices": DEVICES,
+            "horizon_s": DAY_S,
+            "tick_s": TICK_S,
+            "seed": SEED,
+            "oracle_stride": ORACLE_STRIDE,
+            "max_oracle_gap": MAX_ORACLE_GAP,
+            "digest": first["digest"],
+            "gates": gates,
+        },
+    }
+    OUTPUT.write_text(json.dumps(stages, indent=2, sort_keys=True) + "\n")
+
+    print(f"wrote {OUTPUT}")
+    for stage in ("run[first]", "run[second]"):
+        entry = stages[stage]
+        print(
+            f"{stage:12s} {entry['wall_s']:7.2f} s  "
+            f"{entry['epochs_run']} epochs "
+            f"({entry['epochs_per_s']:7.1f}/s)  "
+            f"QoS {entry['qos_met_fraction']:6.1%}  "
+            f"oracle gap {entry['oracle_gap']:+.2%}"
+        )
+    print_gates(gates)
+    return stages
+
+
+if __name__ == "__main__":
+    main()

@@ -485,6 +485,45 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_scenario(args: argparse.Namespace) -> int:
+    from .scenario import build_preset, list_presets, run_scenario
+
+    if args.list:
+        presets = list_presets()
+        if _json_mode(args):
+            _emit_json(args, {"presets": presets})
+        else:
+            for row in presets:
+                print(f"{row['name']:18s} {row['description']}")
+        return 0
+    if not args.preset:
+        raise ReproError(
+            "scenario: provide a preset name (or --list to see them)"
+        )
+    tracer = _trace_begin(args)
+    config = build_preset(
+        args.preset,
+        devices=args.devices,
+        horizon_s=(
+            args.horizon_hours * 3600.0
+            if args.horizon_hours is not None
+            else None
+        ),
+        seed=args.seed,
+    )
+    if args.shards:
+        config.shards = args.shards
+    if args.oracle_stride is not None:
+        config.oracle_stride = args.oracle_stride
+    report = run_scenario(config)
+    print(report.summary(), file=_out(args))
+    payload = report.to_dict() if _json_mode(args) else None
+    _trace_finish(args, tracer, payload)
+    if payload is not None:
+        _emit_json(args, payload)
+    return 0
+
+
 def _serve_config(args: argparse.Namespace):
     from .serve import ServeConfig
 
@@ -914,6 +953,44 @@ def make_parser() -> argparse.ArgumentParser:
     _add_json_flag(p, "survival report")
     _add_trace_flag(p)
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "scenario",
+        help="simulate a fleet lifecycle preset over simulated days",
+    )
+    p.add_argument(
+        "preset", nargs="?", default=None,
+        help="scenario preset name (see --list)",
+    )
+    p.add_argument(
+        "--list", action="store_true",
+        help="enumerate the scenario presets and exit",
+    )
+    p.add_argument(
+        "--devices", type=int, default=None,
+        help="override the preset's initial fleet size",
+    )
+    p.add_argument(
+        "--horizon-hours", type=float, default=None,
+        help="override the preset's simulated span",
+    )
+    p.add_argument(
+        "--seed", type=int, default=None,
+        help="override the preset's root seed",
+    )
+    p.add_argument(
+        "--shards", type=int, default=0,
+        help="route replans through a shard router with this many"
+        " worker processes (0 = in-process serve tier)",
+    )
+    p.add_argument(
+        "--oracle-stride", type=int, default=None,
+        help="twin every Nth device with a clairvoyant oracle"
+        " (0 disables the gap metric)",
+    )
+    _add_json_flag(p, "scenario report")
+    _add_trace_flag(p)
+    p.set_defaults(func=cmd_scenario)
 
     p = sub.add_parser("lifetime", help="battery-lifetime projection")
     add_model(p)

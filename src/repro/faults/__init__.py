@@ -2,7 +2,8 @@
 
 :mod:`.plan` defines the fault models (:class:`~repro.faults.plan.FaultPlan`)
 and the deterministic per-(device, stage) decision streams
-(:class:`~repro.faults.plan.FaultClock`); :mod:`.chaos` runs seeded
+(:class:`~repro.faults.plan.FaultClock`); :mod:`.campaign` stages
+time-windowed plans for the scenario engine; :mod:`.chaos` runs seeded
 campaigns over a fleet and emits digest-pinned survival reports.
 """
 
@@ -13,6 +14,12 @@ from .plan import (
     GOVERN_STAGE,
     PLAN_STAGE,
 )
+from .campaign import (
+    CampaignClocks,
+    FaultCampaign,
+    FaultStage,
+    SCENARIO_STAGE_BASE,
+)
 from .chaos import (
     ChaosConfig,
     ChaosReport,
@@ -21,13 +28,17 @@ from .chaos import (
 )
 
 __all__ = [
+    "CampaignClocks",
     "ChaosConfig",
     "ChaosReport",
     "DeviceSurvival",
+    "FaultCampaign",
     "FaultClock",
     "FaultKind",
     "FaultPlan",
+    "FaultStage",
     "GOVERN_STAGE",
     "PLAN_STAGE",
+    "SCENARIO_STAGE_BASE",
     "run_campaign",
 ]

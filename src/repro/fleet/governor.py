@@ -28,9 +28,11 @@ report quantifies across the population.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import math
+from dataclasses import dataclass, field, replace
 from typing import List, Optional
 
+from ..analysis.battery import BatteryState
 from ..engine.schedule import DeploymentPlan, LayerPlan
 from ..errors import PowerModelError, ReproError, SensorReadError
 from ..nn.graph import Model
@@ -43,10 +45,14 @@ from ..power.model import PowerState
 from ..power.sensor import INA219Config
 from .variation import DeviceProfile
 
+#: Sentinel distinguishing "use the governor's own fault clock" from an
+#: explicit per-step override (including an explicit ``None``).
+_UNSET = object()
+
 #: Power states that carry the MCU leakage term (and therefore the
 #: thermal excess); gated/deep-sleep states power the leaky domains
 #: down.
-_LEAKY_STATES = frozenset(
+LEAKY_STATES = frozenset(
     {
         PowerState.ACTIVE_COMPUTE,
         PowerState.ACTIVE_MEMORY,
@@ -130,6 +136,38 @@ class EpochSample:
     charge_fraction: float
     replanned: bool
     valid: bool = True
+    #: Energy the window actually burned under the true conditions
+    #: (thermal excess included) -- the scenario engine compares this
+    #: against its clairvoyant oracle.  Zero for failed windows.
+    true_energy_j: float = 0.0
+
+
+@dataclass(frozen=True)
+class ReplanIntent:
+    """A replan the governor wants but has not applied yet.
+
+    Produced by :meth:`FleetGovernor.step` in ``defer_replan`` mode so
+    an external control plane (the scenario engine routes these through
+    the serve tier's admission) can approve or shed the re-solve before
+    it is applied.
+
+    Attributes:
+        device_id: the device asking to re-plan.
+        epoch: the epoch index the trigger fired in.
+        extra_w: thermal excess leakage the re-price must compensate.
+        cap_hz: battery/brownout frequency cap in force.
+        drift: the measured-vs-predicted drift that (possibly)
+            triggered the request.
+        reason: machine-readable trigger (``qos_miss`` / ``clamped`` /
+            ``drift``); the first that applies, in that priority.
+    """
+
+    device_id: int
+    epoch: int
+    extra_w: float
+    cap_hz: float
+    drift: float
+    reason: str
 
 
 @dataclass
@@ -175,7 +213,7 @@ class GovernorResult:
         return sum(1 for s in self.samples if s.met_qos)
 
 
-def _clamp_plan(
+def clamp_plan_to_cap(
     plan: DeploymentPlan, cap_hz: float, hfo_configs
 ) -> "tuple[DeploymentPlan, bool]":
     """Force every over-cap layer onto the fastest supplied HFO.
@@ -264,220 +302,443 @@ class FleetGovernor:
             for node_id in node_ids
         ]
 
-    def supervise(self) -> GovernorResult:
-        """Run the epochs; returns the telemetry and the final plan."""
-        cfg = self.config
-        profile = self.profile
-        fault = self.fault_clock
-        budget = self.optimized.qos_s
-        fixed = self.optimized.fixed_overhead_s
-        thermal = profile.thermal
-        sensor = profile.make_sensor(cfg.sensor_config, fault_clock=fault)
-        hfo_configs = self.pipeline.space.hfo_configs
-        runtime = self.pipeline.runtime
+    # -- supervision state -------------------------------------------------------
 
-        plan = self.optimized.plan
-        battery = profile.battery
-        temperature = thermal.t_ambient_c
+    def start(self) -> None:
+        """(Re)initialize the supervision state.
+
+        :meth:`supervise` calls this implicitly; external drivers (the
+        scenario engine, tests) call it once and then drive
+        :meth:`step` with injected timestamps.  Calling it again
+        restarts supervision from the deployment plan with a fresh
+        sensor stream, exactly like a second :meth:`supervise` call.
+        """
+        profile = self.profile
+        self._sensor = profile.make_sensor(
+            self.config.sensor_config, fault_clock=self.fault_clock
+        )
+        self._plan = self.optimized.plan
+        self._battery = profile.battery
+        self._thermal = profile.thermal
+        self._temperature = self._thermal.t_ambient_c
         #: Extra leakage power the current plan's pricing already
         #: accounts for (set at re-plan time); drift is measured
         #: against prediction *including* this compensation.
-        compensated_w = 0.0
-        samples: List[EpochSample] = []
-        replans = 0
+        self._compensated_w = 0.0
+        self._samples: List[EpochSample] = []
+        self._replans = 0
         #: Consecutive epochs with unusable telemetry; widens the
         #: drift window the first fresh measurement is judged against.
-        invalid_streak = 0
-        invalid_epochs = 0
-        css_events = 0
-        watchdog_resets = 0
-        pll_retries = 0
+        self._invalid_streak = 0
+        self._invalid_epochs = 0
+        self._css_events = 0
+        self._watchdog_resets = 0
+        self._pll_retries = 0
+        self._epoch = 0
+        self._pending: Optional[ReplanIntent] = None
+        self._started = True
 
-        for epoch in range(cfg.epochs):
-            cap_hz = battery.max_sysclk_hz()
-            if fault is not None and fault.brownout_sag():
-                # The rail sags below nominal for this epoch: derate
-                # the sustainable SYSCLK on top of the battery cap.
-                cap_hz *= fault.plan.brownout_derate
-            exec_plan, clamped = _clamp_plan(plan, cap_hz, hfo_configs)
-            try:
-                ref = runtime.run(
-                    self.model,
-                    exec_plan,
-                    qos_s=budget,
-                    initial_config=exec_plan.initial_config(),
-                    fault_clock=fault,
-                )
-            except ReproError:
-                # The window itself died (watchdog never made forward
-                # progress, PLL never locked): a missed, invalid epoch.
-                # The plan is held; the next epoch tries again.
-                invalid_streak += 1
-                invalid_epochs += 1
-                get_audit_log().record(
-                    "governor.epoch",
-                    "window_failed",
-                    device_id=profile.device_id,
-                    epoch=epoch,
-                    clamped=clamped,
-                )
-                get_registry().count(
-                    "fleet.governor", event="window_failed"
-                )
-                samples.append(
-                    EpochSample(
-                        epoch=epoch,
-                        measured_energy_j=0.0,
-                        predicted_energy_j=0.0,
-                        drift=0.0,
-                        met_qos=False,
-                        clamped=clamped,
-                        temperature_c=temperature,
-                        charge_fraction=battery.charge_fraction,
-                        replanned=False,
-                        valid=False,
-                    )
-                )
-                continue
-            css_events += ref.css_events
-            watchdog_resets += ref.watchdog_resets
-            pll_retries += ref.pll_retries
-            extra_w = thermal.leakage_at(temperature) - thermal.leakage_ref_w
-            # The window as the silicon actually burns it: leaky
-            # states carry the thermal excess on top of the calibrated
-            # model.
-            true_trace = [
-                EnergyInterval(
-                    duration_s=iv.duration_s,
-                    power_w=iv.power_w
-                    + (extra_w if iv.state in _LEAKY_STATES else 0.0),
-                    category=iv.category,
-                    label=iv.label,
-                )
-                for iv in ref.account.intervals
-            ]
-            true_energy = sum(iv.energy_j for iv in true_trace)
-            leaky_t = sum(
-                iv.duration_s
-                for iv in ref.account.intervals
-                if iv.state in _LEAKY_STATES
-            )
-            telemetry_valid = True
-            try:
-                train = sensor.measure(
-                    true_trace, start_time_s=epoch * cfg.epoch_s
-                )
-            except SensorReadError:
-                train = []
-                telemetry_valid = False
-            if telemetry_valid and fault is not None:
-                # Sanity-screen the train before trusting it: too many
-                # dropped conversions bias the rectangle-rule energy
-                # low, and a stuck power register reads as a perfectly
-                # flat train.  (Guarded on fault mode: a nominal
-                # sensor never produces either.)
-                total_t = sum(iv.duration_s for iv in true_trace)
-                covered = sensor.covered_duration_s(train)
-                if covered < cfg.min_coverage * total_t:
-                    telemetry_valid = False
-                elif len(train) >= 2 and len(
-                    {s.power_w for s in train}
-                ) == 1:
-                    telemetry_valid = False
-            predicted = ref.energy_j + compensated_w * leaky_t
-            if telemetry_valid:
-                measured = sensor.estimate_energy(train)
-                drift = (
-                    (measured - predicted) / predicted
-                    if predicted > 0
-                    else 0.0
-                )
-            else:
-                measured = 0.0
-                drift = 0.0
-                invalid_epochs += 1
-            window_s = ref.qos_s if ref.qos_s is not None else ref.latency_s
-            avg_power = true_energy / window_s if window_s > 0 else 0.0
-            met = ref.met_qos
+    # Read-only views the scenario engine consumes between steps.
 
-            # Blind epochs widen the tolerance the next fresh
-            # measurement is judged against (stale compensation would
-            # otherwise read as drift); QoS-miss and clamp triggers
-            # stay live -- they come from the run, not the sensor.
-            threshold = cfg.drift_threshold * min(
-                cfg.widen_factor**invalid_streak, cfg.max_widen
+    @property
+    def battery_state(self) -> BatteryState:
+        """The cell's current discharge state."""
+        self._require_started()
+        return self._battery
+
+    @property
+    def temperature_c(self) -> float:
+        """Current junction temperature."""
+        self._require_started()
+        return self._temperature
+
+    @property
+    def plan(self) -> DeploymentPlan:
+        """The plan currently in force."""
+        self._require_started()
+        return self._plan
+
+    @property
+    def epochs_run(self) -> int:
+        """Epochs stepped since :meth:`start`."""
+        self._require_started()
+        return self._epoch
+
+    @property
+    def replans_used(self) -> int:
+        """Re-solves applied since :meth:`start`."""
+        self._require_started()
+        return self._replans
+
+    @property
+    def pending_replan(self) -> Optional[ReplanIntent]:
+        """The deferred replan awaiting :meth:`apply_replan`, if any."""
+        self._require_started()
+        return self._pending
+
+    def _require_started(self) -> None:
+        if not getattr(self, "_started", False):
+            self.start()
+
+    # -- external-environment hooks (scenario engine) ----------------------------
+
+    def set_ambient(self, t_ambient_c: float) -> None:
+        """Move the device into a new ambient temperature.
+
+        Only the thermal network's relaxation target moves; the leakage
+        calibration reference stays at deployment conditions, so a
+        hotter ambient raises the junction trajectory and with it the
+        thermal excess the governor must compensate.
+        """
+        self._require_started()
+        self._thermal = replace(self._thermal, t_ambient_c=t_ambient_c)
+
+    def set_battery(self, battery: BatteryState) -> None:
+        """Replace the cell state (swap / recharge events)."""
+        self._require_started()
+        self._battery = battery
+
+    def idle(self, duration_s: float, sleep_power_w: float = 0.25e-3) -> None:
+        """Advance physics across a window-free stretch of time.
+
+        The device sleeps: the cell drains at the sleep floor and the
+        die relaxes toward its (sleep-power) steady state on the exact
+        exponential solution of the RC model -- idle stretches span
+        many thermal time constants, where the per-window explicit
+        Euler step would be unstable.  No RNG is consumed, so idling
+        never shifts the telemetry noise stream.
+        """
+        self._require_started()
+        if duration_s < 0:
+            raise PowerModelError("duration_s must be >= 0")
+        thermal = self._thermal
+        self._battery = self._battery.discharged(sleep_power_w * duration_s)
+        t_ss = thermal.t_ambient_c + sleep_power_w * thermal.r_th_c_per_w
+        decay = math.exp(-duration_s / thermal.time_constant_s)
+        self._temperature = t_ss + (self._temperature - t_ss) * decay
+
+    # -- the supervision loop ----------------------------------------------------
+
+    def supervise(self) -> GovernorResult:
+        """Run the configured epochs on the governor's own clock.
+
+        The zero-argument path: epoch *k* is measured at
+        ``k * epoch_s``, exactly the back-to-back window train the
+        fleet path has always simulated.  Equivalent to ``start()``,
+        ``epochs`` calls to ``step()`` and ``result()``.
+        """
+        self.start()
+        for epoch in range(self.config.epochs):
+            self.step(epoch * self.config.epoch_s)
+        return self.result()
+
+    def step(
+        self,
+        now: Optional[float] = None,
+        fault_clock=_UNSET,
+        defer_replan: bool = False,
+    ) -> EpochSample:
+        """Run one telemetry epoch at an injected timestamp.
+
+        Args:
+            now: absolute simulation time the epoch's measurement
+                starts at; the INA219's deterministic thermal drift is
+                a function of this time.  ``None`` keeps the internal
+                clock (``epochs_run * epoch_s``).
+            fault_clock: per-step fault stream override (the scenario
+                engine stages campaign windows this way); omitted, the
+                governor's own clock applies.
+            defer_replan: do not apply a triggered re-plan inline;
+                publish it as :attr:`pending_replan` for an external
+                control plane to :meth:`apply_replan` or
+                :meth:`decline_replan`.  With admission always granted
+                the apply path is bit-identical to the inline path.
+
+        Returns:
+            The epoch's :class:`EpochSample` (also appended to the
+            supervision record).
+        """
+        self._require_started()
+        cfg = self.config
+        profile = self.profile
+        fault = self.fault_clock if fault_clock is _UNSET else fault_clock
+        budget = self.optimized.qos_s
+        fixed = self.optimized.fixed_overhead_s
+        thermal = self._thermal
+        sensor = self._sensor
+        sensor.fault_clock = fault
+        hfo_configs = self.pipeline.space.hfo_configs
+        runtime = self.pipeline.runtime
+        epoch = self._epoch
+        if now is None:
+            now = epoch * cfg.epoch_s
+        self._pending = None
+
+        cap_hz = self._battery.max_sysclk_hz()
+        if fault is not None and fault.brownout_sag():
+            # The rail sags below nominal for this epoch: derate
+            # the sustainable SYSCLK on top of the battery cap.
+            cap_hz *= fault.plan.brownout_derate
+        exec_plan, clamped = clamp_plan_to_cap(
+            self._plan, cap_hz, hfo_configs
+        )
+        try:
+            ref = runtime.run(
+                self.model,
+                exec_plan,
+                qos_s=budget,
+                initial_config=exec_plan.initial_config(),
+                fault_clock=fault,
             )
-            drift_trigger = telemetry_valid and abs(drift) > threshold
-            replanned = False
-            if (
-                not met or clamped or drift_trigger
-            ) and replans < cfg.max_replans:
-                new_plan = self._replan(extra_w, cap_hz, budget, fixed)
-                if new_plan is not None:
-                    plan = new_plan
-                    compensated_w = extra_w
-                    replans += 1
-                    replanned = True
-            # Audit the epoch's decision with the inputs it was made
-            # from -- strictly observational, recorded after every
-            # value above is already computed.
-            if replanned:
-                decision = "replan"
-            elif not met or clamped or drift_trigger:
-                decision = "replan_unavailable"
-            elif not telemetry_valid:
-                decision = "hold_invalid_telemetry"
-            else:
-                decision = "hold"
+        except ReproError:
+            # The window itself died (watchdog never made forward
+            # progress, PLL never locked): a missed, invalid epoch.
+            # The plan is held; the next epoch tries again.
+            self._invalid_streak += 1
+            self._invalid_epochs += 1
             get_audit_log().record(
                 "governor.epoch",
-                decision,
+                "window_failed",
                 device_id=profile.device_id,
                 epoch=epoch,
-                drift=drift,
-                threshold=threshold,
-                predicted_energy_j=predicted,
-                measured_energy_j=measured,
-                met_qos=met,
                 clamped=clamped,
-                telemetry_valid=telemetry_valid,
             )
-            get_registry().count("fleet.governor", event=decision)
-            invalid_streak = 0 if telemetry_valid else invalid_streak + 1
+            get_registry().count(
+                "fleet.governor", event="window_failed"
+            )
+            sample = EpochSample(
+                epoch=epoch,
+                measured_energy_j=0.0,
+                predicted_energy_j=0.0,
+                drift=0.0,
+                met_qos=False,
+                clamped=clamped,
+                temperature_c=self._temperature,
+                charge_fraction=self._battery.charge_fraction,
+                replanned=False,
+                valid=False,
+            )
+            self._samples.append(sample)
+            self._epoch += 1
+            return sample
+        self._css_events += ref.css_events
+        self._watchdog_resets += ref.watchdog_resets
+        self._pll_retries += ref.pll_retries
+        extra_w = (
+            thermal.leakage_at(self._temperature) - thermal.leakage_ref_w
+        )
+        # The window as the silicon actually burns it: leaky
+        # states carry the thermal excess on top of the calibrated
+        # model.
+        true_trace = [
+            EnergyInterval(
+                duration_s=iv.duration_s,
+                power_w=iv.power_w
+                + (extra_w if iv.state in LEAKY_STATES else 0.0),
+                category=iv.category,
+                label=iv.label,
+            )
+            for iv in ref.account.intervals
+        ]
+        true_energy = sum(iv.energy_j for iv in true_trace)
+        leaky_t = sum(
+            iv.duration_s
+            for iv in ref.account.intervals
+            if iv.state in LEAKY_STATES
+        )
+        telemetry_valid = True
+        try:
+            train = sensor.measure(true_trace, start_time_s=now)
+        except SensorReadError:
+            train = []
+            telemetry_valid = False
+        if telemetry_valid and fault is not None:
+            # Sanity-screen the train before trusting it: too many
+            # dropped conversions bias the rectangle-rule energy
+            # low, and a stuck power register reads as a perfectly
+            # flat train.  (Guarded on fault mode: a nominal
+            # sensor never produces either.)
+            total_t = sum(iv.duration_s for iv in true_trace)
+            covered = sensor.covered_duration_s(train)
+            if covered < cfg.min_coverage * total_t:
+                telemetry_valid = False
+            elif len(train) >= 2 and len(
+                {s.power_w for s in train}
+            ) == 1:
+                telemetry_valid = False
+        predicted = ref.energy_j + self._compensated_w * leaky_t
+        if telemetry_valid:
+            measured = sensor.estimate_energy(train)
+            drift = (
+                (measured - predicted) / predicted
+                if predicted > 0
+                else 0.0
+            )
+        else:
+            measured = 0.0
+            drift = 0.0
+            self._invalid_epochs += 1
+        window_s = ref.qos_s if ref.qos_s is not None else ref.latency_s
+        avg_power = true_energy / window_s if window_s > 0 else 0.0
+        met = ref.met_qos
 
-            # Epoch bookkeeping: the die integrates toward its
-            # operating temperature, the cell drains by the epoch's
-            # true energy.  Physics advance even when telemetry was
-            # unusable -- the window still ran and burned energy.
-            battery = battery.discharged(avg_power * cfg.epoch_s)
-            temperature = thermal.temperature_step(
-                temperature, avg_power, cfg.epoch_s
+        # Blind epochs widen the tolerance the next fresh
+        # measurement is judged against (stale compensation would
+        # otherwise read as drift); QoS-miss and clamp triggers
+        # stay live -- they come from the run, not the sensor.
+        threshold = cfg.drift_threshold * min(
+            cfg.widen_factor**self._invalid_streak, cfg.max_widen
+        )
+        drift_trigger = telemetry_valid and abs(drift) > threshold
+        wants_replan = (
+            not met or clamped or drift_trigger
+        ) and self._replans < cfg.max_replans
+        replanned = False
+        if wants_replan and not defer_replan:
+            new_plan = self._replan(extra_w, cap_hz, budget, fixed)
+            if new_plan is not None:
+                self._plan = new_plan
+                self._compensated_w = extra_w
+                self._replans += 1
+                replanned = True
+        elif wants_replan:
+            self._pending = ReplanIntent(
+                device_id=profile.device_id,
+                epoch=epoch,
+                extra_w=extra_w,
+                cap_hz=cap_hz,
+                drift=drift,
+                reason=(
+                    "qos_miss"
+                    if not met
+                    else ("clamped" if clamped else "drift")
+                ),
             )
-            samples.append(
-                EpochSample(
-                    epoch=epoch,
-                    measured_energy_j=measured,
-                    predicted_energy_j=predicted,
-                    drift=drift,
-                    met_qos=met,
-                    clamped=clamped,
-                    temperature_c=temperature,
-                    charge_fraction=battery.charge_fraction,
-                    replanned=replanned,
-                    valid=telemetry_valid,
+        # Audit the epoch's decision with the inputs it was made
+        # from -- strictly observational, recorded after every
+        # value above is already computed.
+        if replanned:
+            decision = "replan"
+        elif self._pending is not None:
+            decision = "replan_pending"
+        elif not met or clamped or drift_trigger:
+            decision = "replan_unavailable"
+        elif not telemetry_valid:
+            decision = "hold_invalid_telemetry"
+        else:
+            decision = "hold"
+        get_audit_log().record(
+            "governor.epoch",
+            decision,
+            device_id=profile.device_id,
+            epoch=epoch,
+            drift=drift,
+            threshold=threshold,
+            predicted_energy_j=predicted,
+            measured_energy_j=measured,
+            met_qos=met,
+            clamped=clamped,
+            telemetry_valid=telemetry_valid,
+        )
+        get_registry().count("fleet.governor", event=decision)
+        self._invalid_streak = (
+            0 if telemetry_valid else self._invalid_streak + 1
+        )
+
+        # Epoch bookkeeping: the die integrates toward its
+        # operating temperature, the cell drains by the epoch's
+        # true energy.  Physics advance even when telemetry was
+        # unusable -- the window still ran and burned energy.
+        self._battery = self._battery.discharged(avg_power * cfg.epoch_s)
+        self._temperature = thermal.temperature_step(
+            self._temperature, avg_power, cfg.epoch_s
+        )
+        sample = EpochSample(
+            epoch=epoch,
+            measured_energy_j=measured,
+            predicted_energy_j=predicted,
+            drift=drift,
+            met_qos=met,
+            clamped=clamped,
+            temperature_c=self._temperature,
+            charge_fraction=self._battery.charge_fraction,
+            replanned=replanned,
+            valid=telemetry_valid,
+            true_energy_j=true_energy,
+        )
+        self._samples.append(sample)
+        self._epoch += 1
+        return sample
+
+    def apply_replan(self) -> bool:
+        """Apply the pending deferred re-plan; True when a plan landed.
+
+        Bit-identical to the inline path of :meth:`step`: the re-solve
+        runs with exactly the inputs the trigger fired on.  Clears the
+        pending intent either way.
+        """
+        self._require_started()
+        intent = self._pending
+        if intent is None:
+            raise ReproError("no pending replan to apply")
+        self._pending = None
+        budget = self.optimized.qos_s
+        fixed = self.optimized.fixed_overhead_s
+        new_plan = self._replan(
+            intent.extra_w, intent.cap_hz, budget, fixed
+        )
+        applied = new_plan is not None
+        if applied:
+            self._plan = new_plan
+            self._compensated_w = intent.extra_w
+            self._replans += 1
+            if self._samples:
+                self._samples[-1] = replace(
+                    self._samples[-1], replanned=True
                 )
-            )
+        decision = "replan" if applied else "replan_unavailable"
+        get_audit_log().record(
+            "governor.epoch",
+            decision,
+            device_id=intent.device_id,
+            epoch=intent.epoch,
+            drift=intent.drift,
+            reason=intent.reason,
+            deferred=True,
+        )
+        get_registry().count("fleet.governor", event=decision)
+        return applied
 
+    def decline_replan(self, reason: str = "shed") -> None:
+        """Drop the pending re-plan (control plane shed the request)."""
+        self._require_started()
+        intent = self._pending
+        if intent is None:
+            raise ReproError("no pending replan to decline")
+        self._pending = None
+        get_audit_log().record(
+            "governor.epoch",
+            "replan_shed",
+            device_id=intent.device_id,
+            epoch=intent.epoch,
+            drift=intent.drift,
+            reason=reason,
+        )
+        get_registry().count("fleet.governor", event="replan_shed")
+
+    def result(self) -> GovernorResult:
+        """The supervision record accumulated so far."""
+        self._require_started()
         return GovernorResult(
-            profile=profile,
-            final_plan=plan,
-            samples=samples,
-            replans=replans,
-            drift_threshold=cfg.drift_threshold,
-            invalid_epochs=invalid_epochs,
-            css_events=css_events,
-            watchdog_resets=watchdog_resets,
-            pll_retries=pll_retries,
+            profile=self.profile,
+            final_plan=self._plan,
+            samples=self._samples,
+            replans=self._replans,
+            drift_threshold=self.config.drift_threshold,
+            invalid_epochs=self._invalid_epochs,
+            css_events=self._css_events,
+            watchdog_resets=self._watchdog_resets,
+            pll_retries=self._pll_retries,
         )
 
     def _replan(
@@ -487,35 +748,57 @@ class FleetGovernor:
         budget: float,
         fixed: float,
     ) -> Optional[DeploymentPlan]:
-        """Re-price the cached fronts and re-solve; None if infeasible.
-
-        The free MCKP re-solve can land on a mixed-frequency schedule
-        whose sequence-dependent relock overhead the knapsack cannot
-        price; when the refinement loop fails to converge such a
-        schedule under the budget, fall back to the uniform-frequency
-        ladder (the paper's global-DVFS shape), which pays at most one
-        lock and always contains the schedules the refinement loop is
-        hunting for.
-        """
-        try:
-            classes = reprice_classes(
-                self.base_classes,
-                extra_power_w=extra_w,
-                item_filter=lambda item: (
-                    item.payload.hfo.sysclk_hz <= cap_hz
-                ),
-            )
-        except ReproError:
-            return None
-        try:
-            plan = self.pipeline.replan(self.model, classes, budget, fixed)
-        except ReproError:
-            plan = None
-        if plan is not None:
-            return plan
-        return self.pipeline.uniform_plan_from_classes(
-            self.model, classes, budget, fixed, max_hfo_hz=cap_hz
+        return resolve_replan(
+            self.pipeline,
+            self.model,
+            self.base_classes,
+            extra_w=extra_w,
+            cap_hz=cap_hz,
+            budget=budget,
+            fixed=fixed,
         )
+
+
+def resolve_replan(
+    pipeline: DAEDVFSPipeline,
+    model: Model,
+    base_classes: List[List[MCKPItem]],
+    *,
+    extra_w: float,
+    cap_hz: float,
+    budget: float,
+    fixed: float,
+) -> Optional[DeploymentPlan]:
+    """Re-price cached fronts and re-solve; None if infeasible.
+
+    The shared re-solve core of the governor and the scenario
+    engine's clairvoyant oracle twin: re-price the device's cached
+    Pareto fronts for the drifted conditions, solve the MCKP, and
+    fall back to the uniform-frequency ladder when the free re-solve
+    lands on a mixed-frequency schedule whose sequence-dependent
+    relock overhead the knapsack cannot price.  The ladder pays at
+    most one lock and always contains the schedules the refinement
+    loop is hunting for.
+    """
+    try:
+        classes = reprice_classes(
+            base_classes,
+            extra_power_w=extra_w,
+            item_filter=lambda item: (
+                item.payload.hfo.sysclk_hz <= cap_hz
+            ),
+        )
+    except ReproError:
+        return None
+    try:
+        plan = pipeline.replan(model, classes, budget, fixed)
+    except ReproError:
+        plan = None
+    if plan is not None:
+        return plan
+    return pipeline.uniform_plan_from_classes(
+        model, classes, budget, fixed, max_hfo_hz=cap_hz
+    )
 
 
 def supervise_device(

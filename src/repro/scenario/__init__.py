@@ -1,0 +1,57 @@
+"""repro.scenario -- discrete-event fleet lifecycle simulation.
+
+A seeded simulator that composes the repo's fleet, faults, serve and
+obs layers over simulated days: arrival traces decide which devices
+run QoS windows, ambient cycles and battery discharge drive the drift
+the governors chase, churn and staged fault campaigns reshape the
+fleet, and every re-plan routes through the serve tier's admission
+control before it applies.  Identical seeds produce byte-identical
+digested reports; a scenario with no events layered on collapses to
+the plain fleet epoch path (same fleet digest).
+
+See ``docs/scenarios.md`` for the engine architecture and the event
+taxonomy, and :mod:`.library` for the named presets.
+"""
+
+from .arrivals import (
+    ArrivalModel,
+    CompositeArrivals,
+    ConstantArrivals,
+    DAY_S,
+    DiurnalArrivals,
+    PoissonBurstArrivals,
+    TimetableArrivals,
+)
+from .churn import ChurnModel, ChurnProcess
+from .engine import ScenarioConfig, ScenarioEngine, ServeBridge, run_scenario
+from .environment import AmbientCycle
+from .events import Event, EventKind, EventQueue, SimClock
+from .library import PRESETS, build_preset, list_presets
+from .oracle import OracleTwin
+from .report import ScenarioReport
+
+__all__ = [
+    "AmbientCycle",
+    "ArrivalModel",
+    "ChurnModel",
+    "ChurnProcess",
+    "CompositeArrivals",
+    "ConstantArrivals",
+    "DAY_S",
+    "DiurnalArrivals",
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "OracleTwin",
+    "PRESETS",
+    "PoissonBurstArrivals",
+    "ScenarioConfig",
+    "ScenarioEngine",
+    "ScenarioReport",
+    "ServeBridge",
+    "SimClock",
+    "TimetableArrivals",
+    "build_preset",
+    "list_presets",
+    "run_scenario",
+]

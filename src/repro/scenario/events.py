@@ -1,0 +1,137 @@
+"""Deterministic discrete-event core of the scenario engine.
+
+Simulation time is a number, never the wall clock: every event carries
+an absolute simulated timestamp, ties break on an explicit priority
+and then on insertion order, and :class:`SimClock` only moves forward.
+Two runs that push the same events pop them in exactly the same order
+-- the property every digest-pinned scenario report rests on.
+
+Event taxonomy (see ``docs/scenarios.md``):
+
+===============  ==============================================
+``TICK``         one engine tick: arrivals, epochs, replans
+``JOIN``         churn: new devices enter the fleet
+``LEAVE``        churn: devices retire from the fleet
+``REPAIR``       a quarantined device returns to duty
+``STAGE_ENTER``  a staged fault campaign window opens
+``STAGE_EXIT``   a staged fault campaign window closes
+===============  ==============================================
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..errors import ReproError
+
+
+class EventKind(enum.Enum):
+    """One kind of scenario event."""
+
+    STAGE_ENTER = "stage-enter"
+    STAGE_EXIT = "stage-exit"
+    JOIN = "join"
+    REPAIR = "repair"
+    LEAVE = "leave"
+    TICK = "tick"
+
+
+#: Same-timestamp ordering: environment/campaign transitions apply
+#: before membership changes, membership changes before the tick that
+#: observes them.
+_PRIORITY = {
+    EventKind.STAGE_ENTER: 0,
+    EventKind.STAGE_EXIT: 0,
+    EventKind.JOIN: 1,
+    EventKind.REPAIR: 2,
+    EventKind.LEAVE: 3,
+    EventKind.TICK: 5,
+}
+
+
+@dataclass(frozen=True)
+class Event:
+    """One scheduled occurrence.
+
+    Attributes:
+        time_s: absolute simulated time the event fires at.
+        kind: what happens.
+        seq: insertion sequence number (the final tie-breaker).
+        payload: kind-specific data (device ids, stage labels, ...).
+    """
+
+    time_s: float
+    kind: EventKind
+    seq: int
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def priority(self) -> int:
+        """Same-timestamp ordering rank."""
+        return _PRIORITY[self.kind]
+
+
+class EventQueue:
+    """A min-heap of events ordered (time, priority, insertion seq)."""
+
+    def __init__(self) -> None:
+        self._heap: List = []
+        self._seq = 0
+
+    def push(
+        self,
+        time_s: float,
+        kind: EventKind,
+        **payload: Any,
+    ) -> Event:
+        """Schedule an event; returns it."""
+        if time_s < 0:
+            raise ReproError("event time must be >= 0")
+        event = Event(
+            time_s=time_s, kind=kind, seq=self._seq, payload=payload
+        )
+        self._seq += 1
+        heapq.heappush(
+            self._heap,
+            (event.time_s, event.priority, event.seq, event),
+        )
+        return event
+
+    def pop(self) -> Event:
+        """The earliest event (ties by priority, then insertion)."""
+        if not self._heap:
+            raise ReproError("event queue is empty")
+        return heapq.heappop(self._heap)[3]
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next event (None when empty)."""
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+class SimClock:
+    """Forward-only simulated time (no wall time anywhere)."""
+
+    def __init__(self, start_s: float = 0.0) -> None:
+        self._now = start_s
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance_to(self, time_s: float) -> None:
+        """Move the clock forward (monotonicity enforced)."""
+        if time_s < self._now:
+            raise ReproError(
+                f"simulated time moved backward: {time_s} < {self._now}"
+            )
+        self._now = time_s

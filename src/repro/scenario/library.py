@@ -1,0 +1,309 @@
+"""The scenario preset library.
+
+Named, parameterized scenario configurations the CLI, the benchmark,
+and CI all build from.  Each preset is a factory: ``devices``,
+``horizon_s`` and ``seed`` can be overridden without touching the
+preset's character (its arrival mix, environment, churn, faults, and
+admission posture).
+
+=================  ====================================================
+``steady-diurnal`` day/night traffic, mild ambient cycle, open
+                   admission -- the baseline lifecycle
+``flash-crowd``    quiet fleet hit by a midday x20 burst against a
+                   rate-limited serve tier (replan storms + sheds)
+``brownout-summer`` heat-wave afternoons driving thermal pick-flips,
+                   with a staged brownout fault wave at peak heat
+``churn-heavy``    boards joining/leaving all day plus a sensor-fault
+                   wave that quarantines and repairs devices
+``zero-event``     no events layered on at all: collapses to the plain
+                   fleet epoch path (the digest pin)
+``smoke``          a small, fast slice of ``steady-diurnal`` for CI
+=================  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..errors import ReproError
+from ..faults.campaign import FaultCampaign, FaultStage
+from ..faults.plan import FaultPlan
+from ..fleet.governor import GovernorConfig
+from ..serve.server import ServeConfig
+from .arrivals import (
+    CompositeArrivals,
+    ConstantArrivals,
+    DAY_S,
+    DiurnalArrivals,
+    PoissonBurstArrivals,
+)
+from .churn import ChurnModel
+from .engine import ScenarioConfig
+from .environment import AmbientCycle
+
+HOUR_S = 3600.0
+
+
+def steady_diurnal(
+    devices: int = 1000,
+    horizon_s: float = DAY_S,
+    seed: int = 0,
+) -> ScenarioConfig:
+    """Day/night traffic under a mild ambient cycle, open admission."""
+    return ScenarioConfig(
+        name="steady-diurnal",
+        devices=devices,
+        horizon_s=horizon_s,
+        tick_s=900.0,
+        seed=seed,
+        arrivals=DiurnalArrivals(
+            mean_per_hour=2.0, amplitude=0.8, seed=seed + 1
+        ),
+        ambient=AmbientCycle(amplitude_c=4.0),
+        oracle_stride=10,
+    )
+
+
+def flash_crowd(
+    devices: int = 1000,
+    horizon_s: float = DAY_S,
+    seed: int = 0,
+) -> ScenarioConfig:
+    """A quiet fleet hit by a midday x20 burst, admission-limited.
+
+    The serve tier's token bucket replenishes 0.2 tokens per admission
+    check (``rate_per_s * admission_tick_s``), so once the burst
+    exhausts the bucket roughly four of five replan/join requests shed
+    -- deterministically, as a pure function of arrival order.
+    """
+    burst_start = horizon_s * 0.5
+    return ScenarioConfig(
+        name="flash-crowd",
+        devices=devices,
+        horizon_s=horizon_s,
+        tick_s=300.0,
+        seed=seed,
+        arrivals=PoissonBurstArrivals(
+            base_per_hour=0.5,
+            bursts=((burst_start, burst_start + 0.5 * HOUR_S, 20.0),),
+            seed=seed + 1,
+        ),
+        serve=ServeConfig(
+            rate_per_s=10.0,
+            burst=20.0,
+            admission_tick_s=0.02,
+            max_queue_depth=10_000,
+        ),
+        storm_threshold=5,
+        oracle_stride=10,
+    )
+
+
+def brownout_summer(
+    devices: int = 1000,
+    horizon_s: float = DAY_S,
+    seed: int = 0,
+) -> ScenarioConfig:
+    """Heat-wave afternoons with a brownout wave at peak heat.
+
+    The ambient sinusoid plus a midday heat wave pushes junction
+    temperatures (and leakage) up -- the INA219 drift term and the
+    governor's thermal pick-flips both key off it -- while a staged
+    fault campaign sags supply rails over the hottest hours.
+    """
+    wave_start = horizon_s * 0.45
+    wave_end = horizon_s * 0.7
+    return ScenarioConfig(
+        name="brownout-summer",
+        devices=devices,
+        horizon_s=horizon_s,
+        tick_s=600.0,
+        seed=seed,
+        arrivals=CompositeArrivals(
+            [
+                DiurnalArrivals(
+                    mean_per_hour=2.0, amplitude=0.6, seed=seed + 1
+                ),
+                PoissonBurstArrivals(
+                    base_per_hour=0.25, seed=seed + 2
+                ),
+            ]
+        ),
+        ambient=AmbientCycle(
+            amplitude_c=8.0,
+            waves=((wave_start, wave_end, 10.0),),
+        ),
+        campaign=FaultCampaign(
+            stages=(
+                FaultStage(
+                    start_s=wave_start,
+                    end_s=wave_end,
+                    plan=FaultPlan(
+                        seed=seed + 3,
+                        brownout_rate=0.3,
+                        brownout_derate=0.6,
+                    ),
+                    label="afternoon-brownout",
+                ),
+            )
+        ),
+        oracle_stride=10,
+    )
+
+
+def churn_heavy(
+    devices: int = 1000,
+    horizon_s: float = DAY_S,
+    seed: int = 0,
+) -> ScenarioConfig:
+    """Boards joining and leaving all day, plus a sensor-fault wave.
+
+    The overnight sensor-fault stage produces the consecutive invalid
+    telemetry epochs that trip the engine's quarantine reaction, so
+    the quarantine/repair path exercises alongside join/leave churn.
+    """
+    fault_start = horizon_s * 0.25
+    fault_end = horizon_s * 0.5
+    return ScenarioConfig(
+        name="churn-heavy",
+        devices=devices,
+        horizon_s=horizon_s,
+        tick_s=600.0,
+        seed=seed,
+        arrivals=DiurnalArrivals(
+            mean_per_hour=3.0, amplitude=0.5, seed=seed + 1
+        ),
+        churn=ChurnModel(
+            join_per_hour=4.0,
+            leave_per_hour=3.0,
+            repair_delay_s=2.0 * HOUR_S,
+            quarantine_after=2,
+            seed=seed + 2,
+        ),
+        campaign=FaultCampaign(
+            stages=(
+                FaultStage(
+                    start_s=fault_start,
+                    end_s=fault_end,
+                    plan=FaultPlan(
+                        seed=seed + 3,
+                        sensor_nack_rate=0.35,
+                        sensor_stuck_rate=0.15,
+                    ),
+                    label="sensor-fault-wave",
+                ),
+            )
+        ),
+        oracle_stride=0,
+    )
+
+
+def zero_event(
+    devices: int = 32,
+    epochs: int = 20,
+    seed: int = 0,
+    governor: Optional[GovernorConfig] = None,
+) -> ScenarioConfig:
+    """No events at all: the plain fleet epoch path, digest-pinned.
+
+    Every device runs one epoch per tick, ticks land exactly on the
+    governor's own epoch grid, nothing perturbs ambient, membership,
+    faults, or admission -- so the scenario's embedded fleet report
+    digests identically to ``FleetScheduler.run`` +
+    ``supervise_device`` with the same seed and epochs.
+    """
+    gov = governor or GovernorConfig(epochs=epochs)
+    return ScenarioConfig(
+        name="zero-event",
+        devices=devices,
+        horizon_s=epochs * gov.epoch_s,
+        tick_s=gov.epoch_s,
+        seed=seed,
+        governor=gov,
+        arrivals=ConstantArrivals(1),
+        ambient=AmbientCycle(),
+        churn=ChurnModel(quarantine_after=0),
+        oracle_stride=0,
+    )
+
+
+def smoke(
+    devices: int = 200,
+    horizon_s: float = 2.0 * HOUR_S,
+    seed: int = 0,
+) -> ScenarioConfig:
+    """A small, fast steady-diurnal slice for CI's scenario-smoke job."""
+    config = steady_diurnal(
+        devices=devices, horizon_s=horizon_s, seed=seed
+    )
+    config.name = "smoke"
+    config.tick_s = 300.0
+    config.oracle_stride = 20
+    return config
+
+
+#: name -> (description, factory(devices=..., horizon_s=..., seed=...)).
+PRESETS: Dict[str, tuple] = {
+    "steady-diurnal": (
+        "day/night diurnal traffic, mild ambient cycle, open admission",
+        steady_diurnal,
+    ),
+    "flash-crowd": (
+        "midday x20 burst against a rate-limited serve tier",
+        flash_crowd,
+    ),
+    "brownout-summer": (
+        "heat-wave afternoons with a staged brownout fault wave",
+        brownout_summer,
+    ),
+    "churn-heavy": (
+        "continuous join/leave churn plus a quarantine-driving "
+        "sensor-fault wave",
+        churn_heavy,
+    ),
+    "zero-event": (
+        "no lifecycle events; collapses to the plain fleet epoch path",
+        zero_event,
+    ),
+    "smoke": (
+        "small fast steady-diurnal slice for CI",
+        smoke,
+    ),
+}
+
+
+def list_presets() -> List[Dict]:
+    """JSON-ready preset listing (the CLI's ``scenario --list``)."""
+    return [
+        {"name": name, "description": description}
+        for name, (description, _factory) in sorted(PRESETS.items())
+    ]
+
+
+def build_preset(
+    name: str,
+    devices: Optional[int] = None,
+    horizon_s: Optional[float] = None,
+    seed: Optional[int] = None,
+) -> ScenarioConfig:
+    """Build a preset's config, overriding size/span/seed if given."""
+    try:
+        _description, factory = PRESETS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown scenario preset {name!r}; choose from "
+            f"{sorted(PRESETS)}"
+        ) from None
+    kwargs: Dict = {}
+    if devices is not None:
+        kwargs["devices"] = devices
+    if seed is not None:
+        kwargs["seed"] = seed
+    if horizon_s is not None:
+        if factory is zero_event:
+            raise ReproError(
+                "zero-event derives its horizon from epochs; "
+                "override devices/seed only"
+            )
+        kwargs["horizon_s"] = horizon_s
+    return factory(**kwargs)

@@ -1,0 +1,133 @@
+"""Arrival-trace generators: determinism and timetable arithmetic."""
+
+import math
+
+import pytest
+
+from repro.errors import ReproError
+from repro.scenario import (
+    CompositeArrivals,
+    ConstantArrivals,
+    DAY_S,
+    DiurnalArrivals,
+    PoissonBurstArrivals,
+    TimetableArrivals,
+)
+
+
+class TestConstantArrivals:
+    def test_fixed_demand(self):
+        model = ConstantArrivals(2)
+        assert model.windows_at(0, 0.0, 60.0) == 2
+        assert model.windows_at(99, 1e6, 60.0) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ReproError):
+            ConstantArrivals(-1)
+
+
+class TestDiurnalArrivals:
+    def test_rate_follows_sinusoid(self):
+        model = DiurnalArrivals(mean_per_hour=3.6, amplitude=0.5)
+        base = 3.6 / 3600.0
+        assert model.rate_at(0.0) == pytest.approx(base)
+        assert model.rate_at(DAY_S / 4) == pytest.approx(base * 1.5)
+        assert model.rate_at(3 * DAY_S / 4) == pytest.approx(base * 0.5)
+
+    def test_same_seed_same_trace(self):
+        trace = [
+            DiurnalArrivals(2.0, seed=5).windows_at(d, t, 900.0)
+            for d in range(4)
+            for t in (0.0, 900.0, 1800.0)
+        ]
+        rerun = [
+            DiurnalArrivals(2.0, seed=5).windows_at(d, t, 900.0)
+            for d in range(4)
+            for t in (0.0, 900.0, 1800.0)
+        ]
+        assert trace == rerun
+
+    def test_per_device_streams_independent(self):
+        """Querying device 1 never shifts device 0's draw sequence."""
+        alone = DiurnalArrivals(2.0, seed=5)
+        solo = [alone.windows_at(0, t * 900.0, 900.0) for t in range(8)]
+        mixed_model = DiurnalArrivals(2.0, seed=5)
+        mixed = []
+        for t in range(8):
+            mixed.append(mixed_model.windows_at(0, t * 900.0, 900.0))
+            mixed_model.windows_at(1, t * 900.0, 900.0)
+        assert solo == mixed
+
+
+class TestPoissonBurstArrivals:
+    def test_burst_multiplies_rate(self):
+        model = PoissonBurstArrivals(
+            base_per_hour=3.6, bursts=((100.0, 200.0, 20.0),)
+        )
+        base = 3.6 / 3600.0
+        assert model.rate_at(50.0) == pytest.approx(base)
+        assert model.rate_at(150.0) == pytest.approx(base * 20.0)
+        assert model.rate_at(200.0) == pytest.approx(base)  # end excl.
+
+    def test_overlapping_bursts_compound(self):
+        model = PoissonBurstArrivals(
+            base_per_hour=3.6,
+            bursts=((0.0, 100.0, 2.0), (50.0, 150.0, 3.0)),
+        )
+        assert model.rate_at(75.0) == pytest.approx(3.6 / 3600.0 * 6.0)
+
+    def test_invalid_burst_rejected(self):
+        with pytest.raises(ReproError):
+            PoissonBurstArrivals(1.0, bursts=((10.0, 10.0, 2.0),))
+
+
+class TestTimetableArrivals:
+    def test_matches_loadgen_dispatch_enumeration(self):
+        """The residue-class count equals brute-force replay of the
+        open-loop timetable (event i at start + i/rate, round-robin)."""
+        model = TimetableArrivals(
+            rate_rps=0.7, devices=3, total=100, start_s=5.0
+        )
+        tick_s = 13.0
+        for device_id in range(3):
+            for k in range(12):
+                t0 = k * tick_s
+                counted = model.windows_at(device_id, t0, tick_s)
+                brute = sum(
+                    1
+                    for i in range(100)
+                    if i % 3 == device_id
+                    and t0 <= 5.0 + i / 0.7 < t0 + tick_s
+                )
+                assert counted == brute, (device_id, k)
+
+    def test_every_event_lands_exactly_once(self):
+        model = TimetableArrivals(rate_rps=2.0, devices=4, total=50)
+        total = sum(
+            model.windows_at(d, k * 7.0, 7.0)
+            for d in range(4)
+            for k in range(10)
+        )
+        assert total == 50
+
+    def test_unknown_device_gets_nothing(self):
+        model = TimetableArrivals(rate_rps=1.0, devices=2)
+        assert model.windows_at(5, 0.0, 60.0) == 0
+
+
+class TestCompositeArrivals:
+    def test_sums_parts(self):
+        model = CompositeArrivals(
+            [ConstantArrivals(1), ConstantArrivals(2)]
+        )
+        assert model.windows_at(0, 0.0, 60.0) == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            CompositeArrivals([])
+
+    def test_describe_nests_parts(self):
+        model = CompositeArrivals([ConstantArrivals(1)])
+        desc = model.describe()
+        assert desc["kind"] == "composite"
+        assert desc["parts"][0]["kind"] == "constant"

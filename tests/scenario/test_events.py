@@ -1,0 +1,64 @@
+"""Event queue and simulated-clock semantics."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.scenario import Event, EventKind, EventQueue, SimClock
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        q.push(30.0, EventKind.TICK)
+        q.push(10.0, EventKind.TICK)
+        q.push(20.0, EventKind.TICK)
+        assert [q.pop().time_s for _ in range(3)] == [10.0, 20.0, 30.0]
+
+    def test_same_time_orders_by_kind_priority(self):
+        q = EventQueue()
+        q.push(5.0, EventKind.TICK)
+        q.push(5.0, EventKind.LEAVE)
+        q.push(5.0, EventKind.JOIN)
+        q.push(5.0, EventKind.STAGE_ENTER)
+        kinds = [q.pop().kind for _ in range(4)]
+        # Campaign staging < membership changes < the tick that runs
+        # windows, so a tick always sees the tick-instant's final fleet.
+        assert kinds == [
+            EventKind.STAGE_ENTER,
+            EventKind.JOIN,
+            EventKind.LEAVE,
+            EventKind.TICK,
+        ]
+
+    def test_same_time_same_kind_is_fifo(self):
+        q = EventQueue()
+        q.push(1.0, EventKind.JOIN, n=1)
+        q.push(1.0, EventKind.JOIN, n=2)
+        assert q.pop().payload["n"] == 1
+        assert q.pop().payload["n"] == 2
+
+    def test_negative_time_rejected(self):
+        q = EventQueue()
+        with pytest.raises(ReproError):
+            q.push(-1.0, EventKind.TICK)
+
+    def test_peek_and_len(self):
+        q = EventQueue()
+        assert not q and q.peek_time() is None
+        q.push(7.0, EventKind.TICK)
+        assert len(q) == 1 and q.peek_time() == 7.0
+
+
+class TestSimClock:
+    def test_advances_forward_only(self):
+        clock = SimClock()
+        clock.advance_to(10.0)
+        clock.advance_to(10.0)  # same instant is fine
+        assert clock.now == 10.0
+        with pytest.raises(ReproError):
+            clock.advance_to(9.0)
+
+    def test_event_is_immutable(self):
+        event = Event(time_s=1.0, kind=EventKind.TICK, seq=0)
+        with pytest.raises(Exception):
+            event.time_s = 2.0

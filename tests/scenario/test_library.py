@@ -1,0 +1,77 @@
+"""Preset library and the scenario CLI surface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ReproError
+from repro.scenario import PRESETS, build_preset, list_presets
+from repro.scenario.engine import ScenarioConfig
+
+
+class TestPresets:
+    def test_every_preset_builds_a_valid_config(self):
+        for name in PRESETS:
+            config = build_preset(name, devices=4)
+            assert isinstance(config, ScenarioConfig)
+            assert config.name == name
+            assert config.devices == 4
+
+    def test_listing_is_sorted_and_json_ready(self):
+        listed = list_presets()
+        names = [entry["name"] for entry in listed]
+        assert names == sorted(PRESETS)
+        json.dumps(listed)  # must be JSON-clean
+        assert all(entry["description"] for entry in listed)
+
+    def test_overrides_apply(self):
+        config = build_preset(
+            "steady-diurnal", devices=7, horizon_s=3600.0, seed=9
+        )
+        assert config.devices == 7
+        assert config.horizon_s == 3600.0
+        assert config.seed == 9
+
+    def test_zero_event_rejects_horizon_override(self):
+        with pytest.raises(ReproError):
+            build_preset("zero-event", horizon_s=1234.0)
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ReproError):
+            build_preset("no-such-scenario")
+
+
+class TestScenarioCLI:
+    def test_list_text(self, capsys):
+        assert main(["scenario", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in PRESETS:
+            assert name in out
+
+    def test_list_json_is_clean(self, capsys):
+        assert main(["scenario", "--list", "--json", "-"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [p["name"] for p in payload["presets"]] == sorted(PRESETS)
+
+    def test_missing_preset_is_an_error(self, capsys):
+        assert main(["scenario"]) != 0
+
+    def test_run_json_payload(self, capsys):
+        code = main(
+            [
+                "scenario",
+                "zero-event",
+                "--devices",
+                "3",
+                "--json",
+                "-",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "zero-event"
+        assert payload["devices_initial"] == 3
+        assert payload["digest"]
+        assert payload["fleet_digest"]
+        assert payload["demand"]["windows_deferred"] == 0
