@@ -53,7 +53,7 @@ LEVELS = {
 }
 
 
-def plan_for(rates) -> FaultPlan:
+def plan_for(rates, worker_kill_rate: float = 0.0) -> FaultPlan:
     hse, pll, s_drop, s_stuck, s_nack, brown, wdg = rates
     return FaultPlan(
         seed=FAULT_SEED,
@@ -64,6 +64,7 @@ def plan_for(rates) -> FaultPlan:
         sensor_nack_rate=s_nack,
         brownout_rate=brown,
         watchdog_rate=wdg,
+        worker_kill_rate=worker_kill_rate,
     )
 
 
@@ -92,11 +93,25 @@ def main():
     # Determinism gate: same seed, byte-identical report.
     rerun = run_campaign(model, plan_for(LEVELS["low"]), config)
 
+    # WORKER_KILL transparency gate: the serve-tier kill stream is a
+    # separate spawned child (prefix-stable SeedSequence), so turning
+    # it on must leave every device-level fault draw -- and therefore
+    # every survival row -- byte-identical.  (The full report digest
+    # differs by design: it echoes the plan, including the kill rate.)
+    killed = run_campaign(
+        model, plan_for(LEVELS["low"], worker_kill_rate=0.05), config
+    )
+
     # No-fault transparency gates: zero rates inject and cost nothing.
     off = stages["rate[off]"]
     gates = {
         "deterministic_rerun": gate_record(
             rerun.digest() == digests["low"], True, comparator="=="
+        ),
+        "worker_kill_transparency": gate_record(
+            killed.rows_digest() == rerun.rows_digest(),
+            True,
+            comparator="==",
         ),
         "nofault_quarantine_free": gate_record(
             off["quarantine_free_fraction"], 1.0, comparator=">="

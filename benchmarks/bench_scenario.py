@@ -19,7 +19,10 @@ record (see ``_gating.py``):
   must produce byte-identical digested reports;
 * **oracle gap** -- the governed fleet's true energy on the twinned
   devices must stay within ``MAX_ORACLE_GAP`` of the clairvoyant
-  re-planner (which sees every drift before the window it lands in).
+  re-planner (which sees every drift before the window it lands in);
+* **checkpoint/resume** -- a small scenario checkpointed at an event
+  boundary and resumed must report a digest byte-identical to the
+  uninterrupted run (the :mod:`repro.recovery` invariant).
 
 Run standalone (CI's scenario-smoke job runs a smaller preset)::
 
@@ -29,10 +32,13 @@ Run standalone (CI's scenario-smoke job runs a smaller preset)::
 from __future__ import annotations
 
 import json
+import os
 import pathlib
+import tempfile
 import time
 
 from _gating import enforce_gates, gate_record, print_gates
+from repro.recovery import save_checkpoint
 from repro.scenario import (
     AmbientCycle,
     CompositeArrivals,
@@ -40,6 +46,8 @@ from repro.scenario import (
     DiurnalArrivals,
     PoissonBurstArrivals,
     ScenarioConfig,
+    ScenarioEngine,
+    resume_scenario,
     run_scenario,
 )
 
@@ -87,6 +95,55 @@ def build_config() -> ScenarioConfig:
     )
 
 
+#: Checkpoint/resume parity runs on a small fleet (the invariant is
+#: boundary-exact, not scale-dependent) at this event boundary.
+CHECKPOINT_DEVICES = 12
+CHECKPOINT_EVENTS = 6
+
+
+def checkpoint_config() -> ScenarioConfig:
+    """A fresh config per run: stochastic arrival models carry their
+    consumed RNG streams as instance state, so sharing one config
+    object between runs being compared would diverge them."""
+    return ScenarioConfig(
+        name="bench-checkpoint",
+        devices=CHECKPOINT_DEVICES,
+        horizon_s=DAY_S / 6,
+        tick_s=TICK_S,
+        seed=SEED + 9,
+        arrivals=DiurnalArrivals(
+            mean_per_hour=1.2, amplitude=0.6, seed=SEED + 10
+        ),
+        ambient=AmbientCycle(amplitude_c=4.0),
+    )
+
+
+def run_checkpoint_parity() -> dict:
+    """Checkpoint at an event boundary, resume, compare digests."""
+    baseline = run_scenario(checkpoint_config())
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "scenario.ckpt")
+        engine = ScenarioEngine(checkpoint_config())
+        try:
+            engine.start()
+            while (
+                engine.events_processed < CHECKPOINT_EVENTS
+                and engine.step()
+            ):
+                pass
+            save_checkpoint(engine.checkpoint(), path)
+        finally:
+            engine.close()
+        resumed = resume_scenario(path)
+    return {
+        "devices": CHECKPOINT_DEVICES,
+        "boundary_events": CHECKPOINT_EVENTS,
+        "baseline_digest": baseline.digest(),
+        "resumed_digest": resumed.digest(),
+        "identical": resumed.digest() == baseline.digest(),
+    }
+
+
 def run_once(label: str) -> dict:
     start = time.perf_counter()
     report = run_scenario(build_config())
@@ -108,6 +165,7 @@ def run_once(label: str) -> dict:
 def main():
     first = run_once("first")
     second = run_once("second")
+    parity = run_checkpoint_parity()
 
     gates = {
         "deterministic_rerun": gate_record(
@@ -119,12 +177,19 @@ def main():
             comparator="<=",
             twinned_devices=DEVICES // ORACLE_STRIDE,
         ),
+        "checkpoint_resume_identical": gate_record(
+            parity["identical"],
+            True,
+            comparator="==",
+            boundary_events=parity["boundary_events"],
+        ),
     }
     enforce_gates(gates)
 
     stages = {
         "run[first]": first,
         "run[second]": second,
+        "checkpoint[resume]": parity,
         "_meta": {
             "devices": DEVICES,
             "horizon_s": DAY_S,
@@ -139,6 +204,10 @@ def main():
     OUTPUT.write_text(json.dumps(stages, indent=2, sort_keys=True) + "\n")
 
     print(f"wrote {OUTPUT}")
+    print(
+        f"checkpoint[resume] boundary {parity['boundary_events']}: "
+        f"{'identical' if parity['identical'] else 'DIVERGED'}"
+    )
     for stage in ("run[first]", "run[second]"):
         entry = stages[stage]
         print(

@@ -17,6 +17,14 @@ over 4 shards) against a 1-worker and a 4-worker
 digest-checked against a cold single-process solve, and a 2-shard
 oversubscribed burst is run twice to pin per-shard shed determinism.
 
+The *crash-recovery* section drives a 2-shard journaled burst with
+the seeded WORKER_KILL fault SIGKILLing an owner mid-request: the
+failover ladder (immediate health pass, one retry, degraded serve)
+must answer every request, every completed payload must digest-match
+a cold solve, and a fresh router restarted over the same journal must
+rebuild its shared plan-cache tier warm -- replayed entries, zero
+cold misses.
+
 Writes ``BENCH_serve.json`` at the repo root with the schema::
 
     {mode[model]: {"wall_s": float, "ok": int, "throughput_rps": float,
@@ -43,8 +51,10 @@ from __future__ import annotations
 import json
 import os
 import pathlib
+import tempfile
 
 from _gating import enforce_gates, gate_record, print_gates
+from repro.faults import FaultPlan
 from repro.serve import LoadGenConfig, run_loadgen
 from repro.serve.server import ServeConfig
 
@@ -80,6 +90,64 @@ SHARD_SEED = 11
 #: 4-worker vs 1-worker throughput on the mixed burst.  Only enforced
 #: with >= 4 CPU cores; always measured and recorded.
 MIN_SHARD_SPEEDUP = 3.0
+
+#: The crash-recovery scenario: a 2-shard burst with the WORKER_KILL
+#: fault SIGKILLing an owner mid-request, journaled shared cache, and
+#: a journal-warm restart.  The kill schedule is a seeded Bernoulli
+#: stream, so the burst's kill count reproduces run over run.
+RECOVERY_PAIRS = (
+    ("tiny", 10.0), ("tiny", 30.0), ("vww", 20.0), ("mbv2", 25.0),
+)
+RECOVERY_REQUESTS = 32
+RECOVERY_SEED = 5
+RECOVERY_KILL_SEED = 3
+RECOVERY_KILL_RATE = 0.08
+
+
+def run_recovery(journal_path: str) -> dict:
+    """SIGKILL-mid-burst: every request must still answer, digests
+    must match cold solves, and every publish must hit the journal."""
+    return run_loadgen(
+        LoadGenConfig(
+            pairs=RECOVERY_PAIRS,
+            requests=RECOVERY_REQUESTS,
+            seed=RECOVERY_SEED,
+            burst=True,
+            verify_digests=True,
+            serve=ServeConfig(
+                workers=2,
+                batch_window_s=0.001,
+                max_queue_depth=RECOVERY_REQUESTS,
+            ),
+            shards=2,
+            journal_path=journal_path,
+            fault_plan=FaultPlan(
+                seed=RECOVERY_KILL_SEED,
+                worker_kill_rate=RECOVERY_KILL_RATE,
+            ),
+        )
+    )
+
+
+def run_restart(journal_path: str) -> dict:
+    """A fresh router over the same journal: the shared tier must come
+    up warm (replayed entries, zero cold solves)."""
+    return run_loadgen(
+        LoadGenConfig(
+            pairs=RECOVERY_PAIRS,
+            requests=len(RECOVERY_PAIRS) * 2,
+            seed=RECOVERY_SEED + 1,
+            burst=True,
+            verify_digests=False,
+            serve=ServeConfig(
+                workers=2,
+                batch_window_s=0.001,
+                max_queue_depth=RECOVERY_REQUESTS,
+            ),
+            shards=2,
+            journal_path=journal_path,
+        )
+    )
 
 
 def run_scenario(stateless: bool) -> dict:
@@ -226,6 +294,17 @@ def main():
     )
     assert shard_first["sheds"] > 0, "sharded overload never shed"
 
+    # -- crash recovery: SIGKILL mid-burst, then a journal-warm restart
+    with tempfile.TemporaryDirectory() as tmp:
+        journal_path = os.path.join(tmp, "plan-journal.jsonl")
+        recovery = run_recovery(journal_path)
+        restart = run_restart(journal_path)
+    recovery_router = recovery["server"]["router"]
+    restart_router = restart["server"]["router"]
+    kills = recovery_router["failovers"]["chaos_kills"]
+    restart_cache = restart_router["shared_cache"]
+    restart_replay = restart_router["journal"]["replay"]
+
     # -- uniform gate records (see _gating.py for the contract) --------
     gates = {
         "serve_speedup": gate_record(speedup, MIN_SPEEDUP),
@@ -260,6 +339,28 @@ def main():
         "shard_sheds_reproduce": gate_record(
             shard_sheds_reproduce, True, comparator="=="
         ),
+        # Crash recovery: the kill fired, every request still answered,
+        # every completed payload digests identically to a cold solve,
+        # and a restart rebuilds the shared tier from the journal with
+        # zero cold solves.
+        "recovery_kills_injected": gate_record(kills, 1, comparator=">="),
+        "recovery_all_answered": gate_record(
+            recovery["ok"], RECOVERY_REQUESTS, comparator="=="
+        ),
+        "recovery_digest_parity": gate_record(
+            recovery["cache_consistent"]
+            and recovery["digest_checks"] == len(RECOVERY_PAIRS),
+            True,
+            comparator="==",
+        ),
+        "recovery_warm_restart": gate_record(
+            restart_replay["replayed"] > 0
+            and restart_cache["misses"] == 0,
+            True,
+            comparator="==",
+            replayed=restart_replay["replayed"],
+            cold_misses=restart_cache["misses"],
+        ),
     }
     enforce_gates(gates)
 
@@ -281,6 +382,25 @@ def main():
         "sheds_by_reason": first["server"]["metrics"][
             "sheds_by_reason"
         ],
+    }
+    stages["recovery[mixed]"] = {
+        "requests": RECOVERY_REQUESTS,
+        "shards": 2,
+        "ok": recovery["ok"],
+        "sheds": recovery["sheds"],
+        "degraded": recovery["degraded_responses"],
+        "worker_kills": kills,
+        "failovers": recovery_router["failovers"],
+        "digest_checks": recovery["digest_checks"],
+        "digest_mismatches": recovery["digest_mismatches"],
+    }
+    stages["restart[journal]"] = {
+        "requests": len(RECOVERY_PAIRS) * 2,
+        "shards": 2,
+        "ok": restart["ok"],
+        "cached": restart["cached_responses"],
+        "replay": restart_replay,
+        "shared_cache": restart_cache,
     }
     stages["_meta"] = {
         "model": MODEL,
@@ -311,6 +431,14 @@ def main():
         "shard_cache_consistent": sharded4["cache_consistent"],
         "shard_sheds_reproduce": shard_sheds_reproduce,
         "shared_cache": sharded4["server"]["router"]["shared_cache"],
+        "recovery": {
+            "kill_seed": RECOVERY_KILL_SEED,
+            "kill_rate": RECOVERY_KILL_RATE,
+            "worker_kills": kills,
+            "digest_parity": recovery["cache_consistent"],
+            "restart_replayed": restart_replay["replayed"],
+            "restart_cold_misses": restart_cache["misses"],
+        },
     }
     OUTPUT.write_text(json.dumps(stages, indent=2, sort_keys=True) + "\n")
 
@@ -322,6 +450,19 @@ def main():
                 f"{stage:18s} {entry['wall_s'] * 1e3:9.2f} ms  "
                 f"{entry['throughput_rps']:8.1f} req/s  "
                 f"p95 {entry['p95_ms']:7.2f} ms"
+            )
+        elif "worker_kills" in entry:
+            print(
+                f"{stage:18s} {entry['ok']:3d} ok, "
+                f"{entry['worker_kills']} killed, "
+                f"{entry['failovers']['triggered']} failovers, "
+                f"{entry['degraded']} degraded"
+            )
+        elif "replay" in entry:
+            print(
+                f"{stage:18s} {entry['ok']:3d} ok, "
+                f"{entry['replay']['replayed']} replayed, "
+                f"{entry['shared_cache']['misses']} cold misses"
             )
         else:
             detail = entry.get("sheds_by_reason") or entry.get(

@@ -496,6 +496,17 @@ def cmd_scenario(args: argparse.Namespace) -> int:
             for row in presets:
                 print(f"{row['name']:18s} {row['description']}")
         return 0
+    if args.resume:
+        from .scenario import resume_scenario
+
+        tracer = _trace_begin(args)
+        report = resume_scenario(args.resume)
+        print(report.summary(), file=_out(args))
+        payload = report.to_dict() if _json_mode(args) else None
+        _trace_finish(args, tracer, payload)
+        if payload is not None:
+            _emit_json(args, payload)
+        return 0
     if not args.preset:
         raise ReproError(
             "scenario: provide a preset name (or --list to see them)"
@@ -515,13 +526,46 @@ def cmd_scenario(args: argparse.Namespace) -> int:
         config.shards = args.shards
     if args.oracle_stride is not None:
         config.oracle_stride = args.oracle_stride
-    report = run_scenario(config)
+    if args.checkpoint:
+        report = _run_with_checkpoint(
+            config, args.checkpoint, args.checkpoint_events
+        )
+    else:
+        report = run_scenario(config)
     print(report.summary(), file=_out(args))
     payload = report.to_dict() if _json_mode(args) else None
     _trace_finish(args, tracer, payload)
     if payload is not None:
         _emit_json(args, payload)
     return 0
+
+
+def _run_with_checkpoint(config, path: str, after_events: int):
+    """Run a scenario, snapshotting after N dispatched events.
+
+    The run continues to completion after the snapshot, so the same
+    invocation yields both the full report and a resume point
+    (``scenario --resume PATH`` replays the remainder and must digest
+    identically).
+    """
+    from .recovery import save_checkpoint
+    from .scenario import ScenarioEngine
+
+    engine = ScenarioEngine(config)
+    try:
+        engine.start()
+        saved = False
+        while True:
+            if not saved and engine.events_processed >= after_events:
+                save_checkpoint(engine.checkpoint(), path)
+                saved = True
+            if not engine.step():
+                break
+        if not saved:  # horizon shorter than the requested boundary
+            save_checkpoint(engine.checkpoint(), path)
+        return engine.finish()
+    finally:
+        engine.close()
 
 
 def _serve_config(args: argparse.Namespace):
@@ -567,6 +611,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 port=config.port,
                 health_interval_s=args.health_interval_s,
                 serve=config,
+                journal_path=getattr(args, "journal", None),
             )
         )
         await router.start()
@@ -628,6 +673,7 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         verify_digests=not args.no_verify,
         serve=_serve_config(args),
         shards=getattr(args, "shards", 0) or 0,
+        journal_path=getattr(args, "journal", None),
         target_host=args.host,
         target_port=args.port,
     )
@@ -988,6 +1034,20 @@ def make_parser() -> argparse.ArgumentParser:
         help="twin every Nth device with a clairvoyant oracle"
         " (0 disables the gap metric)",
     )
+    p.add_argument(
+        "--checkpoint", metavar="PATH", default=None,
+        help="snapshot the run state to PATH after --checkpoint-events"
+        " dispatched events (the run still completes)",
+    )
+    p.add_argument(
+        "--checkpoint-events", type=int, default=8,
+        help="event boundary the --checkpoint snapshot is taken at",
+    )
+    p.add_argument(
+        "--resume", metavar="PATH", default=None,
+        help="resume a checkpointed run to completion (digest-identical"
+        " to the uninterrupted run); no preset needed",
+    )
     _add_json_flag(p, "scenario report")
     _add_trace_flag(p)
     p.set_defaults(func=cmd_scenario)
@@ -1071,6 +1131,13 @@ def make_parser() -> argparse.ArgumentParser:
         help=(
             "probe shard health this often, evicting and respawning"
             " failed workers (sharded mode only)"
+        ),
+    )
+    p.add_argument(
+        "--journal", metavar="PATH", default=None,
+        help=(
+            "write-ahead journal for the shared plan-cache tier; a"
+            " restart rebuilds the tier from it (sharded mode only)"
         ),
     )
     add_serve_tuning(p)
@@ -1164,6 +1231,11 @@ def make_parser() -> argparse.ArgumentParser:
         "--shards", type=int, default=0,
         help="drive an in-process shard router with this many worker"
              " processes (0 = single process)",
+    )
+    p.add_argument(
+        "--journal", metavar="PATH", default=None,
+        help="write-ahead journal for the router's shared plan-cache"
+             " tier (sharded mode only)",
     )
     p.add_argument(
         "--deadline-s", type=float, default=None,

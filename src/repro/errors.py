@@ -113,6 +113,27 @@ class OverloadedError(ReproError):
         )
 
 
+class ServeUnavailableError(ReproError):
+    """The serve endpoint stayed unreachable through the retry budget.
+
+    Raised by :class:`~repro.serve.client.ServeClient` once its bounded
+    exponential retry budget is exhausted (connection refused, reset
+    mid-conversation, or repeated overload sheds past the budget).
+    Carries the attempt count and the last underlying failure so
+    callers can distinguish "never came up" from "went away".  Maps to
+    the ``unavailable`` error payload on the wire.
+    """
+
+    def __init__(self, attempts: int = 1, last_error: str = ""):
+        self.attempts = attempts
+        self.last_error = last_error
+        suffix = f": {last_error}" if last_error else ""
+        super().__init__(
+            f"serve endpoint unavailable after {attempts} "
+            f"attempt{'s' if attempts != 1 else ''}{suffix}"
+        )
+
+
 class DeadlineExceededError(ReproError):
     """A serve request missed its client-supplied deadline.
 

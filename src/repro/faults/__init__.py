@@ -13,6 +13,7 @@ from .plan import (
     FaultPlan,
     GOVERN_STAGE,
     PLAN_STAGE,
+    SERVE_STAGE,
 )
 from .campaign import (
     CampaignClocks,
@@ -40,5 +41,6 @@ __all__ = [
     "GOVERN_STAGE",
     "PLAN_STAGE",
     "SCENARIO_STAGE_BASE",
+    "SERVE_STAGE",
     "run_campaign",
 ]

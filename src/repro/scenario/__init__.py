@@ -23,7 +23,13 @@ from .arrivals import (
     TimetableArrivals,
 )
 from .churn import ChurnModel, ChurnProcess
-from .engine import ScenarioConfig, ScenarioEngine, ServeBridge, run_scenario
+from .engine import (
+    ScenarioConfig,
+    ScenarioEngine,
+    ServeBridge,
+    resume_scenario,
+    run_scenario,
+)
 from .environment import AmbientCycle
 from .events import Event, EventKind, EventQueue, SimClock
 from .library import PRESETS, build_preset, list_presets
@@ -53,5 +59,6 @@ __all__ = [
     "TimetableArrivals",
     "build_preset",
     "list_presets",
+    "resume_scenario",
     "run_scenario",
 ]

@@ -28,7 +28,12 @@ import numpy as np
 
 from ..analysis.battery import Battery
 from ..errors import ReproError
-from ..faults.campaign import CampaignClocks, FaultCampaign
+from ..faults.campaign import (
+    SCENARIO_STAGE_BASE,
+    CampaignClocks,
+    FaultCampaign,
+)
+from ..faults.plan import FaultKind
 from ..fleet.governor import FleetGovernor, GovernorConfig
 from ..fleet.report import FleetReport, aggregate_fleet
 from ..fleet.scheduler import DeviceResult, FleetScheduler
@@ -43,6 +48,8 @@ from ..obs.audit import get_audit_log
 from ..obs.registry import get_registry
 from ..obs.tracing import span
 from ..optimize import QoSLevel
+from ..recovery.checkpoint import ScenarioCheckpoint, load_checkpoint
+from ..serve.admission import ArrivalClock
 from ..serve.router import RouterConfig, ShardRouter
 from ..serve.server import PlanServer, ServeConfig
 from .arrivals import ArrivalModel, ConstantArrivals
@@ -277,6 +284,12 @@ class ScenarioEngine:
         ]
 
         # Run state.
+        self._bridge: Optional[ServeBridge] = None
+        self.events_processed = 0
+        #: Pool indices planned by JOIN events, in processing order --
+        #: resume replays these (planning is deterministic) to rebuild
+        #: joined governors before overwriting their mutable state.
+        self._planned_pool_indices: List[int] = []
         self.governors: Dict[int, FleetGovernor] = {}
         self.results: Dict[int, DeviceResult] = {}
         self.live: Set[int] = set()
@@ -553,6 +566,7 @@ class ScenarioEngine:
             )
             return
         profile = self.pool[pool_index]
+        self._planned_pool_indices.append(pool_index)
         result = self.scheduler.plan_device(profile)
         if self._register_device(result, t_s=t_s):
             self.churn_totals["joins"] += 1
@@ -603,10 +617,65 @@ class ScenarioEngine:
 
     # -- the run -----------------------------------------------------------------
 
+    def start(self) -> None:
+        """Bring the serve bridge up, deploy t=0, schedule the queue."""
+        if self._bridge is None:
+            self._bridge = ServeBridge(self.config)
+        self._deploy_initial_fleet()
+        self._schedule_events()
+
+    def step(self) -> bool:
+        """Dispatch the next event; False when the horizon is reached.
+
+        Every return is an *event boundary*: no handler is mid-flight,
+        so :meth:`checkpoint` here captures a complete state.
+        """
+        cfg = self.config
+        bridge = self._bridge
+        if bridge is None:
+            raise ReproError("engine not started (call start() first)")
+        if not self.queue:
+            return False
+        event = self.queue.pop()
+        if event.time_s >= cfg.horizon_s:
+            # Deferred joins and repairs can land past the horizon;
+            # the scenario ends before them.
+            return False
+        self.clock.advance_to(event.time_s)
+        t_s = event.time_s
+        if event.kind is EventKind.TICK:
+            self._on_tick(t_s, bridge)
+        elif event.kind is EventKind.JOIN:
+            self._on_join(t_s, event.payload["pool_index"], bridge)
+        elif event.kind is EventKind.LEAVE:
+            self._on_leave(t_s)
+        elif event.kind is EventKind.REPAIR:
+            self._on_repair(t_s, event.payload["device_id"])
+        else:  # STAGE_ENTER / STAGE_EXIT
+            get_audit_log().record(
+                "scenario.engine",
+                event.kind.value,
+                label=event.payload.get("label", ""),
+                t_s=t_s,
+            )
+        self.events_processed += 1
+        return True
+
+    def finish(self) -> ScenarioReport:
+        """Fold the accumulated state into the final report."""
+        if self._bridge is None:
+            raise ReproError("engine not started (call start() first)")
+        return self._report(self._bridge)
+
+    def close(self) -> None:
+        """Stop the serve bridge (idempotent)."""
+        if self._bridge is not None:
+            self._bridge.close()
+            self._bridge = None
+
     def run(self) -> ScenarioReport:
         """Simulate the configured horizon and fold up the report."""
         cfg = self.config
-        bridge = ServeBridge(cfg)
         try:
             with span(
                 "scenario.run",
@@ -614,38 +683,273 @@ class ScenarioEngine:
                 devices=cfg.devices,
                 horizon_s=cfg.horizon_s,
             ):
-                self._deploy_initial_fleet()
-                self._schedule_events()
-                while self.queue:
-                    event = self.queue.pop()
-                    if event.time_s >= cfg.horizon_s:
-                        # Deferred joins and repairs can land past the
-                        # horizon; the scenario ends before them.
-                        break
-                    self.clock.advance_to(event.time_s)
-                    t_s = event.time_s
-                    if event.kind is EventKind.TICK:
-                        self._on_tick(t_s, bridge)
-                    elif event.kind is EventKind.JOIN:
-                        self._on_join(
-                            t_s, event.payload["pool_index"], bridge
-                        )
-                    elif event.kind is EventKind.LEAVE:
-                        self._on_leave(t_s)
-                    elif event.kind is EventKind.REPAIR:
-                        self._on_repair(
-                            t_s, event.payload["device_id"]
-                        )
-                    else:  # STAGE_ENTER / STAGE_EXIT
-                        get_audit_log().record(
-                            "scenario.engine",
-                            event.kind.value,
-                            label=event.payload.get("label", ""),
-                            t_s=t_s,
-                        )
-            return self._report(bridge)
+                self.start()
+                while self.step():
+                    pass
+            return self.finish()
         finally:
-            bridge.close()
+            self.close()
+
+    # -- checkpoint / resume -----------------------------------------------------
+
+    def checkpoint(self) -> ScenarioCheckpoint:
+        """Snapshot the complete mutable state at an event boundary.
+
+        Only meaningful between :meth:`step` calls.  Restricted to
+        in-process serving (``shards == 0``): shard worker processes
+        hold pipelines the snapshot cannot capture -- but the serve
+        *state* the engine observes (admission counters, token bucket,
+        arrival clock) is captured exactly, which is all that feeds
+        the report.
+        """
+        cfg = self.config
+        if cfg.shards != 0:
+            raise ReproError(
+                "checkpoint requires shards == 0 (worker processes "
+                "cannot be snapshotted)"
+            )
+        if self._bridge is None:
+            raise ReproError("engine not started (call start() first)")
+        governors = [
+            self._governor_state(device_id, governor)
+            for device_id, governor in self.governors.items()
+        ]
+        twins = [
+            self._twin_state(device_id, twin)
+            for device_id, twin in self.twins.items()
+        ]
+        clocks: List[Dict] = []
+        if self.campaign_clocks is not None:
+            for (device_id, stage_index), clock in sorted(
+                self.campaign_clocks._clocks.items()
+            ):
+                clocks.append(
+                    {
+                        "device_id": device_id,
+                        "stage_index": stage_index,
+                        "rng_states": {
+                            kind.value: clock._rngs[
+                                kind
+                            ].bit_generator.state
+                            for kind in FaultKind
+                        },
+                        "opportunities": {
+                            kind.value: count
+                            for kind, count in clock.opportunities.items()
+                        },
+                        "injected": {
+                            kind.value: count
+                            for kind, count in clock.injected.items()
+                        },
+                    }
+                )
+        return ScenarioCheckpoint(
+            config=cfg,
+            events_processed=self.events_processed,
+            clock_now=self.clock.now,
+            queue_heap=list(self.queue._heap),
+            queue_seq=self.queue._seq,
+            churn_rng_state=self.churn_proc._victim_rng.bit_generator.state,
+            campaign_clocks=clocks,
+            governors=governors,
+            twins=twins,
+            engine={
+                "live": set(self.live),
+                "quarantined": set(self.quarantined),
+                "last_end": dict(self.last_end),
+                "invalid_streak": dict(self.invalid_streak),
+                "governed_twin_energy": self._governed_twin_energy,
+                "ambient_delta": self._ambient_delta,
+                "demand": dict(self.demand),
+                "replans": dict(self.replans),
+                "churn_totals": dict(self.churn_totals),
+                "shed_timeline": list(self.shed_timeline),
+                "lifecycle_timeline": list(self.lifecycle_timeline),
+                "planned_pool_indices": list(self._planned_pool_indices),
+            },
+            serve=self._serve_state(),
+        )
+
+    @staticmethod
+    def _governor_state(
+        device_id: int, governor: FleetGovernor
+    ) -> Dict:
+        return {
+            "device_id": device_id,
+            "plan": governor._plan,
+            "battery": governor._battery,
+            "thermal": governor._thermal,
+            "temperature": governor._temperature,
+            "compensated_w": governor._compensated_w,
+            "samples": list(governor._samples),
+            "replans": governor._replans,
+            "invalid_streak": governor._invalid_streak,
+            "invalid_epochs": governor._invalid_epochs,
+            "css_events": governor._css_events,
+            "watchdog_resets": governor._watchdog_resets,
+            "pll_retries": governor._pll_retries,
+            "epoch": governor._epoch,
+            "pending": governor._pending,
+            "sensor_rng_state": governor._sensor._rng.bit_generator.state,
+        }
+
+    @staticmethod
+    def _twin_state(device_id: int, twin: OracleTwin) -> Dict:
+        return {
+            "device_id": device_id,
+            "plan": twin._plan,
+            "battery": twin._battery,
+            "thermal": twin._thermal,
+            "temperature": twin._temperature,
+            "bucket": twin._bucket,
+            "replans": twin.replans,
+            "epochs": twin.epochs,
+            "epochs_met": twin.epochs_met,
+            "true_energy_j": twin.true_energy_j,
+        }
+
+    def _serve_state(self) -> Dict:
+        bridge = self._bridge
+        server = bridge._server
+        admission = server.admission
+        bucket = admission.bucket
+        state: Dict = {
+            "next_id": bridge._next_id,
+            "requests": dict(bridge.requests),
+            "sheds": dict(bridge.sheds),
+            "errors": dict(bridge.errors),
+            "admission": {
+                "in_flight": admission._in_flight,
+                "sheds": dict(admission.sheds),
+            },
+        }
+        if bucket is not None:
+            state["bucket"] = {
+                "tokens": bucket._tokens,
+                "last_s": bucket._last_s,
+                "clock_now_s": (
+                    bucket._time_fn._now_s
+                    if isinstance(bucket._time_fn, ArrivalClock)
+                    else None
+                ),
+            }
+        return state
+
+    @classmethod
+    def resume(cls, checkpoint: ScenarioCheckpoint) -> "ScenarioEngine":
+        """Rebuild an engine mid-run from a checkpoint.
+
+        Deterministic reconstruction first (re-plan the initial fleet
+        and every joined device exactly as the original run did --
+        planning consumes no RNG), then every mutable attribute is
+        overwritten from the snapshot.  The caller drives
+        :meth:`step` / :meth:`finish` / :meth:`close` as usual.
+        """
+        engine = cls(checkpoint.config)
+        engine._bridge = ServeBridge(engine.config)
+        engine._deploy_initial_fleet()
+        # Replay the join-planned devices in processing order so the
+        # governors dict -- and with it the report row order -- comes
+        # back in exactly the original insertion order.
+        for pool_index in checkpoint.engine["planned_pool_indices"]:
+            result = engine.scheduler.plan_device(
+                engine.pool[pool_index]
+            )
+            engine._register_device(result, t_s=0.0)
+        engine._restore(checkpoint)
+        return engine
+
+    def _restore(self, checkpoint: ScenarioCheckpoint) -> None:
+        self.events_processed = checkpoint.events_processed
+        self.clock._now = checkpoint.clock_now
+        self.queue._heap = list(checkpoint.queue_heap)
+        self.queue._seq = checkpoint.queue_seq
+        self.churn_proc._victim_rng.bit_generator.state = (
+            checkpoint.churn_rng_state
+        )
+        if self.campaign_clocks is not None:
+            for entry in checkpoint.campaign_clocks:
+                index = entry["stage_index"]
+                stage = self.config.campaign.stages[index]
+                clock = stage.plan.clock_for(
+                    entry["device_id"],
+                    stage=SCENARIO_STAGE_BASE + index,
+                )
+                for kind in FaultKind:
+                    clock._rngs[kind].bit_generator.state = entry[
+                        "rng_states"
+                    ][kind.value]
+                clock.opportunities = {
+                    FaultKind(k): v
+                    for k, v in entry["opportunities"].items()
+                }
+                clock.injected = {
+                    FaultKind(k): v
+                    for k, v in entry["injected"].items()
+                }
+                self.campaign_clocks._clocks[
+                    (entry["device_id"], index)
+                ] = clock
+        for state in checkpoint.governors:
+            governor = self.governors[state["device_id"]]
+            governor._plan = state["plan"]
+            governor._battery = state["battery"]
+            governor._thermal = state["thermal"]
+            governor._temperature = state["temperature"]
+            governor._compensated_w = state["compensated_w"]
+            governor._samples = list(state["samples"])
+            governor._replans = state["replans"]
+            governor._invalid_streak = state["invalid_streak"]
+            governor._invalid_epochs = state["invalid_epochs"]
+            governor._css_events = state["css_events"]
+            governor._watchdog_resets = state["watchdog_resets"]
+            governor._pll_retries = state["pll_retries"]
+            governor._epoch = state["epoch"]
+            governor._pending = state["pending"]
+            governor._sensor._rng.bit_generator.state = state[
+                "sensor_rng_state"
+            ]
+        for state in checkpoint.twins:
+            twin = self.twins[state["device_id"]]
+            twin._plan = state["plan"]
+            twin._battery = state["battery"]
+            twin._thermal = state["thermal"]
+            twin._temperature = state["temperature"]
+            twin._bucket = state["bucket"]
+            twin.replans = state["replans"]
+            twin.epochs = state["epochs"]
+            twin.epochs_met = state["epochs_met"]
+            twin.true_energy_j = state["true_energy_j"]
+        eng = checkpoint.engine
+        self.live = set(eng["live"])
+        self.quarantined = set(eng["quarantined"])
+        self.last_end = dict(eng["last_end"])
+        self.invalid_streak = dict(eng["invalid_streak"])
+        self._governed_twin_energy = eng["governed_twin_energy"]
+        self._ambient_delta = eng["ambient_delta"]
+        self.demand = dict(eng["demand"])
+        self.replans = dict(eng["replans"])
+        self.churn_totals = dict(eng["churn_totals"])
+        self.shed_timeline = list(eng["shed_timeline"])
+        self.lifecycle_timeline = list(eng["lifecycle_timeline"])
+        self._planned_pool_indices = list(eng["planned_pool_indices"])
+        serve = checkpoint.serve
+        bridge = self._bridge
+        bridge._next_id = serve["next_id"]
+        bridge.requests = dict(serve["requests"])
+        bridge.sheds = dict(serve["sheds"])
+        bridge.errors = dict(serve["errors"])
+        admission = bridge._server.admission
+        admission._in_flight = serve["admission"]["in_flight"]
+        admission.sheds = dict(serve["admission"]["sheds"])
+        bucket = admission.bucket
+        if bucket is not None and "bucket" in serve:
+            bucket._tokens = serve["bucket"]["tokens"]
+            bucket._last_s = serve["bucket"]["last_s"]
+            if serve["bucket"]["clock_now_s"] is not None and isinstance(
+                bucket._time_fn, ArrivalClock
+            ):
+                bucket._time_fn._now_s = serve["bucket"]["clock_now_s"]
 
     def _report(self, bridge: ServeBridge) -> ScenarioReport:
         cfg = self.config
@@ -715,3 +1019,19 @@ class ScenarioEngine:
 def run_scenario(config: ScenarioConfig) -> ScenarioReport:
     """Convenience wrapper: build an engine and run it."""
     return ScenarioEngine(config).run()
+
+
+def resume_scenario(path: str) -> ScenarioReport:
+    """Resume a checkpointed run to completion; returns its report.
+
+    The invariant this rests on (gated in tests and
+    ``bench_scenario``): resuming at *any* event boundary produces a
+    report byte-identical -- same digest -- to the uninterrupted run.
+    """
+    engine = ScenarioEngine.resume(load_checkpoint(path))
+    try:
+        while engine.step():
+            pass
+        return engine.finish()
+    finally:
+        engine.close()

@@ -86,6 +86,12 @@ class LoadGenConfig:
             worker processes instead of a single server.
         router: full router configuration override (implies sharded;
             ``shards``/``serve`` above are ignored when set).
+        journal_path: write-ahead journal for the sharded shared
+            plan-cache tier (ignored unless sharded; see
+            :mod:`repro.recovery.journal`).
+        fault_plan: optional :class:`~repro.faults.plan.FaultPlan`
+            driving the router's WORKER_KILL chaos hook (ignored
+            unless sharded).
         target_host / target_port: drive an external TCP server
             instead of building one in-process.
     """
@@ -108,6 +114,8 @@ class LoadGenConfig:
     serve: ServeConfig = field(default_factory=ServeConfig)
     shards: int = 0
     router: Optional[RouterConfig] = None
+    journal_path: Optional[str] = None
+    fault_plan: Optional[Any] = None
     target_host: Optional[str] = None
     target_port: Optional[int] = None
 
@@ -138,7 +146,12 @@ class LoadGenConfig:
     def router_config(self) -> RouterConfig:
         if self.router is not None:
             return self.router
-        return RouterConfig(shards=self.shards, serve=self.serve)
+        return RouterConfig(
+            shards=self.shards,
+            serve=self.serve,
+            journal_path=self.journal_path,
+            fault_plan=self.fault_plan,
+        )
 
 
 def request_schedule(config: LoadGenConfig) -> List[Tuple[str, float]]:
@@ -190,6 +203,10 @@ async def _issue(
         )
         if result.get("cached"):
             outcome["cached"] += 1
+        if result.get("degraded"):
+            # A router failover answered from the shared cache or with
+            # the uniform fallback; these carry no fresh-solve digest.
+            outcome["degraded"] += 1
         outcome["histogram"].record(time.perf_counter() - start)
 
 
@@ -277,13 +294,21 @@ async def _verify_digests(
         # advances it one tick) and self-limiting under a real one.
         for _ in range(10_000):
             try:
-                return await client.request(
+                result = await client.request(
                     "plan", model=model, qos_percent=qos
                 )
             except OverloadedError as err:
                 delay = min(max(err.retry_after_s or 0.0, 0.0), 0.01)
                 if delay:
                     await asyncio.sleep(delay)
+            else:
+                if result.get("degraded") == "uniform-fallback":
+                    # Mid-recovery fallback carries no digest; by the
+                    # next attempt the failover's health pass has the
+                    # respawned worker serving real solves again.
+                    await asyncio.sleep(0.01)
+                    continue
+                return result
         raise ReproError(
             "digest verification was never admitted; admission "
             "config sheds even an idle sequential probe"
@@ -365,6 +390,7 @@ async def _run(config: LoadGenConfig) -> Dict[str, Any]:
         "ok": 0,
         "shed": 0,
         "cached": 0,
+        "degraded": 0,
         "ok_by_model": {},
         "errors": [],
         "histogram": LatencyHistogram(),
@@ -421,6 +447,7 @@ async def _run(config: LoadGenConfig) -> Dict[str, Any]:
         "ok_by_model": dict(sorted(outcome["ok_by_model"].items())),
         "sheds": outcome["shed"],
         "cached_responses": outcome["cached"],
+        "degraded_responses": outcome["degraded"],
         "errors_by_kind": error_counts,
         "wall_s": wall_s,
         "throughput_rps": outcome["ok"] / wall_s if wall_s > 0 else 0.0,

@@ -46,6 +46,7 @@ OPS = ("plan", "reprice", "telemetry", "stats", "health")
 _ERROR_KINDS = (
     (errors.QoSInfeasibleError, "qos_infeasible"),
     (errors.OverloadedError, "overloaded"),
+    (errors.ServeUnavailableError, "unavailable"),
     (errors.DeadlineExceededError, "deadline_exceeded"),
     (errors.ProtocolError, "bad_request"),
     (errors.SolverError, "solver"),
@@ -97,6 +98,11 @@ def error_from_exception(exc: BaseException) -> ErrorPayload:
             "reason": exc.reason,
             "retry_after_s": exc.retry_after_s,
         }
+    elif isinstance(exc, errors.ServeUnavailableError):
+        detail = {
+            "attempts": exc.attempts,
+            "last_error": exc.last_error,
+        }
     elif isinstance(exc, errors.DeadlineExceededError):
         detail = {"deadline_s": exc.deadline_s}
     elif isinstance(exc, errors.WatchdogResetError):
@@ -123,6 +129,11 @@ def exception_from_error(error: ErrorPayload) -> errors.ReproError:
         return errors.OverloadedError(
             reason=str(error.detail.get("reason", "overloaded")),
             retry_after_s=float(error.detail.get("retry_after_s", 0.0)),
+        )
+    if error.kind == "unavailable":
+        return errors.ServeUnavailableError(
+            attempts=int(error.detail.get("attempts", 1)),
+            last_error=str(error.detail.get("last_error", "")),
         )
     if error.kind == "deadline_exceeded":
         return errors.DeadlineExceededError(

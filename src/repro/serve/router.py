@@ -47,6 +47,11 @@ from ..errors import OverloadedError, ProtocolError, ReproError
 from ..obs.audit import get_audit_log
 from ..obs.registry import get_registry
 from ..obs.tracing import correlation, get_tracer, span
+from ..recovery.journal import (
+    JournaledSharedCache,
+    PlanJournal,
+    replay_into_cache,
+)
 from .client import ServeClient
 from .protocol import (
     Request,
@@ -56,7 +61,8 @@ from .protocol import (
     error_from_exception,
 )
 from .server import JsonLinesListener, ServeConfig
-from .shared_cache import managed_shared_cache
+from .service import qos_key_from_params
+from .shared_cache import managed_shared_cache, request_key
 from .worker import worker_main
 
 
@@ -164,6 +170,15 @@ class RouterConfig:
         drain_timeout_s: bound on the front-end drain at stop.
         serve: the per-worker :class:`ServeConfig` (its host/port are
             overridden to loopback/ephemeral per worker).
+        journal_path: write-ahead journal for the shared plan-cache
+            tier (:mod:`repro.recovery.journal`).  On start the tier
+            is rebuilt from the journal (so a router restart -- or a
+            respawned worker -- starts warm instead of cold), and
+            every subsequent publish is journaled write-ahead.
+        fault_plan: optional :class:`~repro.faults.plan.FaultPlan`
+            whose ``worker_kill_rate`` SIGKILLs the owning worker
+            mid-request (the serve tier's chaos hook); decisions come
+            from the plan's deterministic ``SERVE_STAGE`` clock.
     """
 
     shards: int = 2
@@ -179,6 +194,8 @@ class RouterConfig:
     spawn_timeout_s: float = 120.0
     drain_timeout_s: float = 10.0
     serve: ServeConfig = field(default_factory=ServeConfig)
+    journal_path: Optional[str] = None
+    fault_plan: Optional[Any] = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -220,9 +237,19 @@ class ShardRouter(JsonLinesListener):
         self._manager: Any = None
         self._mp_context: Any = None
         self._health_task: Optional[asyncio.Task] = None
+        self._health_pass_lock: Optional[asyncio.Lock] = None
         self._started = False
         self._draining = False
         self.routed: Dict[int, int] = {}
+        self._fault_clock: Optional[Any] = None
+        self._journal_replay: Optional[Dict[str, int]] = None
+        self.failovers: Dict[str, int] = {
+            "triggered": 0,
+            "retried_ok": 0,
+            "degraded_shared_cache": 0,
+            "degraded_uniform_fallback": 0,
+            "chaos_kills": 0,
+        }
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -233,12 +260,46 @@ class ShardRouter(JsonLinesListener):
         import multiprocessing
 
         self._mp_context = multiprocessing.get_context("spawn")
+        self._health_pass_lock = asyncio.Lock()
+        if self.config.fault_plan is not None:
+            from ..faults.plan import SERVE_STAGE
+
+            self._fault_clock = self.config.fault_plan.clock_for(
+                device_id=0, stage=SERVE_STAGE
+            )
         if self.config.shared_cache_enabled:
             self._manager = self._mp_context.Manager()
             self.shared_cache = managed_shared_cache(
                 self._manager,
                 capacity=self.config.shared_cache_capacity,
             )
+            if self.config.journal_path is not None:
+                # Rebuild the shared tier from the write-ahead journal
+                # *before* any worker connects: a restarted router (or
+                # a worker respawned into it) starts warm.
+                replay = replay_into_cache(
+                    self.config.journal_path, self.shared_cache
+                )
+                self._journal_replay = replay
+                if replay["read"] or replay["dropped_tail"]:
+                    get_audit_log().record(
+                        "recovery.journal",
+                        "replay",
+                        path=self.config.journal_path,
+                        replayed=replay["replayed"],
+                        requests=replay["requests"],
+                        dropped_tail=replay["dropped_tail"],
+                    )
+                if replay["replayed"]:
+                    get_registry().count(
+                        "recovery.journal",
+                        n=float(replay["replayed"]),
+                        event="replayed",
+                    )
+                self.shared_cache = JournaledSharedCache(
+                    self.shared_cache,
+                    PlanJournal(self.config.journal_path),
+                )
         # Launch every worker before waiting on any: startup cost is
         # one import + pipeline warm-up, paid in parallel.
         for worker_id in range(self.config.shards):
@@ -354,13 +415,30 @@ class ShardRouter(JsonLinesListener):
         except (BrokenPipeError, OSError):
             pass
         loop = asyncio.get_running_loop()
-        await loop.run_in_executor(None, lambda: process.join(5.0))
+        grace = min(5.0, self.config.drain_timeout_s)
+        await loop.run_in_executor(None, lambda: process.join(grace))
+        await self._reap(worker)
+
+    async def _reap(self, worker: _Worker) -> None:
+        """Escalate terminate -> kill and *always* join.
+
+        Every exit path funnels here (graceful stop, failed drain,
+        eviction), so a worker that ignores its drain window is
+        SIGKILLed and reaped rather than leaked as a live child or a
+        zombie waiting for the next join.
+        """
+        process = worker.process
+        if process is None:
+            return
+        loop = asyncio.get_running_loop()
         if process.is_alive():
             process.terminate()
             await loop.run_in_executor(None, lambda: process.join(2.0))
-            if process.is_alive():
-                process.kill()
-                await loop.run_in_executor(None, process.join)
+        if process.is_alive():
+            process.kill()
+        # A final unconditional join reaps the exit status whether the
+        # process obeyed SIGTERM, needed SIGKILL, or was already dead.
+        await loop.run_in_executor(None, process.join)
         try:
             worker.conn.close()
         except OSError:
@@ -388,14 +466,18 @@ class ShardRouter(JsonLinesListener):
             reports True; one that exhausted its budget, False).
         """
         verdicts: Dict[int, bool] = {}
-        for worker in list(self._workers.values()):
-            if worker.evicted:
-                verdicts[worker.worker_id] = False
-                continue
-            healthy = await self._probe(worker)
-            if not healthy:
-                healthy = await self._respawn(worker)
-            verdicts[worker.worker_id] = healthy
+        # One pass at a time: concurrent failovers (or the health loop)
+        # must not double-respawn the same worker id.
+        lock = self._health_pass_lock or asyncio.Lock()
+        async with lock:
+            for worker in list(self._workers.values()):
+                if worker.evicted:
+                    verdicts[worker.worker_id] = False
+                    continue
+                healthy = await self._probe(worker)
+                if not healthy:
+                    healthy = await self._respawn(worker)
+                verdicts[worker.worker_id] = healthy
         return verdicts
 
     async def _probe(self, worker: _Worker) -> bool:
@@ -437,13 +519,7 @@ class ShardRouter(JsonLinesListener):
         if worker.client is not None:
             await worker.client.close()
             worker.client = None
-        process = worker.process
-        if process is not None and process.is_alive():
-            process.terminate()
-            loop = asyncio.get_running_loop()
-            await loop.run_in_executor(None, lambda: process.join(2.0))
-            if process.is_alive():
-                process.kill()
+        await self._reap(worker)
         if worker.respawns >= self.config.max_respawns:
             worker.evicted = True
             get_audit_log().record(
@@ -458,6 +534,7 @@ class ShardRouter(JsonLinesListener):
             await self._connect(worker)
         except ReproError:
             worker.evicted = True
+            await self._reap(worker)  # the failed replacement too
             return False
         self.ring.add(worker.worker_id)
         get_registry().count(
@@ -500,7 +577,27 @@ class ShardRouter(JsonLinesListener):
             )
 
     async def _forward(self, request: Request) -> Response:
-        worker = self._owner(request)
+        try:
+            worker = self._owner(request)
+        except OverloadedError as err:
+            return await self._failover(request, None, err)
+        self._maybe_chaos_kill(worker, request)
+        try:
+            return await self._route_to(worker, request)
+        except (ReproError, ConnectionError, OSError) as err:
+            return await self._failover(request, worker, err)
+
+    async def _route_to(
+        self, worker: _Worker, request: Request
+    ) -> Response:
+        client = worker.client
+        if client is None or worker.evicted:
+            # A concurrent failover's health pass reaped this worker
+            # between owner resolution and the call; same treatment as
+            # a dead transport.
+            raise ReproError(
+                f"worker {worker.worker_id} has no live connection"
+            )
         with span(
             "router.route",
             op=request.op,
@@ -512,8 +609,142 @@ class ShardRouter(JsonLinesListener):
             get_registry().count(
                 "router.routed", worker=str(worker.worker_id)
             )
-            response = await worker.client.call(request)
-        return response
+            return await client.call(request)
+
+    def _maybe_chaos_kill(
+        self, worker: _Worker, request: Request
+    ) -> None:
+        """The WORKER_KILL fault: SIGKILL the owner mid-request."""
+        if self._fault_clock is None or request.op not in (
+            "plan",
+            "reprice",
+        ):
+            return
+        if not self._fault_clock.worker_kill():
+            return
+        process = worker.process
+        if process is not None and process.is_alive():
+            process.kill()
+            self.failovers["chaos_kills"] += 1
+            get_registry().count(
+                "router.worker_kills", worker=str(worker.worker_id)
+            )
+            get_audit_log().record(
+                "serve.router",
+                "worker_kill",
+                worker=worker.worker_id,
+                op=request.op,
+            )
+
+    async def _failover(
+        self,
+        request: Request,
+        worker: Optional[_Worker],
+        err: Exception,
+    ) -> Response:
+        """Dead-shard request path: health pass, one retry, degrade.
+
+        A request that hit a dead or evicted shard triggers an
+        *immediate* health pass (evict/respawn, not waiting for the
+        periodic loop), retries exactly once on whichever worker then
+        owns the key (the respawned one, or the survivor the ring
+        reassigned the arc to), and otherwise degrades gracefully --
+        a shared-cache/journal hit or an explicit uniform-fallback
+        plan -- rather than erroring.
+        """
+        self.failovers["triggered"] += 1
+        get_registry().count("router.failovers", op=request.op)
+        get_audit_log().record(
+            "serve.router",
+            "failover",
+            op=request.op,
+            worker=None if worker is None else worker.worker_id,
+            error=str(err),
+        )
+        await self.check_workers()
+        try:
+            retry_worker = self._owner(request)
+        except OverloadedError:
+            retry_worker = None
+        if retry_worker is not None:
+            try:
+                response = await self._route_to(retry_worker, request)
+            except (ReproError, ConnectionError, OSError):
+                pass
+            else:
+                self.failovers["retried_ok"] += 1
+                get_audit_log().record(
+                    "serve.router",
+                    "failover_retry_ok",
+                    op=request.op,
+                    worker=retry_worker.worker_id,
+                )
+                return response
+        return self._degraded(request, err)
+
+    def _degraded(self, request: Request, err: Exception) -> Response:
+        """Last rung of the failover ladder (plan/reprice only).
+
+        Prefers a digest-verified shared-cache hit by *request*
+        identity (the journal-backed index the router can address
+        without a pipeline); otherwise answers with an explicit
+        ``degraded: uniform-fallback`` payload -- the device holds its
+        uniform single-HFO baseline, the one schedule that is always
+        safe -- instead of an error.
+        """
+        if request.op not in ("plan", "reprice"):
+            raise err
+        rk = self._request_identity(request)
+        if rk is not None and self.shared_cache is not None:
+            payload = self.shared_cache.lookup_request(rk)
+            if payload is not None:
+                self.failovers["degraded_shared_cache"] += 1
+                get_registry().count(
+                    "router.degraded", mode="shared-cache"
+                )
+                get_audit_log().record(
+                    "serve.router",
+                    "degraded_serve",
+                    op=request.op,
+                    mode="shared-cache",
+                )
+                return Response.success(
+                    request.id,
+                    {
+                        **payload,
+                        "cached": True,
+                        "degraded": "shared-cache",
+                    },
+                )
+        self.failovers["degraded_uniform_fallback"] += 1
+        get_registry().count("router.degraded", mode="uniform-fallback")
+        get_audit_log().record(
+            "serve.router",
+            "degraded_serve",
+            op=request.op,
+            mode="uniform-fallback",
+        )
+        return Response.success(
+            request.id,
+            {
+                "degraded": "uniform-fallback",
+                "model": request.params.get("model"),
+                "policy": "hold-uniform-baseline",
+                "reason": str(err),
+            },
+        )
+
+    @staticmethod
+    def _request_identity(request: Request) -> Optional[str]:
+        """The shared-cache request key for a request (None if malformed)."""
+        model = request.params.get("model")
+        if not isinstance(model, str) or not model:
+            return None
+        try:
+            qos_key = qos_key_from_params(request.params)
+        except ReproError:
+            return None
+        return request_key(model, qos_key)
 
     def _owner(self, request: Request) -> _Worker:
         if not len(self.ring):
@@ -583,6 +814,15 @@ class ShardRouter(JsonLinesListener):
                     self.shared_cache.stats()
                     if self.shared_cache is not None
                     else None
+                ),
+                "failovers": dict(self.failovers),
+                "journal": (
+                    None
+                    if self.config.journal_path is None
+                    else {
+                        "path": self.config.journal_path,
+                        "replay": self._journal_replay,
+                    }
                 ),
             }
         }

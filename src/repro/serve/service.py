@@ -46,6 +46,7 @@ from ..pipeline import DAEDVFSPipeline, OptimizationResult
 from ..units import MHZ
 from .cache import PlanCache, plan_cache_key
 from .protocol import plan_digest
+from .shared_cache import request_key
 
 #: Models the service will plan for, by wire name.
 MODEL_REGISTRY: Dict[str, Callable[[], Model]] = {
@@ -281,6 +282,10 @@ class PlanService:
                             model=model_name,
                             qos=list(qos_key),
                         )
+                        self.shared_cache.register_request(
+                            request_key(model_name, qos_key),
+                            shared["digest"],
+                        )
                         shared = self.cache.put(key, shared)
                         return {**shared, "cached": True}
             sp.set(cached=False)
@@ -297,6 +302,10 @@ class PlanService:
                 payload = self.cache.put(key, payload)
                 if self.shared_cache is not None:
                     self.shared_cache.publish(key, payload)
+                    self.shared_cache.register_request(
+                        request_key(model_name, qos_key),
+                        payload["digest"],
+                    )
             return {**payload, "cached": False}
 
     def plan_cold(self, model_name: str, qos_key: Tuple) -> Dict[str, Any]:

@@ -39,6 +39,7 @@ import threading
 from typing import Any, Dict, Optional, Tuple
 
 from ..errors import ReproError
+from ..obs.registry import get_registry
 from .protocol import plan_digest
 
 
@@ -64,6 +65,23 @@ def _jsonable(value: Any) -> Any:
     return repr(value)
 
 
+def request_key(model_name: str, qos_key: Tuple) -> str:
+    """Request-identity key for the degraded-serving index.
+
+    Unlike the full plan-cache key this is computable from the wire
+    request alone (no model/board/space fingerprints), which is what
+    lets the *router* -- which owns no pipeline -- serve a shared-cache
+    hit when every worker that could recompute the plan is down.  The
+    QoS value goes through ``repr(float(...))`` so int/float spellings
+    of the same QoS collapse to one entry.
+    """
+    kind, value = qos_key
+    return json.dumps(
+        [str(model_name), [str(kind), repr(float(value))]],
+        separators=(",", ":"),
+    )
+
+
 def _payload_digest(payload: Dict[str, Any]) -> str:
     """The digest a payload claims, verified against its content."""
     claimed = payload.get("digest")
@@ -82,16 +100,35 @@ class _SharedCacheBase:
     """Shared get/put logic over injectable map + lock primitives.
 
     Subclasses provide ``_index`` (wire key -> digest), ``_payloads``
-    (digest -> canonical JSON string), ``_counters`` (str -> int) and
-    ``_lock``; everything else -- digest addressing, verification,
+    (digest -> canonical JSON string), ``_requests`` (request key ->
+    digest, the degraded-serving index), ``_counters`` (str -> int)
+    and ``_lock``; everything else -- digest addressing, verification,
     capacity -- lives here so both tiers behave identically.
     """
 
     capacity: int
     _index: Any
     _payloads: Any
+    _requests: Any
     _counters: Any
     _lock: Any
+
+    def _verified(self, digest: str, raw: str, index: Any, wk: str):
+        """Deserialize + digest-verify stored bytes (None on corrupt)."""
+        payload = json.loads(raw)
+        try:
+            if _payload_digest(payload) != digest:
+                raise ReproError("stored payload does not match address")
+        except ReproError:
+            with self._lock:
+                if index.get(wk) == digest:
+                    del index[wk]
+                self._counters["corrupt"] = (
+                    self._counters.get("corrupt", 0) + 1
+                )
+            get_registry().count("serve.shared_cache", event="corrupt")
+            return None
+        return payload
 
     def lookup(self, key: Tuple) -> Optional[Dict[str, Any]]:
         """The payload published under ``key``, or None.
@@ -109,19 +146,27 @@ class _SharedCacheBase:
                 )
                 return None
             self._counters["hits"] = self._counters.get("hits", 0) + 1
-        payload = json.loads(raw)
-        try:
-            if _payload_digest(payload) != digest:
-                raise ReproError("stored payload does not match address")
-        except ReproError:
-            with self._lock:
-                if self._index.get(wk) == digest:
-                    del self._index[wk]
-                self._counters["corrupt"] = (
-                    self._counters.get("corrupt", 0) + 1
+        return self._verified(digest, raw, self._index, wk)
+
+    def lookup_request(self, rk: str) -> Optional[Dict[str, Any]]:
+        """The payload registered for a *request* key, or None.
+
+        The degraded-serving path: same digest verification as
+        :meth:`lookup`, addressed by the fingerprint-free request
+        identity (:func:`request_key`) the router can compute.
+        """
+        with self._lock:
+            digest = self._requests.get(rk)
+            raw = self._payloads.get(digest) if digest is not None else None
+            if raw is None:
+                self._counters["request_misses"] = (
+                    self._counters.get("request_misses", 0) + 1
                 )
-            return None
-        return payload
+                return None
+            self._counters["request_hits"] = (
+                self._counters.get("request_hits", 0) + 1
+            )
+        return self._verified(digest, raw, self._requests, rk)
 
     def publish(self, key: Tuple, payload: Dict[str, Any]) -> str:
         """Store ``payload`` under ``key``; returns its digest address.
@@ -130,15 +175,25 @@ class _SharedCacheBase:
         left alone (plans are deterministic, so a disagreement would
         mean a corrupt payload, not a newer answer).
         """
+        return self.publish_raw(wire_key(key), payload)
+
+    def publish_raw(self, wk: str, payload: Dict[str, Any]) -> str:
+        """:meth:`publish` addressed by an already-canonical wire key.
+
+        The journal-replay surface: replay stores wire keys, not the
+        fingerprint tuples they came from.
+        """
         digest = _payload_digest(payload)
         raw = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-        wk = wire_key(key)
         with self._lock:
             if wk in self._index:
                 return self._index[wk]
             if len(self._index) >= self.capacity:
                 self._counters["rejected"] = (
                     self._counters.get("rejected", 0) + 1
+                )
+                get_registry().count(
+                    "serve.shared_cache", event="rejected"
                 )
                 return digest
             # Content store first, index last: a reader that sees the
@@ -151,21 +206,45 @@ class _SharedCacheBase:
             )
         return digest
 
+    def register_request(self, rk: str, digest: str) -> None:
+        """Point a request key at a published payload digest."""
+        self.register_request_raw(rk, digest)
+
+    def register_request_raw(self, rk: str, digest: str) -> None:
+        with self._lock:
+            if rk in self._requests:
+                return
+            if len(self._requests) >= self.capacity:
+                return  # same soft bound as the main index
+            self._requests[rk] = digest
+
+    def note_replayed(self, count: int = 1) -> None:
+        """Record journal-replayed publishes (reported by ``stats``)."""
+        with self._lock:
+            self._counters["replayed"] = (
+                self._counters.get("replayed", 0) + count
+            )
+
     def stats(self) -> Dict[str, Any]:
         """Counters plus occupancy (one consistent snapshot)."""
         with self._lock:
             counters = dict(self._counters)
             size = len(self._index)
             payloads = len(self._payloads)
+            requests = len(self._requests)
         return {
             "capacity": self.capacity,
             "size": size,
             "payloads": payloads,
+            "requests": requests,
             "hits": counters.get("hits", 0),
             "misses": counters.get("misses", 0),
+            "request_hits": counters.get("request_hits", 0),
+            "request_misses": counters.get("request_misses", 0),
             "publishes": counters.get("publishes", 0),
             "rejected": counters.get("rejected", 0),
             "corrupt": counters.get("corrupt", 0),
+            "replayed": counters.get("replayed", 0),
         }
 
 
@@ -178,6 +257,7 @@ class LocalSharedCache(_SharedCacheBase):
         self.capacity = capacity
         self._index: Dict[str, str] = {}
         self._payloads: Dict[str, str] = {}
+        self._requests: Dict[str, str] = {}
         self._counters: Dict[str, int] = {}
         self._lock = threading.Lock()
 
@@ -191,12 +271,15 @@ class ManagedSharedCache(_SharedCacheBase):
     manager-side maps.
     """
 
-    def __init__(self, index, payloads, counters, lock, capacity: int):
+    def __init__(
+        self, index, payloads, counters, lock, capacity: int, requests=None
+    ):
         if capacity < 1:
             raise ReproError("shared cache capacity must be >= 1")
         self.capacity = capacity
         self._index = index
         self._payloads = payloads
+        self._requests = requests if requests is not None else {}
         self._counters = counters
         self._lock = lock
 
@@ -209,4 +292,5 @@ def managed_shared_cache(manager, capacity: int = 1024) -> ManagedSharedCache:
         counters=manager.dict(),
         lock=manager.Lock(),
         capacity=capacity,
+        requests=manager.dict(),
     )

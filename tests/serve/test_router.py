@@ -9,6 +9,7 @@ import asyncio
 import pytest
 
 from repro.errors import OverloadedError, ReproError
+from repro.faults import FaultKind, FaultPlan
 from repro.serve import LoadGenConfig, run_loadgen
 from repro.serve.client import InProcessClient
 from repro.serve.router import (
@@ -276,6 +277,226 @@ class TestRouterChurn:
         assert health["ok"] is False  # fleet degraded
         assert stats["router"]["evicted_workers"] == [victim]
         assert stats["router"]["live_workers"] == 1
+
+
+class TestRouterStop:
+    def test_stop_reaps_every_worker_process(self):
+        """No zombie children after stop: every spawned process is
+        joined and the bookkeeping slot cleared."""
+
+        async def scenario():
+            router = make_router()
+            await router.start()
+            procs = [w.process for w in router._workers.values()]
+            assert all(p.is_alive() for p in procs)
+            await router.stop()
+            return procs, [w.process for w in router._workers.values()]
+
+        procs, after = run(scenario())
+        assert len(procs) == 2
+        for process in procs:
+            assert not process.is_alive()
+            assert process.exitcode is not None  # joined, not zombied
+        assert after == [None, None]
+
+    def test_stop_reaps_a_worker_that_died_mid_flight(self):
+        """A worker SIGKILLed before stop cannot drain; stop must
+        still join it rather than hang or leak."""
+
+        async def scenario():
+            router = make_router()
+            await router.start()
+            procs = [w.process for w in router._workers.values()]
+            procs[0].kill()
+            await router.stop()
+            return procs
+
+        for process in run(scenario()):
+            assert not process.is_alive()
+            assert process.exitcode is not None
+
+
+class TestRouterFailover:
+    def test_dead_shard_fails_over_on_the_request_path(self):
+        """No manual ``check_workers()``: the request that hits the
+        dead shard runs the health pass and retry itself."""
+
+        async def scenario():
+            router = make_router(max_respawns=2, health_timeout_s=30.0)
+            await router.start()
+            try:
+                client = InProcessClient(router, client_id="t")
+                before = await client.request(
+                    "plan", model="tiny", qos_percent=30.0
+                )
+                owner = max(
+                    router.routed, key=lambda w: router.routed[w]
+                )
+                process = router._workers[owner].process
+                process.kill()
+                process.join(5)
+                after = await client.request(
+                    "plan", model="tiny", qos_percent=30.0
+                )
+                stats = await router.stats()
+                return owner, before, after, stats
+            finally:
+                await router.stop()
+
+        owner, before, after, stats = run(scenario())
+        assert after["digest"] == before["digest"]
+        failovers = stats["router"]["failovers"]
+        assert failovers["triggered"] >= 1
+        assert failovers["retried_ok"] >= 1
+        assert stats["router"]["respawns"] == {str(owner): 1}
+        assert stats["router"]["live_workers"] == 2
+
+    def test_degraded_ladder_shared_cache_then_uniform_fallback(self):
+        """Every worker gone: a known request identity serves the
+        digest-verified shared-cache hit; an unknown one gets the
+        explicit uniform-fallback payload, never an error."""
+
+        async def scenario():
+            router = make_router(
+                shards=1, max_respawns=0, health_timeout_s=30.0
+            )
+            await router.start()
+            try:
+                client = InProcessClient(router, client_id="t")
+                warm = await client.request(
+                    "plan", model="tiny", qos_percent=30.0
+                )
+                process = router._workers[0].process
+                process.kill()
+                process.join(5)
+                degraded = await client.request(
+                    "plan", model="tiny", qos_percent=30.0
+                )
+                fallback = await client.request(
+                    "plan", model="tiny", qos_percent=50.0
+                )
+                stats = await router.stats()
+                return warm, degraded, fallback, stats
+            finally:
+                await router.stop()
+
+        warm, degraded, fallback, stats = run(scenario())
+        assert degraded["degraded"] == "shared-cache"
+        assert degraded["cached"] is True
+        assert degraded["digest"] == warm["digest"]
+        assert fallback["degraded"] == "uniform-fallback"
+        assert fallback["policy"] == "hold-uniform-baseline"
+        assert fallback["model"] == "tiny"
+        failovers = stats["router"]["failovers"]
+        assert failovers["degraded_shared_cache"] >= 1
+        assert failovers["degraded_uniform_fallback"] >= 1
+        assert stats["router"]["evicted_workers"] == [0]
+
+    def test_non_plan_ops_do_not_degrade_silently(self):
+        """The degraded ladder is for plan/reprice only: telemetry
+        against a dead fleet surfaces a typed error."""
+
+        async def scenario():
+            router = make_router(
+                shards=1, max_respawns=0, health_timeout_s=30.0
+            )
+            await router.start()
+            try:
+                client = InProcessClient(router, client_id="t")
+                await client.request(
+                    "plan", model="tiny", qos_percent=30.0
+                )
+                process = router._workers[0].process
+                process.kill()
+                process.join(5)
+                with pytest.raises((ReproError, OverloadedError)):
+                    await client.request(
+                        "telemetry", model="tiny", qos_percent=30.0
+                    )
+            finally:
+                await router.stop()
+
+        run(scenario())
+
+    def test_scheduled_worker_kill_is_transparent_to_the_client(self):
+        """The chaos hook: a pinned WORKER_KILL SIGKILLs the owner on
+        the first plan opportunity; the failover ladder still answers
+        with the canonical digest."""
+
+        async def scenario():
+            router = make_router(
+                max_respawns=2,
+                health_timeout_s=30.0,
+                fault_plan=FaultPlan(
+                    seed=11,
+                    scheduled=((FaultKind.WORKER_KILL, 0),),
+                ),
+            )
+            await router.start()
+            try:
+                client = InProcessClient(router, client_id="t")
+                killed = await client.request(
+                    "plan", model="tiny", qos_percent=30.0
+                )
+                clean = await client.request(
+                    "plan", model="tiny", qos_percent=30.0
+                )
+                stats = await router.stats()
+                return killed, clean, stats
+            finally:
+                await router.stop()
+
+        killed, clean, stats = run(scenario())
+        assert killed["digest"] == clean["digest"]
+        failovers = stats["router"]["failovers"]
+        assert failovers["chaos_kills"] == 1
+        assert failovers["triggered"] >= 1
+
+
+class TestRouterJournal:
+    def test_journal_replays_into_a_restarted_router(self, tmp_path):
+        """Crash-restart warmth: a second router over the same journal
+        rebuilds the shared tier and serves the first router's plan
+        bytes without a cold solve."""
+
+        path = str(tmp_path / "serve.journal")
+
+        async def first():
+            router = make_router(journal_path=path)
+            await router.start()
+            try:
+                client = InProcessClient(router, client_id="t")
+                return await client.request(
+                    "plan", model="tiny", qos_percent=30.0
+                )
+            finally:
+                await router.stop()
+
+        async def second():
+            router = make_router(journal_path=path)
+            await router.start()
+            try:
+                client = InProcessClient(router, client_id="t")
+                result = await client.request(
+                    "plan", model="tiny", qos_percent=30.0
+                )
+                stats = await router.stats()
+                return result, stats
+            finally:
+                await router.stop()
+
+        cold = run(first())
+        assert cold.get("cached") is False
+        warm, stats = run(second())
+        assert warm["cached"] is True
+        assert warm["digest"] == cold["digest"]
+        journal = stats["router"]["journal"]
+        assert journal["path"] == path
+        assert journal["replay"]["replayed"] >= 1
+        assert journal["replay"]["requests"] >= 1
+        # The warm hit came from the rebuilt tier, not a re-solve.
+        assert stats["router"]["shared_cache"]["replayed"] >= 1
+        assert stats["router"]["shared_cache"]["misses"] == 0
 
 
 class TestShardedLoadgen:

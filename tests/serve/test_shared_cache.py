@@ -6,12 +6,14 @@ import multiprocessing
 import pytest
 
 from repro.errors import ReproError
+from repro.obs.registry import get_registry
 from repro.serve.protocol import plan_digest
 from repro.serve.service import PlanService
 from repro.serve.shared_cache import (
     LocalSharedCache,
     ManagedSharedCache,
     managed_shared_cache,
+    request_key,
     wire_key,
 )
 
@@ -110,6 +112,96 @@ class TestLocalSharedCache:
         assert stats["publishes"] == 1
         assert stats["size"] == 1
         assert stats["payloads"] == 1
+
+
+class TestRequestIndex:
+    """The fingerprint-free degraded-serving index."""
+
+    def test_request_key_collapses_qos_spellings(self):
+        assert request_key("tiny", ("percent", 30)) == request_key(
+            "tiny", ("percent", 30.0)
+        )
+        assert request_key("tiny", ("percent", 30.0)) != request_key(
+            "tiny", ("percent", 50.0)
+        )
+        assert request_key("tiny", ("percent", 30.0)) != request_key(
+            "mbv2", ("percent", 30.0)
+        )
+
+    def test_register_then_lookup_serves_the_payload(self):
+        tier = LocalSharedCache()
+        payload = make_payload()
+        digest = tier.publish(KEY, payload)
+        rk = request_key("tiny", ("percent", 30.0))
+        assert tier.lookup_request(rk) is None  # miss before register
+        tier.register_request(rk, digest)
+        assert tier.lookup_request(rk) == payload
+        stats = tier.stats()
+        assert stats["requests"] == 1
+        assert stats["request_hits"] == 1
+        assert stats["request_misses"] == 1
+
+    def test_first_registration_wins(self):
+        tier = LocalSharedCache()
+        first = make_payload(1.0)
+        tier.publish(KEY, first)
+        other = make_payload(2.0)
+        tier.publish(OTHER, other)
+        rk = request_key("tiny", ("percent", 30.0))
+        tier.register_request(rk, first["digest"])
+        tier.register_request(rk, other["digest"])  # ignored
+        assert tier.lookup_request(rk) == first
+
+    def test_corrupt_registered_payload_is_a_miss(self):
+        """The degraded path never serves bytes that fail digest
+        verification, even via the request index."""
+        tier = LocalSharedCache()
+        payload = make_payload()
+        digest = tier.publish(KEY, payload)
+        rk = request_key("tiny", ("percent", 30.0))
+        tier.register_request(rk, digest)
+        tier._payloads[digest] = json.dumps(
+            {**payload, "plan": [999.0]}, sort_keys=True
+        )
+        assert tier.lookup_request(rk) is None
+        assert rk not in tier._requests  # entry dropped
+
+
+class TestCorruptionMetrics:
+    """Torn shared-cache bytes must be *observable*, not just a miss."""
+
+    def test_corrupt_drop_increments_the_obs_counter(self):
+        registry = get_registry()
+        before = registry.counter_value(
+            "serve.shared_cache", event="corrupt"
+        )
+        tier = LocalSharedCache()
+        payload = make_payload()
+        digest = tier.publish(KEY, payload)
+        # Flip one byte of the stored canonical JSON.
+        raw = tier._payloads[digest]
+        flip = raw.index('"plan"')
+        tier._payloads[digest] = (
+            raw[:flip] + '"plAn"' + raw[flip + len('"plan"'):]
+        )
+        assert tier.lookup(KEY) is None
+        after = registry.counter_value(
+            "serve.shared_cache", event="corrupt"
+        )
+        assert after == before + 1
+
+    def test_capacity_rejection_increments_the_obs_counter(self):
+        registry = get_registry()
+        before = registry.counter_value(
+            "serve.shared_cache", event="rejected"
+        )
+        tier = LocalSharedCache(capacity=1)
+        tier.publish(KEY, make_payload(1.0))
+        tier.publish(OTHER, make_payload(2.0))
+        after = registry.counter_value(
+            "serve.shared_cache", event="rejected"
+        )
+        assert after == before + 1
 
 
 class TestManagedSharedCache:
