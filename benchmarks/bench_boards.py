@@ -1,0 +1,154 @@
+"""Performance and determinism harness for the board registry.
+
+Three stages, all on the paper's VWW model:
+
+* ``optimize[<board>]`` -- cold single-device planning cost on every
+  registered target, proving each descriptor drives the full pipeline;
+* ``het_fleet[run_a|run_b]`` -- the same seeded heterogeneous fleet
+  (an F767 / MCXN947 / N6 mix) planned twice; the acceptance gate
+  asserts the two aggregated reports are **byte-identical** (same
+  board assignment, same plans, same digest) before any timing is
+  trusted;
+* ``crossboard`` -- the cross-board DSE report ("which board meets
+  this QoS at least energy?") run twice, digest-matched.
+
+Writes ``BENCH_boards.json`` at the repo root with one uniform
+measured / threshold / enforced / ``gate_reason`` record per gate
+(see ``_gating.py``).  Run standalone (CI smoke does exactly this)::
+
+    PYTHONPATH=src python benchmarks/bench_boards.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from _gating import enforce_gates, gate_record, print_gates
+from repro.boards import board_names, build_board, cross_board_report
+from repro.fleet import FleetScheduler, aggregate_fleet, sample_fleet
+from repro.nn import build_vww
+from repro.optimize import QoSLevel
+from repro.pipeline import DAEDVFSPipeline
+
+OUTPUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_boards.json"
+
+#: The heterogeneous mix exercised by the determinism gate: the paper
+#: board plus both new calibrated targets.
+MIX = ("nucleo-f767zi", "frdm-mcxn947", "nucleo-n657x0")
+
+FLEET_SIZE = 12
+SEED = 0
+QOS = QoSLevel(name="30%", slack=0.30)
+
+
+def run_het_fleet(model):
+    """One pooled pass over the seeded heterogeneous fleet."""
+    fleet = sample_fleet(FLEET_SIZE, seed=SEED, boards=list(MIX))
+    scheduler = FleetScheduler(model, qos_level=QOS, max_workers=4)
+    start = time.perf_counter()
+    results = scheduler.run(fleet, pooled=True)
+    wall = time.perf_counter() - start
+    qos_s = next(r.optimized.qos_s for r in results if r.error is None)
+    report = aggregate_fleet(model, qos_s, results)
+    # Byte-level identity is the gate, not just the digest: serialize
+    # the whole report the same way the CLI --json path does.
+    blob = json.dumps(report.to_dict(), sort_keys=True)
+    return wall, report, blob
+
+
+def main():
+    model = build_vww()
+    stages = {}
+
+    # Stage 1: every registered board plans the model end to end.
+    planned = 0
+    for name in board_names():
+        pipeline = DAEDVFSPipeline(board=build_board(name))
+        start = time.perf_counter()
+        result = pipeline.optimize(model, qos_level=QOS)
+        wall = time.perf_counter() - start
+        planned += 1
+        stages[f"optimize[{name}]"] = {
+            "wall_s": wall,
+            "energy_j": result.plan.predicted_energy_j,
+            "qos_s": result.qos_s,
+        }
+
+    # Stage 2: heterogeneous-fleet determinism (the headline gate).
+    wall_a, report_a, blob_a = run_het_fleet(model)
+    wall_b, report_b, blob_b = run_het_fleet(model)
+    hist = report_a.board_hist()
+    stages["het_fleet[run_a]"] = {
+        "wall_s": wall_a,
+        "devices": FLEET_SIZE,
+        "devices_per_s": FLEET_SIZE / wall_a,
+    }
+    stages["het_fleet[run_b]"] = {
+        "wall_s": wall_b,
+        "devices": FLEET_SIZE,
+        "devices_per_s": FLEET_SIZE / wall_b,
+    }
+
+    # Stage 3: the cross-board DSE report, digest-matched across runs.
+    start = time.perf_counter()
+    cross_a = cross_board_report(model, qos_percent=30.0)
+    cross_wall = time.perf_counter() - start
+    cross_b = cross_board_report(model, qos_percent=30.0)
+    stages["crossboard"] = {
+        "wall_s": cross_wall,
+        "winner": cross_a["winner"],
+        "boards": len(cross_a["boards"]),
+    }
+
+    gates = {
+        "boards_planned": gate_record(
+            planned, len(MIX), comparator=">=", mix=list(MIX)
+        ),
+        "het_fleet_bytes_identical": gate_record(
+            blob_a == blob_b,
+            True,
+            comparator="==",
+            seed=SEED,
+            devices=FLEET_SIZE,
+            digest=report_a.digest(),
+        ),
+        "het_fleet_all_boards_present": gate_record(
+            len(hist), len(MIX), comparator="==", board_hist=hist
+        ),
+        "crossboard_digest_match": gate_record(
+            cross_a["digest"] == cross_b["digest"],
+            True,
+            comparator="==",
+            winner=cross_a["winner"],
+        ),
+    }
+    enforce_gates(gates)
+
+    stages["_meta"] = {
+        "model": "vww",
+        "mix": list(MIX),
+        "fleet_size": FLEET_SIZE,
+        "seed": SEED,
+        "boards": board_names(),
+        "board_hist": hist,
+        "het_fleet_digest": report_a.digest(),
+        "crossboard_winner": cross_a["winner"],
+        "crossboard_digest": cross_a["digest"],
+        "gates": gates,
+    }
+    OUTPUT.write_text(json.dumps(stages, indent=2, sort_keys=True) + "\n")
+
+    print(f"wrote {OUTPUT}")
+    for stage in sorted(s for s in stages if s != "_meta"):
+        entry = stages[stage]
+        print(f"{stage:28s} {entry['wall_s'] * 1e3:9.2f} ms")
+    print(f"heterogeneous fleet digest: {report_a.digest()}")
+    print(f"cross-board winner: {cross_a['winner']}")
+    print_gates(gates)
+    return stages
+
+
+if __name__ == "__main__":
+    main()

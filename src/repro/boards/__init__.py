@@ -1,0 +1,45 @@
+"""repro.boards: the multi-board backend registry.
+
+The library historically modelled exactly one target, the paper's
+STM32F767ZI Nucleo.  This package generalises the hardware description
+behind a registry of :class:`BoardSpec` descriptors -- clock tree and
+PLL constraints, voltage/frequency operating points, power-model
+coefficients, core timing, memory/cache geometry and an optional NPU
+offload map -- so pipelines, fleets, scenarios and the serve tier can
+plan for heterogeneous targets.
+
+Entry points::
+
+    from repro.boards import build_board, board_names, get_spec
+
+    board = build_board("nucleo-n657x0")   # fresh stateful Board
+    spec = get_spec("frdm-mcxn947")        # immutable descriptor
+
+The default (``DEFAULT_BOARD``) stays the F767; building it delegates
+to the legacy factory so existing plans remain digest-identical.
+"""
+
+from .registry import (
+    DEFAULT_BOARD,
+    board_names,
+    build_board,
+    get_spec,
+    iter_specs,
+    register,
+)
+from .spec import BoardSpec
+
+# Importing targets populates the registry with the built-in boards.
+from . import targets as _targets  # noqa: F401
+from .crossboard import cross_board_report
+
+__all__ = [
+    "BoardSpec",
+    "DEFAULT_BOARD",
+    "board_names",
+    "build_board",
+    "cross_board_report",
+    "get_spec",
+    "iter_specs",
+    "register",
+]

@@ -1,0 +1,67 @@
+"""The board registry: name -> :class:`~repro.boards.spec.BoardSpec`.
+
+A flat, import-time-populated mapping.  :mod:`repro.boards.targets`
+registers the built-in targets when the package is imported; tests and
+downstream users can :func:`register` additional specs (e.g. device
+variants for sensitivity sweeps).
+
+``DEFAULT_BOARD`` is the paper's STM32F767ZI Nucleo: every entry point
+that takes an optional board name falls back to it, which keeps the
+whole pre-registry CLI surface (and its digests) unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import BoardError
+from ..mcu.board import Board
+from .spec import BoardSpec
+
+#: Registry key of the paper's default target.
+DEFAULT_BOARD = "nucleo-f767zi"
+
+_REGISTRY: Dict[str, BoardSpec] = {}
+
+
+def register(spec: BoardSpec, replace: bool = False) -> BoardSpec:
+    """Add a spec to the registry.
+
+    Args:
+        spec: the descriptor to register under ``spec.name``.
+        replace: allow overwriting an existing entry (tests and
+            sensitivity sweeps); a silent overwrite is otherwise an
+            error because two modules would disagree about a name.
+    """
+    if spec.name in _REGISTRY and not replace:
+        raise BoardError(f"board {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def board_names() -> List[str]:
+    """Registered board names, registration order."""
+    return list(_REGISTRY)
+
+
+def iter_specs() -> List[BoardSpec]:
+    """Registered specs, registration order."""
+    return list(_REGISTRY.values())
+
+
+def get_spec(name: str) -> BoardSpec:
+    """Look up a spec by name.
+
+    Raises:
+        BoardError: unknown name; the message lists known boards.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise BoardError(f"unknown board {name!r} (known: {known})") from None
+
+
+def build_board(name: str = DEFAULT_BOARD) -> Board:
+    """Materialise a fresh :class:`Board` for ``name``."""
+    return get_spec(name).build()

@@ -1,0 +1,280 @@
+"""Built-in board targets.
+
+Four registered targets span three core generations:
+
+* ``nucleo-f767zi`` -- the paper's Cortex-M7 STM32F767ZI Nucleo.  The
+  default: its spec delegates to
+  :func:`~repro.mcu.board.make_nucleo_f767zi` and carries no
+  :class:`~repro.clock.limits.ClockTreeLimits` override, so every
+  plan, fleet report and scenario digest stays byte-identical to the
+  pre-registry library (pinned by ``tests/boards/test_golden.py``).
+* ``nucleo-f746zg`` -- the F7 sibling with a 4 KB L1 data cache and a
+  leakier corner (portability study E17).
+* ``frdm-mcxn947`` -- a Cortex-M33-class NXP MCXN947 at 150 MHz: a
+  slower single-issue core, a smaller cache, its own PLL tree and VOS
+  ladder.  Timing anchored to MLPerf Tiny-style measurements (~3.5
+  cycles/int8-MAC end to end on person-detection workloads).
+* ``nucleo-n657x0`` -- a Cortex-M55 STM32N6 at up to 800 MHz with a
+  Neural-ART NPU.  The M55's MVE dual-beat MACs price well under one
+  cycle/MAC; flash-less, so the CPU path streams weights from external
+  serial memory (the large ``fixed_latency_s``), which is exactly why
+  the NPU offload map matters.  NPU-mapped layers price as
+  frequency-insensitive fixed-latency segments
+  (:class:`~repro.mcu.npu.NPUModel`).
+
+Constants for the two new targets are calibrated to public datasheet /
+benchmark orders of magnitude, not bench measurements; they are
+deliberately easy to override via :func:`~repro.boards.registry.register`
+with ``replace=True``.
+"""
+
+from __future__ import annotations
+
+from ..clock.limits import ClockTreeLimits
+from ..mcu.board import Board, make_nucleo_f746zg, make_nucleo_f767zi
+from ..mcu.cache import CacheModel
+from ..mcu.core import CoreTimingParams
+from ..mcu.memory import MemoryMap, MemoryRegion
+from ..mcu.npu import NPUModel
+from ..power.model import PowerModelParams
+from ..units import GHZ, MHZ, kib, ns, us
+from .registry import register
+from .spec import BoardSpec
+
+
+def _build_f767zi(spec: BoardSpec, power_params=None) -> Board:
+    # The legacy factory, untouched: limits=None, space_factory=None,
+    # so the default board keeps its pre-registry digests bit-for-bit.
+    return make_nucleo_f767zi(power_params=power_params)
+
+
+def _build_f746zg(spec: BoardSpec, power_params=None) -> Board:
+    return make_nucleo_f746zg(power_params=power_params)
+
+
+NUCLEO_F767ZI = register(
+    BoardSpec(
+        name="nucleo-f767zi",
+        title="ST Nucleo-F767ZI (STM32F767ZI)",
+        core="cortex-m7",
+        family="stm32f7",
+        description=(
+            "The paper's target: Cortex-M7 at up to 216 MHz, 16 KB L1 "
+            "data cache, 2 MiB flash + 512 KiB SRAM, 50 MHz HSE feeding "
+            "the Sec. III-B PLL grid."
+        ),
+        calibration=(
+            "Power and timing constants calibrated against the paper's "
+            "reported ratios (tests/test_calibration.py)."
+        ),
+        builder=_build_f767zi,
+    )
+)
+
+NUCLEO_F746ZG = register(
+    BoardSpec(
+        name="nucleo-f746zg",
+        title="ST Nucleo-F746ZG (STM32F746ZG)",
+        core="cortex-m7",
+        family="stm32f7",
+        description=(
+            "F7 sibling for the portability study: same 216 MHz ceiling, "
+            "4 KB L1 data cache and a slightly leakier process corner."
+        ),
+        calibration="F767 constants with leakage raised to 9 mW; 4 KB cache.",
+        power_params=PowerModelParams().scaled(p_mcu_leakage_w=0.009),
+        cache=CacheModel(capacity_bytes=4 * 1024),
+        builder=_build_f746zg,
+    )
+)
+
+
+# --- NXP FRDM-MCXN947 (Cortex-M33 class) -------------------------------
+
+MCXN947_LIMITS = ClockTreeLimits(
+    name="mcxn947",
+    hse_min_hz=1 * MHZ,
+    hse_max_hz=32 * MHZ,
+    hsi_hz=12 * MHZ,  # FRO-12M internal failsafe oscillator
+    pllm_min=1,
+    pllm_max=32,
+    plln_min=4,
+    plln_max=300,
+    pllp_values=(1, 2, 4, 8),
+    vco_input_min_hz=1 * MHZ,
+    vco_input_max_hz=3 * MHZ,
+    vco_output_min_hz=60 * MHZ,
+    vco_output_max_hz=300 * MHZ,
+    sysclk_max_hz=150 * MHZ,
+    pll_lock_time_s=us(100),
+)
+
+FRDM_MCXN947 = register(
+    BoardSpec(
+        name="frdm-mcxn947",
+        title="NXP FRDM-MCXN947 (MCX N947)",
+        core="cortex-m33",
+        family="mcxn9",
+        description=(
+            "Cortex-M33 class target at up to 150 MHz: single-issue "
+            "integer MACs, 8 KB code/data cache, 2 MiB flash + 512 KiB "
+            "SRAM, 24 MHz crystal.  A slower, lower-power point that "
+            "stresses the QoS-feasibility side of cross-board DSE."
+        ),
+        calibration=(
+            "~3.5 cycles/int8-MAC end to end (MLPerf Tiny person-detect "
+            "class measurements on MCUXpresso kernels); VOS ladder and "
+            "power split scaled from datasheet run-mode currents."
+        ),
+        limits=MCXN947_LIMITS,
+        lfo_hz=24 * MHZ,
+        hse_hz=24 * MHZ,
+        # PLLM 12 -> 2 MHz comparator, PLLM 24 -> 1 MHz: iso-frequency
+        # pairs with different VCO speeds, the Fig. 2 structure.
+        plln_values=(50, 60, 75, 100, 125, 150, 200, 250, 300),
+        pllm_values=(12, 24),
+        pllp=2,
+        power_params=PowerModelParams(
+            p_board_static_w=0.015,
+            p_mcu_leakage_w=0.004,
+            k_core_w_per_hz=0.55e-9,
+            p_pll_base_w=0.006,
+            k_vco_w_per_hz=2.0e-10,
+            k_hse_w_per_hz=1.0e-10,
+            p_hsi_w=0.010,
+            p_gated_w=0.008,
+            p_stop_w=0.0008,
+            stop_wakeup_s=90e-6,
+            vos_steps=((50 * MHZ, 1.00), (100 * MHZ, 1.10), (150 * MHZ, 1.20)),
+            v_ref=1.20,
+        ),
+        timing_params=CoreTimingParams(
+            cycles_per_mac_depthwise=4.1,
+            cycles_per_mac_pointwise=2.6,
+            cycles_per_mac_conv=3.2,
+            cycles_per_buffer_byte=1.1,
+            cycles_per_output_byte=0.9,
+            loop_overhead_cycles=18.0,
+        ),
+        cache=CacheModel(capacity_bytes=8 * 1024),
+        memory_map=MemoryMap(
+            flash=MemoryRegion(
+                name="flash",
+                size_bytes=2 * kib(1024),
+                line_bytes=32,
+                fixed_latency_s=ns(60),
+                cycles_per_line=1.0,
+            ),
+            sram=MemoryRegion(
+                name="sram",
+                size_bytes=kib(512),
+                line_bytes=4,
+                fixed_latency_s=ns(16),
+                cycles_per_line=1.0,
+            ),
+        ),
+    )
+)
+
+
+# --- ST Nucleo-N657X0 (Cortex-M55 + Neural-ART NPU) ---------------------
+
+STM32N6_LIMITS = ClockTreeLimits(
+    name="stm32n6",
+    hse_min_hz=4 * MHZ,
+    hse_max_hz=50 * MHZ,
+    hsi_hz=64 * MHZ,  # the N6 HSI runs at 64 MHz
+    pllm_min=1,
+    pllm_max=63,
+    plln_min=10,
+    plln_max=800,
+    pllp_values=(1, 2, 4),
+    vco_input_min_hz=1 * MHZ,
+    vco_input_max_hz=2 * MHZ,
+    vco_output_min_hz=400 * MHZ,
+    vco_output_max_hz=1600 * MHZ,
+    sysclk_max_hz=800 * MHZ,
+    pll_lock_time_s=us(120),
+)
+
+NUCLEO_N657X0 = register(
+    BoardSpec(
+        name="nucleo-n657x0",
+        title="ST Nucleo-N657X0-Q (STM32N657X0)",
+        core="cortex-m55",
+        family="stm32n6",
+        description=(
+            "Cortex-M55 at up to 800 MHz with the Neural-ART NPU: "
+            "MVE dual-beat MACs on the CPU path, 4.2 MB contiguous "
+            "SRAM, no internal flash (weights stream from external "
+            "serial memory), 48 MHz crystal.  NPU-mapped layers price "
+            "as frequency-insensitive fixed-latency segments."
+        ),
+        calibration=(
+            "NPU: ~600 GOPS (300 MACs/cycle class) at ~3 TOPS/W -> "
+            "0.2 W active; CPU-path flash latency models the external "
+            "serial-NOR penalty the N6 pays without the NPU."
+        ),
+        limits=STM32N6_LIMITS,
+        lfo_hz=48 * MHZ,
+        hse_hz=48 * MHZ,
+        # PLLM 24 -> 2 MHz comparator (VCO = 2*PLLN), PLLM 48 -> 1 MHz:
+        # again iso-frequency pairs at different VCO speeds.
+        plln_values=(200, 240, 300, 400, 480, 600, 800),
+        pllm_values=(24, 48),
+        pllp=2,
+        power_params=PowerModelParams(
+            p_board_static_w=0.040,
+            p_mcu_leakage_w=0.020,
+            k_core_w_per_hz=0.45e-9,
+            p_pll_base_w=0.012,
+            k_vco_w_per_hz=1.2e-10,
+            k_hse_w_per_hz=1.0e-10,
+            p_hsi_w=0.022,
+            p_gated_w=0.020,
+            p_stop_w=0.003,
+            stop_wakeup_s=150e-6,
+            vos_steps=(
+                (200 * MHZ, 0.78),
+                (400 * MHZ, 0.82),
+                (600 * MHZ, 0.86),
+                (800 * MHZ, 0.90),
+            ),
+            v_ref=0.90,
+        ),
+        timing_params=CoreTimingParams(
+            cycles_per_mac_depthwise=0.9,
+            cycles_per_mac_pointwise=0.55,
+            cycles_per_mac_conv=0.7,
+            cycles_per_buffer_byte=0.45,
+            cycles_per_output_byte=0.4,
+            loop_overhead_cycles=12.0,
+        ),
+        cache=CacheModel(capacity_bytes=32 * 1024),
+        memory_map=MemoryMap(
+            flash=MemoryRegion(
+                # No internal flash: this region models the external
+                # octo-SPI serial NOR the CPU path streams weights from.
+                name="flash",
+                size_bytes=8 * kib(1024),
+                line_bytes=32,
+                fixed_latency_s=ns(120),
+                cycles_per_line=2.0,
+            ),
+            sram=MemoryRegion(
+                name="sram",
+                size_bytes=kib(4300),  # 4.2 MB contiguous SRAM
+                line_bytes=4,
+                fixed_latency_s=ns(10),
+                cycles_per_line=1.0,
+            ),
+        ),
+        npu=NPUModel(
+            name="neural-art",
+            macs_per_cycle=300.0,
+            clock_hz=1 * GHZ,
+            active_power_w=0.2,
+            dispatch_overhead_s=us(25),
+        ),
+    )
+)

@@ -15,6 +15,9 @@ Exposes the end-to-end flow without writing Python::
     repro-dvfs loadgen --requests 64 --concurrency 8 --json -
     repro-dvfs plan tiny --qos-percent 30 --trace plan.trace.json
     repro-dvfs obs plan.trace.jsonl --chrome plan.chrome.json
+    repro-dvfs boards --show nucleo-n657x0 --json
+    repro-dvfs crossboard tiny --qos-percent 30 --json
+    repro-dvfs fleet --devices 64 --board nucleo-f767zi --board nucleo-n657x0
 
 Model names: ``vww``, ``pd``, ``mbv2`` (the paper's suite) and
 ``tiny`` (a small test CNN).
@@ -188,7 +191,14 @@ def cmd_summary(args: argparse.Namespace) -> int:
 
 def cmd_optimize(args: argparse.Namespace) -> int:
     model = _build_model(args.model)
-    pipeline = DAEDVFSPipeline(solver=args.solver)
+    if getattr(args, "board", None):
+        from .boards import build_board
+
+        pipeline = DAEDVFSPipeline(
+            board=build_board(args.board), solver=args.solver
+        )
+    else:
+        pipeline = DAEDVFSPipeline(solver=args.solver)
     result = pipeline.optimize(
         model, qos_level=_qos_level(args), qos_s=_qos_seconds(args)
     )
@@ -224,6 +234,10 @@ def cmd_optimize(args: argparse.Namespace) -> int:
             "harmonized": bool(args.harmonize),
             "plan": plan_to_dict(plan),
         }
+        # Key present only under --board: default payloads (and their
+        # pinned digests) are unchanged by the board registry.
+        if getattr(args, "board", None):
+            payload["board"] = args.board
         payload["digest"] = plan_digest(payload)
         _emit_json(args, payload)
     return 0
@@ -364,6 +378,121 @@ def cmd_hotspots(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_boards(args: argparse.Namespace) -> int:
+    from .boards import DEFAULT_BOARD, board_names, get_spec
+
+    if args.show:
+        spec = get_spec(args.show)
+        data = spec.to_dict()
+        data["digest"] = spec.digest()
+        data["default"] = spec.name == DEFAULT_BOARD
+        if _json_mode(args):
+            _emit_json(args, data)
+            return 0
+        print(f"{spec.name}: {spec.title}")
+        print(f"  core {spec.core}, family {spec.family}")
+        print(f"  {spec.description}")
+        ladder = ", ".join(
+            f"{hz / 1e6:g}" for hz in spec.sysclk_ladder_hz()
+        )
+        print(
+            f"  LFO {spec.lfo_hz / 1e6:g} MHz, HFO ladder"
+            f" [{ladder}] MHz"
+        )
+        if spec.npu is not None:
+            print(
+                f"  NPU {spec.npu.name}:"
+                f" {spec.npu.throughput_gops():.0f} GOPS @"
+                f" {spec.npu.active_power_w * 1e3:g} mW"
+            )
+        if spec.calibration:
+            print(f"  calibration: {spec.calibration}")
+        print(f"  digest: {spec.digest()}")
+        return 0
+    rows = []
+    for name in board_names():
+        spec = get_spec(name)
+        ladder = spec.sysclk_ladder_hz()
+        rows.append(
+            {
+                "name": spec.name,
+                "title": spec.title,
+                "core": spec.core,
+                "family": spec.family,
+                "sysclk_max_mhz": max(ladder) / 1e6 if ladder else 0.0,
+                "npu": spec.npu.name if spec.npu is not None else None,
+                "default": spec.name == DEFAULT_BOARD,
+                "digest": spec.digest(),
+            }
+        )
+    if _json_mode(args):
+        _emit_json(args, {"default": DEFAULT_BOARD, "boards": rows})
+        return 0
+    for row in rows:
+        mark = "*" if row["default"] else " "
+        npu = f", NPU {row['npu']}" if row["npu"] else ""
+        print(
+            f"{mark} {row['name']:16s} {row['core']:12s} "
+            f"up to {row['sysclk_max_mhz']:g} MHz{npu} -- {row['title']}"
+        )
+    print("(* = default board; `boards --show NAME` for details)")
+    return 0
+
+
+def cmd_crossboard(args: argparse.Namespace) -> int:
+    from .boards import DEFAULT_BOARD, cross_board_report
+
+    model = _build_model(args.model)
+    tracer = _trace_begin(args)
+    report = cross_board_report(
+        model,
+        qos_s=_qos_seconds(args),
+        qos_percent=args.qos_percent,
+        boards=args.board or None,
+        reference=args.reference or DEFAULT_BOARD,
+        solver=args.solver,
+    )
+    out = _out(args)
+    print(
+        f"cross-board DSE: {args.model}, budget "
+        f"{report['qos_s'] * 1e3:.3f} ms "
+        f"(anchored on {report['reference']})",
+        file=out,
+    )
+    for row in report["boards"]:
+        if row["feasible"] and row["met_qos"]:
+            npu = (
+                f", {row['npu_layers']} NPU layers"
+                if row["npu_layers"]
+                else ""
+            )
+            print(
+                f"  {row['board']:16s} {row['energy_j'] * 1e3:9.4f} mJ"
+                f"  {row['latency_s'] * 1e3:8.3f} ms"
+                f"  {row['relock_count']} relocks{npu}",
+                file=out,
+            )
+        else:
+            reason = (
+                f"min {row['min_latency_s'] * 1e3:.3f} ms"
+                if row.get("min_latency_s") is not None
+                else "infeasible"
+            )
+            print(
+                f"  {row['board']:16s} misses the budget ({reason})",
+                file=out,
+            )
+    winner = report["winner"]
+    print(
+        f"  winner: {winner if winner else '(none met the budget)'}",
+        file=out,
+    )
+    _trace_finish(args, tracer, report)
+    if _json_mode(args):
+        _emit_json(args, report)
+    return 0
+
+
 def cmd_selftest(args: argparse.Namespace) -> int:
     from .selftest import run_selftest
 
@@ -428,7 +557,9 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     model = _build_model(args.model)
     tracer = _trace_begin(args)
     level = _qos_level(args) or QoSLevel(name="30%", slack=0.30)
-    fleet = sample_fleet(args.devices, seed=args.seed)
+    fleet = sample_fleet(
+        args.devices, seed=args.seed, boards=(args.board or None)
+    )
     scheduler = FleetScheduler(
         model, qos_level=level, max_workers=args.workers
     )
@@ -475,6 +606,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         seed=args.seed,
         epochs=args.epochs,
         max_workers=args.workers,
+        boards=tuple(args.board) if args.board else None,
     )
     report = run_campaign(model, fault_plan, config)
     print(report.summary(), file=_out(args))
@@ -526,6 +658,8 @@ def cmd_scenario(args: argparse.Namespace) -> int:
         config.shards = args.shards
     if args.oracle_stride is not None:
         config.oracle_stride = args.oracle_stride
+    if args.board:
+        config.boards = tuple(args.board)
     if args.checkpoint:
         report = _run_with_checkpoint(
             config, args.checkpoint, args.checkpoint_events
@@ -601,6 +735,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     tracer = _trace_begin(args)
     config = _serve_config(args)
+    config.default_board = getattr(args, "board", None)
     shards = getattr(args, "shards", 0) or 0
 
     async def _run_sharded() -> None:
@@ -658,6 +793,7 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
 
     config = LoadGenConfig(
         model=args.model,
+        board=getattr(args, "board", None),
         models=tuple(args.models or ()),
         qos_percents=tuple(args.qos_percents),
         requests=args.requests,
@@ -738,6 +874,8 @@ def cmd_plan(args: argparse.Namespace) -> int:
         params["qos_ms"] = args.qos_ms
     if args.no_cache:
         params["no_cache"] = True
+    if getattr(args, "board", None):
+        params["board"] = args.board
     request = {
         "v": 1,
         "id": args.request_id,
@@ -845,6 +983,21 @@ def make_parser() -> argparse.ArgumentParser:
             "--qos-ms", type=float, help="absolute latency budget in ms"
         )
 
+    def add_board(p):
+        p.add_argument(
+            "--board", metavar="NAME", default=None,
+            help="registry board target (see `repro-dvfs boards`)",
+        )
+
+    def add_board_mix(p):
+        p.add_argument(
+            "--board", metavar="NAME", action="append", default=None,
+            help=(
+                "registry board target; repeat the flag to mix a"
+                " heterogeneous fleet (see `repro-dvfs boards`)"
+            ),
+        )
+
     p = sub.add_parser("summary", help="print a model's layer table")
     add_model(p)
     p.set_defaults(func=cmd_summary)
@@ -852,6 +1005,7 @@ def make_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("optimize", help="produce a deployment plan")
     add_model(p)
     add_qos(p, required=True)
+    add_board(p)
     p.add_argument("--solver", choices=("dp", "greedy"), default="dp")
     p.add_argument("--harmonize", action="store_true",
                    help="run the re-lock reduction pass on the plan")
@@ -905,6 +1059,39 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--top", type=int, default=10)
     p.set_defaults(func=cmd_hotspots)
 
+    p = sub.add_parser(
+        "boards", help="list the registered board targets"
+    )
+    p.add_argument(
+        "--list", action="store_true",
+        help="enumerate the boards (the default action)",
+    )
+    p.add_argument(
+        "--show", metavar="NAME", default=None,
+        help="print one board's full descriptor",
+    )
+    _add_json_flag(p, "board descriptor(s)")
+    p.set_defaults(func=cmd_boards)
+
+    p = sub.add_parser(
+        "crossboard",
+        help="cross-board DSE: which board meets a QoS at least energy",
+    )
+    add_model(p)
+    add_qos(p, required=True)
+    add_board_mix(p)
+    p.add_argument(
+        "--reference", metavar="NAME", default=None,
+        help=(
+            "board whose TinyEngine baseline anchors a relative"
+            " --qos-percent budget (default: the registry default)"
+        ),
+    )
+    p.add_argument("--solver", choices=("dp", "greedy"), default="dp")
+    _add_json_flag(p, "cross-board ranking (with sha256 digest)")
+    _add_trace_flag(p)
+    p.set_defaults(func=cmd_crossboard)
+
     p = sub.add_parser("selftest", help="fast installation sanity sweep")
     p.add_argument(
         "--quick", action="store_true",
@@ -940,6 +1127,7 @@ def make_parser() -> argparse.ArgumentParser:
         "--epochs", type=int, default=10,
         help="governor telemetry epochs per device (0 disables)",
     )
+    add_board_mix(p)
     _add_json_flag(p, "full fleet report")
     _add_trace_flag(p)
     p.set_defaults(func=cmd_fleet)
@@ -996,6 +1184,7 @@ def make_parser() -> argparse.ArgumentParser:
         "--watchdog-rate", type=float, default=0.002,
         help="watchdog-reset probability per layer checkpoint",
     )
+    add_board_mix(p)
     _add_json_flag(p, "survival report")
     _add_trace_flag(p)
     p.set_defaults(func=cmd_chaos)
@@ -1048,6 +1237,7 @@ def make_parser() -> argparse.ArgumentParser:
         help="resume a checkpointed run to completion (digest-identical"
         " to the uninterrupted run); no preset needed",
     )
+    add_board_mix(p)
     _add_json_flag(p, "scenario report")
     _add_trace_flag(p)
     p.set_defaults(func=cmd_scenario)
@@ -1140,6 +1330,7 @@ def make_parser() -> argparse.ArgumentParser:
             " restart rebuilds the tier from it (sharded mode only)"
         ),
     )
+    add_board(p)
     add_serve_tuning(p)
     _add_trace_flag(p)
     p.set_defaults(func=cmd_serve)
@@ -1157,6 +1348,7 @@ def make_parser() -> argparse.ArgumentParser:
             " default so --trace digests reproduce"
         ),
     )
+    add_board(p)
     add_serve_tuning(p)
     _add_json_flag(p, "served plan payload (with sha256 digest)")
     _add_trace_flag(p)
@@ -1245,6 +1437,7 @@ def make_parser() -> argparse.ArgumentParser:
         "--no-verify", action="store_true",
         help="skip the cached-vs-cold digest cross-check",
     )
+    add_board(p)
     p.add_argument(
         "--host", default=None,
         help="drive an external server instead of an in-process one",

@@ -31,6 +31,7 @@ from .configs import (
     min_power_config,
     pll_config,
 )
+from .limits import ClockTreeLimits, F7_LIMITS, resolve_limits
 from .pll import PLL, PLLSettings, PLL_LOCK_TIME_S, SYSCLK_MAX_HZ
 from .rcc import RCC, ClockSwitchEvent, CSSEvent
 from .registers import (
@@ -56,6 +57,9 @@ __all__ = [
     "max_performance_config",
     "min_power_config",
     "pll_config",
+    "ClockTreeLimits",
+    "F7_LIMITS",
+    "resolve_limits",
     "PLL",
     "PLLSettings",
     "PLL_LOCK_TIME_S",

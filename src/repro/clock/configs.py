@@ -26,6 +26,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, TYPE_CHECKING
 
 from ..errors import ClockConfigError
 from ..units import MHZ
+from .limits import ClockTreeLimits, resolve_limits
 from .pll import PLLSettings, SYSCLK_MAX_HZ
 from .sources import HSE_MAX_HZ, HSE_MIN_HZ, HSI_FREQUENCY_HZ
 
@@ -64,13 +65,21 @@ class ClockConfig:
             ``source == HSE`` and as the PLL input when ``source ==
             PLL``; the HSI path uses the fixed internal 16 MHz).
         pll: PLL settings; required iff ``source == PLL``.
+        limits: clock-tree constraints of the part this config targets.
+            ``None`` (the default) means the STM32F7 constants, and is
+            what every F767 code path passes; non-F7 boards supply their
+            own.  The limits participate in equality/hash so configs of
+            different parts never collide in pricing caches (two boards'
+            "HSI direct" configs are *different* operating points).
     """
 
     source: SysclkSource
     hse_hz: float = PAPER_HSE_HZ
     pll: Optional[PLLSettings] = None
+    limits: Optional[ClockTreeLimits] = None
 
     def __post_init__(self) -> None:
+        lim = resolve_limits(self.limits)
         if self.source is SysclkSource.PLL:
             if self.pll is None:
                 raise ClockConfigError("PLL-sourced config requires PLL settings")
@@ -80,12 +89,12 @@ class ClockConfig:
                 f"{self.source.value}-sourced config must not carry PLL settings"
             )
         if self.source is not SysclkSource.HSI:
-            if not HSE_MIN_HZ <= self.hse_hz <= HSE_MAX_HZ:
+            if not lim.hse_min_hz <= self.hse_hz <= lim.hse_max_hz:
                 raise ClockConfigError(
                     f"HSE frequency {self.hse_hz / MHZ:.3f} MHz outside "
-                    f"[{HSE_MIN_HZ / MHZ:.0f}, {HSE_MAX_HZ / MHZ:.0f}] MHz"
+                    f"[{lim.hse_min_hz / MHZ:.0f}, {lim.hse_max_hz / MHZ:.0f}] MHz"
                 )
-        key = (self.source, self.hse_hz, self.pll)
+        key = (self.source, self.hse_hz, self.pll, self.limits)
         object.__setattr__(self, "_key", key)
         object.__setattr__(self, "_hash", hash(key))
 
@@ -106,7 +115,7 @@ class ClockConfig:
     def sysclk_hz(self) -> float:
         """The SYSCLK frequency this configuration produces."""
         if self.source is SysclkSource.HSI:
-            return HSI_FREQUENCY_HZ
+            return resolve_limits(self.limits).hsi_hz
         if self.source is SysclkSource.HSE:
             return self.hse_hz
         assert self.pll is not None
@@ -144,23 +153,30 @@ class ClockConfig:
         )
 
 
-def lfo_config(hse_hz: float = PAPER_LFO_HZ) -> ClockConfig:
+def lfo_config(
+    hse_hz: float = PAPER_LFO_HZ, limits: Optional[ClockTreeLimits] = None
+) -> ClockConfig:
     """The Low Frequency Operation config: HSE direct to SYSCLK."""
-    return ClockConfig(source=SysclkSource.HSE, hse_hz=hse_hz)
+    return ClockConfig(source=SysclkSource.HSE, hse_hz=hse_hz, limits=limits)
 
 
-def hsi_config() -> ClockConfig:
-    """The CSS failsafe config: internal 16 MHz HSI direct to SYSCLK.
+def hsi_config(limits: Optional[ClockTreeLimits] = None) -> ClockConfig:
+    """The CSS failsafe config: internal HSI direct to SYSCLK.
 
-    This is where the STM32F7 Clock Security System parks the core
-    when the HSE fails: the HSI needs no external components, so it is
-    always available -- slow and jittery, but alive.
+    This is where the Clock Security System parks the core when the HSE
+    fails: the HSI needs no external components, so it is always
+    available -- slow and jittery, but alive.  The F767's HSI runs at
+    16 MHz; other parts' limits carry their own frequency.
     """
-    return ClockConfig(source=SysclkSource.HSI)
+    return ClockConfig(source=SysclkSource.HSI, limits=limits)
 
 
 def pll_config(
-    hse_hz: float, pllm: int, plln: int, pllp: int = 2
+    hse_hz: float,
+    pllm: int,
+    plln: int,
+    pllp: int = 2,
+    limits: Optional[ClockTreeLimits] = None,
 ) -> ClockConfig:
     """Build and validate a PLL-sourced configuration.
 
@@ -170,7 +186,8 @@ def pll_config(
     return ClockConfig(
         source=SysclkSource.PLL,
         hse_hz=hse_hz,
-        pll=PLLSettings(pllm=pllm, plln=plln, pllp=pllp),
+        pll=PLLSettings(pllm=pllm, plln=plln, pllp=pllp, limits=limits),
+        limits=limits,
     )
 
 
@@ -179,6 +196,7 @@ def hfo_grid(
     plln_values: Sequence[int] = PAPER_PLLN_VALUES,
     pllm_values: Sequence[int] = PAPER_PLLM_VALUES,
     pllp: int = 2,
+    limits: Optional[ClockTreeLimits] = None,
 ) -> List[ClockConfig]:
     """Enumerate the paper's HFO grid, dropping illegal combinations.
 
@@ -191,7 +209,7 @@ def hfo_grid(
     for pllm in pllm_values:
         for plln in plln_values:
             try:
-                grid.append(pll_config(hse_hz, pllm, plln, pllp))
+                grid.append(pll_config(hse_hz, pllm, plln, pllp, limits=limits))
             except ClockConfigError:
                 continue
     return grid

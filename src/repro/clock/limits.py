@@ -1,0 +1,135 @@
+"""Per-part clock-tree constraint descriptors.
+
+Historically every legality constant of the clock layer -- HSE range,
+HSI frequency, PLL divider ranges, VCO windows, SYSCLK ceiling, PLL
+lock time -- was a module constant describing the STM32F767.  A
+:class:`ClockTreeLimits` bundles the same constraints as one immutable
+descriptor so other targets (a Cortex-M33 MCXN947, a Cortex-M55
+STM32N6) can carry their own clock trees through the very same
+``PLLSettings`` / ``ClockConfig`` / ``RCC`` machinery.
+
+Backwards compatibility is a hard requirement: everything that does
+not pass limits (``limits=None`` everywhere) must behave -- and hash,
+compare, serialize -- byte-identically to the pre-refactor F767-only
+code.  The F767 therefore keeps ``None`` as its descriptor and
+:data:`F7_LIMITS` only supplies the *values* behind the scenes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..errors import ClockConfigError
+from ..units import MHZ, us
+
+
+@dataclass(frozen=True)
+class ClockTreeLimits:
+    """Hardware legality constraints of one part's clock tree.
+
+    Attributes:
+        name: short part-family slug (``"stm32f7"``, ``"mcxn947"``).
+        hse_min_hz / hse_max_hz: legal external-oscillator range.
+        hsi_hz: frequency of the internal failsafe RC oscillator (the
+            source the clock-security failsafe parks the core on).
+        pllm_min / pllm_max: legal PLL input-divider range.
+        plln_min / plln_max: legal VCO-multiplier range.
+        pllp_values: legal SYSCLK post-divider choices.
+        vco_input_min_hz / vco_input_max_hz: phase-comparator window.
+        vco_output_min_hz / vco_output_max_hz: VCO output window.
+        sysclk_max_hz: part's maximum SYSCLK.
+        pll_lock_time_s: PLL re-lock latency after reprogramming --
+            the switch-cost budget the board's
+            :class:`~repro.clock.switching.SwitchCostModel` must agree
+            with.
+    """
+
+    name: str = "stm32f7"
+    hse_min_hz: float = 1 * MHZ
+    hse_max_hz: float = 50 * MHZ
+    hsi_hz: float = 16 * MHZ
+    pllm_min: int = 2
+    pllm_max: int = 63
+    plln_min: int = 50
+    plln_max: int = 432
+    pllp_values: Tuple[int, ...] = (2, 4, 6, 8)
+    vco_input_min_hz: float = 1 * MHZ
+    vco_input_max_hz: float = 2 * MHZ
+    vco_output_min_hz: float = 100 * MHZ
+    vco_output_max_hz: float = 432 * MHZ
+    sysclk_max_hz: float = 216 * MHZ
+    pll_lock_time_s: float = us(200)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ClockConfigError("limits need a non-empty name")
+        if not 0 < self.hse_min_hz <= self.hse_max_hz:
+            raise ClockConfigError("HSE range must satisfy 0 < min <= max")
+        if self.hsi_hz <= 0:
+            raise ClockConfigError("HSI frequency must be positive")
+        if not 1 <= self.pllm_min <= self.pllm_max:
+            raise ClockConfigError("PLLM range must satisfy 1 <= min <= max")
+        if not 1 <= self.plln_min <= self.plln_max:
+            raise ClockConfigError("PLLN range must satisfy 1 <= min <= max")
+        if not self.pllp_values or any(p < 1 for p in self.pllp_values):
+            raise ClockConfigError("pllp_values must be positive dividers")
+        if not 0 < self.vco_input_min_hz <= self.vco_input_max_hz:
+            raise ClockConfigError("VCO input window must be positive")
+        if not 0 < self.vco_output_min_hz <= self.vco_output_max_hz:
+            raise ClockConfigError("VCO output window must be positive")
+        if self.sysclk_max_hz <= 0:
+            raise ClockConfigError("sysclk_max_hz must be positive")
+        if self.pll_lock_time_s < 0:
+            raise ClockConfigError("pll_lock_time_s must be >= 0")
+
+    def to_dict(self) -> dict:
+        """JSON-ready encoding (used by plan serialization and docs)."""
+        return {
+            "name": self.name,
+            "hse_min_hz": self.hse_min_hz,
+            "hse_max_hz": self.hse_max_hz,
+            "hsi_hz": self.hsi_hz,
+            "pllm_min": self.pllm_min,
+            "pllm_max": self.pllm_max,
+            "plln_min": self.plln_min,
+            "plln_max": self.plln_max,
+            "pllp_values": list(self.pllp_values),
+            "vco_input_min_hz": self.vco_input_min_hz,
+            "vco_input_max_hz": self.vco_input_max_hz,
+            "vco_output_min_hz": self.vco_output_min_hz,
+            "vco_output_max_hz": self.vco_output_max_hz,
+            "sysclk_max_hz": self.sysclk_max_hz,
+            "pll_lock_time_s": self.pll_lock_time_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ClockTreeLimits":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=str(data["name"]),
+            hse_min_hz=float(data["hse_min_hz"]),
+            hse_max_hz=float(data["hse_max_hz"]),
+            hsi_hz=float(data["hsi_hz"]),
+            pllm_min=int(data["pllm_min"]),
+            pllm_max=int(data["pllm_max"]),
+            plln_min=int(data["plln_min"]),
+            plln_max=int(data["plln_max"]),
+            pllp_values=tuple(int(p) for p in data["pllp_values"]),
+            vco_input_min_hz=float(data["vco_input_min_hz"]),
+            vco_input_max_hz=float(data["vco_input_max_hz"]),
+            vco_output_min_hz=float(data["vco_output_min_hz"]),
+            vco_output_max_hz=float(data["vco_output_max_hz"]),
+            sysclk_max_hz=float(data["sysclk_max_hz"]),
+            pll_lock_time_s=float(data["pll_lock_time_s"]),
+        )
+
+
+#: The STM32F7 constraint set the module-level constants describe.
+#: ``limits=None`` throughout the clock layer means "use these".
+F7_LIMITS = ClockTreeLimits()
+
+
+def resolve_limits(limits: "ClockTreeLimits | None") -> ClockTreeLimits:
+    """The effective constraint set (F767 defaults when ``None``)."""
+    return limits if limits is not None else F7_LIMITS

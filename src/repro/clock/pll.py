@@ -27,9 +27,11 @@ in :mod:`repro.clock.switching`.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from ..errors import ClockConfigError
 from ..units import MHZ, us
+from .limits import ClockTreeLimits, resolve_limits
 
 #: Legal divider/multiplier ranges (STM32F7 main PLL).
 PLLM_MIN, PLLM_MAX = 2, 63
@@ -56,27 +58,34 @@ class PLLSettings:
     """Programmable dividers/multiplier of the main PLL.
 
     Attributes:
-        pllm: input divider (2..63).
-        plln: VCO multiplier (50..432).
-        pllp: SYSCLK post divider (2, 4, 6 or 8).
+        pllm: input divider (F7: 2..63).
+        plln: VCO multiplier (F7: 50..432).
+        pllp: SYSCLK post divider (F7: 2, 4, 6 or 8).
+        limits: clock-tree constraints the dividers are validated
+            against.  ``None`` (the default, and the only value the
+            F767 path ever uses) means the STM32F7 module constants.
     """
 
     pllm: int
     plln: int
     pllp: int = 2
+    limits: Optional[ClockTreeLimits] = None
 
     def __post_init__(self) -> None:
-        if not PLLM_MIN <= self.pllm <= PLLM_MAX:
+        lim = resolve_limits(self.limits)
+        if not lim.pllm_min <= self.pllm <= lim.pllm_max:
             raise ClockConfigError(
-                f"PLLM={self.pllm} outside legal range [{PLLM_MIN}, {PLLM_MAX}]"
+                f"PLLM={self.pllm} outside legal range "
+                f"[{lim.pllm_min}, {lim.pllm_max}]"
             )
-        if not PLLN_MIN <= self.plln <= PLLN_MAX:
+        if not lim.plln_min <= self.plln <= lim.plln_max:
             raise ClockConfigError(
-                f"PLLN={self.plln} outside legal range [{PLLN_MIN}, {PLLN_MAX}]"
+                f"PLLN={self.plln} outside legal range "
+                f"[{lim.plln_min}, {lim.plln_max}]"
             )
-        if self.pllp not in PLLP_VALUES:
+        if self.pllp not in lim.pllp_values:
             raise ClockConfigError(
-                f"PLLP={self.pllp} not one of {PLLP_VALUES}"
+                f"PLLP={self.pllp} not one of {lim.pllp_values}"
             )
 
     def vco_input_hz(self, input_hz: float) -> float:
@@ -98,24 +107,27 @@ class PLLSettings:
             ClockConfigError: if the VCO input/output frequency or the
                 resulting SYSCLK violates the hardware limits.
         """
+        lim = resolve_limits(self.limits)
         vco_in = self.vco_input_hz(input_hz)
-        if not VCO_INPUT_MIN_HZ <= vco_in <= VCO_INPUT_MAX_HZ:
+        if not lim.vco_input_min_hz <= vco_in <= lim.vco_input_max_hz:
             raise ClockConfigError(
                 f"VCO input {vco_in / MHZ:.3f} MHz outside "
-                f"[{VCO_INPUT_MIN_HZ / MHZ:.0f}, {VCO_INPUT_MAX_HZ / MHZ:.0f}] MHz "
+                f"[{lim.vco_input_min_hz / MHZ:.0f}, "
+                f"{lim.vco_input_max_hz / MHZ:.0f}] MHz "
                 f"(input {input_hz / MHZ:.1f} MHz / PLLM {self.pllm})"
             )
         vco_out = self.vco_output_hz(input_hz)
-        if not VCO_OUTPUT_MIN_HZ <= vco_out <= VCO_OUTPUT_MAX_HZ:
+        if not lim.vco_output_min_hz <= vco_out <= lim.vco_output_max_hz:
             raise ClockConfigError(
                 f"VCO output {vco_out / MHZ:.1f} MHz outside "
-                f"[{VCO_OUTPUT_MIN_HZ / MHZ:.0f}, {VCO_OUTPUT_MAX_HZ / MHZ:.0f}] MHz"
+                f"[{lim.vco_output_min_hz / MHZ:.0f}, "
+                f"{lim.vco_output_max_hz / MHZ:.0f}] MHz"
             )
         sysclk = self.sysclk_hz(input_hz)
-        if sysclk > SYSCLK_MAX_HZ:
+        if sysclk > lim.sysclk_max_hz:
             raise ClockConfigError(
                 f"SYSCLK {sysclk / MHZ:.1f} MHz exceeds the part maximum "
-                f"{SYSCLK_MAX_HZ / MHZ:.0f} MHz"
+                f"{lim.sysclk_max_hz / MHZ:.0f} MHz"
             )
 
     def is_valid_for_input(self, input_hz: float) -> bool:
@@ -133,9 +145,16 @@ class PLL:
     The RCC (:mod:`repro.clock.rcc`) owns one instance.  Reprogramming
     requires the PLL to be disabled first, mirroring the hardware
     sequencing that makes parameter changes expensive.
+
+    Args:
+        lock_time_s: re-lock latency after (re)enabling -- the part's
+            lock budget (F767: the paper's measured ~200 us).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, lock_time_s: float = PLL_LOCK_TIME_S) -> None:
+        if lock_time_s < 0:
+            raise ClockConfigError("PLL lock time must be >= 0")
+        self.lock_time_s = lock_time_s
         self._settings: PLLSettings | None = None
         self._input_hz: float | None = None
         self._enabled = False
@@ -181,7 +200,7 @@ class PLL:
         """Power the PLL and wait for lock.
 
         Returns:
-            The lock latency in seconds (``PLL_LOCK_TIME_S``), or 0.0 if
+            The lock latency in seconds (:attr:`lock_time_s`), or 0.0 if
             the PLL was already enabled and locked.
 
         Raises:
@@ -193,7 +212,7 @@ class PLL:
             return 0.0
         self._enabled = True
         self._locked = True
-        return PLL_LOCK_TIME_S
+        return self.lock_time_s
 
     def disable(self) -> None:
         """Power the PLL down (drops lock)."""

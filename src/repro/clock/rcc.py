@@ -30,6 +30,7 @@ from typing import Callable, List, Optional
 
 from ..errors import ClockSwitchError
 from .configs import ClockConfig, SysclkSource, hsi_config, lfo_config
+from .limits import ClockTreeLimits, resolve_limits
 from .pll import PLL
 from .sources import Oscillator, make_hse, make_hsi
 from .switching import RetainedPLL, RetryPolicy, SwitchCost, SwitchCostModel
@@ -81,6 +82,13 @@ class RCC:
             every sequence byte-identical to the fault-free model.
         css_callback: NMI-style handler invoked with a
             :class:`CSSEvent` whenever the CSS fires.
+        limits: clock-tree constraints of the part this RCC drives.
+            ``None`` means the STM32F7 constants; other boards pass
+            their descriptor's limits so oscillator validation, the
+            HSI failsafe frequency and the PLL lock budget all come
+            from the right part instead of hard-coded F7 values.
+        failsafe: configuration the CSS parks the SYSCLK on when the
+            HSE drops out.  Defaults to the part's HSI-direct config.
     """
 
     cost_model: SwitchCostModel = field(default_factory=SwitchCostModel)
@@ -88,11 +96,13 @@ class RCC:
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     fault_clock: Optional[object] = None
     css_callback: Optional[Callable[[CSSEvent], None]] = None
+    limits: Optional[ClockTreeLimits] = None
+    failsafe: Optional[ClockConfig] = None
 
     def __post_init__(self) -> None:
-        self._hsi: Oscillator = make_hsi()
+        self._hsi: Oscillator = make_hsi(self.limits)
         self._hse: Optional[Oscillator] = None
-        self._pll = PLL()
+        self._pll = PLL(lock_time_s=resolve_limits(self.limits).pll_lock_time_s)
         self._current: ClockConfig = self.initial
         self.history: List[ClockSwitchEvent] = []
         self.css_events: List[CSSEvent] = []
@@ -185,7 +195,11 @@ class RCC:
                     "switch_to_hse without a frequency requires a running HSE"
                 )
             hse_hz = self._hse.frequency_hz
-        return self.apply(ClockConfig(source=SysclkSource.HSE, hse_hz=hse_hz))
+        return self.apply(
+            ClockConfig(
+                source=SysclkSource.HSE, hse_hz=hse_hz, limits=self.limits
+            )
+        )
 
     def switch_to_pll(self, config: ClockConfig) -> SwitchCost:
         """Select a PLL configuration (the paper's ``ClockSwitchPLL``).
@@ -268,17 +282,22 @@ class RCC:
             self._hse = None
             return False
         if self._hse is None or self._hse.frequency_hz != hse_hz:
-            self._hse = make_hse(hse_hz)
+            self._hse = make_hse(hse_hz, self.limits)
         return True
 
     def _css_failsafe(self, requested: ClockConfig) -> float:
-        """HSE loss: park on the HSI, drop the PLL, raise the NMI.
+        """HSE loss: park on the failsafe, drop the PLL, raise the NMI.
 
         Returns the failsafe mux stall (the CSS switchover is a
-        hardware mux move, same order as any other handshake).
+        hardware mux move, same order as any other handshake).  The
+        failsafe is the part's internal-oscillator config unless the
+        board overrides it.
         """
         self._pll.disable()
-        failsafe = hsi_config()
+        failsafe = (
+            self.failsafe if self.failsafe is not None
+            else hsi_config(self.limits)
+        )
         event = CSSEvent(requested=requested, failsafe=failsafe)
         self.css_events.append(event)
         self._current = failsafe
@@ -330,8 +349,6 @@ class RCC:
                 includes one nominal lock window (so only the excess
                 is charged here).
         """
-        from .pll import PLL_LOCK_TIME_S
-
         extra = 0.0
         if target.source is not SysclkSource.HSI:
             if not self._ensure_hse(target.hse_hz):
@@ -344,7 +361,7 @@ class RCC:
                 self._pll.configure(target.pll, target.hse_hz)
             if not self._pll.locked:
                 lock = self._lock_pll()
-                priced = PLL_LOCK_TIME_S if priced_relock else 0.0
+                priced = self._pll.lock_time_s if priced_relock else 0.0
                 extra += max(0.0, lock - priced)
         self._current = target
         return extra

@@ -21,8 +21,11 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from typing import Optional
+
 from ..errors import ClockConfigError
 from ..units import MHZ, us
+from .limits import ClockTreeLimits, resolve_limits
 
 
 class OscillatorKind(enum.Enum):
@@ -69,30 +72,35 @@ HSE_MIN_HZ = 1 * MHZ
 HSE_MAX_HZ = 50 * MHZ
 
 
-def make_hsi() -> Oscillator:
-    """Build the fixed 16 MHz internal HSI oscillator."""
+def make_hsi(limits: Optional[ClockTreeLimits] = None) -> Oscillator:
+    """Build the part's internal HSI oscillator (F767: fixed 16 MHz)."""
     return Oscillator(
         kind=OscillatorKind.HSI,
-        frequency_hz=HSI_FREQUENCY_HZ,
+        frequency_hz=resolve_limits(limits).hsi_hz,
         startup_time_s=us(4),
         jitter_ppm=1000.0,
     )
 
 
-def make_hse(frequency_hz: float) -> Oscillator:
+def make_hse(
+    frequency_hz: float, limits: Optional[ClockTreeLimits] = None
+) -> Oscillator:
     """Build an HSE oscillator at ``frequency_hz``.
 
     Args:
         frequency_hz: requested output frequency.  Must lie within the
-            board's supported 1..50 MHz range.
+            part's supported range (F767 Nucleo: 1..50 MHz).
+        limits: clock-tree constraints; ``None`` means the STM32F7
+            defaults.
 
     Raises:
         ClockConfigError: if the frequency is out of range.
     """
-    if not HSE_MIN_HZ <= frequency_hz <= HSE_MAX_HZ:
+    lim = resolve_limits(limits)
+    if not lim.hse_min_hz <= frequency_hz <= lim.hse_max_hz:
         raise ClockConfigError(
             f"HSE frequency {frequency_hz / MHZ:.3f} MHz outside the legal "
-            f"range [{HSE_MIN_HZ / MHZ:.0f}, {HSE_MAX_HZ / MHZ:.0f}] MHz"
+            f"range [{lim.hse_min_hz / MHZ:.0f}, {lim.hse_max_hz / MHZ:.0f}] MHz"
         )
     return Oscillator(
         kind=OscillatorKind.HSE,

@@ -622,6 +622,28 @@ class DSEExplorer:
                 f"layer {node.layer.name!r} ({node.layer.kind.value}) is "
                 "not schedulable"
             )
+        npu = self.board.npu
+        if npu is not None and npu.supports(node.layer.kind):
+            # NPU-mapped layer: one fixed (latency, energy) point,
+            # repeated per HFO candidate so downstream consumers (the
+            # MCKP classes, the uniform-HFO sweep) see a candidate at
+            # every frequency -- all identical, because the NPU's own
+            # clock domain makes the layer insensitive to CPU DVFS.
+            macs = node.layer.macs(*model.input_shapes_of(node))
+            latency = npu.layer_latency_s(macs)
+            energy = npu.layer_energy_j(macs)
+            return [
+                SolutionPoint(
+                    node_id=node.node_id,
+                    layer_name=node.layer.name,
+                    layer_kind=node.layer.kind,
+                    granularity=0,
+                    hfo=hfo,
+                    latency_s=latency,
+                    energy_j=energy,
+                )
+                for hfo in self.space.hfo_configs
+            ]
         if not node.layer.supports_dae:
             granularities: "tuple" = (0,)
         elif self.granularity_fn is not None:

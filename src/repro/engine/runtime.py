@@ -19,7 +19,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..clock.configs import ClockConfig, SysclkSource, lfo_config
+from ..clock.configs import ClockConfig, SysclkSource
 from ..clock.rcc import RCC
 from ..errors import TraceError, WatchdogResetError
 from ..mcu.board import Board
@@ -204,11 +204,15 @@ class DVFSRuntime:
         """
         plan.validate_against(model)
         boot = initial_config or plan.lfo
-        rcc = RCC(
-            cost_model=self.board.switch_cost_model,
-            initial=boot,
-            fault_clock=fault_clock,
-        )
+        rcc = self._make_rcc(boot, fault_clock)
+        npu = self.board.npu
+        npu_macs: Dict[int, float] = {}
+        if npu is not None:
+            npu_macs = {
+                node.node_id: node.layer.macs(*model.input_shapes_of(node))
+                for node in model.nodes
+                if npu.supports(node.layer.kind)
+            }
         account = EnergyAccount()
         reports: List[LayerReport] = []
         mux_switches = 0
@@ -246,11 +250,7 @@ class DVFSRuntime:
                 css_events += rcc.css_count
                 pll_retries += rcc.pll_retries
                 background_relocks += rcc.relock_count()
-                rcc = RCC(
-                    cost_model=self.board.switch_cost_model,
-                    initial=boot,
-                    fault_clock=fault_clock,
-                )
+                rcc = self._make_rcc(boot, fault_clock)
                 continue
             consecutive_resets = 0
             layer_plan = plan.plan_for(trace.node_id)
@@ -263,7 +263,12 @@ class DVFSRuntime:
                     layer_plan.hfo.sysclk_hz if layer_plan else rcc.sysclk_hz
                 ),
             )
-            if trace.is_decoupled:
+            if trace.node_id in npu_macs:
+                # NPU-mapped layer: runs on the accelerator's own clock
+                # domain -- no SYSCLK transition, no DAE bouncing, and
+                # latency/energy independent of the CPU clock tree.
+                self._run_npu(trace, npu_macs[trace.node_id], account, report)
+            elif trace.is_decoupled:
                 assert layer_plan is not None
                 mux, relocks = self._run_decoupled(
                     rcc, trace, layer_plan.hfo, plan.lfo, account, report
@@ -342,6 +347,42 @@ class DVFSRuntime:
             model, plan, initial_config=initial_config
         ).latency_s
 
+    def _make_rcc(self, boot: ClockConfig, fault_clock) -> RCC:
+        """Fresh clock controller inheriting the board's descriptors.
+
+        The board's RCC carries the part's clock-tree limits, CSS
+        failsafe source and retry policy; every runtime-spawned RCC
+        must inherit them or a non-F7 board would validate oscillators
+        (and park its failsafe) against F767 constants.
+        """
+        template = self.board.rcc
+        return RCC(
+            cost_model=self.board.switch_cost_model,
+            initial=boot,
+            retry=template.retry,
+            fault_clock=fault_clock,
+            limits=template.limits,
+            failsafe=template.failsafe,
+        )
+
+    def _run_npu(
+        self,
+        trace: LayerTrace,
+        macs: float,
+        account: EnergyAccount,
+        report: LayerReport,
+    ) -> None:
+        """Charge one NPU-offloaded layer at its fixed price."""
+        npu = self.board.npu
+        assert npu is not None
+        latency = npu.layer_latency_s(macs)
+        account.add(
+            latency, npu.active_power_w, EnergyCategory.COMPUTE,
+            report.layer_name, state=PowerState.NPU_ACTIVE,
+        )
+        report.latency_s += latency
+        report.energy_j += latency * npu.active_power_w
+
     def _charge_idle(
         self,
         account: EnergyAccount,
@@ -377,11 +418,13 @@ class DVFSRuntime:
             config=current, state=PowerState.STOP,
         )
         # The wake-up path runs regulator/oscillator restart at the
-        # low-power HSE clock, not at the hot PLL configuration.
+        # low-power boot clock (the board's HSE-direct LFO), not at the
+        # hot PLL configuration.
+        wake_config = self.board.rcc.initial
         account.add(
-            wake, power.switching_power(lfo_config()),
+            wake, power.switching_power(wake_config),
             EnergyCategory.SWITCH, "stop-wakeup",
-            config=lfo_config(), state=PowerState.SWITCHING,
+            config=wake_config, state=PowerState.SWITCHING,
         )
 
     # -- execution helpers -------------------------------------------------------

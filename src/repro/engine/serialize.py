@@ -14,6 +14,7 @@ import pathlib
 from typing import Any, Dict, Union
 
 from ..clock.configs import ClockConfig, SysclkSource
+from ..clock.limits import ClockTreeLimits
 from ..clock.pll import PLLSettings
 from ..errors import GraphError
 from .schedule import DeploymentPlan, LayerPlan
@@ -34,6 +35,11 @@ def clock_config_to_dict(config: ClockConfig) -> Dict[str, Any]:
             "plln": config.pll.plln,
             "pllp": config.pll.pllp,
         }
+    if config.limits is not None:
+        # F767 plans (limits=None) stay byte-identical to the v1 files;
+        # other parts record their clock-tree constraints so decoding
+        # re-validates against the right hardware window.
+        data["limits"] = config.limits.to_dict()
     return data
 
 
@@ -50,6 +56,12 @@ def clock_config_from_dict(data: Dict[str, Any]) -> ClockConfig:
         source = SysclkSource(data["source"])
     except (KeyError, ValueError) as err:
         raise GraphError(f"bad clock source in plan file: {err}") from err
+    limits = None
+    if "limits" in data:
+        try:
+            limits = ClockTreeLimits.from_dict(data["limits"])
+        except (KeyError, TypeError, ValueError) as err:
+            raise GraphError(f"bad clock-tree limits in plan file: {err}") from err
     pll = None
     if "pll" in data:
         pll_data = data["pll"]
@@ -58,6 +70,7 @@ def clock_config_from_dict(data: Dict[str, Any]) -> ClockConfig:
                 pllm=int(pll_data["pllm"]),
                 plln=int(pll_data["plln"]),
                 pllp=int(pll_data["pllp"]),
+                limits=limits,
             )
         except KeyError as err:
             raise GraphError(f"incomplete PLL settings: {err}") from err
@@ -65,7 +78,7 @@ def clock_config_from_dict(data: Dict[str, Any]) -> ClockConfig:
         hse_hz = float(data["hse_hz"])
     except (KeyError, TypeError, ValueError) as err:
         raise GraphError(f"bad HSE frequency in plan file: {err}") from err
-    return ClockConfig(source=source, hse_hz=hse_hz, pll=pll)
+    return ClockConfig(source=source, hse_hz=hse_hz, pll=pll, limits=limits)
 
 
 def plan_to_dict(plan: DeploymentPlan) -> Dict[str, Any]:

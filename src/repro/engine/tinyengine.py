@@ -52,8 +52,21 @@ class TinyEngine:
         tracer: Optional[TraceBuilder] = None,
     ):
         self.board = board
-        self.clock = clock or max_performance_config()
+        self.clock = clock or self._default_clock(board)
         self._runtime = DVFSRuntime(board, trace_params, tracer=tracer)
+
+    @staticmethod
+    def _default_clock(board: Board) -> ClockConfig:
+        """The board's flat-out baseline clock.
+
+        F767-style boards (no native design space) keep the paper's
+        minimum-power 216 MHz configuration; boards carrying their own
+        space run the baseline at their fastest HFO.
+        """
+        if board.space_factory is None:
+            return max_performance_config()
+        space = board.space_factory(board)
+        return max(space.hfo_configs, key=lambda c: c.sysclk_hz)
 
     def run(self, model: Model, qos_s: Optional[float] = None) -> InferenceReport:
         """Run one inference; idle (per the engine's policy) to ``qos_s``."""

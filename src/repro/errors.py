@@ -57,6 +57,10 @@ class DesignSpaceError(ReproError):
     """An empty or inconsistent design space was supplied to the DSE."""
 
 
+class BoardError(ReproError):
+    """An unknown board name or an invalid board descriptor."""
+
+
 class QoSInfeasibleError(ReproError):
     """No selection of per-layer configurations can satisfy the QoS.
 

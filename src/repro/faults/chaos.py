@@ -21,7 +21,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import FaultInjectionError
 from ..nn.graph import Model
@@ -42,6 +42,9 @@ class ChaosConfig:
         qos_slack: relative latency slack of the fleet's QoS level.
         max_workers: planning thread-pool width.
         max_plan_attempts: scheduler retry budget per device.
+        boards: registry board names to mix the fleet across
+            (``None`` keeps the homogeneous default-board fleet and
+            its pre-registry report digests).
     """
 
     devices: int = 64
@@ -50,6 +53,7 @@ class ChaosConfig:
     qos_slack: float = 0.30
     max_workers: int = 4
     max_plan_attempts: int = 3
+    boards: Optional[Tuple[str, ...]] = None
 
     def __post_init__(self) -> None:
         if self.devices < 1:
@@ -62,6 +66,12 @@ class ChaosConfig:
             raise FaultInjectionError("max_workers must be >= 1")
         if self.max_plan_attempts < 1:
             raise FaultInjectionError("max_plan_attempts must be >= 1")
+        if self.boards is not None:
+            if not self.boards:
+                raise FaultInjectionError(
+                    "boards must be None or non-empty"
+                )
+            object.__setattr__(self, "boards", tuple(self.boards))
 
 
 @dataclass(frozen=True)
@@ -335,7 +345,9 @@ def _run_campaign(
     from ..fleet.scheduler import FleetScheduler
     from ..fleet.variation import sample_fleet
 
-    fleet = sample_fleet(config.devices, seed=config.seed)
+    fleet = sample_fleet(
+        config.devices, seed=config.seed, boards=config.boards
+    )
     level = QoSLevel(name=f"chaos+{config.qos_slack:.0%}", slack=config.qos_slack)
     scheduler = FleetScheduler(
         model,

@@ -46,6 +46,7 @@ from ..mcu.board import Board
 from ..nn.graph import Model, Node
 from ..obs.registry import get_registry
 from ..power.energy import EnergyAccount
+from ..power.model import PowerState
 
 
 def plan_signature(plan: DeploymentPlan) -> Tuple:
@@ -199,6 +200,14 @@ class SharedComponentExplorer(DSEExplorer):
         assume_relock: bool = False,
     ) -> List[SolutionPoint]:
         """Same contract as the base explorer, via the shared cache."""
+        npu = self.board.npu
+        if npu is not None and npu.supports(node.layer.kind):
+            # NPU points carry no TimeComponents (nothing to decompose:
+            # the latency/energy are fixed), so the shared cache buys
+            # nothing -- price directly through the base explorer.
+            return super().explore_layer(
+                model, node, assume_relock=assume_relock
+            )
         if not node.layer.supports_dae:
             granularities: Tuple = (0,)
         elif self.granularity_fn is not None:
@@ -359,7 +368,13 @@ class ReplayingRuntime(DVFSRuntime):
             pair = (interval.config, interval.state)
             p = watts.get(pair)
             if p is None:
-                p = power.power(interval.config, interval.state)
+                if interval.state is PowerState.NPU_ACTIVE:
+                    # NPU power rides the accelerator's own rail, not
+                    # the device-varied SYSCLK model: the recorded
+                    # watts are already exact for every device.
+                    p = interval.power_w
+                else:
+                    p = power.power(interval.config, interval.state)
                 watts[pair] = p
             account.add(
                 interval.duration_s, p, interval.category, interval.label,

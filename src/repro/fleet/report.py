@@ -44,6 +44,10 @@ class DeviceSummary:
     final_temperature_c: float = 0.0
     final_charge: float = 0.0
     error: Optional[str] = None
+    #: Board target of heterogeneous fleets.  ``None`` (homogeneous
+    #: default-board fleets) keeps the row -- and the fleet digest --
+    #: byte-identical to pre-registry reports.
+    board: Optional[str] = None
 
 
 @dataclass
@@ -122,9 +126,16 @@ class FleetReport:
     # -- serialization -----------------------------------------------------------
 
     def rows(self) -> List[Dict]:
-        """Canonical per-device rows (sorted, full precision)."""
-        return [
-            {
+        """Canonical per-device rows (sorted, full precision).
+
+        The ``board`` key appears only in heterogeneous fleets (any
+        summary carrying a board label); homogeneous default-board
+        rows keep their original shape so pre-registry digests pin.
+        """
+        labelled = any(s.board is not None for s in self.summaries)
+        rows = []
+        for s in sorted(self.summaries, key=lambda s: s.device_id):
+            row = {
                 "device_id": s.device_id,
                 "energy_j": s.energy_j,
                 "latency_s": s.latency_s,
@@ -137,8 +148,10 @@ class FleetReport:
                 "final_charge": s.final_charge,
                 "error": s.error,
             }
-            for s in sorted(self.summaries, key=lambda s: s.device_id)
-        ]
+            if labelled:
+                row["board"] = s.board
+            rows.append(row)
+        return rows
 
     def digest(self) -> str:
         """SHA-256 over the canonical rows -- the determinism anchor.
@@ -164,8 +177,13 @@ class FleetReport:
         return hashlib.sha256(payload.encode()).hexdigest()
 
     def to_dict(self) -> Dict:
-        """JSON-ready representation (aggregates + rows + digest)."""
-        return {
+        """JSON-ready representation (aggregates + rows + digest).
+
+        Heterogeneous fleets additionally carry a ``boards`` histogram;
+        the key is absent for homogeneous default-board fleets so their
+        payload shape is unchanged.
+        """
+        data = {
             "model": self.model_name,
             "qos_ms": self.qos_s * 1e3,
             "n_devices": self.n_devices,
@@ -189,6 +207,18 @@ class FleetReport:
             "digest": self.digest(),
             "devices": self.rows(),
         }
+        hist = self.board_hist()
+        if hist:
+            data["boards"] = hist
+        return data
+
+    def board_hist(self) -> Dict[str, int]:
+        """Board-name histogram of a heterogeneous fleet ({} otherwise)."""
+        hist: Dict[str, int] = {}
+        for s in self.summaries:
+            if s.board is not None:
+                hist[s.board] = hist.get(s.board, 0) + 1
+        return dict(sorted(hist.items()))
 
     def summary(self) -> str:
         """Multi-line human-readable fleet report."""
@@ -207,6 +237,10 @@ class FleetReport:
             f"{self.devices_replanned} devices, "
             f"{self.converged_fraction:.1%} converged",
         ]
+        boards = self.board_hist()
+        if boards:
+            mix = ", ".join(f"{name} x{n}" for name, n in boards.items())
+            lines.append(f"  board mix: {mix}")
         if self.frequency_hist:
             hist = ", ".join(
                 f"{mhz:g} MHz x{count}"
@@ -237,11 +271,22 @@ def aggregate_fleet(
     summaries: List[DeviceSummary] = []
     freq_hist: Dict[float, int] = {}
     gran_hist: Dict[int, int] = {}
+    # Label rows with their board target only when the fleet actually
+    # mixes targets beyond the default board -- homogeneous F767
+    # fleets keep their pre-registry row shape and digest.
+    from ..boards.registry import DEFAULT_BOARD
+
+    labelled = any(
+        result.profile.board.name != DEFAULT_BOARD for result in results
+    )
     for result in results:
         device_id = result.device_id
+        board_name = result.profile.board.name if labelled else None
         if result.error is not None or result.report is None:
             summaries.append(
-                DeviceSummary(device_id=device_id, error=result.error)
+                DeviceSummary(
+                    device_id=device_id, error=result.error, board=board_name
+                )
             )
             continue
         gov = governed.get(device_id)
@@ -273,6 +318,7 @@ def aggregate_fleet(
                     if last is not None
                     else result.profile.battery.charge_fraction
                 ),
+                board=board_name,
             )
         )
     summaries.sort(key=lambda s: s.device_id)

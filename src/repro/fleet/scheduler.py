@@ -63,6 +63,24 @@ TRANSIENT_ERRORS = (
 
 
 @dataclass
+class _BoardGroup:
+    """Per-board-target pricing state of a heterogeneous fleet.
+
+    Attributes:
+        board: the target's nominal (unperturbed) anchor board.
+        space: the target's canonical design space.
+        shared: the target's fleet-shared pricing state.
+        nominal: pipeline on the anchor board; new device pipelines of
+            this target warm-start their timing-only caches from it.
+    """
+
+    board: Board
+    space: DesignSpace
+    shared: FleetSharedState
+    nominal: Optional[DAEDVFSPipeline] = None
+
+
+@dataclass
 class DeviceResult:
     """Planning outcome for one device.
 
@@ -163,13 +181,26 @@ class FleetScheduler:
         #: (sorted; stable across worker scheduling).
         self.quarantined: List[int] = []
         self._quarantine_lock = threading.Lock()
-        self.space: DesignSpace = paper_design_space(
-            self.base_board.power_model
+        # Heterogeneous fleets carry several board targets; pricing
+        # state only shares across devices of the *same* target, so
+        # each board name gets its own group: a nominal anchor board,
+        # the board's canonical design space, the shared pricing state
+        # and the nominal pipeline new device pipelines warm-start
+        # from.  The base board's group is the historical scheduler
+        # state, and ``space`` / ``shared`` keep aliasing it.
+        base_group = _BoardGroup(
+            board=self.base_board,
+            space=self._space_for(self.base_board),
+            shared=FleetSharedState(self.base_board, trace_params),
         )
-        self.shared = FleetSharedState(self.base_board, trace_params)
-        # The nominal pipeline anchors the timing-only results every
-        # device inherits (baseline latency, fixed overhead).
-        self._nominal = self._build_pipeline(self.base_board)
+        base_group.nominal = self._build_pipeline(self.base_board, base_group)
+        self.space: DesignSpace = base_group.space
+        self.shared = base_group.shared
+        self._nominal = base_group.nominal
+        self._groups: Dict[str, _BoardGroup] = {
+            self.base_board.name: base_group
+        }
+        self._groups_lock = threading.Lock()
         self._pipelines: Dict[Tuple, DAEDVFSPipeline] = {
             self.base_board.fingerprint(): self._nominal
         }
@@ -177,21 +208,68 @@ class FleetScheduler:
 
     # -- pipeline wiring ---------------------------------------------------------
 
-    def _build_pipeline(self, board: Board) -> DAEDVFSPipeline:
+    @staticmethod
+    def _space_for(board: Board) -> DesignSpace:
+        """One canonical design space per board target.
+
+        The space prunes iso-frequency configs with the *nominal*
+        power model; deriving it per perturbed device would fragment
+        every shared cache (and real deployments ship one frequency
+        grid per SKU, not one per unit).
+        """
+        if board.space_factory is not None:
+            return board.space_factory(board)
+        return paper_design_space(board.power_model)
+
+    def _group_for(self, board: Board) -> "_BoardGroup":
+        """The pricing group of a device's board target (by name)."""
+        with self._groups_lock:
+            group = self._groups.get(board.name)
+        if group is not None:
+            return group
+        nominal_board = self._nominal_board_for(board)
+        group = _BoardGroup(
+            board=nominal_board,
+            space=self._space_for(nominal_board),
+            shared=FleetSharedState(nominal_board, self.trace_params),
+        )
+        group.nominal = self._build_pipeline(nominal_board, group)
+        with self._groups_lock:
+            return self._groups.setdefault(board.name, group)
+
+    @staticmethod
+    def _nominal_board_for(board: Board) -> Board:
+        """The unperturbed anchor of a device's target.
+
+        Registered names rebuild the spec's nominal board (datasheet
+        power constants); unregistered boards anchor on the device
+        itself.
+        """
+        from ..boards.registry import get_spec
+        from ..errors import BoardError
+
+        try:
+            return get_spec(board.name).build()
+        except BoardError:
+            return board
+
+    def _build_pipeline(
+        self, board: Board, group: "_BoardGroup"
+    ) -> DAEDVFSPipeline:
         if not self.share:
             return DAEDVFSPipeline(
                 board=board,
-                space=self.space,
+                space=group.space,
                 trace_params=self.trace_params,
                 solver=self.solver,
                 dp_resolution=self.dp_resolution,
                 max_refinements=self.max_refinements,
             )
-        explorer = SharedComponentExplorer(board, self.space, self.shared)
-        runtime = ReplayingRuntime(board, self.shared, self.trace_params)
+        explorer = SharedComponentExplorer(board, group.space, group.shared)
+        runtime = ReplayingRuntime(board, group.shared, self.trace_params)
         return DAEDVFSPipeline(
             board=board,
-            space=self.space,
+            space=group.space,
             trace_params=self.trace_params,
             solver=self.solver,
             dp_resolution=self.dp_resolution,
@@ -205,18 +283,21 @@ class FleetScheduler:
 
         Pipeline caches embed the power model through their prices, so
         only devices whose boards fingerprint equal may share one;
-        distinct devices still share everything timing-side through
-        the fleet state.
+        distinct devices of one target still share everything
+        timing-side through their group's fleet state.
         """
         if not self.share:
-            return self._build_pipeline(profile.board)
+            return self._build_pipeline(
+                profile.board, self._group_for(profile.board)
+            )
         key = profile.board.fingerprint()
         with self._pipelines_lock:
             pipeline = self._pipelines.get(key)
         if pipeline is not None:
             return pipeline
-        pipeline = self._build_pipeline(profile.board)
-        pipeline.warm_start_from(self._nominal, self.model)
+        group = self._group_for(profile.board)
+        pipeline = self._build_pipeline(profile.board, group)
+        pipeline.warm_start_from(group.nominal, self.model)
         with self._pipelines_lock:
             return self._pipelines.setdefault(key, pipeline)
 

@@ -24,7 +24,7 @@ device and re-price only the energy per device.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -132,8 +132,16 @@ def sample_device(
     variation: VariationModel,
     base_power: PowerModelParams,
     base_battery: Battery,
+    board_name: Optional[str] = None,
 ) -> DeviceProfile:
-    """Draw one device from its private seed sequence."""
+    """Draw one device from its private seed sequence.
+
+    ``board_name`` selects the unit's hardware target from the board
+    registry (heterogeneous fleets); ``None`` keeps the historical
+    F767 path, byte-identical to pre-registry sampling.  The draw
+    order is independent of the board, so device *k*'s perturbation
+    stream is the same whichever target it lands on.
+    """
     rng = np.random.default_rng(seed_seq)
     params = base_power.scaled(
         p_board_static_w=base_power.p_board_static_w
@@ -153,7 +161,12 @@ def sample_device(
     charge = float(
         rng.uniform(variation.charge_low, variation.charge_high)
     )
-    board = make_nucleo_f767zi(power_params=params)
+    if board_name is None:
+        board = make_nucleo_f767zi(power_params=params)
+    else:
+        from ..boards.registry import get_spec
+
+        board = get_spec(board_name).build(power_params=params)
     thermal = ThermalModelParams(
         t_ambient_c=ambient,
         leakage_ref_w=params.p_mcu_leakage_w,
@@ -177,6 +190,7 @@ def sample_fleet(
     variation: Optional[VariationModel] = None,
     base_power: Optional[PowerModelParams] = None,
     base_battery: Optional[Battery] = None,
+    boards: Optional[Sequence[str]] = None,
 ) -> List[DeviceProfile]:
     """Sample a reproducible heterogeneous fleet.
 
@@ -187,18 +201,53 @@ def sample_fleet(
             resampling with the same seed is bit-identical.
         variation: spread parameters (defaults above).
         base_power: nominal power constants the spreads multiply.
+            When ``boards`` is given and this is ``None``, each
+            device's nominal constants come from its board's spec.
         base_battery: cell model every device starts from.
+        boards: registry names to mix (heterogeneous fleet).  Each
+            device's target is drawn from a *separate* spawned stream,
+            so the per-device perturbation streams are exactly the
+            ones the homogeneous fleet would see; ``None`` keeps the
+            historical F767-only sampling bit-identical.
 
     Raises:
-        PowerModelError: for a non-positive fleet size.
+        PowerModelError: for a non-positive fleet size or an empty
+            board mix.
     """
     if n_devices <= 0:
         raise PowerModelError("n_devices must be positive")
     variation = variation or VariationModel()
-    base_power = base_power or PowerModelParams()
     base_battery = base_battery or Battery()
-    children = np.random.SeedSequence(seed).spawn(n_devices)
+    root = np.random.SeedSequence(seed)
+    children = root.spawn(n_devices)
+    if boards is None:
+        base = base_power or PowerModelParams()
+        return [
+            sample_device(i, child, variation, base, base_battery)
+            for i, child in enumerate(children)
+        ]
+    board_list = list(boards)
+    if not board_list:
+        raise PowerModelError("boards must name at least one registry entry")
+    from ..boards.registry import get_spec
+
+    specs = {name: get_spec(name) for name in board_list}
+    # Assignment consumes its own spawned stream (a sibling of the
+    # device streams), so mixing boards never shifts the per-device
+    # perturbation draws.
+    assign_rng = np.random.default_rng(root.spawn(1)[0])
+    assignment = [
+        board_list[int(k)]
+        for k in assign_rng.integers(0, len(board_list), size=n_devices)
+    ]
     return [
-        sample_device(i, child, variation, base_power, base_battery)
-        for i, child in enumerate(children)
+        sample_device(
+            i,
+            child,
+            variation,
+            base_power or specs[name].base_power_params(),
+            base_battery,
+            board_name=name,
+        )
+        for i, (child, name) in enumerate(zip(children, assignment))
     ]

@@ -11,7 +11,7 @@ board matching the paper's experimental setup (Sec. IV).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from ..clock.configs import ClockConfig, lfo_config
 from ..clock.rcc import RCC
@@ -20,6 +20,7 @@ from ..power.model import BoardPowerModel, PowerModelParams
 from .cache import CacheModel
 from .core import CoreModel, CoreTimingParams
 from .memory import MemoryMap
+from .npu import NPUModel
 from .timers import HardwareTimer, TimerConfig
 
 
@@ -35,6 +36,14 @@ class Board:
         cache: analytic L1 model bounding the DAE granularity.
         switch_cost_model: clock-transition pricing (shared with the
             RCC so everyone agrees on switch latencies).
+        npu: optional NPU offload descriptor.  When present, layers the
+            NPU supports price as frequency-insensitive fixed-latency
+            segments (see :mod:`repro.mcu.npu`) instead of walking the
+            DAE/DVFS design space.
+        space_factory: optional ``board -> DesignSpace`` hook providing
+            the board's native exploration grid (its own HFO ladder and
+            LFO).  ``None`` means the paper's F767 grid; kept untyped
+            to avoid an mcu -> dse import cycle.
     """
 
     name: str
@@ -43,6 +52,8 @@ class Board:
     core: CoreModel
     cache: CacheModel
     switch_cost_model: SwitchCostModel
+    npu: Optional[NPUModel] = None
+    space_factory: Optional[Callable[["Board"], object]] = None
 
     @property
     def memory_map(self) -> MemoryMap:
@@ -57,11 +68,16 @@ class Board:
         their caches built against one serve the other.  The fleet
         scheduler groups devices by this key.
         """
-        return (
+        fp = (
             self.name,
             self.power_model.params,
             self.timing_fingerprint(),
         )
+        # Appended only when present so NPU-less boards (every pre-NPU
+        # caller) keep their original fingerprint shape.
+        if self.npu is not None:
+            fp = fp + (self.npu,)
+        return fp
 
     def timing_fingerprint(self) -> tuple:
         """Identity of the timing side only (power model excluded).

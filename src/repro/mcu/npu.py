@@ -1,0 +1,98 @@
+"""Neural processing unit (NPU) offload model.
+
+NPU-class MCUs (the STM32N6's Neural-ART, NXP's eIQ Neutron) run
+convolution-family layers on a dedicated accelerator clocked from its
+own fixed-frequency domain.  For the DAE/DVFS methodology this inverts
+the paper's central tradeoff: an NPU-mapped layer's latency and energy
+do **not** move with the CPU SYSCLK, so DVFS buys nothing on those
+layers -- they price as fixed-latency, fixed-energy segments and the
+optimizer's remaining leverage is the CPU-resident layers plus the
+idle policy.  (See *Evaluating the Energy Efficiency of NPU-Accelerated
+ML Inference on Embedded Microcontrollers* for measurements of exactly
+this frequency insensitivity.)
+
+The model is deliberately coarse -- a throughput (MACs/cycle at a
+fixed accelerator clock), an active power, and a per-layer dispatch
+overhead -- matching the granularity at which vendor tools report NPU
+performance (e.g. ST quotes Neural-ART at 600 GOPS / 3 TOPS/W).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..errors import PowerModelError
+from ..units import MHZ, us
+
+#: Layer kinds an NPU typically maps (conv-family operators).  Values
+#: are :class:`~repro.nn.layers.base.LayerKind` values, kept as strings
+#: so this module never imports the nn layer (no mcu -> nn dependency).
+DEFAULT_NPU_KINDS: Tuple[str, ...] = (
+    "conv2d",
+    "depthwise",
+    "pointwise",
+    "dense",
+)
+
+
+@dataclass(frozen=True)
+class NPUModel:
+    """One NPU offload descriptor.
+
+    Attributes:
+        name: accelerator identifier (e.g. ``"neural-art"``).
+        macs_per_cycle: effective multiply-accumulates per accelerator
+            cycle (already including utilization losses).
+        clock_hz: the accelerator's own clock domain -- fixed, and
+            decoupled from the CPU SYSCLK, which is exactly why NPU
+            layers are frequency-insensitive under CPU DVFS.
+        active_power_w: board-level power draw while the NPU runs.
+        dispatch_overhead_s: per-layer cost of programming the NPU
+            (descriptor fetch, weight streaming setup, epoch kickoff).
+        supported_kinds: ``LayerKind.value`` strings the NPU can map;
+            unsupported layers fall back to the CPU path.
+    """
+
+    name: str = "npu"
+    macs_per_cycle: float = 64.0
+    clock_hz: float = 800 * MHZ
+    active_power_w: float = 0.2
+    dispatch_overhead_s: float = us(25)
+    supported_kinds: Tuple[str, ...] = DEFAULT_NPU_KINDS
+
+    def __post_init__(self) -> None:
+        if self.macs_per_cycle <= 0:
+            raise PowerModelError("NPU macs_per_cycle must be positive")
+        if self.clock_hz <= 0:
+            raise PowerModelError("NPU clock_hz must be positive")
+        if self.active_power_w < 0:
+            raise PowerModelError("NPU active_power_w must be >= 0")
+        if self.dispatch_overhead_s < 0:
+            raise PowerModelError("NPU dispatch_overhead_s must be >= 0")
+        if not self.supported_kinds:
+            raise PowerModelError("NPU needs at least one supported kind")
+
+    def supports(self, kind) -> bool:
+        """Whether ``kind`` (a LayerKind or its value) maps to the NPU."""
+        value = getattr(kind, "value", kind)
+        return value in self.supported_kinds
+
+    def layer_latency_s(self, macs: float) -> float:
+        """Wall time of one layer: dispatch plus MAC streaming.
+
+        Independent of the CPU SYSCLK by construction -- the
+        accelerator runs from :attr:`clock_hz` regardless of what the
+        core's clock tree is doing.
+        """
+        return self.dispatch_overhead_s + macs / (
+            self.macs_per_cycle * self.clock_hz
+        )
+
+    def layer_energy_j(self, macs: float) -> float:
+        """Energy of one layer at the accelerator's active power."""
+        return self.layer_latency_s(macs) * self.active_power_w
+
+    def throughput_gops(self) -> float:
+        """Peak effective throughput in GOPS (2 ops per MAC)."""
+        return 2.0 * self.macs_per_cycle * self.clock_hz / 1e9

@@ -136,7 +136,14 @@ class DAEDVFSPipeline:
         if max_refinements < 0:
             raise SolverError("max_refinements must be >= 0")
         self.board = board or make_nucleo_f767zi()
-        self.space = space or paper_design_space(self.board.power_model)
+        if space is None:
+            # Boards carrying their own design space (non-F7 clock
+            # trees) plan over it; everything else uses the paper grid.
+            if self.board.space_factory is not None:
+                space = self.board.space_factory(self.board)
+            else:
+                space = paper_design_space(self.board.power_model)
+        self.space = space
         self.trace_params = trace_params
         self.solver = solver
         self.dp_resolution = dp_resolution

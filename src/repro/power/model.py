@@ -64,6 +64,11 @@ class PowerState(enum.Enum):
     STOP = "stop"
     #: Stalled while a clock switch (PLL re-lock) completes.
     SWITCHING = "switching"
+    #: A layer running on an NPU offload engine.  Priced by the board's
+    #: :class:`~repro.mcu.npu.NPUModel`, not by this model: the NPU has
+    #: its own clock domain and its power does not track the SYSCLK, so
+    #: :meth:`BoardPowerModel.power` rejects this state.
+    NPU_ACTIVE = "npu_active"
 
 
 @dataclass(frozen=True)
@@ -203,6 +208,11 @@ class BoardPowerModel:
         the clock tree down regardless of what it was running.
         """
         p = self.params
+        if state is PowerState.NPU_ACTIVE:
+            raise PowerModelError(
+                "NPU intervals are priced by the board's NPUModel, not "
+                "the SYSCLK power model"
+            )
         if state is PowerState.IDLE_GATED:
             return p.p_board_static_w + p.p_gated_w
         if state is PowerState.STOP:

@@ -90,6 +90,11 @@ class ScenarioConfig:
         storm_threshold: replan intents in one tick that count the
             tick as a replan storm.
         max_workers: planner thread-pool width for initial deployment.
+        boards: registry names to mix the fleet across (devices are
+            assigned round-robin-free from a dedicated seed stream, as
+            :func:`repro.fleet.variation.sample_fleet` does).  ``None``
+            keeps the homogeneous default-board pool -- and the
+            scenario digest -- byte-identical to pre-registry runs.
     """
 
     name: str = "custom"
@@ -111,6 +116,7 @@ class ScenarioConfig:
     oracle_stride: int = 0
     storm_threshold: int = 10
     max_workers: int = 4
+    boards: Optional[Tuple[str, ...]] = None
 
     def __post_init__(self) -> None:
         if self.model_name not in _MODEL_BUILDERS:
@@ -130,10 +136,23 @@ class ScenarioConfig:
             raise ReproError("oracle_stride must be >= 0")
         if self.storm_threshold < 1:
             raise ReproError("storm_threshold must be >= 1")
+        if self.boards is not None:
+            if not self.boards:
+                raise ReproError("boards must be None or non-empty")
+            self.boards = tuple(self.boards)
+            from ..boards.registry import get_spec
+
+            for name in self.boards:
+                get_spec(name)  # raises BoardError on unknown names
 
     def describe(self) -> Dict:
-        """JSON-ready generator description (digested in the report)."""
-        return {
+        """JSON-ready generator description (digested in the report).
+
+        The ``boards`` key appears only when the scenario mixes board
+        targets, so default-board scenario digests pin byte-identically
+        across the registry refactor.
+        """
+        data = {
             "arrivals": self.arrivals.describe(),
             "ambient": self.ambient.to_dict(),
             "churn": self.churn.to_dict(),
@@ -166,6 +185,9 @@ class ScenarioConfig:
             "oracle_stride": self.oracle_stride,
             "storm_threshold": self.storm_threshold,
         }
+        if self.boards is not None:
+            data["boards"] = list(self.boards)
+        return data
 
 
 class ServeBridge:
@@ -277,11 +299,39 @@ class ScenarioEngine:
         variation = VariationModel()
         base_power = PowerModelParams()
         base_battery = Battery()
-        children = np.random.SeedSequence(config.seed).spawn(n_pool)
-        self.pool: List[DeviceProfile] = [
-            sample_device(i, child, variation, base_power, base_battery)
-            for i, child in enumerate(children)
-        ]
+        root = np.random.SeedSequence(config.seed)
+        children = root.spawn(n_pool)
+        if config.boards is None:
+            self.pool: List[DeviceProfile] = [
+                sample_device(i, child, variation, base_power, base_battery)
+                for i, child in enumerate(children)
+            ]
+        else:
+            # Board assignment draws from its own sibling stream (as
+            # sample_fleet does), so per-device variation streams are
+            # identical to the homogeneous pool of the same seed.
+            from ..boards.registry import get_spec
+
+            board_list = list(config.boards)
+            specs = {name: get_spec(name) for name in board_list}
+            assign_rng = np.random.default_rng(root.spawn(1)[0])
+            assignment = [
+                board_list[int(k)]
+                for k in assign_rng.integers(
+                    0, len(board_list), size=n_pool
+                )
+            ]
+            self.pool = [
+                sample_device(
+                    i,
+                    child,
+                    variation,
+                    specs[assignment[i]].base_power_params(),
+                    base_battery,
+                    board_name=assignment[i],
+                )
+                for i, child in enumerate(children)
+            ]
 
         # Run state.
         self._bridge: Optional[ServeBridge] = None
@@ -486,6 +536,13 @@ class ScenarioEngine:
         )
         get_registry().count("scenario.engine", event="quarantine")
 
+    def _board_param(self, pool_index: int) -> Dict:
+        """Serve-request board selector for one device ({} when
+        homogeneous, so default-board wire requests are unchanged)."""
+        if self.config.boards is None:
+            return {}
+        return {"board": self.pool[pool_index].board.name}
+
     def _route_replans(
         self,
         t_s: float,
@@ -517,6 +574,7 @@ class ScenarioEngine:
                     "qos_percent": cfg.qos_percent,
                     "extra_power_w": intent.extra_w,
                     "max_hfo_mhz": intent.cap_hz / 1e6,
+                    **self._board_param(device_id),
                 },
             )
             if ServeBridge.shed(response):
@@ -551,7 +609,11 @@ class ScenarioEngine:
             return
         response = bridge.request(
             "plan",
-            {"model": cfg.model_name, "qos_percent": cfg.qos_percent},
+            {
+                "model": cfg.model_name,
+                "qos_percent": cfg.qos_percent,
+                **self._board_param(pool_index),
+            },
         )
         if ServeBridge.shed(response):
             # Provisioning is admission-gated too: a shed join retries

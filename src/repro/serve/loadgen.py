@@ -98,6 +98,9 @@ class LoadGenConfig:
 
     model: str = "tiny"
     models: Tuple[str, ...] = ()
+    #: Optional registry board every request plans for (absent ->
+    #: the serve tier's default board; wire shape unchanged).
+    board: Optional[str] = None
     pairs: Tuple[Tuple[str, float], ...] = ()
     qos_percents: Tuple[float, ...] = (10.0, 30.0, 50.0)
     requests: int = 64
@@ -186,11 +189,13 @@ async def _issue(
 ) -> None:
     start = time.perf_counter()
     try:
+        extra = {} if config.board is None else {"board": config.board}
         result = await client.request(
             "plan",
             deadline_s=config.deadline_s,
             model=model,
             qos_percent=qos_percent,
+            **extra,
         )
     except OverloadedError:
         outcome["shed"] += 1
@@ -288,6 +293,8 @@ async def _verify_digests(
         dp_resolution=config.serve.dp_resolution,
         max_refinements=config.serve.max_refinements,
     )
+    extra = {} if config.board is None else {"board": config.board}
+
     async def fetch(model: str, qos: float) -> Dict[str, Any]:
         # The burst may leave the admission bucket drained; retrying
         # is deterministic under a logical arrival clock (each check
@@ -295,7 +302,7 @@ async def _verify_digests(
         for _ in range(10_000):
             try:
                 result = await client.request(
-                    "plan", model=model, qos_percent=qos
+                    "plan", model=model, qos_percent=qos, **extra
                 )
             except OverloadedError as err:
                 delay = min(max(err.retry_after_s or 0.0, 0.0), 0.01)
@@ -321,7 +328,9 @@ async def _verify_digests(
         served = await fetch(model, qos)
         cold = await loop.run_in_executor(
             executor,
-            lambda m=model, qk=qos_key: oracle.plan_cold(m, qk),
+            lambda m=model, qk=qos_key: oracle.plan_cold(
+                m, qk, board_name=config.board
+            ),
         )
         checks += 1
         if served["digest"] != cold["digest"]:

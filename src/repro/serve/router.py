@@ -61,7 +61,7 @@ from .protocol import (
     error_from_exception,
 )
 from .server import JsonLinesListener, ServeConfig
-from .service import qos_key_from_params
+from .service import board_from_params, qos_key_from_params
 from .shared_cache import managed_shared_cache, request_key
 from .worker import worker_main
 
@@ -131,19 +131,24 @@ class HashRing:
 def shard_key(params: Dict[str, Any]) -> str:
     """The routing identity of one request's params.
 
-    Deliberately *just* (model, QoS): plan and reprice requests for
-    the same deployment co-locate (reprice then reuses the shard's
+    Deliberately *just* (model, QoS, board): plan and reprice requests
+    for the same deployment co-locate (reprice then reuses the shard's
     warm front store), telemetry aggregates per model, and drift
     parameters stay out so a repriced deployment is owned by the same
-    shard that planned it.
+    shard that planned it.  The board element is appended only when
+    the request selects one, so default-board routing (and any
+    persisted shard assignment) is unchanged, while the same
+    (model, QoS) planned for two boards never shares a shard's warm
+    state by accident.
     """
     qos: List[Any] = []
     for name in ("qos_percent", "qos_ms"):
         if params.get(name) is not None:
             qos = [name, str(params[name])]
-    return json.dumps(
-        [str(params.get("model")), qos], separators=(",", ":")
-    )
+    identity: List[Any] = [str(params.get("model")), qos]
+    if params.get("board") is not None:
+        identity.append(str(params["board"]))
+    return json.dumps(identity, separators=(",", ":"))
 
 
 @dataclass
@@ -742,9 +747,10 @@ class ShardRouter(JsonLinesListener):
             return None
         try:
             qos_key = qos_key_from_params(request.params)
+            board = board_from_params(request.params)
         except ReproError:
             return None
-        return request_key(model, qos_key)
+        return request_key(model, qos_key, board)
 
     def _owner(self, request: Request) -> _Worker:
         if not len(self.ring):

@@ -37,7 +37,7 @@ from .protocol import (
     encode_response,
     error_from_exception,
 )
-from .service import PlanService, qos_key_from_params
+from .service import PlanService, board_from_params, qos_key_from_params
 
 
 @dataclass
@@ -68,6 +68,10 @@ class ServeConfig:
             the whole service).  Labels this worker's metrics and
             rides on its ``stats`` payload so the router can aggregate
             per-worker views.
+        default_board: registry board the tier plans for when a
+            request names none (None = the registry default, the
+            STM32F767ZI).  Requests carrying ``params["board"]``
+            override it either way.
     """
 
     host: str = "127.0.0.1"
@@ -89,6 +93,7 @@ class ServeConfig:
     default_deadline_s: Optional[float] = None
     drain_timeout_s: float = 10.0
     worker_id: Optional[int] = None
+    default_board: Optional[str] = None
 
 
 class JsonLinesListener:
@@ -226,6 +231,13 @@ class PlanServer(JsonLinesListener):
         cfg = self.config
         self.metrics = ServeMetrics()
         self.cache = PlanCache(capacity=cfg.cache_capacity)
+        service_kwargs = {}
+        if cfg.default_board is not None:
+            from ..boards.registry import get_spec
+
+            service_kwargs["board_factory"] = get_spec(
+                cfg.default_board
+            ).build
         self.service = PlanService(
             cache=self.cache,
             cache_enabled=cfg.cache_enabled and not cfg.stateless,
@@ -235,6 +247,7 @@ class PlanServer(JsonLinesListener):
             shared_cache=(
                 shared_cache if not cfg.stateless else None
             ),
+            **service_kwargs,
         )
         if cfg.worker_id is not None:
             get_registry().gauge_set(
@@ -329,17 +342,21 @@ class PlanServer(JsonLinesListener):
         params = request.params
         model_name = params.get("model")
         qos_key = qos_key_from_params(params)
+        board = board_from_params(params)
         if request.op == "plan":
             if self.config.stateless:
                 return (
-                    ("plan-cold", model_name, qos_key, id(request)),
-                    lambda: self.service.plan_cold(model_name, qos_key),
+                    ("plan-cold", model_name, qos_key, board, id(request)),
+                    lambda: self.service.plan_cold(
+                        model_name, qos_key, board_name=board
+                    ),
                 )
             use_cache = not bool(params.get("no_cache", False))
             return (
-                ("plan", model_name, qos_key, use_cache),
+                ("plan", model_name, qos_key, board, use_cache),
                 lambda: self.service.plan(
-                    model_name, qos_key, use_cache=use_cache
+                    model_name, qos_key, use_cache=use_cache,
+                    board_name=board,
                 ),
             )
         try:
@@ -351,12 +368,16 @@ class PlanServer(JsonLinesListener):
                 f"drift parameters must be numeric: {err}"
             ) from err
         return (
-            ("reprice", model_name, qos_key, extra_power_w, max_hfo_mhz),
+            (
+                "reprice", model_name, qos_key, board,
+                extra_power_w, max_hfo_mhz,
+            ),
             lambda: self.service.reprice(
                 model_name,
                 qos_key,
                 extra_power_w=extra_power_w,
                 max_hfo_mhz=max_hfo_mhz,
+                board_name=board,
             ),
         )
 

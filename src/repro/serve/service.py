@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from ..dse.space import paper_design_space
@@ -53,6 +54,32 @@ MODEL_REGISTRY: Dict[str, Callable[[], Model]] = {
     **PAPER_MODELS,
     "tiny": build_tiny_test_model,
 }
+
+
+@dataclass
+class _BoardState:
+    """One board's warm planning trio inside a :class:`PlanService`."""
+
+    board: Board
+    shared: FleetSharedState
+    pipeline: DAEDVFSPipeline
+
+
+def board_from_params(params: Dict[str, Any]) -> Optional[str]:
+    """The optional board selector of a request.
+
+    ``None`` (absent) means the service's default board -- the
+    pre-registry wire contract, byte-identical payloads included.
+
+    Raises:
+        ProtocolError: non-string board names.
+    """
+    board = params.get("board")
+    if board is None:
+        return None
+    if not isinstance(board, str) or not board:
+        raise ProtocolError("board must be a non-empty string")
+    return board
 
 
 def qos_key_from_params(params: Dict[str, Any]) -> Tuple:
@@ -113,6 +140,11 @@ class PlanService:
         self.board = board_factory()
         self.shared = FleetSharedState(self.board)
         self.pipeline = self._build_pipeline(self.board, shared=True)
+        # Lazily-built per-board planning states for requests that
+        # select a registry target (``params["board"]``).  The default
+        # (no board param) keeps using the attributes above.
+        self._board_states: Dict[str, "_BoardState"] = {}
+        self._board_states_lock = threading.Lock()
         self._models: Dict[str, Model] = {}
         self._models_lock = threading.Lock()
         # (model_key, qos_key) -> OptimizationResult, most recent last.
@@ -126,8 +158,18 @@ class PlanService:
 
     # -- wiring ------------------------------------------------------------------
 
+    @staticmethod
+    def _space_for(board: Board):
+        """The board's canonical design space (native grid or paper's)."""
+        if board.space_factory is not None:
+            return board.space_factory(board)
+        return paper_design_space(board.power_model)
+
     def _build_pipeline(
-        self, board: Board, shared: bool
+        self,
+        board: Board,
+        shared: bool,
+        shared_state: Optional[FleetSharedState] = None,
     ) -> DAEDVFSPipeline:
         if not shared:
             return DAEDVFSPipeline(
@@ -136,9 +178,10 @@ class PlanService:
                 dp_resolution=self.dp_resolution,
                 max_refinements=self.max_refinements,
             )
-        space = paper_design_space(board.power_model)
-        explorer = SharedComponentExplorer(board, space, self.shared)
-        runtime = ReplayingRuntime(board, self.shared)
+        state = shared_state if shared_state is not None else self.shared
+        space = self._space_for(board)
+        explorer = SharedComponentExplorer(board, space, state)
+        runtime = ReplayingRuntime(board, state)
         return DAEDVFSPipeline(
             board=board,
             space=space,
@@ -148,6 +191,33 @@ class PlanService:
             explorer=explorer,
             runtime=runtime,
         )
+
+    def _state_for(self, board_name: Optional[str]) -> "_BoardState":
+        """The planning state serving one board selector.
+
+        ``None`` aliases the service's default board; named boards
+        each get their own warm pipeline + fleet-shared pricing state,
+        built once on first request.
+        """
+        if board_name is None:
+            return _BoardState(
+                board=self.board, shared=self.shared, pipeline=self.pipeline
+            )
+        with self._board_states_lock:
+            state = self._board_states.get(board_name)
+        if state is not None:
+            return state
+        from ..boards.registry import build_board
+
+        board = build_board(board_name)
+        shared = FleetSharedState(board)
+        state = _BoardState(
+            board=board,
+            shared=shared,
+            pipeline=self._build_pipeline(board, shared=True, shared_state=shared),
+        )
+        with self._board_states_lock:
+            return self._board_states.setdefault(board_name, state)
 
     def resolve_model(self, name: Any) -> Model:
         """The shared model instance for a wire name.
@@ -184,12 +254,24 @@ class PlanService:
             }
         return {"qos_s": value * 1e-3}
 
-    def cache_key(self, model: Model, qos_key: Tuple) -> Tuple:
-        """Full plan-cache key: model + board + space + QoS identity."""
+    def cache_key(
+        self,
+        model: Model,
+        qos_key: Tuple,
+        board_name: Optional[str] = None,
+    ) -> Tuple:
+        """Full plan-cache key: model + board + space + QoS identity.
+
+        The board fingerprint (which embeds the board *name* alongside
+        its power/timing identity) keys both the local LRU and the
+        shared tier, so the same (model, QoS) planned for two boards
+        can never share an entry.
+        """
+        state = self._state_for(board_name)
         return plan_cache_key(
             model_fingerprint(model),
-            self.board.fingerprint(),
-            self.pipeline.space.fingerprint(),
+            state.board.fingerprint(),
+            state.pipeline.space.fingerprint(),
             qos_key,
         )
 
@@ -198,8 +280,14 @@ class PlanService:
         model_name: str,
         qos_key: Tuple,
         result: OptimizationResult,
+        board_name: Optional[str] = None,
     ) -> Dict[str, Any]:
-        """The deterministic core payload (digest input) for a plan."""
+        """The deterministic core payload (digest input) for a plan.
+
+        The ``board`` key appears only for explicit board selections;
+        default-board payloads keep their pre-registry shape (and
+        digests).
+        """
         kind, value = qos_key
         core = {
             "model": model_name,
@@ -208,6 +296,8 @@ class PlanService:
             "fixed_overhead_s": result.fixed_overhead_s,
             "plan": plan_to_dict(result.plan),
         }
+        if board_name is not None:
+            core["board"] = board_name
         core["digest"] = plan_digest(
             {k: v for k, v in core.items() if k != "digest"}
         )
@@ -230,13 +320,17 @@ class PlanService:
         self.pipeline = self._build_pipeline(self.board, shared=True)
 
     def _store_fronts(
-        self, model: Model, qos_key: Tuple, result: OptimizationResult
+        self,
+        model: Model,
+        qos_key: Tuple,
+        result: OptimizationResult,
+        board_name: Optional[str] = None,
     ) -> None:
         # Keyed by the *full* plan-cache key -- board and design-space
         # fingerprints included -- so a service reconfigured with a
         # different board or power model can never reprice from fronts
         # priced against the old hardware (the stale-reprice bug).
-        key = self.cache_key(model, qos_key)
+        key = self.cache_key(model, qos_key, board_name)
         with self._front_lock:
             self._front_store[key] = result
             self._front_store.move_to_end(key)
@@ -244,11 +338,15 @@ class PlanService:
                 self._front_store.popitem(last=False)
 
     def _optimize(
-        self, model_name: str, qos_key: Tuple
+        self,
+        model_name: str,
+        qos_key: Tuple,
+        board_name: Optional[str] = None,
     ) -> Tuple[Model, OptimizationResult]:
         model = self.resolve_model(model_name)
-        result = self.pipeline.optimize(model, **self._qos_args(qos_key))
-        self._store_fronts(model, qos_key, result)
+        pipeline = self._state_for(board_name).pipeline
+        result = pipeline.optimize(model, **self._qos_args(qos_key))
+        self._store_fronts(model, qos_key, result, board_name)
         return model, result
 
     def plan(
@@ -256,11 +354,12 @@ class PlanService:
         model_name: str,
         qos_key: Tuple,
         use_cache: bool = True,
+        board_name: Optional[str] = None,
     ) -> Dict[str, Any]:
-        """Plan (or serve from cache) one (model, QoS) request."""
+        """Plan (or serve from cache) one (model, QoS, board) request."""
         with span("serve.plan", model=model_name) as sp:
             model = self.resolve_model(model_name)
-            key = self.cache_key(model, qos_key)
+            key = self.cache_key(model, qos_key, board_name)
             if self.cache_enabled and use_cache:
                 cached = self.cache.get(key)
                 if cached is not None:
@@ -283,7 +382,7 @@ class PlanService:
                             qos=list(qos_key),
                         )
                         self.shared_cache.register_request(
-                            request_key(model_name, qos_key),
+                            request_key(model_name, qos_key, board_name),
                             shared["digest"],
                         )
                         shared = self.cache.put(key, shared)
@@ -296,19 +395,24 @@ class PlanService:
                 model=model_name,
                 qos=list(qos_key),
             )
-            _, result = self._optimize(model_name, qos_key)
-            payload = self._payload(model_name, qos_key, result)
+            _, result = self._optimize(model_name, qos_key, board_name)
+            payload = self._payload(model_name, qos_key, result, board_name)
             if self.cache_enabled and use_cache:
                 payload = self.cache.put(key, payload)
                 if self.shared_cache is not None:
                     self.shared_cache.publish(key, payload)
                     self.shared_cache.register_request(
-                        request_key(model_name, qos_key),
+                        request_key(model_name, qos_key, board_name),
                         payload["digest"],
                     )
             return {**payload, "cached": False}
 
-    def plan_cold(self, model_name: str, qos_key: Tuple) -> Dict[str, Any]:
+    def plan_cold(
+        self,
+        model_name: str,
+        qos_key: Tuple,
+        board_name: Optional[str] = None,
+    ) -> Dict[str, Any]:
         """Plan on a fresh pipeline -- the batch-CLI cost, per request.
 
         No plan cache, no shared pricing state, no warm Step-2 caches:
@@ -317,9 +421,15 @@ class PlanService:
         digest-consistency check compares cached payloads against.
         """
         model = self.resolve_model(model_name)
-        pipeline = self._build_pipeline(self.board_factory(), shared=False)
+        if board_name is None:
+            board = self.board_factory()
+        else:
+            from ..boards.registry import build_board
+
+            board = build_board(board_name)
+        pipeline = self._build_pipeline(board, shared=False)
         result = pipeline.optimize(model, **self._qos_args(qos_key))
-        payload = self._payload(model_name, qos_key, result)
+        payload = self._payload(model_name, qos_key, result, board_name)
         return {**payload, "cached": False}
 
     # -- repricing ---------------------------------------------------------------
@@ -330,6 +440,7 @@ class PlanService:
         qos_key: Tuple,
         extra_power_w: float = 0.0,
         max_hfo_mhz: Optional[float] = None,
+        board_name: Optional[str] = None,
     ) -> Dict[str, Any]:
         """Re-solve the MCKP over cached fronts for drifted conditions.
 
@@ -345,7 +456,7 @@ class PlanService:
                 meets the stored budget.
         """
         model = self.resolve_model(model_name)
-        key = self.cache_key(model, qos_key)
+        key = self.cache_key(model, qos_key, board_name)
         with self._front_lock:
             result = self._front_store.get(key)
         get_audit_log().record(
@@ -356,7 +467,8 @@ class PlanService:
             max_hfo_mhz=max_hfo_mhz,
         )
         if result is None:
-            _, result = self._optimize(model_name, qos_key)
+            _, result = self._optimize(model_name, qos_key, board_name)
+        pipeline = self._state_for(board_name).pipeline
         node_ids = sorted(result.pareto_fronts)
         classes = [
             [
@@ -377,7 +489,7 @@ class PlanService:
             classes, extra_power_w=extra_power_w, item_filter=item_filter
         )
         with span("serve.reprice", model=model_name) as sp:
-            plan = self.pipeline.replan(
+            plan = pipeline.replan(
                 model, classes, result.qos_s, result.fixed_overhead_s
             )
             sp.set(fallback=plan is None)
@@ -391,7 +503,7 @@ class PlanService:
                 model=model_name,
                 qos_s=result.qos_s,
             )
-            plan = self.pipeline.uniform_plan_from_classes(
+            plan = pipeline.uniform_plan_from_classes(
                 model,
                 classes,
                 result.qos_s,
@@ -416,7 +528,7 @@ class PlanService:
             qos_s=result.qos_s,
             fixed_overhead_s=result.fixed_overhead_s,
         )
-        payload = self._payload(model_name, qos_key, repriced)
+        payload = self._payload(model_name, qos_key, repriced, board_name)
         payload["drift"] = {
             "extra_power_w": extra_power_w,
             "max_hfo_mhz": max_hfo_mhz,

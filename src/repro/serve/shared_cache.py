@@ -65,7 +65,9 @@ def _jsonable(value: Any) -> Any:
     return repr(value)
 
 
-def request_key(model_name: str, qos_key: Tuple) -> str:
+def request_key(
+    model_name: str, qos_key: Tuple, board: Optional[str] = None
+) -> str:
     """Request-identity key for the degraded-serving index.
 
     Unlike the full plan-cache key this is computable from the wire
@@ -74,12 +76,17 @@ def request_key(model_name: str, qos_key: Tuple) -> str:
     hit when every worker that could recompute the plan is down.  The
     QoS value goes through ``repr(float(...))`` so int/float spellings
     of the same QoS collapse to one entry.
+
+    The board element is appended only when a request actually selects
+    a board, so default-board keys stay identical to the pre-registry
+    wire format (mixed-version routers and workers agree on them) while
+    the same (model, QoS) on two boards can never share an entry.
     """
     kind, value = qos_key
-    return json.dumps(
-        [str(model_name), [str(kind), repr(float(value))]],
-        separators=(",", ":"),
-    )
+    parts: list = [str(model_name), [str(kind), repr(float(value))]]
+    if board is not None:
+        parts.append(str(board))
+    return json.dumps(parts, separators=(",", ":"))
 
 
 def _payload_digest(payload: Dict[str, Any]) -> str:

@@ -1,0 +1,86 @@
+"""Cross-board DSE report: ranking, anchoring, determinism."""
+
+import pytest
+
+from repro.boards import board_names, cross_board_report
+from repro.nn import build_tiny_test_model
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return build_tiny_test_model()
+
+
+@pytest.fixture(scope="module")
+def report(tiny):
+    return cross_board_report(tiny, qos_percent=30.0)
+
+
+class TestReportShape:
+    def test_one_row_per_registered_board(self, report):
+        assert [r["board"] for r in report["boards"]] == board_names()
+
+    def test_qos_anchored_on_reference_baseline(self, report):
+        assert report["reference"] == "nucleo-f767zi"
+        assert report["qos_s"] == pytest.approx(
+            report["reference_baseline_s"] * 1.30
+        )
+
+    def test_requires_exactly_one_qos_form(self, tiny):
+        with pytest.raises(ValueError):
+            cross_board_report(tiny)
+        with pytest.raises(ValueError):
+            cross_board_report(tiny, qos_s=0.001, qos_percent=30.0)
+
+    def test_board_subset_honored(self, tiny):
+        sub = cross_board_report(
+            tiny,
+            qos_percent=30.0,
+            boards=["nucleo-f767zi", "nucleo-n657x0"],
+        )
+        assert [r["board"] for r in sub["boards"]] == [
+            "nucleo-f767zi",
+            "nucleo-n657x0",
+        ]
+
+    def test_infeasible_rows_record_min_latency(self, report):
+        rows = {r["board"]: r for r in report["boards"]}
+        mcx = rows["frdm-mcxn947"]
+        if not (mcx["feasible"] and mcx["met_qos"]):
+            assert mcx["min_latency_s"] is not None
+            assert mcx["min_latency_s"] > report["qos_s"]
+
+
+class TestRanking:
+    def test_ranking_sorted_by_energy(self, report):
+        rows = {r["board"]: r for r in report["boards"]}
+        energies = [rows[name]["energy_j"] for name in report["ranking"]]
+        assert energies == sorted(energies)
+
+    def test_winner_heads_the_ranking(self, report):
+        assert report["winner"] == report["ranking"][0]
+
+    def test_only_budget_meeting_boards_ranked(self, report):
+        rows = {r["board"]: r for r in report["boards"]}
+        for name in report["ranking"]:
+            assert rows[name]["feasible"] and rows[name]["met_qos"]
+
+    def test_n6_npu_layers_counted(self, report, tiny):
+        from repro.boards import build_board
+
+        rows = {r["board"]: r for r in report["boards"]}
+        n6 = rows["nucleo-n657x0"]
+        npu = build_board("nucleo-n657x0").npu
+        expected = sum(
+            1 for n in tiny.nodes if npu.supports(n.layer.kind)
+        )
+        assert expected > 0
+        assert n6["npu_layers"] == expected
+        assert rows["nucleo-f767zi"]["npu_layers"] == 0
+
+
+class TestDeterminism:
+    def test_digest_reproduces(self, report, tiny):
+        again = cross_board_report(tiny, qos_percent=30.0)
+        assert again["digest"] == report["digest"]
+        assert again == report

@@ -1,0 +1,74 @@
+"""Golden-digest regression pins for the default board.
+
+These digests were captured on the pre-registry tree (before
+``repro.boards`` existed).  The registry refactor must keep every
+default-board artifact byte-identical: same plans, same fleet rows,
+same scenario timeline -- so the STM32F767ZI behaviour the paper's
+numbers rest on cannot drift while new targets are added.
+
+If one of these fails, the default board's physics changed; that is a
+breaking change to every published number, not a test to re-pin.
+"""
+
+import json
+
+from repro.cli import main
+
+# Captured pre-refactor (see module docstring) -- do not re-pin.
+PLAN_TINY_30 = (
+    "ff21a93658e71379ebeb56cd1f9f1e078e3b3711a4a0c77cc8005ad34d35c3f6"
+)
+OPTIMIZE_TINY_30 = (
+    "ef76648cdba3a046af5a812392fa1ca8e5e8233fe7b4f230e5f3368c46c28e4f"
+)
+FLEET_8_SEED0_EPOCHS2 = (
+    "5d770747d59e74c3d310736afb8d35e555e89f8550222ce5495d780bcd026a2b"
+)
+SCENARIO_ZERO_EVENT_6_SEED0 = (
+    "f4baadc0b30ed2bb68664006d46295db9d97ddaed7b0c5d6ec05365603209f64"
+)
+SCENARIO_ZERO_EVENT_FLEET = (
+    "615a199e508630db23a9a0354861a67738d23ab314dcdd7ff866df9420024589"
+)
+
+
+def run_json(capsys, argv):
+    assert main(argv + ["--json"]) == 0
+    return json.loads(capsys.readouterr().out)
+
+
+class TestDefaultBoardDigestPins:
+    def test_plan_payload_pinned(self, capsys):
+        payload = run_json(
+            capsys, ["plan", "tiny", "--qos-percent", "30"]
+        )
+        assert payload["digest"] == PLAN_TINY_30
+        assert "board" not in payload
+
+    def test_optimize_payload_pinned(self, capsys):
+        payload = run_json(
+            capsys, ["optimize", "tiny", "--qos-percent", "30"]
+        )
+        assert payload["digest"] == OPTIMIZE_TINY_30
+        assert "board" not in payload
+
+    def test_fleet_report_pinned(self, capsys):
+        payload = run_json(
+            capsys,
+            [
+                "fleet", "--devices", "8", "--seed", "0",
+                "--epochs", "2",
+            ],
+        )
+        assert payload["digest"] == FLEET_8_SEED0_EPOCHS2
+        assert "boards" not in payload
+        assert all("board" not in row for row in payload["devices"])
+
+    def test_zero_event_scenario_pinned(self, capsys):
+        payload = run_json(
+            capsys,
+            ["scenario", "zero-event", "--devices", "6", "--seed", "0"],
+        )
+        assert payload["digest"] == SCENARIO_ZERO_EVENT_6_SEED0
+        assert payload["fleet"]["digest"] == SCENARIO_ZERO_EVENT_FLEET
+        assert "boards" not in payload["config"]

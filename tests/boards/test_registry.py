@@ -1,0 +1,147 @@
+"""Board registry: lookup, validation, digests, build isolation."""
+
+import json
+
+import pytest
+
+from repro.boards import (
+    DEFAULT_BOARD,
+    board_names,
+    build_board,
+    get_spec,
+    iter_specs,
+    register,
+)
+from repro.boards.spec import BoardSpec
+from repro.errors import BoardError
+from repro.mcu import make_nucleo_f767zi
+from repro.units import MHZ
+
+
+class TestRegistry:
+    def test_default_board_registered_first(self):
+        names = board_names()
+        assert names[0] == DEFAULT_BOARD
+        assert DEFAULT_BOARD == "nucleo-f767zi"
+
+    def test_shipped_targets_present(self):
+        names = set(board_names())
+        assert {
+            "nucleo-f767zi",
+            "nucleo-f746zg",
+            "frdm-mcxn947",
+            "nucleo-n657x0",
+        } <= names
+
+    def test_unknown_board_raises_with_known_list(self):
+        with pytest.raises(BoardError, match="frdm-mcxn947"):
+            get_spec("no-such-board")
+
+    def test_duplicate_registration_rejected(self):
+        import repro.boards.registry as registry_mod
+
+        spec = BoardSpec(
+            name="throwaway-test-board",
+            title="t",
+            core="cortex-m7",
+            family="test",
+            description="d",
+        )
+        register(spec)
+        try:
+            with pytest.raises(BoardError, match="already registered"):
+                register(spec)
+            register(spec, replace=True)  # explicit override allowed
+        finally:
+            registry_mod._REGISTRY.pop("throwaway-test-board", None)
+
+    def test_iter_specs_matches_names(self):
+        assert [s.name for s in iter_specs()] == board_names()
+
+
+class TestSpecValidation:
+    def test_empty_name_rejected(self):
+        with pytest.raises(BoardError):
+            BoardSpec(
+                name="", title="t", core="c", family="f", description="d"
+            )
+
+    def test_hse_outside_limits_window_rejected(self):
+        from repro.boards.targets import MCXN947_LIMITS
+
+        with pytest.raises(BoardError, match="hse"):
+            BoardSpec(
+                name="bad-hse",
+                title="t",
+                core="c",
+                family="f",
+                description="d",
+                limits=MCXN947_LIMITS,  # window tops out at 32 MHz
+                hse_hz=50 * MHZ,
+                lfo_hz=50 * MHZ,
+            )
+
+    def test_empty_pll_ladder_rejected(self):
+        with pytest.raises(BoardError):
+            BoardSpec(
+                name="bad-ladder",
+                title="t",
+                core="c",
+                family="f",
+                description="d",
+                plln_values=(),
+            )
+
+
+class TestSpecDigests:
+    def test_digest_deterministic(self):
+        for name in board_names():
+            assert get_spec(name).digest() == get_spec(name).digest()
+
+    def test_digests_distinct_across_boards(self):
+        digests = [get_spec(n).digest() for n in board_names()]
+        assert len(set(digests)) == len(digests)
+
+    def test_to_dict_is_json_ready(self):
+        for name in board_names():
+            data = get_spec(name).to_dict()
+            round_tripped = json.loads(json.dumps(data, sort_keys=True))
+            assert round_tripped["name"] == name
+            assert "clock" in data and "power" in data and "timing" in data
+            assert data["clock"]["sysclk_ladder_hz"]
+
+
+class TestBuild:
+    def test_builds_are_isolated(self):
+        a = build_board("nucleo-n657x0")
+        b = build_board("nucleo-n657x0")
+        assert a is not b
+        assert a.rcc is not b.rcc
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_default_build_matches_legacy_factory(self):
+        assert (
+            build_board().fingerprint()
+            == make_nucleo_f767zi().fingerprint()
+        )
+
+    def test_fingerprints_distinct_across_boards(self):
+        prints = [build_board(n).fingerprint() for n in board_names()]
+        assert len(set(prints)) == len(prints)
+
+    def test_npu_only_on_the_n6(self):
+        assert build_board("nucleo-n657x0").npu is not None
+        for name in ("nucleo-f767zi", "nucleo-f746zg", "frdm-mcxn947"):
+            assert build_board(name).npu is None
+
+    def test_space_factory_respects_board_ladder(self):
+        from repro.boards.registry import get_spec
+
+        for name in ("frdm-mcxn947", "nucleo-n657x0"):
+            spec = get_spec(name)
+            board = spec.build()
+            space = board.space_factory(board)
+            limits = spec.limits
+            for hfo in space.hfo_configs:
+                assert hfo.sysclk_hz <= limits.sysclk_max_hz
+            assert space.lfo.sysclk_hz == spec.lfo_hz

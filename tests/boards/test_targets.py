@@ -1,0 +1,153 @@
+"""Calibrated targets: per-board planning, clock limits, NPU pricing."""
+
+import pytest
+
+from repro.boards import board_names, build_board, get_spec
+from repro.boards.targets import MCXN947_LIMITS, STM32N6_LIMITS
+from repro.clock import RCC, lfo_config
+from repro.clock.configs import hsi_config
+from repro.clock.limits import resolve_limits
+from repro.clock.switching import SwitchCostModel
+from repro.dse.explorer import DSEExplorer
+from repro.nn import build_tiny_test_model
+from repro.optimize import QoSLevel
+from repro.pipeline import DAEDVFSPipeline
+
+QOS_30 = QoSLevel(name="30%", slack=0.30)
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return build_tiny_test_model()
+
+
+class TestPerBoardPlanning:
+    @pytest.mark.parametrize("name", board_names())
+    def test_optimize_and_deploy(self, name, tiny):
+        """Every registered board plans the tiny model end to end.
+
+        QoS is relative to each board's *own* TinyEngine baseline, so
+        30% slack is feasible everywhere regardless of absolute speed.
+        """
+        board = build_board(name)
+        pipeline = DAEDVFSPipeline(board=board)
+        result = pipeline.optimize(tiny, qos_level=QOS_30)
+        assert result.plan.layer_plans
+        report = pipeline.deploy(tiny, result.plan)
+        assert report.latency_s > 0
+        assert report.energy_j > 0
+        assert report.latency_s <= result.qos_s * (1 + 1e-9)
+
+    def test_n6_is_fastest_target(self, tiny):
+        latencies = {}
+        for name in ("nucleo-f767zi", "nucleo-n657x0"):
+            pipeline = DAEDVFSPipeline(board=build_board(name))
+            latencies[name] = pipeline.baseline_latency_s(tiny)
+        assert latencies["nucleo-n657x0"] < latencies["nucleo-f767zi"]
+
+    @pytest.mark.parametrize("name", board_names())
+    def test_vos_ladder_covers_sysclk_range(self, name):
+        """Every grid frequency must have a VOS step (power pricing)."""
+        spec = get_spec(name)
+        params = spec.build().power_model.params
+        top_step_hz = max(hz for hz, _ in params.vos_steps)
+        assert max(spec.sysclk_ladder_hz()) <= top_step_hz
+
+
+class TestNPUFrequencyInsensitivity:
+    """The issue's pinned N6 behaviour: NPU-mapped layers price as
+    fixed-latency segments, identical across the whole HFO ladder."""
+
+    def test_npu_points_identical_across_hfo_ladder(self, tiny):
+        board = build_board("nucleo-n657x0")
+        space = board.space_factory(board)
+        explorer = DSEExplorer(board, space)
+        for node in tiny.nodes:
+            if not board.npu.supports(node.layer.kind):
+                continue
+            points = explorer.explore_layer(tiny, node)
+            assert len(points) == len(space.hfo_configs)
+            assert len({p.latency_s for p in points}) == 1
+            assert len({p.energy_j for p in points}) == 1
+            assert all(p.granularity == 0 for p in points)
+
+    def test_cpu_points_do_vary_with_frequency(self, tiny):
+        """Control: the F767's CPU path spreads over the ladder."""
+        from repro.dse.space import paper_design_space
+
+        # The legacy factory ships no space_factory: the pipeline
+        # falls back to the paper grid, so the test does too.
+        board = build_board("nucleo-f767zi")
+        space = paper_design_space(board.power_model)
+        explorer = DSEExplorer(board, space)
+        node = next(n for n in tiny.nodes if n.layer.supports_dae)
+        points = explorer.explore_layer(tiny, node)
+        assert len({p.latency_s for p in points}) > 1
+
+
+class TestPerBoardClockLimits:
+    """Satellite: CSS failsafe and PLL budgets come from the board
+    descriptor, not hard-coded F7 constants."""
+
+    FAILSAFE_HZ = {
+        "nucleo-f767zi": 16e6,
+        "nucleo-f746zg": 16e6,
+        "frdm-mcxn947": 12e6,
+        "nucleo-n657x0": 64e6,
+    }
+
+    @staticmethod
+    def _faulted_rcc(spec):
+        from repro.faults import FaultKind, FaultPlan
+
+        limits = spec.limits
+        clock = FaultPlan(
+            scheduled=((FaultKind.HSE_DROPOUT, 0),)
+        ).clock_for(0)
+        return RCC(
+            cost_model=SwitchCostModel(
+                pll_relock_s=resolve_limits(limits).pll_lock_time_s
+            ),
+            initial=lfo_config(spec.lfo_hz, limits=limits),
+            limits=limits,
+            fault_clock=clock,
+        )
+
+    @pytest.mark.parametrize("name", sorted(FAILSAFE_HZ))
+    def test_css_parks_on_the_boards_own_hsi(self, name):
+        spec = get_spec(name)
+        rcc = self._faulted_rcc(spec)
+        hfo = spec.grid_configs()[0]
+        rcc.apply(hfo)  # HSE restart consumes the dropout -> CSS
+        assert rcc.css_count == 1
+        assert rcc.current == hsi_config(spec.limits)
+        assert rcc.current.sysclk_hz == pytest.approx(
+            self.FAILSAFE_HZ[name]
+        )
+
+    @pytest.mark.parametrize("name", board_names())
+    def test_switch_cost_uses_the_boards_lock_budget(self, name):
+        spec = get_spec(name)
+        board = spec.build()
+        budget = resolve_limits(spec.limits).pll_lock_time_s
+        assert board.rcc.cost_model.pll_relock_s == pytest.approx(budget)
+        hfo = spec.grid_configs()[0]
+        cost = board.rcc.apply(hfo)
+        assert cost.latency_s >= budget
+
+    def test_lock_budgets_differ_across_parts(self):
+        budgets = {
+            name: resolve_limits(get_spec(name).limits).pll_lock_time_s
+            for name in ("nucleo-f767zi", "frdm-mcxn947", "nucleo-n657x0")
+        }
+        assert len(set(budgets.values())) == 3
+
+    def test_mcx_ladder_respects_150mhz_cap(self):
+        assert max(get_spec("frdm-mcxn947").sysclk_ladder_hz()) <= (
+            MCXN947_LIMITS.sysclk_max_hz
+        )
+
+    def test_n6_ladder_respects_800mhz_cap(self):
+        assert max(get_spec("nucleo-n657x0").sysclk_ladder_hz()) <= (
+            STM32N6_LIMITS.sysclk_max_hz
+        )

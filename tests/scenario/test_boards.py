@@ -1,0 +1,74 @@
+"""Scenario engine board mixing: config validation, determinism."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.scenario.engine import ScenarioConfig, ScenarioEngine
+
+MIX = ("nucleo-f767zi", "nucleo-n657x0")
+
+
+def small_config(**overrides):
+    defaults = dict(
+        name="board-test",
+        devices=3,
+        horizon_s=300.0,
+        tick_s=60.0,
+        seed=5,
+    )
+    defaults.update(overrides)
+    return ScenarioConfig(**defaults)
+
+
+class TestConfig:
+    def test_unknown_board_rejected(self):
+        with pytest.raises(ReproError):
+            small_config(boards=("no-such-board",))
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ReproError):
+            small_config(boards=())
+
+    def test_describe_omits_boards_by_default(self):
+        assert "boards" not in small_config().describe()
+
+    def test_describe_carries_the_mix(self):
+        desc = small_config(boards=MIX).describe()
+        assert desc["boards"] == list(MIX)
+
+
+class TestEngine:
+    def _run(self, config):
+        engine = ScenarioEngine(config)
+        try:
+            return engine.run()
+        finally:
+            engine.close()
+
+    def test_mixed_pool_assignment(self):
+        engine = ScenarioEngine(small_config(devices=8, boards=MIX))
+        try:
+            names = {p.board.name for p in engine.pool}
+            assert names <= set(MIX)
+            assert len(names) > 1
+        finally:
+            engine.close()
+
+    def test_mixed_scenario_deterministic(self):
+        first = self._run(small_config(boards=MIX)).to_dict()
+        second = self._run(small_config(boards=MIX)).to_dict()
+        assert first["digest"] == second["digest"]
+        assert first["config"]["boards"] == list(MIX)
+
+    def test_device_streams_match_homogeneous_pool(self):
+        """Mixing boards must not shift the device variation streams."""
+        plain = ScenarioEngine(small_config())
+        mixed = ScenarioEngine(small_config(boards=MIX))
+        try:
+            for p, m in zip(plain.pool, mixed.pool):
+                assert m.thermal.t_ambient_c == pytest.approx(
+                    p.thermal.t_ambient_c
+                )
+        finally:
+            plain.close()
+            mixed.close()
