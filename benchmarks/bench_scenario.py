@@ -22,7 +22,11 @@ record (see ``_gating.py``):
   re-planner (which sees every drift before the window it lands in);
 * **checkpoint/resume** -- a small scenario checkpointed at an event
   boundary and resumed must report a digest byte-identical to the
-  uninterrupted run (the :mod:`repro.recovery` invariant).
+  uninterrupted run (the :mod:`repro.recovery` invariant);
+* **monitor overhead** -- the health monitor (per-tick registry
+  sampling + SLO evaluation) must cost under ``MONITOR_MAX_OVERHEAD``
+  of wall time versus the same scenario with ``monitor=False``, and
+  must not move a bit of the simulated fleet (equal fleet digests).
 
 Run standalone (CI's scenario-smoke job runs a smaller preset)::
 
@@ -65,6 +69,12 @@ ORACLE_STRIDE = 100
 #: *after* it observes drift; the oracle re-plans *before* the window
 #: the drift lands in -- the gap prices that one-window lag.
 MAX_ORACLE_GAP = 0.10
+
+#: The health monitor must stay under 2% of scenario wall time.  The
+#: measurement compares the best of the two monitored headline runs
+#: against one monitor-off run, so a single noisy sample cannot fail
+#: the gate by itself.
+MONITOR_MAX_OVERHEAD = 0.02
 
 
 def build_config() -> ScenarioConfig:
@@ -144,13 +154,16 @@ def run_checkpoint_parity() -> dict:
     }
 
 
-def run_once(label: str) -> dict:
+def run_once(label: str, monitor: bool = True) -> dict:
+    config = build_config()
+    config.monitor = monitor
     start = time.perf_counter()
-    report = run_scenario(build_config())
+    report = run_scenario(config)
     wall = time.perf_counter() - start
     epochs = report.demand.get("epochs_run", 0)
     return {
         "label": label,
+        "monitor": monitor,
         "wall_s": wall,
         "devices": DEVICES,
         "epochs_run": epochs,
@@ -159,13 +172,22 @@ def run_once(label: str) -> dict:
         "replans": dict(sorted(report.replans.items())),
         "oracle_gap": report.oracle_gap_fraction,
         "digest": report.digest(),
+        "fleet_digest": report.fleet.digest(),
     }
 
 
 def main():
     first = run_once("first")
     second = run_once("second")
+    unmonitored = run_once("monitor-off", monitor=False)
     parity = run_checkpoint_parity()
+
+    monitored_wall = min(first["wall_s"], second["wall_s"])
+    monitor_overhead = (
+        monitored_wall / unmonitored["wall_s"] - 1.0
+        if unmonitored["wall_s"] > 0
+        else 0.0
+    )
 
     gates = {
         "deterministic_rerun": gate_record(
@@ -183,12 +205,25 @@ def main():
             comparator="==",
             boundary_events=parity["boundary_events"],
         ),
+        "monitor_overhead": gate_record(
+            round(monitor_overhead, 4),
+            MONITOR_MAX_OVERHEAD,
+            comparator="<=",
+            monitored_wall_s=monitored_wall,
+            unmonitored_wall_s=unmonitored["wall_s"],
+        ),
+        "monitor_transparent": gate_record(
+            first["fleet_digest"] == unmonitored["fleet_digest"],
+            True,
+            comparator="==",
+        ),
     }
     enforce_gates(gates)
 
     stages = {
         "run[first]": first,
         "run[second]": second,
+        "run[monitor-off]": unmonitored,
         "checkpoint[resume]": parity,
         "_meta": {
             "devices": DEVICES,
@@ -197,6 +232,7 @@ def main():
             "seed": SEED,
             "oracle_stride": ORACLE_STRIDE,
             "max_oracle_gap": MAX_ORACLE_GAP,
+            "monitor_max_overhead": MONITOR_MAX_OVERHEAD,
             "digest": first["digest"],
             "gates": gates,
         },
@@ -208,7 +244,11 @@ def main():
         f"checkpoint[resume] boundary {parity['boundary_events']}: "
         f"{'identical' if parity['identical'] else 'DIVERGED'}"
     )
-    for stage in ("run[first]", "run[second]"):
+    print(
+        f"monitor overhead: {monitor_overhead:+.2%} "
+        f"(gate <= {MONITOR_MAX_OVERHEAD:.0%})"
+    )
+    for stage in ("run[first]", "run[second]", "run[monitor-off]"):
         entry = stages[stage]
         print(
             f"{stage:12s} {entry['wall_s']:7.2f} s  "

@@ -15,6 +15,8 @@ Exposes the end-to-end flow without writing Python::
     repro-dvfs loadgen --requests 64 --concurrency 8 --json -
     repro-dvfs plan tiny --qos-percent 30 --trace plan.trace.json
     repro-dvfs obs plan.trace.jsonl --chrome plan.chrome.json
+    repro-dvfs fleet --devices 64 --metrics fleet.metrics.json
+    repro-dvfs monitor fleet.metrics.json --slo --lint --prom
     repro-dvfs boards --show nucleo-n657x0 --json
     repro-dvfs crossboard tiny --qos-percent 30 --json
     repro-dvfs fleet --devices 64 --board nucleo-f767zi --board nucleo-n657x0
@@ -36,6 +38,15 @@ else for Chrome trace JSON (load it at https://ui.perfetto.dev).  In
 ``--json`` mode the payload gains a ``trace`` summary (path, span
 count, deterministic digest) *after* the core digest is computed, so
 tracing never perturbs a payload's own digest.
+
+``--metrics PATH`` (plan / fleet / chaos / scenario / serve) writes
+the process's final metrics-registry snapshot to ``PATH`` as
+canonical JSON with its sha256 digest, symmetric to ``--trace``: the
+``metrics`` summary also attaches to a ``--json`` payload only after
+the core digest is computed.  ``repro-dvfs monitor`` consumes these
+files (or a live server's ``metrics`` op via ``--connect``): it
+tails the registry, rolls two snapshots into windowed deltas, renders
+Prometheus exposition text, lints it, and judges the default SLOs.
 
 Exit codes: 0 on success; 1 when the command failed with a
 :class:`~repro.errors.ReproError` (infeasible QoS, bad plan file,
@@ -176,6 +187,60 @@ def _trace_finish(
     )
     if payload is not None:
         payload["trace"] = summary
+    return summary
+
+
+def _add_metrics_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--metrics", metavar="PATH",
+        help=(
+            "write the final metrics-registry snapshot here as"
+            " canonical JSON with its sha256 digest (inspect with"
+            " `repro-dvfs monitor PATH`)"
+        ),
+    )
+
+
+def _metrics_finish(
+    args: argparse.Namespace,
+    payload: Optional[Dict[str, Any]] = None,
+) -> Optional[Dict[str, Any]]:
+    """Write the registry snapshot when ``--metrics PATH`` was given.
+
+    Mirrors :func:`_trace_finish`: the ``metrics`` summary lands under
+    ``payload["metrics"]`` *after* the caller computed any content
+    digest, so metrics capture never changes a payload's own digest.
+    """
+    if not getattr(args, "metrics", None):
+        return None
+    from .obs.registry import get_registry, snapshot_digest
+
+    snapshot = get_registry().snapshot()
+    digest = snapshot_digest(snapshot)
+    with open(args.metrics, "w", encoding="utf-8") as fh:
+        fh.write(
+            json.dumps(
+                {"registry": snapshot, "digest": digest},
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+        )
+        fh.write("\n")
+    summary = {
+        "path": args.metrics,
+        "digest": digest,
+        "families": {
+            section: len(snapshot.get(section, {}))
+            for section in ("counters", "gauges", "histograms")
+        },
+    }
+    print(
+        f"metrics written to {args.metrics} "
+        f"(digest {digest[:12]}...)",
+        file=_out(args),
+    )
+    if payload is not None:
+        payload["metrics"] = summary
     return summary
 
 
@@ -581,6 +646,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     print(report.summary(), file=_out(args))
     payload = report.to_dict() if _json_mode(args) else None
     _trace_finish(args, tracer, payload)
+    _metrics_finish(args, payload)
     if payload is not None:
         _emit_json(args, payload)
     return 0
@@ -612,6 +678,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     print(report.summary(), file=_out(args))
     payload = report.to_dict() if _json_mode(args) else None
     _trace_finish(args, tracer, payload)
+    _metrics_finish(args, payload)
     if payload is not None:
         _emit_json(args, payload)
     return 0
@@ -636,6 +703,7 @@ def cmd_scenario(args: argparse.Namespace) -> int:
         print(report.summary(), file=_out(args))
         payload = report.to_dict() if _json_mode(args) else None
         _trace_finish(args, tracer, payload)
+        _metrics_finish(args, payload)
         if payload is not None:
             _emit_json(args, payload)
         return 0
@@ -669,6 +737,7 @@ def cmd_scenario(args: argparse.Namespace) -> int:
     print(report.summary(), file=_out(args))
     payload = report.to_dict() if _json_mode(args) else None
     _trace_finish(args, tracer, payload)
+    _metrics_finish(args, payload)
     if payload is not None:
         _emit_json(args, payload)
     return 0
@@ -785,6 +854,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         print("draining and shutting down", file=sys.stderr)
     _trace_finish(args, tracer)
+    _metrics_finish(args)
     return 0
 
 
@@ -893,6 +963,7 @@ def cmd_plan(args: argparse.Namespace) -> int:
     response = asyncio.run(_run())
     if not response.get("ok", False):
         _trace_finish(args, tracer)
+        _metrics_finish(args)
         raise exception_from_error(
             ErrorPayload.from_dict(response.get("error", {}))
         )
@@ -907,9 +978,10 @@ def cmd_plan(args: argparse.Namespace) -> int:
         f"(digest {result['digest'][:12]}...)",
         file=out,
     )
-    # The trace summary rides outside the core payload: result["digest"]
-    # was computed server-side before tracing attached anything.
+    # The trace and metrics summaries ride outside the core payload:
+    # result["digest"] was computed server-side before either attached.
     _trace_finish(args, tracer, result)
+    _metrics_finish(args, result)
     if _json_mode(args):
         _emit_json(args, result)
     return 0
@@ -960,6 +1032,235 @@ def cmd_obs(args: argparse.Namespace) -> int:
             },
         )
     return 0
+
+
+def _load_metrics_snapshot(path: str) -> Dict[str, Any]:
+    """Load a registry snapshot from a ``--metrics`` file.
+
+    Accepts both the wrapped document ``{"registry": ..., "digest":
+    ...}`` the flag writes (the digest is re-verified) and a bare
+    registry snapshot.
+    """
+    from .obs.registry import snapshot_digest
+
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            document = json.load(fh)
+    except (OSError, ValueError) as err:
+        raise ReproError(
+            f"monitor: cannot read snapshot {path!r}: {err}"
+        ) from err
+    if not isinstance(document, dict):
+        raise ReproError(
+            f"monitor: {path} is not a metrics snapshot document"
+        )
+    snapshot = document.get("registry", document)
+    expected = document.get("digest")
+    if "registry" in document and expected is not None:
+        actual = snapshot_digest(snapshot)
+        if actual != expected:
+            raise ReproError(
+                f"monitor: {path} digest mismatch (file claims "
+                f"{expected[:12]}..., content hashes to "
+                f"{actual[:12]}...)"
+            )
+    for section in ("counters", "gauges", "histograms"):
+        snapshot.setdefault(section, {})
+    return snapshot
+
+
+def _fetch_metrics(host: str, port: int) -> Dict[str, Any]:
+    """Pull a live server's ``metrics`` op over TCP."""
+    import asyncio
+
+    from .serve.client import ServeClient
+
+    async def _run() -> Dict[str, Any]:
+        client = ServeClient(host, port, client_id="monitor")
+        try:
+            await client.connect()
+            return await client.request("metrics")
+        finally:
+            await client.close()
+
+    try:
+        return asyncio.run(_run())
+    except (ConnectionError, OSError) as err:
+        raise ReproError(
+            f"monitor: cannot reach {host}:{port}: {err}"
+        ) from err
+
+
+def cmd_monitor(args: argparse.Namespace) -> int:
+    """Tail, roll up, lint, and SLO-check registry snapshots.
+
+    One snapshot tails the registry as a single window-sized delta
+    from empty; two snapshots (start, end) roll the exact delta
+    between them.  ``--connect HOST:PORT`` pulls the snapshot from a
+    live server's ``metrics`` protocol op instead of a file -- on a
+    shard router that snapshot is the fleet-coherent merge of every
+    worker's registry.
+    """
+    from .obs.prom import lint_exposition, to_prometheus
+    from .obs.registry import snapshot_digest
+    from .obs.series import SeriesStore, rollup_between
+    from .obs.slo import (
+        SLOEvaluator,
+        default_scenario_slos,
+        default_serve_slos,
+        signal_value,
+    )
+
+    if args.interval <= 0:
+        raise ReproError("monitor: --interval must be positive")
+    if args.connect and args.snapshots:
+        raise ReproError(
+            "monitor: give snapshot files or --connect, not both"
+        )
+    if args.connect:
+        host, _, port_text = args.connect.rpartition(":")
+        if not host or not port_text.isdigit():
+            raise ReproError(
+                f"monitor: --connect wants HOST:PORT, got "
+                f"{args.connect!r}"
+            )
+        result = _fetch_metrics(host, int(port_text))
+        snapshots = [result.get("registry", {})]
+        sources = [args.connect]
+    elif args.snapshots:
+        if len(args.snapshots) > 2:
+            raise ReproError(
+                "monitor: at most two snapshots (start end), got "
+                f"{len(args.snapshots)}"
+            )
+        snapshots = [_load_metrics_snapshot(p) for p in args.snapshots]
+        sources = list(args.snapshots)
+    else:
+        raise ReproError(
+            "monitor: provide snapshot file(s) or --connect HOST:PORT"
+        )
+    interval = float(args.interval)
+    if len(snapshots) == 2:
+        start, end = snapshots
+    else:
+        start, end = {}, snapshots[0]
+    rollup = rollup_between(start, end, interval)
+    digest = snapshot_digest(end)
+    out = _out(args)
+    print(
+        f"monitor: {' -> '.join(sources)} "
+        f"(interval {interval:g} s, digest {digest[:12]}...)",
+        file=out,
+    )
+
+    def _cell_name(family: str, label_repr: str) -> str:
+        return f"{family}{{{label_repr}}}" if label_repr else family
+
+    for family, cells in sorted(rollup["counters"].items()):
+        for label_repr, cell in sorted(cells.items()):
+            print(
+                f"  counter   {_cell_name(family, label_repr):44s} "
+                f"+{cell['delta']:g} ({cell['rate_per_s']:g}/s)",
+                file=out,
+            )
+    for family, cells in sorted(rollup["gauges"].items()):
+        for label_repr, cell in sorted(cells.items()):
+            print(
+                f"  gauge     {_cell_name(family, label_repr):44s} "
+                f"{cell['last']:g}",
+                file=out,
+            )
+    for family, cells in sorted(rollup["histograms"].items()):
+        for label_repr, cell in sorted(cells.items()):
+            print(
+                f"  histogram {_cell_name(family, label_repr):44s} "
+                f"n={cell['delta_count']:g} "
+                f"p50 {cell['p50_s'] * 1e3:.3f} ms, "
+                f"p95 {cell['p95_s'] * 1e3:.3f} ms, "
+                f"p99 {cell['p99_s'] * 1e3:.3f} ms",
+                file=out,
+            )
+    payload: Dict[str, Any] = {
+        "sources": sources,
+        "digest": digest,
+        "interval_s": interval,
+        "families": {
+            section: len(end.get(section, {}))
+            for section in ("counters", "gauges", "histograms")
+        },
+        "rollup": rollup,
+    }
+    rc = 0
+    if args.slo:
+        store = SeriesStore(capacity=2)
+        store.sample(0.0, start)
+        store.sample(interval, end)
+        evaluator = SLOEvaluator(
+            default_serve_slos() + default_scenario_slos()
+        )
+        evaluator.evaluate(store, interval)
+        active = evaluator.active()
+        rows = []
+        for slo in evaluator.slos:
+            measured, weight = signal_value(slo.signal, rollup)
+            rows.append(
+                {
+                    "name": slo.name,
+                    "severity": slo.severity,
+                    "objective": slo.objective,
+                    "comparator": slo.comparator,
+                    "measured": measured,
+                    "weight": weight,
+                    "burn": (
+                        slo.burn(measured)
+                        if measured is not None
+                        else None
+                    ),
+                    "firing": slo.name in active,
+                }
+            )
+        for row in rows:
+            if row["measured"] is None:
+                verdict, measured_text = "no data", "-"
+            else:
+                verdict = "FIRING" if row["firing"] else "ok"
+                measured_text = f"{row['measured']:g}"
+            print(
+                f"  slo       {row['name']:44s} {verdict:7s} "
+                f"measured {measured_text} vs {row['comparator']} "
+                f"{row['objective']:g}",
+                file=out,
+            )
+        payload["slo"] = {
+            "rows": rows,
+            "alerts": evaluator.timeline(),
+            "active": active,
+        }
+    exposition: Optional[str] = None
+    if args.prom is not None or args.lint:
+        exposition = to_prometheus(end)
+    if args.prom is not None:
+        if args.prom == "-":
+            print(exposition, end="", file=out)
+        else:
+            with open(args.prom, "w", encoding="utf-8") as fh:
+                fh.write(exposition)
+            print(f"exposition written to {args.prom}", file=out)
+            payload["prom_path"] = args.prom
+    if args.lint:
+        problems = lint_exposition(exposition)
+        payload["lint"] = problems
+        if problems:
+            for problem in problems:
+                print(f"  lint: {problem}", file=out)
+            rc = 1
+        else:
+            print("  lint: exposition clean", file=out)
+    if _json_mode(args):
+        if args.prom == "-":
+            payload["exposition"] = exposition
+        _emit_json(args, payload)
+    return rc
 
 
 def make_parser() -> argparse.ArgumentParser:
@@ -1130,6 +1431,7 @@ def make_parser() -> argparse.ArgumentParser:
     add_board_mix(p)
     _add_json_flag(p, "full fleet report")
     _add_trace_flag(p)
+    _add_metrics_flag(p)
     p.set_defaults(func=cmd_fleet)
 
     p = sub.add_parser(
@@ -1187,6 +1489,7 @@ def make_parser() -> argparse.ArgumentParser:
     add_board_mix(p)
     _add_json_flag(p, "survival report")
     _add_trace_flag(p)
+    _add_metrics_flag(p)
     p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser(
@@ -1240,6 +1543,7 @@ def make_parser() -> argparse.ArgumentParser:
     add_board_mix(p)
     _add_json_flag(p, "scenario report")
     _add_trace_flag(p)
+    _add_metrics_flag(p)
     p.set_defaults(func=cmd_scenario)
 
     p = sub.add_parser("lifetime", help="battery-lifetime projection")
@@ -1333,6 +1637,7 @@ def make_parser() -> argparse.ArgumentParser:
     add_board(p)
     add_serve_tuning(p)
     _add_trace_flag(p)
+    _add_metrics_flag(p)
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -1352,6 +1657,7 @@ def make_parser() -> argparse.ArgumentParser:
     add_serve_tuning(p)
     _add_json_flag(p, "served plan payload (with sha256 digest)")
     _add_trace_flag(p)
+    _add_metrics_flag(p)
     p.set_defaults(func=cmd_plan)
 
     p = sub.add_parser(
@@ -1365,6 +1671,46 @@ def make_parser() -> argparse.ArgumentParser:
     )
     _add_json_flag(p, "trace summary")
     p.set_defaults(func=cmd_obs)
+
+    p = sub.add_parser(
+        "monitor",
+        help=(
+            "tail/rollup/lint/SLO-check registry snapshots"
+            " (--metrics files or a live server's metrics op)"
+        ),
+    )
+    p.add_argument(
+        "snapshots", nargs="*", metavar="SNAPSHOT",
+        help=(
+            "one --metrics JSON file (tail from zero) or two"
+            " (start end: exact delta rollup)"
+        ),
+    )
+    p.add_argument(
+        "--connect", metavar="HOST:PORT", default=None,
+        help="pull a live server's `metrics` op instead of files",
+    )
+    p.add_argument(
+        "--interval", type=float, default=60.0,
+        help="seconds the rollup window spans (rates divide by this)",
+    )
+    p.add_argument(
+        "--prom", nargs="?", const="-", metavar="PATH", default=None,
+        help=(
+            "render Prometheus text exposition (to PATH; bare flag"
+            " prints it inline)"
+        ),
+    )
+    p.add_argument(
+        "--lint", action="store_true",
+        help="schema-check the exposition; exit 1 on problems",
+    )
+    p.add_argument(
+        "--slo", action="store_true",
+        help="judge the default serve+scenario SLOs on the rollup",
+    )
+    _add_json_flag(p, "monitor report")
+    p.set_defaults(func=cmd_monitor)
 
     p = sub.add_parser(
         "loadgen",

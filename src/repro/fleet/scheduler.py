@@ -40,6 +40,7 @@ from ..faults.plan import FaultPlan, PLAN_STAGE
 from ..mcu.board import Board, make_nucleo_f767zi
 from ..nn.graph import Model
 from ..obs.audit import get_audit_log
+from ..obs.series import SeriesStore
 from ..obs.tracing import span, wrap
 from ..optimize.qos import QoSLevel
 from ..pipeline import DAEDVFSPipeline, OptimizationResult
@@ -370,30 +371,54 @@ class FleetScheduler:
         )
 
     def run_serial(
-        self, profiles: Sequence[DeviceProfile]
+        self,
+        profiles: Sequence[DeviceProfile],
+        series: Optional[SeriesStore] = None,
     ) -> List[DeviceResult]:
-        """Plan every device on the calling thread, in order."""
-        results = [self.plan_device(profile) for profile in profiles]
+        """Plan every device on the calling thread, in order.
+
+        With ``series``, the registry is sampled after every planned
+        device at the *device index* timestamp -- the fleet path's
+        injectable clock is its own progress, never the wall clock --
+        so rollups over the series answer "how did cache hit rates
+        evolve as the fleet filled in", deterministically.
+        """
+        results = []
+        for index, profile in enumerate(profiles):
+            results.append(self.plan_device(profile))
+            if series is not None:
+                series.sample(float(index + 1))
         results.sort(key=lambda r: r.device_id)
         return results
 
     def run_pooled(
-        self, profiles: Sequence[DeviceProfile]
+        self,
+        profiles: Sequence[DeviceProfile],
+        series: Optional[SeriesStore] = None,
     ) -> List[DeviceResult]:
-        """Plan the fleet on the worker pool; results in device order."""
+        """Plan the fleet on the worker pool; results in device order.
+
+        A pooled run samples ``series`` only at the barrier: mid-pool
+        snapshots would order on thread scheduling, and a
+        scheduling-dependent series is exactly what the store exists
+        to rule out.
+        """
         # wrap() carries the caller's span/correlation context into the
         # worker threads (identity while tracing is off).
         with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
             results = list(pool.map(wrap(self.plan_device), profiles))
         results.sort(key=lambda r: r.device_id)
+        if series is not None:
+            series.sample(float(len(profiles)))
         return results
 
     def run(
         self,
         profiles: Sequence[DeviceProfile],
         pooled: bool = True,
+        series: Optional[SeriesStore] = None,
     ) -> List[DeviceResult]:
         """Plan the fleet, pooled or serial."""
         if pooled:
-            return self.run_pooled(profiles)
-        return self.run_serial(profiles)
+            return self.run_pooled(profiles, series=series)
+        return self.run_serial(profiles, series=series)

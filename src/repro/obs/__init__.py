@@ -27,11 +27,25 @@ from .export import (
     trace_digest,
     write_trace,
 )
+from .prom import lint_exposition, to_prometheus
 from .registry import (
     LatencyHistogram,
     MetricsRegistry,
     get_registry,
+    merge_snapshot,
     set_registry,
+    snapshot_digest,
+)
+from .series import SeriesStore, rollup_between, subtract_snapshot
+from .slo import (
+    SLO,
+    Alert,
+    Signal,
+    SLOEvaluator,
+    default_scenario_slos,
+    default_serve_slos,
+    deterministic_projection,
+    simulation_projection,
 )
 from .tracing import (
     SpanRecord,
@@ -47,13 +61,21 @@ from .tracing import (
 )
 
 __all__ = [
+    "Alert",
     "DecisionLog",
     "DecisionRecord",
     "LatencyHistogram",
     "MetricsRegistry",
+    "SLO",
+    "SLOEvaluator",
+    "SeriesStore",
+    "Signal",
     "SpanRecord",
     "Tracer",
     "chrome_trace",
+    "default_scenario_slos",
+    "default_serve_slos",
+    "deterministic_projection",
     "correlation",
     "current_correlation",
     "dicts_to_records",
@@ -62,11 +84,18 @@ __all__ = [
     "get_registry",
     "get_tracer",
     "install",
+    "lint_exposition",
     "load_jsonl",
+    "merge_snapshot",
+    "rollup_between",
     "set_audit_log",
     "set_registry",
+    "simulation_projection",
+    "snapshot_digest",
     "span",
     "span_dicts",
+    "subtract_snapshot",
+    "to_prometheus",
     "trace_digest",
     "traced",
     "uninstall",

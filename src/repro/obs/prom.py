@@ -1,0 +1,287 @@
+"""Prometheus text exposition for registry snapshots.
+
+The registry's native dump (:meth:`MetricsRegistry.snapshot`) is
+JSON shaped for digests and merges; real fleets scrape.  This module
+renders any snapshot -- a single process, or a fleet-coherent merge
+from :func:`repro.obs.registry.merge_snapshot` -- in the Prometheus
+text exposition format (version 0.0.4):
+
+* dotted family names become underscore names (``serve.latency`` ->
+  ``serve_latency``); counters gain the ``_total`` suffix, histograms
+  the ``_seconds`` unit suffix (every histogram in this stack records
+  seconds);
+* histograms expose **cumulative** ``_bucket{le="..."}`` samples
+  rebuilt from the registry's exact per-bucket counts, closing with
+  the mandatory ``le="+Inf"`` bucket equal to ``_count``;
+* output ordering is deterministic (families and label sets sorted),
+  so two exports of the same snapshot are byte-identical.
+
+:func:`lint_exposition` is the schema check CI runs against the
+rendered text: metric-name charset, ``HELP``/``TYPE`` presence and
+ordering, bucket monotonicity, and ``+Inf``/``_count`` agreement.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Dict, List, Tuple
+
+__all__ = ["to_prometheus", "lint_exposition"]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_INVALID_CHAR_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def metric_name(family: str, suffix: str = "") -> str:
+    """Prometheus-legal name for a registry family."""
+    name = _INVALID_CHAR_RE.sub("_", family) + suffix
+    if not _NAME_RE.match(name):
+        name = "_" + name
+    return name
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _parse_label_repr(label_repr: str) -> List[Tuple[str, str]]:
+    """Split the registry's ``k=v,k=v`` label encoding into pairs."""
+    if not label_repr:
+        return []
+    pairs = []
+    for item in label_repr.split(","):
+        key, _, value = item.partition("=")
+        pairs.append((_INVALID_CHAR_RE.sub("_", key), value))
+    return pairs
+
+
+def _label_block(
+    pairs: List[Tuple[str, str]], extra: List[Tuple[str, str]] = []
+) -> str:
+    merged = pairs + extra
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape_label_value(value)}"'
+        for key, value in merged
+    )
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if isinstance(value, float) and math.isnan(value):
+        return "NaN"
+    if float(value) == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_le(le: float) -> str:
+    return "+Inf" if le == float("inf") else repr(float(le))
+
+
+def to_prometheus(snapshot: Dict[str, Any]) -> str:
+    """Render a registry snapshot as Prometheus exposition text."""
+    lines: List[str] = []
+
+    def _head(name: str, kind: str, family: str) -> None:
+        lines.append(f"# HELP {name} repro metric {family}")
+        lines.append(f"# TYPE {name} {kind}")
+
+    for family, cells in sorted(snapshot.get("counters", {}).items()):
+        name = metric_name(family, "_total")
+        _head(name, "counter", family)
+        for label_repr, value in sorted(cells.items()):
+            block = _label_block(_parse_label_repr(label_repr))
+            lines.append(f"{name}{block} {_format_value(value)}")
+    for family, cells in sorted(snapshot.get("gauges", {}).items()):
+        name = metric_name(family)
+        _head(name, "gauge", family)
+        for label_repr, value in sorted(cells.items()):
+            block = _label_block(_parse_label_repr(label_repr))
+            lines.append(f"{name}{block} {_format_value(value)}")
+    for family, cells in sorted(
+        snapshot.get("histograms", {}).items()
+    ):
+        name = metric_name(family, "_seconds")
+        _head(name, "histogram", family)
+        for label_repr, summary in sorted(cells.items()):
+            pairs = _parse_label_repr(label_repr)
+            cumulative = 0
+            for bucket in sorted(
+                summary.get("buckets", []), key=lambda b: b["le"]
+            ):
+                if bucket["le"] == float("inf"):
+                    continue
+                cumulative += bucket["count"]
+                block = _label_block(
+                    pairs, [("le", _format_le(bucket["le"]))]
+                )
+                lines.append(
+                    f"{name}_bucket{block} {_format_value(cumulative)}"
+                )
+            count = summary.get("count", 0)
+            block = _label_block(pairs, [("le", "+Inf")])
+            lines.append(
+                f"{name}_bucket{block} {_format_value(count)}"
+            )
+            sum_s = summary.get(
+                "sum_s",
+                summary.get("mean_s", 0.0) * count,
+            )
+            block = _label_block(pairs)
+            lines.append(f"{name}_sum{block} {_format_value(sum_s)}")
+            lines.append(
+                f"{name}_count{block} {_format_value(count)}"
+            )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[^\s{]+)(?P<labels>\{[^}]*\})?\s+(?P<value>\S+)"
+    r"(?:\s+\S+)?$"
+)
+_LE_RE = re.compile(r'le="(?P<le>[^"]+)"')
+
+
+def _parse_sample_value(raw: str) -> float:
+    if raw == "+Inf":
+        return float("inf")
+    if raw == "-Inf":
+        return float("-inf")
+    return float(raw)
+
+
+def lint_exposition(text: str) -> List[str]:
+    """Schema-check exposition text; returns a list of problems.
+
+    Checks: metric-name charset, ``HELP``/``TYPE`` lines present
+    before a family's first sample, sample values parse, histogram
+    bucket counts are cumulative-monotone, and the ``+Inf`` bucket
+    exists and equals the family's ``_count`` sample.
+    """
+    errors: List[str] = []
+    typed: Dict[str, str] = {}
+    helped: set = set()
+    buckets: Dict[Tuple[str, str], List[Tuple[str, float]]] = {}
+    counts: Dict[Tuple[str, str], float] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) < 4:
+                errors.append(f"line {lineno}: malformed HELP line")
+                continue
+            helped.add(parts[2])
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) < 4:
+                errors.append(f"line {lineno}: malformed TYPE line")
+                continue
+            name, kind = parts[2], parts[3].strip()
+            if not _NAME_RE.match(name):
+                errors.append(
+                    f"line {lineno}: invalid metric name {name!r}"
+                )
+            if kind not in ("counter", "gauge", "histogram"):
+                errors.append(
+                    f"line {lineno}: unknown TYPE {kind!r}"
+                )
+            if name not in helped:
+                errors.append(
+                    f"line {lineno}: TYPE {name} without prior HELP"
+                )
+            typed[name] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            errors.append(f"line {lineno}: unparseable sample line")
+            continue
+        name = match.group("name")
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        if not _NAME_RE.match(name):
+            errors.append(
+                f"line {lineno}: invalid metric name {name!r}"
+            )
+            continue
+        if name not in typed and base not in typed:
+            errors.append(
+                f"line {lineno}: sample {name} without prior TYPE"
+            )
+        if typed.get(base) == "counter" or typed.get(name) == "counter":
+            counter_name = name if name in typed else base
+            if not counter_name.endswith("_total"):
+                errors.append(
+                    f"line {lineno}: counter {counter_name} missing "
+                    f"_total suffix"
+                )
+        try:
+            value = _parse_sample_value(match.group("value"))
+        except ValueError:
+            errors.append(
+                f"line {lineno}: unparseable value "
+                f"{match.group('value')!r}"
+            )
+            continue
+        labels = match.group("labels") or ""
+        if name.endswith("_bucket") and typed.get(base) == "histogram":
+            le_match = _LE_RE.search(labels)
+            if le_match is None:
+                errors.append(
+                    f"line {lineno}: histogram bucket without le label"
+                )
+                continue
+            rest = _LE_RE.sub("", labels)
+            le_raw = le_match.group("le")
+            le = (
+                float("inf")
+                if le_raw == "+Inf"
+                else float(le_raw)
+            )
+            buckets.setdefault((base, rest), []).append((lineno, le, value))
+        elif name.endswith("_count") and typed.get(base) == "histogram":
+            counts[(base, labels)] = value
+    for (base, rest), series in sorted(buckets.items()):
+        series = sorted(series, key=lambda item: item[1])
+        previous = None
+        has_inf = False
+        inf_value = None
+        for lineno, le, value in series:
+            if previous is not None and value < previous:
+                errors.append(
+                    f"line {lineno}: {base} bucket counts not "
+                    f"monotone (le={le})"
+                )
+            previous = value
+            if le == float("inf"):
+                has_inf = True
+                inf_value = value
+        if not has_inf:
+            errors.append(f"{base}: histogram missing +Inf bucket")
+        else:
+            # The bucket label block minus `le` should match a _count
+            # sample's label block (allowing for comma cleanup).
+            normalized = rest.replace("{,", "{").replace(",}", "}")
+            normalized = normalized.replace(",,", ",")
+            if normalized == "{}":
+                normalized = ""
+            expected = counts.get((base, normalized))
+            if expected is not None and inf_value != expected:
+                errors.append(
+                    f"{base}: +Inf bucket {inf_value} != _count "
+                    f"{expected}"
+                )
+    return errors

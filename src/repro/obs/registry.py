@@ -33,6 +33,9 @@ a hot path stalls.
 from __future__ import annotations
 
 import bisect
+import hashlib
+import json
+import math
 import threading
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -120,9 +123,15 @@ class LatencyHistogram:
         return out
 
     def to_dict(self, include_buckets: bool = False) -> Dict[str, Any]:
-        """Summary statistics (optionally with the exact bucket counts)."""
+        """Summary statistics (optionally with the exact bucket counts).
+
+        ``sum_s`` is included so merged views (:func:`merge_snapshot`)
+        can recompute the mean from exact sums instead of compounding
+        rounded means -- that is what makes the merge associative.
+        """
         summary: Dict[str, Any] = {
             "count": self.count,
+            "sum_s": self.sum_s,
             "mean_s": self.sum_s / self.count if self.count else 0.0,
             "min_s": self.min_s if self.count else 0.0,
             "max_s": self.max_s,
@@ -334,6 +343,185 @@ class MetricsRegistry:
         """Drop every family (tests; production registries live forever)."""
         with self._lock:
             self._families.clear()
+
+
+def _merge_histogram_dicts(parts: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Merge ``to_dict(include_buckets=True)`` histogram dumps.
+
+    Bucket counts add bucket-wise (keyed on ``le``), ``count`` and
+    ``sum_s`` add exactly (``math.fsum``: round-once, hence
+    order-independent), and percentiles are recomputed from the merged
+    buckets with the same rank rule as
+    :meth:`LatencyHistogram.percentile_s` -- so the merged summary is
+    byte-identical to recording every observation into one histogram,
+    as long as the parts share bucket bounds.
+    """
+    bucket_counts: Dict[float, float] = {}
+    count = 0
+    sum_parts: List[float] = []
+    min_s = float("inf")
+    max_s = 0.0
+    for part in parts:
+        part_count = int(part.get("count", 0))
+        count += part_count
+        if part_count:
+            sum_parts.append(
+                float(
+                    part.get(
+                        "sum_s",
+                        part.get("mean_s", 0.0) * part_count,
+                    )
+                )
+            )
+            min_s = min(min_s, float(part.get("min_s", float("inf"))))
+            max_s = max(max_s, float(part.get("max_s", 0.0)))
+        for bucket in part.get("buckets", []):
+            le = float(bucket["le"])
+            bucket_counts[le] = (
+                bucket_counts.get(le, 0) + bucket["count"]
+            )
+    sum_s = math.fsum(sum_parts)
+    ordered = sorted(bucket_counts.items())
+
+    def _percentile(p: float) -> float:
+        if count == 0:
+            return 0.0
+        rank = max(1, int(round(p / 100.0 * count)))
+        seen = 0
+        for le, n in ordered:
+            seen += n
+            if seen >= rank:
+                return max_s if le == float("inf") else le
+        return max_s
+
+    return {
+        "count": count,
+        "sum_s": sum_s,
+        "mean_s": sum_s / count if count else 0.0,
+        "min_s": min_s if count else 0.0,
+        "max_s": max_s,
+        "p50_s": _percentile(50),
+        "p95_s": _percentile(95),
+        "p99_s": _percentile(99),
+        "buckets": [
+            {"le": le, "count": n} for le, n in ordered if n
+        ],
+    }
+
+
+#: Gauge merge modes understood by :func:`merge_snapshot`.
+GAUGE_MERGE_MODES = ("sum", "max", "min", "last")
+
+
+def merge_snapshot(
+    snapshots: Sequence[Dict[str, Any]],
+    *,
+    gauge_merge: str = "sum",
+    gauge_modes: Optional[Dict[str, str]] = None,
+) -> Dict[str, Any]:
+    """Losslessly merge :meth:`MetricsRegistry.snapshot` dumps.
+
+    Counters add per ``(family, label)`` cell; histograms add
+    bucket-wise (see :func:`_merge_histogram_dicts`); gauges have no
+    universally correct merge, so the semantic is **explicit**:
+    ``gauge_merge`` picks the default mode (``sum`` -- fleet totals
+    such as pool sizes; ``max`` / ``min`` -- worst-case watermarks;
+    ``last`` -- the final snapshot wins) and ``gauge_modes`` overrides
+    it per family name.
+
+    The result is deterministically ordered (family names and label
+    keys sorted) and is itself a valid snapshot, so merges compose:
+    on exactly-representable inputs (integer counts; latencies that
+    are dyadic rationals) the operation is associative and commutative
+    byte-for-byte, which the ``tests/obs/test_merge.py`` algebra
+    suite pins.
+
+    A family appearing under different sections (counter in one
+    snapshot, gauge in another) raises ``ValueError`` -- silent
+    coercion would corrupt the fleet view.
+    """
+    if gauge_merge not in GAUGE_MERGE_MODES:
+        raise ValueError(
+            f"gauge_merge must be one of {GAUGE_MERGE_MODES}, "
+            f"got {gauge_merge!r}"
+        )
+    modes = dict(gauge_modes or {})
+    for family, mode in modes.items():
+        if mode not in GAUGE_MERGE_MODES:
+            raise ValueError(
+                f"gauge mode for {family!r} must be one of "
+                f"{GAUGE_MERGE_MODES}, got {mode!r}"
+            )
+    kinds: Dict[str, str] = {}
+    counters: Dict[str, Dict[str, List[float]]] = {}
+    gauges: Dict[str, Dict[str, List[float]]] = {}
+    histograms: Dict[str, Dict[str, List[Dict[str, Any]]]] = {}
+    for snapshot in snapshots:
+        for section, into in (
+            ("counters", counters),
+            ("gauges", gauges),
+            ("histograms", histograms),
+        ):
+            for name, cells in snapshot.get(section, {}).items():
+                seen = kinds.setdefault(name, section)
+                if seen != section:
+                    raise ValueError(
+                        f"metric {name!r} is a {seen[:-1]} in one "
+                        f"snapshot and a {section[:-1]} in another"
+                    )
+                family = into.setdefault(name, {})
+                for label_repr, value in cells.items():
+                    family.setdefault(label_repr, []).append(value)
+
+    def _gauge_value(name: str, values: List[float]) -> float:
+        mode = modes.get(name, gauge_merge)
+        if mode == "sum":
+            return math.fsum(values)
+        if mode == "max":
+            return max(values)
+        if mode == "min":
+            return min(values)
+        return values[-1]
+
+    return {
+        "counters": {
+            name: {
+                label: math.fsum(values)
+                for label, values in sorted(cells.items())
+            }
+            for name, cells in sorted(counters.items())
+        },
+        "gauges": {
+            name: {
+                label: _gauge_value(name, values)
+                for label, values in sorted(cells.items())
+            }
+            for name, cells in sorted(gauges.items())
+        },
+        "histograms": {
+            name: {
+                label: _merge_histogram_dicts(parts)
+                for label, parts in sorted(cells.items())
+            }
+            for name, cells in sorted(histograms.items())
+        },
+    }
+
+
+def snapshot_digest(snapshot: Dict[str, Any]) -> str:
+    """sha256 over the canonical JSON encoding of a snapshot.
+
+    ``sort_keys`` plus Python's shortest-round-trip float repr make
+    the digest a pure function of the recorded values; the overflow
+    bucket's ``le`` of ``inf`` serialises as ``Infinity``, matching
+    how snapshots already travel over the serve wire protocol.
+    """
+    payload = json.dumps(snapshot, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# Registries merge snapshots, so expose the function as a method too.
+MetricsRegistry.merge_snapshot = staticmethod(merge_snapshot)
 
 
 #: The process-wide default registry every subsystem records into.

@@ -1,0 +1,361 @@
+"""Deterministic metric time series: ring-buffer samples + rollups.
+
+A :class:`MetricsRegistry` snapshot answers "how much, ever"; serving
+and scenario questions are windowed -- *what was fleet p95 over the
+last simulated hour, how fast are sheds arriving right now?*  The
+:class:`SeriesStore` closes that gap without giving up determinism:
+
+* **Timestamps are injected, never read.**  ``sample(t_s)`` takes its
+  time from whichever clock drives the caller -- the serve tier's
+  :class:`~repro.serve.admission.ArrivalClock`, the scenario
+  :class:`~repro.scenario.engine.SimClock`, or a fleet epoch index.
+  There is no ``time.time()`` anywhere in this module, so same-seed
+  runs produce byte-identical series and the rollups can live inside
+  digested report sections.
+* **Rollups are delta-aware.**  Counters and histogram buckets are
+  cumulative; a window rollup subtracts the snapshot at the window
+  start from the one at the end, turning totals into rates and the
+  bucket deltas into window-local p50/p95/p99 (same rank rule as
+  :meth:`~repro.obs.registry.LatencyHistogram.percentile_s`).
+* **Memory is bounded.**  The ring keeps ``capacity`` samples; older
+  ones drop and are counted, exactly like the audit log.
+
+The store serialises (:meth:`to_state` / :meth:`from_state`) so the
+scenario checkpoint/resume invariant -- resume at any event boundary
+reproduces the byte-identical report -- extends to the health section.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from .registry import MetricsRegistry, get_registry, snapshot_digest
+
+__all__ = ["SeriesStore", "rollup_between", "subtract_snapshot"]
+
+
+def subtract_snapshot(
+    current: Dict[str, Any], base: Dict[str, Any]
+) -> Dict[str, Any]:
+    """The activity between two snapshots, as a snapshot.
+
+    Counters and histogram buckets subtract (clamped at zero);
+    gauges keep their ``current`` value -- they are overwrite-style,
+    not cumulative.  Together with
+    :func:`~repro.obs.registry.merge_snapshot` this is how a resumed
+    simulation splices its own fresh registry onto a checkpointed
+    series: ``merge([checkpoint_sample, subtract(now, resume_base)],
+    gauge_merge="last")`` continues the original absolute series
+    byte-identically.
+    """
+    counters: Dict[str, Any] = {}
+    for name, cells in current.get("counters", {}).items():
+        base_cells = base.get("counters", {}).get(name, {})
+        out = {
+            label: max(0.0, value - base_cells.get(label, 0.0))
+            for label, value in cells.items()
+        }
+        if any(out.values()) or name not in base.get("counters", {}):
+            counters[name] = out
+    histograms: Dict[str, Any] = {}
+    for name, cells in current.get("histograms", {}).items():
+        base_cells = base.get("histograms", {}).get(name, {})
+        out = {}
+        for label, summary in cells.items():
+            base_summary = base_cells.get(label, {})
+            base_buckets = {
+                b["le"]: b["count"]
+                for b in base_summary.get("buckets", [])
+            }
+            buckets = []
+            for bucket in summary.get("buckets", []):
+                n = bucket["count"] - base_buckets.get(bucket["le"], 0)
+                if n > 0:
+                    buckets.append(
+                        {"le": bucket["le"], "count": n}
+                    )
+            count = max(
+                0,
+                summary.get("count", 0)
+                - base_summary.get("count", 0),
+            )
+            sum_s = max(
+                0.0,
+                summary.get("sum_s", 0.0)
+                - base_summary.get("sum_s", 0.0),
+            )
+            out[label] = {
+                "count": count,
+                "sum_s": sum_s,
+                "mean_s": sum_s / count if count else 0.0,
+                "min_s": summary.get("min_s", 0.0),
+                "max_s": summary.get("max_s", 0.0),
+                "p50_s": summary.get("p50_s", 0.0),
+                "p95_s": summary.get("p95_s", 0.0),
+                "p99_s": summary.get("p99_s", 0.0),
+                "buckets": buckets,
+            }
+        histograms[name] = out
+    return {
+        "counters": counters,
+        "gauges": {
+            name: dict(cells)
+            for name, cells in current.get("gauges", {}).items()
+        },
+        "histograms": histograms,
+    }
+
+
+def _delta_percentile(
+    deltas: List[Tuple[float, float]], count: float, p: float, max_s: float
+) -> float:
+    """Percentile over bucket-count deltas, upper-bound rank rule."""
+    if count <= 0:
+        return 0.0
+    rank = max(1, int(round(p / 100.0 * count)))
+    seen = 0.0
+    for le, n in deltas:
+        seen += n
+        if seen >= rank:
+            return max_s if le == float("inf") else le
+    return max_s
+
+
+def rollup_between(
+    start: Dict[str, Any],
+    end: Dict[str, Any],
+    interval_s: float,
+) -> Dict[str, Any]:
+    """Delta rollup between two registry snapshots.
+
+    ``start`` may be an empty dict (``{}``) to roll up from zero.
+    Counter deltas are clamped at 0 so a registry reset between the
+    snapshots degrades to "no traffic" instead of negative rates.
+
+    Zero-delta counter and histogram cells are omitted: the rollup
+    describes the window's *activity*, and a cell that saw none must
+    be indistinguishable from one that never existed -- otherwise
+    counter residue left by earlier work in the process would leak
+    into (and de-determinize) every downstream digest.
+    """
+    interval_s = max(0.0, float(interval_s))
+    counters: Dict[str, Dict[str, Any]] = {}
+    for name, cells in sorted(end.get("counters", {}).items()):
+        base = start.get("counters", {}).get(name, {})
+        out: Dict[str, Any] = {}
+        for label, value in sorted(cells.items()):
+            delta = max(0.0, value - base.get(label, 0.0))
+            if delta <= 0.0:
+                continue
+            out[label] = {
+                "delta": delta,
+                "rate_per_s": delta / interval_s if interval_s else 0.0,
+            }
+        if out:
+            counters[name] = out
+    gauges: Dict[str, Dict[str, Any]] = {}
+    for name, cells in sorted(end.get("gauges", {}).items()):
+        gauges[name] = {
+            label: {"last": value}
+            for label, value in sorted(cells.items())
+        }
+    histograms: Dict[str, Dict[str, Any]] = {}
+    for name, cells in sorted(end.get("histograms", {}).items()):
+        base = start.get("histograms", {}).get(name, {})
+        out = {}
+        for label, summary in sorted(cells.items()):
+            base_summary = base.get(label, {})
+            base_buckets = {
+                b["le"]: b["count"]
+                for b in base_summary.get("buckets", [])
+            }
+            deltas = []
+            for bucket in summary.get("buckets", []):
+                n = bucket["count"] - base_buckets.get(bucket["le"], 0)
+                if n > 0:
+                    deltas.append((float(bucket["le"]), float(n)))
+            deltas.sort()
+            count = max(
+                0.0,
+                summary.get("count", 0) - base_summary.get("count", 0),
+            )
+            if count <= 0.0:
+                continue
+            sum_s = max(
+                0.0,
+                summary.get("sum_s", 0.0)
+                - base_summary.get("sum_s", 0.0),
+            )
+            max_s = float(summary.get("max_s", 0.0))
+            out[label] = {
+                "delta_count": count,
+                "rate_per_s": count / interval_s if interval_s else 0.0,
+                "mean_s": sum_s / count if count else 0.0,
+                "p50_s": _delta_percentile(deltas, count, 50, max_s),
+                "p95_s": _delta_percentile(deltas, count, 95, max_s),
+                "p99_s": _delta_percentile(deltas, count, 99, max_s),
+            }
+        if out:
+            histograms[name] = out
+    return {
+        "interval_s": interval_s,
+        "counters": counters,
+        "gauges": gauges,
+        "histograms": histograms,
+    }
+
+
+class SeriesStore:
+    """Bounded ring of ``(t_s, snapshot)`` samples with window rollups.
+
+    Timestamps must be non-decreasing -- the store refuses wall-clock
+    jitter and out-of-order injection loudly rather than producing a
+    seed-dependent series.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        if capacity < 2:
+            raise ValueError("capacity must be >= 2 (deltas need two samples)")
+        self.capacity = capacity
+        self._registry = registry
+        self._samples: Deque[Tuple[float, Dict[str, Any]]] = deque(
+            maxlen=capacity
+        )
+        self.dropped = 0
+        self.total_samples = 0
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def sample(
+        self,
+        t_s: float,
+        snapshot: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Record ``snapshot`` (default: the bound/default registry) at ``t_s``."""
+        t_s = float(t_s)
+        if self._samples and t_s < self._samples[-1][0]:
+            raise ValueError(
+                f"series timestamps must be non-decreasing: "
+                f"{t_s} < {self._samples[-1][0]}"
+            )
+        if snapshot is None:
+            registry = self._registry or get_registry()
+            snapshot = registry.snapshot()
+        if len(self._samples) == self.capacity:
+            self.dropped += 1
+        self._samples.append((t_s, snapshot))
+        self.total_samples += 1
+
+    # -- lookup ------------------------------------------------------------------
+
+    def latest(self) -> Optional[Tuple[float, Dict[str, Any]]]:
+        """The newest ``(t_s, snapshot)``, or ``None`` when empty."""
+        return self._samples[-1] if self._samples else None
+
+    def at_or_before(
+        self, t_s: float
+    ) -> Optional[Tuple[float, Dict[str, Any]]]:
+        """The newest sample with timestamp ``<= t_s`` (None if too early)."""
+        found = None
+        for sample in self._samples:
+            if sample[0] <= t_s:
+                found = sample
+            else:
+                break
+        return found
+
+    # -- rollups -----------------------------------------------------------------
+
+    def rollup(
+        self, window_s: float, end_s: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """Delta rollup over ``[end_s - window_s, end_s]``.
+
+        The window end anchors at the newest sample not after
+        ``end_s`` (default: the newest sample); the baseline is the
+        newest sample at or before the window start, falling back to
+        the oldest retained sample (flagged via ``"clamped": true``
+        when ring eviction shortened the window).
+        """
+        if not self._samples:
+            return {
+                "window_s": float(window_s),
+                "start_s": 0.0,
+                "end_s": 0.0,
+                "samples": 0,
+                "clamped": False,
+                **rollup_between({}, {}, 0.0),
+            }
+        end = (
+            self._samples[-1]
+            if end_s is None
+            else (self.at_or_before(end_s) or self._samples[0])
+        )
+        start_t = end[0] - window_s
+        start = self.at_or_before(start_t)
+        clamped = start is None
+        if start is None:
+            start = self._samples[0]
+        in_window = sum(
+            1 for t, _ in self._samples if start[0] <= t <= end[0]
+        )
+        body = rollup_between(start[1], end[1], end[0] - start[0])
+        return {
+            "window_s": float(window_s),
+            "start_s": start[0],
+            "end_s": end[0],
+            "samples": in_window,
+            "clamped": clamped,
+            **body,
+        }
+
+    # -- reporting / persistence -------------------------------------------------
+
+    def summary(self) -> Dict[str, Any]:
+        """Small digest-safe description of the ring's coverage."""
+        return {
+            "capacity": self.capacity,
+            "len": len(self._samples),
+            "dropped": self.dropped,
+            "total_samples": self.total_samples,
+            "start_s": self._samples[0][0] if self._samples else 0.0,
+            "end_s": self._samples[-1][0] if self._samples else 0.0,
+            "latest_digest": (
+                snapshot_digest(self._samples[-1][1])
+                if self._samples
+                else None
+            ),
+        }
+
+    def to_state(self) -> Dict[str, Any]:
+        """JSON-safe state for checkpointing (full retained samples)."""
+        return {
+            "capacity": self.capacity,
+            "dropped": self.dropped,
+            "total_samples": self.total_samples,
+            "samples": [
+                [t_s, snapshot] for t_s, snapshot in self._samples
+            ],
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        state: Dict[str, Any],
+        registry: Optional[MetricsRegistry] = None,
+    ) -> "SeriesStore":
+        """Rebuild a store from :meth:`to_state` output."""
+        store = cls(capacity=state["capacity"], registry=registry)
+        for t_s, snapshot in state.get("samples", []):
+            store._samples.append((float(t_s), snapshot))
+        store.dropped = int(state.get("dropped", 0))
+        store.total_samples = int(
+            state.get("total_samples", len(store._samples))
+        )
+        return store

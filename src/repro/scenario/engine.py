@@ -45,7 +45,13 @@ from ..fleet.variation import (
 from ..power.model import PowerModelParams
 from ..nn import PAPER_MODELS, build_tiny_test_model
 from ..obs.audit import get_audit_log
-from ..obs.registry import get_registry
+from ..obs.registry import get_registry, merge_snapshot, snapshot_digest
+from ..obs.series import SeriesStore, subtract_snapshot
+from ..obs.slo import (
+    SLOEvaluator,
+    default_scenario_slos,
+    simulation_projection,
+)
 from ..obs.tracing import span
 from ..optimize import QoSLevel
 from ..recovery.checkpoint import ScenarioCheckpoint, load_checkpoint
@@ -95,6 +101,14 @@ class ScenarioConfig:
             :func:`repro.fleet.variation.sample_fleet` does).  ``None``
             keeps the homogeneous default-board pool -- and the
             scenario digest -- byte-identical to pre-registry runs.
+        monitor: sample the wall-clock-free registry projection into a
+            :class:`~repro.obs.series.SeriesStore` every tick, judge
+            the scenario SLOs on it, and embed the resulting ``health``
+            section in the report.  Off for the zero-event preset,
+            whose digest is pinned to the pre-monitor tree.
+        monitor_capacity: ring size of the health series (samples).
+        monitor_window_s: rollup window of the report's health section
+            (sim seconds).
     """
 
     name: str = "custom"
@@ -117,6 +131,9 @@ class ScenarioConfig:
     storm_threshold: int = 10
     max_workers: int = 4
     boards: Optional[Tuple[str, ...]] = None
+    monitor: bool = True
+    monitor_capacity: int = 256
+    monitor_window_s: float = 3600.0
 
     def __post_init__(self) -> None:
         if self.model_name not in _MODEL_BUILDERS:
@@ -136,6 +153,10 @@ class ScenarioConfig:
             raise ReproError("oracle_stride must be >= 0")
         if self.storm_threshold < 1:
             raise ReproError("storm_threshold must be >= 1")
+        if self.monitor_capacity < 2:
+            raise ReproError("monitor_capacity must be >= 2")
+        if self.monitor_window_s <= 0:
+            raise ReproError("monitor_window_s must be positive")
         if self.boards is not None:
             if not self.boards:
                 raise ReproError("boards must be None or non-empty")
@@ -150,7 +171,9 @@ class ScenarioConfig:
 
         The ``boards`` key appears only when the scenario mixes board
         targets, so default-board scenario digests pin byte-identically
-        across the registry refactor.
+        across the registry refactor; the ``monitor`` key likewise
+        appears only when health monitoring is on, so monitor-off runs
+        (the zero-event pin) digest as before the monitor existed.
         """
         data = {
             "arrivals": self.arrivals.describe(),
@@ -187,6 +210,11 @@ class ScenarioConfig:
         }
         if self.boards is not None:
             data["boards"] = list(self.boards)
+        if self.monitor:
+            data["monitor"] = {
+                "capacity": self.monitor_capacity,
+                "window_s": self.monitor_window_s,
+            }
         return data
 
 
@@ -350,6 +378,15 @@ class ScenarioEngine:
         self._governed_twin_energy = 0.0
         self._ambient_delta = 0.0
 
+        # Health monitor: one wall-clock-free registry sample per tick,
+        # judged against the scenario SLOs (None when monitoring off).
+        self.series: Optional[SeriesStore] = None
+        self.slo_evaluator: Optional[SLOEvaluator] = None
+        self._monitor_anchor: Optional[Tuple[Dict, Dict]] = None
+        if config.monitor:
+            self.series = SeriesStore(capacity=config.monitor_capacity)
+            self.slo_evaluator = SLOEvaluator(default_scenario_slos())
+
         # Counters and timelines.
         self.demand = {
             "windows_requested": 0,
@@ -469,6 +506,7 @@ class ScenarioEngine:
                     base.t_ambient_c + self._ambient_delta
                 )
         intents: List[Tuple[int, FleetGovernor, object]] = []
+        drift_sum, drift_n = 0.0, 0
         for device_id in sorted(self.live | self.quarantined):
             windows = cfg.arrivals.windows_at(device_id, t_s, cfg.tick_s)
             self.demand["windows_requested"] += windows
@@ -489,6 +527,18 @@ class ScenarioEngine:
             sample = governor.step(
                 now=t_s, fault_clock=clock, defer_replan=True
             )
+            if (
+                self.series is not None
+                and sample.predicted_energy_j > 0.0
+            ):
+                drift_sum += (
+                    abs(
+                        sample.measured_energy_j
+                        - sample.predicted_energy_j
+                    )
+                    / sample.predicted_energy_j
+                )
+                drift_n += 1
             self.last_end[device_id] = t_s + cfg.governor.epoch_s
             self.demand["epochs_run"] += 1
             twin = self.twins.get(device_id)
@@ -511,6 +561,54 @@ class ScenarioEngine:
             if governor.pending_replan is not None:
                 intents.append((device_id, governor, sample))
         self._route_replans(t_s, intents, bridge)
+        if self.series is not None:
+            registry = get_registry()
+            registry.gauge_set(
+                "scenario.governor_drift",
+                drift_sum / drift_n if drift_n else 0.0,
+            )
+            # Published every tick even without twins: the sampled
+            # gauge set must be a function of the simulation alone,
+            # never of which gauges earlier runs in this process
+            # happened to leave behind.
+            oracle_j = sum(
+                twin.true_energy_j for twin in self.twins.values()
+            )
+            registry.gauge_set(
+                "scenario.oracle_gap_pct",
+                (
+                    (self._governed_twin_energy - oracle_j)
+                    / oracle_j
+                    * 100.0
+                    if oracle_j > 0.0
+                    else 0.0
+                ),
+            )
+
+    def _sample_health(self, t_s: float) -> None:
+        """One monitor sample at sim time ``t_s`` (no-op when off).
+
+        Samples the simulation-stable projection of the process
+        registry.  A resumed run's fresh process does not carry the
+        original run's counter totals, so post-resume samples are
+        spliced onto the checkpointed series: the restored newest
+        sample plus the registry activity since the resume base (see
+        :func:`~repro.obs.series.subtract_snapshot`) -- which keeps
+        every window delta, and with it the health section, identical
+        to the uninterrupted run.
+        """
+        if self.series is None:
+            return
+        snap = simulation_projection(get_registry().snapshot())
+        if self._monitor_anchor is not None:
+            last, base = self._monitor_anchor
+            snap = merge_snapshot(
+                [last, subtract_snapshot(snap, base)],
+                gauge_merge="last",
+            )
+        self.series.sample(t_s, snap)
+        if self.slo_evaluator is not None:
+            self.slo_evaluator.evaluate(self.series, t_s)
 
     def _quarantine(
         self, device_id: int, t_s: float, governor: FleetGovernor
@@ -707,6 +805,7 @@ class ScenarioEngine:
         t_s = event.time_s
         if event.kind is EventKind.TICK:
             self._on_tick(t_s, bridge)
+            self._sample_health(t_s)
         elif event.kind is EventKind.JOIN:
             self._on_join(t_s, event.payload["pool_index"], bridge)
         elif event.kind is EventKind.LEAVE:
@@ -828,6 +927,14 @@ class ScenarioEngine:
                 "shed_timeline": list(self.shed_timeline),
                 "lifecycle_timeline": list(self.lifecycle_timeline),
                 "planned_pool_indices": list(self._planned_pool_indices),
+                "monitor": (
+                    {
+                        "series": self.series.to_state(),
+                        "slo": self.slo_evaluator.to_state(),
+                    }
+                    if self.series is not None
+                    else None
+                ),
             },
             serve=self._serve_state(),
         )
@@ -995,6 +1102,23 @@ class ScenarioEngine:
         self.shed_timeline = list(eng["shed_timeline"])
         self.lifecycle_timeline = list(eng["lifecycle_timeline"])
         self._planned_pool_indices = list(eng["planned_pool_indices"])
+        monitor = eng.get("monitor")
+        if monitor is not None and self.series is not None:
+            self.series = SeriesStore.from_state(monitor["series"])
+            self.slo_evaluator = SLOEvaluator.from_state(
+                monitor["slo"], default_scenario_slos()
+            )
+            last = self.series.latest()
+            if last is not None:
+                # Splice base for post-resume samples: the registry as
+                # it stands right now (after the deterministic replay
+                # of planning) subtracts out, leaving only activity
+                # that the original run also accumulated past this
+                # checkpoint.
+                self._monitor_anchor = (
+                    last[1],
+                    simulation_projection(get_registry().snapshot()),
+                )
         serve = checkpoint.serve
         bridge = self._bridge
         bridge._next_id = serve["next_id"]
@@ -1057,6 +1181,28 @@ class ScenarioEngine:
             if self.campaign_clocks is not None
             else {}
         )
+        health = None
+        if self.series is not None:
+            coverage = self.series.summary()
+            # The newest raw snapshot is process-absolute (it can
+            # carry counter residue from earlier work in the same
+            # process); only the delta-based views below are
+            # digest-stable across same-seed runs.
+            coverage.pop("latest_digest", None)
+            rollup = self.series.rollup(cfg.monitor_window_s)
+            alerts = self.slo_evaluator.timeline()
+            health = {
+                "series": coverage,
+                "rollup": rollup,
+                "slos": [
+                    slo.describe() for slo in self.slo_evaluator.slos
+                ],
+                "alerts": alerts,
+                "alerts_active": self.slo_evaluator.active(),
+                "evaluations": self.slo_evaluator.evaluations,
+                "rollup_digest": snapshot_digest(rollup),
+                "alerts_digest": snapshot_digest({"alerts": alerts}),
+            }
         return ScenarioReport(
             name=cfg.name,
             model_name=cfg.model_name,
@@ -1075,6 +1221,7 @@ class ScenarioEngine:
             churn=dict(self.churn_totals),
             faults_injected=faults,
             oracle=oracle,
+            health=health,
         )
 
 

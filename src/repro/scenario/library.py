@@ -224,6 +224,10 @@ def zero_event(
         ambient=AmbientCycle(),
         churn=ChurnModel(quarantine_after=0),
         oracle_stride=0,
+        # The zero-event digest is pinned to the pre-monitor tree
+        # (tests/boards/test_golden_digests.py); the plain fleet path
+        # it collapses to has no monitor either.
+        monitor=False,
     )
 
 

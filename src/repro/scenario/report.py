@@ -59,6 +59,12 @@ class ScenarioReport:
         churn: membership totals over the run.
         faults_injected: staged-campaign injections by fault kind.
         oracle: clairvoyant-twin comparison (None when disabled).
+        health: deterministic monitoring section (None when the
+            monitor is disabled): series coverage, the final-window
+            metric rollup, SLO burn-rate alert timeline, and digests
+            over both.  Built exclusively from the sim clock and the
+            wall-clock-free registry projection, so it is covered by
+            the report digest like every other section.
     """
 
     name: str
@@ -78,6 +84,7 @@ class ScenarioReport:
     churn: Dict[str, int] = field(default_factory=dict)
     faults_injected: Dict[str, int] = field(default_factory=dict)
     oracle: Optional[Dict] = None
+    health: Optional[Dict] = None
 
     # -- derived metrics ---------------------------------------------------------
 
@@ -109,7 +116,7 @@ class ScenarioReport:
         if oracle is not None:
             gap = self.oracle_gap_fraction
             oracle["gap_fraction"] = gap
-        return {
+        core = {
             "name": self.name,
             "model": self.model_name,
             "qos_s": self.qos_s,
@@ -129,6 +136,12 @@ class ScenarioReport:
             "faults_injected": dict(sorted(self.faults_injected.items())),
             "oracle": oracle,
         }
+        # Conditional like the config's ``boards`` key: monitor-off
+        # runs (the zero-event pin) digest as before the monitor
+        # existed.
+        if self.health is not None:
+            core["health"] = self.health
+        return core
 
     def digest(self) -> str:
         """SHA-256 over the canonical report -- the determinism anchor."""
@@ -176,6 +189,16 @@ class ScenarioReport:
             lines.append(
                 f"  oracle gap: +{gap:.2%} energy vs clairvoyant "
                 f"({self.oracle.get('devices', 0)} twinned devices)"
+            )
+        if self.health is not None:
+            series = self.health.get("series", {})
+            alerts = self.health.get("alerts", [])
+            fired = sum(1 for a in alerts if a.get("state") == "firing")
+            lines.append(
+                f"  health: {series.get('total_samples', 0)} samples "
+                f"({series.get('len', 0)} retained), "
+                f"{fired} alerts fired, "
+                f"{len(self.health.get('alerts_active', []))} active at end"
             )
         lines.append(f"  fleet digest: {self.fleet.digest()}")
         lines.append(f"  digest: {self.digest()}")

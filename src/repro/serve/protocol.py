@@ -19,7 +19,9 @@ Response::
 Operations: ``plan`` (optimize a deployment plan), ``reprice``
 (re-solve the MCKP over cached fronts under drifted conditions),
 ``telemetry`` (report a measured-vs-predicted energy sample),
-``stats`` (metrics snapshot) and ``health`` (quick selftest subset).
+``stats`` (full status payload), ``health`` (quick selftest subset)
+and ``metrics`` (registry snapshot only, optionally rendered as
+Prometheus exposition text via ``params: {"format": "prom"}``).
 
 Every library exception maps to a *typed* error payload via
 :func:`error_from_exception`, so clients switch on ``error.kind``
@@ -39,7 +41,7 @@ from .. import errors
 PROTOCOL_VERSION = 1
 
 #: The operations a server understands.
-OPS = ("plan", "reprice", "telemetry", "stats", "health")
+OPS = ("plan", "reprice", "telemetry", "stats", "health", "metrics")
 
 #: Exception class -> wire error kind.  Checked in order, so
 #: subclasses must precede their bases.

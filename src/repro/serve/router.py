@@ -45,7 +45,8 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from ..errors import OverloadedError, ProtocolError, ReproError
 from ..obs.audit import get_audit_log
-from ..obs.registry import get_registry
+from ..obs.prom import to_prometheus
+from ..obs.registry import get_registry, merge_snapshot, snapshot_digest
 from ..obs.tracing import correlation, get_tracer, span
 from ..recovery.journal import (
     JournaledSharedCache,
@@ -569,6 +570,11 @@ class ShardRouter(JsonLinesListener):
         try:
             if request.op == "stats":
                 return Response.success(request.id, await self.stats())
+            if request.op == "metrics":
+                return Response.success(
+                    request.id,
+                    await self.metrics_payload(request.params),
+                )
             if request.op == "health":
                 return Response.success(
                     request.id, await self._fanout_health(request)
@@ -833,14 +839,95 @@ class ShardRouter(JsonLinesListener):
             }
         }
 
+    async def metrics_payload(
+        self, params: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        """The ``metrics`` op, fleet-coherent: every live worker's
+        published registry plus the router's own, merged losslessly
+        (counters and histogram buckets add cell-wise; see
+        :func:`repro.obs.registry.merge_snapshot`).  The result is
+        itself a valid snapshot -- scrapeable as one process --
+        and carries the per-worker digests so a client can audit
+        exactly which shard views went into the merge."""
+        fmt = (params or {}).get("format", "json")
+        if fmt not in ("json", "prom"):
+            raise ProtocolError(
+                f"metrics format must be 'json' or 'prom', got {fmt!r}"
+            )
+        # Worker registries only: the merged view must equal the sum
+        # of the per-worker registries exactly (the acceptance pin);
+        # the router process's own counters stay under ``stats``'s
+        # local block rather than polluting the fleet totals.
+        snapshots: List[Dict[str, Any]] = []
+        worker_digests: Dict[str, Any] = {}
+        for worker in self._workers.values():
+            if worker.evicted or worker.client is None:
+                continue
+            try:
+                result = await worker.client.request("metrics")
+            except (ReproError, ConnectionError):
+                continue
+            snapshots.append(result.get("registry", {}))
+            worker_digests[str(worker.worker_id)] = result.get(
+                "digest"
+            )
+        merged = merge_snapshot(snapshots)
+        payload: Dict[str, Any] = {
+            "worker_id": None,
+            "workers": worker_digests,
+            "registry": merged,
+            "digest": snapshot_digest(merged),
+        }
+        if fmt == "prom":
+            payload["exposition"] = to_prometheus(merged)
+        return payload
+
+    @staticmethod
+    def _legacy_totals(registry: Dict[str, Any]) -> Dict[str, Any]:
+        """The pre-merge ``metrics`` block, derived from a merged
+        registry snapshot so existing consumers of the single-process
+        schema keep working (wire compatibility)."""
+
+        def _cells(family: str) -> Dict[str, float]:
+            return registry.get("counters", {}).get(family, {})
+
+        def _by_label(family: str) -> Dict[str, int]:
+            return {
+                label_repr.partition("=")[2]: int(value)
+                for label_repr, value in sorted(
+                    _cells(family).items()
+                )
+            }
+
+        def _total(family: str) -> int:
+            return int(sum(_cells(family).values()))
+
+        batches = _total("serve.batches")
+        batched = _total("serve.batched_requests")
+        return {
+            "requests_total": _total("serve.requests"),
+            "requests_by_op": _by_label("serve.requests"),
+            "errors_by_kind": _by_label("serve.errors"),
+            "sheds_by_reason": _by_label("serve.sheds"),
+            "shed_count": _total("serve.sheds"),
+            "batches": batches,
+            "batched_requests": batched,
+            "coalesce_ratio": batched / batches if batches else 0.0,
+        }
+
     async def stats(self) -> Dict[str, Any]:
         """Aggregated stats: router view, per-worker payloads, totals.
 
         Unlike :class:`PlanServer` this is a coroutine -- it fans the
-        ``stats`` op out to every live worker.  The merged ``metrics``
-        block sums the additive per-worker counters so existing
-        consumers of the single-process schema keep working; the
-        per-worker views stay available under ``workers``.
+        ``stats`` op out to every live worker.  Each worker's payload
+        already carries its full published registry, so the router
+        merges those losslessly via
+        :func:`repro.obs.registry.merge_snapshot` (together with its
+        own registry) and publishes the result under ``registry`` --
+        histograms and all, nothing hand-picked.  The legacy
+        ``metrics`` block is *derived* from the merged registry for
+        wire compatibility, and the per-worker views stay available
+        under ``workers``.
         """
         local = self._stats_local()
         workers: Dict[str, Any] = {}
@@ -853,44 +940,19 @@ class ShardRouter(JsonLinesListener):
                 )
             except (ReproError, ConnectionError):
                 continue
-        merged: Dict[str, Any] = {
-            "requests_total": 0,
-            "requests_by_op": {},
-            "errors_by_kind": {},
-            "sheds_by_reason": {},
-            "shed_count": 0,
-            "batches": 0,
-            "batched_requests": 0,
-        }
+        merged_registry = merge_snapshot(
+            [stats.get("registry", {}) for stats in workers.values()]
+        )
         cache = {"hits": 0, "misses": 0, "evictions": 0, "size": 0}
         for stats in workers.values():
-            metrics = stats.get("metrics", {})
-            merged["requests_total"] += metrics.get("requests_total", 0)
-            merged["shed_count"] += metrics.get("shed_count", 0)
-            merged["batches"] += metrics.get("batches", 0)
-            merged["batched_requests"] += metrics.get(
-                "batched_requests", 0
-            )
-            for field_name in (
-                "requests_by_op",
-                "errors_by_kind",
-                "sheds_by_reason",
-            ):
-                for key, value in metrics.get(field_name, {}).items():
-                    merged[field_name][key] = (
-                        merged[field_name].get(key, 0) + value
-                    )
             for key in cache:
                 cache[key] += stats.get("cache", {}).get(key, 0)
-        merged["coalesce_ratio"] = (
-            merged["batched_requests"] / merged["batches"]
-            if merged["batches"]
-            else 0.0
-        )
         return {
             **local,
-            "metrics": merged,
+            "metrics": self._legacy_totals(merged_registry),
             "cache": cache,
+            "registry": merged_registry,
+            "audit": get_audit_log().counts(),
             "workers": workers,
         }
 

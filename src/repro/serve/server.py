@@ -9,8 +9,8 @@ generator) until drained.  The request path is::
          -> batcher (coalesce + deadline) -> PlanService (executor)
          -> encode -> line
 
-``stats`` and ``health`` bypass admission -- an overloaded server must
-still answer its monitoring.  Shutdown is graceful: the listener
+``stats``, ``metrics`` and ``health`` bypass admission -- an
+overloaded server must still answer its monitoring.  Shutdown is graceful: the listener
 closes first, in-flight requests drain (bounded by
 ``drain_timeout_s``), then the worker pool stops.
 """
@@ -24,7 +24,8 @@ from typing import Any, Dict, Optional, Set, Tuple
 
 from ..errors import OverloadedError, ProtocolError, ReproError
 from ..obs.audit import get_audit_log
-from ..obs.registry import get_registry
+from ..obs.prom import to_prometheus
+from ..obs.registry import get_registry, snapshot_digest
 from ..obs.tracing import correlation, get_tracer, span
 from .admission import AdmissionController, ArrivalClock, TokenBucket
 from .batcher import PlanBatcher
@@ -308,6 +309,8 @@ class PlanServer(JsonLinesListener):
                 result = self._telemetry(request.params)
             elif request.op == "stats":
                 result = self.stats()
+            elif request.op == "metrics":
+                result = self.metrics_payload(request.params)
             elif request.op == "health":
                 result = await self._health(request.params)
             else:  # unreachable behind decode_request, kept for safety
@@ -404,6 +407,33 @@ class PlanServer(JsonLinesListener):
             self.batcher.executor,
             lambda: self.service.health(refresh=refresh),
         )
+
+    def metrics_payload(
+        self, params: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        """The ``metrics`` op: just the registry, scrape-shaped.
+
+        Unlike ``stats`` (the whole status payload) this returns the
+        published registry snapshot alone, plus its canonical digest
+        -- the unit the shard router merges and the monitor CLI
+        tails.  ``params: {"format": "prom"}`` adds the Prometheus
+        text exposition.
+        """
+        fmt = (params or {}).get("format", "json")
+        if fmt not in ("json", "prom"):
+            raise ProtocolError(
+                f"metrics format must be 'json' or 'prom', got {fmt!r}"
+            )
+        self.service.publish_registry()
+        snapshot = get_registry().snapshot()
+        result: Dict[str, Any] = {
+            "worker_id": self.config.worker_id,
+            "registry": snapshot,
+            "digest": snapshot_digest(snapshot),
+        }
+        if fmt == "prom":
+            result["exposition"] = to_prometheus(snapshot)
+        return result
 
     def stats(self) -> Dict[str, Any]:
         """The ``stats`` payload: metrics + cache + admission +

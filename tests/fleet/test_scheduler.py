@@ -215,3 +215,39 @@ class TestFaultIsolation:
             FleetScheduler(tiny, qos_level=MODERATE, max_plan_attempts=0)
         with pytest.raises(ReproError):
             FleetScheduler(tiny, qos_level=MODERATE, plan_backoff_s=-1.0)
+
+
+class TestSeriesHook:
+    """The monitor hook: schedulers feed a SeriesStore as they go."""
+
+    def test_serial_samples_once_per_device(self, tiny, fleet):
+        from repro.obs.series import SeriesStore
+
+        store = SeriesStore(capacity=16)
+        scheduler = FleetScheduler(tiny, qos_level=MODERATE)
+        results = scheduler.run(fleet, pooled=False, series=store)
+        assert len(results) == len(fleet)
+        assert len(store) == len(fleet)
+        # Device index is the injected clock: no wall time anywhere.
+        assert store.latest()[0] == float(len(fleet))
+
+    def test_pooled_samples_at_the_barrier(self, tiny, fleet):
+        from repro.obs.series import SeriesStore
+
+        store = SeriesStore(capacity=16)
+        scheduler = FleetScheduler(tiny, qos_level=MODERATE, max_workers=4)
+        scheduler.run(fleet, pooled=True, series=store)
+        assert len(store) == 1
+        assert store.latest()[0] == float(len(fleet))
+
+    def test_series_is_optional_and_results_identical(self, tiny, fleet):
+        from repro.obs.series import SeriesStore
+
+        store = SeriesStore(capacity=16)
+        with_series = FleetScheduler(tiny, qos_level=MODERATE).run(
+            fleet, pooled=False, series=store
+        )
+        without = FleetScheduler(tiny, qos_level=MODERATE).run(
+            fleet, pooled=False
+        )
+        assert_result_lists_identical(with_series, without)

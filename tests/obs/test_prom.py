@@ -1,0 +1,126 @@
+"""Prometheus text exposition (0.0.4): rendering and the linter."""
+
+from repro.obs.prom import lint_exposition, metric_name, to_prometheus
+from repro.obs.registry import MetricsRegistry, merge_snapshot
+
+
+def sample_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.count("serve.requests", n=3, op="plan")
+    registry.count("serve.requests", op="stats")
+    registry.gauge_set("serve.queue_depth", 2.0)
+    for value in (0.001, 0.01, 0.1):
+        registry.observe("serve.latency", value, op="plan")
+    return registry
+
+
+class TestRendering:
+    def test_metric_name_maps_dots_to_underscores(self):
+        assert metric_name("serve.latency") == "serve_latency"
+        assert metric_name("fleet.governor") == "fleet_governor"
+
+    def test_counters_get_total_suffix(self):
+        text = to_prometheus(sample_registry().snapshot())
+        assert "# TYPE serve_requests_total counter" in text
+        assert 'serve_requests_total{op="plan"} 3' in text
+        assert 'serve_requests_total{op="stats"} 1' in text
+
+    def test_help_and_type_precede_samples(self):
+        lines = to_prometheus(sample_registry().snapshot()).splitlines()
+        first_sample = next(
+            i for i, line in enumerate(lines)
+            if not line.startswith("#")
+        )
+        head = lines[:first_sample]
+        assert any(line.startswith("# HELP ") for line in head)
+        assert any(line.startswith("# TYPE ") for line in head)
+
+    def test_histogram_buckets_are_cumulative_and_closed(self):
+        text = to_prometheus(sample_registry().snapshot())
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith('serve_latency_seconds_bucket{op="plan"')
+        ]
+        assert counts == sorted(counts)  # cumulative, not per-bucket
+        inf_line = next(
+            line for line in text.splitlines()
+            if line.startswith("serve_latency_seconds_bucket")
+            and 'le="+Inf"' in line
+        )
+        count_line = next(
+            line for line in text.splitlines()
+            if line.startswith('serve_latency_seconds_count{op="plan"')
+        )
+        assert inf_line.rsplit(" ", 1)[1] == "3"
+        assert count_line.rsplit(" ", 1)[1] == "3"
+
+    def test_exposition_is_deterministic(self):
+        a = to_prometheus(sample_registry().snapshot())
+        b = to_prometheus(sample_registry().snapshot())
+        assert a == b
+
+    def test_merged_snapshot_renders_clean(self):
+        snaps = [sample_registry().snapshot() for _ in range(2)]
+        text = to_prometheus(merge_snapshot(snaps))
+        assert lint_exposition(text) == []
+        assert 'serve_requests_total{op="plan"} 6' in text
+
+
+class TestLint:
+    def test_generated_output_is_clean(self):
+        assert lint_exposition(
+            to_prometheus(sample_registry().snapshot())
+        ) == []
+
+    def test_empty_snapshot_is_clean(self):
+        assert lint_exposition(to_prometheus(
+            {"counters": {}, "gauges": {}, "histograms": {}}
+        )) == []
+
+    def test_counter_without_total_suffix(self):
+        text = (
+            "# HELP serve_requests repro\n"
+            "# TYPE serve_requests counter\n"
+            "serve_requests 3\n"
+        )
+        assert lint_exposition(text)
+
+    def test_sample_before_type_is_flagged(self):
+        text = (
+            "serve_requests_total 3\n"
+            "# HELP serve_requests_total repro\n"
+            "# TYPE serve_requests_total counter\n"
+        )
+        assert lint_exposition(text)
+
+    def test_non_monotone_buckets_are_flagged(self):
+        text = (
+            "# HELP x_seconds repro\n"
+            "# TYPE x_seconds histogram\n"
+            'x_seconds_bucket{le="0.1"} 5\n'
+            'x_seconds_bucket{le="1"} 3\n'
+            'x_seconds_bucket{le="+Inf"} 5\n'
+            "x_seconds_sum 1\n"
+            "x_seconds_count 5\n"
+        )
+        assert lint_exposition(text)
+
+    def test_inf_bucket_count_mismatch_is_flagged(self):
+        text = (
+            "# HELP x_seconds repro\n"
+            "# TYPE x_seconds histogram\n"
+            'x_seconds_bucket{le="0.1"} 2\n'
+            'x_seconds_bucket{le="+Inf"} 2\n'
+            "x_seconds_sum 1\n"
+            "x_seconds_count 5\n"
+        )
+        assert lint_exposition(text)
+
+    def test_bad_metric_name_is_flagged(self):
+        text = (
+            "# HELP bad-name repro\n"
+            "# TYPE bad-name gauge\n"
+            "bad-name 1\n"
+        )
+        assert lint_exposition(text)

@@ -1,0 +1,232 @@
+"""SeriesStore: injected clocks, delta rollups, splice, persistence."""
+
+import json
+
+import pytest
+
+from repro.obs.registry import (
+    MetricsRegistry,
+    merge_snapshot,
+    snapshot_digest,
+)
+from repro.obs.series import (
+    SeriesStore,
+    rollup_between,
+    subtract_snapshot,
+)
+
+
+def canonical(obj) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+class TestSampling:
+    def test_timestamps_must_be_non_decreasing(self, registry):
+        store = SeriesStore(capacity=4)
+        store.sample(10.0)
+        store.sample(10.0)  # equal is fine (same-tick resample)
+        with pytest.raises(ValueError):
+            store.sample(9.0)
+
+    def test_capacity_floor(self):
+        with pytest.raises(ValueError):
+            SeriesStore(capacity=1)
+
+    def test_ring_drops_oldest_and_counts(self, registry):
+        store = SeriesStore(capacity=2)
+        for t in (1.0, 2.0, 3.0):
+            store.sample(t)
+        assert len(store) == 2
+        assert store.dropped == 1
+        assert store.total_samples == 3
+        assert store.latest()[0] == 3.0
+        assert store.at_or_before(1.5) is None  # evicted
+
+    def test_explicit_snapshot_bypasses_registry(self, registry):
+        registry.count("serve.requests", op="plan")
+        store = SeriesStore(capacity=2)
+        store.sample(0.0, {"counters": {}, "gauges": {}, "histograms": {}})
+        assert store.latest()[1]["counters"] == {}
+
+    def test_bound_registry_is_sampled(self):
+        private = MetricsRegistry()
+        private.count("serve.requests", op="plan")
+        store = SeriesStore(capacity=2, registry=private)
+        store.sample(1.0)
+        assert store.latest()[1]["counters"]["serve.requests"][
+            "op=plan"
+        ] == 1
+
+
+class TestRollup:
+    def test_counter_delta_and_rate(self, registry):
+        store = SeriesStore(capacity=4, registry=registry)
+        registry.count("serve.requests", n=10, op="plan")
+        store.sample(0.0)
+        registry.count("serve.requests", n=30, op="plan")
+        store.sample(60.0)
+        rollup = store.rollup(60.0)
+        cell = rollup["counters"]["serve.requests"]["op=plan"]
+        assert cell["delta"] == 30.0
+        assert cell["rate_per_s"] == 0.5
+        assert rollup["samples"] == 2
+        assert rollup["clamped"] is False
+
+    def test_zero_delta_cells_are_omitted(self, registry):
+        """A cell with no window activity must be indistinguishable
+        from a cell that never existed, or counter residue from
+        earlier work in the process de-determinizes every digest
+        downstream of the rollup."""
+        store = SeriesStore(capacity=4, registry=registry)
+        registry.count("serve.requests", n=10, op="plan")
+        registry.observe("serve.latency", 0.01, op="plan")
+        store.sample(0.0)
+        registry.count("serve.requests", n=3, op="stats")
+        store.sample(60.0)
+        rollup = store.rollup(60.0)
+        assert rollup["counters"]["serve.requests"] == {
+            "op=stats": {"delta": 3.0, "rate_per_s": 0.05}
+        }
+        assert "serve.latency" not in rollup["histograms"]
+
+    def test_gauges_report_last_value(self, registry):
+        store = SeriesStore(capacity=4, registry=registry)
+        registry.gauge_set("serve.queue_depth", 5.0)
+        store.sample(0.0)
+        registry.gauge_set("serve.queue_depth", 2.0)
+        store.sample(30.0)
+        rollup = store.rollup(30.0)
+        assert rollup["gauges"]["serve.queue_depth"][""] == {
+            "last": 2.0
+        }
+
+    def test_histogram_percentiles_are_window_local(self, registry):
+        store = SeriesStore(capacity=4, registry=registry)
+        for _ in range(8):
+            registry.observe("serve.latency", 0.001, op="plan")
+        store.sample(0.0)
+        for _ in range(8):
+            registry.observe("serve.latency", 0.1, op="plan")
+        store.sample(60.0)
+        window = store.rollup(60.0)["histograms"]["serve.latency"][
+            "op=plan"
+        ]
+        assert window["delta_count"] == 8.0
+        # Only the second batch is in the window: p50 must sit near
+        # 0.1 s, nowhere near the 1 ms of the pre-window batch.
+        assert window["p50_s"] >= 0.05
+        lifetime = rollup_between(
+            {}, registry.snapshot(), 60.0
+        )["histograms"]["serve.latency"]["op=plan"]
+        assert lifetime["delta_count"] == 16.0
+        assert lifetime["p50_s"] <= 0.002
+
+    def test_window_clamps_to_oldest_sample(self, registry):
+        store = SeriesStore(capacity=4, registry=registry)
+        store.sample(100.0)
+        store.sample(110.0)
+        rollup = store.rollup(3600.0)
+        assert rollup["clamped"] is True
+        assert rollup["start_s"] == 100.0
+
+    def test_end_anchor(self, registry):
+        store = SeriesStore(capacity=8, registry=registry)
+        registry.count("serve.requests", op="plan")
+        store.sample(0.0)
+        registry.count("serve.requests", op="plan")
+        store.sample(10.0)
+        registry.count("serve.requests", n=5, op="plan")
+        store.sample(20.0)
+        rollup = store.rollup(10.0, end_s=10.0)
+        assert rollup["end_s"] == 10.0
+        cell = rollup["counters"]["serve.requests"]["op=plan"]
+        assert cell["delta"] == 1.0
+
+    def test_empty_store_rollup_is_shaped(self, registry):
+        rollup = SeriesStore(capacity=2).rollup(60.0)
+        assert rollup["samples"] == 0
+        assert rollup["counters"] == {}
+
+
+class TestSubtractSplice:
+    def test_subtract_then_merge_restores_current(self):
+        """The resume-splice identity the scenario engine relies on:
+        ``merge([base_sample, subtract(now, base)], gauge_merge="last")``
+        must rebuild ``now`` exactly."""
+        registry = MetricsRegistry()
+        for k in range(10):
+            registry.count("serve.requests", op="plan")
+            registry.observe(
+                "serve.latency", 2.0 ** -(3 + k % 6), op="plan"
+            )
+        registry.gauge_set("serve.queue_depth", 4.0)
+        base = registry.snapshot()
+        for k in range(7):
+            registry.count("serve.requests", op="plan")
+            registry.observe(
+                "serve.latency", 2.0 ** -(4 + k % 5), op="plan"
+            )
+        registry.gauge_set("serve.queue_depth", 1.0)
+        now = registry.snapshot()
+        spliced = merge_snapshot(
+            [base, subtract_snapshot(now, base)], gauge_merge="last"
+        )
+        assert canonical(
+            spliced["counters"]
+        ) == canonical(now["counters"])
+        assert canonical(spliced["gauges"]) == canonical(now["gauges"])
+        merged_h = spliced["histograms"]["serve.latency"]["op=plan"]
+        now_h = now["histograms"]["serve.latency"]["op=plan"]
+        for key in ("count", "sum_s", "mean_s", "min_s", "max_s",
+                    "p50_s", "p95_s", "p99_s", "buckets"):
+            assert merged_h[key] == now_h[key], key
+
+    def test_counter_residue_cancels(self):
+        registry = MetricsRegistry()
+        registry.count("serve.requests", n=100, op="plan")
+        base = registry.snapshot()
+        delta = subtract_snapshot(registry.snapshot(), base)
+        # No activity since base: the family is all-zero, and kept
+        # out of the delta entirely.
+        assert "serve.requests" not in delta["counters"]
+
+    def test_gauges_pass_through_current(self):
+        registry = MetricsRegistry()
+        registry.gauge_set("scenario.governor_drift", 0.25)
+        base = registry.snapshot()
+        registry.gauge_set("scenario.governor_drift", 0.5)
+        delta = subtract_snapshot(registry.snapshot(), base)
+        assert delta["gauges"]["scenario.governor_drift"][""] == 0.5
+
+
+class TestPersistence:
+    def test_state_round_trip_preserves_rollups(self, registry):
+        store = SeriesStore(capacity=4, registry=registry)
+        registry.count("serve.requests", op="plan")
+        store.sample(0.0)
+        registry.count("serve.requests", n=4, op="plan")
+        store.sample(60.0)
+        restored = SeriesStore.from_state(store.to_state())
+        assert canonical(restored.rollup(60.0)) == canonical(
+            store.rollup(60.0)
+        )
+        assert restored.summary() == store.summary()
+
+    def test_state_round_trip_survives_json(self, registry):
+        store = SeriesStore(capacity=4, registry=registry)
+        registry.observe("serve.latency", 0.01, op="plan")
+        store.sample(5.0)
+        state = json.loads(json.dumps(store.to_state()))
+        restored = SeriesStore.from_state(state)
+        assert snapshot_digest(
+            restored.latest()[1]
+        ) == snapshot_digest(store.latest()[1])
+
+    def test_summary_shape(self, registry):
+        store = SeriesStore(capacity=4, registry=registry)
+        assert store.summary()["latest_digest"] is None
+        store.sample(1.0)
+        summary = store.summary()
+        assert summary["len"] == 1
+        assert summary["start_s"] == summary["end_s"] == 1.0
+        assert summary["latest_digest"]

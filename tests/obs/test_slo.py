@@ -1,0 +1,299 @@
+"""SLOs: signal extraction, burn rates, edge-triggered alerting."""
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.series import SeriesStore
+from repro.obs.slo import (
+    SIMULATION_FAMILY_PREFIXES,
+    SLO,
+    SLOEvaluator,
+    Signal,
+    default_scenario_slos,
+    default_serve_slos,
+    deterministic_projection,
+    signal_value,
+    simulation_projection,
+)
+
+SHED = SLO(
+    name="shed-ratio",
+    signal=Signal(
+        kind="ratio", family="serve.sheds", den_family="serve.requests"
+    ),
+    objective=0.10,
+    fast_window_s=60.0,
+    slow_window_s=120.0,
+)
+
+
+def store_with(registry: MetricsRegistry) -> SeriesStore:
+    return SeriesStore(capacity=16, registry=registry)
+
+
+class TestSignalValue:
+    def rollup(self, registry, interval=60.0):
+        store = store_with(registry)
+        snapshot = registry.snapshot()
+        store.sample(0.0, {"counters": {}, "gauges": {}, "histograms": {}})
+        store.sample(interval, snapshot)
+        return store.rollup(interval)
+
+    def test_ratio(self):
+        registry = MetricsRegistry()
+        registry.count("serve.requests", n=20, op="plan")
+        registry.count("serve.sheds", n=5, reason="queue_full")
+        measured, weight = signal_value(
+            SHED.signal, self.rollup(registry)
+        )
+        assert measured == 0.25
+        assert weight == 20.0
+
+    def test_ratio_missing_numerator_measures_zero(self):
+        """Regression: whether the numerator *cell exists* is process
+        history (counter residue), so a live denominator with no
+        numerator must measure 0.0 -- identically whether the cell is
+        absent or present with a zero window delta."""
+        fresh = MetricsRegistry()
+        fresh.count("serve.requests", n=20, op="plan")
+        residue = MetricsRegistry()
+        residue.count("serve.sheds", n=7, reason="queue_full")
+        base = residue.snapshot()  # numerator cell exists, delta 0
+        residue.count("serve.requests", n=20, op="plan")
+        from repro.obs.series import rollup_between
+
+        assert signal_value(
+            SHED.signal, rollup_between({}, fresh.snapshot(), 60.0)
+        ) == (0.0, 20.0)
+        assert signal_value(
+            SHED.signal,
+            rollup_between(base, residue.snapshot(), 60.0),
+        ) == (0.0, 20.0)
+
+    def test_ratio_zero_denominator_is_no_data(self):
+        registry = MetricsRegistry()
+        registry.count("serve.sheds", reason="queue_full")
+        measured, weight = signal_value(
+            SHED.signal, self.rollup(registry)
+        )
+        assert measured is None
+        assert weight == 0.0
+
+    def test_rate(self):
+        registry = MetricsRegistry()
+        registry.count("serve.requests", n=30, op="plan")
+        signal = Signal(kind="rate", family="serve.requests")
+        measured, weight = signal_value(signal, self.rollup(registry))
+        assert measured == 0.5
+        assert weight == 30.0
+
+    def test_percentile(self):
+        registry = MetricsRegistry()
+        for _ in range(10):
+            registry.observe("serve.latency", 0.008, op="plan")
+        signal = Signal(
+            kind="percentile",
+            family="serve.latency",
+            label="op=plan",
+            percentile=95,
+        )
+        measured, weight = signal_value(signal, self.rollup(registry))
+        assert weight == 10.0
+        assert measured >= 0.008
+        assert measured <= 0.008 * 10.0 ** (1.0 / 8.0) + 1e-12
+
+    def test_gauge_label_and_wildcard(self):
+        registry = MetricsRegistry()
+        registry.gauge_set("scenario.governor_drift", 0.25)
+        rollup = self.rollup(registry)
+        by_label = Signal(
+            kind="gauge", family="scenario.governor_drift", label=""
+        )
+        wildcard = Signal(
+            kind="gauge", family="scenario.governor_drift"
+        )
+        assert signal_value(by_label, rollup) == (0.25, 1.0)
+        assert signal_value(wildcard, rollup) == (0.25, 1.0)
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            signal_value(
+                Signal(kind="median", family="x"), self.rollup(
+                    MetricsRegistry()
+                )
+            )
+
+
+class TestBurn:
+    def test_le_burn_is_measured_over_objective(self):
+        assert SHED.burn(0.05) == 0.5
+        assert SHED.burn(0.20) == 2.0
+
+    def test_ge_burn_inverts_and_handles_zero(self):
+        slo = SLO(
+            name="applied",
+            signal=Signal(kind="rate", family="x"),
+            objective=0.5,
+            comparator="ge",
+        )
+        assert slo.burn(1.0) == 0.5
+        assert slo.burn(0.25) == 2.0
+        assert slo.burn(0.0) == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SLO(
+                name="bad",
+                signal=Signal(kind="rate", family="x"),
+                objective=0.5,
+                comparator="between",
+            )
+        with pytest.raises(ValueError):
+            SLO(
+                name="bad",
+                signal=Signal(kind="rate", family="x"),
+                objective=0.0,
+            )
+
+
+class TestEvaluator:
+    def test_edge_triggered_fire_and_resolve(self, audit):
+        registry = MetricsRegistry()
+        store = store_with(registry)
+        evaluator = SLOEvaluator([SHED], audit=audit)
+        registry.count("serve.requests", n=10, op="plan")
+        store.sample(0.0)
+        # Burn: half the requests shed.
+        registry.count("serve.requests", n=10, op="plan")
+        registry.count("serve.sheds", n=5, reason="queue_full")
+        store.sample(60.0)
+        first = evaluator.evaluate(store, 60.0)
+        assert [a.state for a in first] == ["firing"]
+        # Still burning: no duplicate alert (edge-triggered).
+        registry.count("serve.requests", n=10, op="plan")
+        registry.count("serve.sheds", n=5, reason="queue_full")
+        store.sample(120.0)
+        assert evaluator.evaluate(store, 120.0) == []
+        assert evaluator.active() == ["shed-ratio"]
+        # Clean traffic washes both windows: falling edge resolves.
+        for t in (180.0, 240.0, 300.0):
+            registry.count("serve.requests", n=50, op="plan")
+            store.sample(t)
+            evaluator.evaluate(store, t)
+        assert evaluator.active() == []
+        states = [a.state for a in evaluator.alerts]
+        assert states == ["firing", "resolved"]
+
+    def test_insufficient_data_holds_state(self):
+        registry = MetricsRegistry()
+        store = store_with(registry)
+        slo = SLO(
+            name="needs-data",
+            signal=SHED.signal,
+            objective=0.10,
+            fast_window_s=60.0,
+            slow_window_s=120.0,
+            min_weight=100.0,
+        )
+        evaluator = SLOEvaluator([slo])
+        store.sample(0.0)
+        registry.count("serve.requests", n=10, op="plan")
+        registry.count("serve.sheds", n=9, reason="queue_full")
+        store.sample(60.0)
+        assert evaluator.evaluate(store, 60.0) == []
+        assert evaluator.active() == []
+
+    def test_transitions_land_in_audit_log(self, audit):
+        registry = MetricsRegistry()
+        store = store_with(registry)
+        evaluator = SLOEvaluator([SHED], audit=audit)
+        store.sample(0.0)
+        registry.count("serve.requests", n=10, op="plan")
+        registry.count("serve.sheds", n=8, reason="queue_full")
+        store.sample(60.0)
+        evaluator.evaluate(store, 60.0)
+        assert audit.counts() == {"slo.shed-ratio:firing": 1}
+
+    def test_alert_timestamps_are_injected_time(self):
+        registry = MetricsRegistry()
+        store = store_with(registry)
+        evaluator = SLOEvaluator([SHED])
+        store.sample(0.0)
+        registry.count("serve.requests", n=10, op="plan")
+        registry.count("serve.sheds", n=8, reason="queue_full")
+        store.sample(7200.0)
+        evaluator.evaluate(store, 7200.0)
+        assert [a.t_s for a in evaluator.alerts] == [7200.0]
+
+    def test_duplicate_names_raise(self):
+        with pytest.raises(ValueError):
+            SLOEvaluator([SHED, SHED])
+
+    def test_state_round_trip(self):
+        registry = MetricsRegistry()
+        store = store_with(registry)
+        evaluator = SLOEvaluator([SHED])
+        store.sample(0.0)
+        registry.count("serve.requests", n=10, op="plan")
+        registry.count("serve.sheds", n=8, reason="queue_full")
+        store.sample(60.0)
+        evaluator.evaluate(store, 60.0)
+        assert evaluator.active() == ["shed-ratio"]
+        restored = SLOEvaluator.from_state(
+            evaluator.to_state(), [SHED]
+        )
+        assert restored.active() == evaluator.active()
+        assert restored.timeline() == evaluator.timeline()
+        assert restored.evaluations == evaluator.evaluations
+
+
+class TestDefaults:
+    def test_default_sets_have_unique_names(self):
+        slos = default_serve_slos() + default_scenario_slos()
+        names = [slo.name for slo in slos]
+        assert len(set(names)) == len(names)
+        SLOEvaluator(slos)  # and they co-evaluate
+
+    def test_replan_applied_judges_raised_intents(self):
+        slo = next(
+            s for s in default_scenario_slos()
+            if s.name == "scenario-replan-applied"
+        )
+        # Denominator is the intents *raised*, not every governor
+        # epoch: holds dominate healthy fleets, and a floor over all
+        # epochs would page forever.
+        assert slo.signal.den_label == "event=replan_pending"
+
+    def test_scenario_slos_are_wall_clock_free(self):
+        for slo in default_scenario_slos():
+            assert slo.signal.family != "serve.latency"
+            assert slo.signal.family.startswith(
+                SIMULATION_FAMILY_PREFIXES
+            )
+
+
+class TestProjections:
+    def snapshot(self):
+        registry = MetricsRegistry()
+        registry.observe("serve.latency", 0.01, op="plan")
+        registry.count("serve.requests", op="plan")
+        registry.count("fleet.pricing", event="hit", pool="stacks")
+        registry.count("pipeline.cache", cache="cloud", event="hit")
+        registry.gauge_set("scenario.governor_drift", 0.1)
+        return registry.snapshot()
+
+    def test_deterministic_projection_drops_wall_clock(self):
+        projected = deterministic_projection(self.snapshot())
+        assert "serve.latency" not in projected["histograms"]
+        assert "serve.requests" in projected["counters"]
+        assert "fleet.pricing" in projected["counters"]
+
+    def test_simulation_projection_keeps_only_allowlist(self):
+        projected = simulation_projection(self.snapshot())
+        assert "serve.requests" in projected["counters"]
+        assert "scenario.governor_drift" in projected["gauges"]
+        # Cache state is process-local, not simulation state: a
+        # resume rebuilds it differently, so it must stay out.
+        assert "fleet.pricing" not in projected["counters"]
+        assert "pipeline.cache" not in projected["counters"]
+        assert "serve.latency" not in projected["histograms"]

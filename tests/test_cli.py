@@ -253,3 +253,78 @@ class TestServeCommands:
         captured = capsys.readouterr()
         assert "4/4 ok" in captured.out
         assert captured.err == ""
+
+
+class TestMonitorCommand:
+    @pytest.fixture(scope="class")
+    def metrics_file(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("metrics") / "fleet.metrics.json"
+        code = main(
+            ["fleet", "tiny", "--devices", "2", "--epochs", "0",
+             "--metrics", str(path)]
+        )
+        assert code == 0
+        return path
+
+    def test_metrics_flag_writes_verifiable_snapshot(self, metrics_file):
+        from repro.obs.registry import snapshot_digest
+
+        doc = json.loads(metrics_file.read_text())
+        assert doc["digest"] == snapshot_digest(doc["registry"])
+        assert "fleet.pricing" in doc["registry"]["counters"]
+
+    def test_monitor_tails_single_snapshot(self, capsys, metrics_file):
+        assert main(["monitor", str(metrics_file)]) == 0
+        out = capsys.readouterr().out
+        assert "monitor:" in out
+        assert "counter" in out
+
+    def test_monitor_delta_between_snapshots_json(
+        self, capsys, metrics_file
+    ):
+        code = main(
+            ["monitor", str(metrics_file), str(metrics_file), "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["sources"] == [str(metrics_file)] * 2
+        # Identical endpoints: no window activity, so no counter
+        # families at all (zero-delta cells are omitted).
+        assert payload["rollup"]["counters"] == {}
+
+    def test_monitor_prom_export_lints_clean(
+        self, capsys, metrics_file, tmp_path
+    ):
+        prom_path = tmp_path / "metrics.prom"
+        code = main(
+            ["monitor", str(metrics_file), "--prom", str(prom_path),
+             "--lint"]
+        )
+        assert code == 0
+        assert prom_path.read_text().startswith("# HELP ")
+        assert "lint: exposition clean" in capsys.readouterr().out
+
+    def test_monitor_slo_json_reports_rows(self, capsys, metrics_file):
+        code = main(
+            ["monitor", str(metrics_file), "--slo", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = {row["name"] for row in payload["slo"]["rows"]}
+        assert "serve-latency-p95" in names
+        assert "scenario-governor-drift" in names
+
+    def test_monitor_detects_tampered_digest(self, tmp_path, capsys):
+        path = tmp_path / "bad.metrics.json"
+        code = main(
+            ["fleet", "tiny", "--devices", "2", "--epochs", "0",
+             "--metrics", str(path)]
+        )
+        assert code == 0
+        doc = json.loads(path.read_text())
+        doc["digest"] = "0" * 64
+        path.write_text(json.dumps(doc))
+        assert main(["monitor", str(path)]) != 0
+
+    def test_monitor_requires_a_source(self, capsys):
+        assert main(["monitor"]) != 0
